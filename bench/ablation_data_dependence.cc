@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Extension bench: data dependence of deanonymization — how much
+ * fingerprint visibility and attribution success survive when
+ * victims publish realistic buffer types instead of worst-case
+ * data, with and without data-aware fingerprint masking.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_data_dependence.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Extension",
+                  "Data dependence of deanonymization across "
+                  "workload types");
+
+    DataDependenceParams params;
+    const DataDependenceResult result = runDataDependence(params);
+    std::fputs(renderDataDependence(result).c_str(), stdout);
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Section 8.1 bench: effect of DRAM technology — legacy KM41464A
+ * versus the DDR2 part with its volatility distribution skewed
+ * toward higher volatility.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_ddr2.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Section 8.1",
+                  "Effect of DRAM technology on Probable Cause");
+
+    Ddr2AblationParams params;
+    const Ddr2AblationResult result = runDdr2Ablation(params);
+    std::fputs(renderDdr2Ablation(result).c_str(), stdout);
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Section 5.2 design-choice bench: the modified Jaccard metric
+ * versus plain Jaccard and normalized Hamming under accuracy
+ * mismatch between fingerprint and output.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_distance.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Section 5.2 ablation",
+                  "Distance metrics under fingerprint/output "
+                  "accuracy mismatch");
+
+    DistanceAblationParams params;
+    const DistanceAblationResult result = runDistanceAblation(params);
+    std::fputs(renderDistanceAblation(result).c_str(), stdout);
+    timer.report();
+    return 0;
+}

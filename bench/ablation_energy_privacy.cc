@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Extension bench: the energy-privacy trade-off — refresh-energy
+ * saving versus identifying entropy and measured attribution
+ * success, per accuracy setting.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_energy_privacy.hh"
+#include "util/csv.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Extension",
+                  "Energy-privacy trade-off of approximate DRAM");
+
+    EnergyPrivacyParams params;
+    const EnergyPrivacyResult result = runEnergyPrivacy(params);
+    std::fputs(renderEnergyPrivacy(result).c_str(), stdout);
+
+    CsvWriter csv(bench::outputDir() + "/energy_privacy.csv",
+                  {"accuracy", "refresh_interval_s", "energy_saving",
+                   "entropy_bits_per_page", "identification"});
+    for (const auto &p : result.points) {
+        csv.writeRow(std::vector<double>{
+            p.accuracy, p.refreshInterval, p.energySaving,
+            p.entropyBitsPerPage, p.identification});
+    }
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Extension bench: fingerprinting interleaved multi-chip systems
+ * and the effect of device replacement on a machine's identity.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_interleaving.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Extension",
+                  "Fingerprinting interleaved multi-chip systems");
+
+    InterleavingParams params;
+    const InterleavingResult result = runInterleaving(params);
+    std::fputs(renderInterleaving(result, params).c_str(), stdout);
+    timer.report();
+    return 0;
+}

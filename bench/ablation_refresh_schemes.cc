@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Extension bench: fingerprinting under retention-aware refresh —
+ * uniform approximate refresh versus RAIDR (exact and
+ * over-stretched) plus the RAPID population sweep.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_refresh_schemes.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Extension",
+                  "Fingerprinting under retention-aware refresh "
+                  "schemes (RAIDR / RAPID)");
+
+    RefreshSchemeParams params;
+    const RefreshSchemeResult result = runRefreshSchemes(params);
+    std::fputs(renderRefreshSchemes(result).c_str(), stdout);
+    timer.report();
+    return 0;
+}

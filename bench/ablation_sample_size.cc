@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Extension bench: how the published-output size moves the
+ * Figure 13 convergence curve.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_sample_size.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Extension",
+                  "Stitching convergence vs published-output size");
+
+    SampleSizeParams params;
+    const SampleSizeResult result = runSampleSizeSweep(params);
+    std::fputs(renderSampleSizeSweep(result, params).c_str(),
+               stdout);
+    timer.report();
+    return 0;
+}

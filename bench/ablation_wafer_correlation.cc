@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Extension bench: identification versus wafer-correlated
+ * (mask-dependent) process variation — stress-testing the paper's
+ * Section 2 assumption that chip-local leakage variation dominates.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/ablation_wafer_correlation.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Extension",
+                  "Identification vs wafer-correlated process "
+                  "variation");
+
+    WaferCorrelationParams params;
+    const WaferCorrelationResult result =
+        runWaferCorrelation(params);
+    std::fputs(renderWaferCorrelation(result).c_str(), stdout);
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries.
+ *
+ * Each bench regenerates one table or figure of the paper at full
+ * scale, prints the terminal rendering, and drops raw rows (CSV) and
+ * image artifacts (PGM) under bench_output/.
+ */
+
+#ifndef PCAUSE_BENCH_BENCH_COMMON_HH
+#define PCAUSE_BENCH_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace pcause::bench
+{
+
+/** Ensure and return the artifact output directory. */
+inline std::string
+outputDir()
+{
+    const std::string dir = "bench_output";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment_id, const char *title)
+{
+    std::printf("==============================================="
+                "=============\n");
+    std::printf("Probable Cause reproduction — %s\n", experiment_id);
+    std::printf("%s\n", title);
+    std::printf("==============================================="
+                "=============\n\n");
+}
+
+/** Wall-clock timer for the trailing runtime line. */
+class Timer
+{
+  public:
+    Timer() : start(std::chrono::steady_clock::now()) {}
+
+    /** Print "completed in X s". */
+    void report() const
+    {
+        const double secs = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
+        std::printf("\n[completed in %.1f s]\n", secs);
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace pcause::bench
+
+#endif // PCAUSE_BENCH_BENCH_COMMON_HH

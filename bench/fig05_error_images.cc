@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 5 bench: three stored copies of a 200x154 black-and-white
+ * image at 1% error — two from the same chip at different
+ * temperatures, one from a second chip — with PGM artifacts and
+ * error-agreement statistics.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/fig05_error_images.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Figure 5",
+                  "Identical images after storage in approximate "
+                  "memory; (c) is a different chip than (a)/(b)");
+
+    ErrorImageParams params;
+    params.outputDir = bench::outputDir();
+    const ErrorImageResult result = runErrorImages(params);
+    std::fputs(renderErrorImages(result, params).c_str(), stdout);
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 9 bench: between-class distances grouped by temperature
+ * (paper: temperature has no noticeable effect on distance).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/fig09_fig11_grouping.hh"
+#include "util/csv.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Figure 9",
+                  "Histogram of between-class pair distances "
+                  "grouped by temperature");
+
+    UniquenessParams params; // paper-scale defaults
+    const UniquenessResult result = runUniqueness(params);
+    const auto groups = groupByTemperature(result);
+    std::fputs(renderGroups(result, groups,
+                            "Figure 9: thermal effect on "
+                            "between-class distance",
+                            "temperature (C)", false).c_str(),
+               stdout);
+
+    CsvWriter csv(bench::outputDir() + "/fig09_thermal.csv",
+                  {"temperature", "pairs", "mean", "stddev", "min",
+                   "max"});
+    for (const auto &g : groups) {
+        csv.writeRow(std::vector<double>{
+            g.key, static_cast<double>(g.count), g.mean, g.stddev,
+            g.min, g.max});
+    }
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 10 bench: Venn overlap of one chip's error locations at
+ * 99/95/90% accuracy (paper: rough subset relation with 1 and 32
+ * outliers).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/fig10_failure_order.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Figure 10",
+                  "Overlap of DRAM error locations at different "
+                  "levels of approximation");
+
+    FailureOrderParams params;
+    const FailureOrderResult result = runFailureOrder(params);
+    std::fputs(renderFailureOrder(result, params).c_str(), stdout);
+    timer.report();
+    return 0;
+}

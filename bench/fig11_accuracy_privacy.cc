@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 11 bench: between-class distances grouped by accuracy
+ * (paper: distance shrinks as approximation grows, but stays two
+ * orders above within-class).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/fig09_fig11_grouping.hh"
+#include "util/csv.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Figure 11",
+                  "Histogram of between-class chip distance grouped "
+                  "by approximate memory accuracy");
+
+    UniquenessParams params; // paper-scale defaults
+    const UniquenessResult result = runUniqueness(params);
+    const auto groups = groupByAccuracy(result);
+    std::fputs(renderGroups(result, groups,
+                            "Figure 11: accuracy versus privacy",
+                            "accuracy", true).c_str(),
+               stdout);
+
+    std::printf("within-class ceiling for reference: %.6f\n",
+                result.maxWithin());
+
+    CsvWriter csv(bench::outputDir() + "/fig11_accuracy.csv",
+                  {"accuracy", "pairs", "mean", "stddev", "min",
+                   "max"});
+    for (const auto &g : groups) {
+        csv.writeRow(std::vector<double>{
+            g.key, static_cast<double>(g.count), g.mean, g.stddev,
+            g.min, g.max});
+    }
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 12 bench: the CImg-style gradient edge-detection workload
+ * with its output run through approximate memory; emits input and
+ * output PGMs.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/fig12_edge_detection.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Figure 12",
+                  "Sample input and output of the gradient "
+                  "edge-detection benchmark program");
+
+    EdgeShowcaseParams params;
+    params.outputDir = bench::outputDir();
+    const EdgeShowcaseResult result = runEdgeShowcase(params);
+    std::fputs(renderEdgeShowcase(result, params).c_str(), stdout);
+    timer.report();
+    return 0;
+}

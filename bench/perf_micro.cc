@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Performance microbenchmarks for the hot paths: error-string
+ * extraction, the Algorithm 3 distance (dense and sparse),
+ * fingerprint intersection, full-chip decay simulation, and
+ * modeled-page observation. These bound how fast an attacker can
+ * scan a fingerprint database and how fast the simulator can
+ * generate trials.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/characterize.hh"
+#include "core/distance.hh"
+#include "core/error_string.hh"
+#include "dram/approx_memory.hh"
+#include "dram/modeled_dram.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace pcause;
+
+BitVec
+randomPattern(std::size_t size, std::size_t weight, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVec v(size);
+    while (v.popcount() < weight)
+        v.set(rng.nextBelow(size));
+    return v;
+}
+
+void
+BM_ErrorStringExtraction(benchmark::State &state)
+{
+    const std::size_t bits = state.range(0);
+    const BitVec exact = randomPattern(bits, bits / 2, 1);
+    const BitVec approx = randomPattern(bits, bits / 2, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(errorString(approx, exact));
+    state.SetBytesProcessed(state.iterations() * bits / 8);
+}
+BENCHMARK(BM_ErrorStringExtraction)->Arg(32768)->Arg(262144);
+
+void
+BM_ModifiedJaccardDense(benchmark::State &state)
+{
+    const std::size_t bits = state.range(0);
+    const BitVec fp = randomPattern(bits, bits / 100, 3);
+    const BitVec es = randomPattern(bits, bits / 20, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(modifiedJaccard(es, fp));
+    state.SetBytesProcessed(state.iterations() * bits / 8);
+}
+BENCHMARK(BM_ModifiedJaccardDense)->Arg(32768)->Arg(262144);
+
+void
+BM_ModifiedJaccardSparse(benchmark::State &state)
+{
+    const SparseBitset fp = SparseBitset::fromBitVec(
+        randomPattern(32768, 328, 5));
+    const SparseBitset es = SparseBitset::fromBitVec(
+        randomPattern(32768, 1638, 6));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(modifiedJaccard(es, fp));
+}
+BENCHMARK(BM_ModifiedJaccardSparse);
+
+void
+BM_FingerprintIntersection(benchmark::State &state)
+{
+    const BitVec a = randomPattern(262144, 2621, 7);
+    const BitVec b = randomPattern(262144, 2621, 8);
+    for (auto _ : state) {
+        Fingerprint fp{a};
+        fp.augment(b);
+        benchmark::DoNotOptimize(fp.weight());
+    }
+}
+BENCHMARK(BM_FingerprintIntersection);
+
+void
+BM_FullChipDecayTrial(benchmark::State &state)
+{
+    DramChip chip(DramConfig::km41464a(), 42);
+    ApproxMemory mem(chip, 0.99);
+    const BitVec data = chip.worstCasePattern();
+    std::uint64_t trial = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.roundTrip(data, ++trial));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullChipDecayTrial)->Unit(benchmark::kMillisecond);
+
+void
+BM_ModeledPageObservation(benchmark::State &state)
+{
+    ModeledDramParams params; // 1 GB model
+    ModeledDram dram(params, 43);
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.observePage(page % dram.numPages(), 0.99, page));
+        ++page;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModeledPageObservation);
+
+void
+BM_DatabaseScan(benchmark::State &state)
+{
+    // Scanning a database of whole-chip fingerprints with one error
+    // string: the attacker's identification inner loop.
+    const std::size_t db_size = state.range(0);
+    std::vector<BitVec> fps;
+    for (std::size_t i = 0; i < db_size; ++i)
+        fps.push_back(randomPattern(262144, 2621, 100 + i));
+    const BitVec es = randomPattern(262144, 2621, 99);
+    for (auto _ : state) {
+        double best = 1.0;
+        for (const auto &fp : fps)
+            best = std::min(best, modifiedJaccard(es, fp));
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(state.iterations() * db_size);
+}
+BENCHMARK(BM_DatabaseScan)->Arg(16)->Arg(256);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

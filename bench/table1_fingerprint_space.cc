@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 1 bench: the fingerprint-space model for one page of
+ * memory (M = 32768 bits, A = 1%, T = 10% of A), measured against
+ * the paper's published values.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/tables_model.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Table 1", "Results for a page of memory");
+
+    std::fputs(renderTable1(evaluateTable1()).c_str(), stdout);
+
+    // Extension: the same model at other fingerprinted sizes, to
+    // show how identifying entropy scales with captured data.
+    std::printf("\nExtension: fingerprint space vs memory size "
+                "(A = 1%%, T = 10%% of A)\n\n");
+    std::printf("%-14s %-18s %-16s\n", "memory bits",
+                "max fingerprints", "entropy (bits)");
+    for (std::uint64_t m : {8192ull, 32768ull, 262144ull,
+                            1048576ull}) {
+        const auto p = FingerprintSpaceParams::fromAccuracy(m, 0.99);
+        const auto r = evaluateFingerprintSpace(p);
+        std::printf("%-14llu 10^%-15.1f %-16.0f\n",
+                    (unsigned long long)m, r.log10MaxFingerprints,
+                    r.entropyBitsFloor);
+    }
+    timer.report();
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Table 2 bench: chance of mismatching two pages of memory at
+ * 99/95/90% accuracy, against the paper's published bounds.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "experiments/tables_model.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    bench::Timer timer;
+    bench::banner("Table 2",
+                  "Chance of mismatching two pages of memory for "
+                  "different accuracies");
+
+    std::fputs(renderTable2(evaluateTable2()).c_str(), stdout);
+    std::printf("\nDecreasing accuracy causes an exponential "
+                "increase in fingerprint state space.\n");
+    timer.report();
+    return 0;
+}

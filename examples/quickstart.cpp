@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: the whole Probable Cause pipeline in one page.
+ *
+ * Simulates two approximate-DRAM systems, fingerprints both, then
+ * deanonymizes a fresh approximate output — showing the core API:
+ * Platform/TestHarness (simulated hardware), characterize
+ * (Algorithm 1), and identify (Algorithm 2).
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/characterize.hh"
+#include "core/error_string.hh"
+#include "core/identify.hh"
+#include "platform/platform.hh"
+
+using namespace pcause;
+
+int
+main()
+{
+    // --- Simulated hardware -------------------------------------
+    // A bench with two KM41464A chips, a thermal chamber, and a
+    // power supply — the paper's Section 6 rig. Chip identity comes
+    // from manufacturing seeds (process variation).
+    Platform platform = Platform::legacy(/*num_chips=*/2);
+    std::printf("manufactured %zu chips of %s (%zu bits each)\n\n",
+                platform.numChips(),
+                platform.chip(0).config().name.c_str(),
+                platform.chip(0).size());
+
+    // --- Step 1: characterize (Algorithm 1) ---------------------
+    // Collect three worst-case approximate outputs per chip at 1%
+    // error and intersect their error patterns.
+    FingerprintDb db;
+    const BitVec exact = platform.chip(0).worstCasePattern();
+    std::uint64_t trial = 0;
+    for (unsigned c = 0; c < platform.numChips(); ++c) {
+        TestHarness harness = platform.harness(c);
+        std::vector<BitVec> outputs;
+        for (unsigned k = 0; k < 3; ++k) {
+            TrialSpec spec;
+            spec.accuracy = 0.99;           // "1% error"
+            spec.temp = 40.0 + 10.0 * k;    // vary the environment
+            spec.trialKey = ++trial;
+            outputs.push_back(harness.runWorstCaseTrial(spec).approx);
+        }
+        const Fingerprint fp = characterize(outputs, exact);
+        std::printf("chip %u fingerprint: %zu volatile cells\n", c,
+                    fp.weight());
+        db.add("chip-" + std::to_string(c), fp);
+    }
+
+    // --- Step 2: the victim publishes an approximate output -----
+    // Different accuracy AND different temperature than the
+    // characterization — the fingerprint survives both.
+    TestHarness victim = platform.harness(1);
+    TrialSpec spec;
+    spec.accuracy = 0.95;
+    spec.temp = 55.0;
+    spec.trialKey = ++trial;
+    const BitVec published = victim.runWorstCaseTrial(spec).approx;
+    std::printf("\nvictim (chip 1) published an output at 95%% "
+                "accuracy, 55 C\n");
+
+    // --- Step 3: identify (Algorithm 2) -------------------------
+    const IdentifyResult result = identify(published, exact, db);
+    if (result.match) {
+        std::printf("deanonymized: output came from %s "
+                    "(distance %.5f)\n",
+                    db.record(*result.match).label.c_str(),
+                    result.bestDistance);
+    } else {
+        std::printf("no database match (nearest distance %.5f)\n",
+                    result.bestDistance);
+    }
+
+    // Distances to both fingerprints, showing the two-orders gap.
+    const BitVec es = errorString(published, exact);
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        std::printf("  distance to %s: %.5f\n",
+                    db.record(i).label.c_str(),
+                    modifiedJaccard(es, db.record(i).fingerprint
+                                    .bits()));
+    }
+    return 0;
+}

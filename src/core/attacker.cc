@@ -1,0 +1,80 @@
+#include "core/attacker.hh"
+
+#include "core/characterize.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+SupplyChainAttacker::SupplyChainAttacker(const IdentifyParams &params)
+    : prm(params)
+{
+}
+
+std::size_t
+SupplyChainAttacker::interceptChip(TestHarness &harness,
+                                   const std::string &label,
+                                   unsigned num_outputs, double accuracy,
+                                   const std::vector<Celsius> &temps)
+{
+    PC_ASSERT(num_outputs > 0 && !temps.empty(),
+              "interceptChip: need outputs and temperatures");
+
+    std::vector<BitVec> outputs;
+    outputs.reserve(num_outputs);
+    const BitVec exact = harness.chip().worstCasePattern();
+    for (unsigned i = 0; i < num_outputs; ++i) {
+        TrialSpec spec;
+        spec.accuracy = accuracy;
+        spec.temp = temps[i % temps.size()];
+        spec.trialKey = ++trialCounter;
+        outputs.push_back(harness.runWorstCaseTrial(spec).approx);
+    }
+    return db.add(label, characterize(outputs, exact));
+}
+
+IdentifyResult
+SupplyChainAttacker::attribute(const BitVec &approx,
+                               const BitVec &exact) const
+{
+    return identify(approx, exact, db, prm);
+}
+
+IdentifyResult
+SupplyChainAttacker::attributeWithData(const BitVec &approx,
+                                       const BitVec &exact,
+                                       const DramConfig &config) const
+{
+    return identifyWithData(approx, exact, config, db, prm);
+}
+
+const std::string &
+SupplyChainAttacker::label(std::size_t index) const
+{
+    return db.record(index).label;
+}
+
+EavesdropperAttacker::EavesdropperAttacker(const StitchParams &params)
+    : stitch(params)
+{
+}
+
+std::size_t
+EavesdropperAttacker::observe(const ApproximateSample &sample)
+{
+    return stitch.addSample(sample.pageErrors);
+}
+
+std::optional<std::size_t>
+EavesdropperAttacker::attribute(const ApproximateSample &sample) const
+{
+    return stitch.matchSample(sample.pageErrors);
+}
+
+std::size_t
+EavesdropperAttacker::suspectedMachines() const
+{
+    return stitch.numSuspectedChips();
+}
+
+} // namespace pcause

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * End-to-end attacker pipelines for both threat models (Section 3).
+ *
+ * SupplyChainAttacker models attacker (a): devices are intercepted
+ * and fully characterized before deployment, so any later output is
+ * attributable by a database lookup. EavesdropperAttacker models
+ * attacker (b): only published approximate outputs are available,
+ * and system-level fingerprints must be stitched together from
+ * overlapping samples.
+ */
+
+#ifndef PCAUSE_CORE_ATTACKER_HH
+#define PCAUSE_CORE_ATTACKER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/identify.hh"
+#include "core/stitcher.hh"
+#include "os/commodity_system.hh"
+#include "platform/test_harness.hh"
+
+namespace pcause
+{
+
+/** Threat model (a): supply-chain interception. */
+class SupplyChainAttacker
+{
+  public:
+    explicit SupplyChainAttacker(const IdentifyParams &params = {});
+
+    /**
+     * Characterize an intercepted device: run @p num_outputs
+     * worst-case trials across the given temperatures (the paper
+     * intersects 3 outputs at 1% error and different temperatures)
+     * and store the resulting fingerprint.
+     *
+     * @return index of the new database record
+     */
+    std::size_t interceptChip(TestHarness &harness,
+                              const std::string &label,
+                              unsigned num_outputs = 3,
+                              double accuracy = 0.99,
+                              const std::vector<Celsius> &temps =
+                              {40.0, 50.0, 60.0});
+
+    /** Attribute a public approximate output to an intercepted chip. */
+    IdentifyResult attribute(const BitVec &approx,
+                             const BitVec &exact) const;
+
+    /**
+     * Attribute an output of real (non-worst-case) data: masks the
+     * database fingerprints down to the cells the data charged
+     * (see identifyWithData()).
+     */
+    IdentifyResult attributeWithData(const BitVec &approx,
+                                     const BitVec &exact,
+                                     const DramConfig &config) const;
+
+    /** Label of database record @p index. */
+    const std::string &label(std::size_t index) const;
+
+    /** The accumulated fingerprint database. */
+    const FingerprintDb &database() const { return db; }
+
+  private:
+    IdentifyParams prm;
+    FingerprintDb db;
+    std::uint64_t trialCounter = 0;
+};
+
+/** Threat model (b): post-deployment eavesdropping. */
+class EavesdropperAttacker
+{
+  public:
+    explicit EavesdropperAttacker(const StitchParams &params = {});
+
+    /**
+     * Ingest one captured approximate output. Returns the
+     * system-level fingerprint (cluster) it was folded into.
+     */
+    std::size_t observe(const ApproximateSample &sample);
+
+    /**
+     * Attribute a fresh output to an already-stitched system
+     * without ingesting it.
+     */
+    std::optional<std::size_t>
+    attribute(const ApproximateSample &sample) const;
+
+    /** Current number of suspected distinct machines (Figure 13). */
+    std::size_t suspectedMachines() const;
+
+    /** Underlying stitcher (for statistics and inspection). */
+    const Stitcher &stitcher() const { return stitch; }
+
+  private:
+    Stitcher stitch;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_ATTACKER_HH

@@ -1,0 +1,35 @@
+#include "core/characterize.hh"
+
+#include "core/error_string.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+Fingerprint
+characterize(const std::vector<BitVec> &approx_results,
+             const BitVec &exact)
+{
+    PC_ASSERT(!approx_results.empty(),
+              "characterize: need at least one result");
+    Fingerprint fp;
+    for (const auto &approx : approx_results)
+        fp.augment(errorString(approx, exact));
+    return fp;
+}
+
+Fingerprint
+characterize(const std::vector<BitVec> &approx_results,
+             const std::vector<BitVec> &exact_values)
+{
+    PC_ASSERT(approx_results.size() == exact_values.size(),
+              "characterize: result/exact count mismatch");
+    PC_ASSERT(!approx_results.empty(),
+              "characterize: need at least one result");
+    Fingerprint fp;
+    for (std::size_t i = 0; i < approx_results.size(); ++i)
+        fp.augment(errorString(approx_results[i], exact_values[i]));
+    return fp;
+}
+
+} // namespace pcause

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Chip characterization (paper Algorithm 1).
+ *
+ * Characterization turns a set of approximate results from one chip
+ * into that chip's fingerprint: XOR each result with its exact
+ * value, then intersect the error strings. Used directly by the
+ * supply-chain attacker, who controls the chip and its inputs.
+ */
+
+#ifndef PCAUSE_CORE_CHARACTERIZE_HH
+#define PCAUSE_CORE_CHARACTERIZE_HH
+
+#include <vector>
+
+#include "core/fingerprint.hh"
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/**
+ * Algorithm 1 (CHARACTERIZE): fingerprint a chip from approximate
+ * results sharing one exact value.
+ *
+ * @param approx_results  approximate outputs of the chip
+ * @param exact           the value each result should have held
+ */
+Fingerprint characterize(const std::vector<BitVec> &approx_results,
+                         const BitVec &exact);
+
+/**
+ * Generalization for results with per-result exact values (the
+ * eavesdropping attacker rarely sees the same data twice).
+ */
+Fingerprint characterize(const std::vector<BitVec> &approx_results,
+                         const std::vector<BitVec> &exact_values);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_CHARACTERIZE_HH

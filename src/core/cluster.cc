@@ -1,0 +1,68 @@
+#include "core/cluster.hh"
+
+#include "core/error_string.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+OnlineClusterer::OnlineClusterer(const ClusterParams &params)
+    : prm(params)
+{
+}
+
+std::size_t
+OnlineClusterer::addErrorString(const BitVec &error_string)
+{
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        const double d = distance(prm.metric, error_string,
+                                  clusters[i].bits());
+        if (d < prm.threshold) {
+            // Algorithm 4 line 7: augment the matching cluster's
+            // fingerprint by intersection.
+            clusters[i].augment(error_string);
+            history.push_back(i);
+            return i;
+        }
+    }
+    clusters.emplace_back(error_string);
+    history.push_back(clusters.size() - 1);
+    return clusters.size() - 1;
+}
+
+std::size_t
+OnlineClusterer::add(const BitVec &approx, const BitVec &exact)
+{
+    return addErrorString(errorString(approx, exact));
+}
+
+const Fingerprint &
+OnlineClusterer::fingerprint(std::size_t i) const
+{
+    PC_ASSERT(i < clusters.size(), "cluster index out of range");
+    return clusters[i];
+}
+
+FingerprintDb
+OnlineClusterer::toDatabase(const std::string &label_prefix) const
+{
+    FingerprintDb db;
+    for (std::size_t i = 0; i < clusters.size(); ++i)
+        db.add(label_prefix + std::to_string(i), clusters[i]);
+    return db;
+}
+
+FingerprintDb
+cluster(const std::vector<BitVec> &approx_results, const BitVec &exact,
+        const ClusterParams &params,
+        std::vector<std::size_t> *assignments_out)
+{
+    OnlineClusterer clusterer(params);
+    for (const auto &approx : approx_results)
+        clusterer.add(approx, exact);
+    if (assignments_out)
+        *assignments_out = clusterer.assignments();
+    return clusterer.toDatabase();
+}
+
+} // namespace pcause

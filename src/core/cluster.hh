@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Online clustering of approximate outputs (paper Algorithm 4).
+ *
+ * For the eavesdropping attacker, who has not pre-characterized any
+ * chip: each incoming error string is compared to the fingerprints
+ * of existing clusters; a hit augments that cluster's fingerprint
+ * by intersection, a miss opens a new cluster. The cluster set *is*
+ * the discovered fingerprint database.
+ */
+
+#ifndef PCAUSE_CORE_CLUSTER_HH
+#define PCAUSE_CORE_CLUSTER_HH
+
+#include <vector>
+
+#include "core/distance.hh"
+#include "core/fingerprint.hh"
+#include "core/identify.hh"
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/** Tunables for clustering. */
+struct ClusterParams
+{
+    double threshold = 0.1;  //!< same scale as identification
+    DistanceMetric metric = DistanceMetric::ModifiedJaccard;
+};
+
+/** Incremental Algorithm 4 state. */
+class OnlineClusterer
+{
+  public:
+    explicit OnlineClusterer(const ClusterParams &params = {});
+
+    /**
+     * Assign one error string to a cluster, creating a new cluster
+     * when nothing matches. Returns the cluster index.
+     */
+    std::size_t addErrorString(const BitVec &error_string);
+
+    /** Convenience: derive the error string, then add it. */
+    std::size_t add(const BitVec &approx, const BitVec &exact);
+
+    /** Number of clusters discovered so far. */
+    std::size_t numClusters() const { return clusters.size(); }
+
+    /** Fingerprint of cluster @p i. */
+    const Fingerprint &fingerprint(std::size_t i) const;
+
+    /** Cluster index assigned to each added error string, in order. */
+    const std::vector<std::size_t> &assignments() const
+    {
+        return history;
+    }
+
+    /** Export the clusters as an identification database. */
+    FingerprintDb toDatabase(const std::string &label_prefix =
+                             "cluster-") const;
+
+  private:
+    ClusterParams prm;
+    std::vector<Fingerprint> clusters;
+    std::vector<std::size_t> history;
+};
+
+/**
+ * Batch Algorithm 4 (CLUSTER): cluster @p approx_results sharing
+ * one exact value and return the discovered fingerprint database.
+ * @p assignments_out, when non-null, receives per-result cluster
+ * indices.
+ */
+FingerprintDb cluster(const std::vector<BitVec> &approx_results,
+                      const BitVec &exact,
+                      const ClusterParams &params = {},
+                      std::vector<std::size_t> *assignments_out =
+                      nullptr);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_CLUSTER_HH

@@ -1,0 +1,49 @@
+#include "core/defenses.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+BitVec
+applySegregation(const BitVec &approx, const BitVec &exact,
+                 const BitVec &sensitive_mask)
+{
+    PC_ASSERT(approx.size() == exact.size() &&
+              approx.size() == sensitive_mask.size(),
+              "applySegregation: size mismatch");
+    // published = (exact AND mask) OR (approx AND NOT mask)
+    BitVec published = approx;
+    for (auto bit : sensitive_mask.setBits())
+        published.set(bit, exact.get(bit));
+    return published;
+}
+
+double
+segregationEnergyCost(const BitVec &sensitive_mask)
+{
+    PC_ASSERT(!sensitive_mask.empty(), "empty segregation mask");
+    return static_cast<double>(sensitive_mask.popcount()) /
+        sensitive_mask.size();
+}
+
+BitVec
+addNoiseDefense(const BitVec &approx, double flip_rate, Rng &rng)
+{
+    PC_ASSERT(flip_rate >= 0.0 && flip_rate <= 1.0,
+              "flip_rate out of range");
+    BitVec out = approx;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (rng.chance(flip_rate))
+            out.set(i, !out.get(i));
+    }
+    return out;
+}
+
+double
+noiseQualityCost(double flip_rate)
+{
+    return flip_rate;
+}
+
+} // namespace pcause

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Defenses against fingerprinting (paper Section 8.2).
+ *
+ * Three mitigations are modeled so their costs and (partial)
+ * effectiveness can be measured: data segregation (8.2.1), noise
+ * addition (8.2.2), and page-level address scrambling (8.2.3 — the
+ * placement policy lives in os/allocator; the helpers here quantify
+ * its effect on stitching).
+ */
+
+#ifndef PCAUSE_CORE_DEFENSES_HH
+#define PCAUSE_CORE_DEFENSES_HH
+
+#include <cstdint>
+
+#include "util/bitvec.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+/**
+ * Section 8.2.1 — data segregation: sensitive data is stored in an
+ * exactly-refreshed region. Given the approximate output and the
+ * exact data, rebuild what the system would publish when bits under
+ * @p sensitive_mask are stored exactly.
+ *
+ * The cost is the resource split the paper criticizes: the
+ * sensitive fraction forfeits all refresh-energy savings.
+ */
+BitVec applySegregation(const BitVec &approx, const BitVec &exact,
+                        const BitVec &sensitive_mask);
+
+/** Fraction of refresh-energy saving forfeited by segregation. */
+double segregationEnergyCost(const BitVec &sensitive_mask);
+
+/**
+ * Section 8.2.2 — noise addition: flip each published bit with
+ * probability @p flip_rate. Degrades output quality for the user
+ * while only diluting the fingerprint for the attacker ("adding
+ * noise only slows the attacker down").
+ */
+BitVec addNoiseDefense(const BitVec &approx, double flip_rate,
+                       Rng &rng);
+
+/**
+ * Expected extra output error introduced by the noise defense, for
+ * the quality-cost axis of the defense bench.
+ */
+double noiseQualityCost(double flip_rate);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_DEFENSES_HH

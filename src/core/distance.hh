@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Distance metrics between error patterns (paper Algorithm 3).
+ *
+ * The paper's metric is a modified Jaccard index: count the
+ * fingerprint's error bits that are absent from the observed error
+ * string, normalized to a [0,1] range. Crucially it ignores *extra*
+ * errors in the observation, so a chip characterized at 99%
+ * accuracy still matches its own outputs produced at 95% — the
+ * failure mode that sinks plain Hamming distance (Section 5.2).
+ *
+ * Plain Jaccard and normalized Hamming are provided for the
+ * ablation bench that justifies the design choice.
+ */
+
+#ifndef PCAUSE_CORE_DISTANCE_HH
+#define PCAUSE_CORE_DISTANCE_HH
+
+#include "util/bitvec.hh"
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+
+/**
+ * The paper's Algorithm 3 on dense bit vectors.
+ *
+ * Computes |fingerprint \ errorString| / |fingerprint| after the
+ * footnote-2 swap rule: whichever operand has fewer set bits plays
+ * the fingerprint role, so the metric is symmetric in practice and
+ * robust to approximation-level mismatch. Returns a value in
+ * [0,1]; two empty operands are defined as distance 0. (The paper's
+ * prose normalizes by the fingerprint weight; its pseudocode by the
+ * error-string weight — the prose version is the one that matches
+ * the published figures, and is what this function implements.)
+ */
+double modifiedJaccard(const BitVec &error_string,
+                       const BitVec &fingerprint);
+
+/** Algorithm 3 on sparse page-level patterns. */
+double modifiedJaccard(const SparseBitset &error_string,
+                       const SparseBitset &fingerprint);
+
+/** Classic Jaccard distance 1 - |A∩B| / |A∪B| (ablation baseline). */
+double jaccardDistance(const BitVec &a, const BitVec &b);
+
+/**
+ * Hamming distance normalized by vector length (the naive metric
+ * the paper argues against in Section 5.2).
+ */
+double normalizedHamming(const BitVec &a, const BitVec &b);
+
+/** Ablation-selectable metric kinds. */
+enum class DistanceMetric
+{
+    ModifiedJaccard, //!< the paper's Algorithm 3
+    Jaccard,         //!< classic Jaccard distance
+    Hamming,         //!< normalized Hamming distance
+};
+
+/** Dispatch on @p metric. */
+double distance(DistanceMetric metric, const BitVec &a, const BitVec &b);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_DISTANCE_HH

@@ -1,0 +1,61 @@
+#include "core/error_localization.hh"
+
+#include "core/error_string.hh"
+#include "image/filters.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+BitVec
+localizeByRecompute(const BitVec &approx_output, const Image &input,
+                    const std::function<Image(const Image &)> &compute)
+{
+    const Image exact = compute(input);
+    PC_ASSERT(exact.bitSize() == approx_output.size(),
+              "localizeByRecompute: output size mismatch");
+    return errorString(approx_output, exact.toBits());
+}
+
+BitVec
+localizeByDenoising(const Image &approx_image, unsigned radius)
+{
+    const Image estimate = medianFilter(approx_image, radius);
+    // Bits that disagree with the denoised estimate are the decay
+    // candidates; smooth regions localize exactly, busy regions
+    // contribute some false positives (quantified by
+    // scoreLocalization in the evaluation).
+    return errorString(approx_image.toBits(), estimate.toBits());
+}
+
+std::optional<std::pair<std::size_t, IdentifyResult>>
+localizeSpeculative(const std::vector<BitVec> &candidates,
+                    const FingerprintDb &db,
+                    const IdentifyParams &params)
+{
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        IdentifyResult res =
+            identifyErrorString(candidates[i], db, params);
+        if (res.match)
+            return std::make_pair(i, res);
+    }
+    return std::nullopt;
+}
+
+LocalizationQuality
+scoreLocalization(const BitVec &flagged, const BitVec &truth)
+{
+    PC_ASSERT(flagged.size() == truth.size(),
+              "scoreLocalization: size mismatch");
+    const std::size_t hit = flagged.overlapCount(truth);
+    const std::size_t n_flagged = flagged.popcount();
+    const std::size_t n_actual = truth.popcount();
+    LocalizationQuality q;
+    q.flagged = n_flagged;
+    q.actual = n_actual;
+    q.precision = n_flagged ? static_cast<double>(hit) / n_flagged : 1.0;
+    q.recall = n_actual ? static_cast<double>(hit) / n_actual : 1.0;
+    return q;
+}
+
+} // namespace pcause

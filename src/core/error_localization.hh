@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error localization (paper Section 8.3).
+ *
+ * Every result in the paper assumes the attacker knows which bits of
+ * an approximate output are erroneous. Section 8.3 sketches three
+ * ways to get there from the approximate output alone; all three
+ * are implemented here:
+ *
+ * 1. Known-input recomputation: when the output is a computation
+ *    over known inputs, recompute the exact output and XOR.
+ * 2. Noise estimation: approximate-DRAM error looks like salt
+ *    noise; a denoising filter (median) estimates the exact image
+ *    and flags candidate error bits.
+ * 3. Speculative matching: run identification over candidate error
+ *    sets and accept whichever lands below the distance threshold.
+ */
+
+#ifndef PCAUSE_CORE_ERROR_LOCALIZATION_HH
+#define PCAUSE_CORE_ERROR_LOCALIZATION_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/identify.hh"
+#include "image/image.hh"
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/** Quality of a localization against ground truth. */
+struct LocalizationQuality
+{
+    double precision;  //!< flagged bits that are real errors
+    double recall;     //!< real errors that were flagged
+    std::size_t flagged;
+    std::size_t actual;
+};
+
+/**
+ * Technique 1: recompute the exact output from known inputs.
+ *
+ * @param approx_output  the published approximate output
+ * @param input          the (known) computation input
+ * @param compute        the computation the victim ran
+ * @return the localized error bitstring
+ */
+BitVec localizeByRecompute(const BitVec &approx_output,
+                           const Image &input,
+                           const std::function<Image(const Image &)>
+                           &compute);
+
+/**
+ * Technique 2: estimate the exact image by denoising the
+ * approximate one (median filter), then flag differing bits.
+ *
+ * @param approx_image  image rebuilt from the approximate output
+ * @param radius        median window radius
+ */
+BitVec localizeByDenoising(const Image &approx_image,
+                           unsigned radius = 1);
+
+/**
+ * Technique 3: speculative matching — test candidate error strings
+ * against the fingerprint database and return the first candidate
+ * index that identifies a chip, with the identification result.
+ */
+std::optional<std::pair<std::size_t, IdentifyResult>>
+localizeSpeculative(const std::vector<BitVec> &candidates,
+                    const FingerprintDb &db,
+                    const IdentifyParams &params = {});
+
+/** Score a localization against the true error string. */
+LocalizationQuality scoreLocalization(const BitVec &flagged,
+                                      const BitVec &truth);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_ERROR_LOCALIZATION_HH

@@ -1,0 +1,42 @@
+#include "core/error_string.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+BitVec
+errorString(const BitVec &approx, const BitVec &exact)
+{
+    PC_ASSERT(approx.size() == exact.size(),
+              "errorString: size mismatch");
+    return approx ^ exact;
+}
+
+double
+errorRate(const BitVec &approx, const BitVec &exact)
+{
+    PC_ASSERT(!approx.empty(), "errorRate of empty data");
+    return static_cast<double>(approx.hammingDistance(exact)) /
+        approx.size();
+}
+
+BitVec
+maskableCells(const BitVec &exact, const DramConfig &config)
+{
+    PC_ASSERT(exact.size() == config.totalBits(),
+              "maskableCells: size mismatch");
+    BitVec out(exact.size());
+    for (std::size_t row = 0; row < config.rows; ++row) {
+        const bool def = config.defaultBit(row);
+        const std::size_t begin = row * config.rowBits();
+        for (std::size_t i = 0; i < config.rowBits(); ++i) {
+            const std::size_t cell = begin + i;
+            if (exact.get(cell) != def)
+                out.set(cell);
+        }
+    }
+    return out;
+}
+
+} // namespace pcause

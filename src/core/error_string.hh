@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Error-bitstring extraction.
+ *
+ * Every Probable Cause algorithm consumes "error strings": the XOR
+ * of an approximate output with its exact counterpart, marking the
+ * bit positions that decayed. With real (non-worst-case) data only
+ * cells written opposite their row's default value hold charge, so
+ * the observable errors are a data-dependent subset of the chip's
+ * volatile cells; maskableCells() exposes that mask for analyses
+ * that need it.
+ */
+
+#ifndef PCAUSE_CORE_ERROR_STRING_HH
+#define PCAUSE_CORE_ERROR_STRING_HH
+
+#include "dram/dram_config.hh"
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/**
+ * Error string of an approximate output: bit i is set iff the
+ * output differs from the exact value at i (paper Algorithm 1,
+ * line 2; Algorithm 2, line 1).
+ */
+BitVec errorString(const BitVec &approx, const BitVec &exact);
+
+/** Fraction of differing bits between @p approx and @p exact. */
+double errorRate(const BitVec &approx, const BitVec &exact);
+
+/**
+ * Cells that @p exact charges on a device laid out per @p config:
+ * exactly the cells able to decay, hence the positions where errors
+ * can possibly appear.
+ */
+BitVec maskableCells(const BitVec &exact, const DramConfig &config);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_ERROR_STRING_HH

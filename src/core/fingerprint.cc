@@ -1,0 +1,26 @@
+#include "core/fingerprint.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+Fingerprint::Fingerprint(BitVec first_error_string)
+    : pattern(std::move(first_error_string)), numSources(1)
+{
+}
+
+void
+Fingerprint::augment(const BitVec &error_string)
+{
+    if (numSources == 0) {
+        pattern = error_string;
+    } else {
+        PC_ASSERT(error_string.size() == pattern.size(),
+                  "augment: size mismatch");
+        pattern &= error_string;
+    }
+    ++numSources;
+}
+
+} // namespace pcause

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory fingerprints.
+ *
+ * A fingerprint is the set of a chip's most volatile cells, learned
+ * as the intersection of error strings from several approximate
+ * outputs (paper Algorithm 1). Intersection suppresses trial noise,
+ * keeps the fingerprint small enough to match lightly approximated
+ * outputs, and is cheap to update online — the properties Section
+ * 5.1 calls out.
+ */
+
+#ifndef PCAUSE_CORE_FINGERPRINT_HH
+#define PCAUSE_CORE_FINGERPRINT_HH
+
+#include <cstdint>
+
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/** A whole-memory fingerprint plus its provenance. */
+class Fingerprint
+{
+  public:
+    /** Empty fingerprint (matches nothing). */
+    Fingerprint() = default;
+
+    /** Seed a fingerprint from a first error string. */
+    explicit Fingerprint(BitVec first_error_string);
+
+    /** The volatile-cell positions (set bits). */
+    const BitVec &bits() const { return pattern; }
+
+    /** Number of error strings folded in. */
+    unsigned sources() const { return numSources; }
+
+    /** Number of volatile cells in the fingerprint. */
+    std::size_t weight() const { return pattern.popcount(); }
+
+    /** True before any error string has been folded in. */
+    bool empty() const { return numSources == 0; }
+
+    /**
+     * Fold another error string in by intersection (Algorithm 1,
+     * line 3; Algorithm 4, line 7). Only cells that failed in every
+     * observation survive, "keeping only the most volatile bits."
+     */
+    void augment(const BitVec &error_string);
+
+  private:
+    BitVec pattern;
+    unsigned numSources = 0;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_FINGERPRINT_HH

@@ -1,0 +1,126 @@
+#include "core/identify.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error_string.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+std::size_t
+FingerprintDb::add(ChipLabel label, Fingerprint fp)
+{
+    records.push_back({std::move(label), std::move(fp)});
+    return records.size() - 1;
+}
+
+const FingerprintRecord &
+FingerprintDb::record(std::size_t i) const
+{
+    PC_ASSERT(i < records.size(), "FingerprintDb index out of range");
+    return records[i];
+}
+
+FingerprintRecord &
+FingerprintDb::record(std::size_t i)
+{
+    PC_ASSERT(i < records.size(), "FingerprintDb index out of range");
+    return records[i];
+}
+
+IdentifyResult
+identifyErrorString(const BitVec &error_string, const FingerprintDb &db,
+                    const IdentifyParams &params)
+{
+    IdentifyResult res;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        const double d = distance(params.metric, error_string,
+                                  db.record(i).fingerprint.bits());
+        if (!res.nearest || d < res.bestDistance) {
+            res.nearest = i;
+            res.bestDistance = d;
+        }
+        if (d < params.threshold) {
+            if (params.firstMatch) {
+                // Algorithm 2 line 4: return the first hit.
+                res.match = i;
+                res.bestDistance = d;
+                res.nearest = i;
+                return res;
+            }
+            res.match = res.nearest;
+        }
+    }
+    if (res.match)
+        res.match = res.nearest;
+    return res;
+}
+
+IdentifyResult
+identify(const BitVec &approx, const BitVec &exact,
+         const FingerprintDb &db, const IdentifyParams &params)
+{
+    return identifyErrorString(errorString(approx, exact), db, params);
+}
+
+IdentifyResult
+identifyWithData(const BitVec &approx, const BitVec &exact,
+                 const DramConfig &config, const FingerprintDb &db,
+                 const IdentifyParams &params)
+{
+    const BitVec es = errorString(approx, exact);
+    const BitVec mask = maskableCells(exact, config);
+
+    IdentifyResult res;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        const BitVec masked_fp =
+            db.record(i).fingerprint.bits() & mask;
+        if (masked_fp.none()) {
+            // The data charges none of this fingerprint's cells:
+            // the output carries no evidence about this chip either
+            // way, so it must not match (an empty-vs-empty compare
+            // would report distance zero).
+            continue;
+        }
+        const double d = distance(params.metric, es, masked_fp);
+        if (!res.nearest || d < res.bestDistance) {
+            res.nearest = i;
+            res.bestDistance = d;
+        }
+        if (d < params.threshold) {
+            if (params.firstMatch) {
+                res.match = i;
+                res.bestDistance = d;
+                res.nearest = i;
+                return res;
+            }
+            res.match = res.nearest;
+        }
+    }
+    if (res.match)
+        res.match = res.nearest;
+    return res;
+}
+
+double
+calibrateThreshold(const std::vector<double> &within_class,
+                   const std::vector<double> &between_class)
+{
+    PC_ASSERT(!within_class.empty() && !between_class.empty(),
+              "calibrateThreshold: need both classes");
+    const double w_max =
+        *std::max_element(within_class.begin(), within_class.end());
+    const double b_min =
+        *std::min_element(between_class.begin(), between_class.end());
+    if (w_max >= b_min)
+        fatal("calibrateThreshold: classes overlap (within max %.4f >= "
+              "between min %.4f)", w_max, b_min);
+    // Geometric midpoint keeps equal multiplicative margin on both
+    // sides; guard the degenerate all-zero within-class case.
+    const double w_floor = std::max(w_max, 1e-9);
+    return std::sqrt(w_floor * b_min);
+}
+
+} // namespace pcause

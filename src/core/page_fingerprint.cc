@@ -1,0 +1,63 @@
+#include "core/page_fingerprint.hh"
+
+#include "core/distance.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+PageFingerprint::PageFingerprint(SparseBitset first_observation)
+    : pattern(std::move(first_observation)), numSources(1)
+{
+}
+
+void
+PageFingerprint::augment(const SparseBitset &observation,
+                         unsigned max_sources)
+{
+    if (numSources == 0)
+        pattern = observation;
+    else if (numSources < max_sources)
+        pattern = pattern.intersect(observation);
+    ++numSources;
+}
+
+double
+PageFingerprint::distanceTo(const SparseBitset &observation) const
+{
+    return modifiedJaccard(observation, pattern);
+}
+
+std::vector<std::uint64_t>
+PageFingerprint::matchKeys(const SparseBitset &observation)
+{
+    const auto &pos = observation.positions();
+    std::vector<std::uint64_t> keys;
+    if (pos.size() < 3)
+        return keys;
+
+    // All 3-subsets of the 4 smallest positions (or the single
+    // triple when only 3 exist). Positions are sorted, so subsets
+    // are emitted in canonical order and hash deterministically.
+    const std::size_t n = pos.size() >= 4 ? 4 : 3;
+    for (std::size_t skip = 0; skip < n; ++skip) {
+        std::uint64_t h = 0x9e3779b97f4a7c15ull;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == skip && n == 4)
+                continue;
+            h = mix64(h, pos[i]);
+        }
+        keys.push_back(h);
+        if (n == 3)
+            break; // only one triple exists
+    }
+    return keys;
+}
+
+std::vector<std::uint64_t>
+PageFingerprint::matchKeys() const
+{
+    return matchKeys(pattern);
+}
+
+} // namespace pcause

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Page-granularity fingerprints.
+ *
+ * The eavesdropping attacker never sees whole memories — only
+ * outputs spanning some pages. PageFingerprint is the 4 KB unit the
+ * stitcher works with: a sparse volatile-cell set plus the match
+ * keys used to find other observations of the same physical page
+ * quickly (an exact-match index over the page's most volatile
+ * cells, robust to single-cell flicker).
+ */
+
+#ifndef PCAUSE_CORE_PAGE_FINGERPRINT_HH
+#define PCAUSE_CORE_PAGE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+
+/** Fingerprint of a single memory page. */
+class PageFingerprint
+{
+  public:
+    PageFingerprint() = default;
+
+    /** Seed from a first observed error set. */
+    explicit PageFingerprint(SparseBitset first_observation);
+
+    /** The volatile-cell positions. */
+    const SparseBitset &bits() const { return pattern; }
+
+    /** Number of observations folded in. */
+    unsigned sources() const { return numSources; }
+
+    /** Number of volatile cells recorded. */
+    std::size_t weight() const { return pattern.count(); }
+
+    /**
+     * Fold another observation in by intersection, as Algorithm 1
+     * does at memory scale. Intersection stops after
+     * @p max_sources observations so that accumulated flicker
+     * cannot erode the fingerprint (the paper builds fingerprints
+     * from 3 outputs).
+     */
+    void augment(const SparseBitset &observation,
+                 unsigned max_sources = 5);
+
+    /** Algorithm 3 distance to an observed error set. */
+    double distanceTo(const SparseBitset &observation) const;
+
+    /**
+     * Exact-match index keys: hashes of every 3-subset of the
+     * page's 4 most volatile cells. Two observations of the same
+     * page share at least one key unless two of those four cells
+     * flickered simultaneously (~0.2% of observations). Pages with
+     * fewer than 3 volatile cells produce no keys and are
+     * unmatchable — mirroring the paper's note that very lightly
+     * approximated data carries little identifying signal.
+     */
+    std::vector<std::uint64_t> matchKeys() const;
+
+    /** Match keys of a raw observation (same scheme). */
+    static std::vector<std::uint64_t>
+    matchKeys(const SparseBitset &observation);
+
+  private:
+    SparseBitset pattern;
+    unsigned numSources = 0;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_PAGE_FINGERPRINT_HH

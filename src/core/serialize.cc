@@ -1,0 +1,186 @@
+#include "core/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+constexpr char dbMagic[4] = {'P', 'C', 'D', 'B'};
+constexpr std::uint32_t dbVersion = 1;
+
+template <typename T>
+void
+writeScalar(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readScalar(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!in)
+        fatal("loadDatabase: truncated input");
+    return value;
+}
+
+} // anonymous namespace
+
+bool
+saveDatabase(const FingerprintDb &db, std::ostream &out)
+{
+    out.write(dbMagic, sizeof(dbMagic));
+    writeScalar<std::uint32_t>(out, dbVersion);
+    writeScalar<std::uint64_t>(out, db.size());
+
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        const FingerprintRecord &rec = db.record(i);
+        writeScalar<std::uint32_t>(
+            out, static_cast<std::uint32_t>(rec.label.size()));
+        out.write(rec.label.data(),
+                  static_cast<std::streamsize>(rec.label.size()));
+        writeScalar<std::uint32_t>(out, rec.fingerprint.sources());
+        writeScalar<std::uint64_t>(out, rec.fingerprint.bits().size());
+
+        const auto positions = rec.fingerprint.bits().setBits();
+        writeScalar<std::uint64_t>(out, positions.size());
+        for (auto pos : positions)
+            writeScalar<std::uint32_t>(
+                out, static_cast<std::uint32_t>(pos));
+    }
+    return out.good();
+}
+
+bool
+saveDatabase(const FingerprintDb &db, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    return saveDatabase(db, out);
+}
+
+FingerprintDb
+loadDatabase(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, dbMagic, sizeof(dbMagic)) != 0)
+        fatal("loadDatabase: not a Probable Cause database");
+    const auto version = readScalar<std::uint32_t>(in);
+    if (version != dbVersion)
+        fatal("loadDatabase: unsupported version %u", version);
+
+    FingerprintDb db;
+    const auto count = readScalar<std::uint64_t>(in);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto label_len = readScalar<std::uint32_t>(in);
+        std::string label(label_len, '\0');
+        in.read(label.data(), label_len);
+        if (!in)
+            fatal("loadDatabase: truncated label");
+
+        const auto sources = readScalar<std::uint32_t>(in);
+        const auto universe = readScalar<std::uint64_t>(in);
+        const auto positions = readScalar<std::uint64_t>(in);
+
+        BitVec bits(universe);
+        for (std::uint64_t p = 0; p < positions; ++p) {
+            const auto pos = readScalar<std::uint32_t>(in);
+            if (pos >= universe)
+                fatal("loadDatabase: position beyond universe");
+            bits.set(pos);
+        }
+
+        // Rebuild the fingerprint with its source count: seed then
+        // self-augment (intersection with itself is the identity).
+        Fingerprint fp(bits);
+        for (std::uint32_t s = 1; s < sources; ++s)
+            fp.augment(bits);
+        db.add(std::move(label), std::move(fp));
+    }
+    return db;
+}
+
+FingerprintDb
+loadDatabase(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("loadDatabase: cannot open %s", path.c_str());
+    return loadDatabase(in);
+}
+
+bool
+saveBitVec(const BitVec &bits, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write("PCBV", 4);
+    writeScalar<std::uint32_t>(out, 1);
+    writeScalar<std::uint64_t>(out, bits.size());
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits.get(i))
+            byte |= static_cast<std::uint8_t>(1u << (i % 8));
+        if (i % 8 == 7 || i + 1 == bits.size()) {
+            out.put(static_cast<char>(byte));
+            byte = 0;
+        }
+    }
+    return out.good();
+}
+
+BitVec
+loadBitVec(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("loadBitVec: cannot open %s", path.c_str());
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, "PCBV", 4) != 0)
+        fatal("loadBitVec: %s is not a bit-vector dump",
+              path.c_str());
+    const auto version = readScalar<std::uint32_t>(in);
+    if (version != 1)
+        fatal("loadBitVec: unsupported version %u", version);
+    const auto nbits = readScalar<std::uint64_t>(in);
+
+    BitVec bits(nbits);
+    std::uint8_t byte = 0;
+    for (std::uint64_t i = 0; i < nbits; ++i) {
+        if (i % 8 == 0) {
+            int c = in.get();
+            if (c == EOF)
+                fatal("loadBitVec: truncated input");
+            byte = static_cast<std::uint8_t>(c);
+        }
+        if ((byte >> (i % 8)) & 1)
+            bits.set(i);
+    }
+    return bits;
+}
+
+std::size_t
+recordDiskSize(std::size_t weight, std::size_t label_len)
+{
+    return sizeof(std::uint32_t) + label_len   // label
+        + sizeof(std::uint32_t)                // sources
+        + sizeof(std::uint64_t)                // universe
+        + sizeof(std::uint64_t)                // position count
+        + weight * sizeof(std::uint32_t);      // positions
+}
+
+} // namespace pcause

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Persistence for the attacker's fingerprint database.
+ *
+ * Section 4: "Probable Cause stores system-level fingerprints in a
+ * database equal to the size of the fingerprinted region of
+ * memory... it is possible to reduce the storage requirement by
+ * only tracking the fast decaying bits (approximately, 1% of the
+ * bits in a memory)." The on-disk format here does exactly that:
+ * fingerprints are stored as sparse position lists, so a 32 KB
+ * chip's fingerprint costs ~10 KB instead of 32 KB, and scales with
+ * the error budget rather than the memory size.
+ *
+ * Format (little-endian):
+ *   magic "PCDB", u32 version,
+ *   u64 record count, then per record:
+ *     u32 label length, label bytes,
+ *     u32 sources, u64 universe bits,
+ *     u64 position count, u32 positions[]
+ */
+
+#ifndef PCAUSE_CORE_SERIALIZE_HH
+#define PCAUSE_CORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/identify.hh"
+
+namespace pcause
+{
+
+/** Serialize @p db to a stream. Returns false on IO failure. */
+bool saveDatabase(const FingerprintDb &db, std::ostream &out);
+
+/** Serialize @p db to @p path. Returns false on IO failure. */
+bool saveDatabase(const FingerprintDb &db, const std::string &path);
+
+/**
+ * Load a database from a stream. Calls fatal() on malformed or
+ * version-incompatible input; IO truncation is also fatal (a
+ * damaged attacker database is unusable, not recoverable).
+ */
+FingerprintDb loadDatabase(std::istream &in);
+
+/** Load a database from @p path. */
+FingerprintDb loadDatabase(const std::string &path);
+
+/**
+ * On-disk size estimate in bytes for a fingerprint of @p weight
+ * volatile cells with a @p label_len-byte label — the "1% of bits"
+ * storage claim made measurable.
+ */
+std::size_t recordDiskSize(std::size_t weight, std::size_t label_len);
+
+/**
+ * Persist a raw bit vector (approximate outputs, exact patterns)
+ * as a dense dump: magic "PCBV", u32 version, u64 bit count, bytes.
+ * Returns false on IO failure.
+ */
+bool saveBitVec(const BitVec &bits, const std::string &path);
+
+/** Load a bit vector written by saveBitVec. Fatal on bad input. */
+BitVec loadBitVec(const std::string &path);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_SERIALIZE_HH

@@ -1,0 +1,314 @@
+#include "core/stitcher.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+/** One discovered system-level fingerprint. */
+struct Stitcher::Cluster
+{
+    /** Pages keyed by position relative to the cluster origin. */
+    std::map<std::int64_t, PageFingerprint> pages;
+
+    /** Samples folded in. */
+    std::size_t samples = 0;
+};
+
+/** Index payload: a page of some cluster, in that cluster's frame
+ *  at entry-creation time (translated through forwarding later). */
+struct Stitcher::IndexEntry
+{
+    std::size_t cluster;
+    std::int64_t relPos;
+};
+
+Stitcher::Stitcher(const StitchParams &params)
+    : prm(params)
+{
+    if (prm.pageThreshold <= 0.0 || prm.pageThreshold >= 1.0)
+        fatal("Stitcher: pageThreshold must be in (0,1)");
+    if (prm.verifyFraction <= 0.0 || prm.verifyFraction > 1.0)
+        fatal("Stitcher: verifyFraction must be in (0,1]");
+    if (prm.maxBitsPerPage < 4)
+        fatal("Stitcher: maxBitsPerPage must be at least 4");
+}
+
+Stitcher::~Stitcher() = default;
+
+SparseBitset
+Stitcher::truncate(const SparseBitset &obs) const
+{
+    if (obs.count() <= prm.maxBitsPerPage)
+        return obs;
+    // Keep the lowest-indexed positions: within a page all recorded
+    // cells are already the most volatile ~1%, and a deterministic
+    // subset keeps repeated observations of the same page aligned.
+    std::vector<std::uint32_t> kept(
+        obs.positions().begin(),
+        obs.positions().begin() +
+            static_cast<std::ptrdiff_t>(prm.maxBitsPerPage));
+    return SparseBitset(obs.universe(), std::move(kept));
+}
+
+std::size_t
+Stitcher::resolve(std::size_t id) const
+{
+    PC_ASSERT(id < forwarding.size(), "bad cluster id");
+    while (forwarding[id] != id)
+        id = forwarding[id];
+    return id;
+}
+
+std::unordered_map<std::size_t, std::map<std::int64_t, std::size_t>>
+Stitcher::collectVotes(const std::vector<SparseBitset> &pages,
+                       bool count_stats) const
+{
+    std::unordered_map<std::size_t,
+                       std::map<std::int64_t, std::size_t>> votes;
+    auto &stats = const_cast<StitchStats &>(counters);
+
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        const SparseBitset obs = truncate(pages[i]);
+        const auto keys = PageFingerprint::matchKeys(obs);
+        std::set<std::pair<std::size_t, std::int64_t>> seen;
+        for (auto key : keys) {
+            auto it = index.find(key);
+            if (it == index.end())
+                continue;
+            for (const IndexEntry &entry : it->second) {
+                // Translate the entry through any merges since it
+                // was created.
+                std::size_t cid = entry.cluster;
+                std::int64_t pos = entry.relPos;
+                while (forwarding[cid] != cid) {
+                    pos += mergeOffsetOf(cid);
+                    cid = forwarding[cid];
+                }
+                if (!clusters[cid])
+                    continue;
+                if (!seen.insert({cid, pos}).second)
+                    continue;
+                auto page_it = clusters[cid]->pages.find(pos);
+                if (page_it == clusters[cid]->pages.end())
+                    continue;
+                if (count_stats)
+                    ++stats.candidateChecks;
+                const double d = page_it->second.distanceTo(obs);
+                if (d < prm.pageThreshold) {
+                    if (count_stats)
+                        ++stats.pageMatches;
+                    // Sample page i sits at cluster position pos, so
+                    // the sample origin is pos - i.
+                    ++votes[cid][pos - static_cast<std::int64_t>(i)];
+                }
+            }
+        }
+    }
+    return votes;
+}
+
+bool
+Stitcher::verifyAlignment(const std::vector<SparseBitset> &pages,
+                          const Cluster &cluster,
+                          std::int64_t sample_origin) const
+{
+    std::size_t checked = 0, matched = 0;
+    for (std::size_t i = 0;
+         i < pages.size() && checked < prm.maxVerifyPages; ++i) {
+        auto it = cluster.pages.find(
+            sample_origin + static_cast<std::int64_t>(i));
+        if (it == cluster.pages.end())
+            continue;
+        const SparseBitset obs = truncate(pages[i]);
+        if (obs.count() < 3)
+            continue;
+        ++checked;
+        if (it->second.distanceTo(obs) < prm.pageThreshold)
+            ++matched;
+    }
+    return matched >= prm.minVerifyMatches &&
+        static_cast<double>(matched) / checked >= prm.verifyFraction;
+}
+
+void
+Stitcher::indexPage(std::size_t cluster_id, std::int64_t rel_pos,
+                    const PageFingerprint &fp)
+{
+    for (auto key : fp.matchKeys())
+        index[key].push_back({cluster_id, rel_pos});
+}
+
+void
+Stitcher::foldSample(std::size_t cluster_id,
+                     const std::vector<SparseBitset> &pages,
+                     std::int64_t sample_origin)
+{
+    Cluster &c = *clusters[cluster_id];
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        const std::int64_t pos =
+            sample_origin + static_cast<std::int64_t>(i);
+        const SparseBitset obs = truncate(pages[i]);
+        auto it = c.pages.find(pos);
+        if (it != c.pages.end()) {
+            it->second.augment(obs);
+        } else {
+            PageFingerprint fp(obs);
+            indexPage(cluster_id, pos, fp);
+            c.pages.emplace(pos, std::move(fp));
+        }
+    }
+    ++c.samples;
+}
+
+void
+Stitcher::mergeClusters(std::size_t dst, std::size_t src,
+                        std::int64_t src_origin)
+{
+    PC_ASSERT(dst != src, "cannot merge a cluster with itself");
+    Cluster &d = *clusters[dst];
+    Cluster &s = *clusters[src];
+    for (auto &[rel, fp] : s.pages) {
+        const std::int64_t pos = src_origin + rel;
+        auto it = d.pages.find(pos);
+        if (it != d.pages.end()) {
+            it->second.augment(fp.bits());
+        } else {
+            indexPage(dst, pos, fp);
+            d.pages.emplace(pos, std::move(fp));
+        }
+    }
+    d.samples += s.samples;
+    clusters[src].reset();
+    forwarding[src] = dst;
+    mergeOffsets[src] = src_origin;
+    ++counters.merges;
+}
+
+std::size_t
+Stitcher::addSample(const std::vector<SparseBitset> &pages)
+{
+    ++counters.samplesAdded;
+
+    auto votes = collectVotes(pages, true);
+
+    // For every candidate cluster keep its best-supported alignment
+    // and verify it across the full overlap.
+    struct Verified
+    {
+        std::size_t cluster;
+        std::int64_t origin;
+        std::size_t support;
+    };
+    std::vector<Verified> verified;
+    for (const auto &[cid, deltas] : votes) {
+        auto best = std::max_element(
+            deltas.begin(), deltas.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        if (verifyAlignment(pages, *clusters[cid], best->first)) {
+            verified.push_back({cid, best->first, best->second});
+        } else {
+            ++counters.rejectedMerges;
+        }
+    }
+
+    if (verified.empty()) {
+        clusters.push_back(std::make_unique<Cluster>());
+        forwarding.push_back(clusters.size() - 1);
+        mergeOffsets.push_back(0);
+        const std::size_t id = clusters.size() - 1;
+        foldSample(id, pages, 0);
+        return id;
+    }
+
+    // Fold into the largest verified cluster, then pull in any other
+    // verified clusters — the sample is the bridge between them.
+    std::sort(verified.begin(), verified.end(),
+              [this](const Verified &a, const Verified &b) {
+                  return clusters[a.cluster]->pages.size() >
+                      clusters[b.cluster]->pages.size();
+              });
+    const std::size_t dst = verified.front().cluster;
+    const std::int64_t dst_origin = verified.front().origin;
+    foldSample(dst, pages, dst_origin);
+
+    for (std::size_t k = 1; k < verified.size(); ++k) {
+        const std::size_t src = verified[k].cluster;
+        if (resolve(src) == resolve(dst))
+            continue;
+        // The sample sits at dst_origin in dst and at
+        // verified[k].origin in src, so src's frame starts at
+        // dst_origin - verified[k].origin inside dst.
+        mergeClusters(dst, src, dst_origin - verified[k].origin);
+    }
+    return dst;
+}
+
+std::size_t
+Stitcher::numSuspectedChips() const
+{
+    std::size_t n = 0;
+    for (const auto &c : clusters)
+        n += c != nullptr;
+    return n;
+}
+
+std::size_t
+Stitcher::totalFingerprintedPages() const
+{
+    std::size_t n = 0;
+    for (const auto &c : clusters) {
+        if (c)
+            n += c->pages.size();
+    }
+    return n;
+}
+
+std::size_t
+Stitcher::clusterSpan(std::size_t id) const
+{
+    const std::size_t live = resolve(id);
+    return clusters[live] ? clusters[live]->pages.size() : 0;
+}
+
+std::size_t
+Stitcher::clusterSamples(std::size_t id) const
+{
+    const std::size_t live = resolve(id);
+    return clusters[live] ? clusters[live]->samples : 0;
+}
+
+std::optional<std::size_t>
+Stitcher::matchSample(const std::vector<SparseBitset> &pages) const
+{
+    auto votes = collectVotes(pages, false);
+
+    std::optional<std::size_t> best;
+    std::size_t best_support = 0;
+    for (const auto &[cid, deltas] : votes) {
+        auto top = std::max_element(
+            deltas.begin(), deltas.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        if (top->second > best_support &&
+            verifyAlignment(pages, *clusters[cid], top->first)) {
+            best = cid;
+            best_support = top->second;
+        }
+    }
+    return best;
+}
+
+std::int64_t
+Stitcher::mergeOffsetOf(std::size_t id) const
+{
+    return mergeOffsets[id];
+}
+
+} // namespace pcause

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fingerprint stitching (paper Section 4, Figures 4 and 13).
+ *
+ * The stitcher turns a stream of approximate outputs into
+ * system-level fingerprints: each output is a run of page-level
+ * fingerprints at an unknown physical offset; when two outputs
+ * overlap in physical memory, their page fingerprints match and the
+ * outputs are merged into one cluster at a consistent relative
+ * alignment. As samples accumulate, clusters coalesce until one
+ * fingerprint per physical machine remains — the convergence the
+ * paper's Figure 13 plots.
+ *
+ * Matching uses an exact-match key index over each page's most
+ * volatile cells (flicker-tolerant) followed by distance
+ * verification across the full overlap, so false merges require
+ * multiple independent page-level collisions.
+ */
+
+#ifndef PCAUSE_CORE_STITCHER_HH
+#define PCAUSE_CORE_STITCHER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/page_fingerprint.hh"
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+
+/** Stitching tunables. */
+struct StitchParams
+{
+    /** Per-page match threshold on the Algorithm 3 distance. */
+    double pageThreshold = 0.25;
+
+    /**
+     * Fraction of overlapping pages that must match under a
+     * proposed alignment for a merge to be accepted.
+     */
+    double verifyFraction = 0.5;
+
+    /**
+     * Minimum matching pages under a proposed alignment. Two is
+     * the paper's "range of physical memory pages that held both
+     * outputs": a single coinciding page is not a range, and
+     * requiring a range is what keeps page-level ASLR (Section
+     * 8.2.3) effective against the stitcher.
+     */
+    std::size_t minVerifyMatches = 2;
+
+    /** Cap on pages checked during alignment verification. */
+    std::size_t maxVerifyPages = 16;
+
+    /**
+     * Cap on volatile cells stored per page. The paper notes an
+     * attacker can track only "the fast decaying bits
+     * (approximately 1% of the bits)"; truncating to the most
+     * volatile 64 keeps GB-scale experiments in memory without
+     * hurting match quality.
+     */
+    std::size_t maxBitsPerPage = 64;
+};
+
+/** Aggregate statistics of a stitching session. */
+struct StitchStats
+{
+    std::uint64_t samplesAdded = 0;
+    std::uint64_t candidateChecks = 0;  //!< key hits distance-tested
+    std::uint64_t pageMatches = 0;      //!< page pairs under threshold
+    std::uint64_t merges = 0;           //!< cluster unions performed
+    std::uint64_t rejectedMerges = 0;   //!< alignments failing verify
+};
+
+/** Builds system-level fingerprints from overlapping outputs. */
+class Stitcher
+{
+  public:
+    explicit Stitcher(const StitchParams &params = {});
+    ~Stitcher();
+
+    Stitcher(const Stitcher &) = delete;
+    Stitcher &operator=(const Stitcher &) = delete;
+
+    /**
+     * Ingest one approximate output: its pages' observed error
+     * sets, in buffer order. Returns the cluster id the sample
+     * landed in. Cluster ids are stable handles; merged clusters
+     * report the surviving cluster's id thereafter.
+     */
+    std::size_t addSample(const std::vector<SparseBitset> &pages);
+
+    /**
+     * The paper's Figure 13 metric: number of distinct system-level
+     * fingerprints ("suspected chips") currently alive.
+     */
+    std::size_t numSuspectedChips() const;
+
+    /** Total distinct pages recorded across all clusters. */
+    std::size_t totalFingerprintedPages() const;
+
+    /** Pages recorded in cluster @p id (0 when merged away). */
+    std::size_t clusterSpan(std::size_t id) const;
+
+    /** Number of samples folded into cluster @p id. */
+    std::size_t clusterSamples(std::size_t id) const;
+
+    /** Resolve a possibly-merged cluster id to its surviving id. */
+    std::size_t resolve(std::size_t id) const;
+
+    /**
+     * Identification against the stitched database: match a new
+     * output's pages without ingesting them. Returns the cluster id
+     * whose fingerprint region matches, or nullopt — the
+     * post-deployment analogue of Algorithm 2.
+     */
+    std::optional<std::size_t>
+    matchSample(const std::vector<SparseBitset> &pages) const;
+
+    /** Session statistics. */
+    const StitchStats &stats() const { return counters; }
+
+  private:
+    struct Cluster;
+    struct IndexEntry;
+
+    /** Truncate an observation to the most volatile cells kept. */
+    SparseBitset truncate(const SparseBitset &obs) const;
+
+    /** Vote for sample alignments against existing clusters. */
+    std::unordered_map<std::size_t,
+                       std::map<std::int64_t, std::size_t>>
+    collectVotes(const std::vector<SparseBitset> &pages,
+                 bool count_stats) const;
+
+    /** Check a proposed alignment across the sample/cluster overlap. */
+    bool verifyAlignment(const std::vector<SparseBitset> &pages,
+                         const Cluster &cluster,
+                         std::int64_t sample_origin) const;
+
+    /** Fold a sample into a cluster at a verified alignment. */
+    void foldSample(std::size_t cluster_id,
+                    const std::vector<SparseBitset> &pages,
+                    std::int64_t sample_origin);
+
+    /** Merge cluster @p src into @p dst at @p src_origin. */
+    void mergeClusters(std::size_t dst, std::size_t src,
+                       std::int64_t src_origin);
+
+    /** Add index entries for a cluster page. */
+    void indexPage(std::size_t cluster_id, std::int64_t rel_pos,
+                   const PageFingerprint &fp);
+
+    /** Frame shift applied when merged cluster @p id forwarded. */
+    std::int64_t mergeOffsetOf(std::size_t id) const;
+
+    StitchParams prm;
+    StitchStats counters;
+
+    std::vector<std::unique_ptr<Cluster>> clusters;
+    std::vector<std::size_t> forwarding;  //!< merged-id forwarding
+    std::vector<std::int64_t> mergeOffsets; //!< frame shift per merge
+
+    /** match key -> cluster pages bearing that key. */
+    std::unordered_map<std::uint64_t, std::vector<IndexEntry>> index;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_STITCHER_HH

@@ -1,0 +1,60 @@
+#include "dram/approx_memory.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+ApproxMemory::ApproxMemory(DramChip &chip, double accuracy, Celsius t)
+    : dev(chip), controller(accuracy), temp(t)
+{
+}
+
+void
+ApproxMemory::setAccuracy(double accuracy)
+{
+    controller = RefreshController(accuracy);
+}
+
+void
+ApproxMemory::setTemperature(Celsius t)
+{
+    temp = t;
+}
+
+Seconds
+ApproxMemory::refreshInterval() const
+{
+    return controller.analyticInterval(dev.retention(), temp);
+}
+
+double
+ApproxMemory::refreshEnergySavingFactor() const
+{
+    return refreshInterval() / jedecRefreshPeriod;
+}
+
+void
+ApproxMemory::store(const BitVec &data)
+{
+    dev.write(data);
+}
+
+BitVec
+ApproxMemory::load()
+{
+    dev.elapse(refreshInterval(), temp);
+    BitVec out = dev.peek();
+    dev.refreshAll();
+    return out;
+}
+
+BitVec
+ApproxMemory::roundTrip(const BitVec &data, std::uint64_t trial_key)
+{
+    dev.reseedTrial(trial_key);
+    store(data);
+    return load();
+}
+
+} // namespace pcause

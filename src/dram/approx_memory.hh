@@ -1,0 +1,99 @@
+/**
+ * @file
+ * User-facing approximate-memory abstraction.
+ *
+ * ApproxMemory is what an approximate computing system exposes to an
+ * application: store data, get it back later slightly wrong, at an
+ * energy cost controlled by the accuracy knob. Internally it couples
+ * a DramChip with a RefreshController so that the refresh interval
+ * tracks the accuracy target across temperature changes — exactly
+ * the system the paper fingerprints.
+ */
+
+#ifndef PCAUSE_DRAM_APPROX_MEMORY_HH
+#define PCAUSE_DRAM_APPROX_MEMORY_HH
+
+#include <cstdint>
+
+#include "dram/dram_chip.hh"
+#include "dram/refresh_controller.hh"
+#include "util/bitvec.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Approximate storage backed by an under-refreshed DRAM chip. */
+class ApproxMemory
+{
+  public:
+    /**
+     * @param chip      backing device (not owned)
+     * @param accuracy  target worst-case accuracy, e.g.\ 0.99
+     * @param temp      initial operating temperature
+     */
+    ApproxMemory(DramChip &chip, double accuracy, Celsius temp = 40.0);
+
+    /** Capacity in bits. */
+    std::size_t size() const { return dev.size(); }
+
+    /** Backing chip (for characterization and inspection). */
+    DramChip &chip() { return dev; }
+    const DramChip &chip() const { return dev; }
+
+    /** Change the accuracy target; takes effect on the next hold. */
+    void setAccuracy(double accuracy);
+
+    /** Current accuracy target. */
+    double accuracy() const { return controller.accuracy(); }
+
+    /**
+     * Change the operating temperature. The controller re-derives
+     * the refresh interval so the accuracy target is maintained,
+     * mirroring the paper's adaptive implementation (Section 7.3).
+     */
+    void setTemperature(Celsius temp);
+
+    /** Current operating temperature. */
+    Celsius temperature() const { return temp; }
+
+    /**
+     * Wall-clock refresh interval currently in force (derived from
+     * the accuracy target and temperature).
+     */
+    Seconds refreshInterval() const;
+
+    /**
+     * Estimated refresh-energy saving versus exact operation: the
+     * JEDEC 64 ms baseline divided by the approximate interval.
+     * This is the "why" of approximate DRAM — the benches report it
+     * alongside the privacy loss.
+     */
+    double refreshEnergySavingFactor() const;
+
+    /** Store @p data (full-size write, freshly charged). */
+    void store(const BitVec &data);
+
+    /**
+     * Hold stored data for exactly one refresh interval and return
+     * the (possibly degraded) contents. The device is refreshed
+     * afterwards, locking in any errors, as real hardware would.
+     */
+    BitVec load();
+
+    /**
+     * Convenience: store @p data, hold for one interval, read back.
+     * @p trial_key reseeds the trial-noise stream so repeated round
+     * trips are independent but reproducible.
+     */
+    BitVec roundTrip(const BitVec &data, std::uint64_t trial_key);
+
+  private:
+    DramChip &dev;
+    RefreshController controller;
+    Celsius temp;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_APPROX_MEMORY_HH

@@ -1,0 +1,231 @@
+#include "dram/dram_chip.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+DramChip::DramChip(const DramConfig &config, std::uint64_t chip_seed)
+    : cfg(config),
+      model(config, chip_seed),
+      stored(config.totalBits()),
+      dead(config.totalBits()),
+      effRet(config.totalBits(), 0.0f),
+      stress(config.rows, 0.0),
+      trialRng(mix64(chip_seed, 0x74726961 /* "tria" */))
+{
+    // A powered-up chip holds every cell at its default value.
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        if (cfg.defaultBit(row)) {
+            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
+                stored.set(row * cfg.rowBits() + i);
+        }
+    }
+}
+
+void
+DramChip::reseedTrial(std::uint64_t trial_key)
+{
+    trialRng = Rng(mix64(model.chipSeed(), trial_key));
+}
+
+void
+DramChip::materializeDecay(std::size_t row)
+{
+    const double s = stress[row];
+    if (s <= 0.0)
+        return;
+    const std::size_t begin = row * cfg.rowBits();
+    const std::size_t end = begin + cfg.rowBits();
+    for (std::size_t cell = begin; cell < end; ++cell) {
+        if (isCharged(cell) && s >= effRet[cell])
+            dead.set(cell);
+    }
+}
+
+void
+DramChip::rechargeRow(std::size_t row)
+{
+    stress[row] = 0.0;
+    const std::size_t begin = row * cfg.rowBits();
+    const std::size_t end = begin + cfg.rowBits();
+    for (std::size_t cell = begin; cell < end; ++cell) {
+        if (isCharged(cell))
+            effRet[cell] = static_cast<float>(
+                model.sampleEffective(cell, trialRng));
+    }
+}
+
+void
+DramChip::write(const BitVec &data)
+{
+    PC_ASSERT(data.size() == size(), "write size mismatch");
+    stored = data;
+    dead.fill(false);
+    for (std::size_t row = 0; row < cfg.rows; ++row)
+        rechargeRow(row);
+}
+
+void
+DramChip::writeRegion(std::size_t start, const BitVec &data)
+{
+    PC_ASSERT(start + data.size() <= size(),
+              "writeRegion out of range");
+    if (data.empty())
+        return;
+
+    const std::size_t first_row = rowOf(start);
+    const std::size_t last_row = rowOf(start + data.size() - 1);
+
+    // The row read phase folds decay into untouched cells first.
+    for (std::size_t row = first_row; row <= last_row; ++row)
+        materializeDecay(row);
+
+    // Decayed untouched cells stay at their default value after the
+    // read-modify-write; written cells start fresh.
+    for (std::size_t row = first_row; row <= last_row; ++row) {
+        const std::size_t begin = row * cfg.rowBits();
+        const std::size_t end = begin + cfg.rowBits();
+        const bool def = cfg.defaultBit(row);
+        for (std::size_t cell = begin; cell < end; ++cell) {
+            if (dead.get(cell)) {
+                stored.set(cell, def);
+                dead.clear(cell);
+            }
+        }
+    }
+
+    stored.blit(start, data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        dead.clear(start + i);
+
+    for (std::size_t row = first_row; row <= last_row; ++row)
+        rechargeRow(row);
+}
+
+BitVec
+DramChip::peek() const
+{
+    BitVec out = stored;
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        const double s = stress[row];
+        const bool def = cfg.defaultBit(row);
+        const std::size_t begin = row * cfg.rowBits();
+        const std::size_t end = begin + cfg.rowBits();
+        for (std::size_t cell = begin; cell < end; ++cell) {
+            if (dead.get(cell)) {
+                out.set(cell, def);
+            } else if (stored.get(cell) != def && s >= effRet[cell]) {
+                out.set(cell, def);
+            }
+        }
+    }
+    return out;
+}
+
+BitVec
+DramChip::peekRegion(std::size_t start, std::size_t len) const
+{
+    // Simple but correct: decay state is row-local, so peeking the
+    // whole device and slicing is equivalent. Regions are small in
+    // practice (pages), so do the row-local work directly.
+    PC_ASSERT(start + len <= size(), "peekRegion out of range");
+    BitVec out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t cell = start + i;
+        const std::size_t row = rowOf(cell);
+        const bool def = cfg.defaultBit(row);
+        bool v = stored.get(cell);
+        if (dead.get(cell) ||
+            (v != def && stress[row] >= effRet[cell])) {
+            v = def;
+        }
+        out.set(i, v);
+    }
+    return out;
+}
+
+BitVec
+DramChip::read()
+{
+    refreshAll();
+    return stored;
+}
+
+void
+DramChip::refreshRow(std::size_t row)
+{
+    PC_ASSERT(row < cfg.rows, "refreshRow out of range");
+    materializeDecay(row);
+    const bool def = cfg.defaultBit(row);
+    const std::size_t begin = row * cfg.rowBits();
+    const std::size_t end = begin + cfg.rowBits();
+    for (std::size_t cell = begin; cell < end; ++cell) {
+        if (dead.get(cell)) {
+            // The refresh write locks in the decayed default value;
+            // the cell is healthy again, just holding the wrong data.
+            stored.set(cell, def);
+            dead.clear(cell);
+        }
+    }
+    rechargeRow(row);
+}
+
+void
+DramChip::refreshAll()
+{
+    for (std::size_t row = 0; row < cfg.rows; ++row)
+        refreshRow(row);
+}
+
+void
+DramChip::elapse(Seconds dt, Celsius temp)
+{
+    PC_ASSERT(dt >= 0.0, "elapse requires non-negative time");
+    const double add = dt * model.accel(temp);
+    for (auto &s : stress)
+        s += add;
+}
+
+void
+DramChip::elapseRow(std::size_t row, Seconds dt, Celsius temp)
+{
+    PC_ASSERT(row < cfg.rows, "elapseRow out of range");
+    PC_ASSERT(dt >= 0.0, "elapseRow requires non-negative time");
+    stress[row] += dt * model.accel(temp);
+}
+
+BitVec
+DramChip::worstCasePattern() const
+{
+    BitVec out(size());
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        if (!cfg.defaultBit(row)) {
+            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
+                out.set(row * cfg.rowBits() + i);
+        }
+    }
+    return out;
+}
+
+std::size_t
+DramChip::decayedCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        const double s = stress[row];
+        const std::size_t begin = row * cfg.rowBits();
+        const std::size_t end = begin + cfg.rowBits();
+        for (std::size_t cell = begin; cell < end; ++cell) {
+            if (dead.get(cell)) {
+                ++n;
+            } else if (stored.get(cell) != cfg.defaultBit(row) &&
+                       s >= effRet[cell]) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace pcause

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Behavioural model of a single DRAM device.
+ *
+ * DramChip simulates the decay mechanics the paper's platform
+ * exposes by disabling automatic refresh: cells written opposite
+ * their default value hold charge that leaks away; once the
+ * accumulated unrefreshed time at temperature exceeds a cell's
+ * effective retention, the cell reverts to its default value. A
+ * refresh (or write, which is a row read-modify-write) locks in
+ * whatever value the row currently holds — a decayed cell is
+ * refreshed at its default value, so errors persist.
+ *
+ * Temperature is handled as accumulated "stress": elapsed wall time
+ * is scaled by the Arrhenius-style acceleration factor and compared
+ * against reference-temperature retention, so arbitrary temperature
+ * profiles are supported.
+ */
+
+#ifndef PCAUSE_DRAM_DRAM_CHIP_HH
+#define PCAUSE_DRAM_DRAM_CHIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "dram/retention_model.hh"
+#include "util/bitvec.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** One simulated DRAM device with refresh disabled by default. */
+class DramChip
+{
+  public:
+    /**
+     * Manufacture a chip.
+     *
+     * @param config  device geometry and physics parameters
+     * @param chip_seed  manufacturing seed; equal seeds model the
+     *                   same physical chip
+     */
+    DramChip(const DramConfig &config, std::uint64_t chip_seed);
+
+    /** Device geometry and physics parameters. */
+    const DramConfig &config() const { return cfg; }
+
+    /** The chip's manufacturing-time retention characteristics. */
+    const RetentionModel &retention() const { return model; }
+
+    /** Manufacturing seed (doubles as a chip identity in tests). */
+    std::uint64_t chipSeed() const { return model.chipSeed(); }
+
+    /** Total bits. */
+    std::size_t size() const { return cfg.totalBits(); }
+
+    /** Row index holding bit @p cell. */
+    std::size_t rowOf(std::size_t cell) const
+    {
+        return cell / cfg.rowBits();
+    }
+
+    /**
+     * Reseed the per-trial noise stream. Call once per experimental
+     * trial to make trials reproducible yet independent.
+     */
+    void reseedTrial(std::uint64_t trial_key);
+
+    /** Overwrite the entire device; all rows are freshly charged. */
+    void write(const BitVec &data);
+
+    /**
+     * Overwrite bits [start, start+data.size()). Rows touched by the
+     * range undergo DRAM write semantics: the whole row is read
+     * (materializing any decay in untouched cells), then rewritten,
+     * recharging all its non-default cells.
+     */
+    void writeRegion(std::size_t start, const BitVec &data);
+
+    /**
+     * Non-intrusive observation of current logical contents:
+     * decayed cells read as their default value. Does not refresh.
+     */
+    BitVec peek() const;
+
+    /** Observation of bits [start, start+len) without refreshing. */
+    BitVec peekRegion(std::size_t start, std::size_t len) const;
+
+    /**
+     * Read the whole device with real DRAM semantics: the read
+     * refreshes every row, locking decayed cells at their default
+     * value and recharging surviving cells.
+     */
+    BitVec read();
+
+    /** Refresh a single row (read followed by write, per the paper). */
+    void refreshRow(std::size_t row);
+
+    /** Refresh every row. */
+    void refreshAll();
+
+    /**
+     * Let @p dt wall-clock seconds pass at temperature @p temp with
+     * automatic refresh disabled.
+     */
+    void elapse(Seconds dt, Celsius temp);
+
+    /**
+     * Accumulate unrefreshed hold time on a single row — the
+     * primitive behind multi-rate refresh schemes (RAIDR-style
+     * controllers refresh different rows at different periods, so
+     * rows age at different effective rates between their own
+     * refreshes).
+     */
+    void elapseRow(std::size_t row, Seconds dt, Celsius temp);
+
+    /**
+     * The worst-case test pattern: every cell written opposite its
+     * default value, so every cell is charged and able to decay
+     * (paper Section 6).
+     */
+    BitVec worstCasePattern() const;
+
+    /** Number of currently-decayed cells. */
+    std::size_t decayedCount() const;
+
+  private:
+    /** Fold decay into row @p row: decide which charged cells have
+     *  exceeded their effective retention under current stress. */
+    void materializeDecay(std::size_t row);
+
+    /** Recharge row @p row: clear stress, resample effective
+     *  retention for all charged cells. */
+    void rechargeRow(std::size_t row);
+
+    bool isCharged(std::size_t cell) const
+    {
+        return stored.get(cell) != cfg.defaultBit(rowOf(cell)) &&
+            !dead.get(cell);
+    }
+
+    DramConfig cfg;
+    RetentionModel model;
+
+    BitVec stored;               //!< logical values as written
+    BitVec dead;                 //!< cells that already decayed
+    std::vector<float> effRet;   //!< per-cell effective retention
+    std::vector<double> stress;  //!< per-row accumulated ref-temp time
+    Rng trialRng;                //!< per-interval noise source
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_DRAM_CHIP_HH

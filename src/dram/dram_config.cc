@@ -1,0 +1,74 @@
+#include "dram/dram_config.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+void
+DramConfig::validate() const
+{
+    if (rows == 0 || cols == 0 || planes == 0)
+        fatal("DramConfig %s: geometry must be non-zero", name.c_str());
+    if (defaultValuePeriod == 0)
+        fatal("DramConfig %s: defaultValuePeriod must be >= 1",
+              name.c_str());
+    if (retentionMean <= 0 || retentionSpread <= 0)
+        fatal("DramConfig %s: retention distribution must be positive",
+              name.c_str());
+    if (retentionFloor <= 0 || retentionFloor >= retentionMean)
+        fatal("DramConfig %s: retention floor must be in "
+              "(0, retentionMean)", name.c_str());
+    if (tempHalving <= 0)
+        fatal("DramConfig %s: tempHalving must be positive",
+              name.c_str());
+    if (trialNoiseSigma < 0 || vrtFraction < 0 || vrtFraction > 1)
+        fatal("DramConfig %s: bad noise parameters", name.c_str());
+    if (waferCorrelation < 0 || waferCorrelation >= 1)
+        fatal("DramConfig %s: waferCorrelation must be in [0,1)",
+              name.c_str());
+}
+
+DramConfig
+DramConfig::km41464a()
+{
+    DramConfig c;
+    c.name = "KM41464A";
+    c.rows = 256;
+    c.cols = 256;
+    c.planes = 4;
+    c.distribution = RetentionDistribution::Gaussian;
+    c.retentionMean = 20.0;
+    c.retentionSpread = 6.0;
+    return c;
+}
+
+DramConfig
+DramConfig::ddr2()
+{
+    DramConfig c;
+    c.name = "MT4HTF3264HY-ddr2-window";
+    c.rows = 512;
+    c.cols = 128;
+    c.planes = 8;
+    c.distribution = RetentionDistribution::LogNormalSkewed;
+    // Median retention comparable to the legacy part; the log-normal
+    // shape puts extra mass at fast-decaying cells, i.e. volatility
+    // skewed high as Section 8.1 observes.
+    c.retentionMean = 16.0;
+    c.retentionSpread = 0.45;
+    return c;
+}
+
+DramConfig
+DramConfig::tiny()
+{
+    DramConfig c;
+    c.name = "tiny-test";
+    c.rows = 16;
+    c.cols = 64;
+    c.planes = 4;
+    return c;
+}
+
+} // namespace pcause

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Static configuration of a simulated DRAM device.
+ *
+ * A DramConfig bundles the geometry (rows x columns x bit planes),
+ * the default-value layout, and the retention-time distribution that
+ * stands in for process variation. Two presets mirror the paper's
+ * evaluation hardware: the Samsung KM41464A 32 KB chips of the main
+ * platform (Section 6) and the Micron DDR2 part of the FPGA platform
+ * (Section 8.1).
+ */
+
+#ifndef PCAUSE_DRAM_DRAM_CONFIG_HH
+#define PCAUSE_DRAM_DRAM_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Shape of the per-cell retention-time distribution. */
+enum class RetentionDistribution
+{
+    /**
+     * Gaussian retention times, the behaviour the paper reports for
+     * its legacy chips ("The distribution of how quickly DRAM cells
+     * decay follows a Gaussian distribution", Section 2).
+     */
+    Gaussian,
+
+    /**
+     * Log-normal retention, producing a volatility distribution
+     * "skewed toward higher volatility" as Section 8.1 reports for
+     * the DDR2 part.
+     */
+    LogNormalSkewed,
+};
+
+/** Immutable description of a DRAM device model. */
+struct DramConfig
+{
+    /** Human-readable part name. */
+    std::string name = "generic";
+
+    /** Number of rows (refresh granularity). */
+    std::size_t rows = 256;
+
+    /** Number of column addresses per row. */
+    std::size_t cols = 256;
+
+    /** Bits per column address (word width). */
+    std::size_t planes = 4;
+
+    /**
+     * Rows per default-value flip. The paper: "Generally, all cells
+     * in the same row have the same default value, and the default
+     * value alternates every few rows."
+     */
+    std::size_t defaultValuePeriod = 2;
+
+    /** Distribution family for retention times. */
+    RetentionDistribution distribution = RetentionDistribution::Gaussian;
+
+    /**
+     * Mean retention at the reference temperature (Gaussian), or the
+     * retention median (log-normal). Paper Section 2: "some cells
+     * decay in less than a tenth of a second, the majority of the
+     * cells hold their value for tens of seconds."
+     */
+    Seconds retentionMean = 20.0;
+
+    /** Std deviation (Gaussian) or log-sigma scale (log-normal). */
+    double retentionSpread = 6.0;
+
+    /**
+     * Hard floor on retention at the reference temperature. Chosen
+     * so the JEDEC 64 ms refresh keeps even the worst cell alive at
+     * the reference temperature, while at the 85 C JEDEC ceiling
+     * the same cell decays within ~11 ms — matching the paper's
+     * "some cells decay in less than a tenth of a second".
+     */
+    Seconds retentionFloor = 0.25;
+
+    /** Reference temperature the distribution is specified at. */
+    Celsius referenceTemp = 40.0;
+
+    /**
+     * Temperature sensitivity: retention halves for every this many
+     * degrees of heating (exponential acceleration, standard DRAM
+     * retention behaviour; rank-preserving across cells).
+     */
+    Celsius tempHalving = 10.0;
+
+    /**
+     * Multiplicative per-charge-interval retention jitter
+     * (log-normal sigma). Calibrated so that, at the 1% error level,
+     * about 98% of failing cells repeat across trials (Figure 8).
+     */
+    double trialNoiseSigma = 0.001;
+
+    /**
+     * Fraction of cells exhibiting variable retention time (VRT):
+     * such cells randomly toggle to a faster-leaking state, and are
+     * the dominant source of the unpredictable cells in the paper's
+     * Figure 8 heatmap.
+     */
+    double vrtFraction = 0.001;
+
+    /** Retention multiplier of a VRT cell's fast state. */
+    double vrtFastFactor = 0.5;
+
+    /** Probability a VRT cell is in its fast state per interval. */
+    double vrtToggleChance = 0.5;
+
+    /**
+     * Wafer-level (mask-dependent) share of the retention
+     * variation, in [0, 1). The paper's Section 2 notes that some
+     * capacitance variation may be mask-dependent and thus
+     * replicated across chips from the same fabrication process,
+     * while leakage variation (random dopant fluctuation) is not
+     * and is expected to dominate. Zero models the paper's
+     * expectation; larger values let the wafer-correlation ablation
+     * probe how much shared structure identification survives.
+     */
+    double waferCorrelation = 0.0;
+
+    /** Shared mask/wafer identity (meaningful when correlated). */
+    std::uint64_t waferSeed = 0;
+
+    /** Bits per row (columns x planes). */
+    std::size_t rowBits() const { return cols * planes; }
+
+    /** Total bits in the device. */
+    std::size_t totalBits() const { return rows * rowBits(); }
+
+    /**
+     * Default (discharged) logical value of every cell in @p row.
+     * Alternates every defaultValuePeriod rows.
+     */
+    bool defaultBit(std::size_t row) const
+    {
+        return (row / defaultValuePeriod) & 1;
+    }
+
+    /** Sanity-check the parameter set; fatal() on invalid configs. */
+    void validate() const;
+
+    /**
+     * The Samsung KM41464A 64K x 4 bit NMOS DRAM used by the paper's
+     * main platform: 256 rows x 256 columns x 4 planes = 32 KB.
+     */
+    static DramConfig km41464a();
+
+    /**
+     * The Micron MT4HTF3264HY DDR2 part of the Section 8.1 FPGA
+     * platform. The real part is 256 MB; simulating every cell is
+     * unnecessary for the paper's experiments, so the model exposes
+     * a 512 Kbit window with the part's skewed volatility
+     * distribution (the property Section 8.1 actually reports).
+     */
+    static DramConfig ddr2();
+
+    /** A tiny 4 Kbit device for fast unit tests. */
+    static DramConfig tiny();
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_DRAM_CONFIG_HH

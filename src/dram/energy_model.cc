@@ -1,0 +1,50 @@
+#include "dram/energy_model.hh"
+
+#include "dram/refresh_controller.hh"
+#include "dram/retention_model.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+EnergyModel::EnergyModel(const EnergyParams &params)
+    : prm(params)
+{
+    if (prm.refreshShareAtJedec < 0.0 || prm.refreshShareAtJedec > 1.0)
+        fatal("EnergyModel: refresh share must be in [0,1]");
+    if (prm.nominalVolts <= 0.0)
+        fatal("EnergyModel: nominal voltage must be positive");
+}
+
+double
+EnergyModel::relativePower(Seconds interval) const
+{
+    PC_ASSERT(interval > 0.0, "refresh interval must be positive");
+    const double background = 1.0 - prm.refreshShareAtJedec;
+    const double refresh =
+        prm.refreshShareAtJedec * (jedecRefreshPeriod / interval);
+    return background + refresh;
+}
+
+double
+EnergyModel::relativePowerVoltage(double volts) const
+{
+    PC_ASSERT(volts > 0.0, "voltage must be positive");
+    const double ratio = volts / prm.nominalVolts;
+    return ratio * ratio; // refresh rate unchanged, V^2 scaling
+}
+
+double
+EnergyModel::savingFraction(Seconds interval) const
+{
+    return 1.0 - relativePower(interval);
+}
+
+Seconds
+EnergyModel::intervalForAccuracy(const RetentionModel &model,
+                                 double accuracy, Celsius temp) const
+{
+    return RefreshController(accuracy).analyticInterval(model, temp);
+}
+
+} // namespace pcause

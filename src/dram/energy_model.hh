@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Refresh-energy accounting.
+ *
+ * Approximate DRAM exists to save energy; this model quantifies the
+ * saving so the benches can put the privacy loss on the same axis
+ * (the trade-off the paper's conclusion argues must become a design
+ * criterion). Refresh power scales with refresh rate; background
+ * (non-refresh) power is a fixed floor. Undervolted operation
+ * additionally scales everything by V^2.
+ */
+
+#ifndef PCAUSE_DRAM_ENERGY_MODEL_HH
+#define PCAUSE_DRAM_ENERGY_MODEL_HH
+
+#include "util/units.hh"
+
+namespace pcause
+{
+
+class RetentionModel;
+
+/** Power parameters of a DRAM device (relative units). */
+struct EnergyParams
+{
+    /**
+     * Fraction of total device power spent on refresh at the JEDEC
+     * 64 ms period. Mobile-DRAM datasheets put self-refresh in the
+     * tens of percent of standby power; 0.4 is a representative
+     * midpoint for the class of devices the paper targets.
+     */
+    double refreshShareAtJedec = 0.4;
+
+    /** Nominal rail voltage (for the voltage-knob variant). */
+    double nominalVolts = 5.0;
+};
+
+/** Energy accounting for one operating point. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {});
+
+    /**
+     * Relative total power when refreshing every @p interval at
+     * nominal voltage: background share plus refresh share scaled
+     * by rate (1.0 at the JEDEC period).
+     */
+    double relativePower(Seconds interval) const;
+
+    /**
+     * Relative total power with the voltage knob: JEDEC refresh
+     * rate but the rail at @p volts (power scales with V^2).
+     */
+    double relativePowerVoltage(double volts) const;
+
+    /**
+     * Fraction of total device energy saved by refreshing every
+     * @p interval instead of the JEDEC period.
+     */
+    double savingFraction(Seconds interval) const;
+
+    /**
+     * Refresh interval that achieves a target worst-case accuracy
+     * on @p model at @p temp, for convenience when sweeping
+     * accuracy-versus-energy curves.
+     */
+    Seconds intervalForAccuracy(const RetentionModel &model,
+                                double accuracy, Celsius temp) const;
+
+  private:
+    EnergyParams prm;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_ENERGY_MODEL_HH

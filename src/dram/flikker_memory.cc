@@ -1,0 +1,98 @@
+#include "dram/flikker_memory.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+FlikkerMemory::FlikkerMemory(DramChip &chip, double exact_fraction,
+                             double accuracy, Celsius t)
+    : dev(chip),
+      exactRows(static_cast<std::size_t>(
+          std::llround(exact_fraction * chip.config().rows))),
+      controller(accuracy),
+      temp(t)
+{
+    if (exact_fraction < 0.0 || exact_fraction >= 1.0)
+        fatal("FlikkerMemory: exact fraction must be in [0,1)");
+    if (exactRows == chip.config().rows)
+        fatal("FlikkerMemory: approximate zone is empty");
+}
+
+std::size_t
+FlikkerMemory::zoneStart(FlikkerZone zone) const
+{
+    return zone == FlikkerZone::Exact
+        ? 0 : exactRows * dev.config().rowBits();
+}
+
+std::size_t
+FlikkerMemory::zoneSize(FlikkerZone zone) const
+{
+    const std::size_t exact_bits = exactRows * dev.config().rowBits();
+    return zone == FlikkerZone::Exact ? exact_bits
+                                      : dev.size() - exact_bits;
+}
+
+void
+FlikkerMemory::store(FlikkerZone zone, const BitVec &data)
+{
+    PC_ASSERT(data.size() <= zoneSize(zone),
+              "buffer larger than zone");
+    dev.writeRegion(zoneStart(zone), data);
+}
+
+Seconds
+FlikkerMemory::approxInterval() const
+{
+    return controller.analyticInterval(dev.retention(), temp);
+}
+
+BitVec
+FlikkerMemory::load(FlikkerZone zone, std::size_t len)
+{
+    PC_ASSERT(len <= zoneSize(zone), "read larger than zone");
+
+    // Advance one approximate-zone interval, refreshing the exact
+    // zone's rows on the JEDEC schedule throughout.
+    const Seconds interval = approxInterval();
+    const auto jedec_ticks = static_cast<std::uint64_t>(
+        std::ceil(interval / jedecRefreshPeriod));
+    for (std::uint64_t tick = 0; tick < jedec_ticks; ++tick) {
+        const Seconds dt = std::min(
+            jedecRefreshPeriod, interval - tick * jedecRefreshPeriod);
+        dev.elapse(dt, temp);
+        for (std::size_t row = 0; row < exactRows; ++row)
+            dev.refreshRow(row);
+    }
+
+    const BitVec out = dev.peekRegion(zoneStart(zone), len);
+    dev.refreshAll();
+    return out;
+}
+
+BitVec
+FlikkerMemory::roundTrip(FlikkerZone zone, const BitVec &data,
+                         std::uint64_t trial_key)
+{
+    dev.reseedTrial(trial_key);
+    store(zone, data);
+    return load(zone, data.size());
+}
+
+double
+FlikkerMemory::refreshEnergySaving() const
+{
+    // Refresh energy per row scales with its refresh rate; the
+    // approximate zone refreshes interval/jedec times less often.
+    const double approx_rows =
+        static_cast<double>(dev.config().rows - exactRows);
+    const double rate_ratio = jedecRefreshPeriod / approxInterval();
+    const double relative =
+        (exactRows + approx_rows * rate_ratio) / dev.config().rows;
+    return 1.0 - relative;
+}
+
+} // namespace pcause

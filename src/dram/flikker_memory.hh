@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Flikker-style partitioned approximate memory.
+ *
+ * Flikker (Liu et al., the paper's reference [18]) partitions DRAM
+ * into a high-refresh zone for critical data and a low-refresh zone
+ * for error-tolerant data. It is both a baseline approximate-memory
+ * design from the related work and the concrete mechanism behind
+ * the paper's data-segregation defense (Section 8.2.1): sensitive
+ * data in the exact zone forfeits its energy savings, while
+ * anything placed in the approximate zone still carries the chip's
+ * fingerprint.
+ */
+
+#ifndef PCAUSE_DRAM_FLIKKER_MEMORY_HH
+#define PCAUSE_DRAM_FLIKKER_MEMORY_HH
+
+#include <cstdint>
+
+#include "dram/dram_chip.hh"
+#include "dram/refresh_controller.hh"
+#include "util/bitvec.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Which zone a buffer is placed in. */
+enum class FlikkerZone
+{
+    Exact,   //!< high-refresh (JEDEC) zone: no data loss
+    Approx,  //!< low-refresh zone: energy savings, bit errors
+};
+
+/** Partitioned approximate memory over one DRAM device. */
+class FlikkerMemory
+{
+  public:
+    /**
+     * @param chip            backing device (not owned)
+     * @param exact_fraction  fraction of rows given to the exact
+     *                        zone (rounded to whole rows; the exact
+     *                        zone occupies the low rows)
+     * @param accuracy        worst-case accuracy of the approx zone
+     * @param temp            operating temperature
+     */
+    FlikkerMemory(DramChip &chip, double exact_fraction,
+                  double accuracy, Celsius temp = 40.0);
+
+    /** Capacity of a zone in bits. */
+    std::size_t zoneSize(FlikkerZone zone) const;
+
+    /** First bit index of a zone. */
+    std::size_t zoneStart(FlikkerZone zone) const;
+
+    /** Store @p data at the start of @p zone. */
+    void store(FlikkerZone zone, const BitVec &data);
+
+    /**
+     * Hold for one approximate-zone refresh interval — during which
+     * the exact zone is refreshed on the JEDEC schedule and loses
+     * nothing — then read @p len bits from @p zone.
+     */
+    BitVec load(FlikkerZone zone, std::size_t len);
+
+    /**
+     * Convenience: store in @p zone, hold one interval, read back.
+     * @p trial_key reseeds the trial noise.
+     */
+    BitVec roundTrip(FlikkerZone zone, const BitVec &data,
+                     std::uint64_t trial_key);
+
+    /**
+     * Fraction of refresh energy saved versus an all-exact device:
+     * the approximate zone's rows refresh slower by the interval
+     * ratio, the exact zone's do not.
+     */
+    double refreshEnergySaving() const;
+
+    /** The approximate zone's wall-clock refresh interval. */
+    Seconds approxInterval() const;
+
+  private:
+    DramChip &dev;
+    std::size_t exactRows;
+    RefreshController controller;
+    Celsius temp;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_FLIKKER_MEMORY_HH

@@ -1,0 +1,110 @@
+#include "dram/memory_system.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+InterleavedMemory::InterleavedMemory(std::vector<DramChip *> chips,
+                                     std::size_t granularity)
+    : members(std::move(chips)), gran(granularity)
+{
+    if (members.empty())
+        fatal("InterleavedMemory: need at least one chip");
+    for (auto *chip : members) {
+        PC_ASSERT(chip != nullptr, "null chip");
+        if (chip->size() != members[0]->size())
+            fatal("InterleavedMemory: mixed chip sizes");
+    }
+    if (gran == 0 || members[0]->size() % gran != 0)
+        fatal("InterleavedMemory: granularity must divide the chip "
+              "size");
+}
+
+std::size_t
+InterleavedMemory::size() const
+{
+    return members.size() * members[0]->size();
+}
+
+std::pair<std::size_t, std::size_t>
+InterleavedMemory::mapAddress(std::size_t g) const
+{
+    PC_ASSERT(g < size(), "address out of range");
+    const std::size_t block = g / gran;
+    const std::size_t chip = block % members.size();
+    const std::size_t local_block = block / members.size();
+    return {chip, local_block * gran + g % gran};
+}
+
+void
+InterleavedMemory::write(const BitVec &data)
+{
+    PC_ASSERT(data.size() == size(), "write size mismatch");
+    // Stage per-chip images, then write each device once (device
+    // writes refresh whole rows; scattering bit writes would
+    // re-trigger row refreshes mid-pattern).
+    std::vector<BitVec> staged;
+    staged.reserve(members.size());
+    for (std::size_t c = 0; c < members.size(); ++c)
+        staged.emplace_back(members[0]->size());
+    for (std::size_t g = 0; g < data.size(); ++g) {
+        const auto [chip, local] = mapAddress(g);
+        staged[chip].set(local, data.get(g));
+    }
+    for (std::size_t c = 0; c < members.size(); ++c)
+        members[c]->write(staged[c]);
+}
+
+BitVec
+InterleavedMemory::peek() const
+{
+    std::vector<BitVec> images;
+    images.reserve(members.size());
+    for (const auto *chip : members)
+        images.push_back(chip->peek());
+    BitVec out(size());
+    for (std::size_t g = 0; g < out.size(); ++g) {
+        const auto [chip, local] = mapAddress(g);
+        out.set(g, images[chip].get(local));
+    }
+    return out;
+}
+
+void
+InterleavedMemory::elapse(Seconds dt, Celsius temp)
+{
+    for (auto *chip : members)
+        chip->elapse(dt, temp);
+}
+
+void
+InterleavedMemory::refreshAll()
+{
+    for (auto *chip : members)
+        chip->refreshAll();
+}
+
+void
+InterleavedMemory::reseedTrial(std::uint64_t trial_key)
+{
+    for (std::size_t c = 0; c < members.size(); ++c)
+        members[c]->reseedTrial(mix64(trial_key, c));
+}
+
+BitVec
+InterleavedMemory::worstCasePattern() const
+{
+    std::vector<BitVec> worst;
+    worst.reserve(members.size());
+    for (const auto *chip : members)
+        worst.push_back(chip->worstCasePattern());
+    BitVec out(size());
+    for (std::size_t g = 0; g < out.size(); ++g) {
+        const auto [chip, local] = mapAddress(g);
+        out.set(g, worst[chip].get(local));
+    }
+    return out;
+}
+
+} // namespace pcause

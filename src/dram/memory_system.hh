@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multi-chip interleaved memory.
+ *
+ * Deployed systems do not expose single chips: a DIMM stripes
+ * consecutive data blocks across several devices. InterleavedMemory
+ * models that address mapping so the system-level questions can be
+ * asked: a machine's fingerprint is the union of its chips'
+ * fingerprints laid out by the interleave, identification treats
+ * the machine as the unit, and replacing one device erases exactly
+ * that device's share of the fingerprint (measured in
+ * bench/ablation_interleaving).
+ */
+
+#ifndef PCAUSE_DRAM_MEMORY_SYSTEM_HH
+#define PCAUSE_DRAM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/dram_chip.hh"
+#include "util/bitvec.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Several DRAM devices behind one interleaved address space. */
+class InterleavedMemory
+{
+  public:
+    /**
+     * @param chips        member devices (not owned; same geometry)
+     * @param granularity  interleave block size in bits (a cache
+     *                     line is 512; must divide the chip size)
+     */
+    InterleavedMemory(std::vector<DramChip *> chips,
+                      std::size_t granularity = 512);
+
+    /** Total bits across all chips. */
+    std::size_t size() const;
+
+    /** Number of member devices. */
+    std::size_t numChips() const { return members.size(); }
+
+    /** Member device @p i. */
+    DramChip &chip(std::size_t i) { return *members[i]; }
+
+    /** Interleave block size in bits. */
+    std::size_t granularity() const { return gran; }
+
+    /**
+     * Device and local cell index backing global address @p g —
+     * the interleave map, exposed for tests and analyses.
+     */
+    std::pair<std::size_t, std::size_t>
+    mapAddress(std::size_t g) const;
+
+    /** Write the full address space. */
+    void write(const BitVec &data);
+
+    /** Observe the full address space without refreshing. */
+    BitVec peek() const;
+
+    /** Let time pass on every member device. */
+    void elapse(Seconds dt, Celsius temp);
+
+    /** Refresh every member device. */
+    void refreshAll();
+
+    /** Reseed every member's trial-noise stream. */
+    void reseedTrial(std::uint64_t trial_key);
+
+    /**
+     * Worst-case pattern for the interleaved space: anti-default
+     * data for every member cell, through the address map.
+     */
+    BitVec worstCasePattern() const;
+
+  private:
+    std::vector<DramChip *> members;
+    std::size_t gran;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_MEMORY_SYSTEM_HH

@@ -1,0 +1,116 @@
+#include "dram/modeled_dram.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+ModeledDram::ModeledDram(const ModeledDramParams &params,
+                         std::uint64_t chip_seed)
+    : prm(params), seed(chip_seed)
+{
+    if (!std::has_single_bit(prm.pageBits))
+        fatal("ModeledDram: pageBits must be a power of two");
+    if (prm.totalBits % prm.pageBits != 0)
+        fatal("ModeledDram: totalBits must be a multiple of pageBits");
+    if (prm.accuracyFloor <= 0.0 || prm.accuracyFloor >= 1.0)
+        fatal("ModeledDram: accuracyFloor must be in (0,1)");
+    domainBits = std::countr_zero(prm.pageBits);
+}
+
+std::uint32_t
+ModeledDram::errorCount(double accuracy) const
+{
+    if (accuracy < prm.accuracyFloor)
+        fatal("ModeledDram: accuracy %.3f below model floor %.3f",
+              accuracy, prm.accuracyFloor);
+    PC_ASSERT(accuracy < 1.0, "accuracy must be < 1");
+    return static_cast<std::uint32_t>(
+        std::llround((1.0 - accuracy) * prm.pageBits));
+}
+
+std::uint32_t
+ModeledDram::volatilityOrder(std::uint64_t page,
+                             std::uint32_t rank) const
+{
+    PC_ASSERT(rank < prm.pageBits, "rank beyond page");
+
+    // A balanced Feistel network keyed by (chip seed, page) gives a
+    // pseudo-random bijection over a power-of-four domain covering
+    // the page; cycle-walking restricts it to [0, pageBits). Ranks
+    // therefore map to distinct positions with no scratch storage —
+    // pages are never materialized.
+    const unsigned half_bits = (domainBits + 1) / 2;
+    const std::uint32_t half_mask = (1u << half_bits) - 1;
+    const std::uint64_t page_key = mix64(seed, page);
+
+    auto permute_once = [&](std::uint32_t x) {
+        std::uint32_t l = (x >> half_bits) & half_mask;
+        std::uint32_t r = x & half_mask;
+        for (unsigned round = 0; round < 4; ++round) {
+            std::uint32_t f = static_cast<std::uint32_t>(
+                mix64(page_key, (std::uint64_t(round) << 32) | r)) &
+                half_mask;
+            std::uint32_t nl = r;
+            std::uint32_t nr = l ^ f;
+            l = nl;
+            r = nr;
+        }
+        return (l << half_bits) | r;
+    };
+
+    std::uint32_t x = rank;
+    do {
+        x = permute_once(x);
+    } while (x >= prm.pageBits);
+    return x;
+}
+
+SparseBitset
+ModeledDram::fingerprintSet(std::uint64_t page, double accuracy) const
+{
+    const std::uint32_t n = errorCount(accuracy);
+    std::vector<std::uint32_t> pos;
+    pos.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        pos.push_back(volatilityOrder(page, i));
+    return SparseBitset(prm.pageBits, std::move(pos));
+}
+
+SparseBitset
+ModeledDram::observePage(std::uint64_t page, double accuracy,
+                         std::uint64_t trial_key) const
+{
+    const std::uint32_t n = errorCount(accuracy);
+    Rng rng(mix64(mix64(seed, page), trial_key));
+
+    std::vector<std::uint32_t> pos;
+    pos.reserve(n + 4);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!rng.chance(prm.flickerProb))
+            pos.push_back(volatilityOrder(page, i));
+    }
+
+    // Spurious errors come from cells just above the decay threshold
+    // (the next entries in the volatility order), not from arbitrary
+    // positions — noise in real DRAM is still volatility-ranked.
+    const std::uint32_t ceiling = static_cast<std::uint32_t>(
+        (1.0 - prm.accuracyFloor) * prm.pageBits);
+    double expected = prm.spuriousPerPage;
+    while (expected > 0.0 && n < ceiling) {
+        if (rng.chance(std::min(expected, 1.0))) {
+            std::uint32_t rank = n + static_cast<std::uint32_t>(
+                rng.nextBelow(std::max<std::uint64_t>(ceiling - n, 1)));
+            pos.push_back(volatilityOrder(page, rank));
+        }
+        expected -= 1.0;
+    }
+
+    return SparseBitset(prm.pageBits, std::move(pos));
+}
+
+} // namespace pcause

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Mathematical model of a large approximate DRAM (paper Section 7.1,
+ * used for the Section 7.6 end-to-end experiment).
+ *
+ * Simulating every cell of a 1 GB module is unnecessary: the paper
+ * itself drives its commodity-system experiment from a mathematical
+ * model of approximate DRAM. ModeledDram reproduces that model: each
+ * 4 KB page's volatile-cell set is a pure function of (chip seed,
+ * page index), drawn lazily, so pages cost nothing until observed.
+ *
+ * A per-page Feistel permutation orders the page's cells by
+ * volatility; the error set at accuracy a is the first
+ * (1-a) * pageBits entries of that order. The order-of-failure
+ * property of real DRAM (Figure 10: errors at 99% accuracy are a
+ * subset of errors at 95%, which are a subset of 90%) therefore
+ * holds by construction.
+ */
+
+#ifndef PCAUSE_DRAM_MODELED_DRAM_HH
+#define PCAUSE_DRAM_MODELED_DRAM_HH
+
+#include <cstdint>
+
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+
+/** Parameters of a modeled large approximate memory. */
+struct ModeledDramParams
+{
+    /** Total capacity in bits (default 1 GB, the Section 7.6 size). */
+    std::uint64_t totalBits = 8ull << 30;
+
+    /** Page size in bits (4 KB pages; must be a power of two). */
+    std::uint32_t pageBits = 32768;
+
+    /**
+     * Lowest supported accuracy: cells beyond this volatility
+     * fraction never decay at the modeled refresh rates.
+     */
+    double accuracyFloor = 0.85;
+
+    /**
+     * Per-observation probability that a fingerprint cell fails to
+     * show (trial noise); matches the ~2% unpredictable cells of
+     * Figure 8.
+     */
+    double flickerProb = 0.02;
+
+    /** Expected spurious error bits per observed page. */
+    double spuriousPerPage = 0.5;
+};
+
+/** Lazily evaluated per-page error model of a large DRAM. */
+class ModeledDram
+{
+  public:
+    /**
+     * @param params     model geometry and noise parameters
+     * @param chip_seed  manufacturing identity; equal seeds model
+     *                   the same physical module
+     */
+    ModeledDram(const ModeledDramParams &params, std::uint64_t chip_seed);
+
+    /** Model parameters. */
+    const ModeledDramParams &params() const { return prm; }
+
+    /** Manufacturing seed. */
+    std::uint64_t chipSeed() const { return seed; }
+
+    /** Number of 4 KB pages. */
+    std::uint64_t numPages() const { return prm.totalBits / prm.pageBits; }
+
+    /**
+     * The noise-free potential-error set of @p page at @p accuracy:
+     * the positions of the (1-a) * pageBits most volatile cells.
+     * Sets at lower accuracy are supersets of sets at higher
+     * accuracy (order-of-failure property).
+     */
+    SparseBitset fingerprintSet(std::uint64_t page,
+                                double accuracy) const;
+
+    /**
+     * One noisy observation of @p page's error pattern at
+     * @p accuracy with worst-case (all-charged) data. Fingerprint
+     * cells flicker out with flickerProb; a few spurious bits from
+     * just-above-threshold cells flicker in. Deterministic in
+     * (page, accuracy, trial_key).
+     */
+    SparseBitset observePage(std::uint64_t page, double accuracy,
+                             std::uint64_t trial_key) const;
+
+    /**
+     * Volatility-ordered position @p rank within @p page: rank 0 is
+     * the page's fastest-decaying cell. Bijective over the page.
+     */
+    std::uint32_t volatilityOrder(std::uint64_t page,
+                                  std::uint32_t rank) const;
+
+  private:
+    /** Number of error cells per page at @p accuracy. */
+    std::uint32_t errorCount(double accuracy) const;
+
+    ModeledDramParams prm;
+    std::uint64_t seed;
+    unsigned domainBits; //!< log2(pageBits)
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_MODELED_DRAM_HH

@@ -1,0 +1,83 @@
+#include "dram/refresh_controller.hh"
+
+#include <cmath>
+
+#include "dram/dram_chip.hh"
+#include "dram/retention_model.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+RefreshController::RefreshController(double accuracy)
+    : targetAccuracy(accuracy)
+{
+    if (accuracy <= 0.0 || accuracy >= 1.0)
+        fatal("RefreshController: accuracy must be in (0,1), got %f",
+              accuracy);
+}
+
+Seconds
+RefreshController::analyticInterval(const RetentionModel &model,
+                                    Celsius temp) const
+{
+    return model.stressQuantile(errorRate()) / model.accel(temp);
+}
+
+double
+RefreshController::measureErrorRate(DramChip &chip, Seconds interval,
+                                    Celsius temp)
+{
+    chip.write(chip.worstCasePattern());
+    chip.elapse(interval, temp);
+    const double errors = static_cast<double>(chip.decayedCount());
+    chip.refreshAll();
+    return errors / chip.size();
+}
+
+CalibrationResult
+RefreshController::calibrate(DramChip &chip, Celsius temp,
+                             double tolerance,
+                             unsigned max_trials) const
+{
+    const double target = errorRate();
+
+    // Establish a bracket [lo, hi] with error(lo) < target <
+    // error(hi) by exponential growth from a conservative start.
+    Seconds lo = milliseconds(1);
+    Seconds hi = lo;
+    unsigned trials = 0;
+    double err_hi = 0.0;
+    while (trials < max_trials) {
+        err_hi = measureErrorRate(chip, hi, temp);
+        ++trials;
+        if (err_hi >= target)
+            break;
+        lo = hi;
+        hi *= 2.0;
+    }
+    if (err_hi < target) {
+        warn("calibrate: could not bracket %.4f error within %u trials",
+             target, max_trials);
+        return {hi, err_hi, trials};
+    }
+
+    // Bisect on the interval until the measured error is within
+    // tolerance of the target or the trial budget runs out.
+    Seconds mid = hi;
+    double err_mid = err_hi;
+    while (trials < max_trials) {
+        mid = 0.5 * (lo + hi);
+        err_mid = measureErrorRate(chip, mid, temp);
+        ++trials;
+        if (std::abs(err_mid - target) <= tolerance * target)
+            break;
+        if (err_mid < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return {mid, err_mid, trials};
+}
+
+} // namespace pcause

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Approximate-DRAM refresh control.
+ *
+ * The paper's approximate memory "adjusts its refresh rate to
+ * maintain a desired accuracy across changes in temperature"
+ * (Section 7.3). RefreshController implements that control loop two
+ * ways: an analytic shortcut using the chip's retention quantiles,
+ * and the measurement-driven calibration a real deployment would
+ * run (write worst-case data, hold, read back, count errors, binary
+ * search on the interval).
+ */
+
+#ifndef PCAUSE_DRAM_REFRESH_CONTROLLER_HH
+#define PCAUSE_DRAM_REFRESH_CONTROLLER_HH
+
+#include "util/units.hh"
+
+namespace pcause
+{
+
+class DramChip;
+class RetentionModel;
+
+/** Result of one measurement-driven calibration. */
+struct CalibrationResult
+{
+    Seconds interval;        //!< chosen wall-clock refresh interval
+    double measuredError;    //!< worst-case error rate at interval
+    unsigned trials;         //!< number of measurement trials used
+};
+
+/** Adaptive refresh-rate controller targeting a fixed accuracy. */
+class RefreshController
+{
+  public:
+    /**
+     * @param accuracy  target fraction of correct bits with
+     *                  worst-case data (e.g.\ 0.99 for "1% error")
+     */
+    explicit RefreshController(double accuracy);
+
+    /** Target accuracy. */
+    double accuracy() const { return targetAccuracy; }
+
+    /** Target worst-case error rate (1 - accuracy). */
+    double errorRate() const { return 1.0 - targetAccuracy; }
+
+    /**
+     * Analytic refresh interval at temperature @p temp: the stress
+     * quantile of the retention map divided by the thermal
+     * acceleration. This is the fixed point the measurement loop
+     * converges to, exposed directly for fast experimentation.
+     */
+    Seconds analyticInterval(const RetentionModel &model,
+                             Celsius temp) const;
+
+    /**
+     * Measurement-driven calibration against a live chip, as a real
+     * deployment (with no access to the retention map) would do:
+     * binary search on the interval, measuring worst-case error each
+     * step. Leaves the chip refreshed with its previous content
+     * destroyed.
+     *
+     * @param chip       the device to calibrate against
+     * @param temp       operating temperature during calibration
+     * @param tolerance  acceptable relative error-rate miss
+     * @param max_trials  cap on measurement iterations
+     */
+    CalibrationResult calibrate(DramChip &chip, Celsius temp,
+                                double tolerance = 0.05,
+                                unsigned max_trials = 32) const;
+
+    /**
+     * One worst-case measurement: write the all-charged pattern,
+     * hold for @p interval at @p temp, read back, return the error
+     * fraction.
+     */
+    static double measureErrorRate(DramChip &chip, Seconds interval,
+                                   Celsius temp);
+
+  private:
+    double targetAccuracy;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_REFRESH_CONTROLLER_HH

@@ -1,0 +1,127 @@
+#include "dram/retention_aware.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+RaidrController::RaidrController(const RetentionModel &model,
+                                 unsigned num_bins, double margin_)
+    : retention(model), bins(num_bins), margin(margin_)
+{
+    if (num_bins == 0)
+        fatal("RaidrController: need at least one bin");
+    if (margin_ <= 0.0)
+        fatal("RaidrController: margin must be positive");
+
+    const DramConfig &cfg = model.config();
+
+    // Per-row weakest retention, then equal-population binning by
+    // rank (RAIDR bins by retention class; equal-population bins
+    // keep every bin meaningful on any distribution).
+    std::vector<Seconds> row_worst(cfg.rows);
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        Seconds worst = model.baseRetention(row * cfg.rowBits());
+        for (std::size_t i = 1; i < cfg.rowBits(); ++i) {
+            worst = std::min<Seconds>(
+                worst, model.baseRetention(row * cfg.rowBits() + i));
+        }
+        row_worst[row] = worst;
+    }
+
+    std::vector<std::size_t> order(cfg.rows);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return row_worst[a] < row_worst[b];
+              });
+
+    binOf.resize(cfg.rows);
+    binRetention.assign(bins, 0.0);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        const unsigned bin = static_cast<unsigned>(
+            rank * bins / order.size());
+        binOf[order[rank]] = bin;
+        // First (weakest) row entering a bin defines its floor.
+        if (binRetention[bin] == 0.0)
+            binRetention[bin] = row_worst[order[rank]];
+    }
+}
+
+Seconds
+RaidrController::rowInterval(std::size_t row, Celsius temp) const
+{
+    PC_ASSERT(row < binOf.size(), "row out of range");
+    return margin * binRetention[binOf[row]] / retention.accel(temp);
+}
+
+double
+RaidrController::refreshEnergySaving(Celsius temp) const
+{
+    // Refresh energy per row ~ refresh rate. Compare against the
+    // uniform JEDEC baseline.
+    double relative = 0.0;
+    for (std::size_t row = 0; row < binOf.size(); ++row)
+        relative += jedecRefreshPeriod / rowInterval(row, temp);
+    relative /= binOf.size();
+    return 1.0 - relative;
+}
+
+BitVec
+RaidrController::runWorstCaseTrial(DramChip &chip, Celsius temp,
+                                   std::uint64_t trial_key) const
+{
+    PC_ASSERT(&chip.retention() == &retention ||
+              chip.retention().chipSeed() == retention.chipSeed(),
+              "controller profiled for a different chip");
+    chip.reseedTrial(trial_key);
+    const BitVec pattern = chip.worstCasePattern();
+    chip.write(pattern);
+    for (std::size_t row = 0; row < chip.config().rows; ++row)
+        chip.elapseRow(row, rowInterval(row, temp), temp);
+    const BitVec out = chip.peek();
+    chip.refreshAll();
+    return out ^ pattern;
+}
+
+RapidPlacer::RapidPlacer(const RetentionModel &model,
+                         std::size_t page_bits)
+    : retention(model), pageBits(page_bits)
+{
+    if (page_bits == 0 || model.size() % page_bits != 0)
+        fatal("RapidPlacer: page size must divide the chip");
+
+    const std::size_t pages = model.size() / page_bits;
+    pageWorst.resize(pages);
+    for (std::size_t p = 0; p < pages; ++p) {
+        Seconds worst = model.baseRetention(p * page_bits);
+        for (std::size_t i = 1; i < page_bits; ++i) {
+            worst = std::min<Seconds>(
+                worst, model.baseRetention(p * page_bits + i));
+        }
+        pageWorst[p] = worst;
+    }
+
+    ranking.resize(pages);
+    std::iota(ranking.begin(), ranking.end(), 0);
+    std::sort(ranking.begin(), ranking.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return pageWorst[a] > pageWorst[b];
+              });
+}
+
+Seconds
+RapidPlacer::refreshInterval(std::size_t populated, double margin,
+                             Celsius temp) const
+{
+    PC_ASSERT(populated > 0 && populated <= ranking.size(),
+              "populated page count out of range");
+    PC_ASSERT(margin > 0.0, "margin must be positive");
+    const Seconds worst = pageWorst[ranking[populated - 1]];
+    return margin * worst / retention.accel(temp);
+}
+
+} // namespace pcause

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Retention-aware refresh baselines from the related work.
+ *
+ * The paper positions itself against the energy-saving refresh
+ * schemes of Section 9.2. Two are implemented so the benches can
+ * ask whether smarter refresh changes the privacy story:
+ *
+ * - RAIDR (Liu et al. [17]): bin rows by their weakest cell and
+ *   refresh each bin at its own period. Run exactly (margin < 1)
+ *   it loses nothing while saving most refreshes; run past margin
+ *   1 it produces errors concentrated in the weakest rows — still
+ *   a chip-specific, repeatable pattern.
+ * - RAPID (Venkatesan et al. [40]): rank pages by retention and
+ *   populate best-first, so the refresh period is set by the worst
+ *   *populated* page rather than the worst page on the chip.
+ */
+
+#ifndef PCAUSE_DRAM_RETENTION_AWARE_HH
+#define PCAUSE_DRAM_RETENTION_AWARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/dram_chip.hh"
+#include "util/bitvec.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** RAIDR-style multi-rate refresh controller. */
+class RaidrController
+{
+  public:
+    /**
+     * @param model     the chip's retention map (profiled, as RAIDR
+     *                  profiles chips at boot)
+     * @param num_bins  number of refresh-rate bins
+     * @param margin    fraction of a bin's weakest retention used as
+     *                  its refresh period; < 1 is exact operation,
+     *                  > 1 deliberately over-stretches (approximate)
+     */
+    RaidrController(const RetentionModel &model, unsigned num_bins,
+                    double margin);
+
+    /** Number of bins. */
+    unsigned numBins() const { return bins; }
+
+    /** Bin assigned to @p row. */
+    unsigned rowBin(std::size_t row) const { return binOf[row]; }
+
+    /** Wall-clock refresh period of @p row at @p temp. */
+    Seconds rowInterval(std::size_t row, Celsius temp) const;
+
+    /**
+     * Refresh-energy saving versus uniform JEDEC refresh: average
+     * of per-row rate reductions (refresh energy scales with rate).
+     */
+    double refreshEnergySaving(Celsius temp) const;
+
+    /**
+     * Run one multi-rate refresh cycle on @p chip: write the
+     * worst-case pattern, age each row by its own period, read
+     * back. Returns the error bitstring.
+     */
+    BitVec runWorstCaseTrial(DramChip &chip, Celsius temp,
+                             std::uint64_t trial_key) const;
+
+  private:
+    const RetentionModel &retention;
+    unsigned bins;
+    double margin;
+    std::vector<unsigned> binOf;        //!< per-row bin
+    std::vector<Seconds> binRetention;  //!< weakest retention per bin
+};
+
+/** RAPID-style retention-ranked page placement. */
+class RapidPlacer
+{
+  public:
+    /**
+     * @param model      the chip's retention map
+     * @param page_bits  page size used for ranking
+     */
+    RapidPlacer(const RetentionModel &model, std::size_t page_bits);
+
+    /** Number of pages on the chip. */
+    std::size_t numPages() const { return pageWorst.size(); }
+
+    /**
+     * Pages ordered best-retention-first — the population order
+     * RAPID uses.
+     */
+    const std::vector<std::size_t> &rankedPages() const
+    {
+        return ranking;
+    }
+
+    /** Weakest-cell retention of @p page at reference temperature. */
+    Seconds pageWorstRetention(std::size_t page) const
+    {
+        return pageWorst[page];
+    }
+
+    /**
+     * Exact refresh period when the best @p populated pages hold
+     * data: @p margin times the worst populated page's retention,
+     * scaled to @p temp.
+     */
+    Seconds refreshInterval(std::size_t populated, double margin,
+                            Celsius temp) const;
+
+  private:
+    const RetentionModel &retention;
+    std::size_t pageBits;
+    std::vector<Seconds> pageWorst;     //!< per-page weakest retention
+    std::vector<std::size_t> ranking;   //!< pages, best first
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_RETENTION_AWARE_HH

@@ -1,0 +1,101 @@
+#include "dram/retention_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+RetentionModel::RetentionModel(const DramConfig &config,
+                               std::uint64_t chip_seed)
+    : cfg(config), seed(chip_seed)
+{
+    cfg.validate();
+
+    const std::size_t n = cfg.totalBits();
+    base.resize(n);
+    vrt.resize(n);
+
+    // Every cell draws from its own keyed substream so that a chip's
+    // retention map is a pure function of (config, seed) and does not
+    // depend on construction order. When the config declares a
+    // wafer-correlated share, a second stream keyed by the wafer
+    // seed contributes that fraction of the variation — identically
+    // for every chip on the wafer.
+    Rng root(chip_seed);
+    Rng process = root.substream(0x70726f63 /* "proc" */);
+    Rng vrt_stream = root.substream(0x76727463 /* "vrtc" */);
+    Rng wafer = Rng(cfg.waferSeed).substream(0x77616665 /* "wafe" */);
+
+    const double rho = cfg.waferCorrelation;
+    const double own_share = std::sqrt(1.0 - rho * rho);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // Standard-normal deviate with the configured wafer share;
+        // the wafer stream must advance for every cell even when
+        // uncorrelated so chip streams stay aligned.
+        const double shared = wafer.gaussian();
+        const double own = process.gaussian();
+        const double z = own_share * own + rho * shared;
+
+        double t;
+        switch (cfg.distribution) {
+          case RetentionDistribution::Gaussian:
+            t = cfg.retentionMean + cfg.retentionSpread * z;
+            break;
+          case RetentionDistribution::LogNormalSkewed:
+            // Median at retentionMean; reciprocal volatility is then
+            // log-normal, i.e. skewed toward high volatility.
+            t = cfg.retentionMean *
+                std::exp(-cfg.retentionSpread * z);
+            break;
+          default:
+            panic("unhandled retention distribution");
+        }
+        base[i] = static_cast<float>(
+            std::max<double>(t, cfg.retentionFloor));
+        vrt[i] = vrt_stream.chance(cfg.vrtFraction);
+    }
+}
+
+double
+RetentionModel::accel(Celsius t) const
+{
+    return std::exp2((t - cfg.referenceTemp) / cfg.tempHalving);
+}
+
+Seconds
+RetentionModel::retentionAt(std::size_t cell, Celsius t) const
+{
+    return base[cell] / accel(t);
+}
+
+Seconds
+RetentionModel::sampleEffective(std::size_t cell, Rng &trial_rng) const
+{
+    double eff = base[cell];
+    if (cfg.trialNoiseSigma > 0)
+        eff *= std::exp(trial_rng.gaussian(0.0, cfg.trialNoiseSigma));
+    if (vrt[cell] && trial_rng.chance(cfg.vrtToggleChance))
+        eff *= cfg.vrtFastFactor;
+    return eff;
+}
+
+Seconds
+RetentionModel::stressQuantile(double error_fraction) const
+{
+    PC_ASSERT(error_fraction > 0.0 && error_fraction < 1.0,
+              "stressQuantile: fraction must be in (0,1)");
+    if (sortedBase.empty()) {
+        sortedBase = base;
+        std::sort(sortedBase.begin(), sortedBase.end());
+    }
+    auto idx = static_cast<std::size_t>(error_fraction *
+                                        sortedBase.size());
+    idx = std::min(idx, sortedBase.size() - 1);
+    return sortedBase[idx];
+}
+
+} // namespace pcause

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-cell retention-time model.
+ *
+ * RetentionModel turns a chip seed ("process variation locked in at
+ * manufacturing") into a stable per-cell retention time at the
+ * reference temperature, plus the VRT cell map. It also owns the
+ * temperature-acceleration law. Retention ordering across cells is
+ * invariant under temperature by construction, which is the physical
+ * property the whole fingerprinting attack rests on (paper Sections
+ * 2 and 7.3).
+ */
+
+#ifndef PCAUSE_DRAM_RETENTION_MODEL_HH
+#define PCAUSE_DRAM_RETENTION_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Manufacturing-time retention characteristics of one chip. */
+class RetentionModel
+{
+  public:
+    /**
+     * Derive a chip's retention map from its configuration and a
+     * manufacturing seed. Identical (config, seed) pairs model the
+     * same physical chip.
+     */
+    RetentionModel(const DramConfig &config, std::uint64_t chip_seed);
+
+    /** Number of cells. */
+    std::size_t size() const { return base.size(); }
+
+    /**
+     * Nominal retention of @p cell at the reference temperature.
+     * This is the stable, fingerprint-defining quantity.
+     */
+    Seconds baseRetention(std::size_t cell) const { return base[cell]; }
+
+    /** True when @p cell is a variable-retention-time cell. */
+    bool isVrt(std::size_t cell) const { return vrt[cell]; }
+
+    /**
+     * Acceleration factor at temperature @p t relative to the
+     * reference temperature: decay progresses accel() times faster.
+     * Exponential in temperature and identical for all cells, hence
+     * rank preserving.
+     */
+    double accel(Celsius t) const;
+
+    /**
+     * Retention of @p cell at temperature @p t (nominal, no trial
+     * noise): baseRetention / accel.
+     */
+    Seconds retentionAt(std::size_t cell, Celsius t) const;
+
+    /**
+     * Sample the effective retention of @p cell for one
+     * charge-to-decay interval: nominal retention disturbed by
+     * multiplicative trial noise and, for VRT cells, a possible
+     * excursion to the fast-leak state.
+     */
+    Seconds sampleEffective(std::size_t cell, Rng &trial_rng) const;
+
+    /**
+     * The reference-temperature stress (equivalent seconds) at which
+     * a fraction @p error_fraction of cells has decayed, computed
+     * from the chip's own cells. This is what a measurement-driven
+     * refresh controller converges to.
+     */
+    Seconds stressQuantile(double error_fraction) const;
+
+    /** The configuration this model was built from. */
+    const DramConfig &config() const { return cfg; }
+
+    /** The manufacturing seed. */
+    std::uint64_t chipSeed() const { return seed; }
+
+  private:
+    DramConfig cfg;
+    std::uint64_t seed;
+    std::vector<float> base;   //!< per-cell retention at reference temp
+    std::vector<bool> vrt;     //!< per-cell VRT flag
+    mutable std::vector<float> sortedBase; //!< lazily built for quantiles
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_DRAM_RETENTION_MODEL_HH

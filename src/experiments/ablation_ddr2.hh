@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 8.1 — effect of DRAM technology (DDR2 platform).
+ *
+ * Repeats the stability analyses on the DDR2 configuration: the
+ * paper reports that spatial volatility distribution remains robust
+ * to temperature and approximation level, while the probability
+ * distribution of cell volatilities is "skewed toward higher
+ * volatility where the older DRAM had no skew". This experiment
+ * quantifies both: distribution skewness per technology, plus the
+ * within/between separation on the DDR2 part.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_DDR2_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_DDR2_HH
+
+#include <string>
+
+#include "experiments/common.hh"
+#include "experiments/fig07_uniqueness.hh"
+
+namespace pcause
+{
+
+/** Parameters of the technology comparison. */
+struct Ddr2AblationParams
+{
+    ExperimentContext ctx;
+    unsigned numChips = 4;
+};
+
+/** Distribution statistics for one technology. */
+struct TechnologyProfile
+{
+    std::string name;
+    double retentionMean;
+    double retentionMedian;
+
+    /**
+     * Skew index: retention mean / median - 1. Zero for the
+     * symmetric legacy distribution; positive when the volatility
+     * distribution carries the extra fast-cell mass Section 8.1
+     * reports for DDR2. Robust to the handful of floor-clamped
+     * cells, unlike a raw third moment.
+     */
+    double skewIndex;
+
+    double maxWithin;           //!< from a reduced Fig 7 run
+    double minBetween;
+    double identification;      //!< identification accuracy
+};
+
+/** Raw experiment output. */
+struct Ddr2AblationResult
+{
+    TechnologyProfile legacy;
+    TechnologyProfile ddr2;
+};
+
+/** Run the comparison. */
+Ddr2AblationResult runDdr2Ablation(const Ddr2AblationParams &params);
+
+/** Render the comparison. */
+std::string renderDdr2Ablation(const Ddr2AblationResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_DDR2_HH

@@ -1,0 +1,194 @@
+#include "experiments/ablation_defenses.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "core/attacker.hh"
+#include "core/characterize.hh"
+#include "core/defenses.hh"
+#include "core/error_string.hh"
+#include "experiments/fig13_stitching.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+#include "util/stats.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+/** Fingerprints plus fresh error strings for the small platform. */
+struct Corpus
+{
+    std::vector<Fingerprint> fps;
+    std::vector<std::pair<unsigned, BitVec>> outputs; //!< (chip, es)
+    BitVec exact;
+};
+
+Corpus
+buildCorpus(Platform &platform, const DefenseParams &prm,
+            std::uint64_t &trial)
+{
+    Corpus corpus;
+    corpus.exact = platform.chip(0).worstCasePattern();
+    for (unsigned c = 0; c < prm.numChips; ++c) {
+        TestHarness h = platform.harness(c);
+        std::vector<BitVec> outs;
+        for (unsigned k = 0; k < 3; ++k) {
+            TrialSpec spec;
+            spec.accuracy = prm.accuracy;
+            spec.temp = prm.temperature;
+            spec.trialKey = ++trial;
+            outs.push_back(h.runWorstCaseTrial(spec).approx);
+        }
+        corpus.fps.push_back(characterize(outs, corpus.exact));
+        for (unsigned k = 0; k < 3; ++k) {
+            TrialSpec spec;
+            spec.accuracy = prm.accuracy;
+            spec.temp = prm.temperature;
+            spec.trialKey = ++trial;
+            corpus.outputs.emplace_back(
+                c, errorString(h.runWorstCaseTrial(spec).approx,
+                               corpus.exact));
+        }
+    }
+    return corpus;
+}
+
+/** Nearest-fingerprint identification accuracy over error strings. */
+double
+identificationAccuracy(const Corpus &corpus,
+                       const std::vector<BitVec> &error_strings)
+{
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < error_strings.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        unsigned best_chip = 0;
+        for (unsigned f = 0; f < corpus.fps.size(); ++f) {
+            const double d = modifiedJaccard(error_strings[i],
+                                             corpus.fps[f].bits());
+            if (d < best) {
+                best = d;
+                best_chip = f;
+            }
+        }
+        correct += best_chip == corpus.outputs[i].first;
+    }
+    return error_strings.empty()
+        ? 0.0
+        : static_cast<double>(correct) / error_strings.size();
+}
+
+} // anonymous namespace
+
+DefenseResult
+runDefenses(const DefenseParams &prm)
+{
+    DefenseResult res;
+    Platform platform(prm.chipConfig, prm.numChips, prm.ctx.seedBase);
+    std::uint64_t trial = prm.ctx.trialSeedBase;
+    Corpus corpus = buildCorpus(platform, prm, trial);
+    Rng noise_rng(prm.ctx.trialSeedBase ^ 0x6e6f6973 /* "nois" */);
+
+    // --- Noise addition sweep (8.2.2) ---
+    for (double rate : prm.noiseRates) {
+        std::vector<BitVec> noisy;
+        RunningStats within;
+        for (const auto &[chip, es] : corpus.outputs) {
+            // Noise is applied to the published output, which is
+            // equivalent to XORing extra random bits into the error
+            // string.
+            noisy.push_back(addNoiseDefense(es, rate, noise_rng));
+            within.add(modifiedJaccard(noisy.back(),
+                                       corpus.fps[chip].bits()));
+        }
+        res.noiseSweep.push_back({rate,
+                                  identificationAccuracy(corpus, noisy),
+                                  within.mean(),
+                                  noiseQualityCost(rate)});
+    }
+
+    // --- Page-level ASLR vs stitching (8.2.3) ---
+    for (bool aslr : {false, true}) {
+        StitchingParams sprm;
+        sprm.ctx = prm.ctx;
+        sprm.system.dram.totalBits = prm.stitchMemoryBits;
+        sprm.system.placement = aslr
+            ? PlacementPolicy::PageLevelAslr
+            : PlacementPolicy::ContiguousRandomBase;
+        // Samples cover an eighth of the machine so overlaps come
+        // quickly at any configured scale.
+        sprm.sampleBytes = prm.stitchMemoryBits / 8 / 8;
+        sprm.numSamples = prm.stitchSamples;
+        sprm.recordEvery = prm.stitchSamples;
+        const StitchingResult sres = runStitching(sprm);
+        if (aslr)
+            res.stitchSuspectsAslr = sres.finalSuspected();
+        else
+            res.stitchSuspectsContiguous = sres.finalSuspected();
+    }
+    res.stitchSamples = prm.stitchSamples;
+
+    // --- Data segregation (8.2.1) ---
+    {
+        // The first segregatedFraction of memory is refreshed
+        // exactly: its errors vanish from every published output.
+        const std::size_t n = corpus.exact.size();
+        BitVec mask(n);
+        const auto cut = static_cast<std::size_t>(
+            prm.segregatedFraction * n);
+        for (std::size_t i = 0; i < cut; ++i)
+            mask.set(i);
+
+        std::vector<BitVec> segregated;
+        for (const auto &[chip, es] : corpus.outputs) {
+            BitVec cleaned = es;
+            for (std::size_t i = 0; i < cut; ++i)
+                cleaned.clear(i);
+            segregated.push_back(std::move(cleaned));
+        }
+        res.segregationIdentification =
+            identificationAccuracy(corpus, segregated);
+        res.segregationEnergyCost = segregationEnergyCost(mask);
+    }
+    return res;
+}
+
+std::string
+renderDefenses(const DefenseResult &res)
+{
+    std::ostringstream out;
+    out << "Section 8.2: defenses against Probable Cause\n\n";
+
+    out << "(8.2.2) noise addition sweep:\n";
+    TextTable noise({"flip rate", "identification", "mean within dist",
+                     "quality cost"});
+    for (const auto &row : res.noiseSweep) {
+        noise.addRow({fmtDouble(row.flipRate, 3),
+                      fmtDouble(100 * row.identification, 1) + "%",
+                      fmtDouble(row.meanWithin, 4),
+                      "+" + fmtDouble(100 * row.qualityCost, 1) +
+                      "% error"});
+    }
+    out << noise.render() << "\n";
+
+    out << "(8.2.3) page-level ASLR vs stitching ("
+        << res.stitchSamples << " samples, one machine):\n";
+    TextTable aslr({"placement policy", "suspected chips"});
+    aslr.addRow({"contiguous (default OS)",
+                 std::to_string(res.stitchSuspectsContiguous)});
+    aslr.addRow({"page-level ASLR",
+                 std::to_string(res.stitchSuspectsAslr)});
+    out << aslr.render() << "\n";
+
+    out << "(8.2.1) data segregation (sensitive quarter exact):\n";
+    out << "  identification on remainder : "
+        << fmtDouble(100 * res.segregationIdentification, 1) << "%\n";
+    out << "  energy saving forfeited     : "
+        << fmtDouble(100 * res.segregationEnergyCost, 1) << "%\n";
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 8.2 — defense evaluation.
+ *
+ * Quantifies the three mitigations the paper discusses:
+ *
+ * - Noise addition (8.2.2): sweep the flip rate and measure
+ *   identification accuracy against the quality cost. The paper's
+ *   claim — "adding noise only slows the attacker down" — shows up
+ *   as identification surviving noise levels that already ruin
+ *   output quality.
+ * - Page-level ASLR (8.2.3): run the stitching attack under the
+ *   scrambled placement policy and show the suspected-chip count
+ *   never converges.
+ * - Data segregation (8.2.1): show identification still works on
+ *   the non-sensitive remainder while the sensitive fraction
+ *   forfeits its energy savings.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_DEFENSES_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_DEFENSES_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the defense evaluation. */
+struct DefenseParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned numChips = 4;
+    double accuracy = 0.99;
+    double temperature = 40.0;
+    std::vector<double> noiseRates =
+        {0.0, 0.001, 0.005, 0.01, 0.05, 0.1};
+    double segregatedFraction = 0.25;
+
+    /** Stitching sub-experiment scale (pages and samples). */
+    std::uint64_t stitchMemoryBits = 1ull << 30;  //!< 128 MB
+    unsigned stitchSamples = 120;
+};
+
+/** One row of the noise sweep. */
+struct NoiseRow
+{
+    double flipRate;
+    double identification;  //!< nearest-fingerprint accuracy
+    double meanWithin;      //!< mean within-class distance
+    double qualityCost;     //!< extra output error from the defense
+};
+
+/** Raw experiment output. */
+struct DefenseResult
+{
+    std::vector<NoiseRow> noiseSweep;
+
+    /** Suspected chips after stitching, contiguous placement. */
+    std::size_t stitchSuspectsContiguous = 0;
+
+    /** Suspected chips after stitching under page-level ASLR. */
+    std::size_t stitchSuspectsAslr = 0;
+
+    /** Samples fed to each stitching run. */
+    unsigned stitchSamples = 0;
+
+    /** Identification accuracy when a quarter of memory is exact. */
+    double segregationIdentification = 0.0;
+
+    /** Energy-saving fraction forfeited by segregation. */
+    double segregationEnergyCost = 0.0;
+};
+
+/** Run the defense evaluation. */
+DefenseResult runDefenses(const DefenseParams &params);
+
+/** Render the defense report. */
+std::string renderDefenses(const DefenseResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_DEFENSES_HH

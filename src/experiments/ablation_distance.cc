@@ -1,0 +1,174 @@
+#include "experiments/ablation_distance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/characterize.hh"
+#include "core/error_string.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+
+namespace pcause
+{
+
+DistanceAblationResult
+runDistanceAblation(const DistanceAblationParams &prm)
+{
+    Platform platform(prm.chipConfig, prm.numChips, prm.ctx.seedBase);
+    std::uint64_t trial = prm.ctx.trialSeedBase;
+
+    // Fingerprint every chip at the characterization accuracy.
+    std::vector<Fingerprint> fps;
+    for (unsigned c = 0; c < prm.numChips; ++c) {
+        TestHarness h = platform.harness(c);
+        const BitVec exact = h.chip().worstCasePattern();
+        std::vector<BitVec> outs;
+        for (unsigned k = 0; k < 3; ++k) {
+            TrialSpec spec;
+            spec.accuracy = prm.fingerprintAccuracy;
+            spec.temp = prm.temperature;
+            spec.trialKey = ++trial;
+            outs.push_back(h.runWorstCaseTrial(spec).approx);
+        }
+        fps.push_back(characterize(outs, exact));
+    }
+
+    // Collect output error strings per (chip, accuracy).
+    struct Sample
+    {
+        unsigned chip;
+        double accuracy;
+        BitVec es;
+    };
+    std::vector<Sample> samples;
+    for (unsigned c = 0; c < prm.numChips; ++c) {
+        TestHarness h = platform.harness(c);
+        const BitVec exact = h.chip().worstCasePattern();
+        for (double acc : prm.outputAccuracies) {
+            for (unsigned k = 0; k < prm.outputsPerCell; ++k) {
+                TrialSpec spec;
+                spec.accuracy = acc;
+                spec.temp = prm.temperature;
+                spec.trialKey = ++trial;
+                samples.push_back(
+                    {c, acc,
+                     errorString(h.runWorstCaseTrial(spec).approx,
+                                 exact)});
+            }
+        }
+    }
+
+    DistanceAblationResult res;
+    for (DistanceMetric metric : {DistanceMetric::ModifiedJaccard,
+                                  DistanceMetric::Jaccard,
+                                  DistanceMetric::Hamming}) {
+        // Calibrate the matching threshold as a deployment would:
+        // from outputs at the characterization accuracy only.
+        double cal_within = 0.0;
+        double cal_between = std::numeric_limits<double>::max();
+        for (const auto &s : samples) {
+            if (s.accuracy != prm.fingerprintAccuracy)
+                continue;
+            for (unsigned f = 0; f < prm.numChips; ++f) {
+                const double d = distance(metric, s.es,
+                                          fps[f].bits());
+                if (f == s.chip)
+                    cal_within = std::max(cal_within, d);
+                else
+                    cal_between = std::min(cal_between, d);
+            }
+        }
+        const double threshold =
+            std::sqrt(std::max(cal_within, 1e-9) * cal_between);
+
+        double pooled_within = 0.0;
+        double pooled_between = std::numeric_limits<double>::max();
+        for (double acc : prm.outputAccuracies) {
+            double max_within = 0.0;
+            double min_between = std::numeric_limits<double>::max();
+            std::size_t total = 0, correct = 0;
+            for (const auto &s : samples) {
+                if (s.accuracy != acc)
+                    continue;
+                bool own_hit = false, foreign_hit = false;
+                for (unsigned f = 0; f < prm.numChips; ++f) {
+                    const double d =
+                        distance(metric, s.es, fps[f].bits());
+                    if (f == s.chip) {
+                        max_within = std::max(max_within, d);
+                        own_hit |= d < threshold;
+                    } else {
+                        min_between = std::min(min_between, d);
+                        foreign_hit |= d < threshold;
+                    }
+                }
+                ++total;
+                correct += own_hit && !foreign_hit;
+            }
+            pooled_within = std::max(pooled_within, max_within);
+            pooled_between = std::min(pooled_between, min_between);
+            res.cells.push_back(
+                {metric, acc,
+                 min_between / std::max(max_within, 1e-6),
+                 total ? static_cast<double>(correct) / total : 0.0});
+        }
+        res.summaries.push_back(
+            {metric, threshold,
+             pooled_between / std::max(pooled_within, 1e-6)});
+    }
+    return res;
+}
+
+namespace
+{
+
+const char *
+metricName(DistanceMetric m)
+{
+    switch (m) {
+      case DistanceMetric::ModifiedJaccard:
+        return "modified Jaccard (paper)";
+      case DistanceMetric::Jaccard:
+        return "plain Jaccard";
+      case DistanceMetric::Hamming:
+        return "normalized Hamming";
+      default:
+        return "?";
+    }
+}
+
+} // anonymous namespace
+
+std::string
+renderDistanceAblation(const DistanceAblationResult &res)
+{
+    std::ostringstream out;
+    out << "Ablation: distance metric under accuracy mismatch "
+           "(fingerprints at 99%)\n\n";
+    TextTable table({"metric", "output accuracy",
+                     "within/between separation",
+                     "identification accuracy"});
+    for (const auto &c : res.cells) {
+        table.addRow({metricName(c.metric),
+                      fmtDouble(100 * c.outputAccuracy, 0) + "%",
+                      fmtDouble(c.separation, 1) + "x",
+                      fmtDouble(100 * c.identification, 1) + "%"});
+    }
+    out << table.render() << "\n";
+
+    TextTable pooled({"metric", "calibrated threshold",
+                      "pooled separation (all accuracies)"});
+    for (const auto &s : res.summaries) {
+        pooled.addRow({metricName(s.metric),
+                       fmtDouble(s.calibratedThreshold, 4),
+                       fmtDouble(s.pooledSeparation, 2) + "x"});
+    }
+    out << pooled.render() << "\n";
+    out << "pooled separation < 1 means no single threshold works "
+           "across accuracy levels\n";
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation — why the modified Jaccard metric (Section 5.2).
+ *
+ * The paper argues plain Hamming distance fails "in cases where the
+ * amount of error in the system-level fingerprint and the
+ * approximate output differ dramatically (e.g., the chip is
+ * characterized at 99% accuracy while the data is 95% accurate)".
+ * This ablation measures identification accuracy for all three
+ * metrics with fingerprints built at 99% accuracy and outputs swept
+ * across accuracy levels, quantifying that design choice.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_DISTANCE_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_DISTANCE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/distance.hh"
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the distance-metric ablation. */
+struct DistanceAblationParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned numChips = 6;
+    double fingerprintAccuracy = 0.99;
+    std::vector<double> outputAccuracies = {0.99, 0.95, 0.90};
+    double temperature = 40.0;
+    unsigned outputsPerCell = 3; //!< outputs per (chip, accuracy)
+};
+
+/** One metric's performance at one output accuracy. */
+struct DistanceAblationCell
+{
+    DistanceMetric metric;
+    double outputAccuracy;
+
+    /** min-between / max-within at this accuracy alone. */
+    double separation;
+
+    /**
+     * Threshold-based identification accuracy, with the threshold
+     * calibrated from outputs at the characterization accuracy —
+     * the deployment reality the paper's Section 5.2 argument is
+     * about. An output counts as identified when its own chip's
+     * fingerprint (and only it) falls under the threshold.
+     */
+    double identification;
+};
+
+/** Per-metric summary across all output accuracies. */
+struct DistanceAblationSummary
+{
+    DistanceMetric metric;
+    double calibratedThreshold;
+
+    /**
+     * Pooled separation: min between-class distance across ALL
+     * accuracies over max within-class distance across ALL
+     * accuracies. Below 1 means no single threshold can work —
+     * exactly how plain Hamming fails under accuracy mismatch.
+     */
+    double pooledSeparation;
+};
+
+/** Raw experiment output. */
+struct DistanceAblationResult
+{
+    std::vector<DistanceAblationCell> cells;
+    std::vector<DistanceAblationSummary> summaries;
+};
+
+/** Run the ablation. */
+DistanceAblationResult
+runDistanceAblation(const DistanceAblationParams &params);
+
+/** Render the comparison table. */
+std::string
+renderDistanceAblation(const DistanceAblationResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_DISTANCE_HH

@@ -1,0 +1,102 @@
+#include "experiments/ablation_energy_privacy.hh"
+
+#include <limits>
+#include <sstream>
+
+#include "core/characterize.hh"
+#include "core/distance.hh"
+#include "core/error_string.hh"
+#include "dram/energy_model.hh"
+#include "math/fingerprint_space.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+
+namespace pcause
+{
+
+EnergyPrivacyResult
+runEnergyPrivacy(const EnergyPrivacyParams &prm)
+{
+    Platform platform(prm.chipConfig, prm.numChips, prm.ctx.seedBase);
+    EnergyModel energy;
+    std::uint64_t trial = prm.ctx.trialSeedBase;
+
+    EnergyPrivacyResult res;
+    for (double acc : prm.accuracies) {
+        EnergyPrivacyPoint point;
+        point.accuracy = acc;
+        point.refreshInterval = energy.intervalForAccuracy(
+            platform.chip(0).retention(), acc, prm.temperature);
+        point.energySaving =
+            energy.savingFraction(point.refreshInterval);
+        point.entropyBitsPerPage = evaluateFingerprintSpace(
+            FingerprintSpaceParams::fromAccuracy(32768, acc))
+            .entropyBitsFloor;
+
+        // Measured attribution at this operating point:
+        // fingerprints AND outputs at the same accuracy.
+        std::vector<Fingerprint> fps;
+        const BitVec exact = platform.chip(0).worstCasePattern();
+        for (unsigned c = 0; c < prm.numChips; ++c) {
+            TestHarness h = platform.harness(c);
+            std::vector<BitVec> outs;
+            for (unsigned k = 0; k < 3; ++k) {
+                TrialSpec spec;
+                spec.accuracy = acc;
+                spec.temp = prm.temperature;
+                spec.trialKey = ++trial;
+                outs.push_back(h.runWorstCaseTrial(spec).approx);
+            }
+            fps.push_back(characterize(outs, exact));
+        }
+        std::size_t total = 0, correct = 0;
+        for (unsigned c = 0; c < prm.numChips; ++c) {
+            TestHarness h = platform.harness(c);
+            TrialSpec spec;
+            spec.accuracy = acc;
+            spec.temp = prm.temperature;
+            spec.trialKey = ++trial;
+            const BitVec es = errorString(
+                h.runWorstCaseTrial(spec).approx, exact);
+            double best = std::numeric_limits<double>::max();
+            unsigned best_chip = 0;
+            for (unsigned f = 0; f < prm.numChips; ++f) {
+                const double d = modifiedJaccard(es, fps[f].bits());
+                if (d < best) {
+                    best = d;
+                    best_chip = f;
+                }
+            }
+            ++total;
+            correct += best_chip == c;
+        }
+        point.identification =
+            static_cast<double>(correct) / total;
+        res.points.push_back(point);
+    }
+    return res;
+}
+
+std::string
+renderEnergyPrivacy(const EnergyPrivacyResult &res)
+{
+    std::ostringstream out;
+    out << "Energy-privacy trade-off of approximate DRAM\n\n";
+    TextTable table({"accuracy", "refresh interval (s)",
+                     "energy saving", "entropy/page (bits)",
+                     "identification"});
+    for (const auto &p : res.points) {
+        table.addRow({fmtDouble(100 * p.accuracy, 1) + "%",
+                      fmtDouble(p.refreshInterval, 2),
+                      fmtDouble(100 * p.energySaving, 1) + "%",
+                      fmtDouble(p.entropyBitsPerPage, 0),
+                      fmtDouble(100 * p.identification, 0) + "%"});
+    }
+    out << table.render() << "\n";
+    out << "every energy-saving operating point leaks "
+           "machine-identifying entropy;\nonly exact operation "
+           "(zero saving) is anonymous\n";
+    return out.str();
+}
+
+} // namespace pcause

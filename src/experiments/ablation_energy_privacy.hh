@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Energy-privacy trade-off sweep.
+ *
+ * The paper's conclusion: "our results motivate the need for
+ * privacy to be a primary design criteria for future approximate
+ * computing systems." This experiment puts the two axes side by
+ * side: for each accuracy setting, the refresh-energy saving an
+ * approximate system buys, and the identifying entropy (Section 7.1
+ * model) plus measured identification success it leaks.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_ENERGY_PRIVACY_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_ENERGY_PRIVACY_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the energy-privacy sweep. */
+struct EnergyPrivacyParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned numChips = 4;
+    std::vector<double> accuracies =
+        {0.999, 0.99, 0.95, 0.90};
+    double temperature = 40.0;
+};
+
+/** One operating point of the trade-off curve. */
+struct EnergyPrivacyPoint
+{
+    double accuracy;
+    double refreshInterval;      //!< wall-clock seconds
+    double energySaving;         //!< fraction of device power saved
+    double entropyBitsPerPage;   //!< model entropy of one 4 KB page
+    double identification;       //!< measured attribution success
+};
+
+/** Raw experiment output. */
+struct EnergyPrivacyResult
+{
+    std::vector<EnergyPrivacyPoint> points;
+};
+
+/** Run the sweep. */
+EnergyPrivacyResult runEnergyPrivacy(const EnergyPrivacyParams &prm);
+
+/** Render the trade-off table. */
+std::string renderEnergyPrivacy(const EnergyPrivacyResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_ENERGY_PRIVACY_HH

@@ -1,0 +1,152 @@
+#include "experiments/ablation_interleaving.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "core/characterize.hh"
+#include "core/distance.hh"
+#include "core/error_string.hh"
+#include "dram/memory_system.hh"
+#include "dram/refresh_controller.hh"
+#include "util/ascii_chart.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+/** One worst-case decay trial on an interleaved system. */
+BitVec
+systemTrial(InterleavedMemory &mem, double accuracy, Celsius temp,
+            std::uint64_t trial_key)
+{
+    // The member chips share one adaptive controller setting: the
+    // interval for the first chip (devices from one production run
+    // have near-identical retention quantiles).
+    RefreshController ctrl(accuracy);
+    const Seconds interval =
+        ctrl.analyticInterval(mem.chip(0).retention(), temp);
+    mem.reseedTrial(trial_key);
+    const BitVec pattern = mem.worstCasePattern();
+    mem.write(pattern);
+    mem.elapse(interval, temp);
+    const BitVec out = mem.peek();
+    mem.refreshAll();
+    return out ^ pattern;
+}
+
+} // anonymous namespace
+
+InterleavingResult
+runInterleaving(const InterleavingParams &prm)
+{
+    InterleavingResult res;
+    std::uint64_t trial = prm.ctx.trialSeedBase;
+
+    // Manufacture chips for every system plus spares for the
+    // replacement sweep.
+    std::vector<std::unique_ptr<DramChip>> chips;
+    const unsigned total =
+        prm.numSystems * prm.chipsPerSystem + prm.chipsPerSystem;
+    for (unsigned i = 0; i < total; ++i)
+        chips.push_back(std::make_unique<DramChip>(
+            prm.chipConfig, prm.ctx.seedBase + i));
+
+    auto system_members = [&](unsigned s) {
+        std::vector<DramChip *> members;
+        for (unsigned c = 0; c < prm.chipsPerSystem; ++c)
+            members.push_back(
+                chips[s * prm.chipsPerSystem + c].get());
+        return members;
+    };
+
+    // Fingerprint every system as a unit.
+    std::vector<Fingerprint> fps;
+    for (unsigned s = 0; s < prm.numSystems; ++s) {
+        InterleavedMemory mem(system_members(s),
+                              prm.granularityBits);
+        Fingerprint fp;
+        for (unsigned k = 0; k < 3; ++k)
+            fp.augment(systemTrial(mem, prm.accuracy,
+                                   prm.temperature, ++trial));
+        fps.push_back(std::move(fp));
+    }
+
+    // System-vs-system identification.
+    std::size_t correct = 0;
+    for (unsigned s = 0; s < prm.numSystems; ++s) {
+        InterleavedMemory mem(system_members(s),
+                              prm.granularityBits);
+        const BitVec es = systemTrial(mem, prm.accuracy,
+                                      prm.temperature, ++trial);
+        double best = std::numeric_limits<double>::max();
+        unsigned best_sys = 0;
+        for (unsigned f = 0; f < prm.numSystems; ++f) {
+            const double d = modifiedJaccard(es, fps[f].bits());
+            if (f == s)
+                res.maxWithin = std::max(res.maxWithin, d);
+            else
+                res.minBetween = std::min(res.minBetween, d);
+            if (d < best) {
+                best = d;
+                best_sys = f;
+            }
+        }
+        correct += best_sys == s;
+    }
+    res.systemIdentification =
+        static_cast<double>(correct) / prm.numSystems;
+
+    // Replacement sweep on system 0: swap in spare devices one by
+    // one and measure the distance to the original fingerprint.
+    for (unsigned replaced = 0; replaced <= prm.chipsPerSystem;
+         ++replaced) {
+        std::vector<DramChip *> members = system_members(0);
+        for (unsigned c = 0; c < replaced; ++c) {
+            members[c] =
+                chips[prm.numSystems * prm.chipsPerSystem + c].get();
+        }
+        InterleavedMemory mem(members, prm.granularityBits);
+        const BitVec es = systemTrial(mem, prm.accuracy,
+                                      prm.temperature, ++trial);
+        const double d = modifiedJaccard(es, fps[0].bits());
+        res.replacements.push_back({replaced, d, d < 0.1});
+    }
+    return res;
+}
+
+std::string
+renderInterleaving(const InterleavingResult &res,
+                   const InterleavingParams &prm)
+{
+    std::ostringstream out;
+    out << "Fingerprinting " << prm.chipsPerSystem
+        << "-chip interleaved systems ("
+        << prm.granularityBits << "-bit stripes)\n\n";
+    out << "system identification : "
+        << fmtDouble(100 * res.systemIdentification, 0) << "%\n";
+    out << "max within-system     : "
+        << fmtDouble(res.maxWithin, 4) << "\n";
+    out << "min between-system    : "
+        << fmtDouble(res.minBetween, 4) << "\n\n";
+
+    out << "device replacement (system 0, threshold 0.1):\n";
+    TextTable table({"replaced chips", "distance to old fingerprint",
+                     "still identified"});
+    for (const auto &row : res.replacements) {
+        table.addRow({std::to_string(row.replacedChips) + "/" +
+                      std::to_string(prm.chipsPerSystem),
+                      fmtDouble(row.distanceToOldFingerprint, 4),
+                      row.stillIdentified ? "yes" : "no"});
+    }
+    out << table.render() << "\n";
+    out << "each replaced device erases its stripe share of the "
+           "fingerprint:\ndistance grows in steps of ~1/"
+        << prm.chipsPerSystem << " until the machine is a stranger\n";
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fingerprinting interleaved multi-chip systems.
+ *
+ * Deployed machines stripe data across several DRAM devices. Two
+ * questions the single-chip evaluation leaves open: (a) does the
+ * attack work when the "memory" is a 4-device interleave, and (b)
+ * what happens to a machine's identity when devices are replaced?
+ * The sweep fingerprints whole systems, then swaps 0..N member
+ * chips and measures the distance of the modified machine to its
+ * old fingerprint.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_INTERLEAVING_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_INTERLEAVING_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the interleaving study. */
+struct InterleavingParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned chipsPerSystem = 4;
+    unsigned numSystems = 3;
+    std::size_t granularityBits = 512; //!< one cache line
+    double accuracy = 0.99;
+    double temperature = 40.0;
+};
+
+/** Outcome of replacing some member devices. */
+struct ReplacementRow
+{
+    unsigned replacedChips;
+    double distanceToOldFingerprint;
+    bool stillIdentified; //!< under the default 0.1 threshold
+};
+
+/** Raw experiment output. */
+struct InterleavingResult
+{
+    /** System-vs-system identification accuracy. */
+    double systemIdentification = 0.0;
+
+    /** Max within- / min between-system distances. */
+    double maxWithin = 0.0;
+    double minBetween = 1.0;
+
+    /** Device-replacement sweep for system 0. */
+    std::vector<ReplacementRow> replacements;
+};
+
+/** Run the study. */
+InterleavingResult runInterleaving(const InterleavingParams &params);
+
+/** Render the study. */
+std::string renderInterleaving(const InterleavingResult &result,
+                               const InterleavingParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_INTERLEAVING_HH

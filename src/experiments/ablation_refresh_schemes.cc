@@ -1,0 +1,192 @@
+#include "experiments/ablation_refresh_schemes.hh"
+
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "core/characterize.hh"
+#include "core/distance.hh"
+#include "core/error_string.hh"
+#include "dram/energy_model.hh"
+#include "dram/refresh_controller.hh"
+#include "dram/retention_aware.hh"
+#include "util/logging.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+#include "util/stats.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+/** A scheme is a per-chip worst-case error-string generator. */
+using TrialFn =
+    std::function<BitVec(DramChip &, std::uint64_t trial_key)>;
+
+/**
+ * Evaluate one scheme across the platform: fingerprint each chip
+ * from 3 of its trials, then attribute one fresh trial per chip.
+ */
+RefreshSchemeRow
+evaluateScheme(const std::string &name, Platform &platform,
+               unsigned num_chips, double energy_saving,
+               const TrialFn &trial, std::uint64_t &key)
+{
+    RefreshSchemeRow row;
+    row.scheme = name;
+    row.energySaving = energy_saving;
+
+    std::vector<Fingerprint> fps;
+    RunningStats err;
+    for (unsigned c = 0; c < num_chips; ++c) {
+        Fingerprint fp;
+        for (unsigned k = 0; k < 3; ++k) {
+            const BitVec es = trial(platform.chip(c), ++key);
+            err.add(static_cast<double>(es.popcount()) /
+                    platform.chip(c).size());
+            fp.augment(es);
+        }
+        fps.push_back(std::move(fp));
+    }
+    row.errorRate = err.mean();
+
+    RunningStats within, between;
+    std::size_t total = 0, correct = 0;
+    for (unsigned c = 0; c < num_chips; ++c) {
+        const BitVec es = trial(platform.chip(c), ++key);
+        double best = std::numeric_limits<double>::max();
+        unsigned best_chip = 0;
+        for (unsigned f = 0; f < num_chips; ++f) {
+            const double d = modifiedJaccard(es, fps[f].bits());
+            (f == c ? within : between).add(d);
+            if (d < best) {
+                best = d;
+                best_chip = f;
+            }
+        }
+        ++total;
+        correct += best_chip == c;
+    }
+    row.withinDistance = within.mean();
+    row.betweenDistance = between.mean();
+    row.identification = static_cast<double>(correct) / total;
+    return row;
+}
+
+} // anonymous namespace
+
+RefreshSchemeResult
+runRefreshSchemes(const RefreshSchemeParams &prm)
+{
+    Platform platform(prm.chipConfig, prm.numChips, prm.ctx.seedBase);
+    EnergyModel energy;
+    std::uint64_t key = prm.ctx.trialSeedBase;
+
+    RefreshSchemeResult res;
+
+    // --- uniform approximate refresh (the paper's system) --------
+    {
+        RefreshController ctrl(prm.uniformAccuracy);
+        const Seconds interval = ctrl.analyticInterval(
+            platform.chip(0).retention(), prm.temperature);
+        const double saving = energy.savingFraction(interval);
+        auto trial = [&](DramChip &chip, std::uint64_t k) {
+            chip.reseedTrial(k);
+            const BitVec pattern = chip.worstCasePattern();
+            chip.write(pattern);
+            chip.elapse(ctrl.analyticInterval(chip.retention(),
+                                              prm.temperature),
+                        prm.temperature);
+            const BitVec out = chip.peek();
+            chip.refreshAll();
+            return out ^ pattern;
+        };
+        res.schemes.push_back(evaluateScheme(
+            "uniform approximate", platform, prm.numChips, saving,
+            trial, key));
+    }
+
+    // --- RAIDR, exact and over-stretched --------------------------
+    for (const auto &[name, margin] :
+         {std::pair<const char *, double>{"RAIDR exact",
+                                          prm.raidrExactMargin},
+          std::pair<const char *, double>{"RAIDR over-stretched",
+                                          prm.raidrApproxMargin}}) {
+        // Controllers are per chip (RAIDR profiles each module).
+        std::vector<RaidrController> ctrls;
+        for (unsigned c = 0; c < prm.numChips; ++c)
+            ctrls.emplace_back(platform.chip(c).retention(),
+                               prm.raidrBins, margin);
+        const double saving =
+            ctrls[0].refreshEnergySaving(prm.temperature);
+        auto trial = [&](DramChip &chip, std::uint64_t k) {
+            for (unsigned c = 0; c < prm.numChips; ++c) {
+                if (&platform.chip(c) == &chip)
+                    return ctrls[c].runWorstCaseTrial(
+                        chip, prm.temperature, k);
+            }
+            panic("chip not on platform");
+        };
+        res.schemes.push_back(evaluateScheme(
+            name, platform, prm.numChips, saving, trial, key));
+    }
+
+    // --- RAPID population sweep (analytic: exact by design) ------
+    // Placement at row granularity: on a 32 KB part, 4 KB pages all
+    // bottom out at the same floor-limited worst cell, erasing the
+    // variation RAPID exploits; rows expose it.
+    RapidPlacer placer(platform.chip(0).retention(),
+                       prm.chipConfig.rowBits());
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+        const auto populated = std::max<std::size_t>(
+            1, static_cast<std::size_t>(frac * placer.numPages()));
+        RapidSweepRow row;
+        row.populatedFraction = frac;
+        row.refreshInterval = placer.refreshInterval(
+            populated, 0.8, prm.temperature);
+        row.energySaving =
+            energy.savingFraction(row.refreshInterval);
+        res.rapidSweep.push_back(row);
+    }
+    return res;
+}
+
+std::string
+renderRefreshSchemes(const RefreshSchemeResult &res)
+{
+    std::ostringstream out;
+    out << "Fingerprinting under retention-aware refresh schemes\n\n";
+
+    TextTable table({"scheme", "error rate", "energy saving",
+                     "within dist", "between dist",
+                     "identification"});
+    for (const auto &row : res.schemes) {
+        table.addRow({row.scheme,
+                      fmtDouble(100 * row.errorRate, 4) + "%",
+                      fmtDouble(100 * row.energySaving, 1) + "%",
+                      fmtDouble(row.withinDistance, 4),
+                      fmtDouble(row.betweenDistance, 4),
+                      fmtDouble(100 * row.identification, 0) + "%"});
+    }
+    out << table.render() << "\n";
+    out << "(RAIDR exact leaks only VRT flicker — a handful of "
+           "random bits whose\nattribution is chance level)\n\n";
+
+    out << "RAPID population sweep (margin 0.8, exact operation):\n";
+    TextTable rapid({"populated fraction", "refresh interval (s)",
+                     "energy saving"});
+    for (const auto &row : res.rapidSweep) {
+        rapid.addRow({fmtDouble(100 * row.populatedFraction, 0) + "%",
+                      fmtDouble(row.refreshInterval, 2),
+                      fmtDouble(100 * row.energySaving, 1) + "%"});
+    }
+    out << rapid.render() << "\n";
+    out << "exact retention-aware schemes leak nothing (no errors); "
+           "any scheme that\nlets errors through leaks a "
+           "chip-identifying pattern\n";
+    return out.str();
+}
+
+} // namespace pcause

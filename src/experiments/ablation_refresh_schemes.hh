@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fingerprinting under retention-aware refresh schemes.
+ *
+ * The related-work refresh optimizations (RAIDR [17], RAPID [40])
+ * save energy by exploiting exactly the retention variation that
+ * Probable Cause fingerprints. This experiment compares refresh
+ * schemes on one axis sweep: delivered error rate, refresh-energy
+ * saving, and whether outputs remain attributable to their chip.
+ * Run exactly, RAIDR leaks nothing (no errors); run past its
+ * margin, its errors concentrate in the weakest rows — still a
+ * repeatable, chip-specific pattern.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_REFRESH_SCHEMES_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_REFRESH_SCHEMES_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the refresh-scheme comparison. */
+struct RefreshSchemeParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned numChips = 4;
+    double temperature = 40.0;
+    double uniformAccuracy = 0.99;  //!< uniform-approximate target
+    unsigned raidrBins = 8;
+    double raidrExactMargin = 0.7;  //!< safe multi-rate operation
+    double raidrApproxMargin = 2.0; //!< over-stretched operation
+};
+
+/** One scheme's outcome. */
+struct RefreshSchemeRow
+{
+    std::string scheme;
+    double errorRate;       //!< measured worst-case error fraction
+    double energySaving;    //!< refresh-energy saving vs JEDEC
+    double withinDistance;  //!< same-chip fingerprint distance
+    double betweenDistance; //!< cross-chip fingerprint distance
+    double identification;  //!< attribution success (schemes with
+                            //!< errors; 1.0 trivially impossible
+                            //!< when there are no errors)
+};
+
+/** One row of the RAPID population sweep. */
+struct RapidSweepRow
+{
+    double populatedFraction;
+    double refreshInterval;
+    double energySaving;
+};
+
+/** Raw experiment output. */
+struct RefreshSchemeResult
+{
+    std::vector<RefreshSchemeRow> schemes;
+    std::vector<RapidSweepRow> rapidSweep;
+};
+
+/** Run the comparison. */
+RefreshSchemeResult
+runRefreshSchemes(const RefreshSchemeParams &params);
+
+/** Render the comparison tables. */
+std::string renderRefreshSchemes(const RefreshSchemeResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_REFRESH_SCHEMES_HH

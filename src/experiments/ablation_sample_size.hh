@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sample-size sweep of the stitching attack.
+ *
+ * Figure 13 fixes the published-output size at 10 MB ("one photo
+ * from a digital camera"). This extension sweeps that size and
+ * measures how the suspected-chip curve moves: smaller outputs
+ * overlap less often, so the curve peaks higher and converges
+ * later — quantifying how much a victim's publishing habits change
+ * their exposure.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_SAMPLE_SIZE_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_SAMPLE_SIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/fig13_stitching.hh"
+
+namespace pcause
+{
+
+/** Parameters of the sample-size sweep. */
+struct SampleSizeParams
+{
+    ExperimentContext ctx;
+
+    /** Victim memory size in bits (scaled from the paper's 1 GB so
+     *  the sweep completes quickly; ratios are what matter). */
+    std::uint64_t memoryBits = 1ull << 32; // 512 MB
+
+    /** Output sizes to sweep. */
+    std::vector<std::uint64_t> sampleBytes =
+        {2ull << 20, 5ull << 20, 10ull << 20, 20ull << 20};
+
+    /** Samples collected per sweep point. */
+    unsigned numSamples = 300;
+};
+
+/** One sweep point. */
+struct SampleSizeRow
+{
+    std::uint64_t sampleBytes;
+    std::size_t peakSuspected;
+    unsigned convergenceOnset;
+    std::size_t finalSuspected;
+};
+
+/** Raw experiment output. */
+struct SampleSizeResult
+{
+    std::vector<SampleSizeRow> rows;
+};
+
+/** Run the sweep. */
+SampleSizeResult runSampleSizeSweep(const SampleSizeParams &params);
+
+/** Render the sweep table. */
+std::string renderSampleSizeSweep(const SampleSizeResult &result,
+                                  const SampleSizeParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_SAMPLE_SIZE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Wafer-correlation robustness sweep.
+ *
+ * Paper Section 2 hedges: "It is possible that some variation in
+ * capacitance is mask-dependent, thus replicated across wafers...
+ * we expect leakage current to be the dominant factor." This sweep
+ * tests how much of that expectation the attack actually needs:
+ * chips manufactured with a growing wafer-shared share of their
+ * retention variation, measured for within/between separation and
+ * identification accuracy.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_ABLATION_WAFER_CORRELATION_HH
+#define PCAUSE_EXPERIMENTS_ABLATION_WAFER_CORRELATION_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the wafer-correlation sweep. */
+struct WaferCorrelationParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned numChips = 4;
+    double accuracy = 0.99;
+    double temperature = 40.0;
+    std::vector<double> correlations =
+        {0.0, 0.3, 0.6, 0.9, 0.99};
+};
+
+/** One correlation level's outcome. */
+struct WaferCorrelationRow
+{
+    double correlation;
+    double crossChipOverlap; //!< shared fraction of error sets
+    double maxWithin;
+    double minBetween;
+    double identification;
+};
+
+/** Raw experiment output. */
+struct WaferCorrelationResult
+{
+    std::vector<WaferCorrelationRow> rows;
+};
+
+/** Run the sweep. */
+WaferCorrelationResult
+runWaferCorrelation(const WaferCorrelationParams &params);
+
+/** Render the sweep table. */
+std::string
+renderWaferCorrelation(const WaferCorrelationResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_ABLATION_WAFER_CORRELATION_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared configuration for the evaluation experiments.
+ *
+ * Every module in src/experiments reproduces one table or figure of
+ * the paper's evaluation. Each exposes a Params struct with scale
+ * knobs (so the unit tests can run reduced versions of the same
+ * code the benches run at paper scale), a Result struct with the
+ * raw rows/series, and a render() producing the terminal report.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_COMMON_HH
+#define PCAUSE_EXPERIMENTS_COMMON_HH
+
+#include <cstdint>
+
+namespace pcause
+{
+
+/** Seeds and switches common to all experiments. */
+struct ExperimentContext
+{
+    /** Base manufacturing seed; chip i is seed_base + i. */
+    std::uint64_t seedBase = 0x1464;
+
+    /** Base seed for trial noise and OS randomness. */
+    std::uint64_t trialSeedBase = 0x7001;
+
+    /** When true, experiments print progress via inform(). */
+    bool verbose = false;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_COMMON_HH

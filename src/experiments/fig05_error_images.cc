@@ -1,0 +1,123 @@
+#include "experiments/fig05_error_images.hh"
+
+#include <sstream>
+
+#include "image/filters.hh"
+#include "image/pgm.hh"
+#include "image/test_pattern.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+/** Store @p img in @p harness's chip and read it back degraded. */
+Image
+storeAndDecay(TestHarness &harness, const Image &img,
+              const TrialSpec &spec)
+{
+    const std::size_t cap = harness.chip().size();
+    PC_ASSERT(img.bitSize() <= cap, "image larger than chip");
+
+    // Pad the image bits to chip size (unused cells hold default
+    // values and cannot corrupt the payload readback).
+    BitVec data(cap);
+    data.blit(0, img.toBits());
+    const BitVec out = harness.runTrial(data, spec).approx;
+    return Image::fromBits(out.slice(0, img.bitSize()), img.width(),
+                           img.height());
+}
+
+} // anonymous namespace
+
+ErrorImageResult
+runErrorImages(const ErrorImageParams &prm)
+{
+    Platform platform(prm.chipConfig, 2, prm.ctx.seedBase);
+    TestHarness h0 = platform.harness(0);
+    TestHarness h1 = platform.harness(1);
+
+    ErrorImageResult res;
+    res.original = makeFigure5Image();
+
+    const struct
+    {
+        TestHarness *harness;
+        double temp;
+    } runs[] = {{&h0, prm.tempA}, {&h0, prm.tempB}, {&h1, prm.tempC}};
+
+    std::uint64_t trial = prm.ctx.trialSeedBase;
+    for (const auto &run : runs) {
+        TrialSpec spec;
+        spec.accuracy = prm.accuracy;
+        spec.temp = run.temp;
+        spec.trialKey = ++trial;
+        Image degraded = storeAndDecay(*run.harness, res.original,
+                                       spec);
+        res.errorMaps.push_back(absDiff(degraded, res.original));
+        res.errorPixels.push_back(
+            degraded.differingPixels(res.original));
+        res.degraded.push_back(std::move(degraded));
+    }
+
+    auto shared_errors = [&](const Image &x, const Image &y) {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < x.pixels().size(); ++i) {
+            n += x.pixels()[i] != res.original.pixels()[i] &&
+                y.pixels()[i] != res.original.pixels()[i];
+        }
+        return n;
+    };
+    res.sharedWithin = shared_errors(res.degraded[0], res.degraded[1]);
+    res.sharedBetween = shared_errors(res.degraded[0], res.degraded[2]);
+
+    if (!prm.outputDir.empty()) {
+        const std::string base = prm.outputDir + "/fig05_";
+        writePgm(res.original, base + "original.pgm");
+        const char *names[] = {"a_chip0_cool", "b_chip0_warm",
+                               "c_chip1"};
+        for (std::size_t i = 0; i < res.degraded.size(); ++i) {
+            writePgm(res.degraded[i],
+                     base + names[i] + ".pgm");
+            writePgm(res.errorMaps[i],
+                     base + names[i] + "_errors.pgm");
+        }
+    }
+    return res;
+}
+
+std::string
+renderErrorImages(const ErrorImageResult &res,
+                  const ErrorImageParams &prm)
+{
+    std::ostringstream out;
+    out << "Figure 5: error patterns imprinted on a stored "
+        << res.original.width() << "x" << res.original.height()
+        << " image at " << fmtDouble(100 * (1 - prm.accuracy), 0)
+        << "% error\n\n";
+
+    TextTable table({"output", "chip", "temp (C)", "error pixels"});
+    const char *chips[] = {"0", "0", "1"};
+    const double temps[] = {prm.tempA, prm.tempB, prm.tempC};
+    for (std::size_t i = 0; i < res.degraded.size(); ++i) {
+        table.addRow({std::string(1, static_cast<char>('a' + i)),
+                      chips[i], fmtDouble(temps[i], 0),
+                      std::to_string(res.errorPixels[i])});
+    }
+    out << table.render() << "\n";
+    out << "error pixels shared (a,b) same chip : "
+        << res.sharedWithin << "\n";
+    out << "error pixels shared (a,c) diff chip : "
+        << res.sharedBetween << "\n";
+    out << "within/between agreement ratio      : "
+        << fmtDouble(res.agreementRatio(), 1) << "x\n";
+    if (!prm.outputDir.empty())
+        out << "PGM files written under " << prm.outputDir << "\n";
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 5 — visible error patterns in stored images.
+ *
+ * Store a 200x154 black-and-white image in two different chips at a
+ * refresh rate yielding 1% worst-case error: outputs (a) and (b)
+ * come from the same chip at different temperatures, output (c)
+ * from a second chip. Error patterns of (a) and (b) visibly agree;
+ * (c) shares nothing. The experiment emits the three degraded
+ * images (and their error maps) as PGM files and quantifies the
+ * visual observation with error-pixel overlap counts.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG05_ERROR_IMAGES_HH
+#define PCAUSE_EXPERIMENTS_FIG05_ERROR_IMAGES_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+#include "image/image.hh"
+
+namespace pcause
+{
+
+/** Parameters of the error-image experiment. */
+struct ErrorImageParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    double accuracy = 0.99;
+    double tempA = 40.0;   //!< output (a): chip 0
+    double tempB = 50.0;   //!< output (b): chip 0, warmer
+    double tempC = 40.0;   //!< output (c): chip 1
+
+    /** Directory for the emitted PGM files; empty disables IO. */
+    std::string outputDir;
+};
+
+/** Raw experiment output. */
+struct ErrorImageResult
+{
+    Image original;                 //!< the exact image
+    std::vector<Image> degraded;    //!< outputs (a), (b), (c)
+    std::vector<Image> errorMaps;   //!< |degraded - original|
+
+    /** Error-pixel counts for each output. */
+    std::vector<std::size_t> errorPixels;
+
+    /** Shared error pixels between outputs (a) and (b) (same chip). */
+    std::size_t sharedWithin = 0;
+
+    /** Shared error pixels between outputs (a) and (c) (other chip). */
+    std::size_t sharedBetween = 0;
+
+    /** Ratio of within-chip to between-chip error-pixel agreement. */
+    double agreementRatio() const
+    {
+        return sharedWithin /
+            std::max<double>(static_cast<double>(sharedBetween), 1.0);
+    }
+};
+
+/** Run the experiment (writes PGMs when outputDir is set). */
+ErrorImageResult runErrorImages(const ErrorImageParams &params);
+
+/** Render the summary. */
+std::string renderErrorImages(const ErrorImageResult &result,
+                              const ErrorImageParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG05_ERROR_IMAGES_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7 — uniqueness of fingerprints.
+ *
+ * The paper's headline result: create a system-level fingerprint
+ * for each of 10 chips (intersection of 3 outputs at 1% error and
+ * different temperatures), then produce 9 outputs per chip across
+ * {40,50,60 C} x {99,95,90 %} and histogram the distance of every
+ * (output, fingerprint) pair, split into within-class (same chip)
+ * and between-class (other chips). Between-class distances come out
+ * two orders of magnitude above within-class, making identification
+ * trivial.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG07_UNIQUENESS_HH
+#define PCAUSE_EXPERIMENTS_FIG07_UNIQUENESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/distance.hh"
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the uniqueness experiment. */
+struct UniquenessParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned numChips = 10;
+    unsigned fingerprintOutputs = 3;      //!< outputs intersected
+    double fingerprintAccuracy = 0.99;    //!< 1% error
+    std::vector<double> accuracies = {0.99, 0.95, 0.90};
+    std::vector<double> temperatures = {40.0, 50.0, 60.0};
+    DistanceMetric metric = DistanceMetric::ModifiedJaccard;
+};
+
+/** One (output, fingerprint) pairing. */
+struct DistancePair
+{
+    unsigned outputChip;
+    unsigned fingerprintChip;
+    double accuracy;
+    double temperature;
+    double distance;
+
+    bool withinClass() const { return outputChip == fingerprintChip; }
+};
+
+/** Raw experiment output. */
+struct UniquenessResult
+{
+    std::vector<DistancePair> pairs;
+
+    /** Largest within-class distance observed. */
+    double maxWithin() const;
+
+    /** Smallest between-class distance observed. */
+    double minBetween() const;
+
+    /** minBetween / maxWithin (the orders-of-magnitude gap). */
+    double separationFactor() const;
+
+    /** Fraction of outputs identified to the correct chip. */
+    double identificationAccuracy(double threshold = 0.1) const;
+};
+
+/** Run the experiment. */
+UniquenessResult runUniqueness(const UniquenessParams &params);
+
+/** Render the Figure 7 histograms and summary. */
+std::string renderUniqueness(const UniquenessResult &result);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG07_UNIQUENESS_HH

@@ -1,0 +1,91 @@
+#include "experiments/fig08_consistency.hh"
+
+#include <sstream>
+
+#include "core/error_string.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+
+namespace pcause
+{
+
+ConsistencyResult
+runConsistency(const ConsistencyParams &prm)
+{
+    Platform platform(prm.chipConfig, prm.chipIndex + 1,
+                      prm.ctx.seedBase);
+    TestHarness h = platform.harness(prm.chipIndex);
+    const BitVec exact = h.chip().worstCasePattern();
+
+    std::vector<unsigned> count(h.chip().size(), 0);
+    for (unsigned t = 0; t < prm.trials; ++t) {
+        TrialSpec spec;
+        spec.accuracy = prm.accuracy;
+        spec.temp = prm.temperature;
+        spec.trialKey = prm.ctx.trialSeedBase + t;
+        const BitVec es =
+            errorString(h.runWorstCaseTrial(spec).approx, exact);
+        for (auto cell : es.setBits())
+            ++count[cell];
+    }
+
+    ConsistencyResult res;
+    res.trials = prm.trials;
+    for (std::size_t cell = 0; cell < count.size(); ++cell) {
+        if (count[cell] == 0)
+            continue;
+        ++res.everFail;
+        if (count[cell] == prm.trials)
+            ++res.alwaysFail;
+        res.occurrences.emplace_back(cell, count[cell]);
+    }
+    return res;
+}
+
+std::string
+renderConsistency(const ConsistencyResult &res, const DramConfig &cfg)
+{
+    std::ostringstream out;
+    out << "Figure 8: consistency of errors across " << res.trials
+        << " trials\n\n";
+    out << "cells failing at least once : " << res.everFail << "\n";
+    out << "cells failing in all trials : " << res.alwaysFail << "\n";
+    out << "stable fraction             : "
+        << fmtDouble(100.0 * res.stability(), 2)
+        << "%  (paper: more than 98%)\n\n";
+
+    // Coarse unpredictability map: 16x16 tiles over the (row, bit)
+    // plane, each showing how many noisy (not-always-failing) cells
+    // it contains — the terminal analogue of the paper's heatmap.
+    constexpr std::size_t tiles = 16;
+    const std::size_t row_bits = cfg.rowBits();
+    std::vector<unsigned> grid(tiles * tiles, 0);
+    for (const auto &[cell, n] : res.occurrences) {
+        if (n == res.trials)
+            continue; // predictable; heatmap shows noise only
+        const std::size_t row = cell / row_bits;
+        const std::size_t col = cell % row_bits;
+        const std::size_t ty = row * tiles / cfg.rows;
+        const std::size_t tx = col * tiles / row_bits;
+        ++grid[ty * tiles + tx];
+    }
+    unsigned peak = 1;
+    for (auto g : grid)
+        peak = std::max(peak, g);
+    static const char shade[] = " .:-=+*#%@";
+    out << "unpredictable-cell density (rows x cells, "
+        << tiles << "x" << tiles << " tiles):\n";
+    for (std::size_t y = 0; y < tiles; ++y) {
+        out << "  ";
+        for (std::size_t x = 0; x < tiles; ++x) {
+            const unsigned g = grid[y * tiles + x];
+            const std::size_t idx = g == 0
+                ? 0 : 1 + (g - 1) * 8 / peak;
+            out << shade[idx];
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 8 — consistency of errors across trials.
+ *
+ * Record 21 outputs of one chip at 99% accuracy and 40 C and compare
+ * error locations: the paper finds that more than 98% of the bits
+ * failing in any trial fail in all 21 trials. The result carries
+ * both the stability summary and the per-cell occurrence counts
+ * behind the paper's heatmap.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG08_CONSISTENCY_HH
+#define PCAUSE_EXPERIMENTS_FIG08_CONSISTENCY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the consistency experiment. */
+struct ConsistencyParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned chipIndex = 0;
+    unsigned trials = 21;
+    double accuracy = 0.99;
+    double temperature = 40.0;
+};
+
+/** Raw experiment output. */
+struct ConsistencyResult
+{
+    unsigned trials = 0;
+
+    /** Number of cells failing in every trial. */
+    std::size_t alwaysFail = 0;
+
+    /** Number of cells failing in at least one trial. */
+    std::size_t everFail = 0;
+
+    /**
+     * Error-occurrence count per ever-failing cell, keyed by cell
+     * index — the data behind the heatmap.
+     */
+    std::vector<std::pair<std::size_t, unsigned>> occurrences;
+
+    /** Fraction of ever-failing cells that fail in every trial. */
+    double stability() const
+    {
+        return everFail
+            ? static_cast<double>(alwaysFail) / everFail : 1.0;
+    }
+};
+
+/** Run the experiment. */
+ConsistencyResult runConsistency(const ConsistencyParams &params);
+
+/** Render the stability summary plus a coarse unpredictability map. */
+std::string renderConsistency(const ConsistencyResult &result,
+                              const DramConfig &config);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG08_CONSISTENCY_HH

@@ -1,0 +1,81 @@
+#include "experiments/fig09_fig11_grouping.hh"
+
+#include <sstream>
+
+#include "util/ascii_chart.hh"
+#include "util/stats.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+std::vector<GroupSummary>
+groupBy(const UniquenessResult &res, bool by_accuracy)
+{
+    std::map<double, RunningStats> acc;
+    for (const auto &p : res.pairs) {
+        if (p.withinClass())
+            continue;
+        acc[by_accuracy ? p.accuracy : p.temperature].add(p.distance);
+    }
+    std::vector<GroupSummary> out;
+    for (const auto &[key, stats] : acc) {
+        out.push_back({key, stats.count(), stats.mean(),
+                       stats.stddev(), stats.min(), stats.max()});
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<GroupSummary>
+groupByTemperature(const UniquenessResult &res)
+{
+    return groupBy(res, false);
+}
+
+std::vector<GroupSummary>
+groupByAccuracy(const UniquenessResult &res)
+{
+    return groupBy(res, true);
+}
+
+std::string
+renderGroups(const UniquenessResult &res,
+             const std::vector<GroupSummary> &groups,
+             const std::string &title, const std::string &key_name,
+             bool group_is_accuracy)
+{
+    std::ostringstream out;
+    out << title << "\n\n";
+
+    for (const auto &g : groups) {
+        Histogram h(0.7, 1.0, 15);
+        for (const auto &p : res.pairs) {
+            if (p.withinClass())
+                continue;
+            const double key =
+                group_is_accuracy ? p.accuracy : p.temperature;
+            if (key == g.key)
+                h.add(p.distance);
+        }
+        std::ostringstream label;
+        label << key_name << " = " << g.key;
+        out << renderHistogram(h, label.str()) << "\n";
+    }
+
+    TextTable table({key_name, "pairs", "mean", "stddev", "min",
+                     "max"});
+    for (const auto &g : groups) {
+        table.addRow({fmtDouble(g.key, 2),
+                      std::to_string(g.count),
+                      fmtDouble(g.mean, 4), fmtDouble(g.stddev, 4),
+                      fmtDouble(g.min, 4), fmtDouble(g.max, 4)});
+    }
+    out << table.render();
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figures 9 and 11 — between-class distance groupings.
+ *
+ * Both figures are views over the Figure 7 distance pairs: Figure 9
+ * groups between-class distances by temperature (showing no
+ * noticeable thermal effect), Figure 11 groups them by accuracy
+ * (showing the average distance shrinking as approximation grows
+ * while staying far above within-class). Implemented as analyses
+ * over a UniquenessResult so all three figures share one run.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG09_FIG11_GROUPING_HH
+#define PCAUSE_EXPERIMENTS_FIG09_FIG11_GROUPING_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/fig07_uniqueness.hh"
+
+namespace pcause
+{
+
+/** Summary of one between-class group. */
+struct GroupSummary
+{
+    double key;          //!< temperature (Fig 9) or accuracy (Fig 11)
+    std::size_t count;
+    double mean;
+    double stddev;
+    double min;
+    double max;
+};
+
+/** Figure 9: between-class distances grouped by temperature. */
+std::vector<GroupSummary>
+groupByTemperature(const UniquenessResult &result);
+
+/** Figure 11: between-class distances grouped by accuracy. */
+std::vector<GroupSummary>
+groupByAccuracy(const UniquenessResult &result);
+
+/**
+ * Render a grouped view: one histogram per group plus the summary
+ * table. @p key_name labels the grouping axis.
+ */
+std::string renderGroups(const UniquenessResult &result,
+                         const std::vector<GroupSummary> &groups,
+                         const std::string &title,
+                         const std::string &key_name,
+                         bool group_is_accuracy);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG09_FIG11_GROUPING_HH

@@ -1,0 +1,67 @@
+#include "experiments/fig10_failure_order.hh"
+
+#include <sstream>
+
+#include "core/error_string.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+FailureOrderResult
+runFailureOrder(const FailureOrderParams &prm)
+{
+    PC_ASSERT(prm.accuracies.size() >= 2,
+              "failure order needs at least two accuracy levels");
+
+    Platform platform(prm.chipConfig, prm.chipIndex + 1,
+                      prm.ctx.seedBase);
+    TestHarness h = platform.harness(prm.chipIndex);
+    const BitVec exact = h.chip().worstCasePattern();
+
+    std::vector<BitVec> error_sets;
+    for (std::size_t i = 0; i < prm.accuracies.size(); ++i) {
+        TrialSpec spec;
+        spec.accuracy = prm.accuracies[i];
+        spec.temp = prm.temperature;
+        spec.trialKey = prm.ctx.trialSeedBase + i;
+        error_sets.push_back(
+            errorString(h.runWorstCaseTrial(spec).approx, exact));
+    }
+
+    FailureOrderResult res;
+    for (const auto &es : error_sets)
+        res.errorCounts.push_back(es.popcount());
+    for (std::size_t i = 0; i + 1 < error_sets.size(); ++i)
+        res.outliers.push_back(
+            error_sets[i].andNotCount(error_sets[i + 1]));
+    return res;
+}
+
+std::string
+renderFailureOrder(const FailureOrderResult &res,
+                   const FailureOrderParams &prm)
+{
+    std::ostringstream out;
+    out << "Figure 10: order of cell failures across accuracy "
+           "levels\n\n";
+
+    TextTable table({"accuracy", "error bits",
+                     "outliers vs next level", "outlier rate"});
+    for (std::size_t i = 0; i < res.errorCounts.size(); ++i) {
+        const bool has_next = i + 1 < res.errorCounts.size();
+        table.addRow({fmtDouble(prm.accuracies[i], 2),
+                      std::to_string(res.errorCounts[i]),
+                      has_next ? std::to_string(res.outliers[i]) : "-",
+                      has_next ? fmtDouble(100 * res.outlierRate(i), 3)
+                               + "%" : "-"});
+    }
+    out << table.render() << "\n";
+    out << "paper: rough subset relation 99% in 95% in 90% with 1 "
+           "and 32 outliers\n";
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10 — order of cell failures.
+ *
+ * Record one chip's failed bits at 99%, 95% and 90% accuracy and
+ * measure the overlap: the paper finds a rough subset relation
+ * 99% ⊂ 95% ⊂ 90% (a single outlier at the first level, 32 at the
+ * second), evidence that cells decay in a chip-specific order.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG10_FAILURE_ORDER_HH
+#define PCAUSE_EXPERIMENTS_FIG10_FAILURE_ORDER_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "experiments/common.hh"
+
+namespace pcause
+{
+
+/** Parameters of the failure-order experiment. */
+struct FailureOrderParams
+{
+    ExperimentContext ctx;
+    DramConfig chipConfig = DramConfig::km41464a();
+    unsigned chipIndex = 0;
+    std::vector<double> accuracies = {0.99, 0.95, 0.90};
+    double temperature = 40.0;
+};
+
+/** Venn-style overlap counts between consecutive accuracy levels. */
+struct FailureOrderResult
+{
+    /** Error-set size per accuracy level, in parameter order. */
+    std::vector<std::size_t> errorCounts;
+
+    /**
+     * For each consecutive accuracy pair (higher, lower):
+     * number of higher-accuracy error bits NOT contained in the
+     * lower-accuracy error set (the paper's outliers: 1 and 32).
+     */
+    std::vector<std::size_t> outliers;
+
+    /** Subset violation rate of level @p i into level i+1. */
+    double outlierRate(std::size_t i) const
+    {
+        return errorCounts[i]
+            ? static_cast<double>(outliers[i]) / errorCounts[i] : 0.0;
+    }
+};
+
+/** Run the experiment. */
+FailureOrderResult runFailureOrder(const FailureOrderParams &params);
+
+/** Render the Venn summary. */
+std::string renderFailureOrder(const FailureOrderResult &result,
+                               const FailureOrderParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG10_FAILURE_ORDER_HH

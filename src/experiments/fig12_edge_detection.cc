@@ -1,0 +1,73 @@
+#include "experiments/fig12_edge_detection.hh"
+
+#include <sstream>
+
+#include "image/edge_detect.hh"
+#include "image/pgm.hh"
+#include "image/test_pattern.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+EdgeShowcaseResult
+runEdgeShowcase(const EdgeShowcaseParams &prm)
+{
+    EdgeShowcaseResult res;
+    res.input = makeTestImage(TestScene::Landscape, prm.width,
+                              prm.height, prm.ctx.seedBase);
+    res.exactOutput = edgeDetect(res.input);
+
+    // Run the output buffer through approximate DRAM, as the
+    // Section 7.6 program does.
+    Platform platform = Platform::legacy(1, prm.ctx.seedBase);
+    TestHarness h = platform.harness(0);
+    PC_ASSERT(res.exactOutput.bitSize() <= h.chip().size(),
+              "output larger than chip");
+    BitVec padded(h.chip().size());
+    padded.blit(0, res.exactOutput.toBits());
+    TrialSpec spec;
+    spec.accuracy = prm.accuracy;
+    spec.temp = prm.temperature;
+    spec.trialKey = prm.ctx.trialSeedBase;
+    const BitVec degraded = h.runTrial(padded, spec).approx;
+    res.approxOutput = Image::fromBits(
+        degraded.slice(0, res.exactOutput.bitSize()),
+        res.exactOutput.width(), res.exactOutput.height());
+
+    res.corruptedPixels =
+        res.approxOutput.differingPixels(res.exactOutput);
+    res.meanAbsError = res.approxOutput.meanAbsDiff(res.exactOutput);
+
+    if (!prm.outputDir.empty()) {
+        const std::string base = prm.outputDir + "/fig12_";
+        writePgm(res.input, base + "input.pgm");
+        writePgm(res.exactOutput, base + "output_exact.pgm");
+        writePgm(res.approxOutput, base + "output_approx.pgm");
+    }
+    return res;
+}
+
+std::string
+renderEdgeShowcase(const EdgeShowcaseResult &res,
+                   const EdgeShowcaseParams &prm)
+{
+    std::ostringstream out;
+    out << "Figure 12: gradient edge-detection workload ("
+        << res.input.width() << "x" << res.input.height() << ")\n\n";
+    out << "approximation level    : "
+        << fmtDouble(100 * (1 - prm.accuracy), 0) << "% error target\n";
+    out << "corrupted output pixels: " << res.corruptedPixels << " / "
+        << res.exactOutput.pixelCount() << " ("
+        << fmtDouble(100.0 * res.corruptedPixels /
+                     res.exactOutput.pixelCount(), 2) << "%)\n";
+    out << "mean abs pixel error   : "
+        << fmtDouble(res.meanAbsError, 3) << " levels\n";
+    if (!prm.outputDir.empty())
+        out << "PGM files written under " << prm.outputDir << "\n";
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 12 — the edge-detection benchmark program.
+ *
+ * Shows the Section 7.6 workload itself: a sample input and the
+ * gradient edge-detection output (the CImg program's role), run
+ * through approximate memory so the output carries a real error
+ * imprint. Emits both images as PGM files and reports output
+ * statistics plus the approximation's effect on them.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG12_EDGE_DETECTION_HH
+#define PCAUSE_EXPERIMENTS_FIG12_EDGE_DETECTION_HH
+
+#include <string>
+
+#include "experiments/common.hh"
+#include "image/image.hh"
+
+namespace pcause
+{
+
+/** Parameters of the edge-detection showcase. */
+struct EdgeShowcaseParams
+{
+    ExperimentContext ctx;
+    std::size_t width = 200;
+    std::size_t height = 154;
+    double accuracy = 0.99;
+    double temperature = 40.0;
+    std::string outputDir;  //!< empty disables PGM output
+};
+
+/** Raw experiment output. */
+struct EdgeShowcaseResult
+{
+    Image input;
+    Image exactOutput;      //!< edge detection, exact memory
+    Image approxOutput;     //!< edge detection output after decay
+
+    /** Pixels whose value changed due to approximation. */
+    std::size_t corruptedPixels = 0;
+
+    /** Mean absolute pixel error introduced by approximation. */
+    double meanAbsError = 0.0;
+};
+
+/** Run the showcase. */
+EdgeShowcaseResult runEdgeShowcase(const EdgeShowcaseParams &params);
+
+/** Render the summary. */
+std::string renderEdgeShowcase(const EdgeShowcaseResult &result,
+                               const EdgeShowcaseParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG12_EDGE_DETECTION_HH

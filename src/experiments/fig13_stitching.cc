@@ -1,0 +1,92 @@
+#include "experiments/fig13_stitching.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "core/attacker.hh"
+#include "util/ascii_chart.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+std::size_t
+StitchingResult::peakSuspected() const
+{
+    if (suspectedChips.empty())
+        return 0;
+    return *std::max_element(suspectedChips.begin(),
+                             suspectedChips.end());
+}
+
+unsigned
+StitchingResult::convergenceOnset() const
+{
+    // The onset is the sample count at the curve's peak: before it,
+    // fresh samples mostly open new clusters; after it, merges win.
+    const std::size_t peak = peakSuspected();
+    for (std::size_t i = 0; i < suspectedChips.size(); ++i) {
+        if (suspectedChips[i] == peak)
+            return sampleCounts[i];
+    }
+    return 0;
+}
+
+StitchingResult
+runStitching(const StitchingParams &prm)
+{
+    PC_ASSERT(prm.numMachines >= 1, "need at least one machine");
+
+    std::vector<std::unique_ptr<CommoditySystem>> machines;
+    for (unsigned m = 0; m < prm.numMachines; ++m) {
+        machines.push_back(std::make_unique<CommoditySystem>(
+            prm.system, prm.ctx.seedBase + m,
+            prm.ctx.trialSeedBase + m));
+    }
+
+    EavesdropperAttacker attacker(prm.stitch);
+    StitchingResult res;
+    for (unsigned n = 1; n <= prm.numSamples; ++n) {
+        CommoditySystem &victim = *machines[(n - 1) % machines.size()];
+        attacker.observe(victim.publish(prm.sampleBytes));
+        if (n % prm.recordEvery == 0 || n == prm.numSamples) {
+            res.sampleCounts.push_back(n);
+            res.suspectedChips.push_back(
+                attacker.suspectedMachines());
+            if (prm.ctx.verbose)
+                inform("samples=%u suspected=%zu", n,
+                       attacker.suspectedMachines());
+        }
+    }
+    res.stats = attacker.stitcher().stats();
+    return res;
+}
+
+std::string
+renderStitching(const StitchingResult &res,
+                const StitchingParams &prm)
+{
+    std::ostringstream out;
+    out << "Figure 13: suspected chips vs collected samples ("
+        << (prm.system.dram.totalBits >> 23) << " MB memory, "
+        << (prm.sampleBytes >> 20) << " MB samples)\n\n";
+
+    std::vector<double> xs(res.sampleCounts.begin(),
+                           res.sampleCounts.end());
+    std::vector<double> ys(res.suspectedChips.begin(),
+                           res.suspectedChips.end());
+    out << renderSeries(xs, ys, "# suspected chips vs # samples");
+
+    out << "\npeak suspected chips : " << res.peakSuspected() << "\n";
+    out << "convergence onset    : ~" << res.convergenceOnset()
+        << " samples  (paper: ~90)\n";
+    out << "final suspected      : " << res.finalSuspected()
+        << "  (true machines: " << prm.numMachines << ")\n";
+    out << "cluster merges       : " << res.stats.merges << "\n";
+    out << "rejected alignments  : " << res.stats.rejectedMerges
+        << "\n";
+    return out.str();
+}
+
+} // namespace pcause

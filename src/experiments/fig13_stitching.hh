@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 13 — end-to-end eavesdropping attack (Section 7.6).
+ *
+ * A commodity system with 1 GB of modeled approximate DRAM runs an
+ * edge-detection workload; each run publishes a 10 MB approximate
+ * output placed at a fresh physical location. The eavesdropper
+ * stitches page-level fingerprints across samples; the number of
+ * suspected chips first grows (disjoint samples look like distinct
+ * machines), then converges as overlaps accumulate — the paper
+ * observes convergence beginning after roughly 90 samples.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_FIG13_STITCHING_HH
+#define PCAUSE_EXPERIMENTS_FIG13_STITCHING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stitcher.hh"
+#include "experiments/common.hh"
+#include "os/commodity_system.hh"
+
+namespace pcause
+{
+
+/** Parameters of the stitching experiment. */
+struct StitchingParams
+{
+    ExperimentContext ctx;
+
+    /** Victim machine configuration (1 GB, 99%, contiguous OS). */
+    CommoditySystemParams system;
+
+    /** Published sample size (10 MB: "one photo"). */
+    std::uint64_t sampleBytes = 10ull << 20;
+
+    /** Samples to collect. */
+    unsigned numSamples = 1000;
+
+    /** Record the suspected-chip count every this many samples. */
+    unsigned recordEvery = 10;
+
+    /** Number of distinct victim machines publishing (paper: 1). */
+    unsigned numMachines = 1;
+
+    /** Stitcher tuning. */
+    StitchParams stitch;
+};
+
+/** The Figure 13 series plus session statistics. */
+struct StitchingResult
+{
+    std::vector<unsigned> sampleCounts;     //!< x axis
+    std::vector<std::size_t> suspectedChips; //!< y axis
+    StitchStats stats;
+
+    /** Peak of the suspected-chip curve. */
+    std::size_t peakSuspected() const;
+
+    /** First sample count where the curve drops below its peak. */
+    unsigned convergenceOnset() const;
+
+    /** Final suspected-chip count. */
+    std::size_t finalSuspected() const
+    {
+        return suspectedChips.empty() ? 0 : suspectedChips.back();
+    }
+};
+
+/** Run the experiment. */
+StitchingResult runStitching(const StitchingParams &params);
+
+/** Render the Figure 13 series. */
+std::string renderStitching(const StitchingResult &result,
+                            const StitchingParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_FIG13_STITCHING_HH

@@ -1,0 +1,85 @@
+#include "experiments/tables_model.hh"
+
+#include <sstream>
+
+#include "util/ascii_chart.hh"
+
+namespace pcause
+{
+
+ModelTableRow
+evaluateTable1(std::uint64_t memory_bits)
+{
+    ModelTableRow row;
+    row.accuracy = 0.99;
+    row.params = FingerprintSpaceParams::fromAccuracy(memory_bits,
+                                                      row.accuracy);
+    row.result = evaluateFingerprintSpace(row.params);
+    return row;
+}
+
+std::vector<ModelTableRow>
+evaluateTable2(std::uint64_t memory_bits,
+               const std::vector<double> &accuracies)
+{
+    std::vector<ModelTableRow> rows;
+    for (double acc : accuracies) {
+        ModelTableRow row;
+        row.accuracy = acc;
+        row.params = FingerprintSpaceParams::fromAccuracy(memory_bits,
+                                                          acc);
+        row.result = evaluateFingerprintSpace(row.params);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+renderTable1(const ModelTableRow &row)
+{
+    std::ostringstream out;
+    out << "Table 1: fingerprint space for one page of memory "
+        << "(M = " << row.params.memoryBits << " bits, A = "
+        << row.params.errorBits << ", T = " << row.params.thresholdBits
+        << ")\n\n";
+
+    TextTable table({"quantity", "measured", "paper"});
+    table.addRow({"Max possible fingerprints",
+                  fmtLog10(row.result.log10MaxFingerprints),
+                  "8.70e+795"});
+    table.addRow({"Max unique fingerprints (>=)",
+                  fmtLog10(row.result.log10DistinguishableLower),
+                  "1.07e+590"});
+    table.addRow({"Chance of mismatching (<=)",
+                  fmtLog10(row.result.log10MismatchUpper),
+                  "9.29e-591"});
+    table.addRow({"Total entropy (bits)",
+                  fmtDouble(row.result.entropyBitsFloor, 0),
+                  "2423"});
+    out << table.render();
+    return out.str();
+}
+
+std::string
+renderTable2(const std::vector<ModelTableRow> &rows)
+{
+    std::ostringstream out;
+    out << "Table 2: chance of mismatching two pages of memory by "
+           "accuracy\n\n";
+
+    static const char *paper[] = {"<= 9.29e-591", "<= 8.78e-2028",
+                                  "<= 4.76e-3232"};
+    TextTable table({"accuracy", "A (bits)", "T (bits)",
+                     "mismatch chance (measured)", "paper"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        table.addRow({fmtDouble(100 * rows[i].accuracy, 0) + "%",
+                      std::to_string(rows[i].params.errorBits),
+                      std::to_string(rows[i].params.thresholdBits),
+                      "<= " + fmtLog10(rows[i].result.log10MismatchUpper),
+                      i < 3 ? paper[i] : "-"});
+    }
+    out << table.render();
+    return out.str();
+}
+
+} // namespace pcause

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 1 and Table 2 — the fingerprint-space model numbers.
+ *
+ * Table 1 evaluates Equations 1-4 for one page of memory
+ * (M = 32768 bits, A = 1% of M, T = 10% of A). Table 2 sweeps the
+ * mismatch-chance bound over accuracies {99, 95, 90}%. Paper
+ * values: max fingerprints 8.70e795, unique >= 1.07e590, mismatch
+ * <= 9.29e-591 / 8.78e-2028 / 4.76e-3232, total entropy 2423 bits.
+ */
+
+#ifndef PCAUSE_EXPERIMENTS_TABLES_MODEL_HH
+#define PCAUSE_EXPERIMENTS_TABLES_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "math/fingerprint_space.hh"
+
+namespace pcause
+{
+
+/** One evaluated row of the model tables. */
+struct ModelTableRow
+{
+    double accuracy;
+    FingerprintSpaceParams params;
+    FingerprintSpaceResult result;
+};
+
+/** Evaluate the Table 1 configuration (page of memory, 1% error). */
+ModelTableRow evaluateTable1(std::uint64_t memory_bits = 32768);
+
+/** Evaluate the Table 2 accuracy sweep. */
+std::vector<ModelTableRow>
+evaluateTable2(std::uint64_t memory_bits = 32768,
+               const std::vector<double> &accuracies =
+               {0.99, 0.95, 0.90});
+
+/** Render Table 1 next to the paper's published values. */
+std::string renderTable1(const ModelTableRow &row);
+
+/** Render Table 2 next to the paper's published values. */
+std::string renderTable2(const std::vector<ModelTableRow> &rows);
+
+} // namespace pcause
+
+#endif // PCAUSE_EXPERIMENTS_TABLES_MODEL_HH

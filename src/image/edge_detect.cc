@@ -1,0 +1,77 @@
+#include "image/edge_detect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/filters.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+using GradFn = void (*)(const Image &, std::size_t, std::size_t,
+                        double &, double &);
+
+void
+centralGrad(const Image &img, std::size_t x, std::size_t y,
+            double &gx, double &gy)
+{
+    auto sx = static_cast<std::ptrdiff_t>(x);
+    auto sy = static_cast<std::ptrdiff_t>(y);
+    gx = (img.atClamped(sx + 1, sy) - img.atClamped(sx - 1, sy)) / 2.0;
+    gy = (img.atClamped(sx, sy + 1) - img.atClamped(sx, sy - 1)) / 2.0;
+}
+
+void
+sobelGrad(const Image &img, std::size_t x, std::size_t y,
+          double &gx, double &gy)
+{
+    auto sx = static_cast<std::ptrdiff_t>(x);
+    auto sy = static_cast<std::ptrdiff_t>(y);
+    auto p = [&](std::ptrdiff_t dx, std::ptrdiff_t dy) {
+        return static_cast<double>(img.atClamped(sx + dx, sy + dy));
+    };
+    gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+         (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+    gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+         (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+}
+
+Image
+gradientMagnitude(const Image &input, const EdgeDetectParams &params,
+                  GradFn grad, double norm)
+{
+    Image src = params.preBlur
+        ? convolve(input, Kernel::gaussian3()) : input;
+    Image out(src.width(), src.height());
+    for (std::size_t y = 0; y < src.height(); ++y) {
+        for (std::size_t x = 0; x < src.width(); ++x) {
+            double gx = 0.0, gy = 0.0;
+            grad(src, x, y, gx, gy);
+            double mag = params.gain * std::hypot(gx, gy) / norm;
+            out.setPixel(x, y, static_cast<std::uint8_t>(std::clamp(
+                std::lround(mag), 0l, (long)params.clampMax)));
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Image
+edgeDetect(const Image &input, const EdgeDetectParams &params)
+{
+    return gradientMagnitude(input, params, centralGrad, 1.0);
+}
+
+Image
+sobelEdgeDetect(const Image &input, const EdgeDetectParams &params)
+{
+    // Sobel responses are ~4x central differences; normalize so the
+    // two detectors produce comparable dynamic range.
+    return gradientMagnitude(input, params, sobelGrad, 4.0);
+}
+
+} // namespace pcause

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Gradient edge detection — the approximate-computing benchmark.
+ *
+ * The paper's Section 7.6 experiment runs "a Valgrind instrumented
+ * edge-detection program from the CImg open-source image processing
+ * library" (Figure 12). This is that workload: a gradient-magnitude
+ * edge detector whose output tolerates bit errors gracefully, which
+ * is exactly why such code gets run on approximate memory.
+ */
+
+#ifndef PCAUSE_IMAGE_EDGE_DETECT_HH
+#define PCAUSE_IMAGE_EDGE_DETECT_HH
+
+#include "image/image.hh"
+
+namespace pcause
+{
+
+/** Tunables of the edge-detection pipeline. */
+struct EdgeDetectParams
+{
+    bool preBlur = true;       //!< Gaussian blur before gradients
+    double gain = 1.0;         //!< gradient magnitude scaling
+    std::uint8_t clampMax = 255; //!< output saturation level
+};
+
+/**
+ * Central-difference gradient magnitude (the CImg getgradient-style
+ * operator): out = clamp(gain * sqrt(gx^2 + gy^2)).
+ */
+Image edgeDetect(const Image &input,
+                 const EdgeDetectParams &params = {});
+
+/** Sobel-operator variant, for a second realistic workload. */
+Image sobelEdgeDetect(const Image &input,
+                      const EdgeDetectParams &params = {});
+
+} // namespace pcause
+
+#endif // PCAUSE_IMAGE_EDGE_DETECT_HH

@@ -1,0 +1,98 @@
+#include "image/filters.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+Kernel
+Kernel::box3()
+{
+    return {3, std::vector<double>(9, 1.0 / 9.0)};
+}
+
+Kernel
+Kernel::gaussian3()
+{
+    const double c = 0.25, e = 0.125, d = 0.0625;
+    return {3, {d, e, d, e, c, e, d, e, d}};
+}
+
+Image
+convolve(const Image &img, const Kernel &kernel)
+{
+    PC_ASSERT(kernel.side % 2 == 1, "kernel side must be odd");
+    PC_ASSERT(kernel.weights.size() == kernel.side * kernel.side,
+              "kernel weight count mismatch");
+
+    const auto r = static_cast<std::ptrdiff_t>(kernel.side / 2);
+    Image out(img.width(), img.height());
+    for (std::size_t y = 0; y < img.height(); ++y) {
+        for (std::size_t x = 0; x < img.width(); ++x) {
+            double acc = 0.0;
+            std::size_t k = 0;
+            for (std::ptrdiff_t dy = -r; dy <= r; ++dy) {
+                for (std::ptrdiff_t dx = -r; dx <= r; ++dx, ++k) {
+                    acc += kernel.weights[k] *
+                        img.atClamped((std::ptrdiff_t)x + dx,
+                                      (std::ptrdiff_t)y + dy);
+                }
+            }
+            out.setPixel(x, y, static_cast<std::uint8_t>(
+                std::clamp(std::lround(acc), 0l, 255l)));
+        }
+    }
+    return out;
+}
+
+Image
+medianFilter(const Image &img, unsigned radius)
+{
+    const auto r = static_cast<std::ptrdiff_t>(radius);
+    Image out(img.width(), img.height());
+    std::vector<std::uint8_t> window;
+    window.reserve((2 * radius + 1) * (2 * radius + 1));
+    for (std::size_t y = 0; y < img.height(); ++y) {
+        for (std::size_t x = 0; x < img.width(); ++x) {
+            window.clear();
+            for (std::ptrdiff_t dy = -r; dy <= r; ++dy) {
+                for (std::ptrdiff_t dx = -r; dx <= r; ++dx) {
+                    window.push_back(
+                        img.atClamped((std::ptrdiff_t)x + dx,
+                                      (std::ptrdiff_t)y + dy));
+                }
+            }
+            auto mid = window.begin() + window.size() / 2;
+            std::nth_element(window.begin(), mid, window.end());
+            out.setPixel(x, y, *mid);
+        }
+    }
+    return out;
+}
+
+Image
+absDiff(const Image &a, const Image &b)
+{
+    PC_ASSERT(a.width() == b.width() && a.height() == b.height(),
+              "absDiff shape mismatch");
+    Image out(a.width(), a.height());
+    for (std::size_t i = 0; i < out.pixels().size(); ++i) {
+        out.pixels()[i] = static_cast<std::uint8_t>(
+            std::abs((int)a.pixels()[i] - (int)b.pixels()[i]));
+    }
+    return out;
+}
+
+Image
+threshold(const Image &img, std::uint8_t level)
+{
+    Image out(img.width(), img.height());
+    for (std::size_t i = 0; i < out.pixels().size(); ++i)
+        out.pixels()[i] = img.pixels()[i] >= level ? 255 : 0;
+    return out;
+}
+
+} // namespace pcause

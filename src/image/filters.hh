@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Basic image filters.
+ *
+ * Convolution and median filtering support two roles: blurring in
+ * the edge-detection pipeline, and noise estimation for the error
+ * localization techniques of paper Section 8.3 (a median filter
+ * approximates the exact image, exposing candidate bit errors).
+ */
+
+#ifndef PCAUSE_IMAGE_FILTERS_HH
+#define PCAUSE_IMAGE_FILTERS_HH
+
+#include <vector>
+
+#include "image/image.hh"
+
+namespace pcause
+{
+
+/** Square convolution kernel with odd side length. */
+struct Kernel
+{
+    std::size_t side;             //!< kernel side length (odd)
+    std::vector<double> weights;  //!< row-major side*side weights
+
+    /** 3x3 box blur. */
+    static Kernel box3();
+
+    /** 3x3 Gaussian (sigma ~ 0.85). */
+    static Kernel gaussian3();
+};
+
+/** Convolve with clamp-to-edge boundaries; result clamped to [0,255]. */
+Image convolve(const Image &img, const Kernel &kernel);
+
+/** Median filter with a (2r+1)^2 window. */
+Image medianFilter(const Image &img, unsigned radius = 1);
+
+/**
+ * Per-pixel absolute difference |a - b| (same shape), used to
+ * visualize error patterns like the paper's Figure 5.
+ */
+Image absDiff(const Image &a, const Image &b);
+
+/** Binary threshold: pixels >= @p level become 255, others 0. */
+Image threshold(const Image &img, std::uint8_t level);
+
+} // namespace pcause
+
+#endif // PCAUSE_IMAGE_FILTERS_HH

@@ -1,0 +1,92 @@
+#include "image/image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : w(width), h(height), data(width * height, fill)
+{
+}
+
+std::uint8_t
+Image::at(std::size_t x, std::size_t y) const
+{
+    PC_ASSERT(x < w && y < h, "Image::at out of range");
+    return data[y * w + x];
+}
+
+void
+Image::setPixel(std::size_t x, std::size_t y, std::uint8_t v)
+{
+    PC_ASSERT(x < w && y < h, "Image::setPixel out of range");
+    data[y * w + x] = v;
+}
+
+std::uint8_t
+Image::atClamped(std::ptrdiff_t x, std::ptrdiff_t y) const
+{
+    PC_ASSERT(w > 0 && h > 0, "atClamped on empty image");
+    x = std::clamp<std::ptrdiff_t>(x, 0, (std::ptrdiff_t)w - 1);
+    y = std::clamp<std::ptrdiff_t>(y, 0, (std::ptrdiff_t)h - 1);
+    return data[y * w + x];
+}
+
+BitVec
+Image::toBits() const
+{
+    BitVec out(bitSize());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        for (unsigned b = 0; b < 8; ++b) {
+            if ((data[i] >> b) & 1)
+                out.set(i * 8 + b);
+        }
+    }
+    return out;
+}
+
+Image
+Image::fromBits(const BitVec &bits, std::size_t width,
+                std::size_t height)
+{
+    PC_ASSERT(bits.size() == width * height * 8,
+              "fromBits size mismatch");
+    Image img(width, height);
+    for (std::size_t i = 0; i < img.data.size(); ++i) {
+        std::uint8_t v = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            if (bits.get(i * 8 + b))
+                v |= (1u << b);
+        }
+        img.data[i] = v;
+    }
+    return img;
+}
+
+double
+Image::meanAbsDiff(const Image &other) const
+{
+    PC_ASSERT(w == other.w && h == other.h, "image shape mismatch");
+    if (data.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        acc += std::abs((int)data[i] - (int)other.data[i]);
+    return acc / data.size();
+}
+
+std::size_t
+Image::differingPixels(const Image &other) const
+{
+    PC_ASSERT(w == other.w && h == other.h, "image shape mismatch");
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        n += data[i] != other.data[i];
+    return n;
+}
+
+} // namespace pcause

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal grayscale image container.
+ *
+ * The paper's end-to-end experiment runs a CImg edge-detection
+ * program whose inputs and outputs live in approximate memory. This
+ * module is the CImg stand-in: an 8-bit grayscale buffer with the
+ * conversions needed to shuttle pixels through BitVec-backed
+ * approximate storage.
+ */
+
+#ifndef PCAUSE_IMAGE_IMAGE_HH
+#define PCAUSE_IMAGE_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/** Row-major 8-bit grayscale image. */
+class Image
+{
+  public:
+    /** Empty (0x0) image. */
+    Image() = default;
+
+    /** @p width x @p height image filled with @p fill. */
+    Image(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+    std::size_t width() const { return w; }
+    std::size_t height() const { return h; }
+
+    /** Number of pixels. */
+    std::size_t pixelCount() const { return w * h; }
+
+    /** Size of the pixel payload in bits. */
+    std::size_t bitSize() const { return pixelCount() * 8; }
+
+    /** Pixel at (@p x, @p y); bounds-checked. */
+    std::uint8_t at(std::size_t x, std::size_t y) const;
+
+    /** Mutable pixel at (@p x, @p y); bounds-checked. */
+    void setPixel(std::size_t x, std::size_t y, std::uint8_t v);
+
+    /**
+     * Pixel with clamp-to-edge semantics for out-of-range
+     * coordinates (signed); the access pattern of the filters.
+     */
+    std::uint8_t atClamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
+
+    /** Raw pixel store. */
+    const std::vector<std::uint8_t> &pixels() const { return data; }
+    std::vector<std::uint8_t> &pixels() { return data; }
+
+    /** Serialize pixels into a bit vector (LSB-first per byte). */
+    BitVec toBits() const;
+
+    /**
+     * Rebuild an image of the same shape as @p shape_like from bits
+     * previously produced by toBits() (possibly degraded).
+     */
+    static Image fromBits(const BitVec &bits, std::size_t width,
+                          std::size_t height);
+
+    /** Mean absolute per-pixel difference to @p other (same shape). */
+    double meanAbsDiff(const Image &other) const;
+
+    /** Count of pixels whose value differs from @p other. */
+    std::size_t differingPixels(const Image &other) const;
+
+    bool operator==(const Image &other) const
+    {
+        return w == other.w && h == other.h && data == other.data;
+    }
+
+  private:
+    std::size_t w = 0;
+    std::size_t h = 0;
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_IMAGE_IMAGE_HH

@@ -1,0 +1,77 @@
+#include "image/pgm.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+bool
+writePgm(const Image &img, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(img.pixels().data()),
+              static_cast<std::streamsize>(img.pixelCount()));
+    return out.good();
+}
+
+namespace
+{
+
+/** Read the next whitespace/comment-delimited token of a PGM header. */
+std::string
+nextToken(std::istream &in)
+{
+    std::string tok;
+    while (in >> tok) {
+        if (tok[0] == '#') {
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        return tok;
+    }
+    fatal("readPgm: truncated header");
+}
+
+} // anonymous namespace
+
+Image
+readPgm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("readPgm: cannot open %s", path.c_str());
+
+    const std::string magic = nextToken(in);
+    if (magic != "P5" && magic != "P2")
+        fatal("readPgm: %s is not a PGM file", path.c_str());
+
+    const std::size_t w = std::stoul(nextToken(in));
+    const std::size_t h = std::stoul(nextToken(in));
+    const unsigned maxval = std::stoul(nextToken(in));
+    if (w == 0 || h == 0 || maxval == 0 || maxval > 255)
+        fatal("readPgm: unsupported geometry in %s", path.c_str());
+
+    Image img(w, h);
+    if (magic == "P5") {
+        in.get(); // single whitespace byte after maxval
+        in.read(reinterpret_cast<char *>(img.pixels().data()),
+                static_cast<std::streamsize>(img.pixelCount()));
+        if (!in)
+            fatal("readPgm: truncated pixel data in %s", path.c_str());
+    } else {
+        for (auto &px : img.pixels()) {
+            unsigned v = std::stoul(nextToken(in));
+            px = static_cast<std::uint8_t>(v);
+        }
+    }
+    return img;
+}
+
+} // namespace pcause

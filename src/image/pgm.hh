@@ -1,0 +1,31 @@
+/**
+ * @file
+ * PGM (portable graymap) input/output.
+ *
+ * The Figure 5 and Figure 12 benches emit their images as binary
+ * PGM (P5) files so the error patterns can be inspected visually,
+ * just like the paper's figures.
+ */
+
+#ifndef PCAUSE_IMAGE_PGM_HH
+#define PCAUSE_IMAGE_PGM_HH
+
+#include <string>
+
+#include "image/image.hh"
+
+namespace pcause
+{
+
+/** Write @p img as binary PGM (P5). Returns false on IO failure. */
+bool writePgm(const Image &img, const std::string &path);
+
+/**
+ * Read a binary (P5) or ASCII (P2) PGM file.
+ * Calls fatal() on malformed input; returns the image otherwise.
+ */
+Image readPgm(const std::string &path);
+
+} // namespace pcause
+
+#endif // PCAUSE_IMAGE_PGM_HH

@@ -1,0 +1,128 @@
+#include "image/test_pattern.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/filters.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+Image
+gradientScene(std::size_t w, std::size_t h)
+{
+    Image img(w, h);
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            img.setPixel(x, y, static_cast<std::uint8_t>(
+                255.0 * (x + y) / (w + h - 2)));
+        }
+    }
+    return img;
+}
+
+Image
+checkerScene(std::size_t w, std::size_t h, std::size_t cell = 8)
+{
+    Image img(w, h);
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            bool on = ((x / cell) + (y / cell)) & 1;
+            img.setPixel(x, y, on ? 230 : 25);
+        }
+    }
+    return img;
+}
+
+Image
+portraitScene(std::size_t w, std::size_t h, Rng &rng)
+{
+    Image img = gradientScene(w, h);
+    const double cx = w / 2.0, cy = h / 2.2;
+    const double r = std::min(w, h) / 3.0;
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            double d = std::hypot(x - cx, y - cy);
+            if (d < r) {
+                // A soft "face" disc, brighter toward the centre.
+                double shade = 200 - 90 * (d / r);
+                shade += rng.gaussian(0.0, 3.0);
+                img.setPixel(x, y, static_cast<std::uint8_t>(
+                    std::clamp(shade, 0.0, 255.0)));
+            }
+        }
+    }
+    return img;
+}
+
+Image
+landscapeScene(std::size_t w, std::size_t h, Rng &rng)
+{
+    Image img(w, h);
+    const std::size_t horizon = h * 2 / 5;
+    const double sun_x = w * 0.75, sun_y = horizon * 0.5;
+    const double sun_r = std::min(w, h) / 10.0;
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            double v;
+            if (y < horizon) {
+                v = 180.0 + 40.0 * (double)y / horizon; // sky ramp
+                if (std::hypot(x - sun_x, y - sun_y) < sun_r)
+                    v = 250.0;
+            } else {
+                v = 90.0 - 50.0 * (double)(y - horizon) / (h - horizon);
+                v += rng.gaussian(0.0, 8.0); // foreground texture
+            }
+            img.setPixel(x, y, static_cast<std::uint8_t>(
+                std::clamp(v, 0.0, 255.0)));
+        }
+    }
+    return img;
+}
+
+Image
+noiseScene(std::size_t w, std::size_t h, Rng &rng)
+{
+    Image img(w, h);
+    for (auto &px : img.pixels())
+        px = static_cast<std::uint8_t>(rng.nextBelow(256));
+    return img;
+}
+
+} // anonymous namespace
+
+Image
+makeTestImage(TestScene scene, std::size_t width, std::size_t height,
+              std::uint64_t seed)
+{
+    PC_ASSERT(width > 1 && height > 1, "degenerate test image");
+    Rng rng(mix64(seed, 0x696d6167 /* "imag" */));
+    switch (scene) {
+      case TestScene::Gradient:
+        return gradientScene(width, height);
+      case TestScene::Checker:
+        return checkerScene(width, height);
+      case TestScene::Portrait:
+        return portraitScene(width, height, rng);
+      case TestScene::Landscape:
+        return landscapeScene(width, height, rng);
+      case TestScene::Noise:
+        return noiseScene(width, height, rng);
+      default:
+        panic("unhandled test scene");
+    }
+}
+
+Image
+makeFigure5Image()
+{
+    Image img = makeTestImage(TestScene::Portrait, 200, 154, 5);
+    return threshold(img, 128);
+}
+
+} // namespace pcause

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic workload-image generator.
+ *
+ * The paper's experiments use real photographs; as input content
+ * only matters as a data-dependent mask over volatile cells, the
+ * benches substitute reproducible photo-like synthetics: smooth
+ * gradients, geometric structure, and texture noise so both flat
+ * regions and busy edges are present.
+ */
+
+#ifndef PCAUSE_IMAGE_TEST_PATTERN_HH
+#define PCAUSE_IMAGE_TEST_PATTERN_HH
+
+#include <cstdint>
+
+#include "image/image.hh"
+
+namespace pcause
+{
+
+/** Selectable synthetic scenes. */
+enum class TestScene
+{
+    Gradient,   //!< smooth diagonal ramp
+    Checker,    //!< checkerboard (hard edges everywhere)
+    Portrait,   //!< soft radial "subject" over a gradient backdrop
+    Landscape,  //!< horizon, "sun" disc, textured foreground
+    Noise,      //!< pure uniform noise (stress case)
+};
+
+/**
+ * Render a deterministic synthetic scene.
+ *
+ * @param scene   scene family
+ * @param width   image width in pixels
+ * @param height  image height in pixels
+ * @param seed    controls the texture/noise content
+ */
+Image makeTestImage(TestScene scene, std::size_t width,
+                    std::size_t height, std::uint64_t seed = 1);
+
+/**
+ * The paper's Figure 5 stimulus: a 200x154 black-and-white image.
+ * Rendered as a high-contrast portrait-style scene and thresholded.
+ */
+Image makeFigure5Image();
+
+} // namespace pcause
+
+#endif // PCAUSE_IMAGE_TEST_PATTERN_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Continuous distribution functions used by the retention model.
+ *
+ * The adaptive refresh controller needs quantiles of the retention
+ * distribution; the statistics tests need CDFs. All functions are
+ * closed-form or use standard rational approximations so results are
+ * platform independent.
+ */
+
+#ifndef PCAUSE_MATH_DISTRIBUTIONS_HH
+#define PCAUSE_MATH_DISTRIBUTIONS_HH
+
+namespace pcause
+{
+
+/** Standard normal probability density. */
+double normalPdf(double x);
+
+/** Standard normal cumulative distribution (erfc based). */
+double normalCdf(double x);
+
+/** General normal CDF. */
+double normalCdf(double x, double mean, double sigma);
+
+/**
+ * Standard normal quantile (inverse CDF), Acklam's rational
+ * approximation refined with one Halley step; |error| < 1e-12.
+ */
+double normalQuantile(double p);
+
+/** General normal quantile. */
+double normalQuantile(double p, double mean, double sigma);
+
+/** Log-normal CDF: P[exp(N(mu, sigma)) <= x]. */
+double logNormalCdf(double x, double mu, double sigma);
+
+/** Log-normal quantile. */
+double logNormalQuantile(double p, double mu, double sigma);
+
+} // namespace pcause
+
+#endif // PCAUSE_MATH_DISTRIBUTIONS_HH

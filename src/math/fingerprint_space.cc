@@ -1,0 +1,59 @@
+#include "math/fingerprint_space.hh"
+
+#include <cmath>
+
+#include "math/logmath.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+FingerprintSpaceParams
+FingerprintSpaceParams::fromAccuracy(std::uint64_t memory_bits,
+                                     double accuracy)
+{
+    PC_ASSERT(accuracy > 0.0 && accuracy < 1.0,
+              "accuracy must be in (0,1)");
+    auto a = static_cast<std::uint64_t>(
+        std::llround((1.0 - accuracy) * memory_bits));
+    if (a == 0)
+        a = 1;
+    // T = 10% of A, rounded to nearest — reproducing the paper's
+    // published Table 1 values requires T = 33 for A = 328.
+    auto t = static_cast<std::uint64_t>(std::llround(0.1 * a));
+    if (t == 0)
+        t = 1;
+    return {memory_bits, a, t};
+}
+
+FingerprintSpaceResult
+evaluateFingerprintSpace(const FingerprintSpaceParams &p)
+{
+    PC_ASSERT(p.errorBits > p.thresholdBits,
+              "model requires A > T (noise below error budget)");
+    PC_ASSERT(p.errorBits <= p.memoryBits, "A cannot exceed M");
+
+    const double ln_cma = logBinomial(p.memoryBits, p.errorBits);
+    const double ln_sum_t =
+        logBinomialSum(p.memoryBits, 0, p.thresholdBits);
+    const double ln_sum_2t =
+        logBinomialSum(p.memoryBits, 0, 2 * p.thresholdBits);
+    const double ln_sum_1_t =
+        logBinomialSum(p.memoryBits, 1, p.thresholdBits);
+    const double ln_sum_1_2t =
+        logBinomialSum(p.memoryBits, 1, 2 * p.thresholdBits);
+
+    FingerprintSpaceResult r;
+    r.log10MaxFingerprints = lnToLog10(ln_cma);
+    r.log10DistinguishableLower = lnToLog10(ln_cma - ln_sum_2t);
+    r.log10DistinguishableUpper = lnToLog10(ln_cma - ln_sum_t);
+    r.log10MismatchUpper = lnToLog10(ln_sum_1_2t - ln_cma);
+    r.log10MismatchLower = lnToLog10(ln_sum_1_t - ln_cma);
+    r.entropyBits = lnToLog2(ln_cma - ln_sum_2t);
+    r.entropyBitsFloor = lnToLog2(
+        logBinomial(p.memoryBits, p.errorBits - p.thresholdBits));
+    r.entropyPerBit = r.entropyBits / p.memoryBits;
+    return r;
+}
+
+} // namespace pcause

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's fingerprint-space model (Section 7.1, Equations 1-4).
+ *
+ * For a memory of M bits tolerating A error bits, with a T-bit noise
+ * threshold, the model bounds how many distinguishable fingerprints
+ * exist, the chance two devices collide, and the identifying entropy.
+ * These equations generate Table 1 and Table 2 of the paper.
+ */
+
+#ifndef PCAUSE_MATH_FINGERPRINT_SPACE_HH
+#define PCAUSE_MATH_FINGERPRINT_SPACE_HH
+
+#include <cstdint>
+
+namespace pcause
+{
+
+/** Parameters of the Section 7.1 analysis. */
+struct FingerprintSpaceParams
+{
+    std::uint64_t memoryBits;    //!< M: fingerprinted memory size (bits)
+    std::uint64_t errorBits;     //!< A: tolerated error bits
+    std::uint64_t thresholdBits; //!< T: noise threshold (bits)
+
+    /**
+     * Convenience constructor from an accuracy fraction.
+     *
+     * Mirrors the paper's parameterization: A = (1 - accuracy) * M and
+     * T = 10% of A ("a safe upper bound chosen based on our
+     * experiment results").
+     */
+    static FingerprintSpaceParams
+    fromAccuracy(std::uint64_t memory_bits, double accuracy);
+};
+
+/** Log-domain results of evaluating Equations 1-4. */
+struct FingerprintSpaceResult
+{
+    /** log10 of Equation 1: C(M, A), the raw fingerprint count. */
+    double log10MaxFingerprints;
+
+    /**
+     * log10 of the Hamming-bound lower limit on distinguishable
+     * fingerprints: C(M,A) / sum_{i=0}^{2T} C(M,i) (Equation 2, left).
+     */
+    double log10DistinguishableLower;
+
+    /**
+     * log10 of the Hamming-bound upper limit:
+     * C(M,A) / sum_{i=0}^{T} C(M,i) (Equation 2, right).
+     */
+    double log10DistinguishableUpper;
+
+    /**
+     * log10 of the mismatch-chance upper bound:
+     * sum_{i=1}^{2T} C(M,i) / C(M,A) (Equation 3, right).
+     */
+    double log10MismatchUpper;
+
+    /** log10 of the mismatch-chance lower bound (Equation 3, left). */
+    double log10MismatchLower;
+
+    /**
+     * Total identifying entropy in bits:
+     * log2(C(M,A) / sum_{i=0}^{2T} C(M,i)) (Equation 4 numerator).
+     */
+    double entropyBits;
+
+    /**
+     * The simpler closed-form floor from Equation 4's right side:
+     * log2 C(M, A - T).
+     */
+    double entropyBitsFloor;
+
+    /** Entropy per memory bit (Equation 4 divided by M). */
+    double entropyPerBit;
+};
+
+/** Evaluate Equations 1-4 for the given parameters. */
+FingerprintSpaceResult evaluateFingerprintSpace(
+    const FingerprintSpaceParams &params);
+
+} // namespace pcause
+
+#endif // PCAUSE_MATH_FINGERPRINT_SPACE_HH

@@ -1,0 +1,59 @@
+#include "math/logmath.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+double
+logFactorial(std::uint64_t n)
+{
+    return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double
+logBinomial(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return -std::numeric_limits<double>::infinity();
+    return logFactorial(n) - logFactorial(k) - logFactorial(n - k);
+}
+
+double
+logAdd(double a, double b)
+{
+    if (a == -std::numeric_limits<double>::infinity())
+        return b;
+    if (b == -std::numeric_limits<double>::infinity())
+        return a;
+    double hi = a > b ? a : b;
+    double lo = a > b ? b : a;
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+double
+logBinomialSum(std::uint64_t n, std::uint64_t lo, std::uint64_t hi)
+{
+    PC_ASSERT(lo <= hi, "logBinomialSum: empty range");
+    double acc = -std::numeric_limits<double>::infinity();
+    for (std::uint64_t i = lo; i <= hi && i <= n; ++i)
+        acc = logAdd(acc, logBinomial(n, i));
+    return acc;
+}
+
+double
+lnToLog10(double ln_value)
+{
+    return ln_value / std::log(10.0);
+}
+
+double
+lnToLog2(double ln_value)
+{
+    return ln_value / std::log(2.0);
+}
+
+} // namespace pcause

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Log-domain arithmetic for astronomically large combinatorics.
+ *
+ * The paper's fingerprint-space analysis involves quantities like
+ * C(32768, 328) ~ 10^796 and probabilities down to 10^-3232, far
+ * outside double range. Everything here works on natural-log values
+ * and converts to log10 only at presentation time.
+ */
+
+#ifndef PCAUSE_MATH_LOGMATH_HH
+#define PCAUSE_MATH_LOGMATH_HH
+
+#include <cstdint>
+
+namespace pcause
+{
+
+/** ln(n!) via lgamma. */
+double logFactorial(std::uint64_t n);
+
+/** ln C(n, k); returns -infinity when k > n. */
+double logBinomial(std::uint64_t n, std::uint64_t k);
+
+/** ln(exp(a) + exp(b)) without overflow. */
+double logAdd(double a, double b);
+
+/** ln of sum_{i=lo}^{hi} C(n, i), computed stably in the log domain. */
+double logBinomialSum(std::uint64_t n, std::uint64_t lo, std::uint64_t hi);
+
+/** Convert a natural-log value to log10. */
+double lnToLog10(double ln_value);
+
+/** Convert a natural-log value to log2 (bits). */
+double lnToLog2(double ln_value);
+
+} // namespace pcause
+
+#endif // PCAUSE_MATH_LOGMATH_HH

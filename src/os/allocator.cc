@@ -1,0 +1,54 @@
+#include "os/allocator.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+bool
+Placement::contiguous() const
+{
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+        if (frames[i] != frames[i - 1] + 1)
+            return false;
+    }
+    return true;
+}
+
+PageAllocator::PageAllocator(std::uint64_t total_pages,
+                             PlacementPolicy policy, std::uint64_t seed)
+    : npages(total_pages), pol(policy), rng(seed)
+{
+    if (total_pages == 0)
+        fatal("PageAllocator: machine must have at least one page");
+}
+
+Placement
+PageAllocator::place(std::uint64_t num_pages)
+{
+    if (num_pages == 0 || num_pages > npages)
+        fatal("PageAllocator: cannot place %llu pages in a %llu-page "
+              "machine", (unsigned long long)num_pages,
+              (unsigned long long)npages);
+
+    Placement p;
+    p.frames.reserve(num_pages);
+    switch (pol) {
+      case PlacementPolicy::ContiguousRandomBase: {
+        const PageFrame base = rng.nextBelow(npages - num_pages + 1);
+        for (std::uint64_t i = 0; i < num_pages; ++i)
+            p.frames.push_back(base + i);
+        break;
+      }
+      case PlacementPolicy::PageLevelAslr: {
+        for (std::uint64_t i = 0; i < num_pages; ++i)
+            p.frames.push_back(rng.nextBelow(npages));
+        break;
+      }
+      default:
+        panic("unhandled placement policy");
+    }
+    return p;
+}
+
+} // namespace pcause

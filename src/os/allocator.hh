@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Physical placement of process buffers.
+ *
+ * Section 7.6 verified two properties of commodity OS memory
+ * mapping with Valgrind: (1) a buffer occupies *consecutive*
+ * physical pages and is not remapped during a run, and (2) the
+ * placement differs *between* runs. PageAllocator models exactly
+ * that: contiguous ranges at a per-run pseudo-random base.
+ *
+ * The page-level ASLR defense of Section 8.2.3 is the alternative
+ * policy: each page of the buffer lands at an independent random
+ * frame, destroying the contiguity the stitching attack needs.
+ */
+
+#ifndef PCAUSE_OS_ALLOCATOR_HH
+#define PCAUSE_OS_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/page.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+/** Placement policy for buffer pages. */
+enum class PlacementPolicy
+{
+    /** Contiguous frames at a random per-run base (default OS). */
+    ContiguousRandomBase,
+
+    /** Every page at an independent random frame (page-level ASLR). */
+    PageLevelAslr,
+};
+
+/** Physical frames backing one buffer, in virtual-page order. */
+struct Placement
+{
+    std::vector<PageFrame> frames;
+
+    /** Number of pages. */
+    std::size_t size() const { return frames.size(); }
+
+    /** True when frames are consecutive (stitchable layout). */
+    bool contiguous() const;
+};
+
+/** Models the OS physical allocator for a fixed-size memory. */
+class PageAllocator
+{
+  public:
+    /**
+     * @param total_pages  physical pages in the machine
+     * @param policy       placement policy
+     * @param seed         placement randomness seed
+     */
+    PageAllocator(std::uint64_t total_pages, PlacementPolicy policy,
+                  std::uint64_t seed);
+
+    /** Physical pages in the machine. */
+    std::uint64_t totalPages() const { return npages; }
+
+    /** Active placement policy. */
+    PlacementPolicy policy() const { return pol; }
+
+    /**
+     * Place a buffer of @p num_pages pages for one program run.
+     * Placements are ephemeral (the modeled programs are batch jobs
+     * that exit), so no free-list is maintained; each call models a
+     * fresh run of the program.
+     */
+    Placement place(std::uint64_t num_pages);
+
+  private:
+    std::uint64_t npages;
+    PlacementPolicy pol;
+    Rng rng;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_OS_ALLOCATOR_HH

@@ -1,0 +1,51 @@
+#include "os/commodity_system.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+CommoditySystem::CommoditySystem(const CommoditySystemParams &params,
+                                 std::uint64_t chip_seed,
+                                 std::uint64_t run_seed)
+    : prm(params),
+      mem(params.dram, chip_seed),
+      allocator(params.dram.totalBits / pageBits, params.placement,
+                run_seed),
+      visibilityRng(mix64(run_seed, 0x76697369 /* "visi" */))
+{
+    if (prm.dram.pageBits != pageBits)
+        fatal("CommoditySystem: DRAM model page size must match the "
+              "OS page size");
+    if (prm.errorVisibility <= 0.0 || prm.errorVisibility > 1.0)
+        fatal("CommoditySystem: errorVisibility must be in (0,1]");
+}
+
+ApproximateSample
+CommoditySystem::publish(std::uint64_t output_bytes)
+{
+    ApproximateSample sample;
+    sample.sampleId = runCounter;
+    sample.placement = allocator.place(pagesFor(output_bytes));
+
+    sample.pageErrors.reserve(sample.placement.size());
+    for (PageFrame frame : sample.placement.frames) {
+        SparseBitset errs =
+            mem.observePage(frame, prm.accuracy, runCounter);
+        if (prm.errorVisibility < 1.0) {
+            std::vector<std::uint32_t> visible;
+            visible.reserve(errs.count());
+            for (auto p : errs.positions()) {
+                if (visibilityRng.chance(prm.errorVisibility))
+                    visible.push_back(p);
+            }
+            errs = SparseBitset(pageBits, std::move(visible));
+        }
+        sample.pageErrors.push_back(std::move(errs));
+    }
+
+    ++runCounter;
+    return sample;
+}
+
+} // namespace pcause

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Section 7.6 commodity system under test.
+ *
+ * Models the paper's end-to-end setup — an approximate-memory
+ * machine (1 GB modeled DRAM) whose user repeatedly runs a program
+ * and publishes its approximate outputs. Each publish() is one
+ * program run: the OS places the output buffer at a fresh physical
+ * location, the approximate DRAM imprints its per-page error
+ * pattern, and the resulting sample is what an eavesdropper can
+ * collect.
+ */
+
+#ifndef PCAUSE_OS_COMMODITY_SYSTEM_HH
+#define PCAUSE_OS_COMMODITY_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/modeled_dram.hh"
+#include "os/allocator.hh"
+#include "os/page.hh"
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+
+/** One published approximate output, as the attacker obtains it. */
+struct ApproximateSample
+{
+    /** Monotone sample number (arrival order). */
+    std::uint64_t sampleId = 0;
+
+    /**
+     * Error positions observed in each page of the output, in
+     * virtual (buffer) order. This is what error localization
+     * (Section 8.3) recovers from the published data.
+     */
+    std::vector<SparseBitset> pageErrors;
+
+    /**
+     * Ground-truth physical placement. Available to the experiment
+     * harness for validation; the attacker never reads it.
+     */
+    Placement placement;
+
+    /** Number of pages in the output. */
+    std::size_t size() const { return pageErrors.size(); }
+};
+
+/** Configuration of the simulated victim machine. */
+struct CommoditySystemParams
+{
+    /** Approximate memory model (defaults to the 1 GB of §7.6). */
+    ModeledDramParams dram;
+
+    /** OS placement behaviour. */
+    PlacementPolicy placement = PlacementPolicy::ContiguousRandomBase;
+
+    /** Accuracy the approximate memory runs at. */
+    double accuracy = 0.99;
+
+    /**
+     * Probability that an error bit is recoverable from the
+     * published output (1.0 models the paper's assumption that the
+     * attacker "can guess the positions of error"; lower values
+     * model data-dependent masking of error cells).
+     */
+    double errorVisibility = 1.0;
+};
+
+/** A victim machine publishing approximate outputs. */
+class CommoditySystem
+{
+  public:
+    /**
+     * @param params     machine configuration
+     * @param chip_seed  DRAM module identity
+     * @param run_seed   OS/run-to-run randomness seed
+     */
+    CommoditySystem(const CommoditySystemParams &params,
+                    std::uint64_t chip_seed, std::uint64_t run_seed);
+
+    /** The machine's DRAM model (for oracle checks in tests). */
+    const ModeledDram &dram() const { return mem; }
+
+    /** Machine configuration. */
+    const CommoditySystemParams &params() const { return prm; }
+
+    /**
+     * Run the workload once and publish an approximate output of
+     * @p output_bytes bytes (default 10 MB, the paper's
+     * one-photo-from-a-digital-camera sample size).
+     */
+    ApproximateSample publish(std::uint64_t output_bytes = 10u << 20);
+
+    /** Number of runs so far. */
+    std::uint64_t runs() const { return runCounter; }
+
+  private:
+    CommoditySystemParams prm;
+    ModeledDram mem;
+    PageAllocator allocator;
+    Rng visibilityRng;
+    std::uint64_t runCounter = 0;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_OS_COMMODITY_SYSTEM_HH

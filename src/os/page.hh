@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Page-granularity constants and types.
+ *
+ * The paper's analysis works on 4 KB chunks "because that is the
+ * smallest unit of contiguous memory that operating systems manage"
+ * (Section 4, footnote 1). All OS-level bookkeeping here is in
+ * units of such pages.
+ */
+
+#ifndef PCAUSE_OS_PAGE_HH
+#define PCAUSE_OS_PAGE_HH
+
+#include <cstdint>
+
+namespace pcause
+{
+
+/** Bytes per OS page. */
+constexpr std::uint32_t pageBytes = 4096;
+
+/** Bits per OS page. */
+constexpr std::uint32_t pageBits = pageBytes * 8;
+
+/** Physical page frame number. */
+using PageFrame = std::uint64_t;
+
+/** Length of a buffer in whole pages (rounding up). */
+constexpr std::uint64_t
+pagesFor(std::uint64_t bytes)
+{
+    return (bytes + pageBytes - 1) / pageBytes;
+}
+
+} // namespace pcause
+
+#endif // PCAUSE_OS_PAGE_HH

@@ -1,0 +1,74 @@
+#include "os/placement_trace.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace pcause
+{
+
+void
+PlacementTrace::record(const Placement &placement)
+{
+    placements.push_back(placement);
+}
+
+bool
+PlacementTrace::allContiguous() const
+{
+    return std::all_of(placements.begin(), placements.end(),
+                       [](const Placement &p) { return p.contiguous(); });
+}
+
+std::size_t
+PlacementTrace::distinctBases() const
+{
+    std::set<PageFrame> bases;
+    for (const auto &p : placements) {
+        if (!p.frames.empty())
+            bases.insert(p.frames.front());
+    }
+    return bases.size();
+}
+
+bool
+PlacementTrace::basesVary() const
+{
+    if (placements.size() < 2)
+        return false;
+    return distinctBases() > placements.size() / 2;
+}
+
+double
+PlacementTrace::pairwiseOverlapFraction() const
+{
+    if (placements.size() < 2)
+        return 0.0;
+
+    // Contiguous placements overlap iff their [base, end) intervals
+    // intersect; fall back to set intersection for scattered ones.
+    std::size_t overlapping = 0, pairs = 0;
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < placements.size(); ++j) {
+            ++pairs;
+            const auto &a = placements[i].frames;
+            const auto &b = placements[j].frames;
+            if (a.empty() || b.empty())
+                continue;
+            if (placements[i].contiguous() && placements[j].contiguous()) {
+                if (a.front() <= b.back() && b.front() <= a.back())
+                    ++overlapping;
+            } else {
+                std::set<PageFrame> sa(a.begin(), a.end());
+                if (std::any_of(b.begin(), b.end(),
+                                [&](PageFrame f) {
+                                    return sa.count(f) > 0;
+                                })) {
+                    ++overlapping;
+                }
+            }
+        }
+    }
+    return static_cast<double>(overlapping) / pairs;
+}
+
+} // namespace pcause

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Valgrind-style placement tracing.
+ *
+ * The paper instrumented its edge-detection program with Valgrind to
+ * "uncover the physical pages the program used to store its
+ * approximate outputs" and to verify the OS assumptions behind
+ * stitching (Section 7.6). PlacementTrace is that observation tool:
+ * it records placements across runs and checks the two assumptions
+ * — within-run contiguity and between-run movement.
+ */
+
+#ifndef PCAUSE_OS_PLACEMENT_TRACE_HH
+#define PCAUSE_OS_PLACEMENT_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "os/allocator.hh"
+
+namespace pcause
+{
+
+/** Records buffer placements across program runs. */
+class PlacementTrace
+{
+  public:
+    /** Record one run's placement. */
+    void record(const Placement &placement);
+
+    /** Number of runs recorded. */
+    std::size_t runs() const { return placements.size(); }
+
+    /** All recorded placements. */
+    const std::vector<Placement> &all() const { return placements; }
+
+    /**
+     * Section 7.6 assumption 1: data lands in consecutive physical
+     * pages during every recorded run.
+     */
+    bool allContiguous() const;
+
+    /** Number of distinct base frames across runs. */
+    std::size_t distinctBases() const;
+
+    /**
+     * Section 7.6 assumption 2 ("uniqueness of data placement during
+     * different runs makes stitching possible"): placements move
+     * between runs, i.e.\ most bases are distinct.
+     */
+    bool basesVary() const;
+
+    /**
+     * Fraction of run pairs whose placements overlap in at least one
+     * physical page — the raw material the stitcher consumes.
+     */
+    double pairwiseOverlapFraction() const;
+
+  private:
+    std::vector<Placement> placements;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_OS_PLACEMENT_TRACE_HH

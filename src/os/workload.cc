@@ -1,0 +1,111 @@
+#include "os/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+const char *
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Zeros:
+        return "zeros";
+      case WorkloadKind::AsciiText:
+        return "ascii-text";
+      case WorkloadKind::Photo:
+        return "photo";
+      case WorkloadKind::Compressed:
+        return "compressed";
+      case WorkloadKind::AllOnes:
+        return "all-ones";
+      default:
+        return "?";
+    }
+}
+
+namespace
+{
+
+void
+fillBytes(BitVec &out, std::size_t bits,
+          const std::function<std::uint8_t(std::size_t)> &byte_at)
+{
+    const std::size_t bytes = bits / 8;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        const std::uint8_t b = byte_at(i);
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            if ((b >> bit) & 1)
+                out.set(i * 8 + bit);
+        }
+    }
+}
+
+} // anonymous namespace
+
+BitVec
+makeWorkloadBuffer(WorkloadKind kind, std::size_t bits,
+                   std::uint64_t seed)
+{
+    PC_ASSERT(bits % 8 == 0, "workload buffers are byte-granular");
+    BitVec out(bits);
+    Rng rng(mix64(seed, static_cast<std::uint64_t>(kind)));
+
+    switch (kind) {
+      case WorkloadKind::Zeros:
+        break;
+      case WorkloadKind::AsciiText:
+        fillBytes(out, bits, [&](std::size_t) {
+            // Printable ASCII: 0x20..0x7e, space-heavy like prose.
+            if (rng.chance(0.17))
+                return std::uint8_t{0x20};
+            return static_cast<std::uint8_t>(
+                0x21 + rng.nextBelow(0x5e));
+        });
+        break;
+      case WorkloadKind::Photo: {
+        // Smooth random walk through mid-range luminance values.
+        double level = 128.0;
+        fillBytes(out, bits, [&](std::size_t) {
+            level += rng.gaussian(0.0, 6.0);
+            level = std::clamp(level, 16.0, 240.0);
+            return static_cast<std::uint8_t>(level);
+        });
+        break;
+      }
+      case WorkloadKind::Compressed:
+        fillBytes(out, bits, [&](std::size_t) {
+            return static_cast<std::uint8_t>(rng.nextBelow(256));
+        });
+        break;
+      case WorkloadKind::AllOnes:
+        out.fill(true);
+        break;
+      default:
+        panic("unhandled workload kind");
+    }
+    return out;
+}
+
+double
+chargedFraction(const BitVec &buffer, const DramConfig &config)
+{
+    PC_ASSERT(buffer.size() <= config.totalBits(),
+              "buffer larger than device");
+    PC_ASSERT(!buffer.empty(), "empty buffer");
+    // A cell is charged when the stored bit differs from its row's
+    // default value (see core/error_string's maskableCells).
+    std::size_t charged = 0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        const std::size_t row = i / config.rowBits();
+        charged += buffer.get(i) != config.defaultBit(row);
+    }
+    return static_cast<double>(charged) / buffer.size();
+}
+
+} // namespace pcause

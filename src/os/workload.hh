@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic program-output workloads.
+ *
+ * The fraction of cells an output charges (bits written opposite
+ * their row default) gates how much of the chip's fingerprint that
+ * output reveals. Different data types charge very different
+ * fractions: all-zero buffers charge only default-1 rows, random
+ * data about half of everything, dense bitmap data almost all of
+ * it. This generator produces representative buffer types so the
+ * data-dependence of deanonymization can be swept (the worst-case
+ * assumption the paper's experiments make, relaxed and measured).
+ */
+
+#ifndef PCAUSE_OS_WORKLOAD_HH
+#define PCAUSE_OS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dram/dram_config.hh"
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/** Buffer content families, ordered roughly by charge density. */
+enum class WorkloadKind
+{
+    Zeros,       //!< zeroed buffer (calloc'd, sparse files)
+    AsciiText,   //!< printable text (high bits clear)
+    Photo,       //!< photo-like bytes (smooth, mid-range values)
+    Compressed,  //!< compressed/encrypted stream (uniform random)
+    AllOnes,     //!< saturated bitmap (0xFF bytes)
+};
+
+/** Human-readable name of a workload kind. */
+const char *workloadName(WorkloadKind kind);
+
+/**
+ * Generate @p bits of buffer content of the given kind.
+ * Deterministic in (kind, seed).
+ */
+BitVec makeWorkloadBuffer(WorkloadKind kind, std::size_t bits,
+                          std::uint64_t seed);
+
+/**
+ * Fraction of cells the buffer charges when stored on a device laid
+ * out per @p config — the output's fingerprint visibility.
+ */
+double chargedFraction(const BitVec &buffer, const DramConfig &config);
+
+} // namespace pcause
+
+#endif // PCAUSE_OS_WORKLOAD_HH

@@ -1,0 +1,45 @@
+#include "platform/platform.hh"
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+Platform::Platform(const DramConfig &config, unsigned num_chips,
+                   std::uint64_t seed_base)
+    : env(40.0), psu(5.0)
+{
+    if (num_chips == 0)
+        fatal("Platform: need at least one chip");
+    chips.reserve(num_chips);
+    for (unsigned i = 0; i < num_chips; ++i)
+        chips.push_back(
+            std::make_unique<DramChip>(config, seed_base + i));
+}
+
+Platform
+Platform::legacy(unsigned num_chips, std::uint64_t seed_base)
+{
+    return Platform(DramConfig::km41464a(), num_chips, seed_base);
+}
+
+Platform
+Platform::ddr2(unsigned num_chips, std::uint64_t seed_base)
+{
+    return Platform(DramConfig::ddr2(), num_chips, seed_base);
+}
+
+DramChip &
+Platform::chip(std::size_t i)
+{
+    PC_ASSERT(i < chips.size(), "chip index out of range");
+    return *chips[i];
+}
+
+TestHarness
+Platform::harness(std::size_t i)
+{
+    return TestHarness(chip(i), env, psu);
+}
+
+} // namespace pcause

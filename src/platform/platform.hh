@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Complete experimental platforms.
+ *
+ * Platform assembles the pieces of the paper's two rigs: the legacy
+ * platform (ten KM41464A chips, thermal chamber, bench supply,
+ * MSP430 harness — Section 6) and the DDR2/FPGA platform
+ * (Section 8.1). Chips are "manufactured" from consecutive seeds so
+ * a whole fleet is reproducible from one base seed.
+ */
+
+#ifndef PCAUSE_PLATFORM_PLATFORM_HH
+#define PCAUSE_PLATFORM_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/dram_chip.hh"
+#include "platform/power_supply.hh"
+#include "platform/test_harness.hh"
+#include "platform/thermal_chamber.hh"
+
+namespace pcause
+{
+
+/** A populated test rig: chips plus shared bench equipment. */
+class Platform
+{
+  public:
+    /**
+     * Build a platform.
+     *
+     * @param config     device model for every socket
+     * @param num_chips  sockets to populate
+     * @param seed_base  chip i gets manufacturing seed seed_base + i
+     */
+    Platform(const DramConfig &config, unsigned num_chips,
+             std::uint64_t seed_base);
+
+    /** The paper's Section 6 rig: KM41464A sockets. */
+    static Platform legacy(unsigned num_chips = 10,
+                           std::uint64_t seed_base = 0x1464);
+
+    /** The Section 8.1 DDR2/FPGA rig. */
+    static Platform ddr2(unsigned num_chips = 4,
+                         std::uint64_t seed_base = 0xddd2);
+
+    /** Number of populated sockets. */
+    std::size_t numChips() const { return chips.size(); }
+
+    /** Chip in socket @p i. */
+    DramChip &chip(std::size_t i);
+
+    /** Shared thermal chamber. */
+    ThermalChamber &chamber() { return env; }
+
+    /** Shared bench supply. */
+    PowerSupply &supply() { return psu; }
+
+    /** A harness driving socket @p i with the shared equipment. */
+    TestHarness harness(std::size_t i);
+
+  private:
+    std::vector<std::unique_ptr<DramChip>> chips;
+    ThermalChamber env;
+    PowerSupply psu;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_PLATFORM_PLATFORM_HH

@@ -1,0 +1,56 @@
+#include "platform/power_supply.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+PowerSupply::PowerSupply(double nominal_volts,
+                         double voltage_sensitivity)
+    : nominal(nominal_volts), volts(nominal_volts),
+      sensitivity(voltage_sensitivity)
+{
+    if (nominal_volts <= 0.0)
+        fatal("PowerSupply: nominal voltage must be positive");
+    if (voltage_sensitivity <= 0.0)
+        fatal("PowerSupply: voltage sensitivity must be positive");
+}
+
+void
+PowerSupply::setVoltage(double v)
+{
+    // Below ~40% of nominal the array stops retaining at all; clamp
+    // rather than model a non-functional device.
+    const double floor_v = 0.4 * nominal;
+    if (v < floor_v) {
+        warn("PowerSupply: %.2f V below retention floor, clamping to "
+             "%.2f V", v, floor_v);
+        v = floor_v;
+    }
+    volts = std::min(v, nominal);
+}
+
+double
+PowerSupply::retentionAccel() const
+{
+    return std::exp(sensitivity * (1.0 - volts / nominal));
+}
+
+double
+PowerSupply::voltageForAccel(double accel) const
+{
+    PC_ASSERT(accel >= 1.0, "voltageForAccel: accel must be >= 1");
+    return nominal * (1.0 - std::log(accel) / sensitivity);
+}
+
+double
+PowerSupply::relativePower() const
+{
+    const double ratio = volts / nominal;
+    return ratio * ratio;
+}
+
+} // namespace pcause

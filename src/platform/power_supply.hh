@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulated bench power supply.
+ *
+ * Stands in for the Agilent supply of the paper's platform. Supply
+ * voltage is the second approximation knob the literature uses
+ * (lowering VDD increases leakage-induced error just like slowing
+ * refresh); the model maps undervolting to a retention-acceleration
+ * factor so voltage-scaled approximation exercises the same decay
+ * path.
+ */
+
+#ifndef PCAUSE_PLATFORM_POWER_SUPPLY_HH
+#define PCAUSE_PLATFORM_POWER_SUPPLY_HH
+
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Programmable DC supply with a retention-impact model. */
+class PowerSupply
+{
+  public:
+    /**
+     * @param nominal_volts  the rail's nominal voltage
+     * @param voltage_sensitivity  exponent of the undervolting
+     *        retention model (see retentionAccel())
+     */
+    explicit PowerSupply(double nominal_volts = 5.0,
+                         double voltage_sensitivity = 12.0);
+
+    /** Program the output voltage (clamped to a safe floor). */
+    void setVoltage(double volts);
+
+    /** Programmed output voltage. */
+    double voltage() const { return volts; }
+
+    /** Nominal rail voltage. */
+    double nominalVoltage() const { return nominal; }
+
+    /**
+     * Retention acceleration due to undervolting: at nominal voltage
+     * the factor is 1; retention shrinks exponentially as the rail
+     * drops — stored charge falls linearly with V while the sense
+     * margin and subthreshold leakage respond exponentially:
+     * accel = exp(sensitivity * (1 - V/Vnom)). Multiply elapsed
+     * stress by this factor.
+     */
+    double retentionAccel() const;
+
+    /**
+     * Rail voltage whose retention acceleration equals @p accel
+     * (the inverse of retentionAccel(); clamped to the safe floor).
+     */
+    double voltageForAccel(double accel) const;
+
+    /** The undervolting-model exponent. */
+    double voltageSensitivity() const { return sensitivity; }
+
+    /**
+     * Relative supply power at the programmed voltage (P ~ V^2),
+     * reported by the energy benches.
+     */
+    double relativePower() const;
+
+  private:
+    double nominal;
+    double volts;
+    double sensitivity;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_PLATFORM_POWER_SUPPLY_HH

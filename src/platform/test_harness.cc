@@ -1,0 +1,90 @@
+#include "platform/test_harness.hh"
+
+#include <cmath>
+
+#include "dram/refresh_controller.hh"
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+TestHarness::TestHarness(DramChip &chip, ThermalChamber &chamber,
+                         PowerSupply &supply)
+    : dev(chip), env(chamber), psu(supply)
+{
+}
+
+void
+TestHarness::planTrial(const TrialSpec &spec, Celsius actual_temp,
+                       Seconds &interval, double &volts) const
+{
+    RefreshController ctrl(spec.accuracy);
+    switch (spec.knob) {
+      case ApproxKnob::RefreshRate:
+        // Slow refresh at nominal voltage; the controller picks the
+        // interval that hits the error budget at this temperature.
+        interval = ctrl.analyticInterval(dev.retention(), actual_temp);
+        volts = psu.nominalVoltage();
+        break;
+      case ApproxKnob::Voltage: {
+        // Keep the JEDEC refresh period and undervolt until the same
+        // stress accumulates within 64 ms.
+        const Seconds needed_stress =
+            dev.retention().stressQuantile(ctrl.errorRate());
+        const double thermal = dev.retention().accel(actual_temp);
+        const double accel_v =
+            needed_stress / (jedecRefreshPeriod * thermal);
+        if (accel_v <= 1.0) {
+            warn("voltage knob cannot reach %.2f%% accuracy at %.1fC; "
+                 "using nominal rail", 100 * spec.accuracy, actual_temp);
+            volts = psu.nominalVoltage();
+        } else {
+            volts = psu.voltageForAccel(accel_v);
+        }
+        interval = jedecRefreshPeriod;
+        break;
+      }
+      default:
+        panic("unhandled approximation knob");
+    }
+}
+
+TrialResult
+TestHarness::runTrial(const BitVec &pattern, const TrialSpec &spec)
+{
+    PC_ASSERT(pattern.size() == dev.size(), "pattern size mismatch");
+
+    env.setTemperature(spec.temp);
+    const Celsius actual = env.sample();
+
+    Seconds interval = 0;
+    double volts = psu.nominalVoltage();
+    planTrial(spec, actual, interval, volts);
+    psu.setVoltage(volts);
+
+    dev.reseedTrial(spec.trialKey);
+    dev.write(pattern);
+    // Undervolting accelerates leakage uniformly; fold it into the
+    // stress accumulation as extra equivalent hold time.
+    dev.elapse(interval * psu.retentionAccel(), actual);
+
+    TrialResult res;
+    res.exact = pattern;
+    res.approx = dev.peek();
+    res.holdInterval = interval;
+    res.supplyVolts = psu.voltage();
+    res.errorRate = static_cast<double>(
+        res.approx.hammingDistance(res.exact)) / dev.size();
+
+    dev.refreshAll();
+    psu.setVoltage(psu.nominalVoltage());
+    return res;
+}
+
+TrialResult
+TestHarness::runWorstCaseTrial(const TrialSpec &spec)
+{
+    return runTrial(dev.worstCasePattern(), spec);
+}
+
+} // namespace pcause

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment orchestration, standing in for the paper's MSP430
+ * microcontroller firmware (Section 6).
+ *
+ * A trial is: program the device with a pattern, disable refresh,
+ * hold at the chamber temperature for one accuracy-derived refresh
+ * interval, read back, and report the approximate output alongside
+ * the exact pattern. Two approximation knobs are supported —
+ * refresh-rate scaling (the paper's) and voltage scaling (the
+ * alternative the literature uses) — both routed through the same
+ * decay machinery.
+ */
+
+#ifndef PCAUSE_PLATFORM_TEST_HARNESS_HH
+#define PCAUSE_PLATFORM_TEST_HARNESS_HH
+
+#include <cstdint>
+
+#include "dram/dram_chip.hh"
+#include "platform/power_supply.hh"
+#include "platform/thermal_chamber.hh"
+#include "util/bitvec.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Which physical knob produces the approximation. */
+enum class ApproxKnob
+{
+    RefreshRate,  //!< slow the refresh clock (paper's platform)
+    Voltage,      //!< undervolt at the JEDEC refresh rate
+};
+
+/** Specification of one decay trial. */
+struct TrialSpec
+{
+    double accuracy = 0.99;     //!< worst-case accuracy target
+    Celsius temp = 40.0;        //!< chamber setpoint
+    std::uint64_t trialKey = 0; //!< per-trial noise seed
+    ApproxKnob knob = ApproxKnob::RefreshRate;
+};
+
+/** Everything a trial produces. */
+struct TrialResult
+{
+    BitVec exact;          //!< the pattern as written
+    BitVec approx;         //!< the pattern as read back
+    Seconds holdInterval;  //!< wall-clock unrefreshed hold time
+    double supplyVolts;    //!< rail voltage during the hold
+    double errorRate;      //!< observed fraction of flipped bits
+};
+
+/** Drives decay trials against one device under test. */
+class TestHarness
+{
+  public:
+    /**
+     * @param chip     device under test (not owned)
+     * @param chamber  environmental chamber (not owned)
+     * @param supply   bench supply (not owned)
+     */
+    TestHarness(DramChip &chip, ThermalChamber &chamber,
+                PowerSupply &supply);
+
+    /** Run one trial storing @p pattern. */
+    TrialResult runTrial(const BitVec &pattern, const TrialSpec &spec);
+
+    /**
+     * Run one trial with the worst-case all-charged pattern, the
+     * configuration used for characterization (Section 6).
+     */
+    TrialResult runWorstCaseTrial(const TrialSpec &spec);
+
+    /** Device under test. */
+    DramChip &chip() { return dev; }
+
+  private:
+    /**
+     * Derive hold interval and rail voltage realizing the spec's
+     * accuracy target at the actual chamber temperature.
+     */
+    void planTrial(const TrialSpec &spec, Celsius actual_temp,
+                   Seconds &interval, double &volts) const;
+
+    DramChip &dev;
+    ThermalChamber &env;
+    PowerSupply &psu;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_PLATFORM_TEST_HARNESS_HH

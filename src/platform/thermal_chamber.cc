@@ -1,0 +1,26 @@
+#include "platform/thermal_chamber.hh"
+
+namespace pcause
+{
+
+ThermalChamber::ThermalChamber(Celsius setpoint, double regulation_sigma,
+                               std::uint64_t seed)
+    : target(setpoint), sigma(regulation_sigma), noise(seed)
+{
+}
+
+void
+ThermalChamber::setTemperature(Celsius setpoint)
+{
+    target = setpoint;
+}
+
+Celsius
+ThermalChamber::sample()
+{
+    if (sigma <= 0.0)
+        return target;
+    return target + noise.gaussian(0.0, sigma);
+}
+
+} // namespace pcause

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulated environmental chamber.
+ *
+ * Stands in for the Sun Electronics EC-12 chamber of the paper's
+ * platform (Section 6): holds a device under test at a programmed
+ * setpoint, with optional regulation error and drift so experiments
+ * can test robustness to imperfect temperature control.
+ */
+
+#ifndef PCAUSE_PLATFORM_THERMAL_CHAMBER_HH
+#define PCAUSE_PLATFORM_THERMAL_CHAMBER_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+
+/** Temperature-controlled test environment. */
+class ThermalChamber
+{
+  public:
+    /**
+     * @param setpoint  initial programmed temperature
+     * @param regulation_sigma  std deviation of regulation error
+     * @param seed      noise stream seed
+     */
+    explicit ThermalChamber(Celsius setpoint = 40.0,
+                            double regulation_sigma = 0.0,
+                            std::uint64_t seed = 0xec12);
+
+    /** Program a new setpoint (takes effect immediately). */
+    void setTemperature(Celsius setpoint);
+
+    /** Programmed setpoint. */
+    Celsius setpoint() const { return target; }
+
+    /**
+     * Actual chamber temperature right now: the setpoint plus a
+     * fresh regulation-error sample. With zero regulation sigma this
+     * is exactly the setpoint.
+     */
+    Celsius sample();
+
+  private:
+    Celsius target;
+    double sigma;
+    Rng noise;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_PLATFORM_THERMAL_CHAMBER_HH

@@ -1,0 +1,143 @@
+#include "util/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace pcause
+{
+
+std::string
+renderHistogram(const Histogram &h, const std::string &title,
+                std::size_t width)
+{
+    std::ostringstream out;
+    out << title << "  (n=" << h.total() << ")\n";
+    std::size_t peak = std::max<std::size_t>(h.maxCount(), 1);
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+        std::size_t c = h.binCount(i);
+        auto bar = static_cast<std::size_t>(
+            std::llround((double)c * width / peak));
+        char label[64];
+        std::snprintf(label, sizeof(label), "[%8.4f,%8.4f) %6zu |",
+                      h.binLow(i), h.binHigh(i), c);
+        out << label << std::string(bar, '#') << "\n";
+    }
+    return out.str();
+}
+
+std::string
+renderSeries(const std::vector<double> &xs, const std::vector<double> &ys,
+             const std::string &title, std::size_t rows, std::size_t cols)
+{
+    PC_ASSERT(xs.size() == ys.size(), "series size mismatch");
+    std::ostringstream out;
+    out << title << "\n";
+    if (xs.empty())
+        return out.str();
+
+    double xlo = *std::min_element(xs.begin(), xs.end());
+    double xhi = *std::max_element(xs.begin(), xs.end());
+    double ylo = *std::min_element(ys.begin(), ys.end());
+    double yhi = *std::max_element(ys.begin(), ys.end());
+    if (xhi == xlo)
+        xhi = xlo + 1;
+    if (yhi == ylo)
+        yhi = ylo + 1;
+
+    std::vector<std::string> grid(rows, std::string(cols, ' '));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        auto cx = static_cast<std::size_t>(
+            (xs[i] - xlo) / (xhi - xlo) * (cols - 1));
+        auto cy = static_cast<std::size_t>(
+            (ys[i] - ylo) / (yhi - ylo) * (rows - 1));
+        grid[rows - 1 - cy][cx] = '*';
+    }
+
+    char label[64];
+    for (std::size_t r = 0; r < rows; ++r) {
+        double yval = yhi - (yhi - ylo) * r / (rows - 1);
+        std::snprintf(label, sizeof(label), "%10.2f |", yval);
+        out << label << grid[r] << "\n";
+    }
+    std::snprintf(label, sizeof(label), "%10s +", "");
+    out << label << std::string(cols, '-') << "\n";
+    std::snprintf(label, sizeof(label), "%10s  %-.6g", "", xlo);
+    out << label << std::string(cols > 24 ? cols - 24 : 0, ' ');
+    std::snprintf(label, sizeof(label), "%.6g", xhi);
+    out << label << "\n";
+    return out.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    PC_ASSERT(cells.size() == header.size(), "table arity mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> w(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        w[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            w[c] = std::max(w[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line += std::string(w[c] - row[c].size() + 2, ' ');
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out = render_row(header);
+    std::size_t total = 0;
+    for (auto x : w)
+        total += x + 2;
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows)
+        out += render_row(row);
+    return out;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtLog10(double log10_value, int precision)
+{
+    double expo = std::floor(log10_value);
+    double mant = std::pow(10.0, log10_value - expo);
+    // Normalize mantissa drift from the floor/pow round trip.
+    if (mant >= 10.0) {
+        mant /= 10.0;
+        expo += 1;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fe%+d", precision, mant,
+                  (int)expo);
+    return buf;
+}
+
+} // namespace pcause

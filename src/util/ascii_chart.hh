@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text rendering of histograms, series, and tables.
+ *
+ * The bench binaries regenerate the paper's figures as terminal
+ * output; these helpers render them as labeled ASCII bar charts and
+ * aligned tables so the "shape" of each figure is visible directly
+ * in the bench logs.
+ */
+
+#ifndef PCAUSE_UTIL_ASCII_CHART_HH
+#define PCAUSE_UTIL_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace pcause
+{
+
+class Histogram;
+
+/**
+ * Render a histogram as horizontal bars.
+ *
+ * @param h      the histogram to render
+ * @param title  caption printed above the chart
+ * @param width  maximum bar width in characters
+ */
+std::string renderHistogram(const Histogram &h, const std::string &title,
+                            std::size_t width = 60);
+
+/**
+ * Render an (x, y) series as a vertical-scan line chart.
+ *
+ * Used for figure 13-style "metric vs sample count" series.
+ */
+std::string renderSeries(const std::vector<double> &xs,
+                         const std::vector<double> &ys,
+                         const std::string &title,
+                         std::size_t rows = 16, std::size_t cols = 64);
+
+/** Simple aligned table: header row plus string cells. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string fmtDouble(double v, int precision = 4);
+
+/** Format a base-10 log-domain value as "a.bc e+dd" scientific text. */
+std::string fmtLog10(double log10_value, int precision = 2);
+
+} // namespace pcause
+
+#endif // PCAUSE_UTIL_ASCII_CHART_HH

@@ -1,0 +1,216 @@
+#include "util/bitvec.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+constexpr std::size_t bitsPerWord = 64;
+
+std::size_t
+wordCount(std::size_t nbits)
+{
+    return (nbits + bitsPerWord - 1) / bitsPerWord;
+}
+
+} // anonymous namespace
+
+BitVec::BitVec(std::size_t nbits_, bool value)
+    : nbits(nbits_),
+      words(wordCount(nbits_), value ? ~0ull : 0ull)
+{
+    trimTail();
+}
+
+void
+BitVec::trimTail()
+{
+    std::size_t rem = nbits % bitsPerWord;
+    if (rem != 0 && !words.empty())
+        words.back() &= (~0ull >> (bitsPerWord - rem));
+}
+
+bool
+BitVec::get(std::size_t idx) const
+{
+    PC_ASSERT(idx < nbits, "BitVec::get out of range");
+    return (words[idx / bitsPerWord] >> (idx % bitsPerWord)) & 1ull;
+}
+
+void
+BitVec::set(std::size_t idx, bool value)
+{
+    PC_ASSERT(idx < nbits, "BitVec::set out of range");
+    std::uint64_t mask = 1ull << (idx % bitsPerWord);
+    if (value)
+        words[idx / bitsPerWord] |= mask;
+    else
+        words[idx / bitsPerWord] &= ~mask;
+}
+
+void
+BitVec::fill(bool value)
+{
+    for (auto &w : words)
+        w = value ? ~0ull : 0ull;
+    trimTail();
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t total = 0;
+    for (auto w : words)
+        total += std::popcount(w);
+    return total;
+}
+
+std::vector<std::size_t>
+BitVec::setBits() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w) {
+            unsigned bit = std::countr_zero(w);
+            out.push_back(wi * bitsPerWord + bit);
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+std::size_t
+BitVec::overlapCount(const BitVec &other) const
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        total += std::popcount(words[i] & other.words[i]);
+    return total;
+}
+
+std::size_t
+BitVec::andNotCount(const BitVec &other) const
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        total += std::popcount(words[i] & ~other.words[i]);
+    return total;
+}
+
+BitVec &
+BitVec::operator&=(const BitVec &other)
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] &= other.words[i];
+    return *this;
+}
+
+BitVec &
+BitVec::operator|=(const BitVec &other)
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] |= other.words[i];
+    return *this;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] ^= other.words[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return nbits == other.nbits && words == other.words;
+}
+
+bool
+BitVec::isSubsetOf(const BitVec &other) const
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] & ~other.words[i])
+            return false;
+    }
+    return true;
+}
+
+BitVec
+BitVec::slice(std::size_t start, std::size_t len) const
+{
+    PC_ASSERT(start + len <= nbits, "BitVec::slice out of range");
+    BitVec out(len);
+    // Word-aligned fast path covers the common page-extraction case.
+    if (start % bitsPerWord == 0) {
+        std::size_t first_word = start / bitsPerWord;
+        for (std::size_t i = 0; i < out.words.size(); ++i)
+            out.words[i] = words[first_word + i];
+        out.trimTail();
+        return out;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+        if (get(start + i))
+            out.set(i);
+    }
+    return out;
+}
+
+void
+BitVec::blit(std::size_t start, const BitVec &src)
+{
+    PC_ASSERT(start + src.nbits <= nbits, "BitVec::blit out of range");
+    if (start % bitsPerWord == 0 && src.nbits % bitsPerWord == 0) {
+        std::size_t first_word = start / bitsPerWord;
+        for (std::size_t i = 0; i < src.words.size(); ++i)
+            words[first_word + i] = src.words[i];
+        return;
+    }
+    for (std::size_t i = 0; i < src.nbits; ++i)
+        set(start + i, src.get(i));
+}
+
+std::size_t
+BitVec::hammingDistance(const BitVec &other) const
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        total += std::popcount(words[i] ^ other.words[i]);
+    return total;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string out;
+    out.reserve(nbits);
+    for (std::size_t i = 0; i < nbits; ++i)
+        out.push_back(get(i) ? '1' : '0');
+    return out;
+}
+
+std::uint64_t
+BitVec::hash() const
+{
+    std::uint64_t h = mix64(0x243f6a8885a308d3ull, nbits);
+    for (auto w : words)
+        h = mix64(h, w);
+    return h;
+}
+
+} // namespace pcause

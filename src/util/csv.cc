@@ -1,0 +1,59 @@
+#include "util/csv.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : out(path), arity(header.size())
+{
+    if (!out)
+        warn("CsvWriter: cannot open %s", path.c_str());
+    writeRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    PC_ASSERT(cells.size() == arity, "CSV arity mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ',';
+        out << quote(cells[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream ss;
+        ss << v;
+        text.push_back(ss.str());
+    }
+    writeRow(text);
+}
+
+std::string
+CsvWriter::quote(const std::string &cell) const
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace pcause

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV writer for bench output artifacts.
+ *
+ * Each bench, in addition to its terminal rendering, can dump the raw
+ * rows behind a figure to a CSV file so series can be re-plotted
+ * externally.
+ */
+
+#ifndef PCAUSE_UTIL_CSV_HH
+#define PCAUSE_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pcause
+{
+
+/** Streaming CSV writer with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing and emit the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** Append one row of string cells (quoted as needed). */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Append one row of numeric cells. */
+    void writeRow(const std::vector<double> &cells);
+
+    /** True when the underlying stream is healthy. */
+    bool good() const { return out.good(); }
+
+  private:
+    std::string quote(const std::string &cell) const;
+
+    std::ofstream out;
+    std::size_t arity;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_UTIL_CSV_HH

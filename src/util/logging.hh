@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for unrecoverable user
+ * errors (bad configuration or arguments), warn()/inform() are
+ * non-fatal status channels.
+ */
+
+#ifndef PCAUSE_UTIL_LOGGING_HH
+#define PCAUSE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pcause
+{
+
+/** Verbosity levels for the global log filter. */
+enum class LogLevel
+{
+    Silent,   //!< suppress everything except panic/fatal
+    Warn,     //!< warnings and errors only
+    Inform,   //!< normal status messages (default)
+    Debug,    //!< verbose debugging output
+};
+
+/** Set the global log filter level. */
+void setLogLevel(LogLevel level);
+
+/** Current global log filter level. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use only for conditions that indicate a bug in this library,
+ * never for user mistakes.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Use for bad configurations or arguments, i.e.\ conditions that are
+ * the caller's fault rather than a library bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a normal informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a verbose debugging message (visible at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort with a message if @p cond is false.
+ *
+ * A checked-always assert used to guard invariants at module
+ * boundaries; unlike assert() it is active in release builds.
+ */
+#define PC_ASSERT(cond, msg)                                            \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::pcause::panic("assertion failed: %s (%s:%d): %s",         \
+                            #cond, __FILE__, __LINE__, msg);            \
+    } while (0)
+
+} // namespace pcause
+
+#endif // PCAUSE_UTIL_LOGGING_HH

@@ -1,0 +1,143 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    // Avalanche each input independently before combining: nearby
+    // (a, b) pairs must not collide (e.g. (seed, page+1) versus
+    // (seed+1, page)), since chips get consecutive manufacturing
+    // seeds and pages consecutive indices.
+    std::uint64_t sa = a, sb = b;
+    const std::uint64_t ha = splitmix64(sa);
+    const std::uint64_t hb = splitmix64(sb);
+    std::uint64_t state = ha ^ (hb * 0xc2b2ae3d27d4eb4full);
+    return splitmix64(state);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+    : _seed(seed), cachedGauss(0.0), hasCachedGauss(false)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    PC_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next();
+    unsigned __int128 m = (unsigned __int128)x * bound;
+    std::uint64_t l = (std::uint64_t)m;
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = (unsigned __int128)x * bound;
+            l = (std::uint64_t)m;
+        }
+    }
+    return (std::uint64_t)(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGauss) {
+        hasCachedGauss = false;
+        return cachedGauss;
+    }
+    // Box-Muller; reject the (measure-zero in practice) u == 0 case.
+    double u = 0.0;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    double v = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u));
+    double theta = 2.0 * M_PI * v;
+    cachedGauss = r * std::sin(theta);
+    hasCachedGauss = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::substream(std::uint64_t key) const
+{
+    return Rng(mix64(_seed, key));
+}
+
+} // namespace pcause

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic behaviour in the simulator flows through Rng so that
+ * experiments are exactly reproducible from a seed. The generator is
+ * xoshiro256** seeded through splitmix64; independent substreams are
+ * derived by hashing a parent seed with a stream key, which is how
+ * per-chip and per-page randomness ("process variation") is produced
+ * without materializing whole memories.
+ */
+
+#ifndef PCAUSE_UTIL_RNG_HH
+#define PCAUSE_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace pcause
+{
+
+/** One splitmix64 step; also used as a 64-bit mixing/hash function. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix of two values (for deriving stream keys). */
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Deterministic pseudo-random generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * used with <random> distributions, but the common distributions are
+ * provided as members to keep results platform-independent
+ * (libstdc++'s normal_distribution is unspecified across versions).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit output. */
+    result_type operator()() { return next(); }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal deviate (Box-Muller, platform independent). */
+    double gaussian();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Log-normal deviate: exp(N(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Derive an independent substream keyed by @p key.
+     *
+     * Streams with distinct keys are statistically independent; the
+     * same (seed, key) pair always yields the same stream. This is
+     * the mechanism behind lazily modeled per-page error patterns.
+     */
+    Rng substream(std::uint64_t key) const;
+
+    /** The seed this generator was constructed from. */
+    std::uint64_t seed() const { return _seed; }
+
+  private:
+    std::uint64_t _seed;
+    std::uint64_t s[4];
+    double cachedGauss;
+    bool hasCachedGauss;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_UTIL_RNG_HH

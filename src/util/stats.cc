@@ -1,0 +1,83 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    double delta = x - mu;
+    mu += delta / n;
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / (n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0)
+{
+    PC_ASSERT(hi_ > lo_ && bins > 0, "bad histogram parameters");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo) / (hi - lo);
+    auto idx = static_cast<std::ptrdiff_t>(t * counts.size());
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     (std::ptrdiff_t)counts.size() - 1);
+    ++counts[idx];
+    ++n;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo + (hi - lo) * i / counts.size();
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo + (hi - lo) * (i + 0.5) / counts.size();
+}
+
+std::size_t
+Histogram::maxCount() const
+{
+    return counts.empty()
+        ? 0 : *std::max_element(counts.begin(), counts.end());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    PC_ASSERT(!values.empty(), "percentile of empty sample");
+    PC_ASSERT(p >= 0.0 && p <= 1.0, "percentile p out of range");
+    std::sort(values.begin(), values.end());
+    double idx = p * (values.size() - 1);
+    auto below = static_cast<std::size_t>(idx);
+    auto above = std::min(below + 1, values.size() - 1);
+    double frac = idx - below;
+    return values[below] * (1.0 - frac) + values[above] * frac;
+}
+
+} // namespace pcause

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Streaming statistics and histogram construction.
+ *
+ * The evaluation benches summarize distance distributions exactly the
+ * way the paper's figures do: histograms over [0,1] plus summary
+ * moments. RunningStats uses Welford's algorithm so it is stable for
+ * the paper's "two orders of magnitude apart" distributions.
+ */
+
+#ifndef PCAUSE_UTIL_STATS_HH
+#define PCAUSE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace pcause
+{
+
+/** Single-pass mean/variance/min/max accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::size_t count() const { return n; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen. */
+    double min() const { return lo; }
+
+    /** Largest sample seen. */
+    double max() const { return hi; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-range, fixed-width histogram. */
+class Histogram
+{
+  public:
+    /** Histogram over [lo, hi) with @p bins equal-width bins. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add a sample; values outside [lo, hi) clamp to the edge bins. */
+    void add(double x);
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts[i]; }
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Exclusive upper edge of bin @p i. */
+    double binHigh(std::size_t i) const { return binLow(i + 1); }
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Total samples added. */
+    std::size_t total() const { return n; }
+
+    /** Largest single-bin count (for chart scaling). */
+    std::size_t maxCount() const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::size_t> counts;
+    std::size_t n = 0;
+};
+
+/** Exact percentile of a sample set (linear interpolation, p in [0,1]). */
+double percentile(std::vector<double> values, double p);
+
+} // namespace pcause
+
+#endif // PCAUSE_UTIL_STATS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Physical unit helpers.
+ *
+ * Time is tracked in seconds (double) and temperature in degrees
+ * Celsius; the thin wrappers here exist to make call sites read
+ * unambiguously (milliseconds(64) rather than a bare 0.064).
+ */
+
+#ifndef PCAUSE_UTIL_UNITS_HH
+#define PCAUSE_UTIL_UNITS_HH
+
+namespace pcause
+{
+
+/** Seconds, the canonical simulator time unit. */
+using Seconds = double;
+
+/** Degrees Celsius, the canonical temperature unit. */
+using Celsius = double;
+
+/** Convert milliseconds to Seconds. */
+constexpr Seconds milliseconds(double ms) { return ms * 1e-3; }
+
+/** Convert microseconds to Seconds. */
+constexpr Seconds microseconds(double us) { return us * 1e-6; }
+
+/** Convert minutes to Seconds. */
+constexpr Seconds minutes(double m) { return m * 60.0; }
+
+/** JEDEC refresh period for sub-85C operation (the exact baseline). */
+constexpr Seconds jedecRefreshPeriod = milliseconds(64);
+
+/** The JEDEC temperature ceiling the 64 ms period is specified for. */
+constexpr Celsius jedecTempCeiling = 85.0;
+
+} // namespace pcause
+
+#endif // PCAUSE_UTIL_UNITS_HH

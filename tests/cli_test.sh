@@ -1,0 +1,40 @@
+#!/bin/sh
+# End-to-end exercise of the pcause CLI: simulate three chips,
+# characterize two of them, then check identification, the unknown
+# case, and clustering. Invoked by ctest with the binary path as $1.
+set -eu
+
+PCAUSE="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$PCAUSE" simulate --chips 3 --trials 4 --out . > /dev/null
+
+"$PCAUSE" characterize --db db.pcdb --label alpha --exact exact.pcbv \
+    chip0_trial0.pcbv chip0_trial1.pcbv chip0_trial2.pcbv > /dev/null
+"$PCAUSE" characterize --db db.pcdb --label beta --exact exact.pcbv \
+    chip1_trial0.pcbv chip1_trial1.pcbv chip1_trial2.pcbv > /dev/null
+
+"$PCAUSE" db --db db.pcdb | grep -q "2 records"
+
+# A fresh output of chip 1 must identify as beta.
+"$PCAUSE" identify --db db.pcdb --exact exact.pcbv \
+    chip1_trial3.pcbv | grep -q "match: beta"
+
+# Chip 2 was never characterized: identify must fail (exit 1).
+if "$PCAUSE" identify --db db.pcdb --exact exact.pcbv \
+    chip2_trial0.pcbv > /dev/null; then
+    echo "FAIL: unknown chip identified" >&2
+    exit 1
+fi
+
+# Clustering four outputs of three chips must find three clusters.
+"$PCAUSE" cluster --exact exact.pcbv chip0_trial0.pcbv \
+    chip1_trial0.pcbv chip0_trial1.pcbv chip2_trial0.pcbv \
+    | grep -q "4 outputs -> 3 clusters"
+
+# The model subcommand must report the paper's Table 1 entropy.
+"$PCAUSE" model | grep -q "2423 bits"
+
+echo "cli test passed"

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for dram/approx_memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/approx_memory.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+namespace
+{
+
+class ApproxMemoryTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramConfig::km41464a(), 21};
+};
+
+TEST_F(ApproxMemoryTest, RoundTripDegradesAtTargetRate)
+{
+    ApproxMemory mem(chip, 0.99);
+    const BitVec data = chip.worstCasePattern();
+    const BitVec out = mem.roundTrip(data, 1);
+    const double err =
+        static_cast<double>(out.hammingDistance(data)) / data.size();
+    EXPECT_NEAR(err, 0.01, 0.003);
+}
+
+TEST_F(ApproxMemoryTest, AccuracyKnobChangesErrorRate)
+{
+    ApproxMemory mem(chip, 0.99);
+    const BitVec data = chip.worstCasePattern();
+    const double e99 = static_cast<double>(
+        mem.roundTrip(data, 1).hammingDistance(data)) / data.size();
+    mem.setAccuracy(0.90);
+    const double e90 = static_cast<double>(
+        mem.roundTrip(data, 2).hammingDistance(data)) / data.size();
+    EXPECT_NEAR(e90, 0.10, 0.02);
+    EXPECT_GT(e90, e99 * 5);
+}
+
+TEST_F(ApproxMemoryTest, TemperatureChangeKeepsAccuracy)
+{
+    // The adaptive controller shortens the interval when hot so the
+    // delivered accuracy stays on target (paper Section 7.3).
+    ApproxMemory mem(chip, 0.99);
+    const BitVec data = chip.worstCasePattern();
+    mem.setTemperature(40.0);
+    const Seconds cool_interval = mem.refreshInterval();
+    const double e_cool = static_cast<double>(
+        mem.roundTrip(data, 3).hammingDistance(data)) / data.size();
+    mem.setTemperature(60.0);
+    const Seconds hot_interval = mem.refreshInterval();
+    const double e_hot = static_cast<double>(
+        mem.roundTrip(data, 4).hammingDistance(data)) / data.size();
+    EXPECT_LT(hot_interval, cool_interval);
+    EXPECT_NEAR(e_cool, 0.01, 0.003);
+    EXPECT_NEAR(e_hot, 0.01, 0.003);
+}
+
+TEST_F(ApproxMemoryTest, EnergySavingIsInteralOverJedec)
+{
+    ApproxMemory mem(chip, 0.99);
+    EXPECT_NEAR(mem.refreshEnergySavingFactor(),
+                mem.refreshInterval() / jedecRefreshPeriod, 1e-12);
+    // Tens-of-seconds retention vs 64 ms baseline: large savings.
+    EXPECT_GT(mem.refreshEnergySavingFactor(), 10.0);
+}
+
+TEST_F(ApproxMemoryTest, StoreThenLoadSeparately)
+{
+    ApproxMemory mem(chip, 0.95);
+    chip.reseedTrial(5);
+    const BitVec data = chip.worstCasePattern();
+    mem.store(data);
+    const BitVec out = mem.load();
+    const double err =
+        static_cast<double>(out.hammingDistance(data)) / data.size();
+    EXPECT_NEAR(err, 0.05, 0.01);
+}
+
+TEST_F(ApproxMemoryTest, SameTrialKeyReproducesExactly)
+{
+    ApproxMemory mem(chip, 0.99);
+    const BitVec data = chip.worstCasePattern();
+    const BitVec a = mem.roundTrip(data, 42);
+    const BitVec b = mem.roundTrip(data, 42);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(ApproxMemoryTest, SizeMatchesChip)
+{
+    ApproxMemory mem(chip, 0.99);
+    EXPECT_EQ(mem.size(), chip.size());
+}
+
+TEST_F(ApproxMemoryTest, ErrorsFallOnChargedCellsOnly)
+{
+    // With real (non-worst-case) data, only anti-default cells can
+    // decay: errors must be confined to them.
+    ApproxMemory mem(chip, 0.90);
+    BitVec data(chip.size()); // all zeros: charged only on rows with
+                              // default 1
+    const BitVec out = mem.roundTrip(data, 6);
+    const BitVec errors = out ^ data;
+    for (auto cell : errors.setBits()) {
+        const std::size_t row = chip.rowOf(cell);
+        EXPECT_TRUE(chip.config().defaultBit(row))
+            << "error on a discharged cell";
+    }
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for util/ascii_chart.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.hh"
+#include "util/stats.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(AsciiChart, HistogramRenderIncludesTitleAndCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.9);
+    h.add(0.95);
+    std::string out = renderHistogram(h, "demo");
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("(n=3)"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, HistogramBarsScaleWithCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.1);
+    h.add(0.9);
+    std::string out = renderHistogram(h, "t", 20);
+    // The dominant bin should render the full 20-char bar.
+    EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(AsciiChart, SeriesRenderHandlesEmptyInput)
+{
+    std::string out = renderSeries({}, {}, "empty");
+    EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(AsciiChart, SeriesRenderPlacesPoints)
+{
+    std::vector<double> xs{0, 1, 2, 3};
+    std::vector<double> ys{0, 1, 2, 3};
+    std::string out = renderSeries(xs, ys, "line", 4, 8);
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(TextTable, RendersHeaderSeparatorAndRows)
+{
+    TextTable t({"a", "bb"});
+    t.addRow({"1", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell)
+{
+    TextTable t({"h", "x"});
+    t.addRow({"longcell", "y"});
+    std::string out = t.render();
+    // Header line must be padded at least as wide as "longcell".
+    auto first_line_end = out.find('\n');
+    EXPECT_GE(first_line_end, std::string("longcell  x").size());
+}
+
+TEST(FmtDouble, RespectsPrecision)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(FmtLog10, RendersScientificFromLogDomain)
+{
+    EXPECT_EQ(fmtLog10(3.0, 2), "1.00e+3");
+    EXPECT_EQ(fmtLog10(-2.0, 2), "1.00e-2");
+}
+
+TEST(FmtLog10, HandlesFractionalExponents)
+{
+    // log10(x) = 795.94 -> 8.7e795
+    std::string s = fmtLog10(795.9395, 1);
+    EXPECT_EQ(s, "8.7e+795");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Integration tests for core/attacker: both Section 3 threat
+ * models end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attacker.hh"
+#include "platform/platform.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(SupplyChainAttacker, InterceptsAndAttributes)
+{
+    Platform platform = Platform::legacy(3);
+    SupplyChainAttacker attacker;
+    for (unsigned c = 0; c < 3; ++c) {
+        TestHarness h = platform.harness(c);
+        attacker.interceptChip(h, "victim-" + std::to_string(c));
+    }
+    EXPECT_EQ(attacker.database().size(), 3u);
+
+    // A public output from chip 1 deanonymizes its machine.
+    TestHarness h = platform.harness(1);
+    const BitVec exact = h.chip().worstCasePattern();
+    TrialSpec spec;
+    spec.accuracy = 0.95;
+    spec.temp = 55.0;
+    spec.trialKey = 777;
+    const IdentifyResult r =
+        attacker.attribute(h.runWorstCaseTrial(spec).approx, exact);
+    ASSERT_TRUE(r.match.has_value());
+    EXPECT_EQ(attacker.label(*r.match), "victim-1");
+}
+
+TEST(SupplyChainAttacker, UnknownChipFailsToAttribute)
+{
+    Platform platform = Platform::legacy(3);
+    SupplyChainAttacker attacker;
+    for (unsigned c = 0; c < 2; ++c) {
+        TestHarness h = platform.harness(c);
+        attacker.interceptChip(h, "known-" + std::to_string(c));
+    }
+    // Chip 2 was never intercepted.
+    TestHarness h = platform.harness(2);
+    const BitVec exact = h.chip().worstCasePattern();
+    TrialSpec spec;
+    spec.accuracy = 0.99;
+    spec.trialKey = 1234;
+    const IdentifyResult r =
+        attacker.attribute(h.runWorstCaseTrial(spec).approx, exact);
+    EXPECT_FALSE(r.match.has_value());
+}
+
+TEST(SupplyChainAttacker, InterceptValidatesArguments)
+{
+    Platform platform = Platform::legacy(1);
+    SupplyChainAttacker attacker;
+    TestHarness h = platform.harness(0);
+    EXPECT_DEATH(attacker.interceptChip(h, "x", 0), "");
+}
+
+class EavesdropperTest : public ::testing::Test
+{
+  protected:
+    CommoditySystemParams smallMachine()
+    {
+        CommoditySystemParams p;
+        p.dram.totalBits = 512ull * pageBits; // 2 MB machine
+        return p;
+    }
+};
+
+TEST_F(EavesdropperTest, ConvergesToOneMachine)
+{
+    CommoditySystem victim(smallMachine(), 0xA, 1);
+    EavesdropperAttacker attacker;
+    // 64-page samples over a 512-page machine: overlaps come fast.
+    for (int n = 0; n < 40; ++n)
+        attacker.observe(victim.publish(64 * pageBytes));
+    EXPECT_EQ(attacker.suspectedMachines(), 1u);
+}
+
+TEST_F(EavesdropperTest, SeparatesTwoMachines)
+{
+    CommoditySystem alice(smallMachine(), 0xA, 1);
+    CommoditySystem bob(smallMachine(), 0xB, 2);
+    EavesdropperAttacker attacker;
+    // Enough samples for every memory region of both machines to be
+    // bridged (convergence is asymptotic — the paper needs ~90
+    // samples for onset and ~1000 for full convergence).
+    for (int n = 0; n < 80; ++n) {
+        attacker.observe(alice.publish(64 * pageBytes));
+        attacker.observe(bob.publish(64 * pageBytes));
+    }
+    EXPECT_EQ(attacker.suspectedMachines(), 2u);
+}
+
+TEST_F(EavesdropperTest, AttributesFreshSamples)
+{
+    CommoditySystem alice(smallMachine(), 0xA, 1);
+    CommoditySystem bob(smallMachine(), 0xB, 2);
+    EavesdropperAttacker attacker;
+    std::size_t alice_cluster = 0;
+    for (int n = 0; n < 30; ++n) {
+        alice_cluster = attacker.observe(
+            alice.publish(64 * pageBytes));
+        attacker.observe(bob.publish(64 * pageBytes));
+    }
+    const auto match = attacker.attribute(
+        alice.publish(64 * pageBytes));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(attacker.stitcher().resolve(*match),
+              attacker.stitcher().resolve(alice_cluster));
+}
+
+TEST_F(EavesdropperTest, AslrDefenseBlocksConvergence)
+{
+    // Section 8.2.3: page-level ASLR removes the contiguity the
+    // stitcher needs, so samples cannot be stitched together.
+    CommoditySystemParams p = smallMachine();
+    p.placement = PlacementPolicy::PageLevelAslr;
+    CommoditySystem victim(p, 0xA, 1);
+    EavesdropperAttacker attacker;
+    for (int n = 0; n < 20; ++n)
+        attacker.observe(victim.publish(64 * pageBytes));
+    // Far from converging to 1: most samples stay separate.
+    EXPECT_GT(attacker.suspectedMachines(), 10u);
+}
+
+} // anonymous namespace
+} // namespace pcause

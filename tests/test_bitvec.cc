@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for util/bitvec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(BitVec, DefaultConstructedIsEmpty)
+{
+    BitVec v;
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ConstructZeroFilled)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ConstructOneFilled)
+{
+    BitVec v(130, true);
+    EXPECT_EQ(v.popcount(), 130u);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(129));
+}
+
+TEST(BitVec, SetAndGet)
+{
+    BitVec v(100);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(99));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, ClearBit)
+{
+    BitVec v(10, true);
+    v.clear(5);
+    EXPECT_FALSE(v.get(5));
+    EXPECT_EQ(v.popcount(), 9u);
+}
+
+TEST(BitVec, FillTrimsTailBits)
+{
+    // A fill(true) on a non-word-multiple size must not set bits
+    // beyond size(), or popcount would over-report.
+    BitVec v(65);
+    v.fill(true);
+    EXPECT_EQ(v.popcount(), 65u);
+}
+
+TEST(BitVec, SetBitsReturnsSortedPositions)
+{
+    BitVec v(200);
+    v.set(199);
+    v.set(3);
+    v.set(64);
+    auto bits = v.setBits();
+    ASSERT_EQ(bits.size(), 3u);
+    EXPECT_EQ(bits[0], 3u);
+    EXPECT_EQ(bits[1], 64u);
+    EXPECT_EQ(bits[2], 199u);
+}
+
+TEST(BitVec, XorComputesSymmetricDifference)
+{
+    BitVec a(70), b(70);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    BitVec c = a ^ b;
+    EXPECT_TRUE(c.get(1));
+    EXPECT_FALSE(c.get(2));
+    EXPECT_TRUE(c.get(3));
+    EXPECT_EQ(c.popcount(), 2u);
+}
+
+TEST(BitVec, AndComputesIntersection)
+{
+    BitVec a(70), b(70);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    BitVec c = a & b;
+    EXPECT_EQ(c.popcount(), 1u);
+    EXPECT_TRUE(c.get(2));
+}
+
+TEST(BitVec, OrComputesUnion)
+{
+    BitVec a(70), b(70);
+    a.set(1);
+    b.set(69);
+    BitVec c = a | b;
+    EXPECT_EQ(c.popcount(), 2u);
+}
+
+TEST(BitVec, OverlapCount)
+{
+    BitVec a(128), b(128);
+    for (std::size_t i = 0; i < 128; i += 2)
+        a.set(i);
+    for (std::size_t i = 0; i < 128; i += 3)
+        b.set(i);
+    // multiples of 6 below 128: 0,6,...,126 -> 22
+    EXPECT_EQ(a.overlapCount(b), 22u);
+}
+
+TEST(BitVec, AndNotCount)
+{
+    BitVec a(64), b(64);
+    a.set(1);
+    a.set(2);
+    a.set(3);
+    b.set(3);
+    EXPECT_EQ(a.andNotCount(b), 2u);
+    EXPECT_EQ(b.andNotCount(a), 0u);
+}
+
+TEST(BitVec, SubsetDetection)
+{
+    BitVec a(64), b(64);
+    a.set(5);
+    b.set(5);
+    b.set(9);
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+    EXPECT_TRUE(a.isSubsetOf(a));
+}
+
+TEST(BitVec, EqualityComparesContentAndSize)
+{
+    BitVec a(64), b(64), c(65);
+    a.set(1);
+    b.set(1);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    b.set(2);
+    EXPECT_NE(a, b);
+}
+
+TEST(BitVec, SliceWordAligned)
+{
+    BitVec v(256);
+    v.set(64);
+    v.set(100);
+    v.set(127);
+    BitVec s = v.slice(64, 64);
+    EXPECT_EQ(s.size(), 64u);
+    EXPECT_TRUE(s.get(0));
+    EXPECT_TRUE(s.get(36));
+    EXPECT_TRUE(s.get(63));
+    EXPECT_EQ(s.popcount(), 3u);
+}
+
+TEST(BitVec, SliceUnaligned)
+{
+    BitVec v(100);
+    v.set(10);
+    v.set(20);
+    BitVec s = v.slice(5, 20);
+    EXPECT_TRUE(s.get(5));
+    EXPECT_TRUE(s.get(15));
+    EXPECT_EQ(s.popcount(), 2u);
+}
+
+TEST(BitVec, BlitRoundTripsWithSlice)
+{
+    BitVec src(64);
+    src.set(0);
+    src.set(63);
+    BitVec dst(256);
+    dst.blit(128, src);
+    EXPECT_EQ(dst.slice(128, 64), src);
+    EXPECT_EQ(dst.popcount(), 2u);
+}
+
+TEST(BitVec, BlitUnaligned)
+{
+    BitVec src(10, true);
+    BitVec dst(100);
+    dst.blit(33, src);
+    EXPECT_EQ(dst.popcount(), 10u);
+    EXPECT_TRUE(dst.get(33));
+    EXPECT_TRUE(dst.get(42));
+    EXPECT_FALSE(dst.get(43));
+}
+
+TEST(BitVec, HammingDistance)
+{
+    BitVec a(64), b(64);
+    a.set(1);
+    b.set(2);
+    EXPECT_EQ(a.hammingDistance(b), 2u);
+    EXPECT_EQ(a.hammingDistance(a), 0u);
+}
+
+TEST(BitVec, ToStringRendersBitsInOrder)
+{
+    BitVec v(4);
+    v.set(1);
+    v.set(3);
+    EXPECT_EQ(v.toString(), "0101");
+}
+
+TEST(BitVec, HashDiffersForDifferentContent)
+{
+    BitVec a(64), b(64);
+    a.set(1);
+    b.set(2);
+    EXPECT_NE(a.hash(), b.hash());
+    BitVec c = a;
+    EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(BitVec, HashDependsOnSize)
+{
+    BitVec a(64), b(65);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+} // anonymous namespace
+} // namespace pcause

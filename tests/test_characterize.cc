@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for core/fingerprint and core/characterize
+ * (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterize.hh"
+#include "platform/platform.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(Fingerprint, EmptyUntilAugmented)
+{
+    Fingerprint fp;
+    EXPECT_TRUE(fp.empty());
+    EXPECT_EQ(fp.sources(), 0u);
+    EXPECT_EQ(fp.weight(), 0u);
+}
+
+TEST(Fingerprint, FirstAugmentAdoptsPattern)
+{
+    BitVec es(64);
+    es.set(1);
+    es.set(2);
+    Fingerprint fp;
+    fp.augment(es);
+    EXPECT_EQ(fp.bits(), es);
+    EXPECT_EQ(fp.sources(), 1u);
+    EXPECT_EQ(fp.weight(), 2u);
+}
+
+TEST(Fingerprint, AugmentIntersects)
+{
+    BitVec a(64), b(64);
+    a.set(1);
+    a.set(2);
+    a.set(3);
+    b.set(2);
+    b.set(3);
+    b.set(4);
+    Fingerprint fp(a);
+    fp.augment(b);
+    EXPECT_EQ(fp.weight(), 2u);
+    EXPECT_TRUE(fp.bits().get(2));
+    EXPECT_TRUE(fp.bits().get(3));
+    EXPECT_FALSE(fp.bits().get(1));
+    EXPECT_FALSE(fp.bits().get(4));
+    EXPECT_EQ(fp.sources(), 2u);
+}
+
+TEST(Fingerprint, IntersectionIsMonotoneDecreasing)
+{
+    Rng rng(1);
+    BitVec base(1024);
+    for (int i = 0; i < 100; ++i)
+        base.set(rng.nextBelow(1024));
+    Fingerprint fp(base);
+    std::size_t prev = fp.weight();
+    for (int k = 0; k < 5; ++k) {
+        BitVec next = base;
+        next.set(rng.nextBelow(1024)); // superset-ish variation
+        next.clear(base.setBits()[k]); // drop one base bit
+        fp.augment(next);
+        EXPECT_LE(fp.weight(), prev);
+        prev = fp.weight();
+    }
+}
+
+TEST(Characterize, SingleResultFingerprintIsItsErrorString)
+{
+    BitVec exact(64);
+    BitVec approx = exact;
+    approx.set(5);
+    const Fingerprint fp = characterize({approx}, exact);
+    EXPECT_EQ(fp.weight(), 1u);
+    EXPECT_TRUE(fp.bits().get(5));
+}
+
+TEST(Characterize, KeepsOnlyRepeatedErrors)
+{
+    BitVec exact(64);
+    BitVec r1 = exact, r2 = exact, r3 = exact;
+    r1.set(1);
+    r1.set(9);
+    r2.set(1);
+    r2.set(20);
+    r3.set(1);
+    r3.set(30);
+    const Fingerprint fp = characterize({r1, r2, r3}, exact);
+    EXPECT_EQ(fp.weight(), 1u);
+    EXPECT_TRUE(fp.bits().get(1));
+}
+
+TEST(Characterize, PerResultExactValuesOverload)
+{
+    BitVec e1(64), e2(64);
+    e2.set(0); // different data in the second trial
+    BitVec r1 = e1, r2 = e2;
+    r1.set(7);
+    r2.set(7);
+    const Fingerprint fp = characterize({r1, r2}, {e1, e2});
+    EXPECT_EQ(fp.weight(), 1u);
+    EXPECT_TRUE(fp.bits().get(7));
+}
+
+TEST(Characterize, EmptyInputDies)
+{
+    EXPECT_DEATH(characterize({}, BitVec(8)), "");
+}
+
+TEST(Characterize, MismatchedCountsDie)
+{
+    std::vector<BitVec> rs{BitVec(8)};
+    std::vector<BitVec> es{BitVec(8), BitVec(8)};
+    EXPECT_DEATH(characterize(rs, es), "");
+}
+
+TEST(Characterize, RealChipFingerprintIsStableVolatileCore)
+{
+    // On a simulated chip, the Algorithm 1 fingerprint must be a
+    // subset of every contributing error string and roughly the
+    // worst-case error budget in size.
+    Platform platform = Platform::legacy(1);
+    TestHarness h = platform.harness(0);
+    const BitVec exact = h.chip().worstCasePattern();
+    std::vector<BitVec> outs;
+    std::vector<BitVec> errors;
+    for (unsigned k = 0; k < 3; ++k) {
+        TrialSpec spec;
+        spec.accuracy = 0.99;
+        spec.temp = 40.0 + 10.0 * k;
+        spec.trialKey = k + 1;
+        outs.push_back(h.runWorstCaseTrial(spec).approx);
+        errors.push_back(outs.back() ^ exact);
+    }
+    const Fingerprint fp = characterize(outs, exact);
+    for (const auto &es : errors)
+        EXPECT_TRUE(fp.bits().isSubsetOf(es));
+    const double budget = 0.01 * h.chip().size();
+    EXPECT_GT(fp.weight(), 0.9 * budget);
+    EXPECT_LE(fp.weight(), 1.05 * budget);
+}
+
+} // anonymous namespace
+} // namespace pcause

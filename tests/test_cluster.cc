@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for core/cluster (Algorithm 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "core/error_string.hh"
+#include "platform/platform.hh"
+
+namespace pcause
+{
+namespace
+{
+
+BitVec
+pattern(std::initializer_list<std::size_t> bits,
+        std::size_t size = 1024)
+{
+    BitVec v(size);
+    for (auto b : bits)
+        v.set(b);
+    return v;
+}
+
+TEST(OnlineClusterer, FirstSampleOpensCluster)
+{
+    OnlineClusterer c;
+    EXPECT_EQ(c.addErrorString(pattern({1, 2, 3})), 0u);
+    EXPECT_EQ(c.numClusters(), 1u);
+}
+
+TEST(OnlineClusterer, SimilarSamplesShareCluster)
+{
+    OnlineClusterer c;
+    c.addErrorString(pattern({1, 2, 3, 4}));
+    const std::size_t id = c.addErrorString(pattern({1, 2, 3, 4, 99}));
+    EXPECT_EQ(id, 0u);
+    EXPECT_EQ(c.numClusters(), 1u);
+}
+
+TEST(OnlineClusterer, DistinctSamplesOpenNewClusters)
+{
+    OnlineClusterer c;
+    c.addErrorString(pattern({1, 2, 3}));
+    const std::size_t id = c.addErrorString(pattern({500, 600, 700}));
+    EXPECT_EQ(id, 1u);
+    EXPECT_EQ(c.numClusters(), 2u);
+}
+
+TEST(OnlineClusterer, MatchAugmentsFingerprintByIntersection)
+{
+    OnlineClusterer c;
+    // 20-bit patterns differing in one bit: distance 0.05 is under
+    // the 0.1 threshold, so the second joins and intersects.
+    BitVec first(1024), second(1024);
+    for (std::size_t b = 0; b < 20; ++b) {
+        first.set(b * 3);
+        second.set(b * 3);
+    }
+    second.clear(0);
+    second.set(999);
+    c.addErrorString(first);
+    c.addErrorString(second);
+    EXPECT_EQ(c.numClusters(), 1u);
+    // Bits 0 and 999 did not repeat; the intersection drops both.
+    EXPECT_EQ(c.fingerprint(0).weight(), 19u);
+    EXPECT_TRUE(c.fingerprint(0).bits().get(3));
+    EXPECT_FALSE(c.fingerprint(0).bits().get(0));
+    EXPECT_FALSE(c.fingerprint(0).bits().get(999));
+}
+
+TEST(OnlineClusterer, AssignmentsRecordHistory)
+{
+    OnlineClusterer c;
+    c.addErrorString(pattern({1, 2, 3}));
+    c.addErrorString(pattern({500, 600, 700}));
+    c.addErrorString(pattern({1, 2, 3}));
+    const auto &h = c.assignments();
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h[0], 0u);
+    EXPECT_EQ(h[1], 1u);
+    EXPECT_EQ(h[2], 0u);
+}
+
+TEST(OnlineClusterer, ToDatabaseExportsAllClusters)
+{
+    OnlineClusterer c;
+    c.addErrorString(pattern({1, 2, 3}));
+    c.addErrorString(pattern({500, 600, 700}));
+    const FingerprintDb db = c.toDatabase("sys-");
+    ASSERT_EQ(db.size(), 2u);
+    EXPECT_EQ(db.record(0).label, "sys-0");
+    EXPECT_EQ(db.record(1).label, "sys-1");
+}
+
+TEST(OnlineClusterer, FingerprintIndexOutOfRangeDies)
+{
+    OnlineClusterer c;
+    EXPECT_DEATH(c.fingerprint(0), "");
+}
+
+TEST(Cluster, BatchMatchesOnline)
+{
+    const BitVec exact(1024);
+    std::vector<BitVec> results{pattern({1, 2, 3}),
+                                pattern({500, 600, 700}),
+                                pattern({1, 2, 3, 50})};
+    std::vector<std::size_t> assign;
+    const FingerprintDb db = cluster(results, exact, {}, &assign);
+    EXPECT_EQ(db.size(), 2u);
+    ASSERT_EQ(assign.size(), 3u);
+    EXPECT_EQ(assign[0], assign[2]);
+    EXPECT_NE(assign[0], assign[1]);
+}
+
+TEST(Cluster, SimulatedChipsClusterPerfectly)
+{
+    // The paper's clustering claim: outputs of unknown chips group
+    // by physical chip with 100% success.
+    Platform platform = Platform::legacy(4);
+    const BitVec exact = platform.chip(0).worstCasePattern();
+    std::vector<BitVec> outputs;
+    std::vector<unsigned> truth;
+    std::uint64_t trial = 0;
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned c = 0; c < 4; ++c) {
+            TestHarness h = platform.harness(c);
+            TrialSpec spec;
+            spec.accuracy = 0.99;
+            spec.temp = 40.0 + 10.0 * round;
+            spec.trialKey = ++trial;
+            outputs.push_back(h.runWorstCaseTrial(spec).approx);
+            truth.push_back(c);
+        }
+    }
+    std::vector<std::size_t> assign;
+    const FingerprintDb db = cluster(outputs, exact, {}, &assign);
+    EXPECT_EQ(db.size(), 4u);
+    // Same truth chip -> same cluster; different -> different.
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        for (std::size_t j = i + 1; j < outputs.size(); ++j) {
+            EXPECT_EQ(truth[i] == truth[j], assign[i] == assign[j])
+                << "samples " << i << "," << j;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for util/csv.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace pcause
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string path =
+        ::testing::TempDir() + "pcause_csv_test.csv";
+
+    void TearDown() override { std::remove(path.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter w(path, {"x", "y"});
+        w.writeRow(std::vector<std::string>{"1", "2"});
+    }
+    EXPECT_EQ(slurp(path), "x,y\n1,2\n");
+}
+
+TEST_F(CsvTest, WritesNumericRows)
+{
+    {
+        CsvWriter w(path, {"v"});
+        w.writeRow(std::vector<double>{2.5});
+    }
+    EXPECT_EQ(slurp(path), "v\n2.5\n");
+}
+
+TEST_F(CsvTest, QuotesCellsWithCommas)
+{
+    {
+        CsvWriter w(path, {"note"});
+        w.writeRow(std::vector<std::string>{"a,b"});
+    }
+    EXPECT_EQ(slurp(path), "note\n\"a,b\"\n");
+}
+
+TEST_F(CsvTest, EscapesEmbeddedQuotes)
+{
+    {
+        CsvWriter w(path, {"note"});
+        w.writeRow(std::vector<std::string>{"say \"hi\""});
+    }
+    EXPECT_EQ(slurp(path), "note\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, GoodReflectsStreamState)
+{
+    CsvWriter w(path, {"a"});
+    EXPECT_TRUE(w.good());
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for core/defenses (Section 8.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/defenses.hh"
+#include "core/distance.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(Segregation, SensitiveBitsComeBackExact)
+{
+    BitVec exact(64), approx(64), mask(64);
+    exact.set(1);
+    exact.set(40);
+    approx = exact;
+    approx.clear(1);   // error in the sensitive half
+    approx.clear(40);  // error in the approximate half
+    for (std::size_t i = 0; i < 32; ++i)
+        mask.set(i);
+
+    const BitVec published = applySegregation(approx, exact, mask);
+    EXPECT_TRUE(published.get(1));    // healed by segregation
+    EXPECT_FALSE(published.get(40));  // error survives
+}
+
+TEST(Segregation, EnergyCostIsSensitiveFraction)
+{
+    BitVec mask(100);
+    for (std::size_t i = 0; i < 25; ++i)
+        mask.set(i);
+    EXPECT_DOUBLE_EQ(segregationEnergyCost(mask), 0.25);
+}
+
+TEST(Segregation, SizeMismatchDies)
+{
+    EXPECT_DEATH(applySegregation(BitVec(8), BitVec(8), BitVec(9)),
+                 "");
+}
+
+TEST(NoiseDefense, ZeroRateIsIdentity)
+{
+    Rng rng(1);
+    BitVec v(256);
+    v.set(10);
+    EXPECT_EQ(addNoiseDefense(v, 0.0, rng), v);
+}
+
+TEST(NoiseDefense, FullRateInvertsEverything)
+{
+    Rng rng(2);
+    BitVec v(64);
+    v.set(3);
+    const BitVec out = addNoiseDefense(v, 1.0, rng);
+    EXPECT_EQ(out.hammingDistance(v), 64u);
+}
+
+TEST(NoiseDefense, FlipCountTracksRate)
+{
+    Rng rng(3);
+    BitVec v(100000);
+    const BitVec out = addNoiseDefense(v, 0.01, rng);
+    EXPECT_NEAR(static_cast<double>(out.popcount()) / v.size(), 0.01,
+                0.002);
+}
+
+TEST(NoiseDefense, QualityCostEqualsRate)
+{
+    EXPECT_DOUBLE_EQ(noiseQualityCost(0.05), 0.05);
+}
+
+TEST(NoiseDefense, ModerateNoiseDoesNotHideTheFingerprint)
+{
+    // The paper's Section 8.2.2 claim: noise "only slows the
+    // attacker down". Even with noise at the approximation's own
+    // error rate, the within-class distance stays well below the
+    // between-class range.
+    Rng rng(4);
+    const std::size_t size = 32768;
+    BitVec fp(size);
+    while (fp.popcount() < 328)
+        fp.set(rng.nextBelow(size));
+    BitVec output = fp; // the chip's own error pattern
+
+    const BitVec noisy = addNoiseDefense(output, 0.01, rng);
+    const double d_within = modifiedJaccard(noisy, fp);
+
+    BitVec other(size);
+    while (other.popcount() < 328)
+        other.set(rng.nextBelow(size));
+    const double d_between = modifiedJaccard(other, fp);
+
+    EXPECT_LT(d_within, 0.1);
+    EXPECT_GT(d_between, 0.9);
+}
+
+TEST(NoiseDefense, RateOutOfRangeDies)
+{
+    Rng rng(5);
+    EXPECT_DEATH(addNoiseDefense(BitVec(8), 1.5, rng), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

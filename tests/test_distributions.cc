@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for math/distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/distributions.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(Distributions, NormalPdfPeakAndSymmetry)
+{
+    EXPECT_NEAR(normalPdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+    EXPECT_NEAR(normalPdf(1.5), normalPdf(-1.5), 1e-15);
+}
+
+TEST(Distributions, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normalCdf(-1.96), 0.0249978951482204, 1e-9);
+}
+
+TEST(Distributions, GeneralNormalCdfShiftsAndScales)
+{
+    EXPECT_NEAR(normalCdf(10.0, 10.0, 3.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(13.0, 10.0, 3.0), normalCdf(1.0), 1e-12);
+}
+
+TEST(Distributions, QuantileInvertsCdf)
+{
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                     0.999}) {
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-10)
+            << "p=" << p;
+    }
+}
+
+TEST(Distributions, QuantileKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-10);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.01), -2.326347874040841, 1e-8);
+}
+
+TEST(Distributions, QuantileTailsAreFinite)
+{
+    EXPECT_TRUE(std::isfinite(normalQuantile(1e-12)));
+    EXPECT_TRUE(std::isfinite(normalQuantile(1.0 - 1e-12)));
+    EXPECT_LT(normalQuantile(1e-12), -6.0);
+}
+
+TEST(Distributions, GeneralQuantileShiftsAndScales)
+{
+    EXPECT_NEAR(normalQuantile(0.5, 20.0, 6.0), 20.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.8413447460685429, 20.0, 6.0), 26.0,
+                1e-6);
+}
+
+TEST(Distributions, LogNormalCdfBasics)
+{
+    EXPECT_DOUBLE_EQ(logNormalCdf(0.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(logNormalCdf(-1.0, 0.0, 1.0), 0.0);
+    EXPECT_NEAR(logNormalCdf(1.0, 0.0, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(logNormalCdf(std::exp(2.0), 2.0, 0.7), 0.5, 1e-12);
+}
+
+TEST(Distributions, LogNormalQuantileInvertsCdf)
+{
+    for (double p : {0.05, 0.5, 0.95}) {
+        const double x = logNormalQuantile(p, 1.0, 0.4);
+        EXPECT_NEAR(logNormalCdf(x, 1.0, 0.4), p, 1e-10);
+    }
+}
+
+TEST(Distributions, QuantileRejectsDegenerateP)
+{
+    EXPECT_DEATH(normalQuantile(0.0), "");
+    EXPECT_DEATH(normalQuantile(1.0), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for dram/dram_chip: write/read semantics, decay
+ * mechanics, refresh error lock-in, and region operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_chip.hh"
+
+namespace pcause
+{
+namespace
+{
+
+/** Config with zero noise so decay is a pure retention threshold. */
+DramConfig
+quietConfig()
+{
+    DramConfig c = DramConfig::tiny();
+    c.trialNoiseSigma = 0.0;
+    c.vrtFraction = 0.0;
+    return c;
+}
+
+TEST(DramChip, PowersUpAtDefaultValues)
+{
+    DramChip chip(quietConfig(), 1);
+    const BitVec content = chip.peek();
+    for (std::size_t row = 0; row < chip.config().rows; ++row) {
+        const std::size_t cell = row * chip.config().rowBits();
+        EXPECT_EQ(content.get(cell), chip.config().defaultBit(row));
+    }
+}
+
+TEST(DramChip, WriteReadRoundTripWithoutDecay)
+{
+    DramChip chip(quietConfig(), 1);
+    const BitVec pattern = chip.worstCasePattern();
+    chip.write(pattern);
+    EXPECT_EQ(chip.peek(), pattern);
+    EXPECT_EQ(chip.read(), pattern);
+}
+
+TEST(DramChip, WorstCasePatternChargesEveryCell)
+{
+    DramChip chip(quietConfig(), 1);
+    const BitVec wc = chip.worstCasePattern();
+    for (std::size_t row = 0; row < chip.config().rows; ++row) {
+        const std::size_t cell = row * chip.config().rowBits();
+        EXPECT_NE(wc.get(cell), chip.config().defaultBit(row));
+    }
+}
+
+TEST(DramChip, NoDecayBeforeAnyRetentionElapses)
+{
+    DramChip chip(quietConfig(), 2);
+    chip.write(chip.worstCasePattern());
+    chip.elapse(0.01, 40.0); // far below the retention floor
+    EXPECT_EQ(chip.decayedCount(), 0u);
+}
+
+TEST(DramChip, EverythingDecaysAfterLongHold)
+{
+    DramChip chip(quietConfig(), 2);
+    chip.write(chip.worstCasePattern());
+    chip.elapse(1e6, 40.0);
+    EXPECT_EQ(chip.decayedCount(), chip.size());
+    // All cells revert to their default values.
+    BitVec expected(chip.size());
+    for (std::size_t row = 0; row < chip.config().rows; ++row) {
+        if (chip.config().defaultBit(row)) {
+            for (std::size_t i = 0; i < chip.config().rowBits(); ++i)
+                expected.set(row * chip.config().rowBits() + i);
+        }
+    }
+    EXPECT_EQ(chip.peek(), expected);
+}
+
+TEST(DramChip, DecayCountGrowsWithHoldTime)
+{
+    DramChip chip(quietConfig(), 3);
+    chip.write(chip.worstCasePattern());
+    chip.elapse(chip.retention().stressQuantile(0.05), 40.0);
+    const std::size_t early = chip.decayedCount();
+    chip.elapse(chip.retention().stressQuantile(0.20), 40.0);
+    EXPECT_GT(chip.decayedCount(), early);
+}
+
+TEST(DramChip, DefaultValueCellsNeverDecay)
+{
+    DramChip chip(quietConfig(), 4);
+    // Leave the chip at power-up defaults: nothing is charged.
+    chip.refreshAll();
+    chip.elapse(1e6, 40.0);
+    EXPECT_EQ(chip.decayedCount(), 0u);
+}
+
+TEST(DramChip, RefreshPreventsDecay)
+{
+    DramChip chip(quietConfig(), 5);
+    chip.write(chip.worstCasePattern());
+    const Seconds step = chip.retention().stressQuantile(0.02);
+    for (int k = 0; k < 10; ++k) {
+        chip.elapse(step * 0.4, 40.0); // refreshed well within margin
+        chip.refreshAll();
+    }
+    EXPECT_EQ(chip.decayedCount(), 0u);
+}
+
+TEST(DramChip, RefreshLocksInDecayedValues)
+{
+    DramChip chip(quietConfig(), 6);
+    const BitVec pattern = chip.worstCasePattern();
+    chip.write(pattern);
+    chip.elapse(chip.retention().stressQuantile(0.05), 40.0);
+    const BitVec decayed = chip.peek();
+    const std::size_t errors = decayed.hammingDistance(pattern);
+    ASSERT_GT(errors, 0u);
+
+    // After refresh the decayed default values are written back;
+    // further holding cannot resurrect the lost data.
+    chip.refreshAll();
+    EXPECT_EQ(chip.peek(), decayed);
+    EXPECT_EQ(chip.read(), decayed);
+}
+
+TEST(DramChip, HotterTemperatureDecaysFaster)
+{
+    DramChip cool(quietConfig(), 7);
+    DramChip hot(quietConfig(), 7);
+    const Seconds hold = cool.retention().stressQuantile(0.02);
+    cool.write(cool.worstCasePattern());
+    hot.write(hot.worstCasePattern());
+    cool.elapse(hold, 40.0);
+    hot.elapse(hold, 60.0);
+    EXPECT_GT(hot.decayedCount(), cool.decayedCount());
+}
+
+TEST(DramChip, SameChipSameTrialKeyReproduces)
+{
+    DramConfig cfg = DramConfig::tiny(); // with noise enabled
+    DramChip a(cfg, 8), b(cfg, 8);
+    a.reseedTrial(55);
+    b.reseedTrial(55);
+    a.write(a.worstCasePattern());
+    b.write(b.worstCasePattern());
+    const Seconds hold = a.retention().stressQuantile(0.05);
+    a.elapse(hold, 40.0);
+    b.elapse(hold, 40.0);
+    EXPECT_EQ(a.peek(), b.peek());
+}
+
+TEST(DramChip, FastestCellsDecayFirst)
+{
+    DramChip chip(quietConfig(), 9);
+    chip.write(chip.worstCasePattern());
+    chip.elapse(chip.retention().stressQuantile(0.03), 40.0);
+    const BitVec few = chip.peek();
+    chip.write(chip.worstCasePattern());
+    chip.elapse(chip.retention().stressQuantile(0.10), 40.0);
+    const BitVec many = chip.peek();
+
+    const BitVec wc = chip.worstCasePattern();
+    const BitVec err_few = few ^ wc;
+    const BitVec err_many = many ^ wc;
+    // Order-of-failure property: with zero noise the 3% error set is
+    // exactly contained in the 10% set.
+    EXPECT_TRUE(err_few.isSubsetOf(err_many));
+    EXPECT_GT(err_many.popcount(), err_few.popcount());
+}
+
+TEST(DramChip, WriteRegionOverwritesOnlyTarget)
+{
+    DramChip chip(quietConfig(), 10);
+    chip.write(chip.worstCasePattern());
+    const std::size_t row_bits = chip.config().rowBits();
+    BitVec zeros(row_bits);
+    chip.writeRegion(0, zeros);
+    const BitVec content = chip.peek();
+    EXPECT_EQ(content.slice(0, row_bits), zeros);
+    // Rest of the chip still holds the worst-case pattern.
+    EXPECT_EQ(content.slice(row_bits, row_bits),
+              chip.worstCasePattern().slice(row_bits, row_bits));
+}
+
+TEST(DramChip, WriteRegionRefreshesTouchedRows)
+{
+    DramChip chip(quietConfig(), 11);
+    chip.write(chip.worstCasePattern());
+    chip.elapse(chip.retention().stressQuantile(0.05), 40.0);
+    // Rewriting row 0 recharges it; only untouched rows keep their
+    // accumulated stress.
+    const std::size_t row_bits = chip.config().rowBits();
+    chip.writeRegion(0, chip.worstCasePattern().slice(0, row_bits));
+    const BitVec content = chip.peek();
+    EXPECT_EQ(content.slice(0, row_bits),
+              chip.worstCasePattern().slice(0, row_bits));
+}
+
+TEST(DramChip, PeekRegionMatchesPeekSlice)
+{
+    DramChip chip(DramConfig::tiny(), 12);
+    chip.reseedTrial(1);
+    chip.write(chip.worstCasePattern());
+    chip.elapse(chip.retention().stressQuantile(0.10), 40.0);
+    const BitVec full = chip.peek();
+    const std::size_t row_bits = chip.config().rowBits();
+    EXPECT_EQ(chip.peekRegion(3, 2 * row_bits),
+              full.slice(3, 2 * row_bits));
+}
+
+TEST(DramChip, ErrorRateScalesWithQuantileTarget)
+{
+    DramChip chip(quietConfig(), 13);
+    for (double target : {0.01, 0.05, 0.10}) {
+        chip.write(chip.worstCasePattern());
+        chip.elapse(chip.retention().stressQuantile(target), 40.0);
+        const double rate =
+            static_cast<double>(chip.decayedCount()) / chip.size();
+        EXPECT_NEAR(rate, target, 0.012) << "target " << target;
+        chip.refreshAll();
+    }
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for dram/dram_config.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_config.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(DramConfig, Km41464aGeometryMatchesDatasheet)
+{
+    const auto c = DramConfig::km41464a();
+    // 64K 4-bit words arranged 256x256 -> 32 KB total.
+    EXPECT_EQ(c.rows, 256u);
+    EXPECT_EQ(c.cols, 256u);
+    EXPECT_EQ(c.planes, 4u);
+    EXPECT_EQ(c.rowBits(), 1024u);
+    EXPECT_EQ(c.totalBits(), 262144u); // 32 KB
+}
+
+TEST(DramConfig, Ddr2UsesSkewedDistribution)
+{
+    const auto c = DramConfig::ddr2();
+    EXPECT_EQ(c.distribution, RetentionDistribution::LogNormalSkewed);
+    EXPECT_GT(c.totalBits(), 0u);
+}
+
+TEST(DramConfig, DefaultBitAlternatesEveryPeriodRows)
+{
+    DramConfig c = DramConfig::tiny();
+    c.defaultValuePeriod = 2;
+    EXPECT_FALSE(c.defaultBit(0));
+    EXPECT_FALSE(c.defaultBit(1));
+    EXPECT_TRUE(c.defaultBit(2));
+    EXPECT_TRUE(c.defaultBit(3));
+    EXPECT_FALSE(c.defaultBit(4));
+}
+
+TEST(DramConfig, DefaultBitPeriodOne)
+{
+    DramConfig c = DramConfig::tiny();
+    c.defaultValuePeriod = 1;
+    EXPECT_FALSE(c.defaultBit(0));
+    EXPECT_TRUE(c.defaultBit(1));
+    EXPECT_FALSE(c.defaultBit(2));
+}
+
+TEST(DramConfig, ValidateAcceptsPresets)
+{
+    DramConfig::km41464a().validate();
+    DramConfig::ddr2().validate();
+    DramConfig::tiny().validate();
+    SUCCEED();
+}
+
+TEST(DramConfig, ValidateRejectsZeroGeometry)
+{
+    DramConfig c = DramConfig::tiny();
+    c.rows = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(DramConfig, ValidateRejectsBadRetentionFloor)
+{
+    DramConfig c = DramConfig::tiny();
+    c.retentionFloor = c.retentionMean + 1.0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(DramConfig, ValidateRejectsNegativeNoise)
+{
+    DramConfig c = DramConfig::tiny();
+    c.trialNoiseSigma = -0.1;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(DramConfig, ValidateRejectsBadVrtFraction)
+{
+    DramConfig c = DramConfig::tiny();
+    c.vrtFraction = 1.5;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property sweeps over the DRAM decay physics: the invariants the
+ * whole attack rests on, checked across the full accuracy x
+ * temperature grid of the paper's evaluation (and beyond it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/error_string.hh"
+#include "platform/platform.hh"
+
+namespace pcause
+{
+namespace
+{
+
+/** One (accuracy, temperature) operating point. */
+using OperatingPoint = std::tuple<double, double>;
+
+class DecayGrid : public ::testing::TestWithParam<OperatingPoint>
+{
+  protected:
+    Platform platform = Platform::legacy(2);
+};
+
+TEST_P(DecayGrid, ErrorRateHitsTarget)
+{
+    const auto [accuracy, temp] = GetParam();
+    TestHarness h = platform.harness(0);
+    TrialSpec spec;
+    spec.accuracy = accuracy;
+    spec.temp = temp;
+    spec.trialKey = 1;
+    const TrialResult r = h.runWorstCaseTrial(spec);
+    EXPECT_NEAR(r.errorRate, 1.0 - accuracy,
+                0.15 * (1.0 - accuracy) + 0.001);
+}
+
+TEST_P(DecayGrid, ErrorsAreRepeatable)
+{
+    const auto [accuracy, temp] = GetParam();
+    TestHarness h = platform.harness(0);
+    const BitVec exact = h.chip().worstCasePattern();
+    TrialSpec a;
+    a.accuracy = accuracy;
+    a.temp = temp;
+    a.trialKey = 2;
+    TrialSpec b = a;
+    b.trialKey = 3;
+    const BitVec e1 = errorString(h.runWorstCaseTrial(a).approx,
+                                  exact);
+    const BitVec e2 = errorString(h.runWorstCaseTrial(b).approx,
+                                  exact);
+    const double overlap = static_cast<double>(e1.overlapCount(e2)) /
+        std::max<std::size_t>(e1.popcount(), 1);
+    EXPECT_GT(overlap, 0.95);
+}
+
+TEST_P(DecayGrid, ErrorsAreChipSpecific)
+{
+    const auto [accuracy, temp] = GetParam();
+    TestHarness h0 = platform.harness(0);
+    TestHarness h1 = platform.harness(1);
+    const BitVec exact = platform.chip(0).worstCasePattern();
+    TrialSpec spec;
+    spec.accuracy = accuracy;
+    spec.temp = temp;
+    spec.trialKey = 4;
+    const BitVec e0 = errorString(h0.runWorstCaseTrial(spec).approx,
+                                  exact);
+    const BitVec e1 = errorString(h1.runWorstCaseTrial(spec).approx,
+                                  exact);
+    // Cross-chip overlap approaches the chance level (error rate).
+    const double cross = static_cast<double>(e0.overlapCount(e1)) /
+        std::max<std::size_t>(e0.popcount(), 1);
+    EXPECT_LT(cross, 2.5 * (1.0 - accuracy) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AccuracyTemperatureGrid, DecayGrid,
+    ::testing::Combine(::testing::Values(0.99, 0.95, 0.90),
+                       ::testing::Values(40.0, 50.0, 60.0)),
+    [](const auto &info) {
+        return "acc" +
+            std::to_string(int(std::get<0>(info.param) * 100)) +
+            "_temp" + std::to_string(int(std::get<1>(info.param)));
+    });
+
+/** Temperature pairs for order-stability checks. */
+class ThermalPairs
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(ThermalPairs, FailureSetIsTemperatureInvariant)
+{
+    // The adaptive controller holds the error budget constant, so
+    // the *set* of failing cells must be (nearly) the same at any
+    // temperature — the Figure 9 invariance at bit level.
+    const auto [t1, t2] = GetParam();
+    Platform platform = Platform::legacy(1);
+    TestHarness h = platform.harness(0);
+    const BitVec exact = h.chip().worstCasePattern();
+
+    TrialSpec a;
+    a.temp = t1;
+    a.trialKey = 5;
+    TrialSpec b;
+    b.temp = t2;
+    b.trialKey = 6;
+    const BitVec e1 = errorString(h.runWorstCaseTrial(a).approx,
+                                  exact);
+    const BitVec e2 = errorString(h.runWorstCaseTrial(b).approx,
+                                  exact);
+    const double overlap = static_cast<double>(e1.overlapCount(e2)) /
+        std::max<std::size_t>(e1.popcount(), 1);
+    EXPECT_GT(overlap, 0.95) << t1 << " vs " << t2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TemperatureSpan, ThermalPairs,
+    ::testing::Values(std::pair{40.0, 50.0}, std::pair{40.0, 60.0},
+                      std::pair{50.0, 60.0}, std::pair{30.0, 70.0}),
+    [](const auto &info) {
+        return "t" + std::to_string(int(info.param.first)) + "_t" +
+            std::to_string(int(info.param.second));
+    });
+
+/** Accuracy pairs for failure-order subset checks. */
+class OrderPairs
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(OrderPairs, HigherAccuracyErrorsNestInLower)
+{
+    const auto [hi_acc, lo_acc] = GetParam();
+    Platform platform = Platform::legacy(1);
+    TestHarness h = platform.harness(0);
+    const BitVec exact = h.chip().worstCasePattern();
+
+    TrialSpec hi;
+    hi.accuracy = hi_acc;
+    hi.trialKey = 7;
+    TrialSpec lo;
+    lo.accuracy = lo_acc;
+    lo.trialKey = 8;
+    const BitVec e_hi = errorString(h.runWorstCaseTrial(hi).approx,
+                                    exact);
+    const BitVec e_lo = errorString(h.runWorstCaseTrial(lo).approx,
+                                    exact);
+    // Rough subset (Figure 10): under 2% outliers.
+    const double outliers =
+        static_cast<double>(e_hi.andNotCount(e_lo)) /
+        std::max<std::size_t>(e_hi.popcount(), 1);
+    EXPECT_LT(outliers, 0.02);
+    EXPECT_GT(e_lo.popcount(), e_hi.popcount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AccuracyNesting, OrderPairs,
+    ::testing::Values(std::pair{0.99, 0.95}, std::pair{0.99, 0.90},
+                      std::pair{0.95, 0.90}, std::pair{0.999, 0.99}),
+    [](const auto &info) {
+        return "a" + std::to_string(int(info.param.first * 1000)) +
+            "_a" + std::to_string(int(info.param.second * 1000));
+    });
+
+} // anonymous namespace
+} // namespace pcause

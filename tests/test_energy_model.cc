@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for dram/energy_model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/energy_model.hh"
+#include "dram/retention_model.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(EnergyModel, JedecOperationIsUnitPower)
+{
+    EnergyModel model;
+    EXPECT_NEAR(model.relativePower(jedecRefreshPeriod), 1.0, 1e-12);
+    EXPECT_NEAR(model.savingFraction(jedecRefreshPeriod), 0.0, 1e-12);
+}
+
+TEST(EnergyModel, SlowerRefreshSavesUpToTheRefreshShare)
+{
+    EnergyParams params;
+    params.refreshShareAtJedec = 0.4;
+    EnergyModel model(params);
+    // Doubling the interval halves refresh power: saves 20%.
+    EXPECT_NEAR(model.savingFraction(2 * jedecRefreshPeriod), 0.2,
+                1e-12);
+    // Asymptotically the whole refresh share is saved.
+    EXPECT_NEAR(model.savingFraction(1e9), 0.4, 1e-6);
+}
+
+TEST(EnergyModel, FasterRefreshCostsMore)
+{
+    EnergyModel model;
+    EXPECT_GT(model.relativePower(jedecRefreshPeriod / 2), 1.0);
+}
+
+TEST(EnergyModel, VoltagePowerIsQuadratic)
+{
+    EnergyParams params;
+    params.nominalVolts = 5.0;
+    EnergyModel model(params);
+    EXPECT_NEAR(model.relativePowerVoltage(5.0), 1.0, 1e-12);
+    EXPECT_NEAR(model.relativePowerVoltage(2.5), 0.25, 1e-12);
+}
+
+TEST(EnergyModel, IntervalForAccuracyMatchesController)
+{
+    RetentionModel retention(DramConfig::km41464a(), 3);
+    EnergyModel model;
+    const Seconds i99 = model.intervalForAccuracy(retention, 0.99,
+                                                  40.0);
+    const Seconds i90 = model.intervalForAccuracy(retention, 0.90,
+                                                  40.0);
+    EXPECT_GT(i90, i99);
+    EXPECT_GT(i99, jedecRefreshPeriod); // big savings available
+}
+
+TEST(EnergyModel, LowerAccuracyMoreSaving)
+{
+    RetentionModel retention(DramConfig::km41464a(), 3);
+    EnergyModel model;
+    const double s99 = model.savingFraction(
+        model.intervalForAccuracy(retention, 0.99, 40.0));
+    const double s90 = model.savingFraction(
+        model.intervalForAccuracy(retention, 0.90, 40.0));
+    EXPECT_GT(s90, s99);
+    EXPECT_GT(s99, 0.3); // most of the refresh share
+}
+
+TEST(EnergyModel, RejectsBadParameters)
+{
+    EnergyParams params;
+    params.refreshShareAtJedec = 1.5;
+    EXPECT_EXIT(EnergyModel{params}, ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // anonymous namespace
+} // namespace pcause

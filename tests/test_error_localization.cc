@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for core/error_localization (Section 8.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterize.hh"
+#include "core/error_localization.hh"
+#include "core/error_string.hh"
+#include "image/edge_detect.hh"
+#include "image/test_pattern.hh"
+#include "platform/platform.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(ScoreLocalization, PerfectLocalization)
+{
+    BitVec truth(64);
+    truth.set(1);
+    truth.set(2);
+    const auto q = scoreLocalization(truth, truth);
+    EXPECT_DOUBLE_EQ(q.precision, 1.0);
+    EXPECT_DOUBLE_EQ(q.recall, 1.0);
+    EXPECT_EQ(q.flagged, 2u);
+    EXPECT_EQ(q.actual, 2u);
+}
+
+TEST(ScoreLocalization, PartialOverlap)
+{
+    BitVec truth(64), flagged(64);
+    truth.set(1);
+    truth.set(2);
+    flagged.set(2);
+    flagged.set(3);
+    const auto q = scoreLocalization(flagged, truth);
+    EXPECT_DOUBLE_EQ(q.precision, 0.5);
+    EXPECT_DOUBLE_EQ(q.recall, 0.5);
+}
+
+TEST(ScoreLocalization, EmptySetsDefinedAsPerfect)
+{
+    BitVec none(64);
+    const auto q = scoreLocalization(none, none);
+    EXPECT_DOUBLE_EQ(q.precision, 1.0);
+    EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(LocalizeByRecompute, RecoversExactErrorString)
+{
+    // Technique 1: the attacker knows the input and the program, so
+    // localization is exact.
+    const Image input = makeTestImage(TestScene::Landscape, 64, 48, 1);
+    const Image exact_out = edgeDetect(input);
+    BitVec approx = exact_out.toBits();
+    approx.set(100, !approx.get(100));
+    approx.set(2000, !approx.get(2000));
+
+    const BitVec located = localizeByRecompute(
+        approx, input, [](const Image &img) { return edgeDetect(img); });
+    EXPECT_EQ(located.popcount(), 2u);
+    EXPECT_TRUE(located.get(100));
+    EXPECT_TRUE(located.get(2000));
+}
+
+TEST(LocalizeByDenoising, FindsMostErrorsInSmoothImage)
+{
+    // Technique 2 on a smooth scene: decay flips high bits into
+    // salt-and-pepper outliers a median filter isolates.
+    const Image clean = makeTestImage(TestScene::Gradient, 64, 64);
+    Image noisy = clean;
+    Rng rng(3);
+    BitVec truth(clean.bitSize());
+    for (int k = 0; k < 20; ++k) {
+        const std::size_t px = rng.nextBelow(clean.pixelCount());
+        const unsigned bit = 7; // MSB flip: a visible outlier
+        noisy.pixels()[px] =
+            noisy.pixels()[px] ^ static_cast<std::uint8_t>(1u << bit);
+        truth.set(px * 8 + bit);
+    }
+    const BitVec flagged = localizeByDenoising(noisy);
+    const auto q = scoreLocalization(flagged, truth);
+    EXPECT_GT(q.recall, 0.9);
+}
+
+TEST(LocalizeSpeculative, PicksTheCandidateThatIdentifies)
+{
+    FingerprintDb db;
+    BitVec fp(1024);
+    fp.set(10);
+    fp.set(20);
+    fp.set(30);
+    db.add("chip", Fingerprint(fp));
+
+    BitVec wrong(1024);
+    wrong.set(500);
+    wrong.set(600);
+    wrong.set(700);
+    BitVec right(1024);
+    right.set(10);
+    right.set(20);
+    right.set(30);
+
+    const auto hit = localizeSpeculative({wrong, right}, db);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->first, 1u);
+    ASSERT_TRUE(hit->second.match.has_value());
+}
+
+TEST(LocalizeSpeculative, ReturnsNulloptWhenNothingMatches)
+{
+    FingerprintDb db;
+    BitVec fp(1024);
+    fp.set(10);
+    fp.set(20);
+    db.add("chip", Fingerprint(fp));
+    BitVec wrong(1024);
+    wrong.set(900);
+    wrong.set(901);
+    EXPECT_FALSE(localizeSpeculative({wrong}, db).has_value());
+}
+
+TEST(ErrorLocalization, EndToEndDenoisingIdentifiesChip)
+{
+    // Full Section 8.3 pipeline: the victim publishes a degraded
+    // black-and-white image; the attacker estimates errors by
+    // denoising (never seeing the exact image) and runs
+    // identification on the estimate.
+    Platform platform = Platform::legacy(2);
+    const Image img = makeFigure5Image();
+    FingerprintDb db;
+    std::uint64_t trial = 0;
+
+    // Supply-chain characterization, restricted to the memory
+    // region images are stored in (the attacker knows the buffer
+    // placement in this scenario).
+    for (unsigned c = 0; c < 2; ++c) {
+        TestHarness h = platform.harness(c);
+        const BitVec exact = h.chip().worstCasePattern();
+        Fingerprint fp;
+        for (unsigned k = 0; k < 3; ++k) {
+            TrialSpec spec;
+            spec.trialKey = ++trial;
+            const BitVec es = errorString(
+                h.runWorstCaseTrial(spec).approx, exact);
+            fp.augment(es.slice(0, img.bitSize()));
+        }
+        db.add("chip-" + std::to_string(c), fp);
+    }
+
+    // Victim stores the image on chip 0 at 10% error so plenty of
+    // fingerprint cells are exercised.
+    TestHarness h = platform.harness(0);
+    BitVec padded(h.chip().size());
+    padded.blit(0, img.toBits());
+    TrialSpec spec;
+    spec.accuracy = 0.90;
+    spec.trialKey = ++trial;
+    const BitVec degraded_bits = h.runTrial(padded, spec).approx;
+    const Image degraded = Image::fromBits(
+        degraded_bits.slice(0, img.bitSize()), img.width(),
+        img.height());
+
+    // Attacker-side localization: a median filter restores the
+    // black-and-white structure; disagreeing bits are the decay
+    // candidates.
+    const BitVec located = localizeByDenoising(degraded);
+
+    // The published data only charges ~half the cells, so mask each
+    // fingerprint down to the chargeable cells before matching
+    // (the attacker reconstructs the exact data from the denoised
+    // estimate, so it knows the mask).
+    const BitVec mask = maskableCells(padded, h.chip().config())
+        .slice(0, img.bitSize());
+    FingerprintDb masked_db;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        masked_db.add(db.record(i).label,
+                      Fingerprint(db.record(i).fingerprint.bits() &
+                                  mask));
+    }
+
+    IdentifyParams prm;
+    prm.threshold = 0.5; // denoising is imperfect, but between-class
+                         // distances sit near 1.0
+    const IdentifyResult r = identifyErrorString(located, masked_db,
+                                                 prm);
+    ASSERT_TRUE(r.match.has_value());
+    EXPECT_EQ(masked_db.record(*r.match).label, "chip-0");
+}
+
+} // anonymous namespace
+} // namespace pcause

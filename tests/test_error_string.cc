@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for core/error_string.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/error_string.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(ErrorString, XorMarksDifferingBits)
+{
+    BitVec approx(16), exact(16);
+    approx.set(3);
+    exact.set(3);  // agreeing bit: not an error
+    approx.set(7); // differs: error
+    exact.set(9);  // differs: error
+    const BitVec es = errorString(approx, exact);
+    EXPECT_EQ(es.popcount(), 2u);
+    EXPECT_TRUE(es.get(7));
+    EXPECT_TRUE(es.get(9));
+}
+
+TEST(ErrorString, IdenticalDataHasEmptyErrorString)
+{
+    BitVec v(64);
+    v.set(10);
+    EXPECT_TRUE(errorString(v, v).none());
+}
+
+TEST(ErrorString, SizeMismatchDies)
+{
+    EXPECT_DEATH(errorString(BitVec(8), BitVec(9)), "");
+}
+
+TEST(ErrorString, ErrorRateCountsFraction)
+{
+    BitVec approx(100), exact(100);
+    approx.set(0);
+    approx.set(1);
+    EXPECT_DOUBLE_EQ(errorRate(approx, exact), 0.02);
+    EXPECT_DOUBLE_EQ(errorRate(exact, exact), 0.0);
+}
+
+TEST(ErrorString, MaskableCellsAreAntiDefault)
+{
+    DramConfig cfg = DramConfig::tiny();
+    // All-zero data: charged only where the default is 1.
+    BitVec zeros(cfg.totalBits());
+    const BitVec mask = maskableCells(zeros, cfg);
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        const std::size_t cell = row * cfg.rowBits();
+        EXPECT_EQ(mask.get(cell), cfg.defaultBit(row));
+    }
+}
+
+TEST(ErrorString, WorstCaseDataMasksNothing)
+{
+    DramConfig cfg = DramConfig::tiny();
+    // Anti-default everywhere -> every cell charged.
+    BitVec wc(cfg.totalBits());
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        if (!cfg.defaultBit(row)) {
+            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
+                wc.set(row * cfg.rowBits() + i);
+        }
+    }
+    EXPECT_EQ(maskableCells(wc, cfg).popcount(), cfg.totalBits());
+}
+
+TEST(ErrorString, DefaultDataMasksEverything)
+{
+    DramConfig cfg = DramConfig::tiny();
+    BitVec def(cfg.totalBits());
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        if (cfg.defaultBit(row)) {
+            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
+                def.set(row * cfg.rowBits() + i);
+        }
+    }
+    EXPECT_EQ(maskableCells(def, cfg).popcount(), 0u);
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Scaled-down runs of every evaluation experiment: the same code
+ * paths the benches execute at paper scale, validated here on
+ * smaller configurations so regressions in any figure pipeline are
+ * caught by ctest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/ablation_data_dependence.hh"
+#include "experiments/ablation_ddr2.hh"
+#include "experiments/ablation_defenses.hh"
+#include "experiments/ablation_distance.hh"
+#include "experiments/ablation_energy_privacy.hh"
+#include "experiments/ablation_interleaving.hh"
+#include "experiments/ablation_refresh_schemes.hh"
+#include "experiments/ablation_sample_size.hh"
+#include "experiments/ablation_wafer_correlation.hh"
+#include "experiments/fig05_error_images.hh"
+#include "experiments/fig07_uniqueness.hh"
+#include "experiments/fig08_consistency.hh"
+#include "experiments/fig09_fig11_grouping.hh"
+#include "experiments/fig10_failure_order.hh"
+#include "experiments/fig12_edge_detection.hh"
+#include "experiments/fig13_stitching.hh"
+#include "experiments/tables_model.hh"
+
+namespace pcause
+{
+namespace
+{
+
+UniquenessParams
+smallUniqueness()
+{
+    UniquenessParams p;
+    p.numChips = 4;
+    return p;
+}
+
+TEST(Fig07Uniqueness, SeparatesClassesByOrdersOfMagnitude)
+{
+    const UniquenessResult res = runUniqueness(smallUniqueness());
+    // 4 chips x 9 outputs x 4 fingerprints = 144 pairs.
+    EXPECT_EQ(res.pairs.size(), 144u);
+    EXPECT_LT(res.maxWithin(), 0.01);
+    EXPECT_GT(res.minBetween(), 0.75);
+    EXPECT_GT(res.separationFactor(), 100.0); // two orders
+    EXPECT_DOUBLE_EQ(res.identificationAccuracy(), 1.0);
+}
+
+TEST(Fig07Uniqueness, RenderMentionsKeyNumbers)
+{
+    const UniquenessResult res = runUniqueness(smallUniqueness());
+    const std::string out = renderUniqueness(res);
+    EXPECT_NE(out.find("between-class"), std::string::npos);
+    EXPECT_NE(out.find("within-class"), std::string::npos);
+    EXPECT_NE(out.find("identification accuracy"), std::string::npos);
+}
+
+TEST(Fig08Consistency, StabilityMatchesPaper)
+{
+    ConsistencyParams p;
+    p.trials = 21;
+    const ConsistencyResult res = runConsistency(p);
+    EXPECT_EQ(res.trials, 21u);
+    EXPECT_GT(res.everFail, 2000u); // ~1% of 262144
+    // Paper: more than 98% of failing bits fail in all trials.
+    EXPECT_GT(res.stability(), 0.96);
+    EXPECT_FALSE(res.occurrences.empty());
+}
+
+TEST(Fig08Consistency, RenderProducesHeatmap)
+{
+    ConsistencyParams p;
+    p.trials = 5;
+    p.chipConfig = DramConfig::km41464a();
+    const ConsistencyResult res = runConsistency(p);
+    const std::string out = renderConsistency(res, p.chipConfig);
+    EXPECT_NE(out.find("stable fraction"), std::string::npos);
+    EXPECT_NE(out.find("density"), std::string::npos);
+}
+
+TEST(Fig09Thermal, TemperatureHasNoNoticeableEffect)
+{
+    const UniquenessResult res = runUniqueness(smallUniqueness());
+    const auto groups = groupByTemperature(res);
+    ASSERT_EQ(groups.size(), 3u);
+    // Between-class means across temperatures agree within 2%.
+    for (const auto &g : groups)
+        EXPECT_NEAR(g.mean, groups[0].mean, 0.02);
+}
+
+TEST(Fig10FailureOrder, RoughSubsetRelationHolds)
+{
+    FailureOrderParams p;
+    const FailureOrderResult res = runFailureOrder(p);
+    ASSERT_EQ(res.errorCounts.size(), 3u);
+    ASSERT_EQ(res.outliers.size(), 2u);
+    // Error sets grow as accuracy drops.
+    EXPECT_LT(res.errorCounts[0], res.errorCounts[1]);
+    EXPECT_LT(res.errorCounts[1], res.errorCounts[2]);
+    // The paper saw 1 and 32 outliers out of ~2600 / ~13000 bits;
+    // anything under 2% is a "rough subset".
+    EXPECT_LT(res.outlierRate(0), 0.02);
+    EXPECT_LT(res.outlierRate(1), 0.02);
+}
+
+TEST(Fig11Accuracy, BetweenClassDistanceShrinksWithAccuracy)
+{
+    const UniquenessResult res = runUniqueness(smallUniqueness());
+    const auto groups = groupByAccuracy(res);
+    ASSERT_EQ(groups.size(), 3u);
+    // Sorted ascending by accuracy: 0.90, 0.95, 0.99.
+    EXPECT_LT(groups[0].mean, groups[1].mean);
+    EXPECT_LT(groups[1].mean, groups[2].mean);
+    // All stay far above the within-class ceiling.
+    EXPECT_GT(groups[0].min, 0.75);
+}
+
+TEST(Fig05ErrorImages, SameChipSharesErrorsOtherChipDoesNot)
+{
+    ErrorImageParams p;
+    const ErrorImageResult res = runErrorImages(p);
+    ASSERT_EQ(res.degraded.size(), 3u);
+    for (auto n : res.errorPixels)
+        EXPECT_GT(n, 0u);
+    EXPECT_GT(res.agreementRatio(), 10.0);
+    EXPECT_GT(res.sharedWithin, res.sharedBetween * 10);
+}
+
+TEST(Fig12EdgeDetection, WorkloadRunsAndDegradesMildly)
+{
+    EdgeShowcaseParams p;
+    const EdgeShowcaseResult res = runEdgeShowcase(p);
+    EXPECT_EQ(res.approxOutput.width(), res.exactOutput.width());
+    EXPECT_GT(res.corruptedPixels, 0u);
+    // 1% bit error cannot corrupt more than ~8% of pixels.
+    EXPECT_LT(static_cast<double>(res.corruptedPixels) /
+              res.exactOutput.pixelCount(), 0.09);
+}
+
+TEST(TablesModel, Table1MatchesPaper)
+{
+    const ModelTableRow row = evaluateTable1();
+    EXPECT_NEAR(row.result.log10MaxFingerprints, 795.94, 0.1);
+    EXPECT_NEAR(row.result.entropyBitsFloor, 2423.0, 3.0);
+    const std::string out = renderTable1(row);
+    EXPECT_NE(out.find("8.70e+795"), std::string::npos);
+}
+
+TEST(TablesModel, Table2SweepIsMonotone)
+{
+    const auto rows = evaluateTable2();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_GT(rows[0].result.log10MismatchUpper,
+              rows[1].result.log10MismatchUpper);
+    EXPECT_GT(rows[1].result.log10MismatchUpper,
+              rows[2].result.log10MismatchUpper);
+    const std::string out = renderTable2(rows);
+    EXPECT_NE(out.find("4.76e-3232"), std::string::npos);
+}
+
+TEST(Fig13Stitching, ConvergesOnSmallMachine)
+{
+    StitchingParams p;
+    p.system.dram.totalBits = 512ull * 32768; // 2 MB machine
+    p.sampleBytes = 64ull * 4096;             // 64-page samples
+    p.numSamples = 60;
+    p.recordEvery = 5;
+    const StitchingResult res = runStitching(p);
+    ASSERT_FALSE(res.suspectedChips.empty());
+    EXPECT_GE(res.peakSuspected(), 2u);
+    EXPECT_EQ(res.finalSuspected(), 1u);
+    EXPECT_GT(res.stats.merges, 0u);
+}
+
+TEST(Fig13Stitching, TracksMultipleMachines)
+{
+    StitchingParams p;
+    p.system.dram.totalBits = 512ull * 32768;
+    p.sampleBytes = 64ull * 4096;
+    p.numSamples = 200;
+    p.recordEvery = 200;
+    p.numMachines = 2;
+    const StitchingResult res = runStitching(p);
+    EXPECT_EQ(res.finalSuspected(), 2u);
+}
+
+TEST(AblationDistance, PaperMetricWinsUnderMismatch)
+{
+    DistanceAblationParams p;
+    p.numChips = 3;
+    p.outputsPerCell = 2;
+    const DistanceAblationResult res = runDistanceAblation(p);
+    // 3 metrics x 3 accuracies, plus one summary per metric.
+    ASSERT_EQ(res.cells.size(), 9u);
+    ASSERT_EQ(res.summaries.size(), 3u);
+    for (const auto &c : res.cells) {
+        if (c.metric == DistanceMetric::ModifiedJaccard) {
+            EXPECT_GT(c.separation, 10.0);
+            EXPECT_DOUBLE_EQ(c.identification, 1.0);
+        }
+        if (c.metric == DistanceMetric::Hamming &&
+            c.outputAccuracy < 0.99) {
+            // With a threshold calibrated at 99%, Hamming cannot
+            // identify mismatched-accuracy outputs (Section 5.2).
+            EXPECT_LT(c.identification, 0.5);
+        }
+    }
+    for (const auto &s : res.summaries) {
+        if (s.metric == DistanceMetric::ModifiedJaccard) {
+            EXPECT_GT(s.pooledSeparation, 100.0);
+        } else if (s.metric == DistanceMetric::Hamming) {
+            // Classes overlap outright: no threshold can work.
+            EXPECT_LT(s.pooledSeparation, 1.0);
+        } else {
+            // Plain Jaccard keeps a sliver of separation but loses
+            // the orders-of-magnitude margin.
+            EXPECT_LT(s.pooledSeparation, 3.0);
+        }
+    }
+}
+
+TEST(AblationDdr2, StabilityCarriesOverWithSkew)
+{
+    Ddr2AblationParams p;
+    p.numChips = 3;
+    const Ddr2AblationResult res = runDdr2Ablation(p);
+    EXPECT_LT(res.legacy.skewIndex, 0.02);
+    EXPECT_GT(res.ddr2.skewIndex, 0.05);
+    EXPECT_DOUBLE_EQ(res.ddr2.identification, 1.0);
+    EXPECT_DOUBLE_EQ(res.legacy.identification, 1.0);
+    EXPECT_GT(res.ddr2.minBetween, 100 * res.ddr2.maxWithin);
+}
+
+TEST(AblationEnergyPrivacy, SavingAndLeakageRiseTogether)
+{
+    EnergyPrivacyParams p;
+    p.numChips = 3;
+    p.accuracies = {0.99, 0.90};
+    const EnergyPrivacyResult res = runEnergyPrivacy(p);
+    ASSERT_EQ(res.points.size(), 2u);
+    // Lower accuracy: more energy saved AND more entropy leaked.
+    EXPECT_GT(res.points[1].energySaving,
+              res.points[0].energySaving);
+    EXPECT_GT(res.points[1].entropyBitsPerPage,
+              res.points[0].entropyBitsPerPage);
+    // Identification holds at every operating point.
+    for (const auto &pt : res.points)
+        EXPECT_DOUBLE_EQ(pt.identification, 1.0);
+    // Energy saving is substantial (the approximate-DRAM premise).
+    EXPECT_GT(res.points[0].energySaving, 0.3);
+}
+
+TEST(AblationDataDependence, MaskingRestoresIdentification)
+{
+    DataDependenceParams p;
+    p.numChips = 3;
+    p.workloads = {WorkloadKind::Zeros, WorkloadKind::Compressed};
+    const DataDependenceResult res = runDataDependence(p);
+    ASSERT_EQ(res.rows.size(), 2u);
+    for (const auto &row : res.rows) {
+        // Realistic data hides roughly half the fingerprint from
+        // plain matching...
+        EXPECT_GT(row.plainWithin, 0.3);
+        // ...while data-aware masking restores the separation.
+        EXPECT_LT(row.maskedWithin, 0.05);
+        EXPECT_GT(row.maskedBetween, 0.8);
+        EXPECT_DOUBLE_EQ(row.identification, 1.0);
+    }
+}
+
+TEST(AblationRefreshSchemes, ApproximateSchemesLeakExactDoNot)
+{
+    RefreshSchemeParams p;
+    p.numChips = 3;
+    const RefreshSchemeResult res = runRefreshSchemes(p);
+    ASSERT_EQ(res.schemes.size(), 3u);
+    // Uniform approximate: ~1% error, full attribution.
+    EXPECT_NEAR(res.schemes[0].errorRate, 0.01, 0.003);
+    EXPECT_DOUBLE_EQ(res.schemes[0].identification, 1.0);
+    // RAIDR exact: essentially no errors, big savings.
+    EXPECT_LT(res.schemes[1].errorRate, 1e-4);
+    EXPECT_GT(res.schemes[1].energySaving, 0.5);
+    // RAIDR over-stretched: errors return, attribution returns.
+    EXPECT_GT(res.schemes[2].errorRate, 1e-4);
+    EXPECT_DOUBLE_EQ(res.schemes[2].identification, 1.0);
+    // RAPID sweep: emptier memory refreshes slower.
+    ASSERT_GE(res.rapidSweep.size(), 2u);
+    EXPECT_GE(res.rapidSweep.front().refreshInterval,
+              res.rapidSweep.back().refreshInterval);
+}
+
+TEST(AblationSampleSize, BiggerSamplesConvergeFaster)
+{
+    SampleSizeParams p;
+    p.memoryBits = 1024ull * 32768; // 4 MB victim
+    p.sampleBytes = {64ull * 4096, 256ull * 4096};
+    p.numSamples = 60;
+    const SampleSizeResult res = runSampleSizeSweep(p);
+    ASSERT_EQ(res.rows.size(), 2u);
+    // Larger outputs leave fewer suspects after the same budget.
+    EXPECT_LE(res.rows[1].finalSuspected,
+              res.rows[0].finalSuspected);
+    EXPECT_LE(res.rows[1].peakSuspected, res.rows[0].peakSuspected);
+}
+
+TEST(AblationWaferCorrelation, SeparationDegradesGracefully)
+{
+    WaferCorrelationParams p;
+    p.numChips = 3;
+    p.correlations = {0.0, 0.9};
+    const WaferCorrelationResult res = runWaferCorrelation(p);
+    ASSERT_EQ(res.rows.size(), 2u);
+    // Correlation inflates cross-chip fingerprint overlap...
+    EXPECT_GT(res.rows[1].crossChipOverlap,
+              res.rows[0].crossChipOverlap + 0.2);
+    // ...and shrinks between-class distance, but identification
+    // survives (the paper's dominant-leakage expectation relaxed).
+    EXPECT_LT(res.rows[1].minBetween, res.rows[0].minBetween);
+    for (const auto &row : res.rows) {
+        EXPECT_DOUBLE_EQ(row.identification, 1.0);
+        EXPECT_GT(row.minBetween, 10 * row.maxWithin);
+    }
+}
+
+TEST(AblationInterleaving, SystemsIdentifyAndReplacementErodes)
+{
+    InterleavingParams p;
+    p.numSystems = 2;
+    const InterleavingResult res = runInterleaving(p);
+    EXPECT_DOUBLE_EQ(res.systemIdentification, 1.0);
+    EXPECT_GT(res.minBetween, 100 * std::max(res.maxWithin, 1e-4));
+    // Distance to the old fingerprint grows ~1/4 per replaced chip.
+    ASSERT_EQ(res.replacements.size(), p.chipsPerSystem + 1);
+    EXPECT_TRUE(res.replacements[0].stillIdentified);
+    for (unsigned k = 1; k <= p.chipsPerSystem; ++k) {
+        EXPECT_NEAR(res.replacements[k].distanceToOldFingerprint,
+                    0.25 * k, 0.05);
+        EXPECT_FALSE(res.replacements[k].stillIdentified);
+    }
+}
+
+TEST(AblationDefenses, ReportsAllThreeDefenses)
+{
+    DefenseParams p;
+    p.numChips = 2;
+    p.noiseRates = {0.0, 0.01};
+    p.stitchMemoryBits = 512ull * 32768;
+    p.stitchSamples = 40;
+    const DefenseResult res = runDefenses(p);
+    ASSERT_EQ(res.noiseSweep.size(), 2u);
+    // Noise at the approximation level doesn't stop identification.
+    EXPECT_DOUBLE_EQ(res.noiseSweep[1].identification, 1.0);
+    // ASLR leaves far more suspected chips than contiguous layout.
+    EXPECT_GT(res.stitchSuspectsAslr,
+              4 * res.stitchSuspectsContiguous);
+    // Segregated remainder still identifies.
+    EXPECT_DOUBLE_EQ(res.segregationIdentification, 1.0);
+    EXPECT_DOUBLE_EQ(res.segregationEnergyCost, 0.25);
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for image/filters, image/edge_detect, and
+ * image/test_pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/edge_detect.hh"
+#include "image/filters.hh"
+#include "image/test_pattern.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(Filters, BoxKernelSumsToOne)
+{
+    const Kernel k = Kernel::box3();
+    double sum = 0.0;
+    for (double w : k.weights)
+        sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Filters, GaussianKernelSumsToOne)
+{
+    const Kernel k = Kernel::gaussian3();
+    double sum = 0.0;
+    for (double w : k.weights)
+        sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Filters, ConvolvePreservesConstantImage)
+{
+    Image img(8, 8, 100);
+    EXPECT_EQ(convolve(img, Kernel::gaussian3()), img);
+    EXPECT_EQ(convolve(img, Kernel::box3()), img);
+}
+
+TEST(Filters, ConvolveSmoothsAnImpulse)
+{
+    Image img(5, 5, 0);
+    img.setPixel(2, 2, 255);
+    const Image out = convolve(img, Kernel::box3());
+    EXPECT_EQ(out.at(2, 2), 28); // 255/9 rounded
+    EXPECT_EQ(out.at(1, 1), 28);
+    EXPECT_EQ(out.at(0, 0), 0);
+}
+
+TEST(Filters, MedianRemovesSaltNoise)
+{
+    Image img(9, 9, 50);
+    img.setPixel(4, 4, 255); // isolated salt pixel
+    const Image out = medianFilter(img, 1);
+    EXPECT_EQ(out.at(4, 4), 50);
+}
+
+TEST(Filters, MedianPreservesEdges)
+{
+    Image img(8, 8, 0);
+    for (std::size_t y = 0; y < 8; ++y)
+        for (std::size_t x = 4; x < 8; ++x)
+            img.setPixel(x, y, 200);
+    const Image out = medianFilter(img, 1);
+    EXPECT_EQ(out.at(2, 4), 0);
+    EXPECT_EQ(out.at(5, 4), 200);
+}
+
+TEST(Filters, AbsDiffIsSymmetric)
+{
+    Image a(2, 2, 10), b(2, 2, 30);
+    EXPECT_EQ(absDiff(a, b).at(0, 0), 20);
+    EXPECT_EQ(absDiff(b, a).at(0, 0), 20);
+}
+
+TEST(Filters, ThresholdBinarizes)
+{
+    Image img(2, 1);
+    img.setPixel(0, 0, 100);
+    img.setPixel(1, 0, 200);
+    const Image out = threshold(img, 128);
+    EXPECT_EQ(out.at(0, 0), 0);
+    EXPECT_EQ(out.at(1, 0), 255);
+}
+
+TEST(EdgeDetect, FlatImageHasNoEdges)
+{
+    Image img(16, 16, 77);
+    const Image out = edgeDetect(img);
+    for (auto px : out.pixels())
+        EXPECT_EQ(px, 0);
+}
+
+TEST(EdgeDetect, RespondsAtStepEdge)
+{
+    Image img(16, 16, 0);
+    for (std::size_t y = 0; y < 16; ++y)
+        for (std::size_t x = 8; x < 16; ++x)
+            img.setPixel(x, y, 255);
+    EdgeDetectParams p;
+    p.preBlur = false;
+    const Image out = edgeDetect(img, p);
+    EXPECT_GT(out.at(8, 8), 100);  // at the edge
+    EXPECT_EQ(out.at(2, 8), 0);    // far from it
+}
+
+TEST(EdgeDetect, SobelAgreesWithCentralOnStepLocation)
+{
+    Image img(16, 16, 0);
+    for (std::size_t y = 0; y < 16; ++y)
+        for (std::size_t x = 8; x < 16; ++x)
+            img.setPixel(x, y, 255);
+    EdgeDetectParams p;
+    p.preBlur = false;
+    const Image a = edgeDetect(img, p);
+    const Image b = sobelEdgeDetect(img, p);
+    EXPECT_GT(b.at(8, 8), 100);
+    EXPECT_EQ(b.at(2, 8), 0);
+    EXPECT_GT(a.at(8, 8), 0);
+}
+
+TEST(EdgeDetect, GainScalesResponse)
+{
+    Image img = makeTestImage(TestScene::Checker, 16, 16);
+    EdgeDetectParams low, high;
+    low.gain = 0.5;
+    high.gain = 1.0;
+    const Image lo = edgeDetect(img, low);
+    const Image hi = edgeDetect(img, high);
+    double sum_lo = 0, sum_hi = 0;
+    for (std::size_t i = 0; i < lo.pixels().size(); ++i) {
+        sum_lo += lo.pixels()[i];
+        sum_hi += hi.pixels()[i];
+    }
+    EXPECT_GT(sum_hi, sum_lo);
+}
+
+TEST(TestPattern, ScenesHaveRequestedShape)
+{
+    for (auto scene : {TestScene::Gradient, TestScene::Checker,
+                       TestScene::Portrait, TestScene::Landscape,
+                       TestScene::Noise}) {
+        const Image img = makeTestImage(scene, 20, 10, 3);
+        EXPECT_EQ(img.width(), 20u);
+        EXPECT_EQ(img.height(), 10u);
+    }
+}
+
+TEST(TestPattern, ScenesAreDeterministicPerSeed)
+{
+    const Image a = makeTestImage(TestScene::Landscape, 32, 24, 5);
+    const Image b = makeTestImage(TestScene::Landscape, 32, 24, 5);
+    const Image c = makeTestImage(TestScene::Landscape, 32, 24, 6);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(TestPattern, Figure5ImageIsBlackAndWhite)
+{
+    const Image img = makeFigure5Image();
+    EXPECT_EQ(img.width(), 200u);
+    EXPECT_EQ(img.height(), 154u);
+    for (auto px : img.pixels())
+        EXPECT_TRUE(px == 0 || px == 255);
+}
+
+TEST(TestPattern, GradientIsMonotoneAlongDiagonal)
+{
+    const Image img = makeTestImage(TestScene::Gradient, 32, 32);
+    for (std::size_t i = 1; i < 32; ++i)
+        EXPECT_GE(img.at(i, i), img.at(i - 1, i - 1));
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for math/fingerprint_space: the paper's Equations 1-4
+ * and the published Table 1 / Table 2 values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "math/fingerprint_space.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(FingerprintSpace, FromAccuracyDerivesPaperParameters)
+{
+    const auto p = FingerprintSpaceParams::fromAccuracy(32768, 0.99);
+    EXPECT_EQ(p.memoryBits, 32768u);
+    EXPECT_EQ(p.errorBits, 328u);    // 1% of a page, paper's A
+    EXPECT_EQ(p.thresholdBits, 33u); // 10% of A, rounded to nearest
+}
+
+TEST(FingerprintSpace, FromAccuracyNeverProducesZero)
+{
+    const auto p = FingerprintSpaceParams::fromAccuracy(64, 0.999);
+    EXPECT_GE(p.errorBits, 1u);
+    EXPECT_GE(p.thresholdBits, 1u);
+}
+
+TEST(FingerprintSpace, Table1MaxFingerprints)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.99));
+    // Paper: 8.70e795 -> log10 = 795.9395
+    EXPECT_NEAR(r.log10MaxFingerprints, 795.94, 0.05);
+}
+
+TEST(FingerprintSpace, Table1UniqueFingerprintsLowerBound)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.99));
+    // Paper: >= 1.07e590 -> log10 = 590.03
+    EXPECT_NEAR(r.log10DistinguishableLower, 590.03, 1.0);
+}
+
+TEST(FingerprintSpace, Table1MismatchChance)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.99));
+    // Paper: <= 9.29e-591 -> log10 = -590.03
+    EXPECT_NEAR(r.log10MismatchUpper, -590.03, 1.0);
+}
+
+TEST(FingerprintSpace, Table1TotalEntropy)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.99));
+    // Paper: 2423 bits (log2 C(M, A - T)).
+    EXPECT_NEAR(r.entropyBitsFloor, 2423.0, 5.0);
+}
+
+TEST(FingerprintSpace, Table2MismatchAt95)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.95));
+    // Paper: <= 8.78e-2028 -> log10 = -2027.06
+    EXPECT_NEAR(r.log10MismatchUpper, -2027.06, 2.0);
+}
+
+TEST(FingerprintSpace, Table2MismatchAt90)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.90));
+    // Paper: <= 4.76e-3232 -> log10 = -3231.32
+    EXPECT_NEAR(r.log10MismatchUpper, -3231.32, 3.0);
+}
+
+TEST(FingerprintSpace, BoundsAreOrdered)
+{
+    const auto r = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.99));
+    EXPECT_LE(r.log10DistinguishableLower,
+              r.log10DistinguishableUpper);
+    EXPECT_LE(r.log10DistinguishableUpper, r.log10MaxFingerprints);
+    EXPECT_LE(r.log10MismatchLower, r.log10MismatchUpper);
+    EXPECT_LT(r.log10MismatchUpper, 0.0);
+}
+
+TEST(FingerprintSpace, EntropyPerBitIsConsistent)
+{
+    const auto p = FingerprintSpaceParams::fromAccuracy(32768, 0.99);
+    const auto r = evaluateFingerprintSpace(p);
+    EXPECT_NEAR(r.entropyPerBit, r.entropyBits / p.memoryBits, 1e-12);
+    EXPECT_GT(r.entropyPerBit, 0.0);
+}
+
+/**
+ * Property sweep: lowering accuracy grows the fingerprint space and
+ * shrinks the mismatch chance exponentially (Section 7.5).
+ */
+class FingerprintSpaceSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(FingerprintSpaceSweep, LowerAccuracyMoreEntropy)
+{
+    const auto [hi_acc, lo_acc] = GetParam();
+    const auto r_hi = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, hi_acc));
+    const auto r_lo = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, lo_acc));
+    EXPECT_GT(r_lo.log10MaxFingerprints, r_hi.log10MaxFingerprints);
+    EXPECT_LT(r_lo.log10MismatchUpper, r_hi.log10MismatchUpper);
+    EXPECT_GT(r_lo.entropyBits, r_hi.entropyBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AccuracyPairs, FingerprintSpaceSweep,
+    ::testing::Values(std::pair{0.99, 0.98}, std::pair{0.99, 0.95},
+                      std::pair{0.95, 0.90}, std::pair{0.98, 0.90},
+                      std::pair{0.999, 0.99}));
+
+TEST(FingerprintSpace, LargerMemoryMoreEntropy)
+{
+    const auto small = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(32768, 0.99));
+    const auto large = evaluateFingerprintSpace(
+        FingerprintSpaceParams::fromAccuracy(65536, 0.99));
+    EXPECT_GT(large.entropyBits, small.entropyBits);
+}
+
+TEST(FingerprintSpace, RejectsDegenerateParams)
+{
+    FingerprintSpaceParams p{100, 5, 5}; // A == T violates A > T
+    EXPECT_DEATH(evaluateFingerprintSpace(p), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

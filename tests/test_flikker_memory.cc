@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for dram/flikker_memory — the partitioned
+ * approximate-memory baseline from the related work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/flikker_memory.hh"
+
+namespace pcause
+{
+namespace
+{
+
+class FlikkerTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramConfig::km41464a(), 77};
+};
+
+TEST_F(FlikkerTest, ZonesPartitionTheDevice)
+{
+    FlikkerMemory mem(chip, 0.25, 0.99);
+    EXPECT_EQ(mem.zoneSize(FlikkerZone::Exact) +
+              mem.zoneSize(FlikkerZone::Approx), chip.size());
+    EXPECT_EQ(mem.zoneStart(FlikkerZone::Exact), 0u);
+    EXPECT_EQ(mem.zoneStart(FlikkerZone::Approx),
+              mem.zoneSize(FlikkerZone::Exact));
+    // Zone boundary is row-aligned.
+    EXPECT_EQ(mem.zoneSize(FlikkerZone::Exact) %
+              chip.config().rowBits(), 0u);
+}
+
+TEST_F(FlikkerTest, ExactZoneLosesNothing)
+{
+    FlikkerMemory mem(chip, 0.25, 0.90); // heavy approximation
+    BitVec data(mem.zoneSize(FlikkerZone::Exact), true);
+    const BitVec out = mem.roundTrip(FlikkerZone::Exact, data, 1);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(FlikkerTest, ApproxZoneDegradesAtTarget)
+{
+    FlikkerMemory mem(chip, 0.25, 0.95);
+    // Worst-case data for the approximate zone: anti-default bits.
+    const std::size_t start = mem.zoneStart(FlikkerZone::Approx);
+    const std::size_t len = mem.zoneSize(FlikkerZone::Approx);
+    const BitVec data =
+        chip.worstCasePattern().slice(start, len);
+    const BitVec out = mem.roundTrip(FlikkerZone::Approx, data, 2);
+    const double err =
+        static_cast<double>(out.hammingDistance(data)) / len;
+    EXPECT_NEAR(err, 0.05, 0.01);
+}
+
+TEST_F(FlikkerTest, EnergySavingScalesWithApproxFraction)
+{
+    FlikkerMemory small_approx(chip, 0.75, 0.99);
+    FlikkerMemory big_approx(chip, 0.25, 0.99);
+    EXPECT_GT(big_approx.refreshEnergySaving(),
+              small_approx.refreshEnergySaving());
+    EXPECT_GT(small_approx.refreshEnergySaving(), 0.0);
+    EXPECT_LT(big_approx.refreshEnergySaving(), 1.0);
+}
+
+TEST_F(FlikkerTest, ApproxZoneStillFingerprintsTheChip)
+{
+    // The data-segregation lesson: whatever lands in the low-refresh
+    // zone carries the chip identity, regardless of the exact zone.
+    DramChip twin(DramConfig::km41464a(), 78);
+    FlikkerMemory mem_a(chip, 0.25, 0.99);
+    FlikkerMemory mem_b(twin, 0.25, 0.99);
+
+    const std::size_t start = mem_a.zoneStart(FlikkerZone::Approx);
+    const std::size_t len = mem_a.zoneSize(FlikkerZone::Approx);
+    const BitVec data = chip.worstCasePattern().slice(start, len);
+
+    const BitVec e1 = mem_a.roundTrip(FlikkerZone::Approx, data, 3) ^
+        data;
+    const BitVec e2 = mem_a.roundTrip(FlikkerZone::Approx, data, 4) ^
+        data;
+    const BitVec other =
+        mem_b.roundTrip(FlikkerZone::Approx, data, 5) ^ data;
+
+    const double same = static_cast<double>(e1.overlapCount(e2)) /
+        e1.popcount();
+    const double cross = static_cast<double>(e1.overlapCount(other)) /
+        e1.popcount();
+    EXPECT_GT(same, 0.9);
+    EXPECT_LT(cross, 0.1);
+}
+
+TEST_F(FlikkerTest, RejectsDegenerateFractions)
+{
+    EXPECT_EXIT(FlikkerMemory(chip, 1.0, 0.99),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(FlikkerMemory(chip, -0.1, 0.99),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(FlikkerTest, OversizedBufferDies)
+{
+    FlikkerMemory mem(chip, 0.5, 0.99);
+    BitVec too_big(mem.zoneSize(FlikkerZone::Exact) + 1);
+    EXPECT_DEATH(mem.store(FlikkerZone::Exact, too_big), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for image/image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/image.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(Image, ConstructedWithFill)
+{
+    Image img(4, 3, 7);
+    EXPECT_EQ(img.width(), 4u);
+    EXPECT_EQ(img.height(), 3u);
+    EXPECT_EQ(img.pixelCount(), 12u);
+    EXPECT_EQ(img.bitSize(), 96u);
+    EXPECT_EQ(img.at(3, 2), 7);
+}
+
+TEST(Image, SetAndGetPixels)
+{
+    Image img(4, 4);
+    img.setPixel(1, 2, 200);
+    EXPECT_EQ(img.at(1, 2), 200);
+    EXPECT_EQ(img.at(2, 1), 0);
+}
+
+TEST(Image, ClampedAccessAtBorders)
+{
+    Image img(3, 3);
+    img.setPixel(0, 0, 11);
+    img.setPixel(2, 2, 22);
+    EXPECT_EQ(img.atClamped(-5, -5), 11);
+    EXPECT_EQ(img.atClamped(10, 10), 22);
+    EXPECT_EQ(img.atClamped(1, 1), 0);
+}
+
+TEST(Image, BitsRoundTrip)
+{
+    Image img(5, 4);
+    for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 5; ++x)
+            img.setPixel(x, y, static_cast<std::uint8_t>(x * 50 + y));
+    const BitVec bits = img.toBits();
+    EXPECT_EQ(bits.size(), img.bitSize());
+    EXPECT_EQ(Image::fromBits(bits, 5, 4), img);
+}
+
+TEST(Image, BitFlipCorruptsExactlyOnePixel)
+{
+    Image img(4, 4, 128);
+    BitVec bits = img.toBits();
+    bits.set(8 * 5 + 3, !bits.get(8 * 5 + 3)); // pixel 5, bit 3
+    const Image out = Image::fromBits(bits, 4, 4);
+    EXPECT_EQ(out.differingPixels(img), 1u);
+    EXPECT_EQ(out.pixels()[5], 128 ^ 0x08);
+}
+
+TEST(Image, MeanAbsDiff)
+{
+    Image a(2, 2, 10), b(2, 2, 10);
+    b.setPixel(0, 0, 30);
+    EXPECT_DOUBLE_EQ(a.meanAbsDiff(b), 5.0); // 20 / 4 pixels
+    EXPECT_DOUBLE_EQ(a.meanAbsDiff(a), 0.0);
+}
+
+TEST(Image, DifferingPixels)
+{
+    Image a(2, 2, 0), b(2, 2, 0);
+    EXPECT_EQ(a.differingPixels(b), 0u);
+    b.setPixel(1, 1, 1);
+    b.setPixel(0, 1, 1);
+    EXPECT_EQ(a.differingPixels(b), 2u);
+}
+
+TEST(Image, OutOfRangeAccessDies)
+{
+    Image img(2, 2);
+    EXPECT_DEATH(img.at(2, 0), "");
+    EXPECT_DEATH(img.setPixel(0, 2, 1), "");
+}
+
+TEST(Image, FromBitsRejectsSizeMismatch)
+{
+    BitVec bits(100);
+    EXPECT_DEATH(Image::fromBits(bits, 4, 4), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-module integration scenarios: the paper's full story told
+ * end to end on the simulated hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attacker.hh"
+#include "core/characterize.hh"
+#include "core/error_string.hh"
+#include "core/identify.hh"
+#include "image/edge_detect.hh"
+#include "image/test_pattern.hh"
+#include "platform/platform.hh"
+
+namespace pcause
+{
+namespace
+{
+
+/**
+ * Scenario: a dissident publishes edge-detection outputs through an
+ * anonymizing channel; a supply-chain attacker who fingerprinted
+ * the dissident's DRAM attributes the images anyway.
+ */
+TEST(Integration, AnonymousImagePublicationIsAttributable)
+{
+    Platform platform = Platform::legacy(5);
+    SupplyChainAttacker attacker;
+    for (unsigned c = 0; c < 5; ++c) {
+        TestHarness h = platform.harness(c);
+        attacker.interceptChip(h, "machine-" + std::to_string(c));
+    }
+
+    // The victim (machine 3) runs edge detection and publishes the
+    // output; metadata is stripped, the channel is anonymous — only
+    // the pixels travel.
+    const unsigned victim = 3;
+    TestHarness h = platform.harness(victim);
+    const Image input = makeTestImage(TestScene::Portrait, 160, 120,
+                                      99);
+    const Image output = edgeDetect(input);
+    BitVec buffer(h.chip().size());
+    buffer.blit(0, output.toBits());
+    TrialSpec spec;
+    spec.accuracy = 0.95;
+    spec.temp = 47.0; // uncontrolled room temperature
+    spec.trialKey = 4242;
+    const BitVec published = h.runTrial(buffer, spec).approx;
+
+    // Attacker side: recompute the exact output (the input scene is
+    // public), extract the error string, query the database. Real
+    // data only charges some cells, so the data-aware variant masks
+    // each fingerprint down to the chargeable cells.
+    const IdentifyResult r = attacker.attributeWithData(
+        published, buffer, h.chip().config());
+    ASSERT_TRUE(r.match.has_value());
+    EXPECT_EQ(attacker.label(*r.match),
+              "machine-" + std::to_string(victim));
+}
+
+/**
+ * Scenario: the same chip observed under different environments and
+ * knobs keeps one identity — the stability results of Sections
+ * 7.2-7.4 composed.
+ */
+TEST(Integration, OneIdentityAcrossEnvironmentsAndKnobs)
+{
+    Platform platform = Platform::legacy(2);
+    const BitVec exact = platform.chip(0).worstCasePattern();
+
+    // Characterize chip 0 once, at 1% error and 40 C.
+    TestHarness h0 = platform.harness(0);
+    std::vector<BitVec> outs;
+    for (unsigned k = 0; k < 3; ++k) {
+        TrialSpec spec;
+        spec.trialKey = k + 1;
+        outs.push_back(h0.runWorstCaseTrial(spec).approx);
+    }
+    FingerprintDb db;
+    db.add("chip-0", characterize(outs, exact));
+
+    // Outputs under every combination of temperature, accuracy,
+    // and approximation knob must identify as chip 0...
+    std::uint64_t trial = 100;
+    for (double temp : {40.0, 50.0, 60.0}) {
+        for (double acc : {0.99, 0.95, 0.90}) {
+            for (ApproxKnob knob : {ApproxKnob::RefreshRate,
+                                    ApproxKnob::Voltage}) {
+                TrialSpec spec;
+                spec.accuracy = acc;
+                spec.temp = temp;
+                spec.trialKey = ++trial;
+                spec.knob = knob;
+                const IdentifyResult r = identify(
+                    h0.runWorstCaseTrial(spec).approx, exact, db);
+                EXPECT_TRUE(r.match.has_value())
+                    << "temp=" << temp << " acc=" << acc;
+            }
+        }
+    }
+
+    // ...while the sibling chip never does.
+    TestHarness h1 = platform.harness(1);
+    TrialSpec spec;
+    spec.trialKey = ++trial;
+    const IdentifyResult r =
+        identify(h1.runWorstCaseTrial(spec).approx, exact, db);
+    EXPECT_FALSE(r.match.has_value());
+}
+
+/**
+ * Scenario: eavesdropper with zero prior access converges on a
+ * machine identity, then attributes a fresh leak (Section 7.6 in
+ * miniature), while a second machine stays separate.
+ */
+TEST(Integration, EavesdropperBuildsDatabaseFromScratch)
+{
+    CommoditySystemParams sys_params;
+    sys_params.dram.totalBits = 1024ull * pageBits; // 4 MB machines
+    CommoditySystem alice(sys_params, 0xA11CE, 1);
+    CommoditySystem bob(sys_params, 0xB0B, 2);
+
+    EavesdropperAttacker attacker;
+    for (int n = 0; n < 100; ++n) {
+        attacker.observe(alice.publish(128 * pageBytes));
+        if (n % 2 == 0)
+            attacker.observe(bob.publish(128 * pageBytes));
+    }
+    EXPECT_EQ(attacker.suspectedMachines(), 2u);
+
+    const auto a_match = attacker.attribute(
+        alice.publish(128 * pageBytes));
+    const auto b_match = attacker.attribute(
+        bob.publish(128 * pageBytes));
+    ASSERT_TRUE(a_match.has_value());
+    ASSERT_TRUE(b_match.has_value());
+    EXPECT_NE(attacker.stitcher().resolve(*a_match),
+              attacker.stitcher().resolve(*b_match));
+}
+
+/**
+ * Scenario: the energy-privacy trade-off the paper motivates —
+ * approximation saves refresh energy AND leaks identity; exact
+ * operation leaks nothing.
+ */
+TEST(Integration, ExactComputationLeaksNothing)
+{
+    Platform platform = Platform::legacy(1);
+    TestHarness h = platform.harness(0);
+    const BitVec exact = h.chip().worstCasePattern();
+
+    // Characterize from approximate outputs.
+    std::vector<BitVec> outs;
+    for (unsigned k = 0; k < 3; ++k) {
+        TrialSpec spec;
+        spec.trialKey = k + 1;
+        outs.push_back(h.runWorstCaseTrial(spec).approx);
+    }
+    FingerprintDb db;
+    db.add("chip", characterize(outs, exact));
+
+    // An exactly-refreshed output (JEDEC interval) carries no
+    // errors, hence no fingerprint.
+    DramChip &chip = h.chip();
+    chip.reseedTrial(9);
+    chip.write(exact);
+    for (int k = 0; k < 100; ++k) {
+        chip.elapse(jedecRefreshPeriod, 40.0);
+        chip.refreshAll();
+    }
+    const BitVec published = chip.peek();
+    EXPECT_EQ(published, exact);
+    const IdentifyResult r = identify(published, exact, db);
+    EXPECT_FALSE(r.match.has_value());
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for util/logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setLogLevel(LogLevel::Inform); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsInform)
+{
+    EXPECT_EQ(logLevel(), LogLevel::Inform);
+}
+
+TEST_F(LoggingTest, SetLogLevelRoundTrips)
+{
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotCrashAtAnyLevel)
+{
+    for (auto lvl : {LogLevel::Silent, LogLevel::Warn,
+                     LogLevel::Inform, LogLevel::Debug}) {
+        setLogLevel(lvl);
+        warn("test warn %d", 1);
+        inform("test inform %s", "x");
+        debugLog("test debug");
+    }
+    SUCCEED();
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST_F(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST_F(LoggingDeathTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(PC_ASSERT(false, "must fail"), "assertion failed");
+}
+
+TEST_F(LoggingTest, AssertMacroPassesOnTrue)
+{
+    PC_ASSERT(true, "never fires");
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace pcause

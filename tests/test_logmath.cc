@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for math/logmath.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "math/logmath.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(LogMath, FactorialSmallValues)
+{
+    EXPECT_NEAR(logFactorial(0), 0.0, 1e-12);
+    EXPECT_NEAR(logFactorial(1), 0.0, 1e-12);
+    EXPECT_NEAR(logFactorial(5), std::log(120.0), 1e-9);
+}
+
+TEST(LogMath, BinomialMatchesExactSmallCases)
+{
+    EXPECT_NEAR(logBinomial(5, 2), std::log(10.0), 1e-9);
+    EXPECT_NEAR(logBinomial(10, 0), 0.0, 1e-9);
+    EXPECT_NEAR(logBinomial(10, 10), 0.0, 1e-9);
+    EXPECT_NEAR(logBinomial(52, 5), std::log(2598960.0), 1e-6);
+}
+
+TEST(LogMath, BinomialSymmetric)
+{
+    EXPECT_NEAR(logBinomial(100, 30), logBinomial(100, 70), 1e-9);
+}
+
+TEST(LogMath, BinomialBeyondNIsMinusInfinity)
+{
+    EXPECT_EQ(logBinomial(5, 6),
+              -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogMath, LogAddMatchesDirectComputation)
+{
+    const double a = std::log(3.0), b = std::log(7.0);
+    EXPECT_NEAR(logAdd(a, b), std::log(10.0), 1e-12);
+}
+
+TEST(LogMath, LogAddHandlesNegativeInfinity)
+{
+    const double ninf = -std::numeric_limits<double>::infinity();
+    EXPECT_NEAR(logAdd(ninf, std::log(2.0)), std::log(2.0), 1e-12);
+    EXPECT_NEAR(logAdd(std::log(2.0), ninf), std::log(2.0), 1e-12);
+    EXPECT_EQ(logAdd(ninf, ninf), ninf);
+}
+
+TEST(LogMath, LogAddStableForHugeMagnitudes)
+{
+    // exp(5000) overflows double; the log-domain sum must not.
+    const double big = 5000.0;
+    EXPECT_NEAR(logAdd(big, big), big + std::log(2.0), 1e-9);
+}
+
+TEST(LogMath, BinomialSumMatchesDirectSum)
+{
+    // sum_{i=0}^{2} C(10, i) = 1 + 10 + 45 = 56
+    EXPECT_NEAR(logBinomialSum(10, 0, 2), std::log(56.0), 1e-9);
+}
+
+TEST(LogMath, BinomialSumSingleTerm)
+{
+    EXPECT_NEAR(logBinomialSum(10, 3, 3), logBinomial(10, 3), 1e-12);
+}
+
+TEST(LogMath, ConversionsToLog10AndLog2)
+{
+    const double ln1000 = std::log(1000.0);
+    EXPECT_NEAR(lnToLog10(ln1000), 3.0, 1e-12);
+    EXPECT_NEAR(lnToLog2(std::log(8.0)), 3.0, 1e-12);
+}
+
+TEST(LogMath, PaperScaleBinomial)
+{
+    // C(32768, 328) ~ 8.70e795 (paper Table 1, "max possible
+    // fingerprints").
+    const double log10_c = lnToLog10(logBinomial(32768, 328));
+    EXPECT_NEAR(log10_c, 795.94, 0.05);
+}
+
+} // anonymous namespace
+} // namespace pcause

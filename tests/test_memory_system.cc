@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for dram/memory_system (interleaved multi-chip
+ * memory) and the wafer-correlation retention extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "dram/memory_system.hh"
+
+namespace pcause
+{
+namespace
+{
+
+class InterleaveTest : public ::testing::Test
+{
+  protected:
+    InterleaveTest()
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            chips.push_back(std::make_unique<DramChip>(
+                DramConfig::tiny(), 100 + i));
+    }
+
+    std::vector<DramChip *>
+    members()
+    {
+        std::vector<DramChip *> out;
+        for (auto &c : chips)
+            out.push_back(c.get());
+        return out;
+    }
+
+    std::vector<std::unique_ptr<DramChip>> chips;
+};
+
+TEST_F(InterleaveTest, SizeIsSumOfMembers)
+{
+    InterleavedMemory mem(members(), 512);
+    EXPECT_EQ(mem.size(), 4 * chips[0]->size());
+    EXPECT_EQ(mem.numChips(), 4u);
+}
+
+TEST_F(InterleaveTest, AddressMapIsABijection)
+{
+    InterleavedMemory mem(members(), 512);
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (std::size_t g = 0; g < mem.size(); ++g) {
+        const auto target = mem.mapAddress(g);
+        EXPECT_LT(target.first, 4u);
+        EXPECT_LT(target.second, chips[0]->size());
+        EXPECT_TRUE(seen.insert(target).second)
+            << "address " << g << " collides";
+    }
+}
+
+TEST_F(InterleaveTest, StripesRotateAcrossChips)
+{
+    InterleavedMemory mem(members(), 512);
+    EXPECT_EQ(mem.mapAddress(0).first, 0u);
+    EXPECT_EQ(mem.mapAddress(512).first, 1u);
+    EXPECT_EQ(mem.mapAddress(1024).first, 2u);
+    EXPECT_EQ(mem.mapAddress(4 * 512).first, 0u);
+    // Within a stripe the chip does not change.
+    EXPECT_EQ(mem.mapAddress(511).first, 0u);
+}
+
+TEST_F(InterleaveTest, WriteReadRoundTrip)
+{
+    InterleavedMemory mem(members(), 512);
+    Rng rng(9);
+    BitVec data(mem.size());
+    for (std::size_t i = 0; i < data.size(); i += 3)
+        data.set(i, rng.chance(0.5));
+    mem.write(data);
+    EXPECT_EQ(mem.peek(), data);
+}
+
+TEST_F(InterleaveTest, DecayTouchesEveryMember)
+{
+    InterleavedMemory mem(members(), 512);
+    mem.reseedTrial(1);
+    mem.write(mem.worstCasePattern());
+    mem.elapse(chips[0]->retention().stressQuantile(0.05), 40.0);
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_GT(mem.chip(c).decayedCount(), 0u) << "chip " << c;
+}
+
+TEST_F(InterleaveTest, WorstCasePatternChargesAllMembers)
+{
+    InterleavedMemory mem(members(), 512);
+    mem.write(mem.worstCasePattern());
+    mem.elapse(1e6, 40.0);
+    std::size_t decayed = 0;
+    for (unsigned c = 0; c < 4; ++c)
+        decayed += mem.chip(c).decayedCount();
+    EXPECT_EQ(decayed, mem.size());
+}
+
+TEST_F(InterleaveTest, RejectsBadGranularity)
+{
+    EXPECT_EXIT(InterleavedMemory(members(), 1000),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(InterleaveTest, RejectsEmptyMemberList)
+{
+    EXPECT_EXIT(InterleavedMemory({}, 512),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(WaferCorrelation, ZeroCorrelationChipsAreIndependent)
+{
+    DramConfig cfg = DramConfig::tiny();
+    cfg.waferCorrelation = 0.0;
+    cfg.waferSeed = 7;
+    RetentionModel a(cfg, 1), b(cfg, 2);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a.baseRetention(i) - cfg.retentionMean;
+        const double db = b.baseRetention(i) - cfg.retentionMean;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    EXPECT_NEAR(cov / std::sqrt(va * vb), 0.0, 0.05);
+}
+
+TEST(WaferCorrelation, CorrelationMatchesConfiguredRho)
+{
+    DramConfig cfg = DramConfig::km41464a();
+    cfg.waferCorrelation = 0.6;
+    cfg.waferSeed = 7;
+    RetentionModel a(cfg, 1), b(cfg, 2);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a.baseRetention(i) - cfg.retentionMean;
+        const double db = b.baseRetention(i) - cfg.retentionMean;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    // Chips share the rho^2 wafer component of their variance.
+    EXPECT_NEAR(cov / std::sqrt(va * vb), 0.36, 0.03);
+}
+
+TEST(WaferCorrelation, DifferentWafersShareNothing)
+{
+    DramConfig wafer1 = DramConfig::tiny();
+    wafer1.waferCorrelation = 0.9;
+    wafer1.waferSeed = 1;
+    DramConfig wafer2 = wafer1;
+    wafer2.waferSeed = 2;
+    RetentionModel a(wafer1, 1), b(wafer2, 2);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a.baseRetention(i) - wafer1.retentionMean;
+        const double db = b.baseRetention(i) - wafer2.retentionMean;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    EXPECT_NEAR(cov / std::sqrt(va * vb), 0.0, 0.06);
+}
+
+TEST(WaferCorrelation, ValidateRejectsFullCorrelation)
+{
+    DramConfig cfg = DramConfig::tiny();
+    cfg.waferCorrelation = 1.0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for dram/modeled_dram: the lazily evaluated GB-scale
+ * model behind the Section 7.6 experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/modeled_dram.hh"
+
+namespace pcause
+{
+namespace
+{
+
+ModeledDramParams
+smallParams()
+{
+    ModeledDramParams p;
+    p.totalBits = 64ull * 32768; // 64 pages
+    return p;
+}
+
+TEST(ModeledDram, PageCount)
+{
+    ModeledDram m(smallParams(), 1);
+    EXPECT_EQ(m.numPages(), 64u);
+}
+
+TEST(ModeledDram, RejectsNonPowerOfTwoPage)
+{
+    ModeledDramParams p = smallParams();
+    p.pageBits = 1000;
+    EXPECT_EXIT(ModeledDram(p, 1), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ModeledDram, RejectsMisalignedTotal)
+{
+    ModeledDramParams p = smallParams();
+    p.totalBits += 1;
+    EXPECT_EXIT(ModeledDram(p, 1), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ModeledDram, VolatilityOrderIsBijective)
+{
+    ModeledDramParams p = smallParams();
+    p.pageBits = 4096; // small domain so the full check is cheap
+    p.totalBits = 64ull * 4096;
+    ModeledDram m(p, 7);
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t r = 0; r < p.pageBits; ++r) {
+        const std::uint32_t pos = m.volatilityOrder(3, r);
+        EXPECT_LT(pos, p.pageBits);
+        EXPECT_TRUE(seen.insert(pos).second)
+            << "duplicate position " << pos;
+    }
+}
+
+TEST(ModeledDram, FingerprintSetSizeTracksAccuracy)
+{
+    ModeledDram m(smallParams(), 2);
+    EXPECT_EQ(m.fingerprintSet(0, 0.99).count(), 328u);
+    EXPECT_EQ(m.fingerprintSet(0, 0.95).count(), 1638u);
+}
+
+TEST(ModeledDram, OrderOfFailureSubsetProperty)
+{
+    // Figure 10 by construction: higher-accuracy error sets are
+    // subsets of lower-accuracy ones.
+    ModeledDram m(smallParams(), 3);
+    const auto e99 = m.fingerprintSet(5, 0.99);
+    const auto e95 = m.fingerprintSet(5, 0.95);
+    const auto e90 = m.fingerprintSet(5, 0.90);
+    EXPECT_TRUE(e99.isSubsetOf(e95));
+    EXPECT_TRUE(e95.isSubsetOf(e90));
+}
+
+TEST(ModeledDram, PagesDifferWithinAChip)
+{
+    ModeledDram m(smallParams(), 4);
+    const auto a = m.fingerprintSet(0, 0.99);
+    const auto b = m.fingerprintSet(1, 0.99);
+    // Two pages share only chance overlap (~1% of 328 bits).
+    EXPECT_LT(a.intersectCount(b), 20u);
+}
+
+TEST(ModeledDram, ChipsDiffer)
+{
+    ModeledDram a(smallParams(), 5);
+    ModeledDram b(smallParams(), 6);
+    const auto fa = a.fingerprintSet(0, 0.99);
+    const auto fb = b.fingerprintSet(0, 0.99);
+    EXPECT_LT(fa.intersectCount(fb), 20u);
+}
+
+TEST(ModeledDram, SameSeedSameModel)
+{
+    ModeledDram a(smallParams(), 7);
+    ModeledDram b(smallParams(), 7);
+    EXPECT_EQ(a.fingerprintSet(9, 0.99), b.fingerprintSet(9, 0.99));
+}
+
+TEST(ModeledDram, ObservationIsDeterministicPerTrial)
+{
+    ModeledDram m(smallParams(), 8);
+    EXPECT_EQ(m.observePage(2, 0.99, 17), m.observePage(2, 0.99, 17));
+    EXPECT_NE(m.observePage(2, 0.99, 17).positions(),
+              m.observePage(2, 0.99, 18).positions());
+}
+
+TEST(ModeledDram, ObservationsMostlyMatchFingerprint)
+{
+    ModeledDram m(smallParams(), 9);
+    const auto fp = m.fingerprintSet(2, 0.99);
+    const auto obs = m.observePage(2, 0.99, 1);
+    const double hit = static_cast<double>(obs.intersectCount(fp)) /
+        fp.count();
+    // flickerProb = 2%: ~98% of fingerprint cells observed.
+    EXPECT_GT(hit, 0.95);
+}
+
+TEST(ModeledDram, ObservationNoiseStaysVolatilityRanked)
+{
+    // Spurious bits come from just-above-threshold cells, so every
+    // observed bit is inside the accuracy-floor candidate set.
+    ModeledDramParams p = smallParams();
+    ModeledDram m(p, 10);
+    const auto floor_set = m.fingerprintSet(4, p.accuracyFloor);
+    const auto obs = m.observePage(4, 0.99, 3);
+    EXPECT_TRUE(obs.isSubsetOf(floor_set));
+}
+
+TEST(ModeledDram, RejectsAccuracyBelowFloor)
+{
+    ModeledDram m(smallParams(), 11);
+    EXPECT_EXIT(m.fingerprintSet(0, 0.5),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

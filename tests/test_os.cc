@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the os substrate: page allocator, placement
+ * tracing, and the commodity system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/allocator.hh"
+#include "os/commodity_system.hh"
+#include "os/placement_trace.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(PageMath, PagesForRoundsUp)
+{
+    EXPECT_EQ(pagesFor(0), 0u);
+    EXPECT_EQ(pagesFor(1), 1u);
+    EXPECT_EQ(pagesFor(4096), 1u);
+    EXPECT_EQ(pagesFor(4097), 2u);
+    EXPECT_EQ(pagesFor(10u << 20), 2560u); // 10 MB
+}
+
+TEST(PageAllocator, ContiguousPlacementIsContiguous)
+{
+    PageAllocator alloc(1000, PlacementPolicy::ContiguousRandomBase,
+                        1);
+    const Placement p = alloc.place(100);
+    EXPECT_EQ(p.size(), 100u);
+    EXPECT_TRUE(p.contiguous());
+    EXPECT_LT(p.frames.back(), 1000u);
+}
+
+TEST(PageAllocator, ContiguousBasesVaryAcrossRuns)
+{
+    PageAllocator alloc(100000, PlacementPolicy::ContiguousRandomBase,
+                        2);
+    std::set<PageFrame> bases;
+    for (int i = 0; i < 50; ++i)
+        bases.insert(alloc.place(10).frames.front());
+    EXPECT_GT(bases.size(), 45u);
+}
+
+TEST(PageAllocator, AslrScattersPages)
+{
+    PageAllocator alloc(100000, PlacementPolicy::PageLevelAslr, 3);
+    const Placement p = alloc.place(100);
+    EXPECT_EQ(p.size(), 100u);
+    EXPECT_FALSE(p.contiguous());
+}
+
+TEST(PageAllocator, FullMachinePlacementStillFits)
+{
+    PageAllocator alloc(64, PlacementPolicy::ContiguousRandomBase, 4);
+    const Placement p = alloc.place(64);
+    EXPECT_EQ(p.frames.front(), 0u);
+    EXPECT_EQ(p.frames.back(), 63u);
+}
+
+TEST(PageAllocator, OversizedPlacementIsFatal)
+{
+    PageAllocator alloc(10, PlacementPolicy::ContiguousRandomBase, 5);
+    EXPECT_EXIT(alloc.place(11), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(alloc.place(0), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(PlacementTrace, VerifiesSection76Assumptions)
+{
+    PageAllocator alloc(100000, PlacementPolicy::ContiguousRandomBase,
+                        6);
+    PlacementTrace trace;
+    for (int i = 0; i < 30; ++i)
+        trace.record(alloc.place(2560));
+    EXPECT_EQ(trace.runs(), 30u);
+    EXPECT_TRUE(trace.allContiguous());
+    EXPECT_TRUE(trace.basesVary());
+}
+
+TEST(PlacementTrace, DetectsScatteredPlacements)
+{
+    PageAllocator alloc(100000, PlacementPolicy::PageLevelAslr, 7);
+    PlacementTrace trace;
+    for (int i = 0; i < 5; ++i)
+        trace.record(alloc.place(100));
+    EXPECT_FALSE(trace.allContiguous());
+}
+
+TEST(PlacementTrace, OverlapFractionGrowsWithSampleSize)
+{
+    // Bigger buffers in the same machine collide more often.
+    PageAllocator small_alloc(10000,
+                              PlacementPolicy::ContiguousRandomBase, 8);
+    PageAllocator big_alloc(10000,
+                            PlacementPolicy::ContiguousRandomBase, 8);
+    PlacementTrace small_trace, big_trace;
+    for (int i = 0; i < 40; ++i) {
+        small_trace.record(small_alloc.place(50));
+        big_trace.record(big_alloc.place(2000));
+    }
+    EXPECT_GT(big_trace.pairwiseOverlapFraction(),
+              small_trace.pairwiseOverlapFraction());
+}
+
+class CommoditySystemTest : public ::testing::Test
+{
+  protected:
+    CommoditySystemParams smallParams()
+    {
+        CommoditySystemParams p;
+        p.dram.totalBits = 1024ull * pageBits; // 4 MB machine
+        return p;
+    }
+};
+
+TEST_F(CommoditySystemTest, PublishProducesRequestedPages)
+{
+    CommoditySystem sys(smallParams(), 1, 2);
+    const ApproximateSample s = sys.publish(64 * pageBytes);
+    EXPECT_EQ(s.size(), 64u);
+    EXPECT_EQ(s.placement.size(), 64u);
+    EXPECT_TRUE(s.placement.contiguous());
+    EXPECT_EQ(s.sampleId, 0u);
+    EXPECT_EQ(sys.runs(), 1u);
+}
+
+TEST_F(CommoditySystemTest, SampleErrorsMatchDramModel)
+{
+    CommoditySystem sys(smallParams(), 3, 4);
+    const ApproximateSample s = sys.publish(16 * pageBytes);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const auto expected = sys.dram().observePage(
+            s.placement.frames[i], sys.params().accuracy, 0);
+        EXPECT_EQ(s.pageErrors[i], expected);
+    }
+}
+
+TEST_F(CommoditySystemTest, SuccessiveRunsMoveTheBuffer)
+{
+    CommoditySystem sys(smallParams(), 5, 6);
+    const auto a = sys.publish(16 * pageBytes);
+    const auto b = sys.publish(16 * pageBytes);
+    EXPECT_NE(a.placement.frames.front(), b.placement.frames.front());
+}
+
+TEST_F(CommoditySystemTest, ErrorVisibilityThinsObservations)
+{
+    CommoditySystemParams full = smallParams();
+    CommoditySystemParams half = smallParams();
+    half.errorVisibility = 0.5;
+    CommoditySystem sys_full(full, 7, 8);
+    CommoditySystem sys_half(half, 7, 8);
+    const auto sf = sys_full.publish(64 * pageBytes);
+    const auto sh = sys_half.publish(64 * pageBytes);
+    std::size_t nf = 0, nh = 0;
+    for (std::size_t i = 0; i < sf.size(); ++i) {
+        nf += sf.pageErrors[i].count();
+        nh += sh.pageErrors[i].count();
+    }
+    EXPECT_NEAR(static_cast<double>(nh) / nf, 0.5, 0.05);
+}
+
+TEST_F(CommoditySystemTest, RejectsMismatchedPageSize)
+{
+    CommoditySystemParams p = smallParams();
+    p.dram.pageBits = 16384;
+    EXPECT_EXIT(CommoditySystem(p, 1, 2),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(CommoditySystemTest, RejectsBadVisibility)
+{
+    CommoditySystemParams p = smallParams();
+    p.errorVisibility = 0.0;
+    EXPECT_EXIT(CommoditySystem(p, 1, 2),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for core/page_fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/page_fingerprint.hh"
+#include "os/page.hh"
+
+namespace pcause
+{
+namespace
+{
+
+SparseBitset
+obs(std::initializer_list<std::uint32_t> bits)
+{
+    return SparseBitset(pageBits, bits);
+}
+
+TEST(PageFingerprint, SeedsFromFirstObservation)
+{
+    PageFingerprint fp(obs({5, 10, 15}));
+    EXPECT_EQ(fp.sources(), 1u);
+    EXPECT_EQ(fp.weight(), 3u);
+}
+
+TEST(PageFingerprint, AugmentIntersects)
+{
+    PageFingerprint fp(obs({5, 10, 15, 20}));
+    fp.augment(obs({5, 10, 15, 99}));
+    EXPECT_EQ(fp.weight(), 3u);
+    EXPECT_TRUE(fp.bits().contains(5));
+    EXPECT_FALSE(fp.bits().contains(20));
+}
+
+TEST(PageFingerprint, AugmentStopsAtMaxSources)
+{
+    PageFingerprint fp(obs({1, 2, 3, 4, 5}));
+    // Two augments allowed with max_sources = 3, further ones are
+    // counted but no longer erode the pattern.
+    fp.augment(obs({1, 2, 3, 4}), 3);
+    fp.augment(obs({1, 2, 3}), 3);
+    EXPECT_EQ(fp.weight(), 3u);
+    fp.augment(obs({1}), 3);
+    EXPECT_EQ(fp.weight(), 3u); // unchanged: source cap reached
+    EXPECT_EQ(fp.sources(), 4u);
+}
+
+TEST(PageFingerprint, DistanceToOwnObservationIsSmall)
+{
+    PageFingerprint fp(obs({5, 10, 15, 20}));
+    EXPECT_DOUBLE_EQ(fp.distanceTo(obs({5, 10, 15, 20, 100})), 0.0);
+    EXPECT_DOUBLE_EQ(fp.distanceTo(obs({500, 600, 700, 800})), 1.0);
+}
+
+TEST(PageFingerprint, KeysRequireThreeBits)
+{
+    EXPECT_TRUE(PageFingerprint::matchKeys(obs({1, 2})).empty());
+    EXPECT_EQ(PageFingerprint::matchKeys(obs({1, 2, 3})).size(), 1u);
+    EXPECT_EQ(PageFingerprint::matchKeys(obs({1, 2, 3, 4})).size(),
+              4u);
+}
+
+TEST(PageFingerprint, KeysSurviveSingleFlicker)
+{
+    // Dropping any one of the 4 smallest positions must leave at
+    // least one key in common — the flicker tolerance the index
+    // depends on.
+    const auto full = PageFingerprint::matchKeys(obs({1, 2, 3, 4, 50}));
+    for (std::uint32_t dropped : {1u, 2u, 3u, 4u}) {
+        std::vector<std::uint32_t> remaining;
+        for (std::uint32_t b : {1u, 2u, 3u, 4u, 50u}) {
+            if (b != dropped)
+                remaining.push_back(b);
+        }
+        const auto partial = PageFingerprint::matchKeys(
+            SparseBitset(pageBits, remaining));
+        bool shared = false;
+        for (auto k : partial)
+            shared |= std::find(full.begin(), full.end(), k) !=
+                full.end();
+        EXPECT_TRUE(shared) << "dropped " << dropped;
+    }
+}
+
+TEST(PageFingerprint, KeysOnlyDependOnSmallestFour)
+{
+    const auto a = PageFingerprint::matchKeys(obs({1, 2, 3, 4, 100}));
+    const auto b = PageFingerprint::matchKeys(obs({1, 2, 3, 4, 900}));
+    EXPECT_EQ(a, b);
+}
+
+TEST(PageFingerprint, DifferentPagesDifferentKeys)
+{
+    const auto a = PageFingerprint::matchKeys(obs({1, 2, 3, 4}));
+    const auto b = PageFingerprint::matchKeys(obs({5, 6, 7, 8}));
+    for (auto k : a)
+        EXPECT_EQ(std::count(b.begin(), b.end(), k), 0);
+}
+
+TEST(PageFingerprint, MemberKeysMatchStaticKeys)
+{
+    PageFingerprint fp(obs({3, 7, 9, 12}));
+    EXPECT_EQ(fp.matchKeys(),
+              PageFingerprint::matchKeys(obs({3, 7, 9, 12})));
+}
+
+} // anonymous namespace
+} // namespace pcause

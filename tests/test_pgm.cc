@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for image/pgm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "image/pgm.hh"
+
+namespace pcause
+{
+namespace
+{
+
+class PgmTest : public ::testing::Test
+{
+  protected:
+    std::string path = ::testing::TempDir() + "pcause_test.pgm";
+
+    void TearDown() override { std::remove(path.c_str()); }
+};
+
+TEST_F(PgmTest, BinaryRoundTrip)
+{
+    Image img(7, 5);
+    for (std::size_t y = 0; y < 5; ++y)
+        for (std::size_t x = 0; x < 7; ++x)
+            img.setPixel(x, y, static_cast<std::uint8_t>(x * 30 + y));
+    ASSERT_TRUE(writePgm(img, path));
+    EXPECT_EQ(readPgm(path), img);
+}
+
+TEST_F(PgmTest, WriteFailsOnBadPath)
+{
+    Image img(2, 2);
+    EXPECT_FALSE(writePgm(img, "/nonexistent/dir/x.pgm"));
+}
+
+TEST_F(PgmTest, ReadsAsciiP2)
+{
+    {
+        std::ofstream out(path);
+        out << "P2\n# a comment\n2 2\n255\n0 64\n128 255\n";
+    }
+    const Image img = readPgm(path);
+    EXPECT_EQ(img.width(), 2u);
+    EXPECT_EQ(img.at(0, 0), 0);
+    EXPECT_EQ(img.at(1, 0), 64);
+    EXPECT_EQ(img.at(0, 1), 128);
+    EXPECT_EQ(img.at(1, 1), 255);
+}
+
+TEST_F(PgmTest, HeaderCommentsAreSkipped)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n# generated\n1 1\n255\n";
+        out.put(static_cast<char>(42));
+    }
+    EXPECT_EQ(readPgm(path).at(0, 0), 42);
+}
+
+TEST_F(PgmTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readPgm("/no/such/file.pgm"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(PgmTest, NonPgmMagicIsFatal)
+{
+    {
+        std::ofstream out(path);
+        out << "P6\n1 1\n255\nxxx";
+    }
+    EXPECT_EXIT(readPgm(path), ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(PgmTest, TruncatedPixelDataIsFatal)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n4 4\n255\n";
+        out.put(static_cast<char>(1)); // 1 of 16 bytes
+    }
+    EXPECT_EXIT(readPgm(path), ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

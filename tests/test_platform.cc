@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the platform substrate: thermal chamber, power
+ * supply, test harness, and the assembled rigs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_string.hh"
+#include "platform/platform.hh"
+#include "util/units.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(ThermalChamber, HoldsSetpointExactlyWithoutNoise)
+{
+    ThermalChamber chamber(45.0);
+    EXPECT_DOUBLE_EQ(chamber.setpoint(), 45.0);
+    EXPECT_DOUBLE_EQ(chamber.sample(), 45.0);
+    chamber.setTemperature(60.0);
+    EXPECT_DOUBLE_EQ(chamber.sample(), 60.0);
+}
+
+TEST(ThermalChamber, RegulationNoiseStaysBounded)
+{
+    ThermalChamber chamber(50.0, 0.5, 123);
+    for (int i = 0; i < 200; ++i) {
+        const double t = chamber.sample();
+        EXPECT_NEAR(t, 50.0, 3.0); // 6 sigma
+    }
+}
+
+TEST(PowerSupply, StartsAtNominal)
+{
+    PowerSupply psu(5.0);
+    EXPECT_DOUBLE_EQ(psu.voltage(), 5.0);
+    EXPECT_DOUBLE_EQ(psu.retentionAccel(), 1.0);
+    EXPECT_DOUBLE_EQ(psu.relativePower(), 1.0);
+}
+
+TEST(PowerSupply, UndervoltingAcceleratesRetentionLoss)
+{
+    PowerSupply psu(5.0, 12.0);
+    psu.setVoltage(2.5);
+    EXPECT_DOUBLE_EQ(psu.voltage(), 2.5);
+    EXPECT_NEAR(psu.retentionAccel(), std::exp(6.0), 1e-9);
+    EXPECT_DOUBLE_EQ(psu.relativePower(), 0.25);
+}
+
+TEST(PowerSupply, VoltageForAccelInvertsModel)
+{
+    PowerSupply psu(5.0, 12.0);
+    for (double accel : {1.0, 10.0, 100.0, 400.0}) {
+        psu.setVoltage(psu.voltageForAccel(accel));
+        EXPECT_NEAR(psu.retentionAccel(), accel, accel * 1e-9);
+    }
+}
+
+TEST(PowerSupply, ClampsBelowRetentionFloor)
+{
+    PowerSupply psu(5.0);
+    psu.setVoltage(0.1);
+    EXPECT_DOUBLE_EQ(psu.voltage(), 2.0); // 40% of nominal
+}
+
+TEST(PowerSupply, NeverExceedsNominal)
+{
+    PowerSupply psu(5.0);
+    psu.setVoltage(9.0);
+    EXPECT_DOUBLE_EQ(psu.voltage(), 5.0);
+}
+
+class HarnessTest : public ::testing::Test
+{
+  protected:
+    Platform platform = Platform::legacy(2);
+};
+
+TEST_F(HarnessTest, WorstCaseTrialHitsAccuracyTarget)
+{
+    TestHarness h = platform.harness(0);
+    TrialSpec spec;
+    spec.accuracy = 0.95;
+    spec.trialKey = 1;
+    const TrialResult r = h.runWorstCaseTrial(spec);
+    EXPECT_NEAR(r.errorRate, 0.05, 0.01);
+    EXPECT_GT(r.holdInterval, 0.0);
+    EXPECT_DOUBLE_EQ(r.supplyVolts, 5.0);
+}
+
+TEST_F(HarnessTest, VoltageKnobReachesSameErrorRate)
+{
+    // Section 2: lowering supply voltage and slowing refresh are
+    // both approximation knobs; both must land the same error rate.
+    TestHarness h = platform.harness(0);
+    TrialSpec spec;
+    spec.accuracy = 0.95;
+    spec.trialKey = 2;
+    spec.knob = ApproxKnob::Voltage;
+    const TrialResult r = h.runWorstCaseTrial(spec);
+    EXPECT_NEAR(r.errorRate, 0.05, 0.01);
+    EXPECT_DOUBLE_EQ(r.holdInterval, jedecRefreshPeriod);
+    EXPECT_LT(r.supplyVolts, 5.0);
+}
+
+TEST_F(HarnessTest, VoltageKnobProducesSameVolatileCells)
+{
+    // The fingerprint is a property of the cells, not the knob: the
+    // fastest cells fail first under either mechanism.
+    TestHarness h = platform.harness(0);
+    TrialSpec refresh_spec;
+    refresh_spec.accuracy = 0.99;
+    refresh_spec.trialKey = 3;
+    TrialSpec volt_spec = refresh_spec;
+    volt_spec.knob = ApproxKnob::Voltage;
+    volt_spec.trialKey = 4;
+
+    const BitVec exact = h.chip().worstCasePattern();
+    const BitVec e_refresh =
+        errorString(h.runWorstCaseTrial(refresh_spec).approx, exact);
+    const BitVec e_volt =
+        errorString(h.runWorstCaseTrial(volt_spec).approx, exact);
+    const double overlap =
+        static_cast<double>(e_refresh.overlapCount(e_volt)) /
+        std::max<std::size_t>(e_refresh.popcount(), 1);
+    EXPECT_GT(overlap, 0.9);
+}
+
+TEST_F(HarnessTest, TrialRestoresNominalVoltage)
+{
+    TestHarness h = platform.harness(0);
+    TrialSpec spec;
+    spec.accuracy = 0.95;
+    spec.knob = ApproxKnob::Voltage;
+    h.runWorstCaseTrial(spec);
+    EXPECT_DOUBLE_EQ(platform.supply().voltage(), 5.0);
+}
+
+TEST_F(HarnessTest, CustomPatternTrialsDegradeOnlyChargedCells)
+{
+    TestHarness h = platform.harness(1);
+    BitVec zeros(h.chip().size());
+    TrialSpec spec;
+    spec.accuracy = 0.90;
+    spec.trialKey = 5;
+    const TrialResult r = h.runTrial(zeros, spec);
+    const BitVec errors = r.approx ^ zeros;
+    for (auto cell : errors.setBits()) {
+        EXPECT_TRUE(
+            h.chip().config().defaultBit(h.chip().rowOf(cell)));
+    }
+}
+
+TEST(Platform, LegacyPopulatesTenDistinctChips)
+{
+    Platform p = Platform::legacy();
+    EXPECT_EQ(p.numChips(), 10u);
+    EXPECT_NE(p.chip(0).chipSeed(), p.chip(1).chipSeed());
+    EXPECT_EQ(p.chip(0).config().name, "KM41464A");
+}
+
+TEST(Platform, Ddr2RigUsesDdr2Config)
+{
+    Platform p = Platform::ddr2();
+    EXPECT_EQ(p.chip(0).config().distribution,
+              RetentionDistribution::LogNormalSkewed);
+}
+
+TEST(Platform, RejectsEmptyRig)
+{
+    EXPECT_EXIT(Platform(DramConfig::tiny(), 0, 1),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for dram/refresh_controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_chip.hh"
+#include "dram/refresh_controller.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(RefreshController, RejectsDegenerateAccuracy)
+{
+    EXPECT_EXIT(RefreshController(0.0), ::testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(RefreshController(1.0), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(RefreshController, ErrorRateIsComplementOfAccuracy)
+{
+    RefreshController c(0.95);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.95);
+    EXPECT_NEAR(c.errorRate(), 0.05, 1e-12);
+}
+
+TEST(RefreshController, AnalyticIntervalHitsTargetError)
+{
+    DramChip chip(DramConfig::km41464a(), 3);
+    chip.reseedTrial(1);
+    RefreshController ctrl(0.99);
+    const Seconds interval =
+        ctrl.analyticInterval(chip.retention(), 40.0);
+    const double err =
+        RefreshController::measureErrorRate(chip, interval, 40.0);
+    EXPECT_NEAR(err, 0.01, 0.002);
+}
+
+TEST(RefreshController, AnalyticIntervalShrinksWhenHotter)
+{
+    DramChip chip(DramConfig::km41464a(), 3);
+    RefreshController ctrl(0.99);
+    const Seconds cool = ctrl.analyticInterval(chip.retention(), 40.0);
+    const Seconds hot = ctrl.analyticInterval(chip.retention(), 60.0);
+    EXPECT_NEAR(hot, cool / 4.0, cool * 0.01); // 20 C = 2 halvings
+}
+
+TEST(RefreshController, AnalyticIntervalGrowsWithErrorBudget)
+{
+    DramChip chip(DramConfig::km41464a(), 3);
+    const Seconds tight =
+        RefreshController(0.99).analyticInterval(chip.retention(),
+                                                 40.0);
+    const Seconds loose =
+        RefreshController(0.90).analyticInterval(chip.retention(),
+                                                 40.0);
+    EXPECT_GT(loose, tight);
+}
+
+TEST(RefreshController, MeasurementMatchesAnalytic)
+{
+    // The measurement-driven calibration a real deployment runs
+    // must converge to (nearly) the analytic fixed point.
+    DramChip chip(DramConfig::km41464a(), 5);
+    chip.reseedTrial(9);
+    RefreshController ctrl(0.99);
+    const CalibrationResult cal = ctrl.calibrate(chip, 40.0);
+    const Seconds analytic =
+        ctrl.analyticInterval(chip.retention(), 40.0);
+    EXPECT_NEAR(cal.interval, analytic, 0.15 * analytic);
+    EXPECT_NEAR(cal.measuredError, 0.01, 0.002);
+    EXPECT_GT(cal.trials, 1u);
+}
+
+TEST(RefreshController, CalibrationTracksTemperature)
+{
+    DramChip chip(DramConfig::km41464a(), 5);
+    chip.reseedTrial(9);
+    RefreshController ctrl(0.99);
+    const CalibrationResult cool = ctrl.calibrate(chip, 40.0);
+    const CalibrationResult hot = ctrl.calibrate(chip, 60.0);
+    EXPECT_LT(hot.interval, cool.interval);
+    // Both still hit the error target — the paper's "adjusts its
+    // refresh rate to maintain a desired accuracy".
+    EXPECT_NEAR(hot.measuredError, 0.01, 0.002);
+}
+
+TEST(RefreshController, MeasureErrorRateIsMonotoneInInterval)
+{
+    DramChip chip(DramConfig::km41464a(), 7);
+    chip.reseedTrial(11);
+    RefreshController ctrl(0.99);
+    const Seconds base = ctrl.analyticInterval(chip.retention(), 40.0);
+    const double less =
+        RefreshController::measureErrorRate(chip, base * 0.5, 40.0);
+    const double more =
+        RefreshController::measureErrorRate(chip, base * 2.0, 40.0);
+    EXPECT_LT(less, more);
+}
+
+} // anonymous namespace
+} // namespace pcause

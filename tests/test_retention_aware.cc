@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for dram/retention_aware (RAIDR / RAPID baselines).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/retention_aware.hh"
+
+namespace pcause
+{
+namespace
+{
+
+class RaidrTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramConfig::km41464a(), 55};
+};
+
+TEST_F(RaidrTest, BinsCoverAllRows)
+{
+    RaidrController ctrl(chip.retention(), 8, 0.7);
+    EXPECT_EQ(ctrl.numBins(), 8u);
+    std::vector<std::size_t> per_bin(8, 0);
+    for (std::size_t row = 0; row < chip.config().rows; ++row) {
+        ASSERT_LT(ctrl.rowBin(row), 8u);
+        ++per_bin[ctrl.rowBin(row)];
+    }
+    // Equal-population binning: every bin holds 256/8 = 32 rows.
+    for (auto n : per_bin)
+        EXPECT_EQ(n, 32u);
+}
+
+TEST_F(RaidrTest, WeakerRowsRefreshFaster)
+{
+    RaidrController ctrl(chip.retention(), 8, 0.7);
+    // Find a row in the weakest and the strongest bin.
+    std::size_t weak_row = 0, strong_row = 0;
+    for (std::size_t row = 0; row < chip.config().rows; ++row) {
+        if (ctrl.rowBin(row) == 0)
+            weak_row = row;
+        if (ctrl.rowBin(row) == 7)
+            strong_row = row;
+    }
+    EXPECT_LT(ctrl.rowInterval(weak_row, 40.0),
+              ctrl.rowInterval(strong_row, 40.0));
+}
+
+TEST_F(RaidrTest, IntervalsScaleWithTemperature)
+{
+    RaidrController ctrl(chip.retention(), 4, 0.7);
+    EXPECT_NEAR(ctrl.rowInterval(0, 50.0),
+                ctrl.rowInterval(0, 40.0) / 2.0,
+                1e-9 * ctrl.rowInterval(0, 40.0));
+}
+
+TEST_F(RaidrTest, ExactOperationProducesNoErrors)
+{
+    RaidrController ctrl(chip.retention(), 8, 0.7);
+    const BitVec errors = ctrl.runWorstCaseTrial(chip, 40.0, 1);
+    EXPECT_EQ(errors.popcount(), 0u);
+}
+
+TEST_F(RaidrTest, ExactOperationStillSavesEnergy)
+{
+    RaidrController ctrl(chip.retention(), 8, 0.7);
+    // Most rows refresh at multi-second periods against the 64 ms
+    // baseline; the floor-limited weakest bins cap the saving.
+    EXPECT_GT(ctrl.refreshEnergySaving(40.0), 0.7);
+    EXPECT_LT(ctrl.refreshEnergySaving(40.0), 1.0);
+}
+
+TEST_F(RaidrTest, OverstretchedOperationLeaksRepeatably)
+{
+    RaidrController ctrl(chip.retention(), 8, 2.0);
+    const BitVec e1 = ctrl.runWorstCaseTrial(chip, 40.0, 1);
+    const BitVec e2 = ctrl.runWorstCaseTrial(chip, 40.0, 2);
+    ASSERT_GT(e1.popcount(), 100u);
+    // Repeatable, chip-specific pattern.
+    const double overlap = static_cast<double>(e1.overlapCount(e2)) /
+        e1.popcount();
+    EXPECT_GT(overlap, 0.9);
+
+    DramChip other(DramConfig::km41464a(), 56);
+    RaidrController other_ctrl(other.retention(), 8, 2.0);
+    const BitVec e3 = other_ctrl.runWorstCaseTrial(other, 40.0, 1);
+    const double cross = static_cast<double>(e1.overlapCount(e3)) /
+        e1.popcount();
+    EXPECT_LT(cross, 0.3);
+}
+
+TEST_F(RaidrTest, MoreBinsMoreSavings)
+{
+    RaidrController coarse(chip.retention(), 2, 0.7);
+    RaidrController fine(chip.retention(), 16, 0.7);
+    EXPECT_GE(fine.refreshEnergySaving(40.0),
+              coarse.refreshEnergySaving(40.0));
+}
+
+TEST_F(RaidrTest, RejectsBadParameters)
+{
+    EXPECT_EXIT(RaidrController(chip.retention(), 0, 0.7),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(RaidrController(chip.retention(), 4, 0.0),
+                ::testing::ExitedWithCode(1), "");
+}
+
+class RapidTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramConfig::km41464a(), 57};
+};
+
+TEST_F(RapidTest, RankingIsBestFirst)
+{
+    RapidPlacer placer(chip.retention(), chip.config().rowBits());
+    EXPECT_EQ(placer.numPages(), chip.config().rows);
+    const auto &rank = placer.rankedPages();
+    for (std::size_t i = 1; i < rank.size(); ++i) {
+        EXPECT_GE(placer.pageWorstRetention(rank[i - 1]),
+                  placer.pageWorstRetention(rank[i]));
+    }
+}
+
+TEST_F(RapidTest, PartialPopulationRefreshesSlower)
+{
+    // Row-granular placement: worst cells differ across rows, so a
+    // quarter-populated chip refreshes slower than a full one.
+    RapidPlacer placer(chip.retention(), chip.config().rowBits());
+    const Seconds quarter =
+        placer.refreshInterval(placer.numPages() / 4, 0.8, 40.0);
+    const Seconds full =
+        placer.refreshInterval(placer.numPages(), 0.8, 40.0);
+    EXPECT_GT(quarter, full);
+}
+
+TEST_F(RapidTest, IntervalIsSafeForPopulatedPages)
+{
+    RapidPlacer placer(chip.retention(), chip.config().rowBits());
+    const std::size_t populated = placer.numPages() / 2;
+    const Seconds interval =
+        placer.refreshInterval(populated, 0.8, 40.0);
+    // The interval must be below every populated unit's worst cell.
+    for (std::size_t i = 0; i < populated; ++i) {
+        EXPECT_LT(interval, placer.pageWorstRetention(
+            placer.rankedPages()[i]));
+    }
+}
+
+TEST_F(RapidTest, RejectsBadGeometry)
+{
+    EXPECT_EXIT(RapidPlacer(chip.retention(), 1000),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

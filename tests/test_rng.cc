@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for util/rng: determinism, distribution sanity, and
+ * substream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[rng.nextBelow(8)];
+    for (int h : hits)
+        EXPECT_GT(h, 700); // fair-ish: expected 1000 each
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(11);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.gaussian();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianWithParamsScalesAndShifts)
+{
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LogNormalIsPositiveWithCorrectMedian)
+{
+    Rng rng(17);
+    const int n = 100001;
+    std::vector<double> xs(n);
+    for (auto &x : xs) {
+        x = rng.logNormal(1.0, 0.5);
+        ASSERT_GT(x, 0.0);
+    }
+    std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+    EXPECT_NEAR(xs[n / 2], std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, SubstreamsAreIndependentAndDeterministic)
+{
+    Rng root(99);
+    Rng s1 = root.substream(1);
+    Rng s1b = root.substream(1);
+    Rng s2 = root.substream(2);
+    EXPECT_EQ(s1.next(), s1b.next());
+    EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpread)
+{
+    EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+    EXPECT_NE(mix64(1, 2), mix64(2, 1));
+    EXPECT_NE(mix64(1, 2), mix64(1, 3));
+}
+
+TEST(Rng, SplitmixAdvancesState)
+{
+    std::uint64_t s = 0;
+    auto a = splitmix64(s);
+    auto b = splitmix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for core/serialize — attacker database persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/serialize.hh"
+
+namespace pcause
+{
+namespace
+{
+
+Fingerprint
+makeFingerprint(std::initializer_list<std::size_t> bits,
+                unsigned sources = 1, std::size_t size = 32768)
+{
+    BitVec v(size);
+    for (auto b : bits)
+        v.set(b);
+    Fingerprint fp(v);
+    for (unsigned s = 1; s < sources; ++s)
+        fp.augment(v);
+    return fp;
+}
+
+TEST(Serialize, EmptyDatabaseRoundTrips)
+{
+    FingerprintDb db;
+    std::stringstream buf;
+    ASSERT_TRUE(saveDatabase(db, buf));
+    const FingerprintDb loaded = loadDatabase(buf);
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(Serialize, RecordsRoundTripExactly)
+{
+    FingerprintDb db;
+    db.add("chip-alpha", makeFingerprint({1, 100, 32767}, 3));
+    db.add("chip-beta", makeFingerprint({5}, 1, 1024));
+
+    std::stringstream buf;
+    ASSERT_TRUE(saveDatabase(db, buf));
+    const FingerprintDb loaded = loadDatabase(buf);
+
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.record(0).label, "chip-alpha");
+    EXPECT_EQ(loaded.record(0).fingerprint.bits(),
+              db.record(0).fingerprint.bits());
+    EXPECT_EQ(loaded.record(0).fingerprint.sources(), 3u);
+    EXPECT_EQ(loaded.record(1).label, "chip-beta");
+    EXPECT_EQ(loaded.record(1).fingerprint.bits().size(), 1024u);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "pcause_db_test.pcdb";
+    FingerprintDb db;
+    db.add("disk-chip", makeFingerprint({7, 8, 9}));
+    ASSERT_TRUE(saveDatabase(db, path));
+    const FingerprintDb loaded = loadDatabase(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.record(0).label, "disk-chip");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedDatabaseIdentifies)
+{
+    FingerprintDb db;
+    db.add("a", makeFingerprint({10, 20, 30}));
+    db.add("b", makeFingerprint({100, 200, 300}));
+    std::stringstream buf;
+    saveDatabase(db, buf);
+    const FingerprintDb loaded = loadDatabase(buf);
+
+    BitVec es(32768);
+    es.set(100);
+    es.set(200);
+    es.set(300);
+    const IdentifyResult r = identifyErrorString(es, loaded);
+    ASSERT_TRUE(r.match.has_value());
+    EXPECT_EQ(loaded.record(*r.match).label, "b");
+}
+
+TEST(Serialize, BadMagicIsFatal)
+{
+    std::stringstream buf("XXXX garbage");
+    EXPECT_EXIT(loadDatabase(buf), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Serialize, TruncationIsFatal)
+{
+    FingerprintDb db;
+    db.add("chip", makeFingerprint({1, 2, 3}));
+    std::stringstream buf;
+    saveDatabase(db, buf);
+    const std::string bytes = buf.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    EXPECT_EXIT(loadDatabase(cut), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadDatabase(std::string("/no/such/file.pcdb")),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Serialize, BitVecRoundTrips)
+{
+    const std::string path =
+        ::testing::TempDir() + "pcause_bv_test.pcbv";
+    BitVec bits(1000);
+    bits.set(0);
+    bits.set(7);
+    bits.set(8);
+    bits.set(999);
+    ASSERT_TRUE(saveBitVec(bits, path));
+    EXPECT_EQ(loadBitVec(path), bits);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyBitVecRoundTrips)
+{
+    const std::string path =
+        ::testing::TempDir() + "pcause_bv_empty.pcbv";
+    ASSERT_TRUE(saveBitVec(BitVec(0), path));
+    EXPECT_EQ(loadBitVec(path).size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, BitVecBadMagicIsFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "pcause_bv_bad.pcbv";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOPE data";
+    }
+    EXPECT_EXIT(loadBitVec(path), ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, BitVecTruncationIsFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "pcause_bv_cut.pcbv";
+    BitVec bits(64, true);
+    ASSERT_TRUE(saveBitVec(bits, path));
+    // Chop the payload in half.
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() - 4));
+    out.close();
+    EXPECT_EXIT(loadBitVec(path), ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, SparseFormatBeatsRawDump)
+{
+    // The paper's storage claim: tracking only the ~1% volatile
+    // bits. A 32 KB chip's record must be far below the 32 KB a raw
+    // bitmap would cost.
+    const std::size_t weight = 2621; // 1% of 262144
+    const std::size_t disk = recordDiskSize(weight, 16);
+    EXPECT_LT(disk, 262144 / 8 / 2);
+    EXPECT_GT(disk, weight * sizeof(std::uint32_t));
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for util/sparse_bitset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hh"
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(SparseBitset, EmptyByDefault)
+{
+    SparseBitset s(100);
+    EXPECT_EQ(s.universe(), 100u);
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SparseBitset, ConstructorSortsAndDeduplicates)
+{
+    SparseBitset s(100, {7, 3, 7, 1, 3});
+    ASSERT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.positions()[0], 1u);
+    EXPECT_EQ(s.positions()[1], 3u);
+    EXPECT_EQ(s.positions()[2], 7u);
+}
+
+TEST(SparseBitset, Contains)
+{
+    SparseBitset s(100, {5, 10, 15});
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_FALSE(s.contains(11));
+}
+
+TEST(SparseBitset, InsertKeepsOrderAndDedupes)
+{
+    SparseBitset s(100);
+    s.insert(50);
+    s.insert(10);
+    s.insert(50);
+    ASSERT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.positions()[0], 10u);
+    EXPECT_EQ(s.positions()[1], 50u);
+}
+
+TEST(SparseBitset, Intersect)
+{
+    SparseBitset a(100, {1, 2, 3, 4});
+    SparseBitset b(100, {3, 4, 5});
+    auto c = a.intersect(b);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_TRUE(c.contains(3));
+    EXPECT_TRUE(c.contains(4));
+}
+
+TEST(SparseBitset, Unite)
+{
+    SparseBitset a(100, {1, 2});
+    SparseBitset b(100, {2, 3});
+    auto c = a.unite(b);
+    EXPECT_EQ(c.count(), 3u);
+}
+
+TEST(SparseBitset, IntersectCountMatchesIntersect)
+{
+    SparseBitset a(1000, {10, 20, 30, 40, 50});
+    SparseBitset b(1000, {20, 40, 60});
+    EXPECT_EQ(a.intersectCount(b), a.intersect(b).count());
+    EXPECT_EQ(a.intersectCount(b), 2u);
+}
+
+TEST(SparseBitset, DifferenceCount)
+{
+    SparseBitset a(100, {1, 2, 3});
+    SparseBitset b(100, {3});
+    EXPECT_EQ(a.differenceCount(b), 2u);
+    EXPECT_EQ(b.differenceCount(a), 0u);
+}
+
+TEST(SparseBitset, SubsetDetection)
+{
+    SparseBitset a(100, {2, 4});
+    SparseBitset b(100, {2, 4, 6});
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+}
+
+TEST(SparseBitset, BitVecRoundTrip)
+{
+    BitVec v(128);
+    v.set(0);
+    v.set(77);
+    v.set(127);
+    auto s = SparseBitset::fromBitVec(v);
+    EXPECT_EQ(s.universe(), 128u);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.toBitVec(), v);
+}
+
+TEST(SparseBitset, EqualityIncludesUniverse)
+{
+    SparseBitset a(100, {1});
+    SparseBitset b(100, {1});
+    SparseBitset c(200, {1});
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for util/stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace pcause
+{
+namespace
+{
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // population variance 4 -> sample variance 4 * 8/7
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, StddevIsSqrtVariance)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+}
+
+TEST(Histogram, BinsCoverRangeEvenly)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 0.75);
+    EXPECT_DOUBLE_EQ(h.binCenter(1), 0.375);
+}
+
+TEST(Histogram, SamplesLandInCorrectBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    h.add(0.3);
+    h.add(0.3);
+    h.add(0.9);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    h.add(1.0); // exactly hi clamps into the top bin
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 2u);
+}
+
+TEST(Histogram, MaxCount)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.2);
+    h.add(0.9);
+    EXPECT_EQ(h.maxCount(), 2u);
+}
+
+TEST(Percentile, MedianOfOddSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes)
+{
+    std::vector<double> v{5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+} // anonymous namespace
+} // namespace pcause

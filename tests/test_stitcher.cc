@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for core/stitcher (Section 4): overlap detection,
+ * alignment, cluster merging, and identification against stitched
+ * fingerprints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stitcher.hh"
+#include "dram/modeled_dram.hh"
+#include "os/page.hh"
+
+namespace pcause
+{
+namespace
+{
+
+/** A 256-page modeled module to sample from. */
+class StitcherTest : public ::testing::Test
+{
+  protected:
+    StitcherTest()
+        : dram(makeParams(), 0xC0FFEE)
+    {
+    }
+
+    static ModeledDramParams makeParams()
+    {
+        ModeledDramParams p;
+        p.totalBits = 256ull * pageBits;
+        return p;
+    }
+
+    /** Observe pages [start, start+len) as one sample. */
+    std::vector<SparseBitset>
+    sample(std::uint64_t start, std::uint64_t len,
+           std::uint64_t trial)
+    {
+        std::vector<SparseBitset> pages;
+        for (std::uint64_t i = 0; i < len; ++i)
+            pages.push_back(dram.observePage(start + i, 0.99, trial));
+        return pages;
+    }
+
+    ModeledDram dram;
+};
+
+TEST_F(StitcherTest, FirstSampleOpensACluster)
+{
+    Stitcher st;
+    st.addSample(sample(0, 8, 1));
+    EXPECT_EQ(st.numSuspectedChips(), 1u);
+    EXPECT_EQ(st.totalFingerprintedPages(), 8u);
+    EXPECT_EQ(st.stats().samplesAdded, 1u);
+}
+
+TEST_F(StitcherTest, DisjointSamplesLookLikeDistinctChips)
+{
+    Stitcher st;
+    st.addSample(sample(0, 8, 1));
+    st.addSample(sample(100, 8, 2));
+    EXPECT_EQ(st.numSuspectedChips(), 2u);
+}
+
+TEST_F(StitcherTest, OverlappingSamplesMergeAtCorrectAlignment)
+{
+    Stitcher st;
+    const std::size_t a = st.addSample(sample(0, 16, 1));
+    const std::size_t b = st.addSample(sample(8, 16, 2));
+    EXPECT_EQ(st.resolve(a), st.resolve(b));
+    EXPECT_EQ(st.numSuspectedChips(), 1u);
+    // Union covers pages 0..23 exactly when alignment is right.
+    EXPECT_EQ(st.clusterSpan(a), 24u);
+    EXPECT_EQ(st.clusterSamples(a), 2u);
+}
+
+TEST_F(StitcherTest, SameRegionTwiceDoesNotGrowTheSpan)
+{
+    Stitcher st;
+    const std::size_t a = st.addSample(sample(0, 8, 1));
+    st.addSample(sample(0, 8, 2));
+    EXPECT_EQ(st.numSuspectedChips(), 1u);
+    EXPECT_EQ(st.clusterSpan(a), 8u);
+}
+
+TEST_F(StitcherTest, BridgeSampleMergesTwoClusters)
+{
+    Stitcher st;
+    const std::size_t a = st.addSample(sample(0, 8, 1));
+    const std::size_t b = st.addSample(sample(16, 8, 2));
+    EXPECT_EQ(st.numSuspectedChips(), 2u);
+    // A sample spanning 4..19 overlaps both.
+    st.addSample(sample(4, 16, 3));
+    EXPECT_EQ(st.numSuspectedChips(), 1u);
+    EXPECT_EQ(st.resolve(a), st.resolve(b));
+    EXPECT_EQ(st.clusterSpan(a), 24u);
+    EXPECT_GE(st.stats().merges, 1u);
+}
+
+TEST_F(StitcherTest, DifferentChipsNeverMerge)
+{
+    ModeledDram other(makeParams(), 0xBEEF);
+    Stitcher st;
+    st.addSample(sample(0, 16, 1));
+    std::vector<SparseBitset> foreign;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        foreign.push_back(other.observePage(i, 0.99, 2));
+    st.addSample(foreign);
+    EXPECT_EQ(st.numSuspectedChips(), 2u);
+}
+
+TEST_F(StitcherTest, MatchSampleFindsItsCluster)
+{
+    Stitcher st;
+    const std::size_t a = st.addSample(sample(0, 32, 1));
+    // A fresh observation of an overlapping region identifies the
+    // cluster without being ingested.
+    const auto match = st.matchSample(sample(16, 8, 9));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(st.resolve(*match), st.resolve(a));
+    EXPECT_EQ(st.stats().samplesAdded, 1u); // not ingested
+}
+
+TEST_F(StitcherTest, MatchSampleRejectsForeignData)
+{
+    ModeledDram other(makeParams(), 0xDEAD);
+    Stitcher st;
+    st.addSample(sample(0, 32, 1));
+    std::vector<SparseBitset> foreign;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        foreign.push_back(other.observePage(i, 0.99, 2));
+    EXPECT_FALSE(st.matchSample(foreign).has_value());
+}
+
+TEST_F(StitcherTest, MatchSampleRejectsUnseenRegion)
+{
+    Stitcher st;
+    st.addSample(sample(0, 16, 1));
+    EXPECT_FALSE(st.matchSample(sample(128, 8, 2)).has_value());
+}
+
+TEST_F(StitcherTest, TruncationKeepsMatchingWorking)
+{
+    StitchParams prm;
+    prm.maxBitsPerPage = 16;
+    Stitcher st(prm);
+    const std::size_t a = st.addSample(sample(0, 16, 1));
+    const std::size_t b = st.addSample(sample(8, 16, 2));
+    EXPECT_EQ(st.resolve(a), st.resolve(b));
+}
+
+TEST_F(StitcherTest, ChainOfOverlapsReconstructsWholeRegion)
+{
+    // Samples tile 0..63 with 50% overlap; everything must collapse
+    // into a single cluster spanning all 64 pages.
+    Stitcher st;
+    std::size_t first = 0;
+    for (std::uint64_t start = 0; start + 16 <= 64; start += 8) {
+        const std::size_t id =
+            st.addSample(sample(start, 16, start + 1));
+        if (start == 0)
+            first = id;
+    }
+    EXPECT_EQ(st.numSuspectedChips(), 1u);
+    EXPECT_EQ(st.clusterSpan(first), 64u);
+}
+
+TEST(Stitcher, RejectsBadParams)
+{
+    StitchParams p;
+    p.pageThreshold = 0.0;
+    EXPECT_EXIT(Stitcher{p}, ::testing::ExitedWithCode(1), "");
+    StitchParams q;
+    q.maxBitsPerPage = 2;
+    EXPECT_EXIT(Stitcher{q}, ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property sweeps over the stitcher: merges must happen exactly
+ * when samples genuinely overlap, across sample sizes, overlap
+ * widths, and noise conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/stitcher.hh"
+#include "dram/modeled_dram.hh"
+#include "os/page.hh"
+
+namespace pcause
+{
+namespace
+{
+
+ModeledDramParams
+modelParams(double flicker = 0.02)
+{
+    ModeledDramParams p;
+    p.totalBits = 512ull * pageBits;
+    p.flickerProb = flicker;
+    return p;
+}
+
+std::vector<SparseBitset>
+sampleOf(const ModeledDram &dram, std::uint64_t start,
+         std::uint64_t len, std::uint64_t trial)
+{
+    std::vector<SparseBitset> pages;
+    for (std::uint64_t i = 0; i < len; ++i)
+        pages.push_back(dram.observePage(start + i, 0.99, trial));
+    return pages;
+}
+
+/** (sample length, overlap length) grid. */
+class OverlapGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(OverlapGrid, MergesIffOverlapIsARange)
+{
+    const auto [len, overlap] = GetParam();
+    if (overlap > len)
+        GTEST_SKIP() << "overlap cannot exceed the sample length";
+    ModeledDram dram(modelParams(), 0xFEED);
+    Stitcher st;
+    const std::size_t a = st.addSample(sampleOf(dram, 0, len, 1));
+    const std::size_t b = st.addSample(
+        sampleOf(dram, len - overlap, len, 2));
+    if (overlap >= 2) {
+        // A real range of shared pages: must merge at the right
+        // alignment.
+        EXPECT_EQ(st.resolve(a), st.resolve(b));
+        EXPECT_EQ(st.clusterSpan(a),
+                  static_cast<std::size_t>(2 * len - overlap));
+    } else {
+        // Zero or single-page overlap is not a range (paper
+        // Section 4); no merge.
+        EXPECT_NE(st.resolve(a), st.resolve(b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthOverlap, OverlapGrid,
+    ::testing::Combine(::testing::Values(8, 32, 96),
+                       ::testing::Values(0, 1, 2, 4, 16)),
+    [](const auto &info) {
+        return "len" + std::to_string(std::get<0>(info.param)) +
+            "_ov" + std::to_string(std::get<1>(info.param));
+    });
+
+/** Flicker-noise sweep: matching must tolerate realistic noise. */
+class NoiseSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NoiseSweep, OverlapSurvivesFlicker)
+{
+    const double flicker = GetParam();
+    ModeledDram dram(modelParams(flicker), 0xFACE);
+    Stitcher st;
+    const std::size_t a = st.addSample(sampleOf(dram, 0, 32, 1));
+    const std::size_t b = st.addSample(sampleOf(dram, 16, 32, 2));
+    EXPECT_EQ(st.resolve(a), st.resolve(b))
+        << "flicker " << flicker;
+}
+
+INSTANTIATE_TEST_SUITE_P(FlickerLevels, NoiseSweep,
+                         ::testing::Values(0.0, 0.01, 0.02, 0.05),
+                         [](const auto &info) {
+                             return "f" + std::to_string(
+                                 int(info.param * 1000));
+                         });
+
+/** Chips must never cross-merge at any observation accuracy. */
+class CrossChipSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CrossChipSweep, ForeignChipsStayApart)
+{
+    const double accuracy = GetParam();
+    ModeledDram chip_a(modelParams(), 0xAAA);
+    ModeledDram chip_b(modelParams(), 0xBBB);
+    Stitcher st;
+    std::vector<SparseBitset> sa, sb;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        sa.push_back(chip_a.observePage(i, accuracy, 1));
+        sb.push_back(chip_b.observePage(i, accuracy, 2));
+    }
+    const std::size_t a = st.addSample(sa);
+    const std::size_t b = st.addSample(sb);
+    EXPECT_NE(st.resolve(a), st.resolve(b));
+    EXPECT_EQ(st.numSuspectedChips(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Accuracies, CrossChipSweep,
+                         ::testing::Values(0.99, 0.95, 0.90),
+                         [](const auto &info) {
+                             return "acc" + std::to_string(
+                                 int(info.param * 100));
+                         });
+
+TEST(StitcherProperty, ArrivalOrderDoesNotChangeTheOutcome)
+{
+    // Any arrival permutation of tiling samples must collapse into
+    // one cluster spanning the whole region.
+    ModeledDram dram(modelParams(), 0xCAFE);
+    const std::vector<std::uint64_t> starts{0, 24, 48, 72, 96};
+    const std::vector<std::size_t> orders[] = {
+        {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}};
+    for (const auto &order : orders) {
+        Stitcher st;
+        std::size_t last = 0;
+        for (auto idx : order)
+            last = st.addSample(
+                sampleOf(dram, starts[idx], 32, 10 + idx));
+        EXPECT_EQ(st.numSuspectedChips(), 1u);
+        EXPECT_EQ(st.clusterSpan(last), 128u);
+    }
+}
+
+TEST(StitcherProperty, StatsAreConsistent)
+{
+    ModeledDram dram(modelParams(), 0xDADA);
+    Stitcher st;
+    st.addSample(sampleOf(dram, 0, 32, 1));
+    st.addSample(sampleOf(dram, 16, 32, 2));
+    st.addSample(sampleOf(dram, 200, 32, 3));
+    const StitchStats &stats = st.stats();
+    EXPECT_EQ(stats.samplesAdded, 3u);
+    EXPECT_GE(stats.candidateChecks, stats.pageMatches);
+    EXPECT_EQ(st.numSuspectedChips(), 2u);
+    EXPECT_EQ(st.totalFingerprintedPages(), 48u + 32u);
+}
+
+} // anonymous namespace
+} // namespace pcause

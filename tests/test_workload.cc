@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for os/workload — buffer-content families and their
+ * charge densities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/workload.hh"
+
+namespace pcause
+{
+namespace
+{
+
+constexpr std::size_t bufBits = 64 * 1024;
+
+TEST(Workload, DeterministicPerSeed)
+{
+    const BitVec a = makeWorkloadBuffer(WorkloadKind::Photo, bufBits,
+                                        1);
+    const BitVec b = makeWorkloadBuffer(WorkloadKind::Photo, bufBits,
+                                        1);
+    const BitVec c = makeWorkloadBuffer(WorkloadKind::Photo, bufBits,
+                                        2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Workload, ZerosAndOnesAreExtremes)
+{
+    EXPECT_EQ(makeWorkloadBuffer(WorkloadKind::Zeros, bufBits, 1)
+              .popcount(), 0u);
+    EXPECT_EQ(makeWorkloadBuffer(WorkloadKind::AllOnes, bufBits, 1)
+              .popcount(), bufBits);
+}
+
+TEST(Workload, CompressedIsHalfDense)
+{
+    const BitVec buf = makeWorkloadBuffer(WorkloadKind::Compressed,
+                                          bufBits, 3);
+    EXPECT_NEAR(static_cast<double>(buf.popcount()) / bufBits, 0.5,
+                0.02);
+}
+
+TEST(Workload, AsciiTextClearsHighBits)
+{
+    const BitVec buf = makeWorkloadBuffer(WorkloadKind::AsciiText,
+                                          bufBits, 4);
+    // Bit 7 of every byte is clear for printable ASCII.
+    for (std::size_t byte = 0; byte < bufBits / 8; byte += 97)
+        EXPECT_FALSE(buf.get(byte * 8 + 7));
+}
+
+TEST(Workload, NamesAreDistinct)
+{
+    EXPECT_STRNE(workloadName(WorkloadKind::Zeros),
+                 workloadName(WorkloadKind::AllOnes));
+    EXPECT_STRNE(workloadName(WorkloadKind::Photo),
+                 workloadName(WorkloadKind::Compressed));
+}
+
+TEST(Workload, ChargedFractionOfRandomDataIsHalf)
+{
+    const DramConfig cfg = DramConfig::km41464a();
+    const BitVec buf = makeWorkloadBuffer(WorkloadKind::Compressed,
+                                          cfg.totalBits(), 5);
+    EXPECT_NEAR(chargedFraction(buf, cfg), 0.5, 0.01);
+}
+
+TEST(Workload, ChargedFractionOfZerosIsDefaultOneShare)
+{
+    // Zeros charge exactly the cells whose row default is 1 — half
+    // of the device with period-2 alternation.
+    const DramConfig cfg = DramConfig::km41464a();
+    const BitVec buf = makeWorkloadBuffer(WorkloadKind::Zeros,
+                                          cfg.totalBits(), 6);
+    EXPECT_NEAR(chargedFraction(buf, cfg), 0.5, 1e-9);
+}
+
+TEST(Workload, WorstCasePatternChargesEverything)
+{
+    const DramConfig cfg = DramConfig::km41464a();
+    BitVec wc(cfg.totalBits());
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        if (!cfg.defaultBit(row)) {
+            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
+                wc.set(row * cfg.rowBits() + i);
+        }
+    }
+    EXPECT_DOUBLE_EQ(chargedFraction(wc, cfg), 1.0);
+}
+
+TEST(Workload, OddSizeDies)
+{
+    EXPECT_DEATH(makeWorkloadBuffer(WorkloadKind::Zeros, 13, 1), "");
+}
+
+} // anonymous namespace
+} // namespace pcause

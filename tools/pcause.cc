@@ -1,0 +1,310 @@
+/**
+ * @file
+ * pcause — command-line driver for the Probable Cause library.
+ *
+ * Subcommands:
+ *   simulate      generate approximate outputs from simulated chips
+ *   characterize  build/extend a fingerprint database (Algorithm 1)
+ *   identify      attribute an output to a chip (Algorithm 2)
+ *   cluster       group outputs by chip (Algorithm 4)
+ *   model         evaluate the fingerprint-space equations (1-4)
+ *   db            inspect a fingerprint database
+ *
+ * Outputs and exact patterns travel as PCBV bit-vector dumps,
+ * databases as PCDB files — the formats in core/serialize. Run any
+ * subcommand with no arguments for usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/cluster.hh"
+#include "core/error_string.hh"
+#include "core/identify.hh"
+#include "core/serialize.hh"
+#include "math/fingerprint_space.hh"
+#include "platform/platform.hh"
+#include "util/ascii_chart.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace pcause;
+
+/** Minimal --flag value parser: flags first, positionals after. */
+struct Args
+{
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> positional;
+
+    static Args parse(int argc, char **argv, int first)
+    {
+        Args args;
+        for (int i = first; i < argc; ++i) {
+            std::string tok = argv[i];
+            if (tok.rfind("--", 0) == 0) {
+                const std::string key = tok.substr(2);
+                if (i + 1 >= argc)
+                    fatal("missing value for --%s", key.c_str());
+                args.flags[key] = argv[++i];
+            } else {
+                args.positional.push_back(std::move(tok));
+            }
+        }
+        return args;
+    }
+
+    std::string get(const std::string &key,
+                    const std::string &fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    double getDouble(const std::string &key, double fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stod(it->second);
+    }
+
+    long getLong(const std::string &key, long fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stol(it->second);
+    }
+};
+
+int
+usage()
+{
+    std::puts(
+        "pcause — DRAM-decay fingerprinting toolkit\n"
+        "\n"
+        "usage: pcause <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  simulate     --chips N --trials K [--seed S]\n"
+        "               [--accuracy A] [--temp T] [--out DIR]\n"
+        "               write worst-case approximate outputs\n"
+        "               (chip<i>_trial<k>.pcbv) plus exact.pcbv\n"
+        "  characterize --db FILE --label NAME --exact FILE OUT...\n"
+        "               fingerprint a chip from its outputs and\n"
+        "               append to the database (Algorithm 1)\n"
+        "  identify     --db FILE --exact FILE [--threshold T] OUT\n"
+        "               attribute an output (Algorithm 2)\n"
+        "  cluster      --exact FILE [--threshold T] OUT...\n"
+        "               group outputs by source chip (Algorithm 4)\n"
+        "  model        [--memory-bits M] [--accuracy A]\n"
+        "               fingerprint-space bounds (Equations 1-4)\n"
+        "  db           --db FILE\n"
+        "               list database records\n");
+    return 2;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    const auto chips = args.getLong("chips", 2);
+    const auto trials = args.getLong("trials", 3);
+    const auto seed = static_cast<std::uint64_t>(
+        args.getLong("seed", 0x1464));
+    const double accuracy = args.getDouble("accuracy", 0.99);
+    const double temp = args.getDouble("temp", 40.0);
+    const std::string dir = args.get("out", ".");
+    if (chips < 1 || trials < 1)
+        fatal("simulate: need at least one chip and one trial");
+
+    Platform platform(DramConfig::km41464a(),
+                      static_cast<unsigned>(chips), seed);
+    const BitVec exact = platform.chip(0).worstCasePattern();
+    if (!saveBitVec(exact, dir + "/exact.pcbv"))
+        fatal("simulate: cannot write %s/exact.pcbv", dir.c_str());
+
+    std::uint64_t key = 0;
+    for (long c = 0; c < chips; ++c) {
+        TestHarness h = platform.harness(c);
+        for (long k = 0; k < trials; ++k) {
+            TrialSpec spec;
+            spec.accuracy = accuracy;
+            spec.temp = temp;
+            spec.trialKey = ++key;
+            const BitVec out = h.runWorstCaseTrial(spec).approx;
+            char name[128];
+            std::snprintf(name, sizeof(name),
+                          "%s/chip%ld_trial%ld.pcbv", dir.c_str(),
+                          c, k);
+            if (!saveBitVec(out, name))
+                fatal("simulate: cannot write %s", name);
+        }
+    }
+    std::printf("wrote %ld outputs from %ld chips under %s "
+                "(accuracy %.2f, %.0f C)\n",
+                chips * trials, chips, dir.c_str(), accuracy, temp);
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    const std::string db_path = args.get("db", "");
+    const std::string label = args.get("label", "");
+    const std::string exact_path = args.get("exact", "");
+    if (db_path.empty() || label.empty() || exact_path.empty() ||
+        args.positional.empty()) {
+        fatal("characterize: need --db, --label, --exact, and at "
+              "least one output file");
+    }
+
+    const BitVec exact = loadBitVec(exact_path);
+    std::vector<BitVec> outputs;
+    for (const auto &path : args.positional)
+        outputs.push_back(loadBitVec(path));
+
+    FingerprintDb db;
+    if (std::FILE *f = std::fopen(db_path.c_str(), "rb")) {
+        std::fclose(f);
+        db = loadDatabase(db_path);
+    }
+    const Fingerprint fp = characterize(outputs, exact);
+    db.add(label, fp);
+    if (!saveDatabase(db, db_path))
+        fatal("characterize: cannot write %s", db_path.c_str());
+    std::printf("added '%s' (%zu volatile cells from %zu outputs); "
+                "database now holds %zu records\n",
+                label.c_str(), fp.weight(), outputs.size(),
+                db.size());
+    return 0;
+}
+
+int
+cmdIdentify(const Args &args)
+{
+    const std::string db_path = args.get("db", "");
+    const std::string exact_path = args.get("exact", "");
+    if (db_path.empty() || exact_path.empty() ||
+        args.positional.size() != 1) {
+        fatal("identify: need --db, --exact, and exactly one "
+              "output file");
+    }
+
+    const FingerprintDb db = loadDatabase(db_path);
+    const BitVec exact = loadBitVec(exact_path);
+    const BitVec output = loadBitVec(args.positional[0]);
+
+    IdentifyParams params;
+    params.threshold = args.getDouble("threshold", 0.1);
+    const IdentifyResult r = identify(output, exact, db, params);
+    if (r.match) {
+        std::printf("match: %s (distance %.6f)\n",
+                    db.record(*r.match).label.c_str(),
+                    r.bestDistance);
+        return 0;
+    }
+    std::printf("no match (nearest: %s at distance %.6f)\n",
+                r.nearest ? db.record(*r.nearest).label.c_str()
+                          : "none",
+                r.bestDistance);
+    return 1;
+}
+
+int
+cmdCluster(const Args &args)
+{
+    const std::string exact_path = args.get("exact", "");
+    if (exact_path.empty() || args.positional.size() < 2)
+        fatal("cluster: need --exact and at least two output files");
+
+    const BitVec exact = loadBitVec(exact_path);
+    std::vector<BitVec> outputs;
+    for (const auto &path : args.positional)
+        outputs.push_back(loadBitVec(path));
+
+    ClusterParams params;
+    params.threshold = args.getDouble("threshold", 0.1);
+    std::vector<std::size_t> assignments;
+    const FingerprintDb db =
+        cluster(outputs, exact, params, &assignments);
+
+    std::printf("%zu outputs -> %zu clusters\n", outputs.size(),
+                db.size());
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        std::printf("  %-40s cluster %zu\n",
+                    args.positional[i].c_str(), assignments[i]);
+    }
+    return 0;
+}
+
+int
+cmdModel(const Args &args)
+{
+    const auto memory_bits = static_cast<std::uint64_t>(
+        args.getLong("memory-bits", 32768));
+    const double accuracy = args.getDouble("accuracy", 0.99);
+    const auto params =
+        FingerprintSpaceParams::fromAccuracy(memory_bits, accuracy);
+    const auto r = evaluateFingerprintSpace(params);
+    std::printf("M = %llu bits, A = %llu, T = %llu\n",
+                (unsigned long long)params.memoryBits,
+                (unsigned long long)params.errorBits,
+                (unsigned long long)params.thresholdBits);
+    std::printf("max possible fingerprints : %s\n",
+                fmtLog10(r.log10MaxFingerprints).c_str());
+    std::printf("max unique fingerprints   : >= %s\n",
+                fmtLog10(r.log10DistinguishableLower).c_str());
+    std::printf("chance of mismatching     : <= %s\n",
+                fmtLog10(r.log10MismatchUpper).c_str());
+    std::printf("total entropy             : %.0f bits\n",
+                r.entropyBitsFloor);
+    return 0;
+}
+
+int
+cmdDb(const Args &args)
+{
+    const std::string db_path = args.get("db", "");
+    if (db_path.empty())
+        fatal("db: need --db");
+    const FingerprintDb db = loadDatabase(db_path);
+    std::printf("%zu records\n", db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        const auto &rec = db.record(i);
+        std::printf("  %-24s %7zu cells  %u sources  (%zu bits of "
+                    "memory)\n",
+                    rec.label.c_str(), rec.fingerprint.weight(),
+                    rec.fingerprint.sources(),
+                    rec.fingerprint.bits().size());
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const Args args = Args::parse(argc, argv, 2);
+
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "characterize")
+        return cmdCharacterize(args);
+    if (cmd == "identify")
+        return cmdIdentify(args);
+    if (cmd == "cluster")
+        return cmdCluster(args);
+    if (cmd == "model")
+        return cmdModel(args);
+    if (cmd == "db")
+        return cmdDb(args);
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    return usage();
+}
