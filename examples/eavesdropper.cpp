@@ -13,8 +13,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/attacker.hh"
+#include "util/thread_pool.hh"
 
 using namespace pcause;
 
@@ -31,13 +33,22 @@ main()
     CommoditySystem alice(machine, /*chip*/ 0xA11CE, /*runs*/ 1);
     CommoditySystem bob(machine, /*chip*/ 0xB0B, /*runs*/ 2);
 
+    // Scraped outputs arrive in batches; the attacker's stitcher
+    // probes each batch's pages across the thread pool while the
+    // cluster state evolves exactly as one-by-one ingest would.
+    ThreadPool pool;
     EavesdropperAttacker attacker;
+    attacker.setThreadPool(&pool);
+
     std::printf("%-8s %-18s %-10s\n", "samples", "suspected machines",
                 "merges");
+    std::vector<ApproximateSample> batch;
     for (int n = 1; n <= 150; ++n) {
-        attacker.observe(alice.publish(sample_bytes));
-        attacker.observe(bob.publish(sample_bytes));
+        batch.push_back(alice.publish(sample_bytes));
+        batch.push_back(bob.publish(sample_bytes));
         if (n % 15 == 0) {
+            attacker.observeBatch(batch);
+            batch.clear();
             std::printf("%-8d %-18zu %-10llu\n", 2 * n,
                         attacker.suspectedMachines(),
                         (unsigned long long)
@@ -73,5 +84,11 @@ main()
     }
     std::printf("\n(carol was never observed, so 'unknown' is the "
                 "correct answer)\n");
+
+    const AttackStats &st = attacker.stats();
+    std::printf("\nsession stats: %llu pages probed, ingest took "
+                "%.2f s on %zu threads\n",
+                (unsigned long long)st.pagesProbed,
+                st.ingestSeconds, pool.size());
     return 0;
 }

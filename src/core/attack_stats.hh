@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Counters instrumenting the attacker hot paths.
+ *
+ * Every batch API threads one of these through: the database scan
+ * counts full and pruned distance evaluations, the stitcher ingest
+ * counts page probes, and the attacker facades accumulate wall time
+ * per pipeline phase. Counters are plain integers — parallel code
+ * accumulates into per-thread locals and merges with operator+=
+ * after the join, so the hot loops carry no atomics.
+ */
+
+#ifndef PCAUSE_CORE_ATTACK_STATS_HH
+#define PCAUSE_CORE_ATTACK_STATS_HH
+
+#include <cstdint>
+
+namespace pcause
+{
+
+/** Aggregate counters for one attacker session or batch call. */
+struct AttackStats
+{
+    /** Distance evaluations that ran to completion. */
+    std::uint64_t distancesComputed = 0;
+
+    /** Distance evaluations cut short by the bounded kernel. */
+    std::uint64_t distancesPruned = 0;
+
+    /** Pages probed against the stitcher's match-key index. */
+    std::uint64_t pagesProbed = 0;
+
+    /** Wall time spent fingerprinting (Algorithm 1). */
+    double characterizeSeconds = 0.0;
+
+    /** Wall time spent in database identification (Algorithm 2). */
+    double identifySeconds = 0.0;
+
+    /** Wall time spent ingesting samples into the stitcher. */
+    double ingestSeconds = 0.0;
+
+    AttackStats &operator+=(const AttackStats &o)
+    {
+        distancesComputed += o.distancesComputed;
+        distancesPruned += o.distancesPruned;
+        pagesProbed += o.pagesProbed;
+        characterizeSeconds += o.characterizeSeconds;
+        identifySeconds += o.identifySeconds;
+        ingestSeconds += o.ingestSeconds;
+        return *this;
+    }
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_ATTACK_STATS_HH

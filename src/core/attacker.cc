@@ -1,10 +1,26 @@
 #include "core/attacker.hh"
 
+#include <chrono>
+
 #include "core/characterize.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
+
+namespace
+{
+
+/** Seconds elapsed since @p start. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+}
+
+} // anonymous namespace
 
 SupplyChainAttacker::SupplyChainAttacker(const IdentifyParams &params)
     : prm(params)
@@ -30,14 +46,34 @@ SupplyChainAttacker::interceptChip(TestHarness &harness,
         spec.trialKey = ++trialCounter;
         outputs.push_back(harness.runWorstCaseTrial(spec).approx);
     }
-    return db.add(label, characterize(outputs, exact));
+    const auto start = std::chrono::steady_clock::now();
+    Fingerprint fp = workers ? characterize(outputs, exact, *workers)
+                             : characterize(outputs, exact);
+    counters.characterizeSeconds += secondsSince(start);
+    return db.add(label, std::move(fp));
 }
 
 IdentifyResult
 SupplyChainAttacker::attribute(const BitVec &approx,
                                const BitVec &exact) const
 {
-    return identify(approx, exact, db, prm);
+    const auto start = std::chrono::steady_clock::now();
+    const IdentifyResult res = identify(approx, exact, db, prm);
+    counters.identifySeconds += secondsSince(start);
+    // Serial Algorithm 2 visits match+1 records in first-match
+    // mode, the whole database otherwise.
+    counters.distancesComputed +=
+        (prm.firstMatch && res.match) ? *res.match + 1 : db.size();
+    return res;
+}
+
+std::vector<IdentifyResult>
+SupplyChainAttacker::attributeBatch(
+    const std::vector<BitVec> &approx_outputs,
+    const BitVec &exact) const
+{
+    return identifyBatch(approx_outputs, exact, db, prm, workers,
+                         &counters);
 }
 
 IdentifyResult
@@ -59,10 +95,34 @@ EavesdropperAttacker::EavesdropperAttacker(const StitchParams &params)
 {
 }
 
+void
+EavesdropperAttacker::setThreadPool(ThreadPool *pool)
+{
+    stitch.setThreadPool(pool);
+}
+
 std::size_t
 EavesdropperAttacker::observe(const ApproximateSample &sample)
 {
-    return stitch.addSample(sample.pageErrors);
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t id = stitch.addSample(sample.pageErrors);
+    counters.ingestSeconds += secondsSince(start);
+    counters.pagesProbed = stitch.stats().pagesProbed;
+    return id;
+}
+
+std::vector<std::size_t>
+EavesdropperAttacker::observeBatch(
+    const std::vector<ApproximateSample> &samples)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::size_t> ids;
+    ids.reserve(samples.size());
+    for (const auto &s : samples)
+        ids.push_back(stitch.addSample(s.pageErrors));
+    counters.ingestSeconds += secondsSince(start);
+    counters.pagesProbed = stitch.stats().pagesProbed;
+    return ids;
 }
 
 std::optional<std::size_t>

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attack_stats.hh"
 #include "core/identify.hh"
 #include "core/stitcher.hh"
 #include "os/commodity_system.hh"
@@ -25,6 +26,8 @@
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** Threat model (a): supply-chain interception. */
 class SupplyChainAttacker
@@ -47,9 +50,25 @@ class SupplyChainAttacker
                               const std::vector<Celsius> &temps =
                               {40.0, 50.0, 60.0});
 
+    /**
+     * Use @p pool (not owned; null reverts to serial) for
+     * characterization and batch attribution.
+     */
+    void setThreadPool(ThreadPool *pool) { workers = pool; }
+
     /** Attribute a public approximate output to an intercepted chip. */
     IdentifyResult attribute(const BitVec &approx,
                              const BitVec &exact) const;
+
+    /**
+     * Attribute many outputs of one exact value in a single batch:
+     * the scans run across the thread pool with the bounded
+     * distance kernel, and each element is bit-identical to the
+     * corresponding attribute() call.
+     */
+    std::vector<IdentifyResult>
+    attributeBatch(const std::vector<BitVec> &approx_outputs,
+                   const BitVec &exact) const;
 
     /**
      * Attribute an output of real (non-worst-case) data: masks the
@@ -66,10 +85,17 @@ class SupplyChainAttacker
     /** The accumulated fingerprint database. */
     const FingerprintDb &database() const { return db; }
 
+    /** Session counters and per-phase wall time. */
+    const AttackStats &stats() const { return counters; }
+
   private:
     IdentifyParams prm;
     FingerprintDb db;
     std::uint64_t trialCounter = 0;
+    ThreadPool *workers = nullptr;
+
+    /** Measurements, not attack state: const paths update them. */
+    mutable AttackStats counters;
 };
 
 /** Threat model (b): post-deployment eavesdropping. */
@@ -79,10 +105,24 @@ class EavesdropperAttacker
     explicit EavesdropperAttacker(const StitchParams &params = {});
 
     /**
+     * Use @p pool (not owned; null reverts to serial) to
+     * parallelize the page-probing phase of ingest and matching.
+     */
+    void setThreadPool(ThreadPool *pool);
+
+    /**
      * Ingest one captured approximate output. Returns the
      * system-level fingerprint (cluster) it was folded into.
      */
     std::size_t observe(const ApproximateSample &sample);
+
+    /**
+     * Ingest a batch of captured outputs, equivalent to observing
+     * each in order but with page probing parallelized. Returns the
+     * cluster id per sample.
+     */
+    std::vector<std::size_t>
+    observeBatch(const std::vector<ApproximateSample> &samples);
 
     /**
      * Attribute a fresh output to an already-stitched system
@@ -97,8 +137,12 @@ class EavesdropperAttacker
     /** Underlying stitcher (for statistics and inspection). */
     const Stitcher &stitcher() const { return stitch; }
 
+    /** Session counters and per-phase wall time. */
+    const AttackStats &stats() const { return counters; }
+
   private:
     Stitcher stitch;
+    AttackStats counters;
 };
 
 } // namespace pcause

@@ -2,9 +2,41 @@
 
 #include "core/error_string.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
+
+namespace
+{
+
+/**
+ * Tree-wise parallel intersection of error strings; @p exact_of
+ * maps a result index to its exact value. The identity of AND is
+ * the all-ones vector.
+ */
+template <typename ExactOf>
+Fingerprint
+characterizeParallel(const std::vector<BitVec> &approx_results,
+                     ExactOf exact_of, ThreadPool &pool)
+{
+    PC_ASSERT(!approx_results.empty(),
+              "characterize: need at least one result");
+    const std::size_t size = exact_of(0).size();
+    BitVec pattern = pool.parallelReduce(
+        std::size_t{0}, approx_results.size(), BitVec(size, true),
+        [&](std::size_t i) {
+            return errorString(approx_results[i], exact_of(i));
+        },
+        [](BitVec a, const BitVec &b) {
+            a &= b;
+            return a;
+        });
+    return Fingerprint(std::move(pattern),
+                       static_cast<unsigned>(approx_results.size()));
+}
+
+} // anonymous namespace
 
 Fingerprint
 characterize(const std::vector<BitVec> &approx_results,
@@ -30,6 +62,30 @@ characterize(const std::vector<BitVec> &approx_results,
     for (std::size_t i = 0; i < approx_results.size(); ++i)
         fp.augment(errorString(approx_results[i], exact_values[i]));
     return fp;
+}
+
+Fingerprint
+characterize(const std::vector<BitVec> &approx_results,
+             const BitVec &exact, ThreadPool &pool)
+{
+    return characterizeParallel(
+        approx_results,
+        [&](std::size_t) -> const BitVec & { return exact; }, pool);
+}
+
+Fingerprint
+characterize(const std::vector<BitVec> &approx_results,
+             const std::vector<BitVec> &exact_values,
+             ThreadPool &pool)
+{
+    PC_ASSERT(approx_results.size() == exact_values.size(),
+              "characterize: result/exact count mismatch");
+    return characterizeParallel(
+        approx_results,
+        [&](std::size_t i) -> const BitVec & {
+            return exact_values[i];
+        },
+        pool);
 }
 
 } // namespace pcause

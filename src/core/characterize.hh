@@ -19,6 +19,8 @@
 namespace pcause
 {
 
+class ThreadPool;
+
 /**
  * Algorithm 1 (CHARACTERIZE): fingerprint a chip from approximate
  * results sharing one exact value.
@@ -35,6 +37,20 @@ Fingerprint characterize(const std::vector<BitVec> &approx_results,
  */
 Fingerprint characterize(const std::vector<BitVec> &approx_results,
                          const std::vector<BitVec> &exact_values);
+
+/**
+ * Parallel Algorithm 1: error strings are extracted concurrently
+ * and intersected tree-wise across @p pool. Intersection is
+ * associative and commutative, so the result is bit-identical to
+ * the serial fold regardless of reduction shape.
+ */
+Fingerprint characterize(const std::vector<BitVec> &approx_results,
+                         const BitVec &exact, ThreadPool &pool);
+
+/** Parallel per-result-exact variant. */
+Fingerprint characterize(const std::vector<BitVec> &approx_results,
+                         const std::vector<BitVec> &exact_values,
+                         ThreadPool &pool);
 
 } // namespace pcause
 

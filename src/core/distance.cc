@@ -34,6 +34,51 @@ modifiedJaccard(const BitVec &error_string, const BitVec &fingerprint)
 }
 
 double
+modifiedJaccardBounded(const BitVec &error_string,
+                       const BitVec &fingerprint, double bound,
+                       bool *pruned)
+{
+    PC_ASSERT(error_string.size() == fingerprint.size(),
+              "distance: size mismatch");
+    if (pruned)
+        *pruned = false;
+
+    const std::size_t we = error_string.popcount();
+    const std::size_t wf = fingerprint.popcount();
+    if (we == 0 && wf == 0)
+        return 0.0;
+    if (we == 0 || wf == 0)
+        return 1.0;
+
+    const BitVec &fp = (wf <= we) ? fingerprint : error_string;
+    const BitVec &es = (wf <= we) ? error_string : fingerprint;
+    const std::size_t fp_weight = (wf <= we) ? wf : we;
+
+    // Largest integer count still within the bound, computed so
+    // that (d <= limit) <=> (double(d) / fp_weight <= bound) under
+    // the exact same floating-point division the unbounded metric
+    // performs. The nudge loops correct any rounding in the
+    // double-precision product (each runs at most a step or two).
+    const double scaled = bound * static_cast<double>(fp_weight);
+    std::size_t limit =
+        scaled >= static_cast<double>(fp_weight)
+            ? fp_weight
+            : (scaled <= 0.0 ? 0
+                             : static_cast<std::size_t>(scaled));
+    while (limit < fp_weight &&
+           static_cast<double>(limit + 1) / fp_weight <= bound)
+        ++limit;
+    while (limit > 0 &&
+           static_cast<double>(limit) / fp_weight > bound)
+        --limit;
+
+    const std::size_t d = fp.andNotCountBounded(es, limit);
+    if (d > limit && pruned)
+        *pruned = true;
+    return static_cast<double>(d) / fp_weight;
+}
+
+double
 modifiedJaccard(const SparseBitset &error_string,
                 const SparseBitset &fingerprint)
 {

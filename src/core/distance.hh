@@ -37,6 +37,25 @@ namespace pcause
 double modifiedJaccard(const BitVec &error_string,
                        const BitVec &fingerprint);
 
+/**
+ * Bounded Algorithm 3: modifiedJaccard() with an early exit once
+ * the distance provably exceeds @p bound.
+ *
+ * The distance is d/wf where d = |fp \ es| only ever grows as the
+ * words are scanned, so the running d/wf is a monotone lower bound
+ * on the final value: the moment it exceeds @p bound, no suffix of
+ * the scan can bring the result back under it. Returns the exact
+ * distance when it is <= @p bound; otherwise returns the (partial)
+ * lower bound reached, which is itself > @p bound. Callers that
+ * compare the result against thresholds <= @p bound therefore get
+ * verdicts identical to the unbounded metric. When @p pruned is
+ * non-null it is set to whether the scan exited early.
+ */
+double modifiedJaccardBounded(const BitVec &error_string,
+                              const BitVec &fingerprint,
+                              double bound,
+                              bool *pruned = nullptr);
+
 /** Algorithm 3 on sparse page-level patterns. */
 double modifiedJaccard(const SparseBitset &error_string,
                        const SparseBitset &fingerprint);

@@ -10,6 +10,15 @@ Fingerprint::Fingerprint(BitVec first_error_string)
 {
 }
 
+Fingerprint::Fingerprint(BitVec intersected_pattern,
+                         unsigned num_sources)
+    : pattern(std::move(intersected_pattern)),
+      numSources(num_sources)
+{
+    PC_ASSERT(num_sources > 0,
+              "Fingerprint: adopted pattern needs sources");
+}
+
 void
 Fingerprint::augment(const BitVec &error_string)
 {

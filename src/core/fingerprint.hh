@@ -30,6 +30,14 @@ class Fingerprint
     /** Seed a fingerprint from a first error string. */
     explicit Fingerprint(BitVec first_error_string);
 
+    /**
+     * Adopt an already-intersected pattern together with the number
+     * of error strings it came from. Used by the parallel
+     * characterize(), which reduces the intersection tree-wise and
+     * only materializes the final pattern.
+     */
+    Fingerprint(BitVec intersected_pattern, unsigned num_sources);
+
     /** The volatile-cell positions (set bits). */
     const BitVec &bits() const { return pattern; }
 

@@ -1,10 +1,14 @@
 #include "core/identify.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "core/error_string.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -29,6 +33,156 @@ FingerprintDb::record(std::size_t i)
     PC_ASSERT(i < records.size(), "FingerprintDb index out of range");
     return records[i];
 }
+
+namespace
+{
+
+/** Wall-clock scope timer accumulating into an AttackStats field. */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(AttackStats *stats, double AttackStats::*field)
+        : out(stats), member(field),
+          start(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~PhaseTimer()
+    {
+        if (out) {
+            out->*member += std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count();
+        }
+    }
+
+  private:
+    AttackStats *out;
+    double AttackStats::*member;
+    std::chrono::steady_clock::time_point start;
+};
+
+/** What one contiguous database shard learned. */
+struct ScanOutcome
+{
+    /** Lowest record index under threshold, with its distance. */
+    std::optional<std::size_t> match;
+    double matchDist = 1.0;
+
+    /** First record achieving the shard's minimum distance. */
+    std::optional<std::size_t> nearest;
+    double nearestDist = 1.0;
+
+    /** Whether any distance fell under the threshold. */
+    bool anyUnderThreshold = false;
+
+    std::uint64_t computed = 0;
+    std::uint64_t pruned = 0;
+};
+
+/**
+ * Distance with the metric-appropriate kernel: the bounded
+ * Algorithm 3 scan when the metric supports it, the plain metric
+ * otherwise.
+ */
+double
+boundedDistance(const IdentifyParams &params, const BitVec &es,
+                const BitVec &fp, double bound, bool *pruned)
+{
+    if (params.metric == DistanceMetric::ModifiedJaccard)
+        return modifiedJaccardBounded(es, fp, bound, pruned);
+    *pruned = false;
+    return distance(params.metric, es, fp);
+}
+
+/**
+ * Scan db records [begin, end) exactly as serial identify() visits
+ * them, but through the bounded kernel. The bound is
+ * max(threshold, running best distance): any distance the serial
+ * code would compare against the threshold or use to update the
+ * running minimum is therefore computed exactly, and a pruned
+ * evaluation returns a lower bound already above both, so verdicts
+ * and reported distances match the unbounded scan bit for bit.
+ *
+ * @p earliest_match, when non-null (first-match mode, sharded
+ * scan), carries the lowest match index found by any shard; shards
+ * whose remaining records all sit above it stop scanning, and a
+ * shard finding a match publishes it.
+ */
+ScanOutcome
+scanShard(const BitVec &es, const FingerprintDb &db,
+          std::size_t begin, std::size_t end,
+          const IdentifyParams &params,
+          std::atomic<std::size_t> *earliest_match)
+{
+    ScanOutcome out;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (earliest_match &&
+            earliest_match->load(std::memory_order_relaxed) < i)
+            break;
+        const double bound =
+            std::max(params.threshold,
+                     out.nearest ? out.nearestDist : 1.0);
+        bool pruned = false;
+        const double d = boundedDistance(
+            params, es, db.record(i).fingerprint.bits(), bound,
+            &pruned);
+        ++(pruned ? out.pruned : out.computed);
+        if (!out.nearest || d < out.nearestDist) {
+            out.nearest = i;
+            out.nearestDist = d;
+        }
+        if (d < params.threshold) {
+            out.anyUnderThreshold = true;
+            if (!out.match) {
+                out.match = i;
+                out.matchDist = d;
+            }
+            if (params.firstMatch) {
+                if (earliest_match) {
+                    std::size_t cur = earliest_match->load(
+                        std::memory_order_relaxed);
+                    while (i < cur &&
+                           !earliest_match->compare_exchange_weak(
+                               cur, i, std::memory_order_relaxed)) {
+                    }
+                }
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+/** Convert a whole-range ScanOutcome to the Algorithm 2 result. */
+IdentifyResult
+outcomeToResult(const ScanOutcome &out, const IdentifyParams &params)
+{
+    IdentifyResult res;
+    if (params.firstMatch && out.match) {
+        // Algorithm 2 line 4: the first hit is the verdict.
+        res.match = out.match;
+        res.nearest = out.match;
+        res.bestDistance = out.matchDist;
+        return res;
+    }
+    res.nearest = out.nearest;
+    if (out.nearest)
+        res.bestDistance = out.nearestDist;
+    if (out.anyUnderThreshold)
+        res.match = res.nearest;
+    return res;
+}
+
+void
+mergeScanCounters(AttackStats *stats, const ScanOutcome &out)
+{
+    if (stats) {
+        stats->distancesComputed += out.computed;
+        stats->distancesPruned += out.pruned;
+    }
+}
+
+} // anonymous namespace
 
 IdentifyResult
 identifyErrorString(const BitVec &error_string, const FingerprintDb &db,
@@ -104,6 +258,143 @@ identifyWithData(const BitVec &approx, const BitVec &exact,
     return res;
 }
 
+IdentifyResult
+identifyErrorStringParallel(const BitVec &error_string,
+                            const FingerprintDb &db,
+                            const IdentifyParams &params,
+                            ThreadPool &pool, AttackStats *stats)
+{
+    PhaseTimer timer(stats, &AttackStats::identifySeconds);
+    const std::size_t n = db.size();
+
+    // Sharding overhead beats the scan itself on tiny databases.
+    if (pool.size() == 1 || n < 2 * pool.size()) {
+        const ScanOutcome out =
+            scanShard(error_string, db, 0, n, params, nullptr);
+        mergeScanCounters(stats, out);
+        return outcomeToResult(out, params);
+    }
+
+    std::vector<ScanOutcome> shards(pool.size());
+    std::atomic<std::size_t> earliest(
+        std::numeric_limits<std::size_t>::max());
+    pool.parallelChunks(
+        0, n,
+        [&](std::size_t b, std::size_t e, std::size_t c) {
+            shards[c] = scanShard(error_string, db, b, e, params,
+                                  params.firstMatch ? &earliest
+                                                    : nullptr);
+        });
+
+    for (const auto &s : shards)
+        mergeScanCounters(stats, s);
+
+    if (params.firstMatch) {
+        // Shards cover ascending index ranges; records below the
+        // first shard-local match were all scanned and missed, so
+        // the lowest shard's match is exactly serial line 4's hit.
+        for (const auto &s : shards) {
+            if (s.match) {
+                IdentifyResult res;
+                res.match = s.match;
+                res.nearest = s.match;
+                res.bestDistance = s.matchDist;
+                return res;
+            }
+        }
+    }
+
+    // Merge shard minima in ascending order with a strict compare,
+    // reproducing the serial "first record achieving the minimum".
+    ScanOutcome merged;
+    for (const auto &s : shards) {
+        if (s.nearest &&
+            (!merged.nearest || s.nearestDist < merged.nearestDist)) {
+            merged.nearest = s.nearest;
+            merged.nearestDist = s.nearestDist;
+        }
+        merged.anyUnderThreshold |= s.anyUnderThreshold;
+    }
+    return outcomeToResult(merged, params);
+}
+
+std::vector<IdentifyResult>
+identifyErrorStringBatch(const std::vector<BitVec> &error_strings,
+                         const FingerprintDb &db,
+                         const IdentifyParams &params,
+                         ThreadPool *pool, AttackStats *stats)
+{
+    if (!pool)
+        pool = &ThreadPool::global();
+    std::vector<IdentifyResult> results(error_strings.size());
+    if (error_strings.empty())
+        return results;
+
+    // Few queries: shard the database scan itself. Many queries:
+    // queries are independent, so spread them across the pool and
+    // keep each scan serial (better locality, no merge step).
+    if (error_strings.size() < pool->size()) {
+        for (std::size_t q = 0; q < error_strings.size(); ++q) {
+            results[q] = identifyErrorStringParallel(
+                error_strings[q], db, params, *pool, stats);
+        }
+        return results;
+    }
+
+    PhaseTimer timer(stats, &AttackStats::identifySeconds);
+    std::vector<ScanOutcome> totals(pool->size());
+    pool->parallelChunks(
+        0, error_strings.size(),
+        [&](std::size_t b, std::size_t e, std::size_t c) {
+            for (std::size_t q = b; q < e; ++q) {
+                const ScanOutcome out = scanShard(
+                    error_strings[q], db, 0, db.size(), params,
+                    nullptr);
+                results[q] = outcomeToResult(out, params);
+                totals[c].computed += out.computed;
+                totals[c].pruned += out.pruned;
+            }
+        });
+    for (const auto &t : totals)
+        mergeScanCounters(stats, t);
+    return results;
+}
+
+std::vector<IdentifyResult>
+identifyBatch(const std::vector<BitVec> &approx_outputs,
+              const std::vector<BitVec> &exact_values,
+              const FingerprintDb &db, const IdentifyParams &params,
+              ThreadPool *pool, AttackStats *stats)
+{
+    PC_ASSERT(approx_outputs.size() == exact_values.size(),
+              "identifyBatch: output/exact count mismatch");
+    if (!pool)
+        pool = &ThreadPool::global();
+    std::vector<BitVec> error_strings(approx_outputs.size());
+    pool->parallelFor(0, approx_outputs.size(), [&](std::size_t i) {
+        error_strings[i] =
+            errorString(approx_outputs[i], exact_values[i]);
+    });
+    return identifyErrorStringBatch(error_strings, db, params, pool,
+                                    stats);
+}
+
+std::vector<IdentifyResult>
+identifyBatch(const std::vector<BitVec> &approx_outputs,
+              const BitVec &exact, const FingerprintDb &db,
+              const IdentifyParams &params, ThreadPool *pool,
+              AttackStats *stats)
+{
+    if (!pool)
+        pool = &ThreadPool::global();
+    std::vector<BitVec> error_strings(approx_outputs.size());
+    pool->parallelFor(0, approx_outputs.size(), [&](std::size_t i) {
+        error_strings[i] = errorString(approx_outputs[i], exact);
+    });
+    return identifyErrorStringBatch(error_strings, db, params, pool,
+                                    stats);
+}
+
 double
 calibrateThreshold(const std::vector<double> &within_class,
                    const std::vector<double> &between_class)
@@ -114,13 +405,68 @@ calibrateThreshold(const std::vector<double> &within_class,
         *std::max_element(within_class.begin(), within_class.end());
     const double b_min =
         *std::min_element(between_class.begin(), between_class.end());
-    if (w_max >= b_min)
-        fatal("calibrateThreshold: classes overlap (within max %.4f >= "
-              "between min %.4f)", w_max, b_min);
-    // Geometric midpoint keeps equal multiplicative margin on both
-    // sides; guard the degenerate all-zero within-class case.
-    const double w_floor = std::max(w_max, 1e-9);
-    return std::sqrt(w_floor * b_min);
+    if (w_max < b_min) {
+        // Separable: geometric midpoint keeps equal multiplicative
+        // margin on both sides; guard the degenerate all-zero
+        // within-class case.
+        const double w_floor = std::max(w_max, 1e-9);
+        return std::sqrt(w_floor * b_min);
+    }
+
+    // Overlapping classes (e.g. under a strong defense): no
+    // threshold is clean, so return the one minimizing pooled
+    // misclassifications — within-class samples at distance >= t
+    // are missed matches, between-class samples at distance < t are
+    // spurious matches. The error count is constant between
+    // adjacent pooled values, so candidate thresholds are each
+    // distinct pooled value plus one sentinel above the maximum.
+    std::vector<double> candidates;
+    candidates.reserve(within_class.size() + between_class.size() + 1);
+    candidates.insert(candidates.end(), within_class.begin(),
+                      within_class.end());
+    candidates.insert(candidates.end(), between_class.begin(),
+                      between_class.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    candidates.push_back(candidates.back() * 2.0 + 1e-9);
+
+    const auto errorsAt = [&](double t) {
+        std::size_t errors = 0;
+        for (double w : within_class)
+            errors += w >= t;
+        for (double b : between_class)
+            errors += b < t;
+        return errors;
+    };
+
+    double best_t = candidates.front();
+    std::size_t best_errors = std::numeric_limits<std::size_t>::max();
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const std::size_t errors = errorsAt(candidates[k]);
+        if (errors < best_errors) {
+            best_errors = errors;
+            // Any threshold in (previous value, candidate] yields
+            // the same classification; report the midpoint of that
+            // interval (geometric when possible, mirroring the
+            // separable case) so the choice is not razor-edged.
+            if (k == 0) {
+                best_t = candidates[k];
+            } else {
+                const double lo = candidates[k - 1];
+                const double hi = candidates[k];
+                best_t = lo > 0.0 ? std::sqrt(lo * hi)
+                                  : 0.5 * (lo + hi);
+            }
+        }
+    }
+    warn("calibrateThreshold: classes overlap (within max %.4f >= "
+         "between min %.4f); best-effort threshold %.4f "
+         "misclassifies %zu of %zu pooled samples",
+         w_max, b_min, best_t, best_errors,
+         within_class.size() + between_class.size());
+    return best_t;
 }
 
 } // namespace pcause

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attack_stats.hh"
 #include "core/distance.hh"
 #include "core/fingerprint.hh"
 #include "dram/dram_config.hh"
@@ -25,6 +26,8 @@
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** Identity attached to a fingerprint in the database. */
 using ChipLabel = std::string;
@@ -130,10 +133,69 @@ IdentifyResult identifyWithData(const BitVec &approx,
                                 const IdentifyParams &params = {});
 
 /**
+ * Single-query parallel scan: Algorithm 2 with the FingerprintDb
+ * partitioned into contiguous shards across @p pool's threads. Each
+ * shard runs the bounded Algorithm 3 kernel (early exit at
+ * max(threshold, shard-local best distance), which provably cannot
+ * change any verdict — see docs/ALGORITHMS.md), and in first-match
+ * mode shards beyond an already-found match abort early. The result
+ * is bit-identical to serial identify() for both firstMatch
+ * settings. @p stats, when non-null, accumulates kernel counters.
+ */
+IdentifyResult
+identifyErrorStringParallel(const BitVec &error_string,
+                            const FingerprintDb &db,
+                            const IdentifyParams &params,
+                            ThreadPool &pool,
+                            AttackStats *stats = nullptr);
+
+/**
+ * Batch identification of many error strings against one database.
+ * Queries are independent, so they are spread across the pool
+ * (falling back to a per-query database-sharded scan when there are
+ * fewer queries than threads); every element of the result is
+ * bit-identical to a serial identifyErrorString() call. Passing a
+ * null @p pool uses ThreadPool::global().
+ */
+std::vector<IdentifyResult>
+identifyErrorStringBatch(const std::vector<BitVec> &error_strings,
+                         const FingerprintDb &db,
+                         const IdentifyParams &params = {},
+                         ThreadPool *pool = nullptr,
+                         AttackStats *stats = nullptr);
+
+/**
+ * Batch Algorithm 2 from raw outputs: extracts every error string
+ * (in parallel), then runs identifyErrorStringBatch().
+ * @p approx_outputs and @p exact_values pair up elementwise.
+ */
+std::vector<IdentifyResult>
+identifyBatch(const std::vector<BitVec> &approx_outputs,
+              const std::vector<BitVec> &exact_values,
+              const FingerprintDb &db,
+              const IdentifyParams &params = {},
+              ThreadPool *pool = nullptr,
+              AttackStats *stats = nullptr);
+
+/** identifyBatch() with one exact value shared by all outputs. */
+std::vector<IdentifyResult>
+identifyBatch(const std::vector<BitVec> &approx_outputs,
+              const BitVec &exact, const FingerprintDb &db,
+              const IdentifyParams &params = {},
+              ThreadPool *pool = nullptr,
+              AttackStats *stats = nullptr);
+
+/**
  * Experimentally calibrate the identification threshold from
  * labeled distances: place it at the geometric midpoint between the
  * largest within-class and smallest between-class distance.
- * Fatal when the classes overlap (no threshold can separate them).
+ *
+ * When the classes overlap (no threshold separates them cleanly —
+ * e.g. under a strong noise defense), no fatal error is raised:
+ * a warning is logged and the threshold minimizing the number of
+ * misclassified pooled samples (missed within-class matches plus
+ * spurious between-class matches) is returned, so downstream
+ * evaluation degrades gracefully instead of dying.
  */
 double calibrateThreshold(const std::vector<double> &within_class,
                           const std::vector<double> &between_class);

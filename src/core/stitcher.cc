@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -63,15 +64,13 @@ Stitcher::resolve(std::size_t id) const
     return id;
 }
 
-std::unordered_map<std::size_t, std::map<std::int64_t, std::size_t>>
-Stitcher::collectVotes(const std::vector<SparseBitset> &pages,
-                       bool count_stats) const
+void
+Stitcher::probePages(const std::vector<SparseBitset> &pages,
+                     std::size_t begin, std::size_t end,
+                     VoteMap &votes, StitchStats &local) const
 {
-    std::unordered_map<std::size_t,
-                       std::map<std::int64_t, std::size_t>> votes;
-    auto &stats = const_cast<StitchStats &>(counters);
-
-    for (std::size_t i = 0; i < pages.size(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
+        ++local.pagesProbed;
         const SparseBitset obs = truncate(pages[i]);
         const auto keys = PageFingerprint::matchKeys(obs);
         std::set<std::pair<std::size_t, std::int64_t>> seen;
@@ -95,17 +94,59 @@ Stitcher::collectVotes(const std::vector<SparseBitset> &pages,
                 auto page_it = clusters[cid]->pages.find(pos);
                 if (page_it == clusters[cid]->pages.end())
                     continue;
-                if (count_stats)
-                    ++stats.candidateChecks;
+                ++local.candidateChecks;
                 const double d = page_it->second.distanceTo(obs);
                 if (d < prm.pageThreshold) {
-                    if (count_stats)
-                        ++stats.pageMatches;
+                    ++local.pageMatches;
                     // Sample page i sits at cluster position pos, so
                     // the sample origin is pos - i.
                     ++votes[cid][pos - static_cast<std::int64_t>(i)];
                 }
             }
+        }
+    }
+}
+
+Stitcher::VoteMap
+Stitcher::collectVotes(const std::vector<SparseBitset> &pages,
+                       bool count_stats) const
+{
+    // Probing only reads cluster state; votes and counters
+    // accumulate into per-shard locals merged below, so the page
+    // loop can fan out across the pool when one is attached.
+    const std::size_t nshards =
+        (workers && pages.size() >= 2 * workers->size())
+            ? workers->size()
+            : 1;
+
+    std::vector<VoteMap> shard_votes(nshards);
+    std::vector<StitchStats> shard_stats(nshards);
+    if (nshards == 1) {
+        probePages(pages, 0, pages.size(), shard_votes[0],
+                   shard_stats[0]);
+    } else {
+        workers->parallelChunks(
+            0, pages.size(),
+            [&](std::size_t b, std::size_t e, std::size_t c) {
+                probePages(pages, b, e, shard_votes[c],
+                           shard_stats[c]);
+            });
+    }
+
+    VoteMap votes = std::move(shard_votes[0]);
+    for (std::size_t s = 1; s < nshards; ++s) {
+        for (auto &[cid, deltas] : shard_votes[s]) {
+            auto &dst = votes[cid];
+            for (auto &[delta, n] : deltas)
+                dst[delta] += n;
+        }
+    }
+    if (count_stats) {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        for (const auto &s : shard_stats) {
+            counters.pagesProbed += s.pagesProbed;
+            counters.candidateChecks += s.candidateChecks;
+            counters.pageMatches += s.pageMatches;
         }
     }
     return votes;
@@ -129,6 +170,12 @@ Stitcher::verifyAlignment(const std::vector<SparseBitset> &pages,
         ++checked;
         if (it->second.distanceTo(obs) < prm.pageThreshold)
             ++matched;
+    }
+    if (checked == 0) {
+        // No overlapping page carried enough recorded bits to
+        // check: there is no evidence for the alignment, and the
+        // matched/checked ratio below would be 0/0.
+        return false;
     }
     return matched >= prm.minVerifyMatches &&
         static_cast<double>(matched) / checked >= prm.verifyFraction;
@@ -247,6 +294,21 @@ Stitcher::addSample(const std::vector<SparseBitset> &pages)
         mergeClusters(dst, src, dst_origin - verified[k].origin);
     }
     return dst;
+}
+
+std::vector<std::size_t>
+Stitcher::addSamples(
+    const std::vector<std::vector<SparseBitset>> &samples)
+{
+    // Folding mutates the cluster state each sample's probing
+    // reads, so samples stay strictly sequential — the parallelism
+    // is inside each addSample's collectVotes. Cluster evolution is
+    // therefore identical to serial one-by-one ingest.
+    std::vector<std::size_t> ids;
+    ids.reserve(samples.size());
+    for (const auto &pages : samples)
+        ids.push_back(addSample(pages));
+    return ids;
 }
 
 std::size_t

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,8 @@
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** Stitching tunables. */
 struct StitchParams
@@ -71,13 +74,23 @@ struct StitchParams
 struct StitchStats
 {
     std::uint64_t samplesAdded = 0;
+    std::uint64_t pagesProbed = 0;      //!< pages run through the index
     std::uint64_t candidateChecks = 0;  //!< key hits distance-tested
     std::uint64_t pageMatches = 0;      //!< page pairs under threshold
     std::uint64_t merges = 0;           //!< cluster unions performed
     std::uint64_t rejectedMerges = 0;   //!< alignments failing verify
 };
 
-/** Builds system-level fingerprints from overlapping outputs. */
+/**
+ * Builds system-level fingerprints from overlapping outputs.
+ *
+ * Thread-safety contract: a Stitcher is externally synchronized —
+ * concurrent calls on one instance from multiple threads are not
+ * supported. Internal parallelism is opt-in via setThreadPool():
+ * ingest then fans the read-only page-probing phase (collectVotes)
+ * out across the pool while every mutation of the cluster state
+ * (fold, merge, index updates) stays on the calling thread.
+ */
 class Stitcher
 {
   public:
@@ -88,12 +101,28 @@ class Stitcher
     Stitcher &operator=(const Stitcher &) = delete;
 
     /**
+     * Use @p pool (not owned, may be null to go serial) to
+     * parallelize the page-probing phase of ingest and matching.
+     */
+    void setThreadPool(ThreadPool *pool) { workers = pool; }
+
+    /**
      * Ingest one approximate output: its pages' observed error
      * sets, in buffer order. Returns the cluster id the sample
      * landed in. Cluster ids are stable handles; merged clusters
      * report the surviving cluster's id thereafter.
      */
     std::size_t addSample(const std::vector<SparseBitset> &pages);
+
+    /**
+     * Batched ingest: equivalent to calling addSample() on each
+     * element in order (samples are folded strictly sequentially,
+     * so the cluster evolution is identical), but each sample's
+     * candidate probing runs across the thread pool. Returns the
+     * cluster id per sample.
+     */
+    std::vector<std::size_t>
+    addSamples(const std::vector<std::vector<SparseBitset>> &samples);
 
     /**
      * The paper's Figure 13 metric: number of distinct system-level
@@ -132,11 +161,24 @@ class Stitcher
     /** Truncate an observation to the most volatile cells kept. */
     SparseBitset truncate(const SparseBitset &obs) const;
 
+    /** Alignment votes one sample produced, keyed by cluster. */
+    using VoteMap =
+        std::unordered_map<std::size_t,
+                           std::map<std::int64_t, std::size_t>>;
+
     /** Vote for sample alignments against existing clusters. */
-    std::unordered_map<std::size_t,
-                       std::map<std::int64_t, std::size_t>>
-    collectVotes(const std::vector<SparseBitset> &pages,
-                 bool count_stats) const;
+    VoteMap collectVotes(const std::vector<SparseBitset> &pages,
+                         bool count_stats) const;
+
+    /**
+     * Probe pages [begin, end) of a sample against the index,
+     * accumulating votes and statistics into caller-owned outputs.
+     * Reads cluster state only — safe to run concurrently with
+     * other probe shards, but not with any mutation.
+     */
+    void probePages(const std::vector<SparseBitset> &pages,
+                    std::size_t begin, std::size_t end,
+                    VoteMap &votes, StitchStats &local) const;
 
     /** Check a proposed alignment across the sample/cluster overlap. */
     bool verifyAlignment(const std::vector<SparseBitset> &pages,
@@ -160,7 +202,16 @@ class Stitcher
     std::int64_t mergeOffsetOf(std::size_t id) const;
 
     StitchParams prm;
-    StitchStats counters;
+
+    /** Session counters. Mutated from const probing paths (they
+     *  are measurements, not cluster state), hence mutable; the
+     *  mutex serializes merges of per-shard counts when probing
+     *  runs on the pool. */
+    mutable StitchStats counters;
+    mutable std::mutex statsMutex;
+
+    /** Optional pool for the probing phase (not owned). */
+    ThreadPool *workers = nullptr;
 
     std::vector<std::unique_ptr<Cluster>> clusters;
     std::vector<std::size_t> forwarding;  //!< merged-id forwarding

@@ -10,6 +10,7 @@
 #include "util/ascii_chart.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -106,8 +107,20 @@ runUniqueness(const UniquenessParams &prm)
     }
 
     // Phase 2: 9 outputs per chip across the accuracy x temperature
-    // grid, each compared against every fingerprint.
-    UniquenessResult res;
+    // grid, each compared against every fingerprint. The trials are
+    // generated serially (the harness is stateful), then the
+    // output x fingerprint distance grid — the experiment's hot
+    // loop — fans out across the thread pool into preallocated
+    // slots, keeping the output-major pair order the accuracy
+    // metric depends on.
+    struct OutputJob
+    {
+        unsigned chip;
+        double accuracy;
+        double temperature;
+        BitVec es;
+    };
+    std::vector<OutputJob> jobs;
     for (unsigned c = 0; c < prm.numChips; ++c) {
         TestHarness h = platform.harness(c);
         const BitVec exact = h.chip().worstCasePattern();
@@ -117,16 +130,25 @@ runUniqueness(const UniquenessParams &prm)
                 spec.accuracy = acc;
                 spec.temp = temp;
                 spec.trialKey = ++trial;
-                const BitVec es = errorString(
-                    h.runWorstCaseTrial(spec).approx, exact);
-                for (unsigned f = 0; f < prm.numChips; ++f) {
-                    res.pairs.push_back(
-                        {c, f, acc, temp,
-                         distance(prm.metric, es, fps[f].bits())});
-                }
+                jobs.push_back(
+                    {c, acc, temp,
+                     errorString(h.runWorstCaseTrial(spec).approx,
+                                 exact)});
             }
         }
     }
+
+    UniquenessResult res;
+    res.pairs.resize(jobs.size() * prm.numChips);
+    ThreadPool pool(prm.numThreads);
+    pool.parallelFor(0, jobs.size(), [&](std::size_t j) {
+        const OutputJob &job = jobs[j];
+        for (unsigned f = 0; f < prm.numChips; ++f) {
+            res.pairs[j * prm.numChips + f] =
+                {job.chip, f, job.accuracy, job.temperature,
+                 distance(prm.metric, job.es, fps[f].bits())};
+        }
+    });
     return res;
 }
 

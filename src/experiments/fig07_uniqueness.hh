@@ -36,6 +36,15 @@ struct UniquenessParams
     std::vector<double> accuracies = {0.99, 0.95, 0.90};
     std::vector<double> temperatures = {40.0, 50.0, 60.0};
     DistanceMetric metric = DistanceMetric::ModifiedJaccard;
+
+    /**
+     * Threads for the distance-pair phase (0 = one per hardware
+     * thread). The trials stay serial — the simulated harness is
+     * stateful — but the output x fingerprint distance grid is
+     * independent work and dominates at scale. Results are
+     * bit-identical at any thread count.
+     */
+    unsigned numThreads = 0;
 };
 
 /** One (output, fingerprint) pairing. */

@@ -7,6 +7,7 @@
 #include "core/attacker.hh"
 #include "util/ascii_chart.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -46,11 +47,21 @@ runStitching(const StitchingParams &prm)
     }
 
     EavesdropperAttacker attacker(prm.stitch);
+    ThreadPool pool(prm.numThreads);
+    attacker.setThreadPool(&pool);
+
+    // Publish serially (the victims are stateful), ingest in
+    // batches between recording points: each sample's page probing
+    // fans out across the pool while folding stays ordered, so the
+    // series matches one-by-one ingest exactly.
     StitchingResult res;
+    std::vector<ApproximateSample> batch;
     for (unsigned n = 1; n <= prm.numSamples; ++n) {
         CommoditySystem &victim = *machines[(n - 1) % machines.size()];
-        attacker.observe(victim.publish(prm.sampleBytes));
+        batch.push_back(victim.publish(prm.sampleBytes));
         if (n % prm.recordEvery == 0 || n == prm.numSamples) {
+            attacker.observeBatch(batch);
+            batch.clear();
             res.sampleCounts.push_back(n);
             res.suspectedChips.push_back(
                 attacker.suspectedMachines());
@@ -85,6 +96,8 @@ renderStitching(const StitchingResult &res,
         << "  (true machines: " << prm.numMachines << ")\n";
     out << "cluster merges       : " << res.stats.merges << "\n";
     out << "rejected alignments  : " << res.stats.rejectedMerges
+        << "\n";
+    out << "pages probed         : " << res.stats.pagesProbed
         << "\n";
     return out.str();
 }

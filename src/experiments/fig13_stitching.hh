@@ -47,6 +47,13 @@ struct StitchingParams
 
     /** Stitcher tuning. */
     StitchParams stitch;
+
+    /**
+     * Threads for the stitcher's page-probing phase (0 = one per
+     * hardware thread, 1 = serial). Samples fold sequentially
+     * either way, so the series is bit-identical at any count.
+     */
+    unsigned numThreads = 0;
 };
 
 /** The Figure 13 series plus session statistics. */

@@ -1,5 +1,6 @@
 #include "util/bitvec.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
@@ -103,6 +104,27 @@ BitVec::andNotCount(const BitVec &other) const
     std::size_t total = 0;
     for (std::size_t i = 0; i < words.size(); ++i)
         total += std::popcount(words[i] & ~other.words[i]);
+    return total;
+}
+
+std::size_t
+BitVec::andNotCountBounded(const BitVec &other,
+                           std::size_t limit) const
+{
+    PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
+    std::size_t total = 0;
+    // Check the bound every block of words: often enough to bail
+    // early, rarely enough that the branch stays out of the inner
+    // loop's way.
+    constexpr std::size_t block = 16;
+    for (std::size_t i = 0; i < words.size(); i += block) {
+        const std::size_t stop =
+            std::min(words.size(), i + block);
+        for (std::size_t j = i; j < stop; ++j)
+            total += std::popcount(words[j] & ~other.words[j]);
+        if (total > limit)
+            return total;
+    }
     return total;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/attacker.hh"
 #include "platform/platform.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -54,6 +55,51 @@ TEST(SupplyChainAttacker, UnknownChipFailsToAttribute)
     const IdentifyResult r =
         attacker.attribute(h.runWorstCaseTrial(spec).approx, exact);
     EXPECT_FALSE(r.match.has_value());
+}
+
+TEST(SupplyChainAttacker, BatchAttributionMatchesSerial)
+{
+    Platform platform = Platform::legacy(3);
+    ThreadPool pool(4);
+    SupplyChainAttacker attacker;
+    attacker.setThreadPool(&pool);
+    for (unsigned c = 0; c < 3; ++c) {
+        TestHarness h = platform.harness(c);
+        attacker.interceptChip(h, "victim-" + std::to_string(c));
+    }
+
+    // Outputs from every chip at varied accuracy, all sharing the
+    // worst-case exact value.
+    const BitVec exact = platform.chip(0).worstCasePattern();
+    std::vector<BitVec> outputs;
+    std::vector<IdentifyResult> serial;
+    std::uint64_t trial = 500;
+    for (unsigned c = 0; c < 3; ++c) {
+        TestHarness h = platform.harness(c);
+        for (double acc : {0.99, 0.95}) {
+            TrialSpec spec;
+            spec.accuracy = acc;
+            spec.trialKey = ++trial;
+            outputs.push_back(h.runWorstCaseTrial(spec).approx);
+            serial.push_back(
+                attacker.attribute(outputs.back(), exact));
+        }
+    }
+
+    const std::vector<IdentifyResult> batch =
+        attacker.attributeBatch(outputs, exact);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(batch[i].match, serial[i].match) << "output " << i;
+        EXPECT_EQ(batch[i].nearest, serial[i].nearest);
+        EXPECT_EQ(batch[i].bestDistance, serial[i].bestDistance);
+    }
+    // The session counters saw both phases.
+    EXPECT_GT(attacker.stats().characterizeSeconds, 0.0);
+    EXPECT_GT(attacker.stats().identifySeconds, 0.0);
+    EXPECT_GT(attacker.stats().distancesComputed +
+                  attacker.stats().distancesPruned,
+              0u);
 }
 
 TEST(SupplyChainAttacker, InterceptValidatesArguments)
@@ -116,6 +162,39 @@ TEST_F(EavesdropperTest, AttributesFreshSamples)
     ASSERT_TRUE(match.has_value());
     EXPECT_EQ(attacker.stitcher().resolve(*match),
               attacker.stitcher().resolve(alice_cluster));
+}
+
+TEST_F(EavesdropperTest, BatchObservationMatchesSerial)
+{
+    // Two identically seeded victims give both attackers the same
+    // sample stream; observeBatch must land every sample in the
+    // same cluster as one-by-one observe.
+    CommoditySystem victim_a(smallMachine(), 0xA, 1);
+    CommoditySystem victim_b(smallMachine(), 0xA, 1);
+    ThreadPool pool(4);
+
+    EavesdropperAttacker one_by_one;
+    EavesdropperAttacker batched;
+    batched.setThreadPool(&pool);
+
+    std::vector<std::size_t> serial_ids;
+    std::vector<ApproximateSample> batch;
+    for (int n = 0; n < 24; ++n) {
+        serial_ids.push_back(
+            one_by_one.observe(victim_a.publish(64 * pageBytes)));
+        batch.push_back(victim_b.publish(64 * pageBytes));
+    }
+    const std::vector<std::size_t> batch_ids =
+        batched.observeBatch(batch);
+
+    EXPECT_EQ(batch_ids, serial_ids);
+    EXPECT_EQ(batched.suspectedMachines(),
+              one_by_one.suspectedMachines());
+    EXPECT_EQ(batched.stitcher().stats().merges,
+              one_by_one.stitcher().stats().merges);
+    EXPECT_EQ(batched.stats().pagesProbed,
+              one_by_one.stats().pagesProbed);
+    EXPECT_GT(batched.stats().ingestSeconds, 0.0);
 }
 
 TEST_F(EavesdropperTest, AslrDefenseBlocksConvergence)

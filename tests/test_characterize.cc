@@ -8,6 +8,7 @@
 
 #include "core/characterize.hh"
 #include "platform/platform.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -118,6 +119,53 @@ TEST(Characterize, MismatchedCountsDie)
     std::vector<BitVec> rs{BitVec(8)};
     std::vector<BitVec> es{BitVec(8), BitVec(8)};
     EXPECT_DEATH(characterize(rs, es), "");
+}
+
+TEST(Characterize, ParallelMatchesSerial)
+{
+    // The tree-wise parallel reduction must produce the same
+    // pattern and source count as the serial left fold, for output
+    // counts around the chunking boundaries and pools of size 1
+    // (inline) and 4 (real threads).
+    Rng rng(21);
+    const std::size_t size = 2048;
+    BitVec exact(size);
+    for (std::size_t n : {1u, 2u, 3u, 7u, 16u, 33u}) {
+        // A stable core plus per-output noise so the intersection
+        // is nontrivial.
+        BitVec core(size);
+        for (int i = 0; i < 40; ++i)
+            core.set(rng.nextBelow(size));
+        std::vector<BitVec> outs;
+        for (std::size_t k = 0; k < n; ++k) {
+            BitVec o = core;
+            for (int i = 0; i < 15; ++i)
+                o.set(rng.nextBelow(size));
+            outs.push_back(std::move(o));
+        }
+        const Fingerprint serial = characterize(outs, exact);
+        for (unsigned lanes : {1u, 4u}) {
+            ThreadPool pool(lanes);
+            const Fingerprint par = characterize(outs, exact, pool);
+            EXPECT_EQ(par.bits(), serial.bits()) << "n " << n;
+            EXPECT_EQ(par.sources(), serial.sources());
+        }
+    }
+}
+
+TEST(Characterize, ParallelPerResultExactValuesOverload)
+{
+    BitVec e1(64), e2(64);
+    e2.set(0);
+    BitVec r1 = e1, r2 = e2;
+    r1.set(7);
+    r2.set(7);
+    ThreadPool pool(2);
+    const Fingerprint serial = characterize({r1, r2}, {e1, e2});
+    const Fingerprint par =
+        characterize({r1, r2}, std::vector<BitVec>{e1, e2}, pool);
+    EXPECT_EQ(par.bits(), serial.bits());
+    EXPECT_EQ(par.sources(), serial.sources());
 }
 
 TEST(Characterize, RealChipFingerprintIsStableVolatileCore)

@@ -189,6 +189,76 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{100, 3277},
                       std::pair<std::size_t, std::size_t>{1638, 3277}));
 
+TEST(ModifiedJaccardBounded, ExactWhenAtOrUnderBound)
+{
+    // Whenever the true distance is <= bound, the bounded kernel
+    // must return it exactly (same division, same value).
+    Rng rng(11);
+    for (unsigned round = 0; round < 20; ++round) {
+        const std::size_t size = 4096;
+        const BitVec fp = randomPattern(size, 16 + rng.nextBelow(200),
+                                        rng);
+        BitVec es = fp;
+        for (unsigned k = 0; k < rng.nextBelow(64); ++k)
+            es.set(rng.nextBelow(size));
+        for (unsigned k = 0; k < rng.nextBelow(8); ++k)
+            es.clear(es.setBits()[rng.nextBelow(es.popcount())]);
+        const double exact = modifiedJaccard(es, fp);
+        for (double bound : {exact, exact + 0.01, 0.5, 1.0}) {
+            if (exact > bound)
+                continue;
+            bool pruned = true;
+            const double got =
+                modifiedJaccardBounded(es, fp, bound, &pruned);
+            EXPECT_FALSE(pruned);
+            EXPECT_EQ(got, exact) << "bound " << bound;
+        }
+    }
+}
+
+TEST(ModifiedJaccardBounded, PrunedResultsStayAboveBound)
+{
+    // When the kernel bails early it reports pruned=true and a
+    // lower bound on the true distance that still exceeds the
+    // bound — enough for any strict-< comparison against the bound
+    // to give the serial verdict.
+    Rng rng(12);
+    for (unsigned round = 0; round < 20; ++round) {
+        const std::size_t size = 4096;
+        const BitVec fp = randomPattern(size, 200, rng);
+        const BitVec es = randomPattern(size, 200, rng);
+        const double exact = modifiedJaccard(es, fp);
+        for (double bound : {0.05, 0.25, 0.5}) {
+            bool pruned = false;
+            const double got =
+                modifiedJaccardBounded(es, fp, bound, &pruned);
+            if (pruned) {
+                EXPECT_GT(got, bound);
+                EXPECT_LE(got, exact);
+            } else {
+                EXPECT_EQ(got, exact);
+            }
+            // Either way the verdict agrees with serial.
+            EXPECT_EQ(got < bound, exact < bound);
+            EXPECT_EQ(got <= bound, exact <= bound);
+        }
+    }
+}
+
+TEST(ModifiedJaccardBounded, DegenerateCasesMatchUnbounded)
+{
+    BitVec empty(64), one(64);
+    one.set(3);
+    for (double bound : {0.0, 0.5, 1.0}) {
+        EXPECT_EQ(modifiedJaccardBounded(empty, empty, bound),
+                  modifiedJaccard(empty, empty));
+        EXPECT_EQ(modifiedJaccardBounded(empty, one, bound),
+                  modifiedJaccard(empty, one));
+        EXPECT_EQ(modifiedJaccardBounded(one, empty, bound),
+                  modifiedJaccard(one, empty));
+    }
+}
+
 TEST(DistanceAblation, HammingFailsUnderAccuracyMismatch)
 {
     // Reproduce the Section 5.2 argument synthetically: an output

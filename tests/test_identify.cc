@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/characterize.hh"
 #include "core/error_string.hh"
 #include "core/identify.hh"
 #include "platform/platform.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -202,10 +206,31 @@ TEST(CalibrateThreshold, GeometricMidpoint)
     EXPECT_NEAR(t, 0.1, 1e-12);
 }
 
-TEST(CalibrateThreshold, OverlappingClassesAreFatal)
+TEST(CalibrateThreshold, OverlappingClassesMinimizeError)
 {
-    EXPECT_EXIT(calibrateThreshold({0.5}, {0.4}),
-                ::testing::ExitedWithCode(1), "");
+    // within {0.1, 0.5}, between {0.3, 0.9}: no clean split exists.
+    // A threshold in (0.3, 0.5] misclassifies exactly one pooled
+    // sample (within 0.5 missed OR between 0.3 matched — the sweep
+    // picks the interval with one error); anything outside that
+    // band misclassifies at least two.
+    const double t = calibrateThreshold({0.1, 0.5}, {0.3, 0.9});
+    std::size_t errors = 0;
+    for (double d : {0.1, 0.5})
+        errors += d >= t;
+    for (double d : {0.3, 0.9})
+        errors += d < t;
+    EXPECT_EQ(errors, 1u);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 0.9);
+}
+
+TEST(CalibrateThreshold, OverlapDoesNotDie)
+{
+    // The old behaviour was fatal(); now it must return a usable
+    // threshold even for fully inverted classes.
+    const double t = calibrateThreshold({0.5}, {0.4});
+    EXPECT_GT(t, 0.0);
+    EXPECT_TRUE(std::isfinite(t));
 }
 
 TEST(CalibrateThreshold, HandlesZeroWithinClass)
@@ -213,6 +238,114 @@ TEST(CalibrateThreshold, HandlesZeroWithinClass)
     const double t = calibrateThreshold({0.0}, {0.9});
     EXPECT_GT(t, 0.0);
     EXPECT_LT(t, 0.9);
+}
+
+TEST(Identify, DistanceEqualToThresholdDoesNotMatch)
+{
+    // Algorithm 2 matches strictly below the threshold: a distance
+    // of exactly 0.5 against threshold 0.5 must fail. es {1,2,3,4}
+    // vs fp {1,2,5,6}: |fp \ es| / wf = 2/4 = 0.5 exactly.
+    FingerprintDb db;
+    db.add("edge", patternFingerprint({1, 2, 5, 6}));
+    BitVec es(1024);
+    for (auto b : {1, 2, 3, 4})
+        es.set(b);
+    IdentifyParams p;
+    p.threshold = 0.5;
+    const IdentifyResult r = identifyErrorString(es, db, p);
+    EXPECT_FALSE(r.match.has_value());
+    ASSERT_TRUE(r.nearest.has_value());
+    EXPECT_DOUBLE_EQ(r.bestDistance, 0.5);
+}
+
+TEST(Identify, MatchAtRecordZeroIsTruthy)
+{
+    // std::optional<size_t> holding 0 must read as "matched":
+    // guards must use has_value(), never the index's truthiness.
+    FingerprintDb db;
+    db.add("only", patternFingerprint({1, 2, 3}));
+    BitVec es(1024);
+    es.set(1);
+    es.set(2);
+    es.set(3);
+    const IdentifyResult r = identifyErrorString(es, db);
+    ASSERT_TRUE(r.match.has_value());
+    EXPECT_EQ(*r.match, 0u);
+    EXPECT_TRUE(static_cast<bool>(r.match));
+    ASSERT_TRUE(r.nearest.has_value());
+    EXPECT_EQ(*r.nearest, 0u);
+}
+
+TEST(Identify, BatchMatchesSerialOnRandomDatabases)
+{
+    // The batch/parallel scans promise bit-identical results. Sweep
+    // randomized databases and queries across both firstMatch
+    // settings and pool sizes 1 (inline) and 4 (real threads); the
+    // queries include exact copies (distance 0), noisy supersets,
+    // and unrelated patterns so matches land at varied indices
+    // including none.
+    Rng rng(0x1DE57);
+    const std::size_t bits = 4096;
+    for (unsigned round = 0; round < 3; ++round) {
+        FingerprintDb db;
+        const std::size_t nrec = 17 + round * 10;
+        for (std::size_t i = 0; i < nrec; ++i) {
+            BitVec fp(bits);
+            const std::size_t weight = 8 + rng.nextBelow(40);
+            while (fp.popcount() < weight)
+                fp.set(rng.nextBelow(bits));
+            db.add("r" + std::to_string(i), Fingerprint(fp));
+        }
+        std::vector<BitVec> queries;
+        for (unsigned q = 0; q < 12; ++q) {
+            BitVec es = db.record(rng.nextBelow(nrec))
+                            .fingerprint.bits();
+            if (q % 3 == 1) { // noisy superset
+                for (unsigned k = 0; k < 30; ++k)
+                    es.set(rng.nextBelow(bits));
+            } else if (q % 3 == 2) { // unrelated
+                es = BitVec(bits);
+                for (unsigned k = 0; k < 25; ++k)
+                    es.set(rng.nextBelow(bits));
+            }
+            queries.push_back(std::move(es));
+        }
+
+        for (bool first_match : {true, false}) {
+            IdentifyParams p;
+            p.firstMatch = first_match;
+            std::vector<IdentifyResult> serial;
+            for (const auto &es : queries)
+                serial.push_back(identifyErrorString(es, db, p));
+
+            for (unsigned lanes : {1u, 4u}) {
+                ThreadPool pool(lanes);
+                AttackStats stats;
+                const auto batch = identifyErrorStringBatch(
+                    queries, db, p, &pool, &stats);
+                ASSERT_EQ(batch.size(), serial.size());
+                for (std::size_t q = 0; q < serial.size(); ++q) {
+                    EXPECT_EQ(batch[q].match, serial[q].match)
+                        << "round " << round << " q " << q
+                        << " lanes " << lanes << " fm "
+                        << first_match;
+                    EXPECT_EQ(batch[q].nearest, serial[q].nearest);
+                    EXPECT_EQ(batch[q].bestDistance,
+                              serial[q].bestDistance);
+                }
+                // Single-query sharded scan, same contract.
+                for (std::size_t q = 0; q < queries.size(); ++q) {
+                    const IdentifyResult r =
+                        identifyErrorStringParallel(queries[q], db,
+                                                    p, pool);
+                    EXPECT_EQ(r.match, serial[q].match);
+                    EXPECT_EQ(r.nearest, serial[q].nearest);
+                    EXPECT_EQ(r.bestDistance,
+                              serial[q].bestDistance);
+                }
+            }
+        }
+    }
 }
 
 TEST(Identify, EndToEndOnSimulatedChips)

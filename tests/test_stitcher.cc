@@ -10,6 +10,7 @@
 #include "core/stitcher.hh"
 #include "dram/modeled_dram.hh"
 #include "os/page.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -164,6 +165,56 @@ TEST_F(StitcherTest, ChainOfOverlapsReconstructsWholeRegion)
     }
     EXPECT_EQ(st.numSuspectedChips(), 1u);
     EXPECT_EQ(st.clusterSpan(first), 64u);
+}
+
+TEST_F(StitcherTest, ZeroCheckableOverlapRejectsMerge)
+{
+    // maxVerifyPages = 0 means no overlapping page can ever be
+    // checked; verifyAlignment must explicitly reject (previously
+    // this path computed 0/0). With minVerifyMatches = 0 as well,
+    // an accidental "matched >= min" pass would wrongly merge.
+    StitchParams prm;
+    prm.maxVerifyPages = 0;
+    prm.minVerifyMatches = 0;
+    Stitcher st(prm);
+    const std::size_t a = st.addSample(sample(0, 16, 1));
+    const std::size_t b = st.addSample(sample(8, 16, 2));
+    EXPECT_NE(st.resolve(a), st.resolve(b));
+    EXPECT_EQ(st.numSuspectedChips(), 2u);
+    EXPECT_GE(st.stats().rejectedMerges, 1u);
+    // And identification must reject too (same verify path).
+    EXPECT_FALSE(st.matchSample(sample(4, 8, 3)).has_value());
+}
+
+TEST_F(StitcherTest, BatchIngestMatchesSequential)
+{
+    // addSamples() must evolve the cluster state exactly like
+    // one-by-one addSample(), with or without a thread pool.
+    std::vector<std::vector<SparseBitset>> samples;
+    for (std::uint64_t s = 0; s < 12; ++s)
+        samples.push_back(sample((s * 40) % 200, 16, 100 + s));
+
+    Stitcher serial;
+    std::vector<std::size_t> serial_ids;
+    for (const auto &pages : samples)
+        serial_ids.push_back(serial.addSample(pages));
+
+    for (unsigned lanes : {0u, 1u, 4u}) {
+        Stitcher st;
+        ThreadPool pool(lanes ? lanes : 1);
+        if (lanes)
+            st.setThreadPool(&pool);
+        const std::vector<std::size_t> ids = st.addSamples(samples);
+        EXPECT_EQ(ids, serial_ids) << "lanes " << lanes;
+        EXPECT_EQ(st.numSuspectedChips(), serial.numSuspectedChips());
+        EXPECT_EQ(st.totalFingerprintedPages(),
+                  serial.totalFingerprintedPages());
+        EXPECT_EQ(st.stats().merges, serial.stats().merges);
+        EXPECT_EQ(st.stats().pagesProbed, serial.stats().pagesProbed);
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            EXPECT_EQ(st.clusterSpan(ids[i]),
+                      serial.clusterSpan(serial_ids[i]));
+    }
 }
 
 TEST(Stitcher, RejectsBadParams)
