@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Decay-engine performance and statistical-equivalence check.
+ *
+ * Times the word-level trial generator against an in-file per-cell
+ * reference (the seed implementation's algorithm: eager sequential
+ * sampling of every cell's effective retention, bit-by-bit decay
+ * compare) and verifies the engine's error statistics: the observed
+ * error fraction at a stress chosen by stressQuantile(q) must equal
+ * q, and across a stress sweep it must track the configured Gaussian
+ * retention CDF. Emits BENCH_decay.json and exits nonzero when the
+ * speedup floor (5x) or any statistical tolerance is violated, so it
+ * can run as a (non-gating) CI smoke job.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dram/dram_chip.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace pcause;
+
+/**
+ * Per-cell reference trial: what the decay engine replaced. One
+ * sequential RNG per trial, every cell's effective retention sampled
+ * eagerly, decay decided bit by bit. Same physics, same
+ * distribution — the baseline the 5x floor is measured against.
+ */
+BitVec
+referenceTrial(const DramChip &chip, const BitVec &pattern,
+               std::uint64_t trial_key, Seconds dt, Celsius temp)
+{
+    const DramConfig &cfg = chip.config();
+    const RetentionModel &model = chip.retention();
+    const double s = dt * model.accel(temp);
+
+    Rng rng(mix64(chip.chipSeed(), trial_key));
+    BitVec out(pattern.size());
+    for (std::size_t cell = 0; cell < pattern.size(); ++cell) {
+        const bool def = cfg.defaultBit(cell / cfg.rowBits());
+        const bool stored = pattern.get(cell);
+        const Seconds eff = model.sampleEffective(cell, rng);
+        const bool decayed = stored != def && s >= eff;
+        out.set(cell, decayed ? def : stored);
+    }
+    return out;
+}
+
+double
+secondsPerTrial(const std::function<void(std::uint64_t)> &trial,
+                unsigned reps)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    for (unsigned i = 0; i < reps; ++i)
+        trial(i + 1);
+    const auto t1 = clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / reps;
+}
+
+double
+phi(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+struct Check
+{
+    std::string name;
+    double expected;
+    double observed;
+    double tolerance;
+    bool pass() const
+    {
+        return std::abs(observed - expected) <= tolerance;
+    }
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    const DramConfig cfg = DramConfig::km41464a(); // 32 KB geometry
+    DramChip chip(cfg, 42);
+    const BitVec pattern = chip.worstCasePattern();
+    const std::size_t n = chip.size();
+    const Celsius temp = cfg.referenceTemp;
+
+    bool ok = true;
+    std::vector<Check> checks;
+
+    // --- Statistical equivalence -----------------------------------
+    // (1) stressQuantile inversion: holding for stressQuantile(q)
+    // must decay a q fraction of the (all-charged) device. Averaged
+    // over trials; slack covers VRT excursions (vrtFraction / 2 in
+    // expectation), trial noise at the boundary, and quantile
+    // granularity.
+    for (double q : {0.01, 0.05, 0.10, 0.20}) {
+        const Seconds hold = chip.retention().stressQuantile(q);
+        double err = 0.0;
+        constexpr unsigned trials = 8;
+        for (unsigned t = 0; t < trials; ++t) {
+            const BitVec out =
+                chip.trialPeek(pattern, 1000 + t, hold, temp);
+            err += static_cast<double>(out.hammingDistance(pattern)) /
+                   n;
+        }
+        checks.push_back({"quantile q=" + std::to_string(q), q,
+                          err / trials, 0.004});
+    }
+
+    // (2) Gaussian retention CDF: across a stress sweep the error
+    // fraction must track Phi((s - mean) / spread). The tolerance
+    // covers the single-chip finite-sample CDF deviation plus VRT.
+    for (double s : {14.0, 17.0, 20.0, 23.0, 26.0}) {
+        const double expect =
+            phi((s - cfg.retentionMean) / cfg.retentionSpread);
+        double err = 0.0;
+        constexpr unsigned trials = 4;
+        for (unsigned t = 0; t < trials; ++t) {
+            const BitVec out =
+                chip.trialPeek(pattern, 2000 + t, s, temp);
+            err += static_cast<double>(out.hammingDistance(pattern)) /
+                   n;
+        }
+        checks.push_back({"cdf s=" + std::to_string(s), expect,
+                          err / trials, 0.01});
+    }
+
+    // (3) Engine vs per-cell reference: same mean error fraction at
+    // the 5% stress (different streams, same distribution).
+    {
+        const Seconds hold = chip.retention().stressQuantile(0.05);
+        double eng = 0.0, ref = 0.0;
+        constexpr unsigned trials = 8;
+        for (unsigned t = 0; t < trials; ++t) {
+            eng += static_cast<double>(
+                       chip.trialPeek(pattern, 3000 + t, hold, temp)
+                           .hammingDistance(pattern)) /
+                   n;
+            ref += static_cast<double>(
+                       referenceTrial(chip, pattern, 3000 + t, hold,
+                                      temp)
+                           .hammingDistance(pattern)) /
+                   n;
+        }
+        checks.push_back({"engine vs reference @5%", ref / trials,
+                          eng / trials, 0.004});
+    }
+
+    for (const Check &c : checks) {
+        if (!c.pass())
+            ok = false;
+        std::printf("%-28s expected %.5f observed %.5f (tol %.4f) %s\n",
+                    c.name.c_str(), c.expected, c.observed, c.tolerance,
+                    c.pass() ? "ok" : "FAIL");
+    }
+
+    // --- Throughput ------------------------------------------------
+    const Seconds hold = chip.retention().stressQuantile(0.01);
+    const double ref_s = secondsPerTrial(
+        [&](std::uint64_t k) {
+            BitVec out = referenceTrial(chip, pattern, k, hold, temp);
+            if (out.size() == 0)
+                std::abort(); // keep the trial observable
+        },
+        4);
+    const double eng_s = secondsPerTrial(
+        [&](std::uint64_t k) {
+            BitVec out = chip.trialPeek(pattern, k, hold, temp);
+            if (out.size() == 0)
+                std::abort();
+        },
+        64);
+    ThreadPool &pool = ThreadPool::global();
+    constexpr std::size_t batch = 64;
+    const double par_s = secondsPerTrial(
+        [&](std::uint64_t k) {
+            std::vector<std::uint64_t> keys(batch);
+            for (std::size_t i = 0; i < batch; ++i)
+                keys[i] = k * batch + i;
+            auto outs =
+                chip.trialPeekBatch(pattern, keys, hold, temp, pool);
+            if (outs.size() != batch)
+                std::abort();
+        },
+        4) / batch;
+
+    const double speedup = ref_s / eng_s;
+    const double par_speedup = ref_s / par_s;
+    std::printf("\nper-cell reference : %9.3f ms/trial\n", ref_s * 1e3);
+    std::printf("word-level engine  : %9.3f ms/trial (%.1fx)\n",
+                eng_s * 1e3, speedup);
+    std::printf("batch over %zu thr  : %9.3f ms/trial (%.1fx)\n",
+                pool.size(), par_s * 1e3, par_speedup);
+    if (speedup < 5.0) {
+        std::printf("FAIL: serial speedup %.1fx below the 5x floor\n",
+                    speedup);
+        ok = false;
+    }
+
+    // --- Report ----------------------------------------------------
+    std::ofstream json("BENCH_decay.json");
+    json << "{\n"
+         << "  \"geometry\": \"" << cfg.name << "\",\n"
+         << "  \"bits\": " << n << ",\n"
+         << "  \"reference_ms_per_trial\": " << ref_s * 1e3 << ",\n"
+         << "  \"engine_ms_per_trial\": " << eng_s * 1e3 << ",\n"
+         << "  \"batch_ms_per_trial\": " << par_s * 1e3 << ",\n"
+         << "  \"serial_speedup\": " << speedup << ",\n"
+         << "  \"batch_speedup\": " << par_speedup << ",\n"
+         << "  \"threads\": " << pool.size() << ",\n"
+         << "  \"checks\": [\n";
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+        const Check &c = checks[i];
+        json << "    {\"name\": \"" << c.name << "\", \"expected\": "
+             << c.expected << ", \"observed\": " << c.observed
+             << ", \"tolerance\": " << c.tolerance << ", \"pass\": "
+             << (c.pass() ? "true" : "false") << "}"
+             << (i + 1 < checks.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"pass\": " << (ok ? "true" : "false") << "\n"
+         << "}\n";
+
+    std::printf("\n%s (BENCH_decay.json written)\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

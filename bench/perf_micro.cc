@@ -16,6 +16,7 @@
 #include "dram/approx_memory.hh"
 #include "dram/modeled_dram.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace
 {
@@ -93,6 +94,67 @@ BM_FullChipDecayTrial(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullChipDecayTrial)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullChipTrialPeek(benchmark::State &state)
+{
+    // Pure-function trial generation: the word-level decay engine
+    // observing one whole trial without mutating the device.
+    DramChip chip(DramConfig::km41464a(), 42);
+    const BitVec pattern = chip.worstCasePattern();
+    const Seconds hold =
+        chip.retention().stressQuantile(0.01); // 1% error stress
+    std::uint64_t trial = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            chip.trialPeek(pattern, ++trial, hold, chip.config().referenceTemp));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullChipTrialPeek)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullChipTrialPeekBatch(benchmark::State &state)
+{
+    // Independent trials sharded across the pool; items/sec counts
+    // trials, so the speedup over BM_FullChipTrialPeek is the
+    // parallel efficiency.
+    DramChip chip(DramConfig::km41464a(), 42);
+    const BitVec pattern = chip.worstCasePattern();
+    const Seconds hold = chip.retention().stressQuantile(0.01);
+    const std::size_t batch = state.range(0);
+    ThreadPool &pool = ThreadPool::global();
+    std::uint64_t trial = 0;
+    for (auto _ : state) {
+        std::vector<std::uint64_t> keys(batch);
+        for (auto &k : keys)
+            k = ++trial;
+        benchmark::DoNotOptimize(chip.trialPeekBatch(
+            pattern, keys, hold, chip.config().referenceTemp, pool));
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FullChipTrialPeekBatch)
+    ->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void
+BM_ElapseAndPeekParallel(benchmark::State &state)
+{
+    // Stateful observation with rows sharded across the pool — the
+    // path long-hold experiments take.
+    DramChip chip(DramConfig::km41464a(), 42);
+    const BitVec pattern = chip.worstCasePattern();
+    const Seconds hold = chip.retention().stressQuantile(0.05);
+    ThreadPool &pool = ThreadPool::global();
+    std::uint64_t trial = 0;
+    for (auto _ : state) {
+        chip.reseedTrial(++trial);
+        chip.write(pattern);
+        benchmark::DoNotOptimize(
+            chip.elapseAndPeekParallel(hold, chip.config().referenceTemp, pool));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElapseAndPeekParallel)->Unit(benchmark::kMillisecond);
 
 void
 BM_ModeledPageObservation(benchmark::State &state)

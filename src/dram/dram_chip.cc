@@ -1,24 +1,105 @@
 #include "dram/dram_chip.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
+
+namespace
+{
+
+/**
+ * Decay decisions for the charged cells of one word. @p charged has
+ * a bit set for every charged cell of interest in word @p wi (cell
+ * indices 64*wi + bit); the return has a bit set for every one of
+ * those cells whose effective retention the stress @p s has passed.
+ *
+ * The bound check handles almost every cell with one float compare;
+ * only cells whose base retention sits inside the trial-noise band
+ * around the stress (and VRT cells near their two states) pay for a
+ * counter-based sample.
+ */
+std::uint64_t
+decayWord(const RetentionModel &model, std::uint64_t trial_stream,
+          std::uint64_t charged, std::size_t wi, double s,
+          std::uint64_t ep)
+{
+    std::uint64_t decayed = 0;
+    while (charged) {
+        const unsigned b = std::countr_zero(charged);
+        charged &= charged - 1;
+        const std::size_t cell = wi * 64 + b;
+        if (s < model.minEffective(cell))
+            continue;
+        if (s >= model.maxEffective(cell) ||
+            s >= model.effectiveRetention(cell, trial_stream, ep)) {
+            decayed |= 1ull << b;
+        }
+    }
+    return decayed;
+}
+
+/**
+ * Walk the words overlapping cell span [begin, end) of a single row
+ * and hand every non-empty decay mask to @p f(word_index, mask).
+ * @p content supplies the stored bits, @p defw the row's default
+ * value replicated across a word, @p s the row's stress, and @p ep
+ * its charge epoch. Words whose minimum possible retention exceeds
+ * the stress are skipped without touching per-cell state.
+ */
+template <typename F>
+void
+decaySpanWords(const RetentionModel &model, const BitVec &content,
+               std::uint64_t trial_stream, std::size_t begin,
+               std::size_t end, std::uint64_t defw, double s,
+               std::uint64_t ep, F &&f)
+{
+    const std::size_t wlast = (end - 1) / 64;
+    for (std::size_t wi = begin / 64; wi <= wlast; ++wi) {
+        const std::size_t lo = std::max(begin, wi * 64);
+        const std::size_t hi = std::min(end, wi * 64 + 64);
+        const std::uint64_t mask = (hi - lo == 64)
+            ? ~0ull
+            : ((~0ull >> (64 - (hi - lo))) << (lo - wi * 64));
+        const std::uint64_t charged =
+            (content.wordAt(wi) ^ defw) & mask;
+        if (!charged || s < model.wordMinEffective(wi))
+            continue;
+        const std::uint64_t dead =
+            decayWord(model, trial_stream, charged, wi, s, ep);
+        if (dead)
+            f(wi, dead);
+    }
+}
+
+} // anonymous namespace
 
 DramChip::DramChip(const DramConfig &config, std::uint64_t chip_seed)
     : cfg(config),
       model(config, chip_seed),
       stored(config.totalBits()),
-      dead(config.totalBits()),
-      effRet(config.totalBits(), 0.0f),
       stress(config.rows, 0.0),
-      trialRng(mix64(chip_seed, 0x74726961 /* "tria" */))
+      epoch(config.rows, 0),
+      trialStreamBase(RetentionModel::trialStream(chip_seed, 0))
 {
     // A powered-up chip holds every cell at its default value.
     for (std::size_t row = 0; row < cfg.rows; ++row) {
-        if (cfg.defaultBit(row)) {
-            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
-                stored.set(row * cfg.rowBits() + i);
+        if (!cfg.defaultBit(row))
+            continue;
+        const std::size_t begin = row * cfg.rowBits();
+        const std::size_t end = begin + cfg.rowBits();
+        const std::size_t wlast = (end - 1) / 64;
+        for (std::size_t wi = begin / 64; wi <= wlast; ++wi) {
+            const std::size_t lo = std::max(begin, wi * 64);
+            const std::size_t hi = std::min(end, wi * 64 + 64);
+            const std::uint64_t mask = (hi - lo == 64)
+                ? ~0ull
+                : ((~0ull >> (64 - (hi - lo))) << (lo - wi * 64));
+            stored.applyMasked(wi, mask, true);
         }
     }
 }
@@ -26,34 +107,39 @@ DramChip::DramChip(const DramConfig &config, std::uint64_t chip_seed)
 void
 DramChip::reseedTrial(std::uint64_t trial_key)
 {
-    trialRng = Rng(mix64(model.chipSeed(), trial_key));
+    trialKeyVal = trial_key;
+    trialStreamBase =
+        RetentionModel::trialStream(model.chipSeed(), trial_key);
+    // Restart the charge-interval counters so the same trial key
+    // always replays the same noise regardless of prior history.
+    std::fill(epoch.begin(), epoch.end(), 0);
 }
 
 void
 DramChip::materializeDecay(std::size_t row)
 {
     const double s = stress[row];
-    if (s <= 0.0)
+    if (s <= 0.0 || s < model.rowMinEffective(row))
         return;
     const std::size_t begin = row * cfg.rowBits();
-    const std::size_t end = begin + cfg.rowBits();
-    for (std::size_t cell = begin; cell < end; ++cell) {
-        if (isCharged(cell) && s >= effRet[cell])
-            dead.set(cell);
-    }
+    const bool def = cfg.defaultBit(row);
+    decaySpanWords(model, stored, trialStreamBase, begin,
+                   begin + cfg.rowBits(), def ? ~0ull : 0ull, s,
+                   epoch[row],
+                   [&](std::size_t wi, std::uint64_t mask) {
+                       stored.applyMasked(wi, mask, def);
+                   });
 }
 
 void
 DramChip::rechargeRow(std::size_t row)
 {
     stress[row] = 0.0;
-    const std::size_t begin = row * cfg.rowBits();
-    const std::size_t end = begin + cfg.rowBits();
-    for (std::size_t cell = begin; cell < end; ++cell) {
-        if (isCharged(cell))
-            effRet[cell] = static_cast<float>(
-                model.sampleEffective(cell, trialRng));
-    }
+    // Advancing the epoch rekeys every cell's counter-based noise
+    // draw, i.e. resamples the whole row's effective retention in
+    // O(1) — samples are only materialized if a later observation
+    // lands inside a cell's noise band.
+    ++epoch[row];
 }
 
 void
@@ -61,7 +147,6 @@ DramChip::write(const BitVec &data)
 {
     PC_ASSERT(data.size() == size(), "write size mismatch");
     stored = data;
-    dead.fill(false);
     for (std::size_t row = 0; row < cfg.rows; ++row)
         rechargeRow(row);
 }
@@ -77,27 +162,13 @@ DramChip::writeRegion(std::size_t start, const BitVec &data)
     const std::size_t first_row = rowOf(start);
     const std::size_t last_row = rowOf(start + data.size() - 1);
 
-    // The row read phase folds decay into untouched cells first.
+    // The row read phase folds decay into untouched cells first:
+    // decayed cells stay at their default value after the
+    // read-modify-write; written cells start fresh.
     for (std::size_t row = first_row; row <= last_row; ++row)
         materializeDecay(row);
 
-    // Decayed untouched cells stay at their default value after the
-    // read-modify-write; written cells start fresh.
-    for (std::size_t row = first_row; row <= last_row; ++row) {
-        const std::size_t begin = row * cfg.rowBits();
-        const std::size_t end = begin + cfg.rowBits();
-        const bool def = cfg.defaultBit(row);
-        for (std::size_t cell = begin; cell < end; ++cell) {
-            if (dead.get(cell)) {
-                stored.set(cell, def);
-                dead.clear(cell);
-            }
-        }
-    }
-
     stored.blit(start, data);
-    for (std::size_t i = 0; i < data.size(); ++i)
-        dead.clear(start + i);
 
     for (std::size_t row = first_row; row <= last_row; ++row)
         rechargeRow(row);
@@ -109,38 +180,73 @@ DramChip::peek() const
     BitVec out = stored;
     for (std::size_t row = 0; row < cfg.rows; ++row) {
         const double s = stress[row];
+        if (s <= 0.0 || s < model.rowMinEffective(row))
+            continue;
         const bool def = cfg.defaultBit(row);
         const std::size_t begin = row * cfg.rowBits();
-        const std::size_t end = begin + cfg.rowBits();
-        for (std::size_t cell = begin; cell < end; ++cell) {
-            if (dead.get(cell)) {
-                out.set(cell, def);
-            } else if (stored.get(cell) != def && s >= effRet[cell]) {
-                out.set(cell, def);
-            }
-        }
+        decaySpanWords(model, stored, trialStreamBase, begin,
+                       begin + cfg.rowBits(), def ? ~0ull : 0ull, s,
+                       epoch[row],
+                       [&](std::size_t wi, std::uint64_t mask) {
+                           out.applyMasked(wi, mask, def);
+                       });
     }
+    return out;
+}
+
+BitVec
+DramChip::peekParallel(ThreadPool &pool) const
+{
+    // Sharding by row is only safe when rows do not share backing
+    // words; all shipped geometries are word-aligned, odd ones fall
+    // back to the serial path.
+    if (cfg.rowBits() % 64 != 0 || pool.size() == 1)
+        return peek();
+    BitVec out = stored;
+    pool.parallelFor(0, cfg.rows, [&](std::size_t row) {
+        const double s = stress[row];
+        if (s <= 0.0 || s < model.rowMinEffective(row))
+            return;
+        const bool def = cfg.defaultBit(row);
+        const std::size_t begin = row * cfg.rowBits();
+        decaySpanWords(model, stored, trialStreamBase, begin,
+                       begin + cfg.rowBits(), def ? ~0ull : 0ull, s,
+                       epoch[row],
+                       [&](std::size_t wi, std::uint64_t mask) {
+                           out.applyMasked(wi, mask, def);
+                       });
+    });
     return out;
 }
 
 BitVec
 DramChip::peekRegion(std::size_t start, std::size_t len) const
 {
-    // Simple but correct: decay state is row-local, so peeking the
-    // whole device and slicing is equivalent. Regions are small in
-    // practice (pages), so do the row-local work directly.
     PC_ASSERT(start + len <= size(), "peekRegion out of range");
-    BitVec out(len);
-    for (std::size_t i = 0; i < len; ++i) {
-        const std::size_t cell = start + i;
-        const std::size_t row = rowOf(cell);
+    BitVec out = stored.slice(start, len);
+    if (len == 0)
+        return out;
+    const std::size_t first_row = rowOf(start);
+    const std::size_t last_row = rowOf(start + len - 1);
+    for (std::size_t row = first_row; row <= last_row; ++row) {
+        const double s = stress[row];
+        if (s <= 0.0 || s < model.rowMinEffective(row))
+            continue;
         const bool def = cfg.defaultBit(row);
-        bool v = stored.get(cell);
-        if (dead.get(cell) ||
-            (v != def && stress[row] >= effRet[cell])) {
-            v = def;
-        }
-        out.set(i, v);
+        const std::size_t begin =
+            std::max(start, row * cfg.rowBits());
+        const std::size_t end =
+            std::min(start + len, (row + 1) * cfg.rowBits());
+        decaySpanWords(model, stored, trialStreamBase, begin, end,
+                       def ? ~0ull : 0ull, s, epoch[row],
+                       [&](std::size_t wi, std::uint64_t mask) {
+                           while (mask) {
+                               const unsigned b =
+                                   std::countr_zero(mask);
+                               mask &= mask - 1;
+                               out.set(wi * 64 + b - start, def);
+                           }
+                       });
     }
     return out;
 }
@@ -156,18 +262,9 @@ void
 DramChip::refreshRow(std::size_t row)
 {
     PC_ASSERT(row < cfg.rows, "refreshRow out of range");
+    // The refresh write locks in decayed default values; the cells
+    // are healthy again, just holding the wrong data.
     materializeDecay(row);
-    const bool def = cfg.defaultBit(row);
-    const std::size_t begin = row * cfg.rowBits();
-    const std::size_t end = begin + cfg.rowBits();
-    for (std::size_t cell = begin; cell < end; ++cell) {
-        if (dead.get(cell)) {
-            // The refresh write locks in the decayed default value;
-            // the cell is healthy again, just holding the wrong data.
-            stored.set(cell, def);
-            dead.clear(cell);
-        }
-    }
     rechargeRow(row);
 }
 
@@ -187,6 +284,14 @@ DramChip::elapse(Seconds dt, Celsius temp)
         s += add;
 }
 
+BitVec
+DramChip::elapseAndPeekParallel(Seconds dt, Celsius temp,
+                                ThreadPool &pool)
+{
+    elapse(dt, temp);
+    return peekParallel(pool);
+}
+
 void
 DramChip::elapseRow(std::size_t row, Seconds dt, Celsius temp)
 {
@@ -196,13 +301,65 @@ DramChip::elapseRow(std::size_t row, Seconds dt, Celsius temp)
 }
 
 BitVec
+DramChip::trialPeek(const BitVec &pattern, std::uint64_t trial_key,
+                    Seconds dt, Celsius temp) const
+{
+    PC_ASSERT(pattern.size() == size(), "pattern size mismatch");
+    PC_ASSERT(dt >= 0.0, "trialPeek requires non-negative time");
+    // After reseedTrial + write every row is at epoch 1 with its
+    // full stress accumulated in one hold — the state the keyed
+    // generator reproduces here without mutating anything.
+    const double s = dt * model.accel(temp);
+    const std::uint64_t stream =
+        RetentionModel::trialStream(model.chipSeed(), trial_key);
+    BitVec out = pattern;
+    if (s <= 0.0)
+        return out;
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        if (s < model.rowMinEffective(row))
+            continue;
+        const bool def = cfg.defaultBit(row);
+        const std::size_t begin = row * cfg.rowBits();
+        decaySpanWords(model, pattern, stream, begin,
+                       begin + cfg.rowBits(), def ? ~0ull : 0ull, s,
+                       1,
+                       [&](std::size_t wi, std::uint64_t mask) {
+                           out.applyMasked(wi, mask, def);
+                       });
+    }
+    return out;
+}
+
+std::vector<BitVec>
+DramChip::trialPeekBatch(const BitVec &pattern,
+                         const std::vector<std::uint64_t> &trial_keys,
+                         Seconds dt, Celsius temp,
+                         ThreadPool &pool) const
+{
+    std::vector<BitVec> out(trial_keys.size());
+    pool.parallelFor(0, trial_keys.size(), [&](std::size_t i) {
+        out[i] = trialPeek(pattern, trial_keys[i], dt, temp);
+    });
+    return out;
+}
+
+BitVec
 DramChip::worstCasePattern() const
 {
     BitVec out(size());
     for (std::size_t row = 0; row < cfg.rows; ++row) {
-        if (!cfg.defaultBit(row)) {
-            for (std::size_t i = 0; i < cfg.rowBits(); ++i)
-                out.set(row * cfg.rowBits() + i);
+        if (cfg.defaultBit(row))
+            continue;
+        const std::size_t begin = row * cfg.rowBits();
+        const std::size_t end = begin + cfg.rowBits();
+        const std::size_t wlast = (end - 1) / 64;
+        for (std::size_t wi = begin / 64; wi <= wlast; ++wi) {
+            const std::size_t lo = std::max(begin, wi * 64);
+            const std::size_t hi = std::min(end, wi * 64 + 64);
+            const std::uint64_t mask = (hi - lo == 64)
+                ? ~0ull
+                : ((~0ull >> (64 - (hi - lo))) << (lo - wi * 64));
+            out.applyMasked(wi, mask, true);
         }
     }
     return out;
@@ -211,19 +368,21 @@ DramChip::worstCasePattern() const
 std::size_t
 DramChip::decayedCount() const
 {
+    // Same word-mask builder as peek(): the count is exactly the
+    // number of bits peek() would flip back to the default.
     std::size_t n = 0;
     for (std::size_t row = 0; row < cfg.rows; ++row) {
         const double s = stress[row];
+        if (s <= 0.0 || s < model.rowMinEffective(row))
+            continue;
         const std::size_t begin = row * cfg.rowBits();
-        const std::size_t end = begin + cfg.rowBits();
-        for (std::size_t cell = begin; cell < end; ++cell) {
-            if (dead.get(cell)) {
-                ++n;
-            } else if (stored.get(cell) != cfg.defaultBit(row) &&
-                       s >= effRet[cell]) {
-                ++n;
-            }
-        }
+        decaySpanWords(model, stored, trialStreamBase, begin,
+                       begin + cfg.rowBits(),
+                       cfg.defaultBit(row) ? ~0ull : 0ull, s,
+                       epoch[row],
+                       [&](std::size_t, std::uint64_t mask) {
+                           n += std::popcount(mask);
+                       });
     }
     return n;
 }

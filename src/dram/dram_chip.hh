@@ -15,6 +15,15 @@
  * is scaled by the Arrhenius-style acceleration factor and compared
  * against reference-temperature retention, so arbitrary temperature
  * profiles are supported.
+ *
+ * The decay hot path operates on 64-bit words: each row's decay is
+ * computed as a word mask (charged cells whose effective retention
+ * the accumulated stress has passed) and applied with bulk AND/OR.
+ * Effective retention is sampled lazily through the retention
+ * model's counter-based generator — keyed on (chip seed, trial key,
+ * charge epoch, cell) — so a recharge costs O(1) per row and
+ * whole-trial observations are pure functions that can be sharded
+ * across a thread pool (trialPeek / trialPeekBatch / peekParallel).
  */
 
 #ifndef PCAUSE_DRAM_DRAM_CHIP_HH
@@ -31,6 +40,8 @@
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** One simulated DRAM device with refresh disabled by default. */
 class DramChip
@@ -65,9 +76,25 @@ class DramChip
 
     /**
      * Reseed the per-trial noise stream. Call once per experimental
-     * trial to make trials reproducible yet independent.
+     * trial to make trials reproducible yet independent: the same
+     * trial key always replays the same noise, regardless of what
+     * ran before.
      */
     void reseedTrial(std::uint64_t trial_key);
+
+    /** The trial key set by the last reseedTrial() (0 initially). */
+    std::uint64_t trialKey() const { return trialKeyVal; }
+
+    /** Accumulated reference-temperature stress on @p row. */
+    double rowStress(std::size_t row) const { return stress[row]; }
+
+    /**
+     * Charge epoch of @p row: the number of recharges (writes or
+     * refreshes) the row has seen since the last reseedTrial().
+     * Together with the trial key this indexes the counter-based
+     * noise stream.
+     */
+    std::uint64_t rowEpoch(std::size_t row) const { return epoch[row]; }
 
     /** Overwrite the entire device; all rows are freshly charged. */
     void write(const BitVec &data);
@@ -85,6 +112,9 @@ class DramChip
      * decayed cells read as their default value. Does not refresh.
      */
     BitVec peek() const;
+
+    /** peek() with rows sharded across @p pool. */
+    BitVec peekParallel(ThreadPool &pool) const;
 
     /** Observation of bits [start, start+len) without refreshing. */
     BitVec peekRegion(std::size_t start, std::size_t len) const;
@@ -108,6 +138,10 @@ class DramChip
      */
     void elapse(Seconds dt, Celsius temp);
 
+    /** elapse() followed by peekParallel(). */
+    BitVec elapseAndPeekParallel(Seconds dt, Celsius temp,
+                                 ThreadPool &pool);
+
     /**
      * Accumulate unrefreshed hold time on a single row — the
      * primitive behind multi-rate refresh schemes (RAIDR-style
@@ -116,6 +150,25 @@ class DramChip
      * refreshes).
      */
     void elapseRow(std::size_t row, Seconds dt, Celsius temp);
+
+    /**
+     * One whole decay trial as a pure function: the contents this
+     * device would show after reseedTrial(trial_key), write(pattern)
+     * and an unrefreshed hold of @p dt at @p temp — computed without
+     * touching device state. Bit-identical to running that stateful
+     * sequence. Safe to call concurrently from many threads.
+     */
+    BitVec trialPeek(const BitVec &pattern, std::uint64_t trial_key,
+                     Seconds dt, Celsius temp) const;
+
+    /**
+     * trialPeek() for a batch of independent trial keys, sharded
+     * across @p pool. Result i corresponds to trial_keys[i].
+     */
+    std::vector<BitVec>
+    trialPeekBatch(const BitVec &pattern,
+                   const std::vector<std::uint64_t> &trial_keys,
+                   Seconds dt, Celsius temp, ThreadPool &pool) const;
 
     /**
      * The worst-case test pattern: every cell written opposite its
@@ -128,28 +181,22 @@ class DramChip
     std::size_t decayedCount() const;
 
   private:
-    /** Fold decay into row @p row: decide which charged cells have
-     *  exceeded their effective retention under current stress. */
+    /** Fold decay into row @p row: decayed charged cells revert to
+     *  the row's default value in the stored image. */
     void materializeDecay(std::size_t row);
 
-    /** Recharge row @p row: clear stress, resample effective
-     *  retention for all charged cells. */
+    /** Recharge row @p row: clear stress, advance the charge epoch
+     *  (which reselects all of the row's effective retentions). */
     void rechargeRow(std::size_t row);
-
-    bool isCharged(std::size_t cell) const
-    {
-        return stored.get(cell) != cfg.defaultBit(rowOf(cell)) &&
-            !dead.get(cell);
-    }
 
     DramConfig cfg;
     RetentionModel model;
 
-    BitVec stored;               //!< logical values as written
-    BitVec dead;                 //!< cells that already decayed
-    std::vector<float> effRet;   //!< per-cell effective retention
-    std::vector<double> stress;  //!< per-row accumulated ref-temp time
-    Rng trialRng;                //!< per-interval noise source
+    BitVec stored;                    //!< logical values as written
+    std::vector<double> stress;       //!< per-row accumulated ref-temp time
+    std::vector<std::uint64_t> epoch; //!< per-row charge-interval counter
+    std::uint64_t trialKeyVal = 0;    //!< key set by reseedTrial()
+    std::uint64_t trialStreamBase;    //!< cached noise stream base
 };
 
 } // namespace pcause

@@ -1,6 +1,7 @@
 #include "dram/memory_system.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -37,6 +38,56 @@ InterleavedMemory::mapAddress(std::size_t g) const
     return {chip, local_block * gran + g % gran};
 }
 
+std::vector<BitVec>
+InterleavedMemory::scatter(const BitVec &data) const
+{
+    std::vector<BitVec> staged;
+    staged.reserve(members.size());
+    for (std::size_t c = 0; c < members.size(); ++c)
+        staged.emplace_back(members[0]->size());
+    if (gran % 64 == 0) {
+        // Blocks are whole words: move gran/64 words per block.
+        const std::size_t gw = gran / 64;
+        const std::size_t blocks = data.size() / gran;
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const std::size_t chip = b % members.size();
+            const std::size_t lb = b / members.size();
+            for (std::size_t w = 0; w < gw; ++w)
+                staged[chip].setWord(lb * gw + w,
+                                     data.wordAt(b * gw + w));
+        }
+    } else {
+        for (std::size_t g = 0; g < data.size(); ++g) {
+            const auto [chip, local] = mapAddress(g);
+            staged[chip].set(local, data.get(g));
+        }
+    }
+    return staged;
+}
+
+BitVec
+InterleavedMemory::gather(const std::vector<BitVec> &images) const
+{
+    BitVec out(size());
+    if (gran % 64 == 0) {
+        const std::size_t gw = gran / 64;
+        const std::size_t blocks = out.size() / gran;
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const std::size_t chip = b % members.size();
+            const std::size_t lb = b / members.size();
+            for (std::size_t w = 0; w < gw; ++w)
+                out.setWord(b * gw + w,
+                            images[chip].wordAt(lb * gw + w));
+        }
+    } else {
+        for (std::size_t g = 0; g < out.size(); ++g) {
+            const auto [chip, local] = mapAddress(g);
+            out.set(g, images[chip].get(local));
+        }
+    }
+    return out;
+}
+
 void
 InterleavedMemory::write(const BitVec &data)
 {
@@ -44,14 +95,7 @@ InterleavedMemory::write(const BitVec &data)
     // Stage per-chip images, then write each device once (device
     // writes refresh whole rows; scattering bit writes would
     // re-trigger row refreshes mid-pattern).
-    std::vector<BitVec> staged;
-    staged.reserve(members.size());
-    for (std::size_t c = 0; c < members.size(); ++c)
-        staged.emplace_back(members[0]->size());
-    for (std::size_t g = 0; g < data.size(); ++g) {
-        const auto [chip, local] = mapAddress(g);
-        staged[chip].set(local, data.get(g));
-    }
+    const std::vector<BitVec> staged = scatter(data);
     for (std::size_t c = 0; c < members.size(); ++c)
         members[c]->write(staged[c]);
 }
@@ -63,12 +107,7 @@ InterleavedMemory::peek() const
     images.reserve(members.size());
     for (const auto *chip : members)
         images.push_back(chip->peek());
-    BitVec out(size());
-    for (std::size_t g = 0; g < out.size(); ++g) {
-        const auto [chip, local] = mapAddress(g);
-        out.set(g, images[chip].get(local));
-    }
-    return out;
+    return gather(images);
 }
 
 void
@@ -92,6 +131,28 @@ InterleavedMemory::reseedTrial(std::uint64_t trial_key)
         members[c]->reseedTrial(mix64(trial_key, c));
 }
 
+std::vector<BitVec>
+InterleavedMemory::trialPeekBatch(
+    const BitVec &pattern, const std::vector<std::uint64_t> &trial_keys,
+    Seconds dt, Celsius temp, ThreadPool &pool) const
+{
+    PC_ASSERT(pattern.size() == size(), "pattern size mismatch");
+    const std::vector<BitVec> staged = scatter(pattern);
+    std::vector<BitVec> out(trial_keys.size());
+    pool.parallelFor(0, trial_keys.size(), [&](std::size_t i) {
+        std::vector<BitVec> images;
+        images.reserve(members.size());
+        // Per-chip keys match reseedTrial()'s derivation so a batch
+        // trial equals the stateful sequence bit for bit.
+        for (std::size_t c = 0; c < members.size(); ++c) {
+            images.push_back(members[c]->trialPeek(
+                staged[c], mix64(trial_keys[i], c), dt, temp));
+        }
+        out[i] = gather(images);
+    });
+    return out;
+}
+
 BitVec
 InterleavedMemory::worstCasePattern() const
 {
@@ -99,12 +160,7 @@ InterleavedMemory::worstCasePattern() const
     worst.reserve(members.size());
     for (const auto *chip : members)
         worst.push_back(chip->worstCasePattern());
-    BitVec out(size());
-    for (std::size_t g = 0; g < out.size(); ++g) {
-        const auto [chip, local] = mapAddress(g);
-        out.set(g, worst[chip].get(local));
-    }
-    return out;
+    return gather(worst);
 }
 
 } // namespace pcause

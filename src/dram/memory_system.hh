@@ -10,6 +10,12 @@
  * the machine as the unit, and replacing one device erases exactly
  * that device's share of the fingerprint (measured in
  * bench/ablation_interleaving).
+ *
+ * When the interleave granularity is word-aligned (any multiple of
+ * 64 bits — cache lines always are), scatter/gather between the
+ * global address space and the member devices runs word-at-a-time;
+ * trialPeekBatch() generates whole independent decay trials across
+ * a thread pool without mutating the devices.
  */
 
 #ifndef PCAUSE_DRAM_MEMORY_SYSTEM_HH
@@ -24,6 +30,8 @@
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** Several DRAM devices behind one interleaved address space. */
 class InterleavedMemory
@@ -72,12 +80,31 @@ class InterleavedMemory
     void reseedTrial(std::uint64_t trial_key);
 
     /**
+     * Batch decay-trial generation: for each key k in
+     * @p trial_keys, the interleaved contents after
+     * reseedTrial(k); write(pattern); elapse(dt, temp); peek() —
+     * computed as a pure function (device state is untouched) with
+     * the trials sharded across @p pool. Bit-identical to running
+     * that stateful sequence per key.
+     */
+    std::vector<BitVec>
+    trialPeekBatch(const BitVec &pattern,
+                   const std::vector<std::uint64_t> &trial_keys,
+                   Seconds dt, Celsius temp, ThreadPool &pool) const;
+
+    /**
      * Worst-case pattern for the interleaved space: anti-default
      * data for every member cell, through the address map.
      */
     BitVec worstCasePattern() const;
 
   private:
+    /** Split @p data in global address order into per-chip images. */
+    std::vector<BitVec> scatter(const BitVec &data) const;
+
+    /** Reassemble per-chip images into global address order. */
+    BitVec gather(const std::vector<BitVec> &images) const;
+
     std::vector<DramChip *> members;
     std::size_t gran;
 };

@@ -21,16 +21,13 @@ RaidrController::RaidrController(const RetentionModel &model,
 
     // Per-row weakest retention, then equal-population binning by
     // rank (RAIDR bins by retention class; equal-population bins
-    // keep every bin meaningful on any distribution).
+    // keep every bin meaningful on any distribution). Bin on the
+    // guaranteed lower bound — covering trial noise and VRT fast
+    // states — so a sub-unit margin really is exact operation
+    // rather than a bet on the noise draw.
     std::vector<Seconds> row_worst(cfg.rows);
-    for (std::size_t row = 0; row < cfg.rows; ++row) {
-        Seconds worst = model.baseRetention(row * cfg.rowBits());
-        for (std::size_t i = 1; i < cfg.rowBits(); ++i) {
-            worst = std::min<Seconds>(
-                worst, model.baseRetention(row * cfg.rowBits() + i));
-        }
-        row_worst[row] = worst;
-    }
+    for (std::size_t row = 0; row < cfg.rows; ++row)
+        row_worst[row] = model.rowMinEffective(row);
 
     std::vector<std::size_t> order(cfg.rows);
     std::iota(order.begin(), order.end(), 0);

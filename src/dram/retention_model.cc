@@ -58,6 +58,49 @@ RetentionModel::RetentionModel(const DramConfig &config,
             std::max<double>(t, cfg.retentionFloor));
         vrt[i] = vrt_stream.chance(cfg.vrtFraction);
     }
+
+    // Per-cell sample bounds: the noise deviate is clamped to
+    // +-noiseClampSigmas, and a VRT excursion multiplies by
+    // vrtFastFactor. These bounds are what lets the decay engine
+    // avoid sampling for all but the cells sitting right at the
+    // current stress level.
+    const double lo = std::exp(-noiseClampSigmas * cfg.trialNoiseSigma);
+    const double hi = std::exp(noiseClampSigmas * cfg.trialNoiseSigma);
+    minEff.resize(n);
+    maxEff.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double mn = base[i] * lo;
+        double mx = base[i] * hi;
+        if (vrt[i]) {
+            mn = std::min(mn, mn * cfg.vrtFastFactor);
+            mx = std::max(mx, mx * cfg.vrtFastFactor);
+        }
+        minEff[i] = static_cast<float>(mn);
+        maxEff[i] = static_cast<float>(mx);
+    }
+
+    wordMinEff.assign((n + 63) / 64, 0.0f);
+    for (std::size_t wi = 0; wi < wordMinEff.size(); ++wi) {
+        float m = minEff[wi * 64];
+        const std::size_t end = std::min(n, wi * 64 + 64);
+        for (std::size_t i = wi * 64 + 1; i < end; ++i)
+            m = std::min(m, minEff[i]);
+        wordMinEff[wi] = m;
+    }
+
+    rowMinEff.assign(cfg.rows, 0.0f);
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        const std::size_t begin = row * cfg.rowBits();
+        float m = minEff[begin];
+        for (std::size_t i = begin + 1; i < begin + cfg.rowBits(); ++i)
+            m = std::min(m, minEff[i]);
+        rowMinEff[row] = m;
+    }
+
+    // Quantile table, built eagerly so stressQuantile() is a pure
+    // read and safe to call from many threads at once.
+    sortedBase = base;
+    std::sort(sortedBase.begin(), sortedBase.end());
 }
 
 double
@@ -76,11 +119,32 @@ Seconds
 RetentionModel::sampleEffective(std::size_t cell, Rng &trial_rng) const
 {
     double eff = base[cell];
-    if (cfg.trialNoiseSigma > 0)
-        eff *= std::exp(trial_rng.gaussian(0.0, cfg.trialNoiseSigma));
+    if (cfg.trialNoiseSigma > 0) {
+        const double z = std::clamp(trial_rng.gaussian(),
+                                    -noiseClampSigmas,
+                                    noiseClampSigmas);
+        eff *= std::exp(z * cfg.trialNoiseSigma);
+    }
     if (vrt[cell] && trial_rng.chance(cfg.vrtToggleChance))
         eff *= cfg.vrtFastFactor;
     return eff;
+}
+
+std::uint64_t
+RetentionModel::trialStream(std::uint64_t chip_seed,
+                            std::uint64_t trial_key)
+{
+    return mix64(mix64(chip_seed, 0x74726c6e6f697365ull /* "trlnoise" */),
+                 trial_key);
+}
+
+Seconds
+RetentionModel::effectiveRetention(std::size_t cell,
+                                   std::uint64_t trial_stream,
+                                   std::uint64_t epoch) const
+{
+    Rng rng(mix64(trial_stream, mix64(cell, epoch)));
+    return sampleEffective(cell, rng);
 }
 
 Seconds
@@ -88,10 +152,6 @@ RetentionModel::stressQuantile(double error_fraction) const
 {
     PC_ASSERT(error_fraction > 0.0 && error_fraction < 1.0,
               "stressQuantile: fraction must be in (0,1)");
-    if (sortedBase.empty()) {
-        sortedBase = base;
-        std::sort(sortedBase.begin(), sortedBase.end());
-    }
     auto idx = static_cast<std::size_t>(error_fraction *
                                         sortedBase.size());
     idx = std::min(idx, sortedBase.size() - 1);

@@ -9,6 +9,15 @@
  * invariant under temperature by construction, which is the physical
  * property the whole fingerprinting attack rests on (paper Sections
  * 2 and 7.3).
+ *
+ * Trial noise is counter-based: the effective retention of a cell
+ * for one charge interval is a pure function of (chip seed, trial
+ * key, charge epoch, cell), so samples are order-independent and can
+ * be evaluated lazily and in parallel. The noise deviate is clamped
+ * to +-noiseClampSigmas standard deviations (probability ~1e-15 of
+ * ever mattering), which bounds every sample inside
+ * [minEffective(), maxEffective()] — the bounds the decay engine
+ * uses to skip sampling almost everywhere.
  */
 
 #ifndef PCAUSE_DRAM_RETENTION_MODEL_HH
@@ -28,6 +37,12 @@ namespace pcause
 class RetentionModel
 {
   public:
+    /**
+     * Clamp (in standard deviations) applied to the trial-noise
+     * Gaussian so effective retention is bounded per cell.
+     */
+    static constexpr double noiseClampSigmas = 8.0;
+
     /**
      * Derive a chip's retention map from its configuration and a
      * manufacturing seed. Identical (config, seed) pairs model the
@@ -70,10 +85,57 @@ class RetentionModel
     Seconds sampleEffective(std::size_t cell, Rng &trial_rng) const;
 
     /**
+     * Stream base for counter-based trial noise: hash of the chip
+     * seed and the trial key. Pass the result to
+     * effectiveRetention() for every cell/epoch of that trial.
+     */
+    static std::uint64_t trialStream(std::uint64_t chip_seed,
+                                     std::uint64_t trial_key);
+
+    /**
+     * Counter-based effective retention: the sample for @p cell in
+     * charge interval @p epoch of the trial identified by
+     * @p trial_stream. A pure function of its arguments —
+     * evaluation order does not matter, so callers may skip, repeat,
+     * or parallelize draws freely.
+     */
+    Seconds effectiveRetention(std::size_t cell,
+                               std::uint64_t trial_stream,
+                               std::uint64_t epoch) const;
+
+    /**
+     * Smallest effective retention any draw can produce for
+     * @p cell: below this stress the cell can never decay.
+     */
+    Seconds minEffective(std::size_t cell) const { return minEff[cell]; }
+
+    /**
+     * Largest effective retention any draw can produce for @p cell:
+     * at or above this stress the cell always decays.
+     */
+    Seconds maxEffective(std::size_t cell) const { return maxEff[cell]; }
+
+    /**
+     * Minimum of minEffective() over the 64-cell word @p wi (cells
+     * [64*wi, 64*wi+64)): lets the decay engine skip whole words.
+     */
+    Seconds wordMinEffective(std::size_t wi) const
+    {
+        return wordMinEff[wi];
+    }
+
+    /** Minimum of minEffective() over @p row's cells. */
+    Seconds rowMinEffective(std::size_t row) const
+    {
+        return rowMinEff[row];
+    }
+
+    /**
      * The reference-temperature stress (equivalent seconds) at which
      * a fraction @p error_fraction of cells has decayed, computed
      * from the chip's own cells. This is what a measurement-driven
-     * refresh controller converges to.
+     * refresh controller converges to. Thread-safe: the quantile
+     * table is built eagerly at construction.
      */
     Seconds stressQuantile(double error_fraction) const;
 
@@ -88,7 +150,11 @@ class RetentionModel
     std::uint64_t seed;
     std::vector<float> base;   //!< per-cell retention at reference temp
     std::vector<bool> vrt;     //!< per-cell VRT flag
-    mutable std::vector<float> sortedBase; //!< lazily built for quantiles
+    std::vector<float> minEff; //!< per-cell lower bound on any sample
+    std::vector<float> maxEff; //!< per-cell upper bound on any sample
+    std::vector<float> wordMinEff; //!< min of minEff per 64-cell word
+    std::vector<float> rowMinEff;  //!< min of minEff per row
+    std::vector<float> sortedBase; //!< sorted copy for quantiles
 };
 
 } // namespace pcause

@@ -83,23 +83,26 @@ runUniqueness(const UniquenessParams &prm)
 {
     Platform platform(prm.chipConfig, prm.numChips, prm.ctx.seedBase);
     std::uint64_t trial = prm.ctx.trialSeedBase;
+    ThreadPool pool(prm.numThreads);
 
     // Phase 1: fingerprint every chip (Algorithm 1), intersecting
     // fingerprintOutputs worst-case results at different
-    // temperatures.
+    // temperatures. Trial keys are assigned per chip in spec order,
+    // so the batch path reproduces the serial loop bit for bit.
     std::vector<Fingerprint> fps;
     for (unsigned c = 0; c < prm.numChips; ++c) {
         TestHarness h = platform.harness(c);
         const BitVec exact = h.chip().worstCasePattern();
-        std::vector<BitVec> outs;
+        std::vector<TrialSpec> specs(prm.fingerprintOutputs);
         for (unsigned k = 0; k < prm.fingerprintOutputs; ++k) {
-            TrialSpec spec;
-            spec.accuracy = prm.fingerprintAccuracy;
-            spec.temp =
+            specs[k].accuracy = prm.fingerprintAccuracy;
+            specs[k].temp =
                 prm.temperatures[k % prm.temperatures.size()];
-            spec.trialKey = ++trial;
-            outs.push_back(h.runWorstCaseTrial(spec).approx);
+            specs[k].trialKey = ++trial;
         }
+        std::vector<BitVec> outs;
+        for (TrialResult &r : h.runWorstCaseTrialBatch(specs, pool))
+            outs.push_back(std::move(r.approx));
         fps.push_back(characterize(outs, exact));
         if (prm.ctx.verbose)
             inform("fingerprinted chip %u (%zu volatile cells)", c,
@@ -107,12 +110,11 @@ runUniqueness(const UniquenessParams &prm)
     }
 
     // Phase 2: 9 outputs per chip across the accuracy x temperature
-    // grid, each compared against every fingerprint. The trials are
-    // generated serially (the harness is stateful), then the
+    // grid, each compared against every fingerprint. The decay
+    // trials fan out across the pool per chip, then the
     // output x fingerprint distance grid — the experiment's hot
-    // loop — fans out across the thread pool into preallocated
-    // slots, keeping the output-major pair order the accuracy
-    // metric depends on.
+    // loop — fans out again into preallocated slots, keeping the
+    // output-major pair order the accuracy metric depends on.
     struct OutputJob
     {
         unsigned chip;
@@ -124,23 +126,26 @@ runUniqueness(const UniquenessParams &prm)
     for (unsigned c = 0; c < prm.numChips; ++c) {
         TestHarness h = platform.harness(c);
         const BitVec exact = h.chip().worstCasePattern();
+        std::vector<TrialSpec> specs;
         for (double acc : prm.accuracies) {
             for (double temp : prm.temperatures) {
                 TrialSpec spec;
                 spec.accuracy = acc;
                 spec.temp = temp;
                 spec.trialKey = ++trial;
-                jobs.push_back(
-                    {c, acc, temp,
-                     errorString(h.runWorstCaseTrial(spec).approx,
-                                 exact)});
+                specs.push_back(spec);
             }
+        }
+        const std::vector<TrialResult> trials =
+            h.runWorstCaseTrialBatch(specs, pool);
+        for (std::size_t i = 0; i < trials.size(); ++i) {
+            jobs.push_back({c, specs[i].accuracy, specs[i].temp,
+                            errorString(trials[i].approx, exact)});
         }
     }
 
     UniquenessResult res;
     res.pairs.resize(jobs.size() * prm.numChips);
-    ThreadPool pool(prm.numThreads);
     pool.parallelFor(0, jobs.size(), [&](std::size_t j) {
         const OutputJob &job = jobs[j];
         for (unsigned f = 0; f < prm.numChips; ++f) {

@@ -5,6 +5,7 @@
 #include "core/error_string.hh"
 #include "platform/platform.hh"
 #include "util/ascii_chart.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -17,14 +18,21 @@ runConsistency(const ConsistencyParams &prm)
     TestHarness h = platform.harness(prm.chipIndex);
     const BitVec exact = h.chip().worstCasePattern();
 
-    std::vector<unsigned> count(h.chip().size(), 0);
+    // Generate all trials through the batch path: planning stays
+    // serial (spec order), the decay observations fan out across
+    // the pool.
+    std::vector<TrialSpec> specs(prm.trials);
     for (unsigned t = 0; t < prm.trials; ++t) {
-        TrialSpec spec;
-        spec.accuracy = prm.accuracy;
-        spec.temp = prm.temperature;
-        spec.trialKey = prm.ctx.trialSeedBase + t;
-        const BitVec es =
-            errorString(h.runWorstCaseTrial(spec).approx, exact);
+        specs[t].accuracy = prm.accuracy;
+        specs[t].temp = prm.temperature;
+        specs[t].trialKey = prm.ctx.trialSeedBase + t;
+    }
+    const std::vector<TrialResult> trials =
+        h.runWorstCaseTrialBatch(specs, ThreadPool::global());
+
+    std::vector<unsigned> count(h.chip().size(), 0);
+    for (const TrialResult &r : trials) {
+        const BitVec es = errorString(r.approx, exact);
         for (auto cell : es.setBits())
             ++count[cell];
     }

@@ -4,6 +4,7 @@
 
 #include "dram/refresh_controller.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -85,6 +86,60 @@ TrialResult
 TestHarness::runWorstCaseTrial(const TrialSpec &spec)
 {
     return runTrial(dev.worstCasePattern(), spec);
+}
+
+std::vector<TrialResult>
+TestHarness::runTrialBatch(const BitVec &pattern,
+                           const std::vector<TrialSpec> &specs,
+                           ThreadPool &pool)
+{
+    PC_ASSERT(pattern.size() == dev.size(), "pattern size mismatch");
+
+    // Plan every trial serially — the chamber and supply are
+    // stateful instruments — capturing exactly what runTrial()
+    // would have programmed, then generate the decay observations
+    // in parallel through the chip's pure trial path.
+    struct Plan
+    {
+        Seconds interval;
+        double volts;
+        double accel;
+        Celsius actual;
+    };
+    std::vector<Plan> plans(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        env.setTemperature(specs[i].temp);
+        const Celsius actual = env.sample();
+        Seconds interval = 0;
+        double volts = psu.nominalVoltage();
+        planTrial(specs[i], actual, interval, volts);
+        psu.setVoltage(volts);
+        plans[i] = {interval, psu.voltage(), psu.retentionAccel(),
+                    actual};
+    }
+    psu.setVoltage(psu.nominalVoltage());
+
+    std::vector<TrialResult> out(specs.size());
+    pool.parallelFor(0, specs.size(), [&](std::size_t i) {
+        TrialResult res;
+        res.exact = pattern;
+        res.approx = dev.trialPeek(
+            pattern, specs[i].trialKey,
+            plans[i].interval * plans[i].accel, plans[i].actual);
+        res.holdInterval = plans[i].interval;
+        res.supplyVolts = plans[i].volts;
+        res.errorRate = static_cast<double>(
+            res.approx.hammingDistance(res.exact)) / dev.size();
+        out[i] = std::move(res);
+    });
+    return out;
+}
+
+std::vector<TrialResult>
+TestHarness::runWorstCaseTrialBatch(const std::vector<TrialSpec> &specs,
+                                    ThreadPool &pool)
+{
+    return runTrialBatch(dev.worstCasePattern(), specs, pool);
 }
 
 } // namespace pcause

@@ -16,6 +16,7 @@
 #define PCAUSE_PLATFORM_TEST_HARNESS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "dram/dram_chip.hh"
 #include "platform/power_supply.hh"
@@ -25,6 +26,8 @@
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** Which physical knob produces the approximation. */
 enum class ApproxKnob
@@ -72,6 +75,25 @@ class TestHarness
      * configuration used for characterization (Section 6).
      */
     TrialResult runWorstCaseTrial(const TrialSpec &spec);
+
+    /**
+     * Run a batch of independent trials of @p pattern with the
+     * decay computation sharded across @p pool. Result i equals
+     * what runTrial(pattern, specs[i]) would return when the specs
+     * are run in order (the chamber is sampled serially, in spec
+     * order), but the device under test is left untouched: batch
+     * trials are generated through the chip's pure trialPeek()
+     * path rather than its stateful write/elapse cycle.
+     */
+    std::vector<TrialResult>
+    runTrialBatch(const BitVec &pattern,
+                  const std::vector<TrialSpec> &specs,
+                  ThreadPool &pool);
+
+    /** runTrialBatch() with the worst-case all-charged pattern. */
+    std::vector<TrialResult>
+    runWorstCaseTrialBatch(const std::vector<TrialSpec> &specs,
+                           ThreadPool &pool);
 
     /** Device under test. */
     DramChip &chip() { return dev; }

@@ -12,10 +12,10 @@ namespace pcause
 namespace
 {
 
-constexpr std::size_t bitsPerWord = 64;
+constexpr std::size_t bitsPerWord = BitVec::wordBits;
 
 std::size_t
-wordCount(std::size_t nbits)
+wordCountFor(std::size_t nbits)
 {
     return (nbits + bitsPerWord - 1) / bitsPerWord;
 }
@@ -24,7 +24,7 @@ wordCount(std::size_t nbits)
 
 BitVec::BitVec(std::size_t nbits_, bool value)
     : nbits(nbits_),
-      words(wordCount(nbits_), value ? ~0ull : 0ull)
+      wordStore(wordCountFor(nbits_), value ? ~0ull : 0ull)
 {
     trimTail();
 }
@@ -33,15 +33,15 @@ void
 BitVec::trimTail()
 {
     std::size_t rem = nbits % bitsPerWord;
-    if (rem != 0 && !words.empty())
-        words.back() &= (~0ull >> (bitsPerWord - rem));
+    if (rem != 0 && !wordStore.empty())
+        wordStore.back() &= (~0ull >> (bitsPerWord - rem));
 }
 
 bool
 BitVec::get(std::size_t idx) const
 {
     PC_ASSERT(idx < nbits, "BitVec::get out of range");
-    return (words[idx / bitsPerWord] >> (idx % bitsPerWord)) & 1ull;
+    return (wordStore[idx / bitsPerWord] >> (idx % bitsPerWord)) & 1ull;
 }
 
 void
@@ -50,24 +50,49 @@ BitVec::set(std::size_t idx, bool value)
     PC_ASSERT(idx < nbits, "BitVec::set out of range");
     std::uint64_t mask = 1ull << (idx % bitsPerWord);
     if (value)
-        words[idx / bitsPerWord] |= mask;
+        wordStore[idx / bitsPerWord] |= mask;
     else
-        words[idx / bitsPerWord] &= ~mask;
+        wordStore[idx / bitsPerWord] &= ~mask;
 }
 
 void
 BitVec::fill(bool value)
 {
-    for (auto &w : words)
+    for (auto &w : wordStore)
         w = value ? ~0ull : 0ull;
     trimTail();
+}
+
+void
+BitVec::setWord(std::size_t wi, std::uint64_t w)
+{
+    PC_ASSERT(wi < wordStore.size(), "BitVec::setWord out of range");
+    wordStore[wi] = w;
+    if (wi + 1 == wordStore.size())
+        trimTail();
+}
+
+void
+BitVec::applyMasked(std::size_t wi, std::uint64_t mask, bool value)
+{
+    PC_ASSERT(wi < wordStore.size(), "BitVec::applyMasked out of range");
+    // The mask must not reach past size(); enforcing it here (instead
+    // of trimming after the fact) keeps this safe to call on disjoint
+    // words from several threads at once.
+    PC_ASSERT(wi + 1 < wordStore.size() || nbits % bitsPerWord == 0 ||
+                  (mask >> (nbits % bitsPerWord)) == 0,
+              "BitVec::applyMasked mask past end");
+    if (value)
+        wordStore[wi] |= mask;
+    else
+        wordStore[wi] &= ~mask;
 }
 
 std::size_t
 BitVec::popcount() const
 {
     std::size_t total = 0;
-    for (auto w : words)
+    for (auto w : wordStore)
         total += std::popcount(w);
     return total;
 }
@@ -76,8 +101,8 @@ std::vector<std::size_t>
 BitVec::setBits() const
 {
     std::vector<std::size_t> out;
-    for (std::size_t wi = 0; wi < words.size(); ++wi) {
-        std::uint64_t w = words[wi];
+    for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
+        std::uint64_t w = wordStore[wi];
         while (w) {
             unsigned bit = std::countr_zero(w);
             out.push_back(wi * bitsPerWord + bit);
@@ -92,8 +117,8 @@ BitVec::overlapCount(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
     std::size_t total = 0;
-    for (std::size_t i = 0; i < words.size(); ++i)
-        total += std::popcount(words[i] & other.words[i]);
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        total += std::popcount(wordStore[i] & other.wordStore[i]);
     return total;
 }
 
@@ -102,8 +127,8 @@ BitVec::andNotCount(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
     std::size_t total = 0;
-    for (std::size_t i = 0; i < words.size(); ++i)
-        total += std::popcount(words[i] & ~other.words[i]);
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        total += std::popcount(wordStore[i] & ~other.wordStore[i]);
     return total;
 }
 
@@ -117,11 +142,11 @@ BitVec::andNotCountBounded(const BitVec &other,
     // early, rarely enough that the branch stays out of the inner
     // loop's way.
     constexpr std::size_t block = 16;
-    for (std::size_t i = 0; i < words.size(); i += block) {
+    for (std::size_t i = 0; i < wordStore.size(); i += block) {
         const std::size_t stop =
-            std::min(words.size(), i + block);
+            std::min(wordStore.size(), i + block);
         for (std::size_t j = i; j < stop; ++j)
-            total += std::popcount(words[j] & ~other.words[j]);
+            total += std::popcount(wordStore[j] & ~other.wordStore[j]);
         if (total > limit)
             return total;
     }
@@ -132,8 +157,8 @@ BitVec &
 BitVec::operator&=(const BitVec &other)
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] &= other.words[i];
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] &= other.wordStore[i];
     return *this;
 }
 
@@ -141,8 +166,8 @@ BitVec &
 BitVec::operator|=(const BitVec &other)
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] |= other.words[i];
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] |= other.wordStore[i];
     return *this;
 }
 
@@ -150,23 +175,23 @@ BitVec &
 BitVec::operator^=(const BitVec &other)
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] ^= other.words[i];
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] ^= other.wordStore[i];
     return *this;
 }
 
 bool
 BitVec::operator==(const BitVec &other) const
 {
-    return nbits == other.nbits && words == other.words;
+    return nbits == other.nbits && wordStore == other.wordStore;
 }
 
 bool
 BitVec::isSubsetOf(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i) {
-        if (words[i] & ~other.words[i])
+    for (std::size_t i = 0; i < wordStore.size(); ++i) {
+        if (wordStore[i] & ~other.wordStore[i])
             return false;
     }
     return true;
@@ -177,18 +202,22 @@ BitVec::slice(std::size_t start, std::size_t len) const
 {
     PC_ASSERT(start + len <= nbits, "BitVec::slice out of range");
     BitVec out(len);
-    // Word-aligned fast path covers the common page-extraction case.
-    if (start % bitsPerWord == 0) {
-        std::size_t first_word = start / bitsPerWord;
-        for (std::size_t i = 0; i < out.words.size(); ++i)
-            out.words[i] = words[first_word + i];
-        out.trimTail();
-        return out;
+    const std::size_t fw = start / bitsPerWord;
+    const std::size_t off = start % bitsPerWord;
+    if (off == 0) {
+        for (std::size_t i = 0; i < out.wordStore.size(); ++i)
+            out.wordStore[i] = wordStore[fw + i];
+    } else {
+        // Funnel shift: each output word is stitched from the tail
+        // of one source word and the head of the next.
+        for (std::size_t i = 0; i < out.wordStore.size(); ++i) {
+            std::uint64_t w = wordStore[fw + i] >> off;
+            if (fw + i + 1 < wordStore.size())
+                w |= wordStore[fw + i + 1] << (bitsPerWord - off);
+            out.wordStore[i] = w;
+        }
     }
-    for (std::size_t i = 0; i < len; ++i) {
-        if (get(start + i))
-            out.set(i);
-    }
+    out.trimTail();
     return out;
 }
 
@@ -196,14 +225,30 @@ void
 BitVec::blit(std::size_t start, const BitVec &src)
 {
     PC_ASSERT(start + src.nbits <= nbits, "BitVec::blit out of range");
-    if (start % bitsPerWord == 0 && src.nbits % bitsPerWord == 0) {
-        std::size_t first_word = start / bitsPerWord;
-        for (std::size_t i = 0; i < src.words.size(); ++i)
-            words[first_word + i] = src.words[i];
+    if (src.nbits == 0)
         return;
+    const std::size_t fw = start / bitsPerWord;
+    const std::size_t off = start % bitsPerWord;
+    const std::size_t rem = src.nbits % bitsPerWord;
+    const std::size_t src_words = src.wordStore.size();
+    for (std::size_t i = 0; i < src_words; ++i) {
+        // Valid bits of this source word (the last may be partial).
+        const std::uint64_t m = (i + 1 == src_words && rem != 0)
+            ? (~0ull >> (bitsPerWord - rem)) : ~0ull;
+        const std::uint64_t v = src.wordStore[i] & m;
+        wordStore[fw + i] =
+            (wordStore[fw + i] & ~(m << off)) | (v << off);
+        if (off != 0) {
+            // The carry into the next destination word; mh is zero
+            // when the source word fits entirely below the boundary.
+            const std::uint64_t mh = m >> (bitsPerWord - off);
+            if (mh) {
+                wordStore[fw + i + 1] =
+                    (wordStore[fw + i + 1] & ~mh) |
+                    (v >> (bitsPerWord - off));
+            }
+        }
     }
-    for (std::size_t i = 0; i < src.nbits; ++i)
-        set(start + i, src.get(i));
 }
 
 std::size_t
@@ -211,8 +256,8 @@ BitVec::hammingDistance(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
     std::size_t total = 0;
-    for (std::size_t i = 0; i < words.size(); ++i)
-        total += std::popcount(words[i] ^ other.words[i]);
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        total += std::popcount(wordStore[i] ^ other.wordStore[i]);
     return total;
 }
 
@@ -230,7 +275,7 @@ std::uint64_t
 BitVec::hash() const
 {
     std::uint64_t h = mix64(0x243f6a8885a308d3ull, nbits);
-    for (auto w : words)
+    for (auto w : wordStore)
         h = mix64(h, w);
     return h;
 }

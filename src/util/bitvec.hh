@@ -6,7 +6,9 @@
  * error strings, and fingerprints are all bit vectors. It provides
  * the bulk boolean operations the Probable Cause algorithms are built
  * from (XOR for error extraction, AND for fingerprint intersection)
- * plus fast population counts and set-bit iteration.
+ * plus fast population counts, set-bit iteration, and a word-span
+ * API so callers (the DRAM decay engine in particular) can build and
+ * apply 64-bit masks without going through per-bit accessors.
  */
 
 #ifndef PCAUSE_UTIL_BITVEC_HH
@@ -24,6 +26,9 @@ namespace pcause
 class BitVec
 {
   public:
+    /** Bits per backing word. */
+    static constexpr std::size_t wordBits = 64;
+
     /** Construct an empty (zero-length) vector. */
     BitVec() = default;
 
@@ -47,6 +52,35 @@ class BitVec
 
     /** Set every bit to @p value. */
     void fill(bool value);
+
+    /** Number of backing 64-bit words. */
+    std::size_t wordCount() const { return wordStore.size(); }
+
+    /**
+     * Backing words: bit i lives at word i/64, bit i%64. Bits of the
+     * final word beyond size() are always zero.
+     */
+    const std::vector<std::uint64_t> &words() const { return wordStore; }
+
+    /** Word @p wi of the backing store. */
+    std::uint64_t wordAt(std::size_t wi) const
+    {
+        return wordStore[wi];
+    }
+
+    /**
+     * Overwrite word @p wi. Bits beyond size() in the final word are
+     * silently trimmed back to zero.
+     */
+    void setWord(std::size_t wi, std::uint64_t w);
+
+    /**
+     * Set (value = true) or clear (value = false) exactly the bits of
+     * @p mask within word @p wi — the bulk primitive behind the DRAM
+     * decay engine's per-row masks. Mask bits beyond size() must be
+     * zero.
+     */
+    void applyMasked(std::size_t wi, std::uint64_t mask, bool value);
 
     /** Number of set bits. */
     std::size_t popcount() const;
@@ -120,7 +154,7 @@ class BitVec
     void trimTail();
 
     std::size_t nbits = 0;
-    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> wordStore;
 };
 
 } // namespace pcause

@@ -6,11 +6,40 @@
 #include <gtest/gtest.h>
 
 #include "util/bitvec.hh"
+#include "util/rng.hh"
 
 namespace pcause
 {
 namespace
 {
+
+/** Bit-by-bit slice — the pre-funnel-shift implementation, kept as
+ *  the reference the word-level fast path is checked against. */
+BitVec
+sliceReference(const BitVec &v, std::size_t start, std::size_t len)
+{
+    BitVec out(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out.set(i, v.get(start + i));
+    return out;
+}
+
+/** Bit-by-bit blit reference, same role. */
+void
+blitReference(BitVec &dst, std::size_t start, const BitVec &src)
+{
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst.set(start + i, src.get(i));
+}
+
+BitVec
+randomVec(std::size_t size, Rng &rng)
+{
+    BitVec v(size);
+    for (std::size_t i = 0; i < size; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
 
 TEST(BitVec, DefaultConstructedIsEmpty)
 {
@@ -205,6 +234,68 @@ TEST(BitVec, BlitUnaligned)
     EXPECT_TRUE(dst.get(33));
     EXPECT_TRUE(dst.get(42));
     EXPECT_FALSE(dst.get(43));
+}
+
+TEST(BitVec, SliceMatchesReferenceOnRandomRanges)
+{
+    Rng rng(0xb17);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t size = 1 + rng.nextBelow(400);
+        const BitVec v = randomVec(size, rng);
+        const std::size_t start = rng.nextBelow(size);
+        const std::size_t len = rng.nextBelow(size - start + 1);
+        EXPECT_EQ(v.slice(start, len), sliceReference(v, start, len))
+            << "size " << size << " start " << start << " len " << len;
+    }
+}
+
+TEST(BitVec, BlitMatchesReferenceOnRandomRanges)
+{
+    Rng rng(0xb118);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t size = 1 + rng.nextBelow(400);
+        const std::size_t len = rng.nextBelow(size + 1);
+        const std::size_t start = rng.nextBelow(size - len + 1);
+        const BitVec src = randomVec(len, rng);
+        BitVec fast = randomVec(size, rng);
+        BitVec ref = fast;
+        fast.blit(start, src);
+        blitReference(ref, start, src);
+        EXPECT_EQ(fast, ref)
+            << "size " << size << " start " << start << " len " << len;
+    }
+}
+
+TEST(BitVec, WordAccessorsExposeStorage)
+{
+    BitVec v(130);
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_EQ(v.wordCount(), 3u);
+    EXPECT_EQ(v.words().size(), 3u);
+    EXPECT_EQ(v.wordAt(0), 1ull);
+    EXPECT_EQ(v.wordAt(1), 1ull);
+    EXPECT_EQ(v.wordAt(2), 2ull);
+}
+
+TEST(BitVec, SetWordTrimsTail)
+{
+    BitVec v(70);
+    v.setWord(1, ~0ull); // only bits 64..69 exist in word 1
+    EXPECT_EQ(v.popcount(), 6u);
+    EXPECT_EQ(v.wordAt(1), 0x3full);
+}
+
+TEST(BitVec, ApplyMaskedSetsAndClears)
+{
+    BitVec v(128);
+    v.applyMasked(0, 0xff00ull, true);
+    EXPECT_EQ(v.wordAt(0), 0xff00ull);
+    v.applyMasked(0, 0x0f00ull, false);
+    EXPECT_EQ(v.wordAt(0), 0xf000ull);
+    v.applyMasked(1, ~0ull, true);
+    EXPECT_EQ(v.popcount(), 4u + 64u);
 }
 
 TEST(BitVec, HammingDistance)

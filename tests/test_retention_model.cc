@@ -174,5 +174,97 @@ TEST(RetentionModel, Ddr2RetentionSkewedWhereLegacyIsNot)
     EXPECT_GT(mean_over_median(ddr2), 1.05);
 }
 
+TEST(RetentionModel, EffectiveRetentionIsOrderIndependent)
+{
+    // The counter-based generator is a pure function of
+    // (stream, cell, epoch): any evaluation order, any repetition,
+    // same answer. This is what makes lazy and parallel decay
+    // evaluation sound.
+    const auto cfg = DramConfig::tiny();
+    RetentionModel m(cfg, 37);
+    const std::uint64_t stream = RetentionModel::trialStream(37, 9);
+
+    std::vector<double> forward(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i)
+        forward[i] = m.effectiveRetention(i, stream, 1);
+    for (std::size_t i = m.size(); i-- > 0;) {
+        EXPECT_EQ(m.effectiveRetention(i, stream, 1), forward[i])
+            << "cell " << i;
+    }
+}
+
+TEST(RetentionModel, EffectiveRetentionVariesWithKeyAndEpoch)
+{
+    const auto cfg = DramConfig::tiny();
+    RetentionModel m(cfg, 41);
+    const std::uint64_t s1 = RetentionModel::trialStream(41, 1);
+    const std::uint64_t s2 = RetentionModel::trialStream(41, 2);
+    std::size_t key_same = 0, epoch_same = 0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        key_same += m.effectiveRetention(i, s1, 1) ==
+            m.effectiveRetention(i, s2, 1);
+        epoch_same += m.effectiveRetention(i, s1, 1) ==
+            m.effectiveRetention(i, s1, 2);
+    }
+    // With noise enabled the draws almost never collide.
+    EXPECT_LT(key_same, m.size() / 10);
+    EXPECT_LT(epoch_same, m.size() / 10);
+}
+
+TEST(RetentionModel, SampleBoundsContainEveryDraw)
+{
+    auto cfg = DramConfig::tiny();
+    cfg.trialNoiseSigma = 0.05; // exaggerate the jitter
+    cfg.vrtFraction = 0.05;
+    RetentionModel m(cfg, 43);
+    const std::uint64_t stream = RetentionModel::trialStream(43, 7);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        for (std::uint64_t ep = 1; ep <= 8; ++ep) {
+            const double eff = m.effectiveRetention(i, stream, ep);
+            EXPECT_GE(eff, m.minEffective(i)) << "cell " << i;
+            EXPECT_LE(eff, m.maxEffective(i)) << "cell " << i;
+        }
+    }
+}
+
+TEST(RetentionModel, WordAndRowMinimaFoldMinEffective)
+{
+    const auto cfg = DramConfig::tiny();
+    RetentionModel m(cfg, 47);
+    for (std::size_t wi = 0; wi < (m.size() + 63) / 64; ++wi) {
+        double expect = m.minEffective(wi * 64);
+        const std::size_t end = std::min(m.size(), wi * 64 + 64);
+        for (std::size_t i = wi * 64; i < end; ++i)
+            expect = std::min(expect, m.minEffective(i));
+        EXPECT_EQ(m.wordMinEffective(wi), expect) << "word " << wi;
+    }
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        double expect = m.minEffective(row * cfg.rowBits());
+        for (std::size_t i = 0; i < cfg.rowBits(); ++i) {
+            expect = std::min(
+                expect, m.minEffective(row * cfg.rowBits() + i));
+        }
+        EXPECT_EQ(m.rowMinEffective(row), expect) << "row " << row;
+    }
+}
+
+TEST(RetentionModel, QuietConfigBoundsCollapseToBase)
+{
+    // With zero noise and no VRT cells the sample bounds pinch onto
+    // the base retention and the keyed generator returns it exactly:
+    // the lazy engine then never needs to draw.
+    auto cfg = DramConfig::tiny();
+    cfg.trialNoiseSigma = 0.0;
+    cfg.vrtFraction = 0.0;
+    RetentionModel m(cfg, 53);
+    const std::uint64_t stream = RetentionModel::trialStream(53, 1);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_EQ(m.minEffective(i), m.baseRetention(i));
+        EXPECT_EQ(m.maxEffective(i), m.baseRetention(i));
+        EXPECT_EQ(m.effectiveRetention(i, stream, 1),
+                  m.baseRetention(i));
+    }
+}
+
 } // anonymous namespace
 } // namespace pcause
