@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Candidate-index performance and equivalence check.
+ *
+ * Builds synthetic populations of 1k / 10k / 100k fingerprints,
+ * queries each through the indexed FingerprintStore and through the
+ * linear reference scan, verifies the accept/reject decisions (and
+ * matched records) are identical, and times both paths. The query
+ * mix is mostly outputs of known chips (error-string supersets of a
+ * database fingerprint) with a fraction of unknown chips, which
+ * exercises both the shortlist hit path and the full-scan fallback;
+ * the speedup an index can deliver is capped at 1/fallback_fraction,
+ * so the mix is reported alongside the numbers. Emits
+ * BENCH_index.json and exits nonzero when any decision diverges or
+ * the 5x speedup floor at 10k records is violated, so it can run as
+ * a (non-gating) CI smoke job.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/identify.hh"
+#include "core/store.hh"
+#include "util/bitvec.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace pcause;
+
+constexpr std::size_t universeBits = 8192;
+constexpr std::size_t fingerprintWeight = 256;
+constexpr std::size_t noiseBits = 64; //!< extra error-string bits
+constexpr unsigned knownPerUnknown = 15; //!< 15:1 known:unknown mix
+constexpr double speedupFloor = 5.0;
+constexpr std::size_t floorPopulation = 10000;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+}
+
+/** Random fingerprint pattern of ~weight set bits. */
+BitVec
+randomPattern(Rng &rng, std::size_t weight)
+{
+    BitVec bits(universeBits);
+    for (std::size_t i = 0; i < weight; ++i)
+        bits.set(rng.nextBelow(universeBits));
+    return bits;
+}
+
+/** A query error string: a known record's bits plus noise, or a
+ *  fresh pattern for an unknown chip. */
+struct Query
+{
+    BitVec errorString;
+    std::optional<std::size_t> truth; //!< record index, if known
+};
+
+struct PopulationResult
+{
+    std::size_t records = 0;
+    std::size_t queries = 0;
+    std::size_t known = 0;
+    double buildSeconds = 0.0;
+    double linearSeconds = 0.0;
+    double indexedSeconds = 0.0;
+    double batchSeconds = 0.0;
+    double meanCandidates = 0.0;
+    double fallbackFraction = 0.0;
+    std::size_t divergences = 0;
+    std::size_t wrongMatches = 0;
+
+    double speedup() const { return linearSeconds / indexedSeconds; }
+    double batchSpeedup() const { return linearSeconds / batchSeconds; }
+};
+
+PopulationResult
+runPopulation(std::size_t num_records, std::size_t num_queries)
+{
+    Rng rng(mix64(0x70657266696478ull, num_records));
+    PopulationResult res;
+    res.records = num_records;
+    res.queries = num_queries;
+
+    // --- Build the indexed store ----------------------------------
+    const auto build_start = std::chrono::steady_clock::now();
+    FingerprintStore store;
+    for (std::size_t i = 0; i < num_records; ++i) {
+        store.add("chip-" + std::to_string(i),
+                  Fingerprint(randomPattern(rng, fingerprintWeight), 3));
+    }
+    res.buildSeconds = secondsSince(build_start);
+
+    // --- Query mix ------------------------------------------------
+    std::vector<Query> queries(num_queries);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+        if (q % (knownPerUnknown + 1) == knownPerUnknown) {
+            queries[q].errorString = randomPattern(rng, fingerprintWeight);
+        } else {
+            const std::size_t rec = rng.nextBelow(num_records);
+            BitVec es = store.record(rec).fingerprint.bits();
+            for (std::size_t i = 0; i < noiseBits; ++i)
+                es.set(rng.nextBelow(universeBits));
+            queries[q] = {std::move(es), rec};
+            ++res.known;
+        }
+    }
+
+    // --- Linear reference (serial bounded full scan) --------------
+    const IdentifyParams prm;
+    std::vector<IdentifyResult> linear(num_queries);
+    const auto lin_start = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < num_queries; ++q)
+        linear[q] = store.queryLinear(queries[q].errorString, prm);
+    res.linearSeconds = secondsSince(lin_start) / num_queries;
+
+    // --- Indexed (serial, no pool: fallback stays serial) ---------
+    AttackStats stats;
+    std::vector<IdentifyResult> indexed(num_queries);
+    const auto idx_start = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < num_queries; ++q)
+        indexed[q] = store.query(queries[q].errorString, prm, &stats);
+    res.indexedSeconds = secondsSince(idx_start) / num_queries;
+    res.meanCandidates = static_cast<double>(stats.candidatesScanned) /
+                         num_queries;
+    res.fallbackFraction = static_cast<double>(stats.indexFallbacks) /
+                           num_queries;
+
+    // --- Batch over the process pool ------------------------------
+    std::vector<BitVec> error_strings;
+    error_strings.reserve(num_queries);
+    for (const Query &q : queries)
+        error_strings.push_back(q.errorString);
+    std::vector<IdentifyResult> batched;
+    const auto batch_start = std::chrono::steady_clock::now();
+    batched = store.queryBatch(error_strings, prm);
+    res.batchSeconds = secondsSince(batch_start) / num_queries;
+
+    // --- Equivalence ----------------------------------------------
+    // Accept/reject and matched record must agree with the linear
+    // scan on every query (distinct random fingerprints never share
+    // a sub-threshold distance, so even firstMatch indices match).
+    for (std::size_t q = 0; q < num_queries; ++q) {
+        const bool same =
+            linear[q].match == indexed[q].match &&
+            linear[q].match == batched[q].match;
+        if (!same)
+            ++res.divergences;
+        if (queries[q].truth != linear[q].match)
+            ++res.wrongMatches; // reference itself must be right
+    }
+    return res;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const std::vector<std::pair<std::size_t, std::size_t>> plans = {
+        {1000, 256}, {10000, 128}, {100000, 32}};
+
+    bool ok = true;
+    std::vector<PopulationResult> results;
+    for (const auto &[records, queries] : plans) {
+        PopulationResult r = runPopulation(records, queries);
+        results.push_back(r);
+        std::printf("%7zu records: build %7.1f ms, linear %9.3f ms/q, "
+                    "indexed %9.3f ms/q (%5.1fx), batch %9.3f ms/q "
+                    "(%5.1fx), %5.1f cand/q, fallback %4.2f, "
+                    "divergences %zu\n",
+                    r.records, r.buildSeconds * 1e3,
+                    r.linearSeconds * 1e3, r.indexedSeconds * 1e3,
+                    r.speedup(), r.batchSeconds * 1e3,
+                    r.batchSpeedup(), r.meanCandidates,
+                    r.fallbackFraction, r.divergences);
+        if (r.divergences > 0) {
+            std::printf("FAIL: %zu accept/reject divergences at %zu "
+                        "records\n", r.divergences, r.records);
+            ok = false;
+        }
+        if (r.wrongMatches > 0) {
+            std::printf("FAIL: linear reference misattributed %zu "
+                        "queries at %zu records\n", r.wrongMatches,
+                        r.records);
+            ok = false;
+        }
+        if (r.records == floorPopulation && r.speedup() < speedupFloor) {
+            std::printf("FAIL: speedup %.1fx at %zu records below the "
+                        "%.0fx floor\n", r.speedup(), r.records,
+                        speedupFloor);
+            ok = false;
+        }
+    }
+
+    const MinHashParams prm;
+    std::ofstream json("BENCH_index.json");
+    json << "{\n"
+         << "  \"universe_bits\": " << universeBits << ",\n"
+         << "  \"fingerprint_weight\": " << fingerprintWeight << ",\n"
+         << "  \"noise_bits\": " << noiseBits << ",\n"
+         << "  \"minhash_hashes\": " << prm.numHashes << ",\n"
+         << "  \"minhash_bands\": " << prm.bands << ",\n"
+         << "  \"threads\": " << ThreadPool::global().size() << ",\n"
+         << "  \"speedup_floor\": " << speedupFloor << ",\n"
+         << "  \"floor_population\": " << floorPopulation << ",\n"
+         << "  \"populations\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const PopulationResult &r = results[i];
+        json << "    {\"records\": " << r.records
+             << ", \"queries\": " << r.queries
+             << ", \"known\": " << r.known
+             << ", \"build_ms\": " << r.buildSeconds * 1e3
+             << ", \"linear_ms_per_query\": " << r.linearSeconds * 1e3
+             << ", \"indexed_ms_per_query\": " << r.indexedSeconds * 1e3
+             << ", \"batch_ms_per_query\": " << r.batchSeconds * 1e3
+             << ", \"speedup\": " << r.speedup()
+             << ", \"batch_speedup\": " << r.batchSpeedup()
+             << ", \"mean_candidates\": " << r.meanCandidates
+             << ", \"fallback_fraction\": " << r.fallbackFraction
+             << ", \"divergences\": " << r.divergences << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"pass\": " << (ok ? "true" : "false") << "\n"
+         << "}\n";
+
+    std::printf("\n%s (BENCH_index.json written)\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -30,6 +30,20 @@ struct AttackStats
     /** Pages probed against the stitcher's match-key index. */
     std::uint64_t pagesProbed = 0;
 
+    /** Queries answered through the MinHash/LSH candidate index. */
+    std::uint64_t indexQueries = 0;
+
+    /** Indexed queries whose shortlist yielded no accept and fell
+     *  back to the full linear scan. */
+    std::uint64_t indexFallbacks = 0;
+
+    /** Shortlist records handed to the exact distance kernel. */
+    std::uint64_t candidatesScanned = 0;
+
+    /** Database records that were available per query, summed — the
+     *  denominator candidatesScanned is measured against. */
+    std::uint64_t recordsAvailable = 0;
+
     /** Wall time spent fingerprinting (Algorithm 1). */
     double characterizeSeconds = 0.0;
 
@@ -44,6 +58,10 @@ struct AttackStats
         distancesComputed += o.distancesComputed;
         distancesPruned += o.distancesPruned;
         pagesProbed += o.pagesProbed;
+        indexQueries += o.indexQueries;
+        indexFallbacks += o.indexFallbacks;
+        candidatesScanned += o.candidatesScanned;
+        recordsAvailable += o.recordsAvailable;
         characterizeSeconds += o.characterizeSeconds;
         identifySeconds += o.identifySeconds;
         ingestSeconds += o.ingestSeconds;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/characterize.hh"
+#include "core/error_string.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -50,21 +51,14 @@ SupplyChainAttacker::interceptChip(TestHarness &harness,
     Fingerprint fp = workers ? characterize(outputs, exact, *workers)
                              : characterize(outputs, exact);
     counters.characterizeSeconds += secondsSince(start);
-    return db.add(label, std::move(fp));
+    return fps.add(label, std::move(fp));
 }
 
 IdentifyResult
 SupplyChainAttacker::attribute(const BitVec &approx,
                                const BitVec &exact) const
 {
-    const auto start = std::chrono::steady_clock::now();
-    const IdentifyResult res = identify(approx, exact, db, prm);
-    counters.identifySeconds += secondsSince(start);
-    // Serial Algorithm 2 visits match+1 records in first-match
-    // mode, the whole database otherwise.
-    counters.distancesComputed +=
-        (prm.firstMatch && res.match) ? *res.match + 1 : db.size();
-    return res;
+    return fps.query(approx, exact, prm, &counters);
 }
 
 std::vector<IdentifyResult>
@@ -72,8 +66,28 @@ SupplyChainAttacker::attributeBatch(
     const std::vector<BitVec> &approx_outputs,
     const BitVec &exact) const
 {
-    return identifyBatch(approx_outputs, exact, db, prm, workers,
-                         &counters);
+    ThreadPool &pool = workers ? *workers : ThreadPool::global();
+    std::vector<BitVec> error_strings(approx_outputs.size());
+    pool.parallelFor(0, approx_outputs.size(), [&](std::size_t i) {
+        error_strings[i] = errorString(approx_outputs[i], exact);
+    });
+    return fps.queryBatch(error_strings, prm, &counters);
+}
+
+std::vector<IdentifyResult>
+SupplyChainAttacker::attributeBatch(
+    const std::vector<BitVec> &approx_outputs,
+    const std::vector<BitVec> &exact_values) const
+{
+    PC_ASSERT(approx_outputs.size() == exact_values.size(),
+              "attributeBatch: output/exact count mismatch");
+    ThreadPool &pool = workers ? *workers : ThreadPool::global();
+    std::vector<BitVec> error_strings(approx_outputs.size());
+    pool.parallelFor(0, approx_outputs.size(), [&](std::size_t i) {
+        error_strings[i] =
+            errorString(approx_outputs[i], exact_values[i]);
+    });
+    return fps.queryBatch(error_strings, prm, &counters);
 }
 
 IdentifyResult
@@ -81,13 +95,13 @@ SupplyChainAttacker::attributeWithData(const BitVec &approx,
                                        const BitVec &exact,
                                        const DramConfig &config) const
 {
-    return identifyWithData(approx, exact, config, db, prm);
+    return identifyWithData(approx, exact, config, fps.db(), prm);
 }
 
 const std::string &
 SupplyChainAttacker::label(std::size_t index) const
 {
-    return db.record(index).label;
+    return fps.record(index).label;
 }
 
 EavesdropperAttacker::EavesdropperAttacker(const StitchParams &params)
@@ -128,7 +142,26 @@ EavesdropperAttacker::observeBatch(
 std::optional<std::size_t>
 EavesdropperAttacker::attribute(const ApproximateSample &sample) const
 {
-    return stitch.matchSample(sample.pageErrors);
+    const auto start = std::chrono::steady_clock::now();
+    const auto match = stitch.matchSample(sample.pageErrors);
+    counters.identifySeconds += secondsSince(start);
+    return match;
+}
+
+std::vector<std::optional<std::size_t>>
+EavesdropperAttacker::attributeBatch(
+    const std::vector<ApproximateSample> &samples) const
+{
+    // The Stitcher is externally synchronized, so samples are
+    // matched one at a time; each match's page probing fans out
+    // across the stitcher's pool internally.
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::optional<std::size_t>> matches;
+    matches.reserve(samples.size());
+    for (const auto &s : samples)
+        matches.push_back(stitch.matchSample(s.pageErrors));
+    counters.identifySeconds += secondsSince(start);
+    return matches;
 }
 
 std::size_t

@@ -21,6 +21,7 @@
 #include "core/attack_stats.hh"
 #include "core/identify.hh"
 #include "core/stitcher.hh"
+#include "core/store.hh"
 #include "os/commodity_system.hh"
 #include "platform/test_harness.hh"
 
@@ -52,23 +53,41 @@ class SupplyChainAttacker
 
     /**
      * Use @p pool (not owned; null reverts to serial) for
-     * characterization and batch attribution.
+     * characterization, batch attribution, and the store's query
+     * fallback scans.
      */
-    void setThreadPool(ThreadPool *pool) { workers = pool; }
+    void setThreadPool(ThreadPool *pool)
+    {
+        workers = pool;
+        fps.setThreadPool(pool);
+    }
 
-    /** Attribute a public approximate output to an intercepted chip. */
+    /**
+     * Attribute a public approximate output to an intercepted chip.
+     * Runs through the store's candidate index: sublinear on a hit,
+     * full-scan fallback otherwise, with accept/reject decisions
+     * equal to the linear Algorithm 2.
+     */
     IdentifyResult attribute(const BitVec &approx,
                              const BitVec &exact) const;
 
     /**
      * Attribute many outputs of one exact value in a single batch:
-     * the scans run across the thread pool with the bounded
-     * distance kernel, and each element is bit-identical to the
-     * corresponding attribute() call.
+     * queries spread across the thread pool, each elementwise equal
+     * to the corresponding attribute() call.
      */
     std::vector<IdentifyResult>
     attributeBatch(const std::vector<BitVec> &approx_outputs,
                    const BitVec &exact) const;
+
+    /**
+     * Elementwise batch attribution: @p approx_outputs and
+     * @p exact_values pair up, mirroring the other batch APIs'
+     * unified `const std::vector<...>&` shape.
+     */
+    std::vector<IdentifyResult>
+    attributeBatch(const std::vector<BitVec> &approx_outputs,
+                   const std::vector<BitVec> &exact_values) const;
 
     /**
      * Attribute an output of real (non-worst-case) data: masks the
@@ -82,15 +101,18 @@ class SupplyChainAttacker
     /** Label of database record @p index. */
     const std::string &label(std::size_t index) const;
 
-    /** The accumulated fingerprint database. */
-    const FingerprintDb &database() const { return db; }
+    /** The indexed fingerprint store backing this attacker. */
+    const FingerprintStore &store() const { return fps; }
+
+    /** The accumulated fingerprint database (view into store()). */
+    const FingerprintDb &database() const { return fps.db(); }
 
     /** Session counters and per-phase wall time. */
     const AttackStats &stats() const { return counters; }
 
   private:
     IdentifyParams prm;
-    FingerprintDb db;
+    FingerprintStore fps;
     std::uint64_t trialCounter = 0;
     ThreadPool *workers = nullptr;
 
@@ -131,6 +153,14 @@ class EavesdropperAttacker
     std::optional<std::size_t>
     attribute(const ApproximateSample &sample) const;
 
+    /**
+     * Batch attribution, elementwise equal to attribute() on each
+     * sample; each sample's page probing runs across the thread
+     * pool, and identify wall time reports through stats().
+     */
+    std::vector<std::optional<std::size_t>>
+    attributeBatch(const std::vector<ApproximateSample> &samples) const;
+
     /** Current number of suspected distinct machines (Figure 13). */
     std::size_t suspectedMachines() const;
 
@@ -142,7 +172,9 @@ class EavesdropperAttacker
 
   private:
     Stitcher stitch;
-    AttackStats counters;
+
+    /** Measurements, not attack state: const paths update them. */
+    mutable AttackStats counters;
 };
 
 } // namespace pcause

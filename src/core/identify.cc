@@ -153,6 +153,44 @@ scanShard(const BitVec &es, const FingerprintDb &db,
     return out;
 }
 
+/**
+ * scanShard() over an explicit index list instead of a contiguous
+ * range: visits @p candidates in order through the bounded kernel
+ * with the same bound policy, so verdicts match a serial scan of a
+ * database containing exactly those records in that order.
+ */
+ScanOutcome
+scanList(const BitVec &es, const FingerprintDb &db,
+         const std::vector<std::size_t> &candidates,
+         const IdentifyParams &params)
+{
+    ScanOutcome out;
+    for (const std::size_t i : candidates) {
+        const double bound =
+            std::max(params.threshold,
+                     out.nearest ? out.nearestDist : 1.0);
+        bool pruned = false;
+        const double d = boundedDistance(
+            params, es, db.record(i).fingerprint.bits(), bound,
+            &pruned);
+        ++(pruned ? out.pruned : out.computed);
+        if (!out.nearest || d < out.nearestDist) {
+            out.nearest = i;
+            out.nearestDist = d;
+        }
+        if (d < params.threshold) {
+            out.anyUnderThreshold = true;
+            if (!out.match) {
+                out.match = i;
+                out.matchDist = d;
+            }
+            if (params.firstMatch)
+                break;
+        }
+    }
+    return out;
+}
+
 /** Convert a whole-range ScanOutcome to the Algorithm 2 result. */
 IdentifyResult
 outcomeToResult(const ScanOutcome &out, const IdentifyParams &params)
@@ -256,6 +294,29 @@ identifyWithData(const BitVec &approx, const BitVec &exact,
     if (res.match)
         res.match = res.nearest;
     return res;
+}
+
+IdentifyResult
+identifyAmong(const BitVec &error_string, const FingerprintDb &db,
+              const std::vector<std::size_t> &candidates,
+              const IdentifyParams &params, AttackStats *stats)
+{
+    const ScanOutcome out =
+        scanList(error_string, db, candidates, params);
+    mergeScanCounters(stats, out);
+    return outcomeToResult(out, params);
+}
+
+IdentifyResult
+identifyErrorStringBounded(const BitVec &error_string,
+                           const FingerprintDb &db,
+                           const IdentifyParams &params,
+                           AttackStats *stats)
+{
+    const ScanOutcome out =
+        scanShard(error_string, db, 0, db.size(), params, nullptr);
+    mergeScanCounters(stats, out);
+    return outcomeToResult(out, params);
 }
 
 IdentifyResult

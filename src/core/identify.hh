@@ -150,6 +150,32 @@ identifyErrorStringParallel(const BitVec &error_string,
                             AttackStats *stats = nullptr);
 
 /**
+ * Exact bounded Algorithm 3 scan restricted to an explicit record
+ * shortlist, visited in the order given. Verdicts are what a serial
+ * identifyErrorString() would produce if the database held only the
+ * listed records (in that order): the candidate-index query path is
+ * built on this. @p stats, when non-null, accumulates kernel
+ * counters.
+ */
+IdentifyResult identifyAmong(const BitVec &error_string,
+                             const FingerprintDb &db,
+                             const std::vector<std::size_t> &candidates,
+                             const IdentifyParams &params = {},
+                             AttackStats *stats = nullptr);
+
+/**
+ * Serial full scan through the bounded Algorithm 3 kernel:
+ * bit-identical verdicts and distances to identifyErrorString(),
+ * with the early-exit pruning (and counter reporting) of the
+ * parallel scan but no thread pool.
+ */
+IdentifyResult
+identifyErrorStringBounded(const BitVec &error_string,
+                           const FingerprintDb &db,
+                           const IdentifyParams &params = {},
+                           AttackStats *stats = nullptr);
+
+/**
  * Batch identification of many error strings against one database.
  * Queries are independent, so they are spread across the pool
  * (falling back to a per-query database-sharded scan when there are
@@ -177,7 +203,17 @@ identifyBatch(const std::vector<BitVec> &approx_outputs,
               ThreadPool *pool = nullptr,
               AttackStats *stats = nullptr);
 
-/** identifyBatch() with one exact value shared by all outputs. */
+/**
+ * identifyBatch() with one exact value shared by all outputs.
+ *
+ * @deprecated One-off shape kept for source compatibility: extract
+ * the error strings (errorString(output, exact) per output) and
+ * call identifyErrorStringBatch(), or use
+ * FingerprintStore::queryBatch(), which both take the unified
+ * `const std::vector<...>&` batch shape.
+ */
+[[deprecated("extract error strings and use identifyErrorStringBatch()"
+             " or FingerprintStore::queryBatch()")]]
 std::vector<IdentifyResult>
 identifyBatch(const std::vector<BitVec> &approx_outputs,
               const BitVec &exact, const FingerprintDb &db,

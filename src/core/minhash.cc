@@ -1,0 +1,130 @@
+#include "core/minhash.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+MinHashSignature
+minhashSignature(const BitVec &bits, const MinHashParams &params)
+{
+    PC_ASSERT(params.numHashes > 0 && params.bands > 0 &&
+                  params.numHashes % params.bands == 0,
+              "minhashSignature: bands must divide numHashes");
+
+    const std::uint32_t k = params.numHashes;
+    MinHashSignature sig(k, ~std::uint32_t{0});
+
+    // Per-permutation keys, derived once per call: permutation j is
+    // pos -> mix64(key_j, pos), a counter-based hash evaluated only
+    // at the set positions.
+    std::vector<std::uint64_t> keys(k);
+    for (std::uint32_t j = 0; j < k; ++j)
+        keys[j] = mix64(params.seed, j + 1);
+
+    const auto &words = bits.words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w) {
+            const auto bit =
+                static_cast<std::uint64_t>(std::countr_zero(w));
+            const std::uint64_t pos = wi * BitVec::wordBits + bit;
+            for (std::uint32_t j = 0; j < k; ++j) {
+                const auto h =
+                    static_cast<std::uint32_t>(mix64(keys[j], pos));
+                sig[j] = std::min(sig[j], h);
+            }
+            w &= w - 1;
+        }
+    }
+    return sig;
+}
+
+double
+signatureSimilarity(const MinHashSignature &a, const MinHashSignature &b)
+{
+    PC_ASSERT(a.size() == b.size() && !a.empty(),
+              "signatureSimilarity: signature length mismatch");
+    std::size_t agree = 0;
+    for (std::size_t j = 0; j < a.size(); ++j)
+        agree += a[j] == b[j];
+    return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+LshIndex::LshIndex(const MinHashParams &params)
+    : prm(params), bandBuckets(params.bands)
+{
+    PC_ASSERT(prm.numHashes > 0 && prm.bands > 0 &&
+                  prm.numHashes % prm.bands == 0,
+              "LshIndex: bands must divide numHashes");
+}
+
+std::uint64_t
+LshIndex::bandKey(const MinHashSignature &sig, std::uint32_t band) const
+{
+    // Fold the band's rows into one 64-bit key; the band index is
+    // mixed in so identical row values in different bands do not
+    // alias (each band has its own bucket map anyway, but distinct
+    // keys keep the occupancy diagnostics honest).
+    const std::uint32_t r = prm.rows();
+    std::uint64_t key = mix64(prm.seed, 0x62616e64ull + band);
+    for (std::uint32_t j = 0; j < r; ++j)
+        key = mix64(key, sig[band * r + j]);
+    return key;
+}
+
+void
+LshIndex::add(std::size_t record, const MinHashSignature &sig)
+{
+    PC_ASSERT(sig.size() == prm.numHashes,
+              "LshIndex::add: signature length mismatch");
+    for (std::uint32_t band = 0; band < prm.bands; ++band) {
+        bandBuckets[band][bandKey(sig, band)].push_back(
+            static_cast<std::uint32_t>(record));
+    }
+    ++numRecords;
+}
+
+std::vector<std::size_t>
+LshIndex::candidates(const MinHashSignature &sig) const
+{
+    PC_ASSERT(sig.size() == prm.numHashes,
+              "LshIndex::candidates: signature length mismatch");
+    std::vector<std::uint32_t> hits;
+    for (std::uint32_t band = 0; band < prm.bands; ++band) {
+        const auto &buckets = bandBuckets[band];
+        const auto it = buckets.find(bandKey(sig, band));
+        if (it != buckets.end())
+            hits.insert(hits.end(), it->second.begin(),
+                        it->second.end());
+    }
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    return std::vector<std::size_t>(hits.begin(), hits.end());
+}
+
+void
+LshIndex::clear()
+{
+    for (auto &buckets : bandBuckets)
+        buckets.clear();
+    numRecords = 0;
+}
+
+LshIndex::Occupancy
+LshIndex::occupancy() const
+{
+    Occupancy occ;
+    for (const auto &buckets : bandBuckets) {
+        occ.buckets += buckets.size();
+        for (const auto &[key, ids] : buckets)
+            occ.largestBucket = std::max(occ.largestBucket, ids.size());
+    }
+    return occ;
+}
+
+} // namespace pcause

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * MinHash signatures and LSH candidate index over fingerprints.
+ *
+ * Algorithm 2 scans every known fingerprint per query; at the
+ * "millions of users" population the roadmap targets, that linear
+ * scan is the whole cost of identification. A fingerprint is a set
+ * of bit positions and the Algorithm 3 distance is Jaccard-shaped,
+ * so the standard sublinear tool applies: hash each fingerprint to
+ * a short MinHash signature (k independent permutations of the
+ * position universe), band the signature into LSH buckets, and only
+ * run the exact distance kernel on records that collide with the
+ * query in at least one band.
+ *
+ * The permutations reuse the counter-based idiom of the DRAM decay
+ * engine: h_j(pos) = mix64(seed_j, pos) is a pure function of its
+ * arguments, so signatures are deterministic, independent of
+ * insertion or evaluation order, and cheap to compute incrementally
+ * as records are added.
+ */
+
+#ifndef PCAUSE_CORE_MINHASH_HH
+#define PCAUSE_CORE_MINHASH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/**
+ * Signature/banding tunables.
+ *
+ * Two signatures collide in a band when all rows of that band
+ * agree, so the probability a record becomes a candidate at Jaccard
+ * similarity s is 1 - (1 - s^rows)^bands. The defaults (64 hashes,
+ * 32 bands of 2 rows) put the half-recall point near s = 0.18 —
+ * deliberately low, because the attacker's query error string is a
+ * noisy superset of the stored fingerprint and raw Jaccard
+ * similarity shrinks as the approximation levels diverge. False
+ * positives cost only a bounded exact-distance check apiece.
+ */
+struct MinHashParams
+{
+    /** Number of hash permutations (signature length k). */
+    std::uint32_t numHashes = 64;
+
+    /** Number of LSH bands; must divide numHashes. */
+    std::uint32_t bands = 32;
+
+    /** Base seed the per-permutation hash keys are derived from. */
+    std::uint64_t seed = 0x6d696e68617368ull; // "minhash"
+
+    /** Rows per band. */
+    std::uint32_t rows() const { return numHashes / bands; }
+
+    bool operator==(const MinHashParams &o) const
+    {
+        return numHashes == o.numHashes && bands == o.bands &&
+               seed == o.seed;
+    }
+    bool operator!=(const MinHashParams &o) const { return !(*this == o); }
+};
+
+/**
+ * A MinHash signature: element j is the minimum of h_j over the
+ * set-bit positions. Empty sets produce all-ones sentinels (which
+ * never collide with a non-empty signature except by 2^-32 chance
+ * per row).
+ */
+using MinHashSignature = std::vector<std::uint32_t>;
+
+/**
+ * Compute the signature of @p bits under @p params. Pure function
+ * of (set bits, params): the same fingerprint yields the same
+ * signature regardless of when or where it is hashed.
+ */
+MinHashSignature minhashSignature(const BitVec &bits,
+                                  const MinHashParams &params);
+
+/**
+ * Fraction of signature positions on which @p a and @p b agree —
+ * an unbiased estimate of the Jaccard similarity of the underlying
+ * sets. Signature lengths must match.
+ */
+double signatureSimilarity(const MinHashSignature &a,
+                           const MinHashSignature &b);
+
+/**
+ * Banded LSH bucket index mapping signatures to record ids.
+ *
+ * The index is append-only (records are identified by the caller's
+ * dense ids, as in FingerprintDb) and externally synchronized:
+ * concurrent candidates() calls are safe against each other but not
+ * against add().
+ */
+class LshIndex
+{
+  public:
+    explicit LshIndex(const MinHashParams &params = {});
+
+    /** Parameters the index was built with. */
+    const MinHashParams &params() const { return prm; }
+
+    /** Number of records indexed. */
+    std::size_t size() const { return numRecords; }
+
+    /**
+     * Index @p record under @p sig. Signature length must equal
+     * params().numHashes.
+     */
+    void add(std::size_t record, const MinHashSignature &sig);
+
+    /**
+     * Record ids sharing at least one band bucket with @p sig,
+     * ascending and deduplicated — the shortlist the exact distance
+     * kernel then scans.
+     */
+    std::vector<std::size_t>
+    candidates(const MinHashSignature &sig) const;
+
+    /** Drop all entries (for a rebuild under new parameters). */
+    void clear();
+
+    /**
+     * Occupancy snapshot for diagnostics: bucket count and largest
+     * bucket across all bands.
+     */
+    struct Occupancy
+    {
+        std::size_t buckets = 0;
+        std::size_t largestBucket = 0;
+    };
+    Occupancy occupancy() const;
+
+  private:
+    /** Bucket key of band @p band of @p sig. */
+    std::uint64_t bandKey(const MinHashSignature &sig,
+                          std::uint32_t band) const;
+
+    MinHashParams prm;
+    std::size_t numRecords = 0;
+
+    /** Per band: bucket key -> ascending record ids. */
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint32_t>>>
+        bandBuckets;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_MINHASH_HH

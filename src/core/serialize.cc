@@ -1,9 +1,12 @@
 #include "core/serialize.hh"
 
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "util/logging.hh"
 
@@ -14,7 +17,8 @@ namespace
 {
 
 constexpr char dbMagic[4] = {'P', 'C', 'D', 'B'};
-constexpr std::uint32_t dbVersion = 1;
+constexpr std::uint32_t dbVersionV1 = 1;
+constexpr std::uint32_t dbVersionV2 = 2;
 
 template <typename T>
 void
@@ -23,15 +27,188 @@ writeScalar(std::ostream &out, T value)
     out.write(reinterpret_cast<const char *>(&value), sizeof(value));
 }
 
-template <typename T>
-T
-readScalar(std::istream &in)
+/**
+ * Error-returning binary reader: every read either succeeds or
+ * latches a formatted error message; once failed, further reads are
+ * no-ops, so parse code can check once per record.
+ */
+class Reader
 {
-    T value{};
-    in.read(reinterpret_cast<char *>(&value), sizeof(value));
-    if (!in)
-        fatal("loadDatabase: truncated input");
-    return value;
+  public:
+    explicit Reader(std::istream &stream) : in(stream) {}
+
+    bool failed() const { return !msg.empty(); }
+    const std::string &error() const { return msg; }
+
+    void fail(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)))
+    {
+        if (failed())
+            return;
+        char buf[256];
+        va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        msg = buf;
+    }
+
+    template <typename T>
+    bool read(T &value, const char *what)
+    {
+        if (failed())
+            return false;
+        in.read(reinterpret_cast<char *>(&value), sizeof(value));
+        if (!in) {
+            fail("truncated %s", what);
+            return false;
+        }
+        return true;
+    }
+
+    bool readBytes(char *dst, std::size_t len, const char *what)
+    {
+        if (failed())
+            return false;
+        in.read(dst, static_cast<std::streamsize>(len));
+        if (!in) {
+            fail("truncated %s", what);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::istream &in;
+    std::string msg;
+};
+
+/** One record as parsed off disk. */
+struct RawRecord
+{
+    std::string label;
+    std::uint32_t sources = 0;
+    BitVec bits;
+    MinHashSignature sig; //!< empty in v1 files
+};
+
+/** Parsed file: header parameters plus all records. */
+struct RawDatabase
+{
+    std::uint32_t version = 0;
+    MinHashParams index;
+    std::vector<RawRecord> records;
+};
+
+/**
+ * Parse a whole PCDB stream. Returns the database or an error
+ * message (exactly one of the two).
+ */
+std::string
+parseDatabase(std::istream &in, RawDatabase &out)
+{
+    Reader r(in);
+    char magic[4];
+    if (!r.readBytes(magic, sizeof(magic), "magic") ||
+        std::memcmp(magic, dbMagic, sizeof(dbMagic)) != 0)
+        return "not a Probable Cause database";
+    if (!r.read(out.version, "version"))
+        return r.error();
+    if (out.version != dbVersionV1 && out.version != dbVersionV2) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "unsupported version %u",
+                      out.version);
+        return buf;
+    }
+
+    if (out.version >= dbVersionV2) {
+        r.read(out.index.numHashes, "minhash header");
+        r.read(out.index.bands, "minhash header");
+        r.read(out.index.seed, "minhash header");
+        if (r.failed())
+            return r.error();
+        if (out.index.numHashes == 0 || out.index.bands == 0 ||
+            out.index.numHashes % out.index.bands != 0)
+            return "invalid minhash parameters in header";
+    }
+
+    std::uint64_t count = 0;
+    if (!r.read(count, "record count"))
+        return r.error();
+    out.records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RawRecord rec;
+        std::uint32_t label_len = 0;
+        r.read(label_len, "label length");
+        if (r.failed())
+            return r.error();
+        rec.label.assign(label_len, '\0');
+        r.readBytes(rec.label.data(), label_len, "label");
+        r.read(rec.sources, "source count");
+        std::uint64_t universe = 0, positions = 0;
+        r.read(universe, "universe size");
+        r.read(positions, "position count");
+        if (r.failed())
+            return r.error();
+        if (rec.sources == 0)
+            return "record with zero sources";
+        if (positions > universe)
+            return "more positions than universe bits";
+
+        rec.bits = BitVec(universe);
+        for (std::uint64_t p = 0; p < positions; ++p) {
+            std::uint32_t pos = 0;
+            if (!r.read(pos, "position"))
+                return r.error();
+            if (pos >= universe)
+                return "position beyond universe";
+            rec.bits.set(pos);
+        }
+
+        if (out.version >= dbVersionV2) {
+            rec.sig.resize(out.index.numHashes);
+            for (auto &h : rec.sig) {
+                if (!r.read(h, "signature"))
+                    return r.error();
+            }
+        }
+        out.records.push_back(std::move(rec));
+    }
+    return "";
+}
+
+/** Write one v2 record. */
+void
+writeRecord(std::ostream &out, const FingerprintRecord &rec,
+            const MinHashSignature &sig)
+{
+    writeScalar<std::uint32_t>(
+        out, static_cast<std::uint32_t>(rec.label.size()));
+    out.write(rec.label.data(),
+              static_cast<std::streamsize>(rec.label.size()));
+    writeScalar<std::uint32_t>(out, rec.fingerprint.sources());
+    writeScalar<std::uint64_t>(out, rec.fingerprint.bits().size());
+
+    const auto positions = rec.fingerprint.bits().setBits();
+    writeScalar<std::uint64_t>(out, positions.size());
+    for (auto pos : positions)
+        writeScalar<std::uint32_t>(out,
+                                   static_cast<std::uint32_t>(pos));
+    for (auto h : sig)
+        writeScalar<std::uint32_t>(out, h);
+}
+
+/** Write the v2 header for @p params and @p count records. */
+void
+writeHeader(std::ostream &out, const MinHashParams &params,
+            std::uint64_t count)
+{
+    out.write(dbMagic, sizeof(dbMagic));
+    writeScalar<std::uint32_t>(out, dbVersionV2);
+    writeScalar<std::uint32_t>(out, params.numHashes);
+    writeScalar<std::uint32_t>(out, params.bands);
+    writeScalar<std::uint64_t>(out, params.seed);
+    writeScalar<std::uint64_t>(out, count);
 }
 
 } // anonymous namespace
@@ -39,24 +216,12 @@ readScalar(std::istream &in)
 bool
 saveDatabase(const FingerprintDb &db, std::ostream &out)
 {
-    out.write(dbMagic, sizeof(dbMagic));
-    writeScalar<std::uint32_t>(out, dbVersion);
-    writeScalar<std::uint64_t>(out, db.size());
-
+    const MinHashParams params;
+    writeHeader(out, params, db.size());
     for (std::size_t i = 0; i < db.size(); ++i) {
         const FingerprintRecord &rec = db.record(i);
-        writeScalar<std::uint32_t>(
-            out, static_cast<std::uint32_t>(rec.label.size()));
-        out.write(rec.label.data(),
-                  static_cast<std::streamsize>(rec.label.size()));
-        writeScalar<std::uint32_t>(out, rec.fingerprint.sources());
-        writeScalar<std::uint64_t>(out, rec.fingerprint.bits().size());
-
-        const auto positions = rec.fingerprint.bits().setBits();
-        writeScalar<std::uint64_t>(out, positions.size());
-        for (auto pos : positions)
-            writeScalar<std::uint32_t>(
-                out, static_cast<std::uint32_t>(pos));
+        writeRecord(out, rec,
+                    minhashSignature(rec.fingerprint.bits(), params));
     }
     return out.good();
 }
@@ -70,55 +235,80 @@ saveDatabase(const FingerprintDb &db, const std::string &path)
     return saveDatabase(db, out);
 }
 
-FingerprintDb
-loadDatabase(std::istream &in)
+bool
+saveStore(const FingerprintStore &store, std::ostream &out)
 {
-    char magic[4];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, dbMagic, sizeof(dbMagic)) != 0)
-        fatal("loadDatabase: not a Probable Cause database");
-    const auto version = readScalar<std::uint32_t>(in);
-    if (version != dbVersion)
-        fatal("loadDatabase: unsupported version %u", version);
-
-    FingerprintDb db;
-    const auto count = readScalar<std::uint64_t>(in);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const auto label_len = readScalar<std::uint32_t>(in);
-        std::string label(label_len, '\0');
-        in.read(label.data(), label_len);
-        if (!in)
-            fatal("loadDatabase: truncated label");
-
-        const auto sources = readScalar<std::uint32_t>(in);
-        const auto universe = readScalar<std::uint64_t>(in);
-        const auto positions = readScalar<std::uint64_t>(in);
-
-        BitVec bits(universe);
-        for (std::uint64_t p = 0; p < positions; ++p) {
-            const auto pos = readScalar<std::uint32_t>(in);
-            if (pos >= universe)
-                fatal("loadDatabase: position beyond universe");
-            bits.set(pos);
-        }
-
-        // Rebuild the fingerprint with its source count: seed then
-        // self-augment (intersection with itself is the identity).
-        Fingerprint fp(bits);
-        for (std::uint32_t s = 1; s < sources; ++s)
-            fp.augment(bits);
-        db.add(std::move(label), std::move(fp));
-    }
-    return db;
+    writeHeader(out, store.indexParams(), store.size());
+    for (std::size_t i = 0; i < store.size(); ++i)
+        writeRecord(out, store.record(i), store.signature(i));
+    return out.good();
 }
 
-FingerprintDb
+bool
+saveStore(const FingerprintStore &store, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    return saveStore(store, out);
+}
+
+DbLoadResult
+loadDatabase(std::istream &in)
+{
+    RawDatabase raw;
+    const std::string err = parseDatabase(in, raw);
+    if (!err.empty())
+        return {std::nullopt, "loadDatabase: " + err};
+
+    FingerprintDb db;
+    for (RawRecord &rec : raw.records) {
+        db.add(std::move(rec.label),
+               Fingerprint(std::move(rec.bits), rec.sources));
+    }
+    return {std::move(db), ""};
+}
+
+DbLoadResult
 loadDatabase(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("loadDatabase: cannot open %s", path.c_str());
+        return {std::nullopt, "loadDatabase: cannot open " + path};
     return loadDatabase(in);
+}
+
+StoreLoadResult
+loadStore(std::istream &in)
+{
+    RawDatabase raw;
+    const std::string err = parseDatabase(in, raw);
+    if (!err.empty())
+        return {std::nullopt, "loadStore: " + err};
+
+    FingerprintStore store(raw.version >= dbVersionV2
+                               ? raw.index
+                               : MinHashParams{});
+    for (RawRecord &rec : raw.records) {
+        Fingerprint fp(std::move(rec.bits), rec.sources);
+        if (raw.version >= dbVersionV2) {
+            store.addWithSignature(std::move(rec.label), std::move(fp),
+                                   std::move(rec.sig));
+        } else {
+            // v1 carries no signatures: recompute on load.
+            store.add(std::move(rec.label), std::move(fp));
+        }
+    }
+    return {std::move(store), ""};
+}
+
+StoreLoadResult
+loadStore(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {std::nullopt, "loadStore: cannot open " + path};
+    return loadStore(in);
 }
 
 bool
@@ -153,10 +343,16 @@ loadBitVec(const std::string &path)
     if (!in || std::memcmp(magic, "PCBV", 4) != 0)
         fatal("loadBitVec: %s is not a bit-vector dump",
               path.c_str());
-    const auto version = readScalar<std::uint32_t>(in);
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!in)
+        fatal("loadBitVec: truncated input");
     if (version != 1)
         fatal("loadBitVec: unsupported version %u", version);
-    const auto nbits = readScalar<std::uint64_t>(in);
+    std::uint64_t nbits = 0;
+    in.read(reinterpret_cast<char *>(&nbits), sizeof(nbits));
+    if (!in)
+        fatal("loadBitVec: truncated input");
 
     BitVec bits(nbits);
     std::uint8_t byte = 0;
@@ -174,13 +370,15 @@ loadBitVec(const std::string &path)
 }
 
 std::size_t
-recordDiskSize(std::size_t weight, std::size_t label_len)
+recordDiskSize(std::size_t weight, std::size_t label_len,
+               std::size_t signature_hashes)
 {
     return sizeof(std::uint32_t) + label_len   // label
         + sizeof(std::uint32_t)                // sources
         + sizeof(std::uint64_t)                // universe
         + sizeof(std::uint64_t)                // position count
-        + weight * sizeof(std::uint32_t);      // positions
+        + weight * sizeof(std::uint32_t)       // positions
+        + signature_hashes * sizeof(std::uint32_t); // signature
 }
 
 } // namespace pcause

@@ -11,47 +11,108 @@
  * chip's fingerprint costs ~10 KB instead of 32 KB, and scales with
  * the error budget rather than the memory size.
  *
- * Format (little-endian):
- *   magic "PCDB", u32 version,
+ * Format v2 (little-endian):
+ *   magic "PCDB", u32 version = 2,
+ *   u32 minhash hashes (k), u32 minhash bands, u64 minhash seed,
  *   u64 record count, then per record:
  *     u32 label length, label bytes,
  *     u32 sources, u64 universe bits,
- *     u64 position count, u32 positions[]
+ *     u64 position count, u32 positions[],
+ *     u32 signature[k]            (MinHash signature, core/minhash)
+ *
+ * v1 files (no minhash header fields, no signatures) load
+ * transparently; loadStore() recomputes their signatures.
+ *
+ * Loading is recoverable: malformed input produces a LoadResult
+ * carrying an error string instead of killing the process, so a
+ * long-running attacker service can survive a damaged database file.
+ * Callers that do want to die on bad input (the pcause CLI) handle
+ * the error at the call site.
  */
 
 #ifndef PCAUSE_CORE_SERIALIZE_HH
 #define PCAUSE_CORE_SERIALIZE_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "core/identify.hh"
+#include "core/store.hh"
 
 namespace pcause
 {
 
-/** Serialize @p db to a stream. Returns false on IO failure. */
+/**
+ * Outcome of a recoverable load: either the value or a
+ * human-readable reason it could not be produced.
+ */
+template <typename T>
+struct LoadResult
+{
+    /** The loaded value; nullopt when loading failed. */
+    std::optional<T> value;
+
+    /** Failure reason; empty on success. */
+    std::string error;
+
+    /** True when the load succeeded. */
+    explicit operator bool() const { return value.has_value(); }
+
+    /** The loaded value (must have succeeded). */
+    T &operator*() { return *value; }
+    const T &operator*() const { return *value; }
+    T *operator->() { return &*value; }
+    const T *operator->() const { return &*value; }
+};
+
+using DbLoadResult = LoadResult<FingerprintDb>;
+using StoreLoadResult = LoadResult<FingerprintStore>;
+
+/** Serialize @p db to a stream (v2, signatures computed under
+ *  default MinHashParams). Returns false on IO failure. */
 bool saveDatabase(const FingerprintDb &db, std::ostream &out);
 
 /** Serialize @p db to @p path. Returns false on IO failure. */
 bool saveDatabase(const FingerprintDb &db, const std::string &path);
 
+/** Serialize @p store (its own index parameters and signatures) to
+ *  a stream. Returns false on IO failure. */
+bool saveStore(const FingerprintStore &store, std::ostream &out);
+
+/** Serialize @p store to @p path. Returns false on IO failure. */
+bool saveStore(const FingerprintStore &store, const std::string &path);
+
 /**
- * Load a database from a stream. Calls fatal() on malformed or
- * version-incompatible input; IO truncation is also fatal (a
- * damaged attacker database is unusable, not recoverable).
+ * Load a database from a stream. Malformed, truncated, or
+ * version-incompatible input yields a failed result with an error
+ * string — never a process exit. Signatures in v2 files are
+ * skipped (the plain database carries none).
  */
-FingerprintDb loadDatabase(std::istream &in);
+DbLoadResult loadDatabase(std::istream &in);
 
 /** Load a database from @p path. */
-FingerprintDb loadDatabase(const std::string &path);
+DbLoadResult loadDatabase(const std::string &path);
 
 /**
- * On-disk size estimate in bytes for a fingerprint of @p weight
- * volatile cells with a @p label_len-byte label — the "1% of bits"
+ * Load an indexed FingerprintStore: v2 files restore the stored
+ * index parameters and per-record signatures without rehashing; v1
+ * files get signatures recomputed under default MinHashParams.
+ */
+StoreLoadResult loadStore(std::istream &in);
+
+/** Load a FingerprintStore from @p path. */
+StoreLoadResult loadStore(const std::string &path);
+
+/**
+ * On-disk size estimate in bytes for a v2 record of @p weight
+ * volatile cells, a @p label_len-byte label, and a
+ * @p signature_hashes-entry MinHash signature — the "1% of bits"
  * storage claim made measurable.
  */
-std::size_t recordDiskSize(std::size_t weight, std::size_t label_len);
+std::size_t recordDiskSize(std::size_t weight, std::size_t label_len,
+                           std::size_t signature_hashes =
+                               MinHashParams{}.numHashes);
 
 /**
  * Persist a raw bit vector (approximate outputs, exact patterns)

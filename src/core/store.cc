@@ -1,0 +1,211 @@
+#include "core/store.hh"
+
+#include <chrono>
+
+#include "core/error_string.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+/** Seconds elapsed since @p start. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+}
+
+} // anonymous namespace
+
+FingerprintStore::FingerprintStore(const MinHashParams &index_params)
+    : lsh(index_params)
+{
+}
+
+FingerprintStore
+FingerprintStore::fromDb(FingerprintDb db, const MinHashParams &index_params)
+{
+    FingerprintStore store(index_params);
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        FingerprintRecord &rec = db.record(i);
+        store.add(std::move(rec.label), std::move(rec.fingerprint));
+    }
+    return store;
+}
+
+std::size_t
+FingerprintStore::add(ChipLabel label, Fingerprint fp)
+{
+    MinHashSignature sig =
+        minhashSignature(fp.bits(), lsh.params());
+    return addWithSignature(std::move(label), std::move(fp),
+                            std::move(sig));
+}
+
+std::size_t
+FingerprintStore::addWithSignature(ChipLabel label, Fingerprint fp,
+                                   MinHashSignature sig)
+{
+    PC_ASSERT(sig.size() == lsh.params().numHashes,
+              "FingerprintStore: signature length mismatch");
+    const std::size_t i = records.add(std::move(label), std::move(fp));
+    lsh.add(i, sig);
+    signatures.push_back(std::move(sig));
+    return i;
+}
+
+const MinHashSignature &
+FingerprintStore::signature(std::size_t i) const
+{
+    PC_ASSERT(i < signatures.size(),
+              "FingerprintStore signature index out of range");
+    return signatures[i];
+}
+
+IdentifyResult
+FingerprintStore::queryImpl(const BitVec &error_string,
+                            const IdentifyParams &params,
+                            AttackStats *stats,
+                            bool sharded_fallback) const
+{
+    if (stats) {
+        ++stats->indexQueries;
+        stats->recordsAvailable += records.size();
+    }
+
+    const MinHashSignature sig =
+        minhashSignature(error_string, lsh.params());
+    const std::vector<std::size_t> cand = lsh.candidates(sig);
+    if (stats)
+        stats->candidatesScanned += cand.size();
+
+    if (!cand.empty()) {
+        const IdentifyResult res =
+            identifyAmong(error_string, records, cand, params, stats);
+        if (res.match)
+            return res;
+    }
+
+    // No shortlist accept: fall back to the exact full scan, whose
+    // verdict is returned verbatim — this is what pins the store's
+    // accept/reject decisions to the linear Algorithm 2.
+    if (stats)
+        ++stats->indexFallbacks;
+    if (sharded_fallback && workers) {
+        return identifyErrorStringParallel(error_string, records,
+                                           params, *workers, stats);
+    }
+    return identifyErrorStringBounded(error_string, records, params,
+                                      stats);
+}
+
+IdentifyResult
+FingerprintStore::query(const BitVec &error_string,
+                        const IdentifyParams &params,
+                        AttackStats *stats) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    AttackStats local;
+    const IdentifyResult res =
+        queryImpl(error_string, params, &local, true);
+    // Re-time the whole query: the sharded fallback already stamped
+    // its own identify time into `local`, which is a subset of ours.
+    local.identifySeconds = secondsSince(start);
+    if (stats)
+        *stats += local;
+    return res;
+}
+
+IdentifyResult
+FingerprintStore::query(const BitVec &approx, const BitVec &exact,
+                        const IdentifyParams &params,
+                        AttackStats *stats) const
+{
+    return query(errorString(approx, exact), params, stats);
+}
+
+std::vector<IdentifyResult>
+FingerprintStore::queryBatch(const std::vector<BitVec> &error_strings,
+                             const IdentifyParams &params,
+                             AttackStats *stats) const
+{
+    std::vector<IdentifyResult> results(error_strings.size());
+    if (error_strings.empty())
+        return results;
+
+    ThreadPool &pool = workers ? *workers : ThreadPool::global();
+    const auto start = std::chrono::steady_clock::now();
+    AttackStats total;
+
+    if (error_strings.size() < pool.size()) {
+        // Few queries: let each query's fallback shard the database
+        // scan across the pool instead.
+        for (std::size_t q = 0; q < error_strings.size(); ++q) {
+            results[q] = queryImpl(error_strings[q], params, &total,
+                                   true);
+        }
+    } else {
+        std::vector<AttackStats> locals(pool.size());
+        pool.parallelChunks(
+            0, error_strings.size(),
+            [&](std::size_t b, std::size_t e, std::size_t c) {
+                for (std::size_t q = b; q < e; ++q) {
+                    results[q] = queryImpl(error_strings[q], params,
+                                           &locals[c], false);
+                }
+            });
+        for (const AttackStats &l : locals)
+            total += l;
+    }
+
+    total.identifySeconds = secondsSince(start);
+    if (stats)
+        *stats += total;
+    return results;
+}
+
+IdentifyResult
+FingerprintStore::queryLinear(const BitVec &error_string,
+                              const IdentifyParams &params,
+                              AttackStats *stats) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    AttackStats local;
+    const IdentifyResult res = identifyErrorStringBounded(
+        error_string, records, params, &local);
+    local.recordsAvailable += records.size();
+    local.identifySeconds = secondsSince(start);
+    if (stats)
+        *stats += local;
+    return res;
+}
+
+void
+FingerprintStore::reindex(const MinHashParams &new_params)
+{
+    LshIndex next(new_params);
+    std::vector<MinHashSignature> sigs(records.size());
+
+    const auto hashRecord = [&](std::size_t i) {
+        sigs[i] = minhashSignature(records.record(i).fingerprint.bits(),
+                                   new_params);
+    };
+    if (workers) {
+        workers->parallelFor(0, records.size(), hashRecord);
+    } else {
+        for (std::size_t i = 0; i < records.size(); ++i)
+            hashRecord(i);
+    }
+    for (std::size_t i = 0; i < records.size(); ++i)
+        next.add(i, sigs[i]);
+
+    lsh = std::move(next);
+    signatures = std::move(sigs);
+}
+
+} // namespace pcause

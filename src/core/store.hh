@@ -1,0 +1,153 @@
+/**
+ * @file
+ * FingerprintStore: the attacker database behind one API.
+ *
+ * Wraps the plain FingerprintDb with a MinHash/LSH candidate index
+ * (core/minhash) so identification is sublinear in the number of
+ * known chips: a query hashes its error string to a signature,
+ * pulls the records colliding in at least one LSH band, and runs
+ * the exact bounded Algorithm 3 kernel on that shortlist only.
+ *
+ * Accept/reject equivalence with the paper's linear Algorithm 2 is
+ * guaranteed by construction: a shortlist accept implies a record
+ * under threshold exists (the exact kernel verified it), and a
+ * shortlist miss falls back to the full scan, whose result is
+ * returned verbatim. The only permitted divergence is *which*
+ * record is reported when several sit under the threshold in
+ * first-match mode — the shortlist may surface a later record than
+ * the linear scan's first hit (distinct chips are never that close;
+ * see docs/ALGORITHMS.md "Fingerprint index").
+ */
+
+#ifndef PCAUSE_CORE_STORE_HH
+#define PCAUSE_CORE_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/identify.hh"
+#include "core/minhash.hh"
+
+namespace pcause
+{
+
+class ThreadPool;
+
+/** Indexed attacker database: FingerprintDb + LSH candidate index. */
+class FingerprintStore
+{
+  public:
+    explicit FingerprintStore(const MinHashParams &index_params = {});
+
+    /** Build a store over an existing database (index computed). */
+    static FingerprintStore fromDb(FingerprintDb db,
+                                   const MinHashParams &index_params = {});
+
+    /**
+     * Add a record: the signature is computed and indexed
+     * incrementally, no rebuild. Returns the record index.
+     */
+    std::size_t add(ChipLabel label, Fingerprint fp);
+
+    /**
+     * Add a record whose signature is already known (the v2 on-disk
+     * format carries signatures). The signature length must match
+     * indexParams(); its content is trusted.
+     */
+    std::size_t addWithSignature(ChipLabel label, Fingerprint fp,
+                                 MinHashSignature sig);
+
+    /** Number of records. */
+    std::size_t size() const { return records.size(); }
+
+    /** True when no record has been added. */
+    bool empty() const { return records.size() == 0; }
+
+    /** Record @p i. */
+    const FingerprintRecord &record(std::size_t i) const
+    {
+        return records.record(i);
+    }
+
+    /** The wrapped database (for the unindexed legacy APIs). */
+    const FingerprintDb &db() const { return records; }
+
+    /** MinHash signature of record @p i. */
+    const MinHashSignature &signature(std::size_t i) const;
+
+    /** Signature/banding parameters of the current index. */
+    const MinHashParams &indexParams() const { return lsh.params(); }
+
+    /** The candidate index (diagnostics: occupancy, size). */
+    const LshIndex &index() const { return lsh; }
+
+    /**
+     * Use @p pool (not owned; null reverts to serial single-query
+     * fallbacks and the process-global pool for batches) for query
+     * fallback scans, batch queries, and reindexing.
+     */
+    void setThreadPool(ThreadPool *pool) { workers = pool; }
+
+    /**
+     * Indexed Algorithm 2 from a precomputed error string: exact
+     * bounded-distance scan of the LSH shortlist, full fallback
+     * scan when the shortlist yields no accept. @p stats, when
+     * non-null, accumulates candidates-scanned vs database-size
+     * counters, kernel counters, and identify wall time.
+     */
+    IdentifyResult query(const BitVec &error_string,
+                         const IdentifyParams &params = {},
+                         AttackStats *stats = nullptr) const;
+
+    /** Indexed Algorithm 2 from an output and its exact value. */
+    IdentifyResult query(const BitVec &approx, const BitVec &exact,
+                         const IdentifyParams &params = {},
+                         AttackStats *stats = nullptr) const;
+
+    /**
+     * Batch query: elementwise equal to query() on each error
+     * string, spread across the thread pool (the process-global
+     * pool when none is set).
+     */
+    std::vector<IdentifyResult>
+    queryBatch(const std::vector<BitVec> &error_strings,
+               const IdentifyParams &params = {},
+               AttackStats *stats = nullptr) const;
+
+    /**
+     * Reference linear Algorithm 2 (serial bounded full scan,
+     * bit-identical verdicts to identifyErrorString()) — the
+     * baseline the index is measured against.
+     */
+    IdentifyResult queryLinear(const BitVec &error_string,
+                               const IdentifyParams &params = {},
+                               AttackStats *stats = nullptr) const;
+
+    /**
+     * Rebuild the index under new signature/banding parameters;
+     * signatures are recomputed (across the pool when one is set).
+     */
+    void reindex(const MinHashParams &new_params);
+
+  private:
+    /**
+     * query() body accumulating into @p stats without timing; the
+     * public entry points add wall time around it. @p sharded_fallback
+     * selects the pool-sharded fallback scan (single-query path)
+     * over the serial bounded one (batch path, where queries
+     * already occupy the pool).
+     */
+    IdentifyResult queryImpl(const BitVec &error_string,
+                             const IdentifyParams &params,
+                             AttackStats *stats,
+                             bool sharded_fallback) const;
+
+    FingerprintDb records;
+    std::vector<MinHashSignature> signatures;
+    LshIndex lsh;
+    ThreadPool *workers = nullptr;
+};
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_STORE_HH

@@ -29,6 +29,25 @@ if "$PCAUSE" identify --db db.pcdb --exact exact.pcbv \
     exit 1
 fi
 
+# The linear reference scan must agree with the indexed verdict.
+"$PCAUSE" identify --db db.pcdb --exact exact.pcbv --linear yes \
+    chip1_trial3.pcbv | grep -q "match: beta"
+
+# Index diagnostics and reindexing under new parameters.
+"$PCAUSE" db --db db.pcdb stats | grep -q "minhash"
+"$PCAUSE" db --db db.pcdb reindex --hashes 32 --bands 16 \
+    | grep -q "reindexed 2 records"
+"$PCAUSE" db --db db.pcdb stats | grep -q "32 hashes"
+"$PCAUSE" identify --db db.pcdb --exact exact.pcbv \
+    chip1_trial3.pcbv | grep -q "match: beta"
+
+# A corrupt database must fail with a message, not crash.
+echo "garbage" > broken.pcdb
+if "$PCAUSE" db --db broken.pcdb > /dev/null 2>&1; then
+    echo "FAIL: corrupt database accepted" >&2
+    exit 1
+fi
+
 # Clustering four outputs of three chips must find three clusters.
 "$PCAUSE" cluster --exact exact.pcbv chip0_trial0.pcbv \
     chip1_trial0.pcbv chip0_trial1.pcbv chip2_trial0.pcbv \

@@ -102,6 +102,47 @@ TEST(SupplyChainAttacker, BatchAttributionMatchesSerial)
               0u);
 }
 
+TEST(SupplyChainAttacker, ElementwiseBatchMatchesSerial)
+{
+    Platform platform = Platform::legacy(3);
+    ThreadPool pool(4);
+    SupplyChainAttacker attacker;
+    attacker.setThreadPool(&pool);
+    for (unsigned c = 0; c < 3; ++c) {
+        TestHarness h = platform.harness(c);
+        attacker.interceptChip(h, "victim-" + std::to_string(c));
+    }
+
+    // Each output pairs with its own exact value (the unified
+    // elementwise batch shape).
+    std::vector<BitVec> outputs;
+    std::vector<BitVec> exacts;
+    std::vector<IdentifyResult> serial;
+    std::uint64_t trial = 900;
+    for (unsigned c = 0; c < 3; ++c) {
+        TestHarness h = platform.harness(c);
+        TrialSpec spec;
+        spec.accuracy = 0.97;
+        spec.trialKey = ++trial;
+        outputs.push_back(h.runWorstCaseTrial(spec).approx);
+        exacts.push_back(h.chip().worstCasePattern());
+        serial.push_back(
+            attacker.attribute(outputs.back(), exacts.back()));
+    }
+
+    const std::vector<IdentifyResult> batch =
+        attacker.attributeBatch(outputs, exacts);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(batch[i].match, serial[i].match) << "output " << i;
+        EXPECT_EQ(batch[i].bestDistance, serial[i].bestDistance);
+    }
+    // Attribution went through the candidate index.
+    EXPECT_GT(attacker.stats().indexQueries, 0u);
+    EXPECT_EQ(attacker.stats().recordsAvailable,
+              attacker.stats().indexQueries * attacker.store().size());
+}
+
 TEST(SupplyChainAttacker, InterceptValidatesArguments)
 {
     Platform platform = Platform::legacy(1);
@@ -195,6 +236,31 @@ TEST_F(EavesdropperTest, BatchObservationMatchesSerial)
     EXPECT_EQ(batched.stats().pagesProbed,
               one_by_one.stats().pagesProbed);
     EXPECT_GT(batched.stats().ingestSeconds, 0.0);
+}
+
+TEST_F(EavesdropperTest, BatchAttributionMatchesSerial)
+{
+    CommoditySystem alice(smallMachine(), 0xA, 1);
+    CommoditySystem bob(smallMachine(), 0xB, 2);
+    EavesdropperAttacker attacker;
+    for (int n = 0; n < 30; ++n) {
+        attacker.observe(alice.publish(64 * pageBytes));
+        attacker.observe(bob.publish(64 * pageBytes));
+    }
+
+    std::vector<ApproximateSample> fresh;
+    std::vector<std::optional<std::size_t>> serial;
+    for (int n = 0; n < 4; ++n) {
+        fresh.push_back(alice.publish(64 * pageBytes));
+        serial.push_back(attacker.attribute(fresh.back()));
+        fresh.push_back(bob.publish(64 * pageBytes));
+        serial.push_back(attacker.attribute(fresh.back()));
+    }
+
+    const std::vector<std::optional<std::size_t>> batch =
+        attacker.attributeBatch(fresh);
+    EXPECT_EQ(batch, serial);
+    EXPECT_GT(attacker.stats().identifySeconds, 0.0);
 }
 
 TEST_F(EavesdropperTest, AslrDefenseBlocksConvergence)

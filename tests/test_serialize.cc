@@ -1,6 +1,8 @@
 /**
  * @file
- * Unit tests for core/serialize — attacker database persistence.
+ * Unit tests for core/serialize — attacker database persistence:
+ * the v2 format (with MinHash signatures), transparent v1 loading,
+ * and the recoverable LoadResult error reporting.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include <sstream>
 
 #include "core/serialize.hh"
+#include "core/store.hh"
 
 namespace pcause
 {
@@ -29,13 +32,51 @@ makeFingerprint(std::initializer_list<std::size_t> bits,
     return fp;
 }
 
+template <typename T>
+void
+put(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+/** Hand-craft a version-1 record (no signature trailer). */
+void
+putV1Record(std::ostream &out, const std::string &label,
+            std::uint32_t sources, std::uint64_t universe,
+            std::initializer_list<std::uint32_t> positions)
+{
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(label.size()));
+    out.write(label.data(),
+              static_cast<std::streamsize>(label.size()));
+    put<std::uint32_t>(out, sources);
+    put<std::uint64_t>(out, universe);
+    put<std::uint64_t>(out, positions.size());
+    for (auto p : positions)
+        put<std::uint32_t>(out, p);
+}
+
+/** Hand-craft a complete version-1 stream (pre-index format). */
+std::string
+v1Stream()
+{
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 1); // version 1: no minhash header
+    put<std::uint64_t>(buf, 2); // record count
+    putV1Record(buf, "legacy-a", 3, 32768, {1, 100, 32767});
+    putV1Record(buf, "legacy-b", 1, 1024, {5});
+    return buf.str();
+}
+
 TEST(Serialize, EmptyDatabaseRoundTrips)
 {
     FingerprintDb db;
     std::stringstream buf;
     ASSERT_TRUE(saveDatabase(db, buf));
-    const FingerprintDb loaded = loadDatabase(buf);
-    EXPECT_EQ(loaded.size(), 0u);
+    const DbLoadResult loaded = loadDatabase(buf);
+    ASSERT_TRUE(loaded);
+    EXPECT_TRUE(loaded.error.empty());
+    EXPECT_EQ(loaded->size(), 0u);
 }
 
 TEST(Serialize, RecordsRoundTripExactly)
@@ -46,15 +87,16 @@ TEST(Serialize, RecordsRoundTripExactly)
 
     std::stringstream buf;
     ASSERT_TRUE(saveDatabase(db, buf));
-    const FingerprintDb loaded = loadDatabase(buf);
+    const DbLoadResult loaded = loadDatabase(buf);
 
-    ASSERT_EQ(loaded.size(), 2u);
-    EXPECT_EQ(loaded.record(0).label, "chip-alpha");
-    EXPECT_EQ(loaded.record(0).fingerprint.bits(),
+    ASSERT_TRUE(loaded);
+    ASSERT_EQ(loaded->size(), 2u);
+    EXPECT_EQ(loaded->record(0).label, "chip-alpha");
+    EXPECT_EQ(loaded->record(0).fingerprint.bits(),
               db.record(0).fingerprint.bits());
-    EXPECT_EQ(loaded.record(0).fingerprint.sources(), 3u);
-    EXPECT_EQ(loaded.record(1).label, "chip-beta");
-    EXPECT_EQ(loaded.record(1).fingerprint.bits().size(), 1024u);
+    EXPECT_EQ(loaded->record(0).fingerprint.sources(), 3u);
+    EXPECT_EQ(loaded->record(1).label, "chip-beta");
+    EXPECT_EQ(loaded->record(1).fingerprint.bits().size(), 1024u);
 }
 
 TEST(Serialize, FileRoundTrip)
@@ -64,9 +106,10 @@ TEST(Serialize, FileRoundTrip)
     FingerprintDb db;
     db.add("disk-chip", makeFingerprint({7, 8, 9}));
     ASSERT_TRUE(saveDatabase(db, path));
-    const FingerprintDb loaded = loadDatabase(path);
-    ASSERT_EQ(loaded.size(), 1u);
-    EXPECT_EQ(loaded.record(0).label, "disk-chip");
+    const DbLoadResult loaded = loadDatabase(path);
+    ASSERT_TRUE(loaded);
+    ASSERT_EQ(loaded->size(), 1u);
+    EXPECT_EQ(loaded->record(0).label, "disk-chip");
     std::remove(path.c_str());
 }
 
@@ -77,38 +120,175 @@ TEST(Serialize, LoadedDatabaseIdentifies)
     db.add("b", makeFingerprint({100, 200, 300}));
     std::stringstream buf;
     saveDatabase(db, buf);
-    const FingerprintDb loaded = loadDatabase(buf);
+    const DbLoadResult loaded = loadDatabase(buf);
+    ASSERT_TRUE(loaded);
 
     BitVec es(32768);
     es.set(100);
     es.set(200);
     es.set(300);
-    const IdentifyResult r = identifyErrorString(es, loaded);
+    const IdentifyResult r = identifyErrorString(es, *loaded);
     ASSERT_TRUE(r.match.has_value());
-    EXPECT_EQ(loaded.record(*r.match).label, "b");
+    EXPECT_EQ(loaded->record(*r.match).label, "b");
 }
 
-TEST(Serialize, BadMagicIsFatal)
+TEST(Serialize, StoreRoundTripKeepsSignaturesAndParams)
+{
+    MinHashParams custom;
+    custom.numHashes = 48;
+    custom.bands = 16;
+    custom.seed = 0xfeedbeefull;
+
+    FingerprintStore store(custom);
+    store.add("alpha", makeFingerprint({1, 100, 32767}, 3));
+    store.add("beta", makeFingerprint({5, 6}, 2, 1024));
+
+    std::stringstream buf;
+    ASSERT_TRUE(saveStore(store, buf));
+    const StoreLoadResult loaded = loadStore(buf);
+    ASSERT_TRUE(loaded);
+    ASSERT_EQ(loaded->size(), 2u);
+    EXPECT_EQ(loaded->indexParams(), custom);
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        EXPECT_EQ(loaded->record(i).label, store.record(i).label);
+        EXPECT_EQ(loaded->signature(i), store.signature(i));
+    }
+}
+
+TEST(Serialize, V1LoadsWithRecomputedSignatures)
+{
+    // A pre-index (version 1) file must load transparently: records
+    // intact, signatures recomputed under the store's parameters.
+    std::stringstream buf(v1Stream());
+    const StoreLoadResult loaded = loadStore(buf);
+    ASSERT_TRUE(loaded);
+    ASSERT_EQ(loaded->size(), 2u);
+    EXPECT_EQ(loaded->record(0).label, "legacy-a");
+    EXPECT_EQ(loaded->record(0).fingerprint.sources(), 3u);
+    EXPECT_TRUE(loaded->record(0).fingerprint.bits().get(32767));
+    EXPECT_EQ(loaded->record(1).label, "legacy-b");
+
+    EXPECT_EQ(loaded->signature(0),
+              minhashSignature(loaded->record(0).fingerprint.bits(),
+                               loaded->indexParams()));
+}
+
+TEST(Serialize, V1ThenV2RoundTrip)
+{
+    // Load v1, save (always writes v2), reload: records and the
+    // recomputed signatures survive unchanged.
+    std::stringstream v1(v1Stream());
+    const StoreLoadResult first = loadStore(v1);
+    ASSERT_TRUE(first);
+
+    std::stringstream v2;
+    ASSERT_TRUE(saveStore(*first, v2));
+    const StoreLoadResult second = loadStore(v2);
+    ASSERT_TRUE(second);
+    ASSERT_EQ(second->size(), first->size());
+    for (std::size_t i = 0; i < first->size(); ++i) {
+        EXPECT_EQ(second->record(i).label, first->record(i).label);
+        EXPECT_EQ(second->record(i).fingerprint.bits(),
+                  first->record(i).fingerprint.bits());
+        EXPECT_EQ(second->signature(i), first->signature(i));
+    }
+}
+
+TEST(Serialize, V1DatabaseLoadsViaLoadDatabase)
+{
+    std::stringstream buf(v1Stream());
+    const DbLoadResult loaded = loadDatabase(buf);
+    ASSERT_TRUE(loaded);
+    ASSERT_EQ(loaded->size(), 2u);
+    EXPECT_EQ(loaded->record(1).fingerprint.bits().size(), 1024u);
+}
+
+TEST(Serialize, BadMagicIsRecoverable)
 {
     std::stringstream buf("XXXX garbage");
-    EXPECT_EXIT(loadDatabase(buf), ::testing::ExitedWithCode(1), "");
+    const DbLoadResult r = loadDatabase(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("not a Probable Cause database"),
+              std::string::npos);
 }
 
-TEST(Serialize, TruncationIsFatal)
+TEST(Serialize, TruncationIsRecoverable)
 {
     FingerprintDb db;
     db.add("chip", makeFingerprint({1, 2, 3}));
     std::stringstream buf;
     saveDatabase(db, buf);
     const std::string bytes = buf.str();
-    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
-    EXPECT_EXIT(loadDatabase(cut), ::testing::ExitedWithCode(1), "");
+    // Every prefix must fail cleanly, never crash or loop.
+    for (std::size_t cut : {std::size_t(2), bytes.size() / 4,
+                            bytes.size() / 2, bytes.size() - 1}) {
+        std::stringstream partial(bytes.substr(0, cut));
+        const DbLoadResult r = loadDatabase(partial);
+        EXPECT_FALSE(r) << "prefix of " << cut << " bytes";
+        EXPECT_FALSE(r.error.empty());
+    }
 }
 
-TEST(Serialize, MissingFileIsFatal)
+TEST(Serialize, MissingFileIsRecoverable)
 {
-    EXPECT_EXIT(loadDatabase(std::string("/no/such/file.pcdb")),
-                ::testing::ExitedWithCode(1), "");
+    const DbLoadResult r =
+        loadDatabase(std::string("/no/such/file.pcdb"));
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Serialize, UnsupportedVersionIsRecoverable)
+{
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 99);
+    const DbLoadResult r = loadDatabase(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("unsupported version"), std::string::npos);
+}
+
+TEST(Serialize, CorruptRecordIsRecoverable)
+{
+    // Position beyond the declared universe must be rejected.
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 1);
+    put<std::uint64_t>(buf, 1);
+    putV1Record(buf, "evil", 1, 64, {100});
+    const DbLoadResult r = loadDatabase(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("position beyond universe"),
+              std::string::npos);
+}
+
+TEST(Serialize, ZeroSourceRecordIsRecoverable)
+{
+    // sources == 0 would trip Fingerprint's invariant; the parser
+    // must catch it before construction.
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 1);
+    put<std::uint64_t>(buf, 1);
+    putV1Record(buf, "hollow", 0, 64, {1});
+    const DbLoadResult r = loadDatabase(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("zero sources"), std::string::npos);
+}
+
+TEST(Serialize, BadMinHashHeaderIsRecoverable)
+{
+    // v2 header where bands does not divide numHashes.
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 2);
+    put<std::uint32_t>(buf, 64); // numHashes
+    put<std::uint32_t>(buf, 7);  // bands: 64 % 7 != 0
+    put<std::uint64_t>(buf, 1);  // seed
+    put<std::uint64_t>(buf, 0);  // count
+    const StoreLoadResult r = loadStore(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("invalid minhash parameters"),
+              std::string::npos);
 }
 
 TEST(Serialize, BitVecRoundTrips)
@@ -169,11 +349,15 @@ TEST(Serialize, SparseFormatBeatsRawDump)
 {
     // The paper's storage claim: tracking only the ~1% volatile
     // bits. A 32 KB chip's record must be far below the 32 KB a raw
-    // bitmap would cost.
+    // bitmap would cost, even with the signature trailer.
     const std::size_t weight = 2621; // 1% of 262144
     const std::size_t disk = recordDiskSize(weight, 16);
     EXPECT_LT(disk, 262144 / 8 / 2);
     EXPECT_GT(disk, weight * sizeof(std::uint32_t));
+
+    // The trailer itself is the signature, a fixed k words.
+    EXPECT_EQ(recordDiskSize(weight, 16) - recordDiskSize(weight, 16, 0),
+              MinHashParams{}.numHashes * sizeof(std::uint32_t));
 }
 
 } // anonymous namespace

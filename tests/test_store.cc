@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for core/minhash and core/store — the MinHash/LSH
+ * candidate index and the FingerprintStore API built on it. The
+ * load-bearing property is accept/reject equivalence: every indexed
+ * query must reach the same verdict as the linear Algorithm 2 scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/minhash.hh"
+#include "core/store.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace pcause
+{
+namespace
+{
+
+constexpr std::size_t universe = 4096;
+
+BitVec
+randomPattern(Rng &rng, std::size_t weight)
+{
+    BitVec bits(universe);
+    for (std::size_t i = 0; i < weight; ++i)
+        bits.set(rng.nextBelow(universe));
+    return bits;
+}
+
+/** Store of @p n random fingerprints plus the matching query set:
+ *  each record queried as a noisy superset, plus unknown chips. */
+struct TestPopulation
+{
+    FingerprintStore store;
+    std::vector<BitVec> queries;
+    std::vector<std::optional<std::size_t>> truth;
+};
+
+TestPopulation
+makePopulation(std::size_t n, std::uint64_t seed,
+               const MinHashParams &params = {})
+{
+    Rng rng(seed);
+    TestPopulation pop{FingerprintStore(params), {}, {}};
+    for (std::size_t i = 0; i < n; ++i) {
+        pop.store.add("chip-" + std::to_string(i),
+                      Fingerprint(randomPattern(rng, 64), 3));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        BitVec es = pop.store.record(i).fingerprint.bits();
+        for (int b = 0; b < 16; ++b) // noisy superset, sim ~0.8
+            es.set(rng.nextBelow(universe));
+        pop.queries.push_back(std::move(es));
+        pop.truth.push_back(i);
+    }
+    for (std::size_t i = 0; i < n / 4; ++i) { // unknown chips
+        pop.queries.push_back(randomPattern(rng, 64));
+        pop.truth.push_back(std::nullopt);
+    }
+    return pop;
+}
+
+// --- MinHash signatures -------------------------------------------
+
+TEST(MinHash, SignatureIsDeterministic)
+{
+    Rng rng(7);
+    const BitVec bits = randomPattern(rng, 100);
+    const MinHashParams prm;
+    const MinHashSignature a = minhashSignature(bits, prm);
+    const MinHashSignature b = minhashSignature(bits, prm);
+    ASSERT_EQ(a.size(), prm.numHashes);
+    EXPECT_EQ(a, b);
+
+    // A different seed is a different permutation family.
+    MinHashParams other = prm;
+    other.seed ^= 1;
+    EXPECT_NE(minhashSignature(bits, other), a);
+}
+
+TEST(MinHash, EmptySetIsSentinel)
+{
+    const MinHashSignature sig =
+        minhashSignature(BitVec(universe), MinHashParams{});
+    for (auto h : sig)
+        EXPECT_EQ(h, 0xffffffffu);
+}
+
+TEST(MinHash, SimilarityEstimatesJaccard)
+{
+    Rng rng(11);
+    const BitVec a = randomPattern(rng, 200);
+    EXPECT_EQ(signatureSimilarity(
+                  minhashSignature(a, MinHashParams{}),
+                  minhashSignature(a, MinHashParams{})),
+              1.0);
+
+    // Disjoint sets: expected similarity ~0 (each position agrees
+    // with probability ~ true Jaccard, here ~0.02 from collisions).
+    BitVec b(universe);
+    for (std::size_t i = 0; i < universe; ++i) {
+        if (!a.get(i) && rng.chance(0.05))
+            b.set(i);
+    }
+    EXPECT_LT(signatureSimilarity(
+                  minhashSignature(a, MinHashParams{}),
+                  minhashSignature(b, MinHashParams{})),
+              0.2);
+
+    // A superset with small additions stays similar.
+    BitVec c = a;
+    for (int i = 0; i < 10; ++i)
+        c.set(rng.nextBelow(universe));
+    EXPECT_GT(signatureSimilarity(
+                  minhashSignature(a, MinHashParams{}),
+                  minhashSignature(c, MinHashParams{})),
+              0.6);
+}
+
+// --- LSH index ----------------------------------------------------
+
+TEST(LshIndex, IdenticalSignaturesCollide)
+{
+    const MinHashParams prm;
+    LshIndex index(prm);
+    Rng rng(3);
+    const MinHashSignature sig =
+        minhashSignature(randomPattern(rng, 80), prm);
+    index.add(0, minhashSignature(randomPattern(rng, 80), prm));
+    index.add(1, sig);
+    index.add(2, minhashSignature(randomPattern(rng, 80), prm));
+
+    const auto cand = index.candidates(sig);
+    EXPECT_NE(std::find(cand.begin(), cand.end(), 1u), cand.end());
+    EXPECT_TRUE(std::is_sorted(cand.begin(), cand.end()));
+    EXPECT_EQ(std::adjacent_find(cand.begin(), cand.end()),
+              cand.end()); // deduplicated
+}
+
+TEST(LshIndex, ClearEmptiesTheIndex)
+{
+    const MinHashParams prm;
+    LshIndex index(prm);
+    Rng rng(5);
+    const MinHashSignature sig =
+        minhashSignature(randomPattern(rng, 80), prm);
+    index.add(0, sig);
+    ASSERT_FALSE(index.candidates(sig).empty());
+    index.clear();
+    EXPECT_EQ(index.size(), 0u);
+    EXPECT_TRUE(index.candidates(sig).empty());
+}
+
+// --- FingerprintStore ---------------------------------------------
+
+TEST(FingerprintStore, IndexedMatchesLinearOnRandomPopulations)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        TestPopulation pop = makePopulation(96, seed);
+        for (std::size_t q = 0; q < pop.queries.size(); ++q) {
+            const IdentifyResult indexed =
+                pop.store.query(pop.queries[q]);
+            const IdentifyResult linear =
+                pop.store.queryLinear(pop.queries[q]);
+            EXPECT_EQ(indexed.match, linear.match)
+                << "seed " << seed << " query " << q;
+            EXPECT_EQ(indexed.match, pop.truth[q]);
+            if (indexed.match) {
+                EXPECT_DOUBLE_EQ(indexed.bestDistance,
+                                 linear.bestDistance);
+            }
+        }
+    }
+}
+
+TEST(FingerprintStore, BestMatchModeAgreesToo)
+{
+    TestPopulation pop = makePopulation(64, 17);
+    IdentifyParams prm;
+    prm.firstMatch = false;
+    for (std::size_t q = 0; q < pop.queries.size(); ++q) {
+        EXPECT_EQ(pop.store.query(pop.queries[q], prm).match,
+                  pop.store.queryLinear(pop.queries[q], prm).match);
+    }
+}
+
+TEST(FingerprintStore, SignaturesIndependentOfAddOrder)
+{
+    Rng rng(23);
+    std::vector<Fingerprint> fps;
+    for (int i = 0; i < 8; ++i)
+        fps.emplace_back(randomPattern(rng, 64), 3u);
+
+    FingerprintStore fwd, rev;
+    for (std::size_t i = 0; i < fps.size(); ++i)
+        fwd.add("c" + std::to_string(i), fps[i]);
+    for (std::size_t i = fps.size(); i-- > 0;)
+        rev.add("c" + std::to_string(i), fps[i]);
+
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        EXPECT_EQ(fwd.signature(i),
+                  rev.signature(fps.size() - 1 - i));
+    }
+}
+
+TEST(FingerprintStore, BatchEqualsSerial)
+{
+    TestPopulation pop = makePopulation(48, 31);
+    AttackStats batch_stats;
+    const std::vector<IdentifyResult> batched =
+        pop.store.queryBatch(pop.queries, {}, &batch_stats);
+    ASSERT_EQ(batched.size(), pop.queries.size());
+    for (std::size_t q = 0; q < pop.queries.size(); ++q) {
+        const IdentifyResult serial = pop.store.query(pop.queries[q]);
+        EXPECT_EQ(batched[q].match, serial.match) << "query " << q;
+        EXPECT_DOUBLE_EQ(batched[q].bestDistance,
+                         serial.bestDistance);
+    }
+    EXPECT_EQ(batch_stats.indexQueries, pop.queries.size());
+    EXPECT_GT(batch_stats.identifySeconds, 0.0);
+}
+
+TEST(FingerprintStore, BatchHonoursThreadPool)
+{
+    TestPopulation pop = makePopulation(48, 37);
+    ThreadPool pool(3);
+    pop.store.setThreadPool(&pool);
+    const std::vector<IdentifyResult> pooled =
+        pop.store.queryBatch(pop.queries);
+    pop.store.setThreadPool(nullptr);
+    const std::vector<IdentifyResult> unpooled =
+        pop.store.queryBatch(pop.queries);
+    for (std::size_t q = 0; q < pop.queries.size(); ++q)
+        EXPECT_EQ(pooled[q].match, unpooled[q].match);
+}
+
+TEST(FingerprintStore, ReindexPreservesVerdicts)
+{
+    TestPopulation pop = makePopulation(48, 41);
+    std::vector<std::optional<std::size_t>> before;
+    for (const BitVec &q : pop.queries)
+        before.push_back(pop.store.query(q).match);
+
+    MinHashParams coarse;
+    coarse.numHashes = 16;
+    coarse.bands = 8;
+    coarse.seed = 99;
+    pop.store.reindex(coarse);
+    EXPECT_EQ(pop.store.indexParams(), coarse);
+    for (std::size_t i = 0; i < pop.store.size(); ++i) {
+        EXPECT_EQ(pop.store.signature(i),
+                  minhashSignature(
+                      pop.store.record(i).fingerprint.bits(), coarse));
+    }
+    for (std::size_t q = 0; q < pop.queries.size(); ++q)
+        EXPECT_EQ(pop.store.query(pop.queries[q]).match, before[q]);
+}
+
+TEST(FingerprintStore, FromDbEqualsIncrementalAdds)
+{
+    Rng rng(47);
+    FingerprintDb db;
+    FingerprintStore incremental;
+    for (int i = 0; i < 8; ++i) {
+        Fingerprint fp(randomPattern(rng, 64), 3u);
+        db.add("c" + std::to_string(i), fp);
+        incremental.add("c" + std::to_string(i), fp);
+    }
+    const FingerprintStore bulk =
+        FingerprintStore::fromDb(std::move(db));
+    ASSERT_EQ(bulk.size(), incremental.size());
+    for (std::size_t i = 0; i < bulk.size(); ++i)
+        EXPECT_EQ(bulk.signature(i), incremental.signature(i));
+}
+
+TEST(FingerprintStore, EmptyStoreRejects)
+{
+    FingerprintStore store;
+    EXPECT_TRUE(store.empty());
+    Rng rng(53);
+    const IdentifyResult r = store.query(randomPattern(rng, 64));
+    EXPECT_FALSE(r.match.has_value());
+    EXPECT_FALSE(r.nearest.has_value());
+}
+
+TEST(FingerprintStore, EmptyErrorStringRejects)
+{
+    TestPopulation pop = makePopulation(16, 59);
+    const IdentifyResult indexed = pop.store.query(BitVec(universe));
+    const IdentifyResult linear =
+        pop.store.queryLinear(BitVec(universe));
+    EXPECT_EQ(indexed.match, linear.match);
+    EXPECT_FALSE(indexed.match.has_value());
+}
+
+TEST(FingerprintStore, StatsCountersAccount)
+{
+    TestPopulation pop = makePopulation(32, 61);
+    AttackStats stats;
+
+    // A known chip's query resolves on the shortlist: no fallback,
+    // fewer candidates than records.
+    const IdentifyResult hit =
+        pop.store.query(pop.queries.front(), {}, &stats);
+    ASSERT_TRUE(hit.match.has_value());
+    EXPECT_EQ(stats.indexQueries, 1u);
+    EXPECT_EQ(stats.indexFallbacks, 0u);
+    EXPECT_EQ(stats.recordsAvailable, pop.store.size());
+    EXPECT_GE(stats.candidatesScanned, 1u);
+    EXPECT_LT(stats.candidatesScanned, pop.store.size());
+    EXPECT_GT(stats.identifySeconds, 0.0);
+
+    // An unknown chip falls back to the full scan.
+    AttackStats miss_stats;
+    const IdentifyResult miss =
+        pop.store.query(pop.queries.back(), {}, &miss_stats);
+    ASSERT_FALSE(miss.match.has_value());
+    EXPECT_EQ(miss_stats.indexFallbacks, 1u);
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -15,6 +15,7 @@
  * subcommand with no arguments for usage.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "core/error_string.hh"
 #include "core/identify.hh"
 #include "core/serialize.hh"
+#include "core/store.hh"
 #include "math/fingerprint_space.hh"
 #include "platform/platform.hh"
 #include "util/ascii_chart.hh"
@@ -96,14 +98,18 @@ usage()
         "  characterize --db FILE --label NAME --exact FILE OUT...\n"
         "               fingerprint a chip from its outputs and\n"
         "               append to the database (Algorithm 1)\n"
-        "  identify     --db FILE --exact FILE [--threshold T] OUT\n"
-        "               attribute an output (Algorithm 2)\n"
+        "  identify     --db FILE --exact FILE [--threshold T]\n"
+        "               [--linear yes] OUT\n"
+        "               attribute an output (Algorithm 2, via the\n"
+        "               MinHash/LSH candidate index by default)\n"
         "  cluster      --exact FILE [--threshold T] OUT...\n"
         "               group outputs by source chip (Algorithm 4)\n"
         "  model        [--memory-bits M] [--accuracy A]\n"
         "               fingerprint-space bounds (Equations 1-4)\n"
-        "  db           --db FILE\n"
-        "               list database records\n");
+        "  db           --db FILE [stats|reindex]\n"
+        "               list records; 'stats' prints index/disk\n"
+        "               diagnostics, 'reindex' rewrites the file\n"
+        "               under new [--hashes K] [--bands B]\n");
     return 2;
 }
 
@@ -169,7 +175,10 @@ cmdCharacterize(const Args &args)
     FingerprintDb db;
     if (std::FILE *f = std::fopen(db_path.c_str(), "rb")) {
         std::fclose(f);
-        db = loadDatabase(db_path);
+        DbLoadResult loaded = loadDatabase(db_path);
+        if (!loaded)
+            fatal("characterize: %s", loaded.error.c_str());
+        db = std::move(*loaded);
     }
     const Fingerprint fp = characterize(outputs, exact);
     db.add(label, fp);
@@ -193,21 +202,36 @@ cmdIdentify(const Args &args)
               "output file");
     }
 
-    const FingerprintDb db = loadDatabase(db_path);
+    StoreLoadResult loaded = loadStore(db_path);
+    if (!loaded)
+        fatal("identify: %s", loaded.error.c_str());
+    const FingerprintStore &store = *loaded;
     const BitVec exact = loadBitVec(exact_path);
     const BitVec output = loadBitVec(args.positional[0]);
 
     IdentifyParams params;
     params.threshold = args.getDouble("threshold", 0.1);
-    const IdentifyResult r = identify(output, exact, db, params);
+    AttackStats stats;
+    const bool linear = args.get("linear", "no") == "yes";
+    const IdentifyResult r =
+        linear ? store.queryLinear(errorString(output, exact), params,
+                                   &stats)
+               : store.query(output, exact, params, &stats);
+    if (!linear) {
+        std::printf("index: %llu of %llu records shortlisted%s\n",
+                    (unsigned long long)stats.candidatesScanned,
+                    (unsigned long long)stats.recordsAvailable,
+                    stats.indexFallbacks ? " (full-scan fallback)"
+                                         : "");
+    }
     if (r.match) {
         std::printf("match: %s (distance %.6f)\n",
-                    db.record(*r.match).label.c_str(),
+                    store.record(*r.match).label.c_str(),
                     r.bestDistance);
         return 0;
     }
     std::printf("no match (nearest: %s at distance %.6f)\n",
-                r.nearest ? db.record(*r.nearest).label.c_str()
+                r.nearest ? store.record(*r.nearest).label.c_str()
                           : "none",
                 r.bestDistance);
     return 1;
@@ -265,15 +289,79 @@ cmdModel(const Args &args)
 }
 
 int
+cmdDbStats(const FingerprintStore &store)
+{
+    const MinHashParams &prm = store.indexParams();
+    const LshIndex::Occupancy occ = store.index().occupancy();
+    std::size_t cells = 0, disk = 0, universe = 0;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        const auto &rec = store.record(i);
+        cells += rec.fingerprint.weight();
+        universe =
+            std::max(universe, rec.fingerprint.bits().size());
+        disk += recordDiskSize(rec.fingerprint.weight(),
+                               rec.label.size(), prm.numHashes);
+    }
+    std::printf("records           : %zu\n", store.size());
+    std::printf("universe          : %zu bits\n", universe);
+    std::printf("volatile cells    : %zu total\n", cells);
+    std::printf("minhash           : %u hashes, %u bands x %u rows "
+                "(seed %llx)\n",
+                prm.numHashes, prm.bands, prm.rows(),
+                (unsigned long long)prm.seed);
+    std::printf("lsh buckets       : %zu (largest holds %zu "
+                "records)\n",
+                occ.buckets, occ.largestBucket);
+    std::printf("record disk size  : %zu bytes estimated\n", disk);
+    return 0;
+}
+
+int
+cmdDbReindex(const Args &args, FingerprintStore &store,
+             const std::string &db_path)
+{
+    MinHashParams prm = store.indexParams();
+    prm.numHashes =
+        static_cast<std::uint32_t>(args.getLong(
+            "hashes", static_cast<long>(prm.numHashes)));
+    prm.bands = static_cast<std::uint32_t>(
+        args.getLong("bands", static_cast<long>(prm.bands)));
+    if (prm.numHashes == 0 || prm.bands == 0 ||
+        prm.numHashes % prm.bands != 0)
+        fatal("db reindex: bands must divide hashes");
+    store.reindex(prm);
+    if (!saveStore(store, db_path))
+        fatal("db reindex: cannot write %s", db_path.c_str());
+    std::printf("reindexed %zu records: %u hashes, %u bands x %u "
+                "rows\n",
+                store.size(), prm.numHashes, prm.bands, prm.rows());
+    return 0;
+}
+
+int
 cmdDb(const Args &args)
 {
     const std::string db_path = args.get("db", "");
     if (db_path.empty())
         fatal("db: need --db");
-    const FingerprintDb db = loadDatabase(db_path);
-    std::printf("%zu records\n", db.size());
-    for (std::size_t i = 0; i < db.size(); ++i) {
-        const auto &rec = db.record(i);
+    StoreLoadResult loaded = loadStore(db_path);
+    if (!loaded)
+        fatal("db: %s", loaded.error.c_str());
+    FingerprintStore &store = *loaded;
+
+    const std::string action =
+        args.positional.empty() ? "list" : args.positional[0];
+    if (action == "stats")
+        return cmdDbStats(store);
+    if (action == "reindex")
+        return cmdDbReindex(args, store, db_path);
+    if (action != "list")
+        fatal("db: unknown action '%s' (want stats or reindex)",
+              action.c_str());
+
+    std::printf("%zu records\n", store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        const auto &rec = store.record(i);
         std::printf("  %-24s %7zu cells  %u sources  (%zu bits of "
                     "memory)\n",
                     rec.label.c_str(), rec.fingerprint.weight(),
