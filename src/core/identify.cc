@@ -440,22 +440,6 @@ identifyBatch(const std::vector<BitVec> &approx_outputs,
                                     stats);
 }
 
-std::vector<IdentifyResult>
-identifyBatch(const std::vector<BitVec> &approx_outputs,
-              const BitVec &exact, const FingerprintDb &db,
-              const IdentifyParams &params, ThreadPool *pool,
-              AttackStats *stats)
-{
-    if (!pool)
-        pool = &ThreadPool::global();
-    std::vector<BitVec> error_strings(approx_outputs.size());
-    pool->parallelFor(0, approx_outputs.size(), [&](std::size_t i) {
-        error_strings[i] = errorString(approx_outputs[i], exact);
-    });
-    return identifyErrorStringBatch(error_strings, db, params, pool,
-                                    stats);
-}
-
 double
 calibrateThreshold(const std::vector<double> &within_class,
                    const std::vector<double> &between_class)

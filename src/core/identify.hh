@@ -204,24 +204,6 @@ identifyBatch(const std::vector<BitVec> &approx_outputs,
               AttackStats *stats = nullptr);
 
 /**
- * identifyBatch() with one exact value shared by all outputs.
- *
- * @deprecated One-off shape kept for source compatibility: extract
- * the error strings (errorString(output, exact) per output) and
- * call identifyErrorStringBatch(), or use
- * FingerprintStore::queryBatch(), which both take the unified
- * `const std::vector<...>&` batch shape.
- */
-[[deprecated("extract error strings and use identifyErrorStringBatch()"
-             " or FingerprintStore::queryBatch()")]]
-std::vector<IdentifyResult>
-identifyBatch(const std::vector<BitVec> &approx_outputs,
-              const BitVec &exact, const FingerprintDb &db,
-              const IdentifyParams &params = {},
-              ThreadPool *pool = nullptr,
-              AttackStats *stats = nullptr);
-
-/**
  * Experimentally calibrate the identification threshold from
  * labeled distances: place it at the geometric midpoint between the
  * largest within-class and smallest between-class distance.

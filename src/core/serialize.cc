@@ -1,5 +1,6 @@
 #include "core/serialize.hh"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,12 @@ namespace
 constexpr char dbMagic[4] = {'P', 'C', 'D', 'B'};
 constexpr std::uint32_t dbVersionV1 = 1;
 constexpr std::uint32_t dbVersionV2 = 2;
+
+/** Pre-allocation cap for the untrusted header record count. */
+constexpr std::uint64_t maxPlausibleRecords = 1024;
+
+/** Sanity cap on a chip label: real labels are tens of bytes. */
+constexpr std::uint32_t maxLabelBytes = 1u << 16;
 
 template <typename T>
 void
@@ -135,13 +142,20 @@ parseDatabase(std::istream &in, RawDatabase &out)
     std::uint64_t count = 0;
     if (!r.read(count, "record count"))
         return r.error();
-    out.records.reserve(count);
+    // count is untrusted: a hostile or corrupt header can claim
+    // 2^64 records. Cap the pre-allocation — a fabricated count
+    // then fails cleanly on the first missing record instead of
+    // dying in reserve().
+    out.records.reserve(
+        std::min<std::uint64_t>(count, maxPlausibleRecords));
     for (std::uint64_t i = 0; i < count; ++i) {
         RawRecord rec;
         std::uint32_t label_len = 0;
         r.read(label_len, "label length");
         if (r.failed())
             return r.error();
+        if (label_len > maxLabelBytes)
+            return "implausible label length";
         rec.label.assign(label_len, '\0');
         r.readBytes(rec.label.data(), label_len, "label");
         r.read(rec.sources, "source count");

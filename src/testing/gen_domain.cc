@@ -1,0 +1,186 @@
+#include "testing/gen_domain.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace pcause
+{
+namespace pcheck
+{
+
+BitVec
+genBitVec(Ctx &ctx, std::size_t nbits, unsigned sparsity)
+{
+    BitVec out(nbits);
+    for (std::size_t wi = 0; wi < out.wordCount(); ++wi) {
+        std::uint64_t w = ctx.bits();
+        for (unsigned s = 0; s < sparsity; ++s)
+            w &= ctx.bits();
+        out.setWord(wi, w);
+    }
+    return out;
+}
+
+BitVec
+genSparseBitVec(Ctx &ctx, std::size_t nbits, std::size_t weight)
+{
+    BitVec out(nbits);
+    for (std::size_t k = 0; k < weight; ++k) {
+        // Draw until a free position turns up; bounded retries keep
+        // the tape finite even at pathological densities.
+        std::size_t pos = ctx.below(nbits);
+        for (unsigned tries = 0; out.get(pos) && tries < 8; ++tries)
+            pos = ctx.below(nbits);
+        while (out.get(pos))
+            pos = (pos + 1) % nbits;
+        out.set(pos);
+    }
+    return out;
+}
+
+BitVec
+genNoisyObservation(Ctx &ctx, const BitVec &base, double keep,
+                    std::size_t extra_max)
+{
+    BitVec out = base;
+    for (std::size_t pos : base.setBits()) {
+        if (!ctx.boolean(keep))
+            out.clear(pos);
+    }
+    const std::size_t extras =
+        extra_max ? ctx.sizeRange(0, extra_max) : 0;
+    for (std::size_t k = 0; k < extras; ++k)
+        out.set(ctx.below(base.size()));
+    return out;
+}
+
+DramConfig
+genDramConfig(Ctx &ctx)
+{
+    DramConfig cfg;
+    cfg.name = "pcheck-gen";
+    cfg.rows = 4 << ctx.sizeRange(0, 3, "rows_log4");
+    cfg.cols = 16 << ctx.sizeRange(0, 2, "cols_log16");
+    cfg.planes = ctx.element<std::size_t>({4, 2, 8}, "planes");
+    cfg.defaultValuePeriod = ctx.sizeRange(1, 4, "default_period");
+    cfg.distribution = ctx.boolean(0.5, "lognormal")
+        ? RetentionDistribution::LogNormalSkewed
+        : RetentionDistribution::Gaussian;
+    cfg.retentionMean = ctx.range(5.0, 40.0, "retention_mean");
+    cfg.retentionSpread = ctx.range(1.0, 10.0, "retention_spread");
+    cfg.retentionFloor = ctx.range(0.05, 0.5, "retention_floor");
+    cfg.trialNoiseSigma = ctx.range(0.0, 0.01, "noise_sigma");
+    cfg.vrtFraction = ctx.range(0.0, 0.01, "vrt_fraction");
+    cfg.validate();
+    return cfg;
+}
+
+DramChip
+genChip(Ctx &ctx)
+{
+    const DramConfig cfg = genDramConfig(ctx);
+    const std::uint64_t seed = ctx.bits("chip_seed");
+    return DramChip(cfg, seed);
+}
+
+FingerprintDb
+genDb(Ctx &ctx, std::size_t nbits, std::size_t records)
+{
+    failUnless(records > 0 && nbits / records >= 16,
+               "genDb needs >= 16 universe bits per record");
+    FingerprintDb db;
+    const std::size_t home = nbits / records;
+    for (std::size_t r = 0; r < records; ++r) {
+        // Anchor bit keeps the record non-empty and distinct from
+        // every other record even on a fully-zero tape.
+        BitVec bits(nbits);
+        bits.set(r * home);
+        const std::size_t weight =
+            ctx.sizeRange(4, std::min<std::size_t>(home, 24));
+        for (std::size_t k = 1; k < weight; ++k)
+            bits.set(r * home + ctx.below(home));
+        const unsigned sources =
+            static_cast<unsigned>(ctx.sizeRange(1, 4));
+        db.add("chip-" + std::to_string(r),
+               Fingerprint(std::move(bits), sources));
+    }
+    return db;
+}
+
+BitVec
+genMatchingErrorString(Ctx &ctx, const FingerprintDb &db,
+                       std::size_t target)
+{
+    const BitVec &fp = db.record(target).fingerprint.bits();
+    // Keep >= 80% of the fingerprint (distance stays under ~0.2
+    // after the swap rule) and sprinkle extra decayed cells
+    // anywhere — error strings are noisy supersets of the stored
+    // fingerprint.
+    return genNoisyObservation(ctx, fp, 0.93,
+                               std::max<std::size_t>(
+                                   1, fp.popcount() / 4));
+}
+
+std::vector<SparseBitset>
+genPageRun(Ctx &ctx, std::size_t universe, std::size_t total_pages,
+           std::size_t first, std::size_t count,
+           std::size_t cells_per_page)
+{
+    failUnless(first + count <= total_pages,
+               "genPageRun: run exceeds memory");
+    failUnless(universe >= 8 * total_pages + 64,
+               "genPageRun: universe too small for unique tags");
+    std::vector<SparseBitset> run;
+    run.reserve(count);
+    for (std::size_t p = first; p < first + count; ++p) {
+        // The 4 lowest positions are a per-page tag, so match keys
+        // are unique by construction (PageFingerprint keys hash the
+        // 4 smallest positions) and survive any shrink.
+        std::vector<std::uint32_t> cells = {
+            static_cast<std::uint32_t>(8 * p),
+            static_cast<std::uint32_t>(8 * p + 2),
+            static_cast<std::uint32_t>(8 * p + 5),
+            static_cast<std::uint32_t>(8 * p + 7),
+        };
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(8 * total_pages);
+        for (std::size_t k = 0; k < cells_per_page; ++k) {
+            cells.push_back(base + static_cast<std::uint32_t>(
+                ctx.below(universe - base)));
+        }
+        run.emplace_back(universe, std::move(cells));
+    }
+    return run;
+}
+
+BitVec
+referenceTrialPeek(const DramChip &chip, const BitVec &pattern,
+                   std::uint64_t trial_key, Seconds dt, Celsius temp)
+{
+    const RetentionModel &model = chip.retention();
+    const DramConfig &cfg = chip.config();
+    // Identical stress arithmetic to the engine: the oracle tests
+    // the decay decision logic, not floating-point associativity.
+    const double s = dt * model.accel(temp);
+    const std::uint64_t stream =
+        RetentionModel::trialStream(chip.chipSeed(), trial_key);
+
+    BitVec out = pattern;
+    if (s <= 0.0)
+        return out;
+    for (std::size_t cell = 0; cell < pattern.size(); ++cell) {
+        const std::size_t row = cell / cfg.rowBits();
+        const bool def = cfg.defaultBit(row);
+        if (pattern.get(cell) == def)
+            continue; // discharged cell: nothing to lose
+        // After reseedTrial + write every row sits at charge epoch
+        // 1; a cell decays when the accumulated stress passes its
+        // effective retention for that interval.
+        if (s >= model.effectiveRetention(cell, stream, 1))
+            out.set(cell, def);
+    }
+    return out;
+}
+
+} // namespace pcheck
+} // namespace pcause

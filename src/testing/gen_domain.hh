@@ -1,0 +1,115 @@
+/**
+ * @file
+ * pcheck generators for the attack pipeline's domain objects —
+ * chips, retention distributions, memories, page layouts, observed
+ * outputs — plus the retained per-cell reference decayer the
+ * word-level engine is differentially tested against.
+ *
+ * Generators are plain functions Ctx& -> T (wrappable in Gen<T>),
+ * built so that tape value zero yields the smallest sensible object
+ * and so that degenerate shrunk inputs stay *valid* (pages keep
+ * their match keys, fingerprints stay distinguishable) — a shrunk
+ * counterexample should still be a counterexample to the property,
+ * not to the generator's preconditions.
+ */
+
+#ifndef PCAUSE_TESTING_GEN_DOMAIN_HH
+#define PCAUSE_TESTING_GEN_DOMAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/identify.hh"
+#include "dram/dram_chip.hh"
+#include "dram/dram_config.hh"
+#include "testing/pcheck.hh"
+#include "util/bitvec.hh"
+#include "util/sparse_bitset.hh"
+
+namespace pcause
+{
+namespace pcheck
+{
+
+/**
+ * A dense bit vector of @p nbits, drawn word-wise (one tape choice
+ * per 64-bit word, so shrinking zeroes whole words). Expected
+ * density is 2^-@p sparsity: 0 gives ~50% ones, 2 gives ~12.5%.
+ */
+BitVec genBitVec(Ctx &ctx, std::size_t nbits, unsigned sparsity = 0);
+
+/**
+ * A sparse bit vector of exactly @p weight distinct positions out
+ * of @p nbits — the natural shape of fingerprints, one position
+ * draw per set bit.
+ */
+BitVec genSparseBitVec(Ctx &ctx, std::size_t nbits,
+                       std::size_t weight);
+
+/**
+ * A derived observation of @p base: each set bit survives with
+ * probability @p keep and up to @p extra_max spurious bits are
+ * added — the shape of a real error string relative to the chip's
+ * volatile-cell set (decay flicker plus trial noise).
+ */
+BitVec genNoisyObservation(Ctx &ctx, const BitVec &base, double keep,
+                           std::size_t extra_max);
+
+/**
+ * A small DRAM geometry plus retention distribution: 4-32 rows of
+ * 64-256 bits, Gaussian or log-normal retention, randomized spread
+ * / floor / noise / VRT parameters. Always validate()s.
+ */
+DramConfig genDramConfig(Ctx &ctx);
+
+/** A manufactured chip: random tiny config and chip seed. */
+DramChip genChip(Ctx &ctx);
+
+/**
+ * A fingerprint database of @p records sparse fingerprints over a
+ * @p nbits universe. Fingerprints get disjoint "home" position
+ * ranges so distinct records never collapse onto each other, no
+ * matter how hard the shrinker squeezes the tape; within its home
+ * range each fingerprint is random.
+ */
+FingerprintDb genDb(Ctx &ctx, std::size_t nbits,
+                    std::size_t records);
+
+/**
+ * An error string matching record @p target of a genDb() database:
+ * a noisy superset-ish observation of the record's fingerprint
+ * (drops a few bits, adds a few others), built to stay within an
+ * Algorithm 3 distance of ~0.2 of the fingerprint.
+ */
+BitVec genMatchingErrorString(Ctx &ctx, const FingerprintDb &db,
+                              std::size_t target);
+
+/**
+ * A run of page-level observations (one per page) for a simulated
+ * memory of @p total_pages pages, covering pages
+ * [@p first, @p first + @p count). Page p's volatile set embeds a
+ * unique low-position tag (match keys collide for no two pages) and
+ * @p cells_per_page further random cells. @p universe is the
+ * per-page bit universe.
+ */
+std::vector<SparseBitset>
+genPageRun(Ctx &ctx, std::size_t universe, std::size_t total_pages,
+           std::size_t first, std::size_t count,
+           std::size_t cells_per_page);
+
+/**
+ * Per-cell reference decayer: the contents @p chip would show after
+ * reseedTrial(@p trial_key), write(@p pattern), and an unrefreshed
+ * hold of @p dt at @p temp — computed cell by cell straight from
+ * RetentionModel::effectiveRetention(), with none of the engine's
+ * word masks, bound tables, or row skips. The differential oracle
+ * for DramChip::trialPeek().
+ */
+BitVec referenceTrialPeek(const DramChip &chip, const BitVec &pattern,
+                          std::uint64_t trial_key, Seconds dt,
+                          Celsius temp);
+
+} // namespace pcheck
+} // namespace pcause
+
+#endif // PCAUSE_TESTING_GEN_DOMAIN_HH

@@ -1,0 +1,470 @@
+#include "testing/pcheck.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "util/rng.hh"
+
+namespace pcause
+{
+namespace pcheck
+{
+
+namespace
+{
+
+/** FNV-1a, so property-name hashing is platform independent
+ *  (std::hash is not). */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 0);
+}
+
+/** Parsed PCHECK_REPLAY=<property>:<hex,hex,...> directive. */
+struct ReplayRequest
+{
+    std::string property;
+    std::vector<std::uint64_t> tape;
+};
+
+std::vector<ReplayRequest>
+parseReplayEnv()
+{
+    std::vector<ReplayRequest> out;
+    const char *v = std::getenv("PCHECK_REPLAY");
+    if (!v || !*v)
+        return out;
+    const std::string spec(v);
+    const std::size_t colon = spec.find(':');
+    ReplayRequest req;
+    req.property = spec.substr(0, colon);
+    if (colon != std::string::npos) {
+        std::size_t pos = colon + 1;
+        while (pos < spec.size()) {
+            std::size_t used = 0;
+            req.tape.push_back(
+                std::strtoull(spec.c_str() + pos, nullptr, 16));
+            used = spec.find(',', pos);
+            if (used == std::string::npos)
+                break;
+            pos = used + 1;
+        }
+    }
+    out.push_back(std::move(req));
+    return out;
+}
+
+} // anonymous namespace
+
+const Config &
+Config::global()
+{
+    static const Config cfg = [] {
+        Config c;
+        c.seed = envU64("PCHECK_SEED", c.seed);
+        c.scale = static_cast<unsigned>(
+            std::max<std::uint64_t>(1, envU64("PCHECK_SCALE", 1)));
+        c.trials =
+            static_cast<unsigned>(envU64("PCHECK_TRIALS", 0));
+        c.shrinkBudget = static_cast<unsigned>(
+            envU64("PCHECK_SHRINK_BUDGET", c.shrinkBudget));
+        return c;
+    }();
+    return cfg;
+}
+
+void
+failCheck(std::string message)
+{
+    throw Failure{std::move(message)};
+}
+
+/** Tape-driven drawing state behind a Ctx. */
+struct Ctx::Impl
+{
+    /** Record mode: draws come from rng and append to tape.
+     *  Replay mode (rng == nullptr): draws replay tape entries;
+     *  exhausted tapes yield zeros (the minimal draw). */
+    Rng *rng = nullptr;
+    std::vector<std::uint64_t> tape;
+    std::size_t pos = 0;
+
+    /** Labeled draws of the final run, for the failure report. */
+    std::vector<std::pair<std::string, std::string>> *drawLog =
+        nullptr;
+
+    std::uint64_t draw(std::uint64_t bound)
+    {
+        std::uint64_t v;
+        if (rng) {
+            v = bound ? rng->nextBelow(bound) : rng->next();
+            tape.push_back(v);
+        } else {
+            v = pos < tape.size() ? tape[pos] : 0;
+            if (bound)
+                v %= bound;
+        }
+        ++pos;
+        return v;
+    }
+};
+
+std::uint64_t
+Ctx::choice(std::uint64_t bound)
+{
+    return impl.draw(bound);
+}
+
+void
+Ctx::log(const char *label, std::uint64_t value)
+{
+    if (label && impl.drawLog)
+        impl.drawLog->emplace_back(label, std::to_string(value));
+}
+
+void
+Ctx::logDouble(const char *label, double value)
+{
+    if (label && impl.drawLog)
+        impl.drawLog->emplace_back(label, show(value));
+}
+
+std::uint64_t
+Ctx::bits(const char *label)
+{
+    const std::uint64_t v = choice(0);
+    log(label, v);
+    return v;
+}
+
+std::uint64_t
+Ctx::below(std::uint64_t bound, const char *label)
+{
+    failUnless(bound > 0, "Ctx::below requires bound > 0");
+    const std::uint64_t v = choice(bound);
+    log(label, v);
+    return v;
+}
+
+std::int64_t
+Ctx::intRange(std::int64_t lo, std::int64_t hi, const char *label)
+{
+    failUnless(lo <= hi, "Ctx::intRange requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 2^64 range (hi - lo overflowed).
+    const std::int64_t v =
+        lo + static_cast<std::int64_t>(choice(span));
+    if (label && impl.drawLog)
+        impl.drawLog->emplace_back(label, std::to_string(v));
+    return v;
+}
+
+std::size_t
+Ctx::sizeRange(std::size_t lo, std::size_t hi, const char *label)
+{
+    failUnless(lo <= hi, "Ctx::sizeRange requires lo <= hi");
+    const std::size_t v = lo + static_cast<std::size_t>(
+        choice(static_cast<std::uint64_t>(hi - lo) + 1));
+    log(label, v);
+    return v;
+}
+
+double
+Ctx::unit(const char *label)
+{
+    // 53 mantissa bits, so every value is exactly representable and
+    // tape value 0 maps to exactly 0.0.
+    const double v = static_cast<double>(choice(1ull << 53)) /
+        static_cast<double>(1ull << 53);
+    logDouble(label, v);
+    return v;
+}
+
+double
+Ctx::range(double lo, double hi, const char *label)
+{
+    const double v = lo + unit(nullptr) * (hi - lo);
+    logDouble(label, v);
+    return v;
+}
+
+bool
+Ctx::boolean(double p_true, const char *label)
+{
+    // Inverted comparison so a zero draw (the shrink target) means
+    // false.
+    const bool v = unit(nullptr) >= 1.0 - p_true;
+    if (label && impl.drawLog)
+        impl.drawLog->emplace_back(label, v ? "true" : "false");
+    return v;
+}
+
+void
+Ctx::note(const char *label, const std::string &value)
+{
+    if (impl.drawLog)
+        impl.drawLog->emplace_back(label, value);
+}
+
+namespace
+{
+
+/** Outcome of executing the property once against a fixed state. */
+struct RunOutcome
+{
+    bool failed = false;
+    std::string message;
+};
+
+RunOutcome
+runOnce(const std::function<void(Ctx &)> &property, Ctx::Impl &state)
+{
+    RunOutcome out;
+    try {
+        Ctx ctx(state);
+        property(ctx);
+    } catch (const Failure &f) {
+        out.failed = true;
+        out.message = f.message;
+    } catch (const std::exception &e) {
+        out.failed = true;
+        out.message = std::string("unhandled exception: ") + e.what();
+    }
+    return out;
+}
+
+/** Replay @p tape (frozen); true when the property still fails. */
+bool
+failsOn(const std::function<void(Ctx &)> &property,
+        const std::vector<std::uint64_t> &tape, unsigned &budget)
+{
+    if (budget == 0)
+        return false;
+    --budget;
+    Ctx::Impl state;
+    state.tape = tape;
+    return runOnce(property, state).failed;
+}
+
+/**
+ * Greedy tape minimization: structural passes (delete choice
+ * blocks, zero choice blocks) then value passes (halve / decrement
+ * individual entries), repeated to a fixed point or until the
+ * execution budget runs out. Every accepted candidate still fails
+ * the property, so the final tape is a genuine counterexample.
+ */
+std::vector<std::uint64_t>
+shrinkTape(const std::function<void(Ctx &)> &property,
+           std::vector<std::uint64_t> tape, unsigned budget,
+           unsigned &executions)
+{
+    const unsigned start_budget = budget;
+    bool improved = true;
+    while (improved && budget > 0) {
+        improved = false;
+
+        // Delete blocks, large to small: collapses whole generated
+        // substructures (vector elements, db records) at once.
+        for (std::size_t block = std::max<std::size_t>(
+                 1, tape.size() / 2);
+             block >= 1; block /= 2) {
+            for (std::size_t i = 0;
+                 i + block <= tape.size() && budget > 0;) {
+                std::vector<std::uint64_t> cand = tape;
+                cand.erase(cand.begin() + i,
+                           cand.begin() + i + block);
+                if (failsOn(property, cand, budget)) {
+                    tape = std::move(cand);
+                    improved = true;
+                } else {
+                    i += block;
+                }
+            }
+            if (block == 1)
+                break;
+        }
+
+        // Zero out entries (a zero draw is the simplest input).
+        for (std::size_t i = 0; i < tape.size() && budget > 0; ++i) {
+            if (tape[i] == 0)
+                continue;
+            std::vector<std::uint64_t> cand = tape;
+            cand[i] = 0;
+            if (failsOn(property, cand, budget)) {
+                tape = std::move(cand);
+                improved = true;
+            }
+        }
+
+        // Shrink individual values toward zero.
+        for (std::size_t i = 0; i < tape.size() && budget > 0; ++i) {
+            while (tape[i] > 0 && budget > 0) {
+                std::vector<std::uint64_t> cand = tape;
+                cand[i] /= 2;
+                if (!failsOn(property, cand, budget)) {
+                    cand = tape;
+                    cand[i] -= 1;
+                    if (!failsOn(property, cand, budget))
+                        break;
+                }
+                tape = std::move(cand);
+                improved = true;
+            }
+        }
+    }
+    executions = start_budget - budget;
+    return tape;
+}
+
+std::string
+hexTape(const std::vector<std::uint64_t> &tape)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < tape.size(); ++i) {
+        if (i)
+            os << ',';
+        os << std::hex << tape[i];
+    }
+    return os.str();
+}
+
+/**
+ * Execute the shrunk tape once more with draw logging on and build
+ * the human-facing failure report.
+ */
+std::string
+buildReport(const std::string &name,
+            const std::function<void(Ctx &)> &property,
+            const std::vector<std::uint64_t> &tape,
+            std::uint64_t seed, unsigned trial, unsigned trials,
+            std::size_t original_len, unsigned shrink_execs)
+{
+    std::vector<std::pair<std::string, std::string>> draws;
+    Ctx::Impl state;
+    state.tape = tape;
+    state.drawLog = &draws;
+    const RunOutcome out = runOnce(property, state);
+
+    // Drop implied trailing zeros so the replay line is minimal.
+    std::vector<std::uint64_t> trimmed = tape;
+    while (!trimmed.empty() && trimmed.back() == 0)
+        trimmed.pop_back();
+
+    std::ostringstream os;
+    os << "pcheck: property '" << name << "' FALSIFIED\n";
+    os << "  seed 0x" << std::hex << seed << std::dec << ", trial "
+       << (trial + 1) << " of " << trials << "\n";
+    os << "  shrunk " << original_len << " -> " << trimmed.size()
+       << " choices in " << shrink_execs << " executions\n";
+    if (!draws.empty()) {
+        os << "  counterexample:\n";
+        for (const auto &[label, value] : draws)
+            os << "    " << label << " = " << value << "\n";
+    }
+    os << "  " << (out.failed ? out.message
+                              : "(shrunk tape no longer fails "
+                                "under draw logging — report the "
+                                "original seed)")
+       << "\n";
+    os << "  replay: PCHECK_REPLAY='" << name << ":"
+       << hexTape(trimmed) << "' <this test binary>\n";
+    return os.str();
+}
+
+} // anonymous namespace
+
+void
+failUnless(bool cond, const char *what)
+{
+    if (!cond)
+        throw Failure{std::string("generator misuse: ") + what};
+}
+
+Result
+check(const std::string &name, unsigned base_trials,
+      const std::function<void(Ctx &)> &property)
+{
+    const Config &cfg = Config::global();
+
+    // Replay mode: run exactly the requested tape, nothing else.
+    for (const ReplayRequest &req : parseReplayEnv()) {
+        if (req.property != name)
+            continue;
+        Result res;
+        res.trialsRun = 1;
+        std::vector<std::pair<std::string, std::string>> draws;
+        Ctx::Impl state;
+        state.tape = req.tape;
+        state.drawLog = &draws;
+        const RunOutcome out = runOnce(property, state);
+        if (out.failed) {
+            std::ostringstream os;
+            os << "pcheck: replay of '" << name
+               << "' still fails\n";
+            for (const auto &[label, value] : draws)
+                os << "    " << label << " = " << value << "\n";
+            os << "  " << out.message << "\n";
+            res.passed = false;
+            res.report = os.str();
+        }
+        return res;
+    }
+
+    const unsigned trials =
+        cfg.trials ? cfg.trials : base_trials * cfg.scale;
+    const std::uint64_t prop_seed = mix64(cfg.seed, hashName(name));
+
+    for (unsigned t = 0; t < trials; ++t) {
+        Rng rng(mix64(prop_seed, t));
+        Ctx::Impl state;
+        state.rng = &rng;
+        const RunOutcome out = runOnce(property, state);
+        if (!out.failed)
+            continue;
+
+        unsigned shrink_execs = 0;
+        const std::size_t original_len = state.tape.size();
+        unsigned budget = cfg.shrinkBudget;
+        const std::vector<std::uint64_t> shrunk =
+            shrinkTape(property, state.tape, budget, shrink_execs);
+
+        Result res;
+        res.passed = false;
+        res.trialsRun = t + 1;
+        res.report = buildReport(name, property, shrunk, cfg.seed,
+                                 t, trials, original_len,
+                                 shrink_execs);
+        return res;
+    }
+
+    Result res;
+    res.trialsRun = trials;
+    return res;
+}
+
+Result
+check(const std::string &name,
+      const std::function<void(Ctx &)> &property)
+{
+    return check(name, kDefaultTrials, property);
+}
+
+} // namespace pcheck
+} // namespace pcause

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * pcheck: deterministic property-based testing for the attack
+ * pipeline.
+ *
+ * The repo keeps growing fast paths that must stay bit-identical to
+ * a reference path (batch vs serial attack APIs, the word-level
+ * decay engine vs a per-cell reference, the LSH-indexed store vs
+ * the linear Algorithm 2). Hand-picked fixtures cannot keep such
+ * equivalences honest; randomized properties can. pcheck is a small
+ * QuickCheck-style harness built for this codebase:
+ *
+ *  - **Deterministic.** Every trial's randomness derives from
+ *    mix64(global seed, property name, trial index); the same build
+ *    replays the same trials. `PCHECK_SEED` overrides the global
+ *    seed.
+ *
+ *  - **Choice-tape generation.** A property draws values through a
+ *    Ctx; each primitive draw is one entry on a uint64 "tape".
+ *    Generators compose freely (Gen<T> combinators below) because
+ *    shrinking happens on the tape, not on typed values.
+ *
+ *  - **Automatic shrinking.** On failure the tape is minimized
+ *    (delete choices, zero choices, shrink values toward 0) while
+ *    the property keeps failing, so the reported counterexample is
+ *    close to minimal: smaller vectors, fewer records, lower
+ *    indices.
+ *
+ *  - **Replayable repros.** A failure prints the shrunk tape as a
+ *    `PCHECK_REPLAY=<property>:<hex,...>` one-liner; exporting that
+ *    variable and re-running the test binary re-executes exactly the
+ *    shrunk counterexample (and nothing else).
+ *
+ *  - **Budgets via environment.** `PCHECK_SCALE=50` multiplies every
+ *    property's trial count (the nightly CI sweep); `PCHECK_TRIALS`
+ *    overrides the count absolutely. Defaults keep tier-1 fast.
+ *
+ * See docs/TESTING.md for the user guide.
+ */
+
+#ifndef PCAUSE_TESTING_PCHECK_HH
+#define PCAUSE_TESTING_PCHECK_HH
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pcause
+{
+namespace pcheck
+{
+
+/** Default tier-1 trial budget per property. */
+constexpr unsigned kDefaultTrials = 200;
+
+/** Harness-wide knobs, resolved once from the environment. */
+struct Config
+{
+    /** Base seed for all properties (env PCHECK_SEED, hex or dec). */
+    std::uint64_t seed = 0x70636865636b2d31ull; // "pcheck-1"
+
+    /** Trial multiplier (env PCHECK_SCALE); nightly CI uses 50. */
+    unsigned scale = 1;
+
+    /** Absolute per-property trial override (env PCHECK_TRIALS);
+     *  0 means "use the property's base count times scale". */
+    unsigned trials = 0;
+
+    /** Cap on property executions spent shrinking one failure. */
+    unsigned shrinkBudget = 2000;
+
+    /** The process-wide config (parsed from the environment once). */
+    static const Config &global();
+};
+
+/** Thrown by the PCHECK_* macros when a property is falsified. */
+struct Failure
+{
+    std::string message;
+};
+
+/** Raise a property failure carrying @p message. */
+[[noreturn]] void failCheck(std::string message);
+
+/** Fail (as a generator-misuse error) unless @p cond holds. */
+void failUnless(bool cond, const char *what);
+
+/** Best-effort value printer for failure messages. */
+template <typename T>
+std::string
+show(const T &value)
+{
+    if constexpr (std::is_same_v<T, bool>) {
+        return value ? "true" : "false";
+    } else {
+        std::ostringstream os;
+        if constexpr (requires(std::ostream &o, const T &v) { o << v; })
+            os << value;
+        else
+            os << "<unprintable>";
+        return os.str();
+    }
+}
+
+/**
+ * Drawing context handed to a property. All randomness flows
+ * through choice(); every draw appends to (or replays from) the
+ * trial's tape. Draw functions take an optional label so the final
+ * counterexample report can name the values it prints.
+ *
+ * All draws are biased so that tape value 0 produces the simplest
+ * output (smallest int, empty vector, false, 0.0) — that is what
+ * makes tape-level shrinking produce meaningful minimal inputs.
+ */
+class Ctx
+{
+  public:
+    /** Raw 64 random bits (shrinks toward 0). */
+    std::uint64_t bits(const char *label = nullptr);
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound,
+                        const char *label = nullptr);
+
+    /** Uniform integer in [lo, hi], shrinking toward lo. */
+    std::int64_t intRange(std::int64_t lo, std::int64_t hi,
+                          const char *label = nullptr);
+
+    /** Uniform size in [lo, hi], shrinking toward lo. */
+    std::size_t sizeRange(std::size_t lo, std::size_t hi,
+                          const char *label = nullptr);
+
+    /** Uniform double in [0, 1), shrinking toward 0. */
+    double unit(const char *label = nullptr);
+
+    /** Uniform double in [lo, hi), shrinking toward lo. */
+    double range(double lo, double hi, const char *label = nullptr);
+
+    /** Bernoulli draw; shrinks toward false. */
+    bool boolean(double p_true = 0.5, const char *label = nullptr);
+
+    /** One element of @p options (must be non-empty); shrinks
+     *  toward the first element. */
+    template <typename T>
+    const T &element(const std::vector<T> &options,
+                     const char *label = nullptr)
+    {
+        const std::size_t i = sizeRange(0, options.size() - 1, label);
+        return options[i];
+    }
+
+    /** Record a derived quantity into the counterexample report. */
+    void note(const char *label, const std::string &value);
+
+    /** note() any streamable value. */
+    template <typename T>
+    void note(const char *label, const T &value)
+    {
+        note(label, show(value));
+    }
+
+    // Harness internals (public for the runner; properties have no
+    // reason to touch anything below).
+    struct Impl;
+    explicit Ctx(Impl &impl) : impl(impl) {}
+
+  private:
+    /** Core draw: uniform in [0, bound), or raw 64 bits when
+     *  bound == 0. Records to / replays from the tape. */
+    std::uint64_t choice(std::uint64_t bound);
+
+    void log(const char *label, std::uint64_t value);
+    void logDouble(const char *label, double value);
+
+    Impl &impl;
+};
+
+/** A composable generator: any callable Ctx& -> T. */
+template <typename T>
+class Gen
+{
+  public:
+    using Fn = std::function<T(Ctx &)>;
+
+    Gen(Fn fn) : fn(std::move(fn)) {}
+
+    T operator()(Ctx &ctx) const { return fn(ctx); }
+
+    /** Transform generated values. */
+    template <typename F>
+    auto map(F f) const -> Gen<std::invoke_result_t<F, T>>
+    {
+        Fn g = fn;
+        return {[g, f](Ctx &ctx) { return f(g(ctx)); }};
+    }
+
+    /** Vector of [lo, hi] draws from this generator (length
+     *  shrinks toward lo, elements shrink individually). */
+    Gen<std::vector<T>> vectorOf(std::size_t lo, std::size_t hi,
+                                 const char *label = nullptr) const
+    {
+        Fn g = fn;
+        return {[g, lo, hi, label](Ctx &ctx) {
+            const std::size_t n = ctx.sizeRange(lo, hi, label);
+            std::vector<T> out;
+            out.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+                out.push_back(g(ctx));
+            return out;
+        }};
+    }
+
+  private:
+    Fn fn;
+};
+
+/** Generator always producing @p value. */
+template <typename T>
+Gen<T>
+constant(T value)
+{
+    return {[value](Ctx &) { return value; }};
+}
+
+/** Generator drawing uniformly from [lo, hi]. */
+inline Gen<std::int64_t>
+genInt(std::int64_t lo, std::int64_t hi, const char *label = nullptr)
+{
+    return {[lo, hi, label](Ctx &ctx) {
+        return ctx.intRange(lo, hi, label);
+    }};
+}
+
+/** Generator drawing one of @p options. */
+template <typename T>
+Gen<T>
+elementOf(std::vector<T> options, const char *label = nullptr)
+{
+    return {[options = std::move(options), label](Ctx &ctx) {
+        return ctx.element(options, label);
+    }};
+}
+
+/** Pair of two independent generators. */
+template <typename A, typename B>
+Gen<std::pair<A, B>>
+pairOf(Gen<A> a, Gen<B> b)
+{
+    return {[a = std::move(a), b = std::move(b)](Ctx &ctx) {
+        // Sequence the draws explicitly: C++ argument evaluation
+        // order is unspecified and the tape must be stable.
+        A first = a(ctx);
+        B second = b(ctx);
+        return std::pair<A, B>(std::move(first), std::move(second));
+    }};
+}
+
+/** Outcome of running one property. */
+struct Result
+{
+    bool passed = true;
+
+    /** Multi-line failure report (seed, shrunk tape, labeled
+     *  draws, replay command); empty when passed. */
+    std::string report;
+
+    /** Trials executed (excluding shrink executions). */
+    unsigned trialsRun = 0;
+};
+
+/**
+ * Run @p property for @p base_trials randomized trials (scaled by
+ * the environment config). On the first falsified trial the input
+ * tape is shrunk and a replayable report is produced; no further
+ * trials run. A property fails by throwing pcheck::Failure (via the
+ * PCHECK macros) or any std::exception.
+ *
+ * When PCHECK_REPLAY names this property, exactly the given tape is
+ * executed instead of the randomized sweep.
+ */
+Result check(const std::string &name, unsigned base_trials,
+             const std::function<void(Ctx &)> &property);
+
+/** check() with the default tier-1 trial budget. */
+Result check(const std::string &name,
+             const std::function<void(Ctx &)> &property);
+
+} // namespace pcheck
+} // namespace pcause
+
+/** Falsify the property unless @p cond holds. */
+#define PCHECK(cond)                                                    \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::pcause::pcheck::failCheck(                                \
+                std::string("PCHECK(" #cond ") failed at ") +           \
+                __FILE__ + ":" + std::to_string(__LINE__));             \
+    } while (0)
+
+/** PCHECK with an explanatory message appended. */
+#define PCHECK_MSG(cond, msg)                                           \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::pcause::pcheck::failCheck(                                \
+                std::string("PCHECK(" #cond ") failed at ") +           \
+                __FILE__ + ":" + std::to_string(__LINE__) + ": " +      \
+                (msg));                                                 \
+    } while (0)
+
+/** Falsify unless a == b; prints both values. */
+#define PCHECK_EQ(a, b)                                                 \
+    do {                                                                \
+        const auto &pc_va = (a);                                        \
+        const auto &pc_vb = (b);                                        \
+        if (!(pc_va == pc_vb))                                          \
+            ::pcause::pcheck::failCheck(                                \
+                std::string("PCHECK_EQ(" #a ", " #b ") failed at ") +   \
+                __FILE__ + ":" + std::to_string(__LINE__) + ": " +      \
+                ::pcause::pcheck::show(pc_va) + " vs " +                \
+                ::pcause::pcheck::show(pc_vb));                         \
+    } while (0)
+
+#endif // PCAUSE_TESTING_PCHECK_HH

@@ -4,9 +4,18 @@
 # case, and clustering. Invoked by ctest with the binary path as $1.
 set -eu
 
+if [ $# -lt 1 ]; then
+    echo "usage: cli_test.sh <path-to-pcause-binary>" >&2
+    exit 2
+fi
 PCAUSE="$1"
+if [ ! -x "$PCAUSE" ]; then
+    echo "FAIL: pcause binary not found or not executable: $PCAUSE" >&2
+    exit 1
+fi
+
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+trap 'rm -rf "$WORK"' EXIT INT TERM HUP
 cd "$WORK"
 
 "$PCAUSE" simulate --chips 3 --trials 4 --out . > /dev/null

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Properties of the BitVec word-level kernels every distance and
+ * decay fast path is built on. andNotCountBounded is the repo's
+ * canonical "bounded scan" contract — the same shape
+ * modifiedJaccardBounded and the store's pruned queries rely on —
+ * so it gets the sharpest property.
+ */
+
+#include "prop_common.hh"
+
+#include "util/bitvec.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+PCHECK_PROPERTY(PropBitVec, AndNotCountBoundedConsistent,
+                [](Ctx &ctx) {
+    // Large enough that the scan spans several early-exit blocks:
+    // the pruning decisions are where the off-by-ones live.
+    const std::size_t nbits = ctx.sizeRange(1, 2600, "nbits");
+    const BitVec a = pcheck::genBitVec(ctx, nbits);
+    const BitVec b = pcheck::genBitVec(ctx, nbits, 1);
+    const std::size_t exact = a.andNotCount(b);
+    ctx.note("exact", exact);
+
+    const auto checkLimit = [&](std::size_t limit) {
+        const std::size_t bounded = a.andNotCountBounded(b, limit);
+        if (exact <= limit) {
+            // Within budget the scan must return the exact count.
+            if (bounded != exact)
+                pcheck::failCheck(
+                    "limit " + std::to_string(limit) + ": bounded " +
+                    std::to_string(bounded) + " != exact " +
+                    std::to_string(exact));
+        } else {
+            // Over budget it may stop early, but whatever it
+            // returns must both certify the excess and stay a
+            // valid lower bound.
+            if (bounded <= limit)
+                pcheck::failCheck(
+                    "limit " + std::to_string(limit) + ": bounded " +
+                    std::to_string(bounded) +
+                    " failed to exceed the limit");
+            if (bounded > exact)
+                pcheck::failCheck(
+                    "limit " + std::to_string(limit) + ": bounded " +
+                    std::to_string(bounded) + " overshot exact " +
+                    std::to_string(exact));
+        }
+    };
+
+    // One arbitrary limit...
+    checkLimit(ctx.sizeRange(0, nbits, "limit"));
+    // ...plus a sweep pinned to the decision boundaries: the
+    // running count at every word edge, the exact count, and one
+    // either side of each. A uniform limit almost never lands
+    // there, and that is exactly where a miscompared early exit
+    // hides.
+    std::size_t prefix = 0;
+    for (std::size_t w = 0; w <= a.wordCount(); ++w) {
+        for (std::size_t limit :
+             {prefix - std::min<std::size_t>(prefix, 1), prefix,
+              prefix + 1})
+            checkLimit(limit);
+        if (w < a.wordCount())
+            prefix += std::popcount(a.wordAt(w) & ~b.wordAt(w));
+    }
+    checkLimit(exact - std::min<std::size_t>(exact, 1));
+    checkLimit(exact + 1);
+})
+
+PCHECK_PROPERTY(PropBitVec, SliceBlitRoundTrip, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(1, 300, "nbits");
+    const BitVec v = pcheck::genBitVec(ctx, nbits);
+    const std::size_t start = ctx.sizeRange(0, nbits - 1, "start");
+    const std::size_t len = ctx.sizeRange(0, nbits - start, "len");
+
+    const BitVec cut = v.slice(start, len);
+    PCHECK_EQ(cut.size(), len);
+    for (std::size_t i = 0; i < len; ++i)
+        PCHECK_EQ(cut.get(i), v.get(start + i));
+
+    // Blitting a slice back where it came from is a no-op...
+    BitVec same = v;
+    same.blit(start, cut);
+    PCHECK(same == v);
+
+    // ...and blitting it into a zero vector reproduces it exactly.
+    BitVec zero(nbits);
+    zero.blit(start, cut);
+    PCHECK_EQ(zero.popcount(), cut.popcount());
+    PCHECK(zero.slice(start, len) == cut);
+})
+
+PCHECK_PROPERTY(PropBitVec, PopcountAgreesWithSetBits, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(1, 300, "nbits");
+    const BitVec v = pcheck::genBitVec(ctx, nbits, 1);
+    const std::vector<std::size_t> on = v.setBits();
+    PCHECK_EQ(v.popcount(), on.size());
+    for (std::size_t pos : on) {
+        PCHECK(pos < nbits);
+        PCHECK(v.get(pos));
+    }
+    // setBits is ascending, so it doubles as an ordering check.
+    for (std::size_t i = 1; i < on.size(); ++i)
+        PCHECK(on[i - 1] < on[i]);
+})
+
+PCHECK_PROPERTY(PropBitVec, AndNotCountDefinitional, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(1, 300, "nbits");
+    const BitVec a = pcheck::genBitVec(ctx, nbits);
+    const BitVec b = pcheck::genBitVec(ctx, nbits);
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < nbits; ++i)
+        naive += a.get(i) && !b.get(i);
+    PCHECK_EQ(a.andNotCount(b), naive);
+    PCHECK_EQ(a.isSubsetOf(b), naive == 0);
+})

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Algorithm 4 (attack without pre-characterization) properties.
+ * Observations are generated from well-separated synthetic chips
+ * (disjoint fingerprint ranges, high bit-survival rate), so the
+ * correct partition is known; clustering must recover it from any
+ * presentation order — the paper's attacker cannot control the
+ * order outputs arrive in.
+ */
+
+#include "prop_common.hh"
+
+#include <numeric>
+
+#include "core/cluster.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+namespace
+{
+
+struct Labeled
+{
+    std::vector<BitVec> samples;
+    std::vector<std::size_t> chipOf; //!< ground-truth chip index
+};
+
+/**
+ * Observations from @p chips synthetic chips over disjoint 96-bit
+ * home ranges. Every observation keeps >= ~95% of its chip's
+ * volatile set, so within-chip distances stay far under the 0.4
+ * threshold while cross-chip distances sit near 1.
+ */
+Labeled
+genLabeledSamples(Ctx &ctx, std::size_t chips)
+{
+    const std::size_t home = 96;
+    const std::size_t nbits = home * chips;
+    Labeled out;
+    for (std::size_t c = 0; c < chips; ++c) {
+        BitVec base(nbits);
+        // A dense volatile set anchored in the chip's home range:
+        // 32 guaranteed bits keep drop-noise far from the threshold.
+        for (std::size_t k = 0; k < 32; ++k)
+            base.set(c * home + 2 * k);
+        const std::size_t observations =
+            ctx.sizeRange(1, 4, "observations");
+        for (std::size_t o = 0; o < observations; ++o) {
+            out.samples.push_back(
+                pcheck::genNoisyObservation(ctx, base, 0.95, 0));
+            out.chipOf.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** True when both labelings induce the same partition. */
+bool
+samePartition(const std::vector<std::size_t> &a,
+              const std::vector<std::size_t> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = i + 1; j < a.size(); ++j)
+            if ((a[i] == a[j]) != (b[i] == b[j]))
+                return false;
+    return true;
+}
+
+} // namespace
+
+PCHECK_PROPERTY(PropCluster, RecoversGroundTruthPartition,
+                [](Ctx &ctx) {
+    const std::size_t chips = ctx.sizeRange(1, 4, "chips");
+    const Labeled in = genLabeledSamples(ctx, chips);
+
+    ClusterParams p;
+    p.threshold = 0.4;
+    std::vector<std::size_t> assignments;
+    // Zero exact value: the raw outputs ARE the error strings.
+    const BitVec exact(chips * 96);
+    const FingerprintDb db =
+        cluster(in.samples, exact, p, &assignments);
+    PCHECK_EQ(assignments.size(), in.samples.size());
+    PCHECK_MSG(samePartition(assignments, in.chipOf),
+               "clustering split or merged ground-truth chips");
+    PCHECK_EQ(db.size(), chips);
+})
+
+PCHECK_PROPERTY(PropCluster, LabelsStableUnderReordering,
+                [](Ctx &ctx) {
+    const std::size_t chips = ctx.sizeRange(1, 4, "chips");
+    const Labeled in = genLabeledSamples(ctx, chips);
+
+    // A tape-driven shuffle of the presentation order.
+    std::vector<std::size_t> order(in.samples.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[ctx.below(i)]);
+    std::vector<BitVec> shuffled;
+    std::vector<std::size_t> truthShuffled;
+    for (std::size_t i : order) {
+        shuffled.push_back(in.samples[i]);
+        truthShuffled.push_back(in.chipOf[i]);
+    }
+
+    ClusterParams p;
+    p.threshold = 0.4;
+    std::vector<std::size_t> assignments;
+    cluster(shuffled, BitVec(chips * 96), p, &assignments);
+    PCHECK_MSG(samePartition(assignments, truthShuffled),
+               "reordering the samples changed the partition");
+})
+
+PCHECK_PROPERTY(PropCluster, OnlineMatchesBatch, [](Ctx &ctx) {
+    const std::size_t chips = ctx.sizeRange(1, 3, "chips");
+    const Labeled in = genLabeledSamples(ctx, chips);
+
+    ClusterParams p;
+    p.threshold = 0.4;
+    OnlineClusterer online(p);
+    for (const BitVec &es : in.samples)
+        online.addErrorString(es);
+    std::vector<std::size_t> batchAssign;
+    cluster(in.samples, BitVec(chips * 96), p, &batchAssign);
+    PCHECK_MSG(samePartition(online.assignments(), batchAssign),
+               "incremental and batch clustering disagree");
+})

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Glue between pcheck and gtest: run a property, fail the gtest with
+ * the full shrunk-counterexample report when it is falsified.
+ */
+
+#ifndef PCAUSE_TESTS_PROP_COMMON_HH
+#define PCAUSE_TESTS_PROP_COMMON_HH
+
+#include <gtest/gtest.h>
+
+#include "testing/gen_domain.hh"
+#include "testing/pcheck.hh"
+
+/** Define a gtest running pcheck property @p prop_name. */
+#define PCHECK_PROPERTY(suite, prop_name, ...)                          \
+    TEST(suite, prop_name)                                              \
+    {                                                                   \
+        const ::pcause::pcheck::Result pc_result =                      \
+            ::pcause::pcheck::check(#suite "." #prop_name,              \
+                                    __VA_ARGS__);                       \
+        EXPECT_TRUE(pc_result.passed) << pc_result.report;              \
+        EXPECT_GT(pc_result.trialsRun, 0u);                             \
+    }
+
+#endif // PCAUSE_TESTS_PROP_COMMON_HH

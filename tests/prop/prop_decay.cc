@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Word-level decay engine differential properties. The engine's
+ * fast path (per-word masks, min/max retention bound tables, row
+ * skips) must be bit-identical to a per-cell evaluation of the
+ * retention model, to the stateful write/elapse/peek lifecycle, and
+ * to its own batch front-end; and for a fixed trial the decayed set
+ * must grow monotonically with the decay interval (the nesting
+ * Section 5's repeated-trial fingerprints rely on).
+ */
+
+#include "prop_common.hh"
+
+#include "dram/dram_chip.hh"
+#include "util/thread_pool.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+namespace
+{
+
+/** A write pattern exercising both charged and discharged cells. */
+BitVec
+genPattern(Ctx &ctx, const DramChip &chip)
+{
+    if (ctx.boolean(0.25, "worst_case"))
+        return chip.worstCasePattern();
+    return pcheck::genBitVec(ctx, chip.config().totalBits());
+}
+
+} // namespace
+
+PCHECK_PROPERTY(PropDecay, TrialPeekMatchesPerCellReference,
+                [](Ctx &ctx) {
+    const DramChip chip = pcheck::genChip(ctx);
+    const BitVec pattern = genPattern(ctx, chip);
+    const std::uint64_t key = ctx.bits("trial_key");
+    const Seconds dt = ctx.range(0.0, 120.0, "dt");
+    const Celsius temp = ctx.range(20.0, 70.0, "temp");
+
+    const BitVec fast = chip.trialPeek(pattern, key, dt, temp);
+    const BitVec slow =
+        pcheck::referenceTrialPeek(chip, pattern, key, dt, temp);
+    ctx.note("decayed", pattern.hammingDistance(fast));
+    PCHECK_MSG(fast == slow,
+               "word-level engine disagrees with the per-cell "
+               "retention model");
+})
+
+PCHECK_PROPERTY(PropDecay, TrialPeekMatchesStatefulLifecycle,
+                [](Ctx &ctx) {
+    DramChip chip = pcheck::genChip(ctx);
+    const BitVec pattern = genPattern(ctx, chip);
+    const std::uint64_t key = ctx.bits("trial_key");
+    const Seconds dt = ctx.range(0.0, 120.0, "dt");
+    const Celsius temp = ctx.range(20.0, 70.0, "temp");
+
+    const BitVec pure = chip.trialPeek(pattern, key, dt, temp);
+    chip.reseedTrial(key);
+    chip.write(pattern);
+    chip.elapse(dt, temp);
+    PCHECK_MSG(chip.peek() == pure,
+               "trialPeek disagrees with reseed/write/elapse/peek");
+})
+
+PCHECK_PROPERTY(PropDecay, DecayedSetNestsWithInterval,
+                [](Ctx &ctx) {
+    const DramChip chip = pcheck::genChip(ctx);
+    const BitVec pattern = genPattern(ctx, chip);
+    const std::uint64_t key = ctx.bits("trial_key");
+    const Celsius temp = ctx.range(20.0, 70.0, "temp");
+    const Seconds dt1 = ctx.range(0.0, 60.0, "dt1");
+    const Seconds dt2 = dt1 + ctx.range(0.0, 60.0, "dt_extra");
+
+    const BitVec out1 = chip.trialPeek(pattern, key, dt1, temp);
+    const BitVec out2 = chip.trialPeek(pattern, key, dt2, temp);
+    BitVec err1 = out1;
+    err1 ^= pattern;
+    BitVec err2 = out2;
+    err2 ^= pattern;
+    PCHECK_MSG(err1.isSubsetOf(err2),
+               "cells recovered when the decay interval grew");
+})
+
+PCHECK_PROPERTY(PropDecay, BatchEqualsSingleTrials, [](Ctx &ctx) {
+    static ThreadPool pool(4);
+    const DramChip chip = pcheck::genChip(ctx);
+    const BitVec pattern = genPattern(ctx, chip);
+    const Seconds dt = ctx.range(0.0, 120.0, "dt");
+    const Celsius temp = ctx.range(20.0, 70.0, "temp");
+    const std::size_t trials = ctx.sizeRange(1, 6, "trials");
+    std::vector<std::uint64_t> keys;
+    for (std::size_t t = 0; t < trials; ++t)
+        keys.push_back(ctx.bits("key"));
+
+    const std::vector<BitVec> batch =
+        chip.trialPeekBatch(pattern, keys, dt, temp, pool);
+    PCHECK_EQ(batch.size(), keys.size());
+    for (std::size_t t = 0; t < trials; ++t)
+        PCHECK_MSG(batch[t] ==
+                       chip.trialPeek(pattern, keys[t], dt, temp),
+                   "batch trial differs from the single-trial path");
+})

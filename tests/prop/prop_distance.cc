@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Algorithm 3 (modified Jaccard) properties: metric axioms over the
+ * full input space, agreement between the dense and sparse kernels,
+ * and the bounded variant's contract — exact at or below the bound,
+ * a certified lower bound above it. The bound consistency property
+ * is what keeps every pruned fast path (store queries, bounded
+ * identification) honest.
+ */
+
+#include "prop_common.hh"
+
+#include "core/distance.hh"
+#include "util/sparse_bitset.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+PCHECK_PROPERTY(PropDistance, MetricAxioms, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(1, 256, "nbits");
+    const BitVec es = pcheck::genBitVec(ctx, nbits, 1);
+    const BitVec fp = pcheck::genBitVec(ctx, nbits, 1);
+
+    const double d = modifiedJaccard(es, fp);
+    PCHECK_MSG(d >= 0.0 && d <= 1.0, "distance out of [0, 1]");
+    // Footnote-2 swap rule makes the metric symmetric.
+    PCHECK_EQ(d, modifiedJaccard(fp, es));
+    PCHECK_EQ(modifiedJaccard(es, es), 0.0);
+    PCHECK_EQ(modifiedJaccard(fp, fp), 0.0);
+
+    const BitVec empty(nbits);
+    PCHECK_EQ(modifiedJaccard(empty, empty), 0.0);
+})
+
+PCHECK_PROPERTY(PropDistance, BoundedConsistentWithExact,
+                [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(1, 256, "nbits");
+    const BitVec es = pcheck::genBitVec(ctx, nbits, 1);
+    const BitVec fp = pcheck::genBitVec(ctx, nbits, 1);
+    const double bound = ctx.unit("bound");
+
+    const double d = modifiedJaccard(es, fp);
+    bool pruned = false;
+    const double bd = modifiedJaccardBounded(es, fp, bound, &pruned);
+    ctx.note("exact", d);
+    ctx.note("bounded", bd);
+    if (d <= bound) {
+        // Any threshold comparison at or below the bound must see
+        // the same number the unbounded metric produces.
+        PCHECK_EQ(bd, d);
+    } else {
+        PCHECK_MSG(bd > bound,
+                   "pruned distance failed to certify > bound");
+        PCHECK_MSG(bd <= d, "lower bound exceeded the exact value");
+    }
+    if (pruned)
+        PCHECK_MSG(d > bound, "scan pruned although the exact "
+                              "distance is within the bound");
+})
+
+PCHECK_PROPERTY(PropDistance, SparseAgreesWithDense, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(1, 256, "nbits");
+    const BitVec es = pcheck::genBitVec(ctx, nbits, 2);
+    const BitVec fp = pcheck::genBitVec(ctx, nbits, 2);
+    const double dense = modifiedJaccard(es, fp);
+    const double sparse = modifiedJaccard(SparseBitset::fromBitVec(es),
+                                          SparseBitset::fromBitVec(fp));
+    PCHECK_EQ(dense, sparse);
+})

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Algorithm 1 (CHARACTERIZE) invariants: a fingerprint is the
+ * running intersection of its error strings, so augmenting must be
+ * monotone (the bit set only shrinks), idempotent, and
+ * order-independent.
+ */
+
+#include "prop_common.hh"
+
+#include "core/fingerprint.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+namespace
+{
+
+Fingerprint
+freshFingerprint(Ctx &ctx, std::size_t nbits)
+{
+    return Fingerprint(pcheck::genBitVec(ctx, nbits, 1));
+}
+
+} // namespace
+
+PCHECK_PROPERTY(PropFingerprint, AugmentIsMonotoneIntersection,
+                [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(8, 256, "nbits");
+    Fingerprint fp = freshFingerprint(ctx, nbits);
+    const unsigned extra = static_cast<unsigned>(
+        ctx.sizeRange(1, 4, "augments"));
+    for (unsigned k = 0; k < extra; ++k) {
+        const BitVec before = fp.bits();
+        const BitVec es = pcheck::genBitVec(ctx, nbits, 1);
+        fp.augment(es);
+        PCHECK_MSG(fp.bits().isSubsetOf(before),
+                   "augment grew the fingerprint");
+        PCHECK_MSG(fp.bits().isSubsetOf(es),
+                   "fingerprint kept a bit absent from the new "
+                   "error string");
+        // Nothing in both inputs may be dropped: it IS intersection.
+        for (std::size_t pos : before.setBits())
+            if (es.get(pos))
+                PCHECK(fp.bits().get(pos));
+    }
+    PCHECK_EQ(fp.sources(), 1u + extra);
+})
+
+PCHECK_PROPERTY(PropFingerprint, AugmentIdempotent, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(8, 256, "nbits");
+    Fingerprint fp = freshFingerprint(ctx, nbits);
+    const BitVec es = pcheck::genBitVec(ctx, nbits, 1);
+    fp.augment(es);
+    const BitVec once = fp.bits();
+    fp.augment(es);
+    PCHECK_MSG(fp.bits() == once,
+               "re-augmenting with the same error string changed "
+               "the fingerprint");
+})
+
+PCHECK_PROPERTY(PropFingerprint, AugmentOrderInvariant, [](Ctx &ctx) {
+    const std::size_t nbits = ctx.sizeRange(8, 256, "nbits");
+    const BitVec base = pcheck::genBitVec(ctx, nbits, 1);
+    const BitVec es1 = pcheck::genBitVec(ctx, nbits, 1);
+    const BitVec es2 = pcheck::genBitVec(ctx, nbits, 1);
+
+    Fingerprint ab{base};
+    ab.augment(es1);
+    ab.augment(es2);
+    Fingerprint ba{base};
+    ba.augment(es2);
+    ba.augment(es1);
+
+    PCHECK_MSG(ab.bits() == ba.bits(),
+               "intersection order changed the fingerprint");
+    PCHECK_EQ(ab.sources(), ba.sources());
+})

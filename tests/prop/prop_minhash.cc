@@ -1,0 +1,85 @@
+/**
+ * @file
+ * MinHash / LSH layer properties: signatures are pure functions of
+ * the bit set and the parameters, similarity is a bounded symmetric
+ * estimate that is exactly 1 for identical sets, and the candidate
+ * index never loses an exact duplicate — the recall floor the
+ * store's accept/reject equivalence stands on.
+ */
+
+#include "prop_common.hh"
+
+#include "core/minhash.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+namespace
+{
+
+MinHashParams
+genParams(Ctx &ctx)
+{
+    MinHashParams mh;
+    mh.numHashes = static_cast<std::uint32_t>(
+        8u << ctx.sizeRange(0, 2, "hashes_log8"));
+    const std::uint32_t divisors[] = {1, 2, 4, 8};
+    mh.bands = mh.numHashes / divisors[ctx.sizeRange(0, 3, "rows")];
+    mh.seed = ctx.bits("seed");
+    return mh;
+}
+
+} // namespace
+
+PCHECK_PROPERTY(PropMinhash, SignaturePureAndSized, [](Ctx &ctx) {
+    const MinHashParams mh = genParams(ctx);
+    const std::size_t nbits = ctx.sizeRange(1, 512, "nbits");
+    const BitVec bits = pcheck::genBitVec(ctx, nbits, 2);
+
+    const MinHashSignature sig = minhashSignature(bits, mh);
+    PCHECK_EQ(sig.size(), static_cast<std::size_t>(mh.numHashes));
+    // Pure: recomputation and copies agree exactly.
+    PCHECK(sig == minhashSignature(bits, mh));
+    PCHECK(sig == minhashSignature(BitVec(bits), mh));
+})
+
+PCHECK_PROPERTY(PropMinhash, SimilarityIsBoundedAndSymmetric,
+                [](Ctx &ctx) {
+    const MinHashParams mh = genParams(ctx);
+    const std::size_t nbits = ctx.sizeRange(1, 512, "nbits");
+    const BitVec a = pcheck::genBitVec(ctx, nbits, 2);
+    const BitVec b = pcheck::genBitVec(ctx, nbits, 2);
+    const MinHashSignature sa = minhashSignature(a, mh);
+    const MinHashSignature sb = minhashSignature(b, mh);
+
+    const double s = signatureSimilarity(sa, sb);
+    PCHECK_MSG(s >= 0.0 && s <= 1.0, "similarity out of [0, 1]");
+    PCHECK_EQ(s, signatureSimilarity(sb, sa));
+    PCHECK_EQ(signatureSimilarity(sa, sa), 1.0);
+})
+
+PCHECK_PROPERTY(PropMinhash, DuplicateSetsAlwaysCandidates,
+                [](Ctx &ctx) {
+    const MinHashParams mh = genParams(ctx);
+    LshIndex index(mh);
+    const std::size_t nbits = ctx.sizeRange(1, 256, "nbits");
+    const std::size_t records = ctx.sizeRange(1, 8, "records");
+    std::vector<BitVec> sets;
+    for (std::size_t r = 0; r < records; ++r) {
+        sets.push_back(pcheck::genBitVec(ctx, nbits, 2));
+        index.add(r, minhashSignature(sets.back(), mh));
+    }
+
+    const std::size_t probe = ctx.sizeRange(0, records - 1, "probe");
+    const std::vector<std::size_t> hits =
+        index.candidates(minhashSignature(sets[probe], mh));
+    // An identical set shares every band bucket: recall 1 on
+    // duplicates, whatever the banding.
+    bool found = false;
+    for (std::size_t h : hits)
+        found = found || h == probe;
+    PCHECK_MSG(found, "exact duplicate missing from the shortlist");
+    // Shortlists are ascending and deduplicated.
+    for (std::size_t i = 1; i < hits.size(); ++i)
+        PCHECK(hits[i - 1] < hits[i]);
+})

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Section 7 stitching properties. Samples carved out of one
+ * simulated memory must coalesce into a single suspected chip whose
+ * span covers every observed page; samples from page-disjoint
+ * memories must never merge; and matchSample must attribute a fresh
+ * carving to the memory it came from.
+ */
+
+#include "prop_common.hh"
+
+#include "core/stitcher.hh"
+
+using namespace pcause;
+using pcheck::Ctx;
+
+namespace
+{
+
+constexpr std::size_t kPages = 8;        //!< pages per memory
+constexpr std::size_t kUniverse = 1024;  //!< per-page bit universe
+
+/**
+ * One memory = one fixed page list. Samples are contiguous slices,
+ * so overlapping slices share *identical* pages — the stitcher's
+ * alignment keys then have clean matches to find.
+ */
+std::vector<SparseBitset>
+genMemory(Ctx &ctx, std::size_t tag_base)
+{
+    return pcheck::genPageRun(ctx, kUniverse, 2 * kPages, tag_base,
+                              kPages, 12);
+}
+
+std::vector<SparseBitset>
+slice(const std::vector<SparseBitset> &memory, std::size_t first,
+      std::size_t count)
+{
+    return {memory.begin() + first, memory.begin() + first + count};
+}
+
+} // namespace
+
+PCHECK_PROPERTY(PropStitcher, OneMemoryOneCluster, [](Ctx &ctx) {
+    const std::vector<SparseBitset> memory = genMemory(ctx, 0);
+    Stitcher st;
+
+    // A chain of overlapping runs covering all kPages pages: run i
+    // spans [2i, 2i+4), so consecutive runs share two pages — the
+    // minimum Section 7 accepts as a "range" of coinciding pages.
+    std::size_t covered = 0;
+    for (std::size_t first = 0; first + 4 <= kPages; first += 2) {
+        st.addSample(slice(memory, first, 4));
+        covered = first + 4;
+    }
+    PCHECK_EQ(st.numSuspectedChips(), std::size_t{1});
+
+    const std::size_t id = st.resolve(0);
+    PCHECK_MSG(st.clusterSpan(id) >= covered,
+               "merged cluster spans fewer pages than observed");
+})
+
+PCHECK_PROPERTY(PropStitcher, DisjointMemoriesNeverMerge,
+                [](Ctx &ctx) {
+    // Page tags are disjoint (tag bases 0 and kPages), so no
+    // alignment between the two memories can verify.
+    const std::vector<SparseBitset> memA = genMemory(ctx, 0);
+    const std::vector<SparseBitset> memB = genMemory(ctx, kPages);
+    Stitcher st;
+    st.addSample(slice(memA, 0, 4));
+    st.addSample(slice(memA, 2, 4));
+    st.addSample(slice(memB, 0, 4));
+    st.addSample(slice(memB, 2, 4));
+    PCHECK_EQ(st.numSuspectedChips(), std::size_t{2});
+})
+
+PCHECK_PROPERTY(PropStitcher, MatchSampleFindsOwner, [](Ctx &ctx) {
+    const std::vector<SparseBitset> memA = genMemory(ctx, 0);
+    const std::vector<SparseBitset> memB = genMemory(ctx, kPages);
+    Stitcher st;
+    const std::size_t a = st.addSample(slice(memA, 0, kPages));
+    const std::size_t b = st.addSample(slice(memB, 0, kPages));
+
+    const std::size_t first = ctx.sizeRange(0, kPages - 3, "first");
+    const std::size_t count =
+        ctx.sizeRange(3, kPages - first, "count");
+    const auto hitA = st.matchSample(slice(memA, first, count));
+    PCHECK_MSG(hitA.has_value(), "carving from memory A unmatched");
+    PCHECK_EQ(st.resolve(*hitA), st.resolve(a));
+    const auto hitB = st.matchSample(slice(memB, first, count));
+    PCHECK_MSG(hitB.has_value(), "carving from memory B unmatched");
+    PCHECK_EQ(st.resolve(*hitB), st.resolve(b));
+})

@@ -229,6 +229,73 @@ TEST(Serialize, TruncationIsRecoverable)
     }
 }
 
+TEST(Serialize, TruncatedSignatureTrailerIsRecoverable)
+{
+    // Cut a v2 stream inside the final record's signature trailer:
+    // the reader must report the truncated signature, not return a
+    // store with a short or garbage signature.
+    FingerprintStore store;
+    store.add("chip", makeFingerprint({1, 2, 3}));
+    std::stringstream buf;
+    ASSERT_TRUE(saveStore(store, buf));
+    const std::string bytes = buf.str();
+    const std::size_t sig_bytes =
+        store.indexParams().numHashes * sizeof(std::uint32_t);
+    ASSERT_GT(bytes.size(), sig_bytes);
+    for (std::size_t keep : {std::size_t(0), sig_bytes / 2,
+                             sig_bytes - 1}) {
+        std::stringstream partial(
+            bytes.substr(0, bytes.size() - sig_bytes + keep));
+        const StoreLoadResult r = loadStore(partial);
+        EXPECT_FALSE(r) << "kept " << keep << " signature bytes";
+        EXPECT_NE(r.error.find("signature"), std::string::npos)
+            << r.error;
+    }
+}
+
+TEST(Serialize, RecordCountOverflowIsRecoverable)
+{
+    // A hostile header claiming 2^64-1 records must not blow up in
+    // the pre-allocation: it fails on the first absent record.
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 1); // v1: simplest valid header
+    put<std::uint64_t>(buf, ~std::uint64_t{0});
+    const DbLoadResult r = loadDatabase(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("truncated"), std::string::npos)
+        << r.error;
+}
+
+TEST(Serialize, ImplausibleLabelLengthIsRecoverable)
+{
+    // A multi-gigabyte label length must be rejected before the
+    // parser tries to allocate it.
+    std::stringstream buf;
+    buf.write("PCDB", 4);
+    put<std::uint32_t>(buf, 1);
+    put<std::uint64_t>(buf, 1); // one record
+    put<std::uint32_t>(buf, ~std::uint32_t{0}); // label length
+    const DbLoadResult r = loadDatabase(buf);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.error.find("label"), std::string::npos) << r.error;
+}
+
+TEST(Serialize, EmptyStoreRoundTripsWithCustomParams)
+{
+    MinHashParams params;
+    params.numHashes = 16;
+    params.bands = 4;
+    params.seed = 0xfeedbeef;
+    const FingerprintStore store(params);
+    std::stringstream buf;
+    ASSERT_TRUE(saveStore(store, buf));
+    const StoreLoadResult r = loadStore(buf);
+    ASSERT_TRUE(r) << r.error;
+    EXPECT_EQ(r->size(), 0u);
+    EXPECT_TRUE(r->indexParams() == params);
+}
+
 TEST(Serialize, MissingFileIsRecoverable)
 {
     const DbLoadResult r =
