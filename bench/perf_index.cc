@@ -2,27 +2,42 @@
  * @file
  * Candidate-index performance and equivalence check.
  *
- * Builds synthetic populations of 1k / 10k / 100k fingerprints,
- * queries each through the indexed FingerprintStore and through the
- * linear reference scan, verifies the accept/reject decisions (and
- * matched records) are identical, and times both paths. The query
- * mix is mostly outputs of known chips (error-string supersets of a
- * database fingerprint) with a fraction of unknown chips, which
- * exercises both the shortlist hit path and the full-scan fallback;
- * the speedup an index can deliver is capped at 1/fallback_fraction,
- * so the mix is reported alongside the numbers. Emits
- * BENCH_index.json and exits nonzero when any decision diverges or
- * the 5x speedup floor at 10k records is violated, so it can run as
- * a (non-gating) CI smoke job.
+ * Builds synthetic populations of 1k / 10k / 100k fingerprints (1M
+ * with --full), queries each through the indexed FingerprintStore
+ * and through the linear reference scan, verifies the accept/reject
+ * decisions (and matched records) are identical, and times both
+ * paths. The query mix is mostly outputs of known chips
+ * (error-string supersets of a database fingerprint) with a fraction
+ * of unknown chips, which exercises both the shortlist hit path and
+ * the full-scan fallback; the speedup an index can deliver is capped
+ * at 1/fallback_fraction, so the mix is reported per phase alongside
+ * the numbers.
+ *
+ * Enforced gates (exit nonzero):
+ *   - zero accept/reject divergences from the linear Algorithm 2,
+ *     for the in-memory index and the mmap-ed v3 database alike;
+ *   - the 5x indexed-query speedup floor at 10k records;
+ *   - the mean candidates-scanned ceiling at every population — the
+ *     knob that makes "candidate sets stop scaling with population"
+ *     falsifiable rather than aspirational;
+ *   - MappedStore::open of the largest population under 100 ms;
+ *   - with >= 8 worker threads, parallel build at least 4x faster
+ *     than the serial-build estimate (skipped on smaller machines).
+ *
+ * Emits BENCH_index.json. The 100k run doubles as the CI perf-smoke
+ * job; --full is the scheduled nightly configuration.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/identify.hh"
+#include "core/mapped_store.hh"
+#include "core/serialize.hh"
 #include "core/store.hh"
 #include "util/bitvec.hh"
 #include "util/rng.hh"
@@ -39,6 +54,21 @@ constexpr std::size_t noiseBits = 64; //!< extra error-string bits
 constexpr unsigned knownPerUnknown = 15; //!< 15:1 known:unknown mix
 constexpr double speedupFloor = 5.0;
 constexpr std::size_t floorPopulation = 10000;
+
+/** Mean shortlist size must stay under this at every population —
+ *  candidate sets may not scale with the database. */
+constexpr double candidatesCeiling = 256.0;
+
+/** Parallel build must beat the serial estimate by this factor when
+ *  at least minBuildThreads workers are available. */
+constexpr double buildSpeedupFloor = 4.0;
+constexpr std::size_t minBuildThreads = 8;
+
+/** MappedStore::open budget for the largest population. */
+constexpr double mmapOpenBudgetMs = 100.0;
+
+/** Serial-build sample size the estimate is extrapolated from. */
+constexpr std::size_t serialSample = 10000;
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -70,34 +100,69 @@ struct PopulationResult
     std::size_t records = 0;
     std::size_t queries = 0;
     std::size_t known = 0;
+    std::size_t buildThreads = 1;
     double buildSeconds = 0.0;
+    double serialBuildEstimate = 0.0;
     double linearSeconds = 0.0;
     double indexedSeconds = 0.0;
     double batchSeconds = 0.0;
     double meanCandidates = 0.0;
-    double fallbackFraction = 0.0;
+    double indexedFallbackFraction = 0.0;
+    double batchFallbackFraction = 0.0;
     std::size_t divergences = 0;
     std::size_t wrongMatches = 0;
 
+    // mmap phase (largest population only; 0 = not measured)
+    double saveSeconds = 0.0;
+    double mmapOpenSeconds = 0.0;
+    double mappedSeconds = 0.0;
+    std::size_t mappedDivergences = 0;
+    bool mmapMeasured = false;
+
+    double buildSpeedup() const
+    {
+        return serialBuildEstimate / buildSeconds;
+    }
     double speedup() const { return linearSeconds / indexedSeconds; }
     double batchSpeedup() const { return linearSeconds / batchSeconds; }
 };
 
 PopulationResult
-runPopulation(std::size_t num_records, std::size_t num_queries)
+runPopulation(std::size_t num_records, std::size_t num_queries,
+              bool mmap_phase)
 {
     Rng rng(mix64(0x70657266696478ull, num_records));
+    ThreadPool &pool = ThreadPool::global();
     PopulationResult res;
     res.records = num_records;
     res.queries = num_queries;
+    res.buildThreads = pool.size();
 
-    // --- Build the indexed store ----------------------------------
-    const auto build_start = std::chrono::steady_clock::now();
-    FingerprintStore store;
+    // --- Build: parallel sharded, timed against a serial sample ---
+    std::vector<ChipLabel> labels(num_records);
+    std::vector<Fingerprint> fps;
+    fps.reserve(num_records);
     for (std::size_t i = 0; i < num_records; ++i) {
-        store.add("chip-" + std::to_string(i),
-                  Fingerprint(randomPattern(rng, fingerprintWeight), 3));
+        labels[i] = "chip-" + std::to_string(i);
+        fps.emplace_back(randomPattern(rng, fingerprintWeight), 3u);
     }
+
+    const std::size_t sample =
+        num_records < serialSample ? num_records : serialSample;
+    {
+        FingerprintStore probe;
+        const auto serial_start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < sample; ++i)
+            probe.add(labels[i], fps[i]);
+        res.serialBuildEstimate = secondsSince(serial_start) *
+                                  static_cast<double>(num_records) /
+                                  static_cast<double>(sample);
+    }
+
+    FingerprintStore store;
+    store.setThreadPool(&pool);
+    const auto build_start = std::chrono::steady_clock::now();
+    store.addBatch(std::move(labels), std::move(fps));
     res.buildSeconds = secondsSince(build_start);
 
     // --- Query mix ------------------------------------------------
@@ -123,27 +188,36 @@ runPopulation(std::size_t num_records, std::size_t num_queries)
         linear[q] = store.queryLinear(queries[q].errorString, prm);
     res.linearSeconds = secondsSince(lin_start) / num_queries;
 
-    // --- Indexed (serial, no pool: fallback stays serial) ---------
-    AttackStats stats;
+    // --- Indexed (serial loop; per-phase counters) ----------------
+    store.setThreadPool(nullptr); // keep the fallback scan serial
+    AttackStats indexed_stats;
     std::vector<IdentifyResult> indexed(num_queries);
     const auto idx_start = std::chrono::steady_clock::now();
-    for (std::size_t q = 0; q < num_queries; ++q)
-        indexed[q] = store.query(queries[q].errorString, prm, &stats);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+        indexed[q] =
+            store.query(queries[q].errorString, prm, &indexed_stats);
+    }
     res.indexedSeconds = secondsSince(idx_start) / num_queries;
-    res.meanCandidates = static_cast<double>(stats.candidatesScanned) /
-                         num_queries;
-    res.fallbackFraction = static_cast<double>(stats.indexFallbacks) /
-                           num_queries;
+    res.meanCandidates =
+        static_cast<double>(indexed_stats.candidatesScanned) /
+        num_queries;
+    res.indexedFallbackFraction =
+        static_cast<double>(indexed_stats.indexFallbacks) /
+        num_queries;
 
-    // --- Batch over the process pool ------------------------------
+    // --- Batch over the pool (its own counters, not cumulative) ---
+    store.setThreadPool(&pool);
     std::vector<BitVec> error_strings;
     error_strings.reserve(num_queries);
     for (const Query &q : queries)
         error_strings.push_back(q.errorString);
+    AttackStats batch_stats;
     std::vector<IdentifyResult> batched;
     const auto batch_start = std::chrono::steady_clock::now();
-    batched = store.queryBatch(error_strings, prm);
+    batched = store.queryBatch(error_strings, prm, &batch_stats);
     res.batchSeconds = secondsSince(batch_start) / num_queries;
+    res.batchFallbackFraction =
+        static_cast<double>(batch_stats.indexFallbacks) / num_queries;
 
     // --- Equivalence ----------------------------------------------
     // Accept/reject and matched record must agree with the linear
@@ -158,31 +232,87 @@ runPopulation(std::size_t num_records, std::size_t num_queries)
         if (queries[q].truth != linear[q].match)
             ++res.wrongMatches; // reference itself must be right
     }
+
+    // --- v3 save / mmap open / mapped queries ---------------------
+    if (mmap_phase) {
+        res.mmapMeasured = true;
+        const std::string path = "perf_index_store.pcdb";
+        const auto save_start = std::chrono::steady_clock::now();
+        if (!saveStore(store, path)) {
+            std::printf("FAIL: could not write %s\n", path.c_str());
+            ++res.mappedDivergences;
+            return res;
+        }
+        res.saveSeconds = secondsSince(save_start);
+
+        const auto open_start = std::chrono::steady_clock::now();
+        const LoadResult<MappedStore> mapped = MappedStore::open(path);
+        res.mmapOpenSeconds = secondsSince(open_start);
+        if (!mapped) {
+            std::printf("FAIL: MappedStore::open: %s\n",
+                        mapped.error.c_str());
+            ++res.mappedDivergences;
+            std::remove(path.c_str());
+            return res;
+        }
+
+        const auto mapped_start = std::chrono::steady_clock::now();
+        for (std::size_t q = 0; q < num_queries; ++q) {
+            const IdentifyResult r =
+                mapped->query(queries[q].errorString, prm);
+            if (r.match != linear[q].match)
+                ++res.mappedDivergences;
+        }
+        res.mappedSeconds =
+            secondsSince(mapped_start) / num_queries;
+        std::remove(path.c_str());
+    }
     return res;
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<std::pair<std::size_t, std::size_t>> plans = {
+    bool full = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            full = true;
+    }
+
+    std::vector<std::pair<std::size_t, std::size_t>> plans = {
         {1000, 256}, {10000, 128}, {100000, 32}};
+    if (full)
+        plans.emplace_back(1000000, 32);
 
     bool ok = true;
     std::vector<PopulationResult> results;
-    for (const auto &[records, queries] : plans) {
-        PopulationResult r = runPopulation(records, queries);
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+        const auto &[records, queries] = plans[p];
+        PopulationResult r =
+            runPopulation(records, queries, p + 1 == plans.size());
         results.push_back(r);
-        std::printf("%7zu records: build %7.1f ms, linear %9.3f ms/q, "
-                    "indexed %9.3f ms/q (%5.1fx), batch %9.3f ms/q "
-                    "(%5.1fx), %5.1f cand/q, fallback %4.2f, "
-                    "divergences %zu\n",
-                    r.records, r.buildSeconds * 1e3,
-                    r.linearSeconds * 1e3, r.indexedSeconds * 1e3,
-                    r.speedup(), r.batchSeconds * 1e3,
-                    r.batchSpeedup(), r.meanCandidates,
-                    r.fallbackFraction, r.divergences);
+        std::printf(
+            "%7zu records: build %8.1f ms (est serial %8.1f ms, "
+            "%zu thr), linear %9.3f ms/q, indexed %9.3f ms/q "
+            "(%6.1fx), batch %9.3f ms/q (%6.1fx), %5.1f cand/q, "
+            "fallback %4.2f/%4.2f, divergences %zu\n",
+            r.records, r.buildSeconds * 1e3,
+            r.serialBuildEstimate * 1e3, r.buildThreads,
+            r.linearSeconds * 1e3, r.indexedSeconds * 1e3,
+            r.speedup(), r.batchSeconds * 1e3, r.batchSpeedup(),
+            r.meanCandidates, r.indexedFallbackFraction,
+            r.batchFallbackFraction, r.divergences);
+        if (r.mmapMeasured) {
+            std::printf(
+                "%7zu records: v3 save %8.1f ms, mmap open %6.2f ms, "
+                "mapped %9.3f ms/q, mapped divergences %zu\n",
+                r.records, r.saveSeconds * 1e3,
+                r.mmapOpenSeconds * 1e3, r.mappedSeconds * 1e3,
+                r.mappedDivergences);
+        }
+
         if (r.divergences > 0) {
             std::printf("FAIL: %zu accept/reject divergences at %zu "
                         "records\n", r.divergences, r.records);
@@ -200,6 +330,35 @@ main()
                         speedupFloor);
             ok = false;
         }
+        if (r.meanCandidates > candidatesCeiling) {
+            std::printf("FAIL: %.1f mean candidates at %zu records "
+                        "above the %.0f ceiling\n", r.meanCandidates,
+                        r.records, candidatesCeiling);
+            ok = false;
+        }
+        if (r.buildThreads >= minBuildThreads &&
+            r.buildSpeedup() < buildSpeedupFloor) {
+            std::printf("FAIL: parallel build %.1fx at %zu records "
+                        "below the %.0fx floor (%zu threads)\n",
+                        r.buildSpeedup(), r.records, buildSpeedupFloor,
+                        r.buildThreads);
+            ok = false;
+        }
+        if (r.mmapMeasured) {
+            if (r.mappedDivergences > 0) {
+                std::printf("FAIL: %zu mapped-query divergences at "
+                            "%zu records\n", r.mappedDivergences,
+                            r.records);
+                ok = false;
+            }
+            if (r.mmapOpenSeconds * 1e3 > mmapOpenBudgetMs) {
+                std::printf("FAIL: mmap open %.1f ms at %zu records "
+                            "above the %.0f ms budget\n",
+                            r.mmapOpenSeconds * 1e3, r.records,
+                            mmapOpenBudgetMs);
+                ok = false;
+            }
+        }
     }
 
     const MinHashParams prm;
@@ -210,9 +369,14 @@ main()
          << "  \"noise_bits\": " << noiseBits << ",\n"
          << "  \"minhash_hashes\": " << prm.numHashes << ",\n"
          << "  \"minhash_bands\": " << prm.bands << ",\n"
+         << "  \"minhash_probes\": " << prm.probes << ",\n"
          << "  \"threads\": " << ThreadPool::global().size() << ",\n"
+         << "  \"full\": " << (full ? "true" : "false") << ",\n"
          << "  \"speedup_floor\": " << speedupFloor << ",\n"
          << "  \"floor_population\": " << floorPopulation << ",\n"
+         << "  \"candidates_ceiling\": " << candidatesCeiling << ",\n"
+         << "  \"build_speedup_floor\": " << buildSpeedupFloor << ",\n"
+         << "  \"mmap_open_budget_ms\": " << mmapOpenBudgetMs << ",\n"
          << "  \"populations\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const PopulationResult &r = results[i];
@@ -220,15 +384,30 @@ main()
              << ", \"queries\": " << r.queries
              << ", \"known\": " << r.known
              << ", \"build_ms\": " << r.buildSeconds * 1e3
+             << ", \"serial_build_est_ms\": "
+             << r.serialBuildEstimate * 1e3
+             << ", \"build_threads\": " << r.buildThreads
+             << ", \"build_speedup\": " << r.buildSpeedup()
              << ", \"linear_ms_per_query\": " << r.linearSeconds * 1e3
              << ", \"indexed_ms_per_query\": " << r.indexedSeconds * 1e3
              << ", \"batch_ms_per_query\": " << r.batchSeconds * 1e3
              << ", \"speedup\": " << r.speedup()
              << ", \"batch_speedup\": " << r.batchSpeedup()
              << ", \"mean_candidates\": " << r.meanCandidates
-             << ", \"fallback_fraction\": " << r.fallbackFraction
-             << ", \"divergences\": " << r.divergences << "}"
-             << (i + 1 < results.size() ? "," : "") << "\n";
+             << ", \"fallback_fraction\": "
+             << r.indexedFallbackFraction
+             << ", \"batch_fallback_fraction\": "
+             << r.batchFallbackFraction
+             << ", \"divergences\": " << r.divergences;
+        if (r.mmapMeasured) {
+            json << ", \"v3_save_ms\": " << r.saveSeconds * 1e3
+                 << ", \"mmap_open_ms\": " << r.mmapOpenSeconds * 1e3
+                 << ", \"mapped_ms_per_query\": "
+                 << r.mappedSeconds * 1e3
+                 << ", \"mapped_divergences\": "
+                 << r.mappedDivergences;
+        }
+        json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
          << "  \"pass\": " << (ok ? "true" : "false") << "\n"

@@ -5,6 +5,38 @@
 namespace pcause
 {
 
+namespace
+{
+
+/**
+ * Largest integer miss count still within @p bound for a
+ * fingerprint of @p fp_weight bits, computed so that
+ * (d <= limit) <=> (double(d) / fp_weight <= bound) under the exact
+ * floating-point division the unbounded metric performs. The nudge
+ * loops correct any rounding in the double-precision product (each
+ * runs at most a step or two). Shared by the dense and sparse
+ * bounded kernels so their early-exit decisions cannot diverge.
+ */
+std::size_t
+boundedCountLimit(double bound, std::size_t fp_weight)
+{
+    const double scaled = bound * static_cast<double>(fp_weight);
+    std::size_t limit =
+        scaled >= static_cast<double>(fp_weight)
+            ? fp_weight
+            : (scaled <= 0.0 ? 0
+                             : static_cast<std::size_t>(scaled));
+    while (limit < fp_weight &&
+           static_cast<double>(limit + 1) / fp_weight <= bound)
+        ++limit;
+    while (limit > 0 &&
+           static_cast<double>(limit) / fp_weight > bound)
+        --limit;
+    return limit;
+}
+
+} // anonymous namespace
+
 double
 modifiedJaccard(const BitVec &error_string, const BitVec &fingerprint)
 {
@@ -54,28 +86,69 @@ modifiedJaccardBounded(const BitVec &error_string,
     const BitVec &es = (wf <= we) ? error_string : fingerprint;
     const std::size_t fp_weight = (wf <= we) ? wf : we;
 
-    // Largest integer count still within the bound, computed so
-    // that (d <= limit) <=> (double(d) / fp_weight <= bound) under
-    // the exact same floating-point division the unbounded metric
-    // performs. The nudge loops correct any rounding in the
-    // double-precision product (each runs at most a step or two).
-    const double scaled = bound * static_cast<double>(fp_weight);
-    std::size_t limit =
-        scaled >= static_cast<double>(fp_weight)
-            ? fp_weight
-            : (scaled <= 0.0 ? 0
-                             : static_cast<std::size_t>(scaled));
-    while (limit < fp_weight &&
-           static_cast<double>(limit + 1) / fp_weight <= bound)
-        ++limit;
-    while (limit > 0 &&
-           static_cast<double>(limit) / fp_weight > bound)
-        --limit;
-
+    const std::size_t limit = boundedCountLimit(bound, fp_weight);
     const std::size_t d = fp.andNotCountBounded(es, limit);
     if (d > limit && pruned)
         *pruned = true;
     return static_cast<double>(d) / fp_weight;
+}
+
+double
+modifiedJaccardSparseBounded(const BitVec &error_string,
+                             std::size_t es_weight,
+                             const SparseView &fingerprint,
+                             double bound, bool *pruned)
+{
+    PC_ASSERT(error_string.size() == fingerprint.universe,
+              "distance: size mismatch");
+    if (pruned)
+        *pruned = false;
+
+    const std::size_t we = es_weight;
+    const std::size_t wf = fingerprint.count;
+    if (we == 0 && wf == 0)
+        return 0.0;
+    if (we == 0 || wf == 0)
+        return 1.0;
+
+    const std::uint32_t *pos = fingerprint.positions;
+
+    if (wf <= we) {
+        // Footnote-2 roles unchanged: the sparse operand is the
+        // fingerprint, d = |fp \ es| counted position by position
+        // with the same early-exit limit as the dense kernel.
+        const std::size_t limit = boundedCountLimit(bound, wf);
+        std::size_t d = 0;
+        for (std::size_t i = 0; i < wf; ++i) {
+            if (!error_string.get(pos[i])) {
+                if (++d > limit)
+                    break;
+            }
+        }
+        if (d > limit && pruned)
+            *pruned = true;
+        return static_cast<double>(d) / wf;
+    }
+
+    // Swapped roles: the error string plays the fingerprint,
+    // d = |es \ fp| = we - |es ∩ fp|. The intersection only ever
+    // grows, so we - seen_intersection - remaining_positions is a
+    // monotone lower bound on d; exit as soon as it clears the
+    // limit.
+    const std::size_t limit = boundedCountLimit(bound, we);
+    std::size_t inter = 0;
+    for (std::size_t i = 0; i < wf; ++i) {
+        inter += error_string.get(pos[i]);
+        const std::size_t remaining = wf - 1 - i;
+        // Compare d >= (we - inter) - remaining against the limit
+        // without risking size_t underflow in the subtraction.
+        if (we - inter > limit + remaining) {
+            if (pruned)
+                *pruned = true;
+            return static_cast<double>(we - inter - remaining) / we;
+        }
+    }
+    return static_cast<double>(we - inter) / we;
 }
 
 double

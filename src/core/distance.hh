@@ -60,6 +60,33 @@ double modifiedJaccardBounded(const BitVec &error_string,
 double modifiedJaccard(const SparseBitset &error_string,
                        const SparseBitset &fingerprint);
 
+/**
+ * Bounded Algorithm 3 with a sparse fingerprint against a dense
+ * error string — the kernel behind the FingerprintStore's position
+ * arena and mmap-ed v3 databases, where fingerprints are ~256
+ * positions out of 8192 bits and materializing a dense BitVec per
+ * record would waste ~30x the memory traffic.
+ *
+ * Semantics are bit-identical to modifiedJaccardBounded() on
+ * (error_string, dense(fingerprint)): the same footnote-2 swap rule
+ * (the lower-weight operand plays the fingerprint role), the same
+ * integer early-exit limit, and the same final double division, so
+ * verdicts and reported distances cannot drift between the dense
+ * and sparse paths. When the scan exits early the returned value is
+ * a lower bound > @p bound (its exact magnitude may differ from the
+ * dense kernel's partial count, which is word-granular — both are
+ * pruned values that no caller compares beyond "> bound").
+ *
+ * @p es_weight must equal error_string.popcount() (passed in so
+ * batch scans hash it once per query, not once per record), and
+ * @p fingerprint.universe must equal error_string.size().
+ */
+double modifiedJaccardSparseBounded(const BitVec &error_string,
+                                    std::size_t es_weight,
+                                    const SparseView &fingerprint,
+                                    double bound,
+                                    bool *pruned = nullptr);
+
 /** Classic Jaccard distance 1 - |A∩B| / |A∪B| (ablation baseline). */
 double jaccardDistance(const BitVec &a, const BitVec &b);
 

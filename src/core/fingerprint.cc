@@ -1,5 +1,7 @@
 #include "core/fingerprint.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace pcause
@@ -30,6 +32,60 @@ Fingerprint::augment(const BitVec &error_string)
         pattern &= error_string;
     }
     ++numSources;
+}
+
+SparseView
+SparseFingerprintArena::view(std::size_t i) const
+{
+    PC_ASSERT(i < universes.size(),
+              "SparseFingerprintArena index out of range");
+    SparseView v;
+    v.positions = arena.data() + offsets[i];
+    v.count = static_cast<std::size_t>(offsets[i + 1] - offsets[i]);
+    v.universe = universes[i];
+    return v;
+}
+
+void
+SparseFingerprintArena::add(const BitVec &pattern)
+{
+    const auto &words = pattern.words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w) {
+            const auto bit = static_cast<std::uint32_t>(
+                std::countr_zero(w));
+            arena.push_back(static_cast<std::uint32_t>(
+                wi * BitVec::wordBits + bit));
+            w &= w - 1;
+        }
+    }
+    offsets.push_back(arena.size());
+    universes.push_back(pattern.size());
+}
+
+void
+SparseFingerprintArena::addPositions(const std::uint32_t *positions,
+                                     std::size_t position_count,
+                                     std::uint64_t universe_bits)
+{
+    for (std::size_t p = 0; p < position_count; ++p) {
+        PC_ASSERT(positions[p] < universe_bits &&
+                      (p == 0 || positions[p - 1] < positions[p]),
+                  "addPositions: positions must be ascending and in "
+                  "universe");
+        arena.push_back(positions[p]);
+    }
+    offsets.push_back(arena.size());
+    universes.push_back(universe_bits);
+}
+
+void
+SparseFingerprintArena::clear()
+{
+    arena.clear();
+    offsets.assign(1, 0);
+    universes.clear();
 }
 
 } // namespace pcause

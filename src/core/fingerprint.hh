@@ -14,8 +14,10 @@
 #define PCAUSE_CORE_FINGERPRINT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "util/bitvec.hh"
+#include "util/sparse_bitset.hh"
 
 namespace pcause
 {
@@ -60,6 +62,66 @@ class Fingerprint
   private:
     BitVec pattern;
     unsigned numSources = 0;
+};
+
+/**
+ * Read-only view of a collection of sparse fingerprints, indexed by
+ * record id. Abstracts over where the position lists live — the
+ * FingerprintStore's in-memory arena or an mmap-ed v3 database file
+ * — so the sparse identification scans in core/identify run
+ * unchanged against both.
+ */
+class SparseFingerprintSource
+{
+  public:
+    virtual ~SparseFingerprintSource() = default;
+
+    /** Number of fingerprints. */
+    virtual std::size_t count() const = 0;
+
+    /** Sorted position list of fingerprint @p i. */
+    virtual SparseView view(std::size_t i) const = 0;
+};
+
+/**
+ * Contiguous sparse-fingerprint storage: all position lists live in
+ * one arena with per-record offsets, so a million fingerprints cost
+ * two flat allocations (~4 bytes per volatile cell) instead of a
+ * dense BitVec apiece — the in-memory mirror of the v3 on-disk
+ * position arena.
+ */
+class SparseFingerprintArena : public SparseFingerprintSource
+{
+  public:
+    std::size_t count() const override { return universes.size(); }
+
+    SparseView view(std::size_t i) const override;
+
+    /** Append @p pattern's set bits as the next record. */
+    void add(const BitVec &pattern);
+
+    /**
+     * Append an already-sorted position list (ascending, unique,
+     * each < @p universe_bits) as the next record.
+     */
+    void addPositions(const std::uint32_t *positions,
+                      std::size_t position_count,
+                      std::uint64_t universe_bits);
+
+    /** Total positions stored across all records. */
+    std::size_t totalPositions() const { return arena.size(); }
+
+    /** Flat position arena (record @p i occupies
+     *  [offsets[i], offsets[i+1])) — written verbatim to v3 files. */
+    const std::vector<std::uint32_t> &positions() const { return arena; }
+
+    /** Drop all records. */
+    void clear();
+
+  private:
+    std::vector<std::uint32_t> arena;
+    std::vector<std::uint64_t> offsets{0};
+    std::vector<std::uint64_t> universes;
 };
 
 } // namespace pcause

@@ -95,24 +95,26 @@ boundedDistance(const IdentifyParams &params, const BitVec &es,
 }
 
 /**
- * Scan db records [begin, end) exactly as serial identify() visits
- * them, but through the bounded kernel. The bound is
- * max(threshold, running best distance): any distance the serial
- * code would compare against the threshold or use to update the
- * running minimum is therefore computed exactly, and a pruned
- * evaluation returns a lower bound already above both, so verdicts
- * and reported distances match the unbounded scan bit for bit.
+ * Scan records [begin, end) exactly as serial identify() visits
+ * them, but through a bounded kernel @p distAt(i, bound, &pruned).
+ * The bound is max(threshold, running best distance): any distance
+ * the serial code would compare against the threshold or use to
+ * update the running minimum is therefore computed exactly, and a
+ * pruned evaluation returns a lower bound already above both, so
+ * verdicts and reported distances match the unbounded scan bit for
+ * bit — for every kernel (dense or sparse) honoring that contract.
  *
  * @p earliest_match, when non-null (first-match mode, sharded
  * scan), carries the lowest match index found by any shard; shards
  * whose remaining records all sit above it stop scanning, and a
  * shard finding a match publishes it.
  */
+template <typename DistAt>
 ScanOutcome
-scanShard(const BitVec &es, const FingerprintDb &db,
-          std::size_t begin, std::size_t end,
-          const IdentifyParams &params,
-          std::atomic<std::size_t> *earliest_match)
+scanRangeT(std::size_t begin, std::size_t end,
+           const IdentifyParams &params,
+           std::atomic<std::size_t> *earliest_match,
+           const DistAt &distAt)
 {
     ScanOutcome out;
     for (std::size_t i = begin; i < end; ++i) {
@@ -123,9 +125,7 @@ scanShard(const BitVec &es, const FingerprintDb &db,
             std::max(params.threshold,
                      out.nearest ? out.nearestDist : 1.0);
         bool pruned = false;
-        const double d = boundedDistance(
-            params, es, db.record(i).fingerprint.bits(), bound,
-            &pruned);
+        const double d = distAt(i, bound, &pruned);
         ++(pruned ? out.pruned : out.computed);
         if (!out.nearest || d < out.nearestDist) {
             out.nearest = i;
@@ -154,15 +154,15 @@ scanShard(const BitVec &es, const FingerprintDb &db,
 }
 
 /**
- * scanShard() over an explicit index list instead of a contiguous
+ * scanRangeT() over an explicit index list instead of a contiguous
  * range: visits @p candidates in order through the bounded kernel
  * with the same bound policy, so verdicts match a serial scan of a
  * database containing exactly those records in that order.
  */
+template <typename DistAt>
 ScanOutcome
-scanList(const BitVec &es, const FingerprintDb &db,
-         const std::vector<std::size_t> &candidates,
-         const IdentifyParams &params)
+scanIndicesT(const std::vector<std::size_t> &candidates,
+             const IdentifyParams &params, const DistAt &distAt)
 {
     ScanOutcome out;
     for (const std::size_t i : candidates) {
@@ -170,9 +170,7 @@ scanList(const BitVec &es, const FingerprintDb &db,
             std::max(params.threshold,
                      out.nearest ? out.nearestDist : 1.0);
         bool pruned = false;
-        const double d = boundedDistance(
-            params, es, db.record(i).fingerprint.bits(), bound,
-            &pruned);
+        const double d = distAt(i, bound, &pruned);
         ++(pruned ? out.pruned : out.computed);
         if (!out.nearest || d < out.nearestDist) {
             out.nearest = i;
@@ -189,6 +187,48 @@ scanList(const BitVec &es, const FingerprintDb &db,
         }
     }
     return out;
+}
+
+/** Dense bounded kernel bound to a FingerprintDb record. */
+struct DenseDistAt
+{
+    const BitVec &es;
+    const FingerprintDb &db;
+    const IdentifyParams &params;
+
+    double operator()(std::size_t i, double bound,
+                      bool *pruned) const
+    {
+        return boundedDistance(params, es,
+                               db.record(i).fingerprint.bits(),
+                               bound, pruned);
+    }
+};
+
+/** Sparse Algorithm 3 kernel bound to a position-arena record. */
+struct SparseDistAt
+{
+    const BitVec &es;
+    std::size_t esWeight;
+    const SparseFingerprintSource &fps;
+
+    double operator()(std::size_t i, double bound,
+                      bool *pruned) const
+    {
+        return modifiedJaccardSparseBounded(es, esWeight,
+                                            fps.view(i), bound,
+                                            pruned);
+    }
+};
+
+ScanOutcome
+scanShard(const BitVec &es, const FingerprintDb &db,
+          std::size_t begin, std::size_t end,
+          const IdentifyParams &params,
+          std::atomic<std::size_t> *earliest_match)
+{
+    return scanRangeT(begin, end, params, earliest_match,
+                      DenseDistAt{es, db, params});
 }
 
 /** Convert a whole-range ScanOutcome to the Algorithm 2 result. */
@@ -218,6 +258,70 @@ mergeScanCounters(AttackStats *stats, const ScanOutcome &out)
         stats->distancesComputed += out.computed;
         stats->distancesPruned += out.pruned;
     }
+}
+
+/**
+ * Sharded full scan over records [0, n) with any bounded kernel:
+ * the parallel core of identifyErrorStringParallel() /
+ * identifySparseParallel(). Performs no timing of its own — public
+ * entry points stamp wall time exactly once.
+ */
+template <typename DistAt>
+IdentifyResult
+parallelScanT(std::size_t n, const IdentifyParams &params,
+              ThreadPool &pool, AttackStats *stats,
+              const DistAt &distAt)
+{
+    // Sharding overhead beats the scan itself on tiny databases.
+    if (pool.size() == 1 || n < 2 * pool.size()) {
+        const ScanOutcome out =
+            scanRangeT(0, n, params, nullptr, distAt);
+        mergeScanCounters(stats, out);
+        return outcomeToResult(out, params);
+    }
+
+    std::vector<ScanOutcome> shards(pool.size());
+    std::atomic<std::size_t> earliest(
+        std::numeric_limits<std::size_t>::max());
+    pool.parallelChunks(
+        0, n,
+        [&](std::size_t b, std::size_t e, std::size_t c) {
+            shards[c] = scanRangeT(b, e, params,
+                                   params.firstMatch ? &earliest
+                                                     : nullptr,
+                                   distAt);
+        });
+
+    for (const auto &s : shards)
+        mergeScanCounters(stats, s);
+
+    if (params.firstMatch) {
+        // Shards cover ascending index ranges; records below the
+        // first shard-local match were all scanned and missed, so
+        // the lowest shard's match is exactly serial line 4's hit.
+        for (const auto &s : shards) {
+            if (s.match) {
+                IdentifyResult res;
+                res.match = s.match;
+                res.nearest = s.match;
+                res.bestDistance = s.matchDist;
+                return res;
+            }
+        }
+    }
+
+    // Merge shard minima in ascending order with a strict compare,
+    // reproducing the serial "first record achieving the minimum".
+    ScanOutcome merged;
+    for (const auto &s : shards) {
+        if (s.nearest &&
+            (!merged.nearest || s.nearestDist < merged.nearestDist)) {
+            merged.nearest = s.nearest;
+            merged.nearestDist = s.nearestDist;
+        }
+        merged.anyUnderThreshold |= s.anyUnderThreshold;
+    }
+    return outcomeToResult(merged, params);
 }
 
 } // anonymous namespace
@@ -301,10 +405,56 @@ identifyAmong(const BitVec &error_string, const FingerprintDb &db,
               const std::vector<std::size_t> &candidates,
               const IdentifyParams &params, AttackStats *stats)
 {
-    const ScanOutcome out =
-        scanList(error_string, db, candidates, params);
+    const ScanOutcome out = scanIndicesT(
+        candidates, params, DenseDistAt{error_string, db, params});
     mergeScanCounters(stats, out);
     return outcomeToResult(out, params);
+}
+
+IdentifyResult
+identifySparseAmong(const BitVec &error_string, std::size_t es_weight,
+                    const SparseFingerprintSource &fps,
+                    const std::vector<std::size_t> &candidates,
+                    const IdentifyParams &params, AttackStats *stats)
+{
+    PC_ASSERT(params.metric == DistanceMetric::ModifiedJaccard,
+              "identifySparseAmong: sparse kernel is ModifiedJaccard "
+              "only");
+    const ScanOutcome out = scanIndicesT(
+        candidates, params,
+        SparseDistAt{error_string, es_weight, fps});
+    mergeScanCounters(stats, out);
+    return outcomeToResult(out, params);
+}
+
+IdentifyResult
+identifySparseBounded(const BitVec &error_string,
+                      std::size_t es_weight,
+                      const SparseFingerprintSource &fps,
+                      const IdentifyParams &params, AttackStats *stats)
+{
+    PC_ASSERT(params.metric == DistanceMetric::ModifiedJaccard,
+              "identifySparseBounded: sparse kernel is "
+              "ModifiedJaccard only");
+    const ScanOutcome out =
+        scanRangeT(0, fps.count(), params, nullptr,
+                   SparseDistAt{error_string, es_weight, fps});
+    mergeScanCounters(stats, out);
+    return outcomeToResult(out, params);
+}
+
+IdentifyResult
+identifySparseParallel(const BitVec &error_string,
+                       std::size_t es_weight,
+                       const SparseFingerprintSource &fps,
+                       const IdentifyParams &params, ThreadPool &pool,
+                       AttackStats *stats)
+{
+    PC_ASSERT(params.metric == DistanceMetric::ModifiedJaccard,
+              "identifySparseParallel: sparse kernel is "
+              "ModifiedJaccard only");
+    return parallelScanT(fps.count(), params, pool, stats,
+                         SparseDistAt{error_string, es_weight, fps});
 }
 
 IdentifyResult
@@ -326,57 +476,8 @@ identifyErrorStringParallel(const BitVec &error_string,
                             ThreadPool &pool, AttackStats *stats)
 {
     PhaseTimer timer(stats, &AttackStats::identifySeconds);
-    const std::size_t n = db.size();
-
-    // Sharding overhead beats the scan itself on tiny databases.
-    if (pool.size() == 1 || n < 2 * pool.size()) {
-        const ScanOutcome out =
-            scanShard(error_string, db, 0, n, params, nullptr);
-        mergeScanCounters(stats, out);
-        return outcomeToResult(out, params);
-    }
-
-    std::vector<ScanOutcome> shards(pool.size());
-    std::atomic<std::size_t> earliest(
-        std::numeric_limits<std::size_t>::max());
-    pool.parallelChunks(
-        0, n,
-        [&](std::size_t b, std::size_t e, std::size_t c) {
-            shards[c] = scanShard(error_string, db, b, e, params,
-                                  params.firstMatch ? &earliest
-                                                    : nullptr);
-        });
-
-    for (const auto &s : shards)
-        mergeScanCounters(stats, s);
-
-    if (params.firstMatch) {
-        // Shards cover ascending index ranges; records below the
-        // first shard-local match were all scanned and missed, so
-        // the lowest shard's match is exactly serial line 4's hit.
-        for (const auto &s : shards) {
-            if (s.match) {
-                IdentifyResult res;
-                res.match = s.match;
-                res.nearest = s.match;
-                res.bestDistance = s.matchDist;
-                return res;
-            }
-        }
-    }
-
-    // Merge shard minima in ascending order with a strict compare,
-    // reproducing the serial "first record achieving the minimum".
-    ScanOutcome merged;
-    for (const auto &s : shards) {
-        if (s.nearest &&
-            (!merged.nearest || s.nearestDist < merged.nearestDist)) {
-            merged.nearest = s.nearest;
-            merged.nearestDist = s.nearestDist;
-        }
-        merged.anyUnderThreshold |= s.anyUnderThreshold;
-    }
-    return outcomeToResult(merged, params);
+    return parallelScanT(db.size(), params, pool, stats,
+                         DenseDistAt{error_string, db, params});
 }
 
 std::vector<IdentifyResult>

@@ -176,6 +176,46 @@ identifyErrorStringBounded(const BitVec &error_string,
                            AttackStats *stats = nullptr);
 
 /**
+ * identifyAmong() against sparse fingerprints: the same shortlist
+ * scan through the sparse bounded Algorithm 3 kernel, which is
+ * bit-identical to the dense one (see modifiedJaccardSparseBounded),
+ * so verdicts cannot differ from the dense path. ModifiedJaccard
+ * metric only. @p es_weight must equal error_string.popcount() —
+ * callers hash it once per query. Performs no timing of its own;
+ * callers stamp wall time.
+ */
+IdentifyResult
+identifySparseAmong(const BitVec &error_string, std::size_t es_weight,
+                    const SparseFingerprintSource &fps,
+                    const std::vector<std::size_t> &candidates,
+                    const IdentifyParams &params = {},
+                    AttackStats *stats = nullptr);
+
+/**
+ * identifyErrorStringBounded() against sparse fingerprints
+ * (ModifiedJaccard only, untimed — see identifySparseAmong()).
+ */
+IdentifyResult
+identifySparseBounded(const BitVec &error_string,
+                      std::size_t es_weight,
+                      const SparseFingerprintSource &fps,
+                      const IdentifyParams &params = {},
+                      AttackStats *stats = nullptr);
+
+/**
+ * identifyErrorStringParallel() against sparse fingerprints
+ * (ModifiedJaccard only, untimed — see identifySparseAmong()):
+ * the database sharded across @p pool with the same
+ * earliest-match protocol, bit-identical to the serial sparse scan.
+ */
+IdentifyResult
+identifySparseParallel(const BitVec &error_string,
+                       std::size_t es_weight,
+                       const SparseFingerprintSource &fps,
+                       const IdentifyParams &params, ThreadPool &pool,
+                       AttackStats *stats = nullptr);
+
+/**
  * Batch identification of many error strings against one database.
  * Queries are independent, so they are spread across the pool
  * (falling back to a per-query database-sharded scan when there are

@@ -5,26 +5,45 @@
 
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
 
-MinHashSignature
-minhashSignature(const BitVec &bits, const MinHashParams &params)
+namespace
+{
+
+/** Per-permutation hash keys, derived once per call. */
+std::vector<std::uint64_t>
+permutationKeys(const MinHashParams &params)
+{
+    std::vector<std::uint64_t> keys(params.numHashes);
+    for (std::uint32_t j = 0; j < params.numHashes; ++j)
+        keys[j] = mix64(params.seed, j + 1);
+    return keys;
+}
+
+void
+checkParams(const MinHashParams &params, const char *who)
 {
     PC_ASSERT(params.numHashes > 0 && params.bands > 0 &&
                   params.numHashes % params.bands == 0,
-              "minhashSignature: bands must divide numHashes");
+              who);
+}
+
+} // anonymous namespace
+
+MinHashSignature
+minhashSignature(const BitVec &bits, const MinHashParams &params)
+{
+    checkParams(params, "minhashSignature: bands must divide numHashes");
 
     const std::uint32_t k = params.numHashes;
     MinHashSignature sig(k, ~std::uint32_t{0});
 
-    // Per-permutation keys, derived once per call: permutation j is
-    // pos -> mix64(key_j, pos), a counter-based hash evaluated only
-    // at the set positions.
-    std::vector<std::uint64_t> keys(k);
-    for (std::uint32_t j = 0; j < k; ++j)
-        keys[j] = mix64(params.seed, j + 1);
+    // Permutation j is pos -> mix64(key_j, pos), a counter-based
+    // hash evaluated only at the set positions.
+    const std::vector<std::uint64_t> keys = permutationKeys(params);
 
     const auto &words = bits.words();
     for (std::size_t wi = 0; wi < words.size(); ++wi) {
@@ -44,6 +63,48 @@ minhashSignature(const BitVec &bits, const MinHashParams &params)
     return sig;
 }
 
+MinHashSketch
+minhashSketch(const BitVec &bits, const MinHashParams &params)
+{
+    checkParams(params, "minhashSketch: bands must divide numHashes");
+
+    const std::uint32_t k = params.numHashes;
+    MinHashSketch sk;
+    sk.primary.assign(k, ~std::uint32_t{0});
+    sk.second.assign(k, ~std::uint32_t{0});
+
+    const std::vector<std::uint64_t> keys = permutationKeys(params);
+
+    const auto &words = bits.words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w) {
+            const auto bit =
+                static_cast<std::uint64_t>(std::countr_zero(w));
+            const std::uint64_t pos = wi * BitVec::wordBits + bit;
+            for (std::uint32_t j = 0; j < k; ++j) {
+                const auto h =
+                    static_cast<std::uint32_t>(mix64(keys[j], pos));
+                if (h < sk.primary[j]) {
+                    sk.second[j] = sk.primary[j];
+                    sk.primary[j] = h;
+                } else if (h < sk.second[j] && h != sk.primary[j]) {
+                    sk.second[j] = h;
+                }
+            }
+            w &= w - 1;
+        }
+    }
+    // Permutations that saw < 2 distinct values keep the sentinel
+    // in `second`; collapse it onto the minimum so substitution
+    // reproduces the primary key (which the probe loop then skips).
+    for (std::uint32_t j = 0; j < k; ++j) {
+        if (sk.second[j] == ~std::uint32_t{0})
+            sk.second[j] = sk.primary[j];
+    }
+    return sk;
+}
+
 double
 signatureSimilarity(const MinHashSignature &a, const MinHashSignature &b)
 {
@@ -55,26 +116,62 @@ signatureSimilarity(const MinHashSignature &a, const MinHashSignature &b)
     return static_cast<double>(agree) / static_cast<double>(a.size());
 }
 
-LshIndex::LshIndex(const MinHashParams &params)
-    : prm(params), bandBuckets(params.bands)
-{
-    PC_ASSERT(prm.numHashes > 0 && prm.bands > 0 &&
-                  prm.numHashes % prm.bands == 0,
-              "LshIndex: bands must divide numHashes");
-}
-
 std::uint64_t
-LshIndex::bandKey(const MinHashSignature &sig, std::uint32_t band) const
+lshBandKey(const MinHashParams &params, const MinHashSignature &sig,
+           std::uint32_t band)
 {
     // Fold the band's rows into one 64-bit key; the band index is
     // mixed in so identical row values in different bands do not
     // alias (each band has its own bucket map anyway, but distinct
     // keys keep the occupancy diagnostics honest).
-    const std::uint32_t r = prm.rows();
-    std::uint64_t key = mix64(prm.seed, 0x62616e64ull + band);
+    const std::uint32_t r = params.rows();
+    std::uint64_t key = mix64(params.seed, 0x62616e64ull + band);
     for (std::uint32_t j = 0; j < r; ++j)
         key = mix64(key, sig[band * r + j]);
     return key;
+}
+
+std::uint64_t
+lshBandKeySub(const MinHashParams &params, const MinHashSignature &sig,
+              std::uint32_t band, std::uint32_t sub_row,
+              std::uint32_t sub_val)
+{
+    const std::uint32_t r = params.rows();
+    std::uint64_t key = mix64(params.seed, 0x62616e64ull + band);
+    for (std::uint32_t j = 0; j < r; ++j) {
+        key = mix64(key, j == sub_row ? sub_val
+                                      : sig[band * r + j]);
+    }
+    return key;
+}
+
+std::vector<std::uint64_t>
+lshProbeKeys(const MinHashParams &params, const MinHashSketch &sketch,
+             std::uint32_t band)
+{
+    const std::uint32_t probes = params.effectiveProbes();
+    std::vector<std::uint64_t> keys;
+    keys.reserve(probes);
+    const std::uint64_t primary =
+        lshBandKey(params, sketch.primary, band);
+    keys.push_back(primary);
+    const std::uint32_t r = params.rows();
+    for (std::uint32_t row = 0;
+         row < r && keys.size() < probes; ++row) {
+        const std::uint32_t sub =
+            sketch.second[band * r + row];
+        if (sub == sketch.primary[band * r + row])
+            continue; // substitution reproduces the primary bucket
+        keys.push_back(
+            lshBandKeySub(params, sketch.primary, band, row, sub));
+    }
+    return keys;
+}
+
+LshIndex::LshIndex(const MinHashParams &params)
+    : prm(params), bandBuckets(params.bands)
+{
+    checkParams(prm, "LshIndex: bands must divide numHashes");
 }
 
 void
@@ -83,10 +180,38 @@ LshIndex::add(std::size_t record, const MinHashSignature &sig)
     PC_ASSERT(sig.size() == prm.numHashes,
               "LshIndex::add: signature length mismatch");
     for (std::uint32_t band = 0; band < prm.bands; ++band) {
-        bandBuckets[band][bandKey(sig, band)].push_back(
+        bandBuckets[band][lshBandKey(prm, sig, band)].push_back(
             static_cast<std::uint32_t>(record));
     }
     ++numRecords;
+}
+
+void
+LshIndex::addAll(std::size_t first_record,
+                 const std::vector<MinHashSignature> &sigs,
+                 ThreadPool *pool)
+{
+    // Bands shard naturally: each band's bucket map is touched by
+    // exactly one task, and within a band records are inserted in
+    // ascending id order — the same structure serial add() builds.
+    const auto insertBand = [&](std::size_t band) {
+        auto &buckets = bandBuckets[band];
+        for (std::size_t i = 0; i < sigs.size(); ++i) {
+            PC_ASSERT(sigs[i].size() == prm.numHashes,
+                      "LshIndex::addAll: signature length mismatch");
+            buckets[lshBandKey(prm, sigs[i],
+                               static_cast<std::uint32_t>(band))]
+                .push_back(static_cast<std::uint32_t>(
+                    first_record + i));
+        }
+    };
+    if (pool && pool->size() > 1) {
+        pool->parallelFor(0, prm.bands, insertBand);
+    } else {
+        for (std::size_t band = 0; band < prm.bands; ++band)
+            insertBand(band);
+    }
+    numRecords += sigs.size();
 }
 
 std::vector<std::size_t>
@@ -97,10 +222,32 @@ LshIndex::candidates(const MinHashSignature &sig) const
     std::vector<std::uint32_t> hits;
     for (std::uint32_t band = 0; band < prm.bands; ++band) {
         const auto &buckets = bandBuckets[band];
-        const auto it = buckets.find(bandKey(sig, band));
+        const auto it = buckets.find(lshBandKey(prm, sig, band));
         if (it != buckets.end())
             hits.insert(hits.end(), it->second.begin(),
                         it->second.end());
+    }
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    return std::vector<std::size_t>(hits.begin(), hits.end());
+}
+
+std::vector<std::size_t>
+LshIndex::candidates(const MinHashSketch &sketch) const
+{
+    PC_ASSERT(sketch.primary.size() == prm.numHashes &&
+                  sketch.second.size() == prm.numHashes,
+              "LshIndex::candidates: sketch length mismatch");
+    std::vector<std::uint32_t> hits;
+    for (std::uint32_t band = 0; band < prm.bands; ++band) {
+        const auto &buckets = bandBuckets[band];
+        for (const std::uint64_t key :
+             lshProbeKeys(prm, sketch, band)) {
+            const auto it = buckets.find(key);
+            if (it != buckets.end())
+                hits.insert(hits.end(), it->second.begin(),
+                            it->second.end());
+        }
     }
     std::sort(hits.begin(), hits.end());
     hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
@@ -125,6 +272,20 @@ LshIndex::occupancy() const
             occ.largestBucket = std::max(occ.largestBucket, ids.size());
     }
     return occ;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>>
+LshIndex::bandEntries(std::uint32_t band) const
+{
+    PC_ASSERT(band < prm.bands, "LshIndex::bandEntries: band range");
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+    entries.reserve(numRecords);
+    for (const auto &[key, ids] : bandBuckets[band]) {
+        for (const std::uint32_t id : ids)
+            entries.emplace_back(key, id);
+    }
+    std::sort(entries.begin(), entries.end());
+    return entries;
 }
 
 } // namespace pcause

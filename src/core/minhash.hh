@@ -17,6 +17,17 @@
  * arguments, so signatures are deterministic, independent of
  * insertion or evaluation order, and cheap to compute incrementally
  * as records are added.
+ *
+ * Candidate-set growth is kept sublinear in the population by two
+ * knobs working together: wide bands (4 rows per band, so a random
+ * record collides with a query in a band with probability s^4 ~
+ * 1e-7 at the between-class similarity of the bench populations)
+ * and query-directed multi-probe — besides each band's primary
+ * bucket, the query probes the buckets obtained by substituting one
+ * row's value with that permutation's *second* minimum, recovering
+ * near-misses where a noise bit of the query stole a single row.
+ * Stored records are indexed exactly once; all extra probing is on
+ * the query side, so the index itself does not grow.
  */
 
 #ifndef PCAUSE_CORE_MINHASH_HH
@@ -24,6 +35,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/bitvec.hh"
@@ -31,17 +43,21 @@
 namespace pcause
 {
 
+class ThreadPool;
+
 /**
  * Signature/banding tunables.
  *
  * Two signatures collide in a band when all rows of that band
  * agree, so the probability a record becomes a candidate at Jaccard
- * similarity s is 1 - (1 - s^rows)^bands. The defaults (64 hashes,
- * 32 bands of 2 rows) put the half-recall point near s = 0.18 —
- * deliberately low, because the attacker's query error string is a
- * noisy superset of the stored fingerprint and raw Jaccard
- * similarity shrinks as the approximation levels diverge. False
- * positives cost only a bounded exact-distance check apiece.
+ * similarity s is 1 - (1 - s^rows)^bands per probed bucket. The
+ * defaults (64 hashes, 16 bands of 4 rows, multi-probe) put the
+ * per-band primary collision probability at s = 0.8 (a noisy
+ * observation of a known chip) near 0.41 — a miss of all 16 bands
+ * is ~2e-4 before multi-probe even helps — while a random
+ * between-class pair (s ~ 0.016 for the bench populations) collides
+ * with probability ~6e-8 per probe, which is what keeps the
+ * candidate list from scaling with the population.
  */
 struct MinHashParams
 {
@@ -49,18 +65,34 @@ struct MinHashParams
     std::uint32_t numHashes = 64;
 
     /** Number of LSH bands; must divide numHashes. */
-    std::uint32_t bands = 32;
+    std::uint32_t bands = 16;
 
     /** Base seed the per-permutation hash keys are derived from. */
     std::uint64_t seed = 0x6d696e68617368ull; // "minhash"
 
+    /**
+     * Bucket lookups per band on the query side: the primary bucket
+     * plus up to (probes - 1) single-row second-minimum
+     * substitutions, clamped to 1 + rows(). 1 disables multi-probe.
+     * Query-time only — changing it never requires a reindex.
+     */
+    std::uint32_t probes = 8;
+
     /** Rows per band. */
     std::uint32_t rows() const { return numHashes / bands; }
+
+    /** Bucket lookups per band after clamping. */
+    std::uint32_t effectiveProbes() const
+    {
+        const std::uint32_t max_probes = 1 + rows();
+        const std::uint32_t p = probes == 0 ? 1 : probes;
+        return p < max_probes ? p : max_probes;
+    }
 
     bool operator==(const MinHashParams &o) const
     {
         return numHashes == o.numHashes && bands == o.bands &&
-               seed == o.seed;
+               seed == o.seed && probes == o.probes;
     }
     bool operator!=(const MinHashParams &o) const { return !(*this == o); }
 };
@@ -74,12 +106,30 @@ struct MinHashParams
 using MinHashSignature = std::vector<std::uint32_t>;
 
 /**
+ * Query-side sketch: the signature plus, per permutation, the
+ * second-smallest hash value — the substitution candidates
+ * multi-probe uses. Positions whose permutation saw fewer than two
+ * distinct values repeat the minimum (substituting it reproduces
+ * the primary bucket, which the probe loop skips).
+ */
+struct MinHashSketch
+{
+    MinHashSignature primary;
+    MinHashSignature second;
+};
+
+/**
  * Compute the signature of @p bits under @p params. Pure function
  * of (set bits, params): the same fingerprint yields the same
  * signature regardless of when or where it is hashed.
  */
 MinHashSignature minhashSignature(const BitVec &bits,
                                   const MinHashParams &params);
+
+/** Compute the signature plus second minima (query side). The
+ *  primary component equals minhashSignature() exactly. */
+MinHashSketch minhashSketch(const BitVec &bits,
+                            const MinHashParams &params);
 
 /**
  * Fraction of signature positions on which @p a and @p b agree —
@@ -90,12 +140,41 @@ double signatureSimilarity(const MinHashSignature &a,
                            const MinHashSignature &b);
 
 /**
+ * Bucket key of band @p band of @p sig under @p params — the fold
+ * the in-memory index buckets by and the v3 on-disk LSH arrays are
+ * sorted by, exposed so both agree on one definition.
+ */
+std::uint64_t lshBandKey(const MinHashParams &params,
+                         const MinHashSignature &sig,
+                         std::uint32_t band);
+
+/**
+ * lshBandKey() with row @p sub_row's value replaced by @p sub_val —
+ * the multi-probe variant keys.
+ */
+std::uint64_t lshBandKeySub(const MinHashParams &params,
+                            const MinHashSignature &sig,
+                            std::uint32_t band, std::uint32_t sub_row,
+                            std::uint32_t sub_val);
+
+/**
+ * All bucket keys band @p band of @p sketch probes under @p params:
+ * the primary key first, then single-row substitutions in row order,
+ * capped at effectiveProbes() and with keys equal to the primary
+ * skipped. Shared by the in-memory index and the mmap-ed store so
+ * their candidate sets are identical by construction.
+ */
+std::vector<std::uint64_t> lshProbeKeys(const MinHashParams &params,
+                                        const MinHashSketch &sketch,
+                                        std::uint32_t band);
+
+/**
  * Banded LSH bucket index mapping signatures to record ids.
  *
  * The index is append-only (records are identified by the caller's
  * dense ids, as in FingerprintDb) and externally synchronized:
  * concurrent candidates() calls are safe against each other but not
- * against add().
+ * against add() / addAll().
  */
 class LshIndex
 {
@@ -115,12 +194,32 @@ class LshIndex
     void add(std::size_t record, const MinHashSignature &sig);
 
     /**
+     * Bulk-index records first_record, first_record + 1, ... under
+     * @p sigs, parallelized across bands on @p pool (band bucket
+     * maps are independent, so the result is bit-identical to
+     * serial add() calls in record order). Null @p pool runs
+     * serially.
+     */
+    void addAll(std::size_t first_record,
+                const std::vector<MinHashSignature> &sigs,
+                ThreadPool *pool = nullptr);
+
+    /**
      * Record ids sharing at least one band bucket with @p sig,
      * ascending and deduplicated — the shortlist the exact distance
-     * kernel then scans.
+     * kernel then scans. Primary buckets only (no multi-probe).
      */
     std::vector<std::size_t>
     candidates(const MinHashSignature &sig) const;
+
+    /**
+     * Multi-probe candidates: ids sharing any of the sketch's probe
+     * buckets (lshProbeKeys) in any band, ascending and
+     * deduplicated. With params().probes == 1 this equals
+     * candidates(sketch.primary).
+     */
+    std::vector<std::size_t>
+    candidates(const MinHashSketch &sketch) const;
 
     /** Drop all entries (for a rebuild under new parameters). */
     void clear();
@@ -136,11 +235,15 @@ class LshIndex
     };
     Occupancy occupancy() const;
 
-  private:
-    /** Bucket key of band @p band of @p sig. */
-    std::uint64_t bandKey(const MinHashSignature &sig,
-                          std::uint32_t band) const;
+    /**
+     * Band @p band's buckets flattened to (bucket key, record id)
+     * pairs sorted by key then id — the v3 on-disk representation
+     * of the index.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>
+    bandEntries(std::uint32_t band) const;
 
+  private:
     MinHashParams prm;
     std::size_t numRecords = 0;
 

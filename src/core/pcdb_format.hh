@@ -1,0 +1,183 @@
+/**
+ * @file
+ * PCDB v3 on-disk layout, shared by the stream serializer
+ * (core/serialize) and the mmap-backed reader (core/mapped_store).
+ *
+ * v3 is designed to be queried in place: after a fixed-size header
+ * with explicit section offsets comes a fixed-stride record table,
+ * then contiguous arenas (signatures, fingerprint positions,
+ * labels) and the LSH index serialized as per-band sorted
+ * (bucket key, record id) arrays. Opening a million-record database
+ * is a header check plus one pass over the 40 MB record table —
+ * milliseconds — and record payloads are paged in by the kernel on
+ * first touch.
+ *
+ * All integers are little-endian (the library already writes v1/v2
+ * scalars in native little-endian). Every section starts 8-byte
+ * aligned, and the layout is *canonical*: section offsets and
+ * per-record arena offsets must be exactly the packed sequential
+ * values a writer produces. Readers reject anything else, which
+ * makes "every strict prefix of a valid file fails to load" cheap
+ * to guarantee for the mmap reader too (the header's fileSize must
+ * equal both the mapped length and the computed section end).
+ *
+ * Layout:
+ *
+ *   header (104 bytes)
+ *     off  0  char[4]  magic "PCDB"
+ *     off  4  u32      version = 3
+ *     off  8  u32      minhash numHashes (k)
+ *     off 12  u32      minhash bands
+ *     off 16  u32      minhash probes
+ *     off 20  u32      reserved (0)
+ *     off 24  u64      minhash seed
+ *     off 32  u64      record count N
+ *     off 40  u64      total fingerprint positions P
+ *     off 48  u64      label arena bytes L
+ *     off 56  u64      file size in bytes
+ *     off 64  u64      record table offset   (= 104)
+ *     off 72  u64      signature arena offset
+ *     off 80  u64      position arena offset
+ *     off 88  u64      label arena offset
+ *     off 96  u64      LSH section offset
+ *
+ *   record table: N entries of 40 bytes
+ *     off  0  u64      label offset into label arena
+ *     off  8  u64      position offset into position arena (elements)
+ *     off 16  u64      fingerprint universe (bits)
+ *     off 24  u32      label length (bytes)
+ *     off 28  u32      position count
+ *     off 32  u32      source count (> 0)
+ *     off 36  u32      reserved (0)
+ *
+ *   signature arena: N * k u32 (record-major), zero-padded to 8
+ *   position arena:  P u32 (ascending within each record), padded
+ *   label arena:     L raw bytes, padded
+ *   LSH section:     per band b in [0, bands):
+ *     u64 entry count (= N), u64 keys[N] (sorted, ties by id),
+ *     u32 ids[N] (parallel to keys), zero-padded to 8
+ *
+ * Structural metadata (offsets, counts, sizes) is fully validated
+ * by both readers. Arena payloads — positions and signature values
+ * — are trusted the same way v2 trusted its signature trailer: a
+ * corrupted position panics on the bounds-checked BitVec access
+ * instead of corrupting memory.
+ */
+
+#ifndef PCAUSE_CORE_PCDB_FORMAT_HH
+#define PCAUSE_CORE_PCDB_FORMAT_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace pcause
+{
+namespace pcdb
+{
+
+constexpr char magic[4] = {'P', 'C', 'D', 'B'};
+constexpr std::uint32_t versionV1 = 1;
+constexpr std::uint32_t versionV2 = 2;
+constexpr std::uint32_t versionV3 = 3;
+
+constexpr std::uint64_t v3HeaderBytes = 104;
+constexpr std::uint64_t v3RecordEntryBytes = 40;
+
+/** Round @p x up to the next multiple of 8. */
+constexpr std::uint64_t
+align8(std::uint64_t x)
+{
+    return (x + 7) & ~std::uint64_t{7};
+}
+
+/** Decoded v3 header. */
+struct V3Header
+{
+    std::uint32_t numHashes = 0;
+    std::uint32_t bands = 0;
+    std::uint32_t probes = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t totalPositions = 0;
+    std::uint64_t labelBytes = 0;
+    std::uint64_t fileSize = 0;
+    std::uint64_t recordTableOff = 0;
+    std::uint64_t sigOff = 0;
+    std::uint64_t posOff = 0;
+    std::uint64_t labelOff = 0;
+    std::uint64_t lshOff = 0;
+};
+
+/** One decoded record-table entry. */
+struct V3RecordEntry
+{
+    std::uint64_t labelOff = 0;
+    std::uint64_t posOff = 0;
+    std::uint64_t universe = 0;
+    std::uint32_t labelLen = 0;
+    std::uint32_t posCount = 0;
+    std::uint32_t sources = 0;
+    std::uint32_t reserved = 0;
+};
+
+/** Unaligned little-endian loads (mmap-ed data has no alignment
+ *  guarantees a struct cast could rely on). */
+inline std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Per-band LSH section size for @p records records. */
+constexpr std::uint64_t
+v3BandBytes(std::uint64_t records)
+{
+    return 8 + align8(records * 8 + records * 4);
+}
+
+/**
+ * The canonical section offsets and total size for a v3 file of
+ * @p records records, @p k hashes, @p total_positions positions and
+ * @p label_bytes of labels. Readers reject files whose header
+ * offsets differ.
+ */
+struct V3Layout
+{
+    std::uint64_t recordTableOff = 0;
+    std::uint64_t sigOff = 0;
+    std::uint64_t posOff = 0;
+    std::uint64_t labelOff = 0;
+    std::uint64_t lshOff = 0;
+    std::uint64_t fileSize = 0;
+};
+
+inline V3Layout
+v3Layout(std::uint64_t records, std::uint64_t k,
+         std::uint64_t total_positions, std::uint64_t label_bytes,
+         std::uint64_t bands)
+{
+    V3Layout l;
+    l.recordTableOff = v3HeaderBytes;
+    l.sigOff =
+        align8(l.recordTableOff + records * v3RecordEntryBytes);
+    l.posOff = align8(l.sigOff + records * k * 4);
+    l.labelOff = align8(l.posOff + total_positions * 4);
+    l.lshOff = align8(l.labelOff + label_bytes);
+    l.fileSize = l.lshOff + bands * v3BandBytes(records);
+    return l;
+}
+
+} // namespace pcdb
+} // namespace pcause
+
+#endif // PCAUSE_CORE_PCDB_FORMAT_HH

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <vector>
 
+#include "core/pcdb_format.hh"
 #include "util/logging.hh"
 
 namespace pcause
@@ -18,8 +19,9 @@ namespace
 {
 
 constexpr char dbMagic[4] = {'P', 'C', 'D', 'B'};
-constexpr std::uint32_t dbVersionV1 = 1;
-constexpr std::uint32_t dbVersionV2 = 2;
+constexpr std::uint32_t dbVersionV1 = pcdb::versionV1;
+constexpr std::uint32_t dbVersionV2 = pcdb::versionV2;
+constexpr std::uint32_t dbVersionV3 = pcdb::versionV3;
 
 /** Pre-allocation cap for the untrusted header record count. */
 constexpr std::uint64_t maxPlausibleRecords = 1024;
@@ -107,6 +109,167 @@ struct RawDatabase
     std::vector<RawRecord> records;
 };
 
+/** Skip (and discard) @p bytes from the reader. */
+void
+skipBytes(Reader &r, std::uint64_t bytes, const char *what)
+{
+    char buf[4096];
+    while (bytes > 0 && !r.failed()) {
+        const std::size_t chunk = bytes < sizeof(buf)
+                                      ? static_cast<std::size_t>(bytes)
+                                      : sizeof(buf);
+        r.readBytes(buf, chunk, what);
+        bytes -= chunk;
+    }
+}
+
+/**
+ * Parse the body of a v3 stream (magic and version already
+ * consumed). Validates the canonical layout (see
+ * core/pcdb_format.hh), so every strict prefix of a valid file
+ * fails with a truncation error and every offset mismatch is
+ * rejected before any payload is interpreted.
+ */
+std::string
+parseV3(Reader &r, RawDatabase &out)
+{
+    pcdb::V3Header h;
+    std::uint32_t reserved = 0;
+    r.read(h.numHashes, "minhash header");
+    r.read(h.bands, "minhash header");
+    r.read(h.probes, "minhash header");
+    r.read(reserved, "header reserved");
+    r.read(h.seed, "minhash header");
+    r.read(h.recordCount, "record count");
+    r.read(h.totalPositions, "position total");
+    r.read(h.labelBytes, "label byte total");
+    r.read(h.fileSize, "file size");
+    r.read(h.recordTableOff, "section offsets");
+    r.read(h.sigOff, "section offsets");
+    r.read(h.posOff, "section offsets");
+    r.read(h.labelOff, "section offsets");
+    r.read(h.lshOff, "section offsets");
+    if (r.failed())
+        return r.error();
+    if (h.numHashes == 0 || h.bands == 0 ||
+        h.numHashes % h.bands != 0)
+        return "invalid minhash parameters in header";
+    if (reserved != 0)
+        return "nonzero reserved header field";
+
+    const pcdb::V3Layout lay =
+        pcdb::v3Layout(h.recordCount, h.numHashes, h.totalPositions,
+                       h.labelBytes, h.bands);
+    if (h.recordTableOff != lay.recordTableOff ||
+        h.sigOff != lay.sigOff || h.posOff != lay.posOff ||
+        h.labelOff != lay.labelOff || h.lshOff != lay.lshOff ||
+        h.fileSize != lay.fileSize)
+        return "non-canonical v3 section layout";
+
+    out.index.numHashes = h.numHashes;
+    out.index.bands = h.bands;
+    out.index.seed = h.seed;
+    out.index.probes = h.probes;
+
+    // --- record table ---------------------------------------------
+    std::vector<pcdb::V3RecordEntry> entries;
+    entries.reserve(std::min<std::uint64_t>(h.recordCount,
+                                            maxPlausibleRecords));
+    std::uint64_t next_label = 0, next_pos = 0;
+    for (std::uint64_t i = 0; i < h.recordCount; ++i) {
+        pcdb::V3RecordEntry e;
+        r.read(e.labelOff, "record table");
+        r.read(e.posOff, "record table");
+        r.read(e.universe, "record table");
+        r.read(e.labelLen, "record table");
+        r.read(e.posCount, "record table");
+        r.read(e.sources, "record table");
+        r.read(e.reserved, "record table");
+        if (r.failed())
+            return r.error();
+        if (e.labelLen > maxLabelBytes)
+            return "implausible label length";
+        if (e.labelOff != next_label || e.posOff != next_pos ||
+            e.reserved != 0)
+            return "non-canonical record table";
+        if (e.sources == 0)
+            return "record with zero sources";
+        if (e.posCount > e.universe)
+            return "more positions than universe bits";
+        next_label += e.labelLen;
+        next_pos += e.posCount;
+        entries.push_back(e);
+    }
+    if (next_label != h.labelBytes)
+        return "label arena size mismatch";
+    if (next_pos != h.totalPositions)
+        return "position arena size mismatch";
+
+    out.records.resize(entries.size());
+
+    // --- signature arena ------------------------------------------
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        out.records[i].sig.resize(h.numHashes);
+        for (auto &hash : out.records[i].sig) {
+            if (!r.read(hash, "signature arena"))
+                return r.error();
+        }
+    }
+    skipBytes(r, lay.posOff - (h.sigOff + h.recordCount *
+                                              h.numHashes * 4),
+              "signature padding");
+
+    // --- position arena -------------------------------------------
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        RawRecord &rec = out.records[i];
+        rec.sources = entries[i].sources;
+        rec.bits = BitVec(entries[i].universe);
+        std::uint32_t prev = 0;
+        for (std::uint32_t p = 0; p < entries[i].posCount; ++p) {
+            std::uint32_t pos = 0;
+            if (!r.read(pos, "position arena"))
+                return r.error();
+            if (pos >= entries[i].universe)
+                return "position beyond universe";
+            if (p > 0 && pos <= prev)
+                return "positions not strictly ascending";
+            prev = pos;
+            rec.bits.set(pos);
+        }
+    }
+    skipBytes(r, lay.labelOff - (h.posOff + h.totalPositions * 4),
+              "position padding");
+
+    // --- label arena ----------------------------------------------
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        out.records[i].label.assign(entries[i].labelLen, '\0');
+        r.readBytes(out.records[i].label.data(), entries[i].labelLen,
+                    "label arena");
+        if (r.failed())
+            return r.error();
+    }
+    skipBytes(r, lay.lshOff - (h.labelOff + h.labelBytes),
+              "label padding");
+
+    // --- LSH section ----------------------------------------------
+    // The stream loader rebuilds the in-memory index from the
+    // signatures; the serialized buckets exist for the mmap reader.
+    // Still consume and sanity-check them so a truncated or padded
+    // tail cannot load silently.
+    for (std::uint32_t band = 0; band < h.bands; ++band) {
+        std::uint64_t count = 0;
+        if (!r.read(count, "lsh band header"))
+            return r.error();
+        if (count != h.recordCount)
+            return "lsh band entry count mismatch";
+        skipBytes(r, pcdb::v3BandBytes(h.recordCount) - 8,
+                  "lsh band");
+        if (r.failed())
+            return r.error();
+    }
+    return r.failed() ? r.error() : "";
+}
+
 /**
  * Parse a whole PCDB stream. Returns the database or an error
  * message (exactly one of the two).
@@ -121,6 +284,8 @@ parseDatabase(std::istream &in, RawDatabase &out)
         return "not a Probable Cause database";
     if (!r.read(out.version, "version"))
         return r.error();
+    if (out.version == dbVersionV3)
+        return parseV3(r, out);
     if (out.version != dbVersionV1 && out.version != dbVersionV2) {
         char buf[64];
         std::snprintf(buf, sizeof(buf), "unsupported version %u",
@@ -225,6 +390,19 @@ writeHeader(std::ostream &out, const MinHashParams &params,
     writeScalar<std::uint64_t>(out, count);
 }
 
+/** Write @p n zero bytes (section padding). */
+void
+writePad(std::ostream &out, std::uint64_t n)
+{
+    static const char zeros[8] = {};
+    while (n > 0) {
+        const std::uint64_t chunk =
+            n < sizeof(zeros) ? n : sizeof(zeros);
+        out.write(zeros, static_cast<std::streamsize>(chunk));
+        n -= chunk;
+    }
+}
+
 } // anonymous namespace
 
 bool
@@ -252,9 +430,94 @@ saveDatabase(const FingerprintDb &db, const std::string &path)
 bool
 saveStore(const FingerprintStore &store, std::ostream &out)
 {
-    writeHeader(out, store.indexParams(), store.size());
-    for (std::size_t i = 0; i < store.size(); ++i)
-        writeRecord(out, store.record(i), store.signature(i));
+    const MinHashParams &prm = store.indexParams();
+    const SparseFingerprintArena &sparse = store.sparseFingerprints();
+    const std::uint64_t n = store.size();
+
+    std::uint64_t label_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        label_bytes += store.record(i).label.size();
+    const std::uint64_t total_pos = sparse.totalPositions();
+
+    const pcdb::V3Layout lay = pcdb::v3Layout(
+        n, prm.numHashes, total_pos, label_bytes, prm.bands);
+
+    // --- header ---------------------------------------------------
+    out.write(dbMagic, sizeof(dbMagic));
+    writeScalar<std::uint32_t>(out, dbVersionV3);
+    writeScalar<std::uint32_t>(out, prm.numHashes);
+    writeScalar<std::uint32_t>(out, prm.bands);
+    writeScalar<std::uint32_t>(out, prm.probes);
+    writeScalar<std::uint32_t>(out, 0); // reserved
+    writeScalar<std::uint64_t>(out, prm.seed);
+    writeScalar<std::uint64_t>(out, n);
+    writeScalar<std::uint64_t>(out, total_pos);
+    writeScalar<std::uint64_t>(out, label_bytes);
+    writeScalar<std::uint64_t>(out, lay.fileSize);
+    writeScalar<std::uint64_t>(out, lay.recordTableOff);
+    writeScalar<std::uint64_t>(out, lay.sigOff);
+    writeScalar<std::uint64_t>(out, lay.posOff);
+    writeScalar<std::uint64_t>(out, lay.labelOff);
+    writeScalar<std::uint64_t>(out, lay.lshOff);
+
+    // --- record table (canonical running arena offsets) -----------
+    std::uint64_t next_label = 0, next_pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const FingerprintRecord &rec = store.record(i);
+        const SparseView v = sparse.view(i);
+        writeScalar<std::uint64_t>(out, next_label);
+        writeScalar<std::uint64_t>(out, next_pos);
+        writeScalar<std::uint64_t>(out, v.universe);
+        writeScalar<std::uint32_t>(
+            out, static_cast<std::uint32_t>(rec.label.size()));
+        writeScalar<std::uint32_t>(
+            out, static_cast<std::uint32_t>(v.count));
+        writeScalar<std::uint32_t>(out, rec.fingerprint.sources());
+        writeScalar<std::uint32_t>(out, 0); // reserved
+        next_label += rec.label.size();
+        next_pos += v.count;
+    }
+
+    // --- signature arena ------------------------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+        const MinHashSignature &sig = store.signature(i);
+        out.write(reinterpret_cast<const char *>(sig.data()),
+                  static_cast<std::streamsize>(sig.size() *
+                                               sizeof(std::uint32_t)));
+    }
+    writePad(out, lay.posOff -
+                      (lay.sigOff + n * prm.numHashes *
+                                        sizeof(std::uint32_t)));
+
+    // --- position arena (the sparse arena, verbatim) --------------
+    const std::vector<std::uint32_t> &arena = sparse.positions();
+    out.write(reinterpret_cast<const char *>(arena.data()),
+              static_cast<std::streamsize>(arena.size() *
+                                           sizeof(std::uint32_t)));
+    writePad(out, lay.labelOff -
+                      (lay.posOff + total_pos * sizeof(std::uint32_t)));
+
+    // --- label arena ----------------------------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+        const ChipLabel &label = store.record(i).label;
+        out.write(label.data(),
+                  static_cast<std::streamsize>(label.size()));
+    }
+    writePad(out, lay.lshOff - (lay.labelOff + label_bytes));
+
+    // --- LSH section: per-band sorted (key, id) arrays ------------
+    for (std::uint32_t band = 0; band < prm.bands; ++band) {
+        const auto entries = store.index().bandEntries(band);
+        PC_ASSERT(entries.size() == n,
+                  "saveStore: band entry count mismatch");
+        writeScalar<std::uint64_t>(out, entries.size());
+        for (const auto &e : entries)
+            writeScalar<std::uint64_t>(out, e.first);
+        for (const auto &e : entries)
+            writeScalar<std::uint32_t>(out, e.second);
+        writePad(out, pcdb::v3BandBytes(n) -
+                          (8 + entries.size() * 12));
+    }
     return out.good();
 }
 
@@ -307,7 +570,7 @@ loadStore(std::istream &in)
         Fingerprint fp(std::move(rec.bits), rec.sources);
         if (raw.version >= dbVersionV2) {
             store.addWithSignature(std::move(rec.label), std::move(fp),
-                                   std::move(rec.sig));
+                                   std::move(rec.sig), raw.index);
         } else {
             // v1 carries no signatures: recompute on load.
             store.add(std::move(rec.label), std::move(fp));
@@ -387,12 +650,10 @@ std::size_t
 recordDiskSize(std::size_t weight, std::size_t label_len,
                std::size_t signature_hashes)
 {
-    return sizeof(std::uint32_t) + label_len   // label
-        + sizeof(std::uint32_t)                // sources
-        + sizeof(std::uint64_t)                // universe
-        + sizeof(std::uint64_t)                // position count
-        + weight * sizeof(std::uint32_t)       // positions
-        + signature_hashes * sizeof(std::uint32_t); // signature
+    return pcdb::v3RecordEntryBytes            // record-table entry
+        + label_len                            // label arena share
+        + weight * sizeof(std::uint32_t)       // position arena share
+        + signature_hashes * sizeof(std::uint32_t); // signature arena
 }
 
 } // namespace pcause

@@ -11,7 +11,15 @@
  * chip's fingerprint costs ~10 KB instead of 32 KB, and scales with
  * the error budget rather than the memory size.
  *
- * Format v2 (little-endian):
+ * Format v3 (little-endian, written by saveStore) is the
+ * memory-mappable layout specified byte-for-byte in
+ * core/pcdb_format.hh: a fixed 104-byte header with explicit section
+ * offsets, a fixed-stride record table, then contiguous signature /
+ * position / label arenas and the serialized per-band LSH index.
+ * MappedStore (core/mapped_store) queries a v3 file in place without
+ * loading it.
+ *
+ * Format v2 (written by saveDatabase, read transparently):
  *   magic "PCDB", u32 version = 2,
  *   u32 minhash hashes (k), u32 minhash bands, u64 minhash seed,
  *   u64 record count, then per record:
@@ -20,8 +28,10 @@
  *     u64 position count, u32 positions[],
  *     u32 signature[k]            (MinHash signature, core/minhash)
  *
- * v1 files (no minhash header fields, no signatures) load
- * transparently; loadStore() recomputes their signatures.
+ * loadStore()/loadDatabase() accept v1, v2 and v3 with identical
+ * resulting stores: v1 files (no minhash header fields, no
+ * signatures) get signatures recomputed on load, and v3's extra LSH
+ * trailer is validated and then rebuilt from the signatures.
  *
  * Loading is recoverable: malformed input produces a LoadResult
  * carrying an error string instead of killing the process, so a
@@ -76,8 +86,9 @@ bool saveDatabase(const FingerprintDb &db, std::ostream &out);
 /** Serialize @p db to @p path. Returns false on IO failure. */
 bool saveDatabase(const FingerprintDb &db, const std::string &path);
 
-/** Serialize @p store (its own index parameters and signatures) to
- *  a stream. Returns false on IO failure. */
+/** Serialize @p store (its own index parameters, signatures, and
+ *  LSH buckets) as a mmap-able v3 file. Returns false on IO
+ *  failure. */
 bool saveStore(const FingerprintStore &store, std::ostream &out);
 
 /** Serialize @p store to @p path. Returns false on IO failure. */
@@ -95,7 +106,7 @@ DbLoadResult loadDatabase(std::istream &in);
 DbLoadResult loadDatabase(const std::string &path);
 
 /**
- * Load an indexed FingerprintStore: v2 files restore the stored
+ * Load an indexed FingerprintStore: v2/v3 files restore the stored
  * index parameters and per-record signatures without rehashing; v1
  * files get signatures recomputed under default MinHashParams.
  */
@@ -105,10 +116,11 @@ StoreLoadResult loadStore(std::istream &in);
 StoreLoadResult loadStore(const std::string &path);
 
 /**
- * On-disk size estimate in bytes for a v2 record of @p weight
+ * On-disk size estimate in bytes for a v3 record of @p weight
  * volatile cells, a @p label_len-byte label, and a
- * @p signature_hashes-entry MinHash signature — the "1% of bits"
- * storage claim made measurable.
+ * @p signature_hashes-entry MinHash signature (record-table entry
+ * plus its arena shares; the per-band LSH trailer adds ~12 bytes per
+ * record on top) — the "1% of bits" storage claim made measurable.
  */
 std::size_t recordDiskSize(std::size_t weight, std::size_t label_len,
                            std::size_t signature_hashes =

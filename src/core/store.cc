@@ -20,6 +20,18 @@ secondsSince(std::chrono::steady_clock::time_point start)
         std::chrono::steady_clock::now() - start).count();
 }
 
+/**
+ * Whether a signature computed under @p a is valid content under
+ * @p b: signature values depend on the hash count and seed only
+ * (banding and probing are how signatures are *used*, not what they
+ * contain).
+ */
+bool
+sameSignatureSpace(const MinHashParams &a, const MinHashParams &b)
+{
+    return a.numHashes == b.numHashes && a.seed == b.seed;
+}
+
 } // anonymous namespace
 
 FingerprintStore::FingerprintStore(const MinHashParams &index_params)
@@ -44,19 +56,57 @@ FingerprintStore::add(ChipLabel label, Fingerprint fp)
     MinHashSignature sig =
         minhashSignature(fp.bits(), lsh.params());
     return addWithSignature(std::move(label), std::move(fp),
-                            std::move(sig));
+                            std::move(sig), lsh.params());
 }
 
 std::size_t
 FingerprintStore::addWithSignature(ChipLabel label, Fingerprint fp,
-                                   MinHashSignature sig)
+                                   MinHashSignature sig,
+                                   const MinHashParams &sig_params)
 {
+    if (!sameSignatureSpace(sig_params, lsh.params())) {
+        // A foreign-space signature indexed as-is would silently
+        // miss every honest query; recompute instead of trusting.
+        sig = minhashSignature(fp.bits(), lsh.params());
+    }
     PC_ASSERT(sig.size() == lsh.params().numHashes,
               "FingerprintStore: signature length mismatch");
+    sparse.add(fp.bits());
     const std::size_t i = records.add(std::move(label), std::move(fp));
     lsh.add(i, sig);
     signatures.push_back(std::move(sig));
     return i;
+}
+
+void
+FingerprintStore::addBatch(std::vector<ChipLabel> labels,
+                           std::vector<Fingerprint> fps)
+{
+    PC_ASSERT(labels.size() == fps.size(),
+              "addBatch: label/fingerprint count mismatch");
+    if (labels.empty())
+        return;
+
+    ThreadPool &pool = workers ? *workers : ThreadPool::global();
+    const std::size_t first = records.size();
+    const MinHashParams &prm = lsh.params();
+
+    // Signatures are pure functions of (fingerprint, params):
+    // hashing them across the pool cannot change their values.
+    std::vector<MinHashSignature> sigs(fps.size());
+    pool.parallelFor(0, fps.size(), [&](std::size_t i) {
+        sigs[i] = minhashSignature(fps[i].bits(), prm);
+    });
+
+    // Band-sharded bucket fill; ids ascend within every band, the
+    // same structure serial add() builds.
+    lsh.addAll(first, sigs, &pool);
+
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        sparse.add(fps[i].bits());
+        records.add(std::move(labels[i]), std::move(fps[i]));
+        signatures.push_back(std::move(sigs[i]));
+    }
 }
 
 const MinHashSignature &
@@ -78,15 +128,27 @@ FingerprintStore::queryImpl(const BitVec &error_string,
         stats->recordsAvailable += records.size();
     }
 
-    const MinHashSignature sig =
-        minhashSignature(error_string, lsh.params());
-    const std::vector<std::size_t> cand = lsh.candidates(sig);
+    const MinHashSketch sketch =
+        minhashSketch(error_string, lsh.params());
+    const std::vector<std::size_t> cand = lsh.candidates(sketch);
     if (stats)
         stats->candidatesScanned += cand.size();
 
+    // The ModifiedJaccard scans run on the sparse position arena
+    // (bit-identical kernel, ~30x less memory traffic); other
+    // metrics keep the dense records.
+    const bool use_sparse =
+        params.metric == DistanceMetric::ModifiedJaccard;
+    const std::size_t es_weight =
+        use_sparse ? error_string.popcount() : 0;
+
     if (!cand.empty()) {
         const IdentifyResult res =
-            identifyAmong(error_string, records, cand, params, stats);
+            use_sparse
+                ? identifySparseAmong(error_string, es_weight, sparse,
+                                      cand, params, stats)
+                : identifyAmong(error_string, records, cand, params,
+                                stats);
         if (res.match)
             return res;
     }
@@ -96,9 +158,28 @@ FingerprintStore::queryImpl(const BitVec &error_string,
     // accept/reject decisions to the linear Algorithm 2.
     if (stats)
         ++stats->indexFallbacks;
+    if (use_sparse) {
+        if (sharded_fallback && workers) {
+            return identifySparseParallel(error_string, es_weight,
+                                          sparse, params, *workers,
+                                          stats);
+        }
+        return identifySparseBounded(error_string, es_weight, sparse,
+                                     params, stats);
+    }
     if (sharded_fallback && workers) {
-        return identifyErrorStringParallel(error_string, records,
-                                           params, *workers, stats);
+        // identifyErrorStringParallel stamps its own wall time; the
+        // public query entries time the whole query exactly once,
+        // so strip the inner stamp before merging the counters.
+        AttackStats inner;
+        const IdentifyResult res = identifyErrorStringParallel(
+            error_string, records, params, *workers,
+            stats ? &inner : nullptr);
+        if (stats) {
+            inner.identifySeconds = 0.0;
+            *stats += inner;
+        }
+        return res;
     }
     return identifyErrorStringBounded(error_string, records, params,
                                       stats);
@@ -113,8 +194,8 @@ FingerprintStore::query(const BitVec &error_string,
     AttackStats local;
     const IdentifyResult res =
         queryImpl(error_string, params, &local, true);
-    // Re-time the whole query: the sharded fallback already stamped
-    // its own identify time into `local`, which is a subset of ours.
+    // queryImpl never stamps identify time itself, so each query's
+    // wall time is counted exactly once, here.
     local.identifySeconds = secondsSince(start);
     if (stats)
         *stats += local;
@@ -163,6 +244,8 @@ FingerprintStore::queryBatch(const std::vector<BitVec> &error_strings,
             total += l;
     }
 
+    // One wall-time stamp for the whole batch (queryImpl leaves
+    // identifySeconds untouched on every path).
     total.identifySeconds = secondsSince(start);
     if (stats)
         *stats += total;
@@ -191,18 +274,18 @@ FingerprintStore::reindex(const MinHashParams &new_params)
     LshIndex next(new_params);
     std::vector<MinHashSignature> sigs(records.size());
 
+    ThreadPool *pool = workers;
     const auto hashRecord = [&](std::size_t i) {
         sigs[i] = minhashSignature(records.record(i).fingerprint.bits(),
                                    new_params);
     };
-    if (workers) {
-        workers->parallelFor(0, records.size(), hashRecord);
+    if (pool) {
+        pool->parallelFor(0, records.size(), hashRecord);
     } else {
         for (std::size_t i = 0; i < records.size(); ++i)
             hashRecord(i);
     }
-    for (std::size_t i = 0; i < records.size(); ++i)
-        next.add(i, sigs[i]);
+    next.addAll(0, sigs, pool);
 
     lsh = std::move(next);
     signatures = std::move(sigs);

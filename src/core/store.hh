@@ -50,12 +50,31 @@ class FingerprintStore
     std::size_t add(ChipLabel label, Fingerprint fp);
 
     /**
-     * Add a record whose signature is already known (the v2 on-disk
-     * format carries signatures). The signature length must match
-     * indexParams(); its content is trusted.
+     * Add a record whose signature is already known (the on-disk
+     * formats carry signatures). @p sig_params must state the
+     * parameters the signature was computed under: when its
+     * signature space matches this store's (same hash count and
+     * seed — banding does not affect signature content), the
+     * signature is adopted verbatim; otherwise it is recomputed
+     * under the store's parameters, so a caller can never silently
+     * mix signature spaces (e.g. by adding a default-params
+     * signature to a store loaded from a custom-params file).
      */
     std::size_t addWithSignature(ChipLabel label, Fingerprint fp,
-                                 MinHashSignature sig);
+                                 MinHashSignature sig,
+                                 const MinHashParams &sig_params);
+
+    /**
+     * Bulk add with a parallel index build: signatures are computed
+     * across the thread pool (setThreadPool(), else the process
+     * global) and the LSH bucket maps are filled band-sharded. The
+     * resulting store is bit-identical to serial add() calls in
+     * order — signatures are order-independent and each band's
+     * buckets see records in ascending id order either way.
+     * @p labels and @p fps pair up elementwise and are consumed.
+     */
+    void addBatch(std::vector<ChipLabel> labels,
+                  std::vector<Fingerprint> fps);
 
     /** Number of records. */
     std::size_t size() const { return records.size(); }
@@ -80,6 +99,16 @@ class FingerprintStore
 
     /** The candidate index (diagnostics: occupancy, size). */
     const LshIndex &index() const { return lsh; }
+
+    /**
+     * Sparse position-arena mirror of the fingerprints, maintained
+     * alongside the dense records: the representation the
+     * ModifiedJaccard query paths scan and the v3 writer persists.
+     */
+    const SparseFingerprintArena &sparseFingerprints() const
+    {
+        return sparse;
+    }
 
     /**
      * Use @p pool (not owned; null reverts to serial single-query
@@ -144,6 +173,7 @@ class FingerprintStore
 
     FingerprintDb records;
     std::vector<MinHashSignature> signatures;
+    SparseFingerprintArena sparse;
     LshIndex lsh;
     ThreadPool *workers = nullptr;
 };

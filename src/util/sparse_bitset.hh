@@ -21,6 +21,24 @@ namespace pcause
 
 class BitVec;
 
+/**
+ * Non-owning view of a sorted, deduplicated position list — the
+ * zero-copy form sparse fingerprints take inside the store's
+ * position arena and in mmap-ed v3 database files. The pointed-to
+ * storage must outlive the view.
+ */
+struct SparseView
+{
+    /** Positions, ascending and unique, each < universe. */
+    const std::uint32_t *positions = nullptr;
+
+    /** Number of positions. */
+    std::size_t count = 0;
+
+    /** Universe size in bits. */
+    std::uint64_t universe = 0;
+};
+
 /** Sorted, deduplicated set of bit positions within a fixed universe. */
 class SparseBitset
 {

@@ -42,6 +42,10 @@ fi
 "$PCAUSE" identify --db db.pcdb --exact exact.pcbv --linear yes \
     chip1_trial3.pcbv | grep -q "match: beta"
 
+# So must querying the v3 file in place, without loading it.
+"$PCAUSE" identify --db db.pcdb --exact exact.pcbv --mmap yes \
+    chip1_trial3.pcbv | grep -q "match: beta"
+
 # Index diagnostics and reindexing under new parameters.
 "$PCAUSE" db --db db.pcdb stats | grep -q "minhash"
 "$PCAUSE" db --db db.pcdb reindex --hashes 32 --bands 16 \
@@ -49,6 +53,17 @@ fi
 "$PCAUSE" db --db db.pcdb stats | grep -q "32 hashes"
 "$PCAUSE" identify --db db.pcdb --exact exact.pcbv \
     chip1_trial3.pcbv | grep -q "match: beta"
+"$PCAUSE" identify --db db.pcdb --exact exact.pcbv --mmap yes \
+    chip1_trial3.pcbv | grep -q "match: beta"
+
+# Custom index parameters must survive a later characterize run
+# (the new record's signature is computed under the file's params,
+# not the defaults).
+"$PCAUSE" characterize --db db.pcdb --label gamma --exact exact.pcbv \
+    chip2_trial0.pcbv chip2_trial1.pcbv chip2_trial2.pcbv > /dev/null
+"$PCAUSE" db --db db.pcdb stats | grep -q "32 hashes"
+"$PCAUSE" identify --db db.pcdb --exact exact.pcbv \
+    chip2_trial3.pcbv | grep -q "match: gamma"
 
 # A corrupt database must fail with a message, not crash.
 echo "garbage" > broken.pcdb

@@ -11,6 +11,7 @@
 #include "prop_common.hh"
 
 #include "core/distance.hh"
+#include "core/fingerprint.hh"
 #include "util/sparse_bitset.hh"
 
 using namespace pcause;
@@ -66,4 +67,39 @@ PCHECK_PROPERTY(PropDistance, SparseAgreesWithDense, [](Ctx &ctx) {
     const double sparse = modifiedJaccard(SparseBitset::fromBitVec(es),
                                           SparseBitset::fromBitVec(fp));
     PCHECK_EQ(dense, sparse);
+})
+
+PCHECK_PROPERTY(PropDistance, SparseBoundedEquivalentToDenseBounded,
+                [](Ctx &ctx) {
+    // The sparse position-list kernel the store's query paths scan
+    // must be indistinguishable from the dense bounded kernel: the
+    // same early-exit decision (they share one limit computation)
+    // and, whenever the scan completes, the bit-identical double.
+    // Pruned return values may differ (word- vs position-granular
+    // exit points) but both certify > bound, so no verdict made at
+    // or below the bound can ever diverge between the two.
+    const std::size_t nbits = ctx.sizeRange(1, 256, "nbits");
+    const BitVec es = pcheck::genBitVec(ctx, nbits, 2);
+    const BitVec fp = pcheck::genBitVec(ctx, nbits, 2);
+    const double bound = ctx.unit("bound");
+
+    SparseFingerprintArena arena;
+    arena.add(fp);
+
+    bool dense_pruned = false, sparse_pruned = false;
+    const double dense =
+        modifiedJaccardBounded(es, fp, bound, &dense_pruned);
+    const double sparse = modifiedJaccardSparseBounded(
+        es, es.popcount(), arena.view(0), bound, &sparse_pruned);
+    ctx.note("dense", dense);
+    ctx.note("sparse", sparse);
+
+    PCHECK_MSG(dense_pruned == sparse_pruned,
+               "kernels disagreed on the early-exit decision");
+    if (!sparse_pruned) {
+        PCHECK_EQ(sparse, dense);
+    } else {
+        PCHECK_MSG(sparse > bound && dense > bound,
+                   "pruned value failed to certify > bound");
+    }
 })

@@ -173,23 +173,54 @@ TEST(Serialize, V1LoadsWithRecomputedSignatures)
                                loaded->indexParams()));
 }
 
-TEST(Serialize, V1ThenV2RoundTrip)
+TEST(Serialize, V1ThenV3RoundTrip)
 {
-    // Load v1, save (always writes v2), reload: records and the
-    // recomputed signatures survive unchanged.
+    // Load v1, save (saveStore writes v3), reload: records and the
+    // recomputed signatures survive unchanged across the version
+    // upgrade.
     std::stringstream v1(v1Stream());
     const StoreLoadResult first = loadStore(v1);
     ASSERT_TRUE(first);
 
-    std::stringstream v2;
-    ASSERT_TRUE(saveStore(*first, v2));
-    const StoreLoadResult second = loadStore(v2);
-    ASSERT_TRUE(second);
+    std::stringstream v3;
+    ASSERT_TRUE(saveStore(*first, v3));
+    const StoreLoadResult second = loadStore(v3);
+    ASSERT_TRUE(second) << second.error;
     ASSERT_EQ(second->size(), first->size());
     for (std::size_t i = 0; i < first->size(); ++i) {
         EXPECT_EQ(second->record(i).label, first->record(i).label);
         EXPECT_EQ(second->record(i).fingerprint.bits(),
                   first->record(i).fingerprint.bits());
+        EXPECT_EQ(second->signature(i), first->signature(i));
+    }
+}
+
+TEST(Serialize, V2ThenV3RoundTrip)
+{
+    // saveDatabase still writes the v2 stream format; loading it as
+    // a store and re-saving upgrades to v3 with identical records
+    // and signatures.
+    FingerprintDb db;
+    db.add("chip-alpha", makeFingerprint({1, 100, 32767}, 3));
+    db.add("chip-beta", makeFingerprint({5}, 1, 1024));
+    std::stringstream v2;
+    ASSERT_TRUE(saveDatabase(db, v2));
+
+    const StoreLoadResult first = loadStore(v2);
+    ASSERT_TRUE(first) << first.error;
+
+    std::stringstream v3;
+    ASSERT_TRUE(saveStore(*first, v3));
+    const StoreLoadResult second = loadStore(v3);
+    ASSERT_TRUE(second) << second.error;
+    ASSERT_EQ(second->size(), first->size());
+    EXPECT_EQ(second->indexParams(), first->indexParams());
+    for (std::size_t i = 0; i < first->size(); ++i) {
+        EXPECT_EQ(second->record(i).label, first->record(i).label);
+        EXPECT_EQ(second->record(i).fingerprint.bits(),
+                  first->record(i).fingerprint.bits());
+        EXPECT_EQ(second->record(i).fingerprint.sources(),
+                  first->record(i).fingerprint.sources());
         EXPECT_EQ(second->signature(i), first->signature(i));
     }
 }
@@ -233,14 +264,15 @@ TEST(Serialize, TruncatedSignatureTrailerIsRecoverable)
 {
     // Cut a v2 stream inside the final record's signature trailer:
     // the reader must report the truncated signature, not return a
-    // store with a short or garbage signature.
-    FingerprintStore store;
-    store.add("chip", makeFingerprint({1, 2, 3}));
+    // store with a short or garbage signature. (saveDatabase is the
+    // v2 writer; saveStore now writes v3.)
+    FingerprintDb db;
+    db.add("chip", makeFingerprint({1, 2, 3}));
     std::stringstream buf;
-    ASSERT_TRUE(saveStore(store, buf));
+    ASSERT_TRUE(saveDatabase(db, buf));
     const std::string bytes = buf.str();
     const std::size_t sig_bytes =
-        store.indexParams().numHashes * sizeof(std::uint32_t);
+        MinHashParams{}.numHashes * sizeof(std::uint32_t);
     ASSERT_GT(bytes.size(), sig_bytes);
     for (std::size_t keep : {std::size_t(0), sig_bytes / 2,
                              sig_bytes - 1}) {
@@ -251,6 +283,31 @@ TEST(Serialize, TruncatedSignatureTrailerIsRecoverable)
         EXPECT_NE(r.error.find("signature"), std::string::npos)
             << r.error;
     }
+}
+
+TEST(Serialize, EveryV3PrefixIsRejected)
+{
+    // Exhaustive prefix sweep over a small v3 file: no strict
+    // prefix may load, crash, or loop — each must fail with a
+    // clean error.
+    FingerprintStore store;
+    store.add("chip-a", makeFingerprint({1, 2, 3}, 2, 256));
+    store.add("chip-b", makeFingerprint({9, 200}, 1, 256));
+    std::stringstream buf;
+    ASSERT_TRUE(saveStore(store, buf));
+    const std::string bytes = buf.str();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        std::stringstream partial(bytes.substr(0, cut));
+        const StoreLoadResult r = loadStore(partial);
+        ASSERT_FALSE(r) << "prefix of " << cut << " of "
+                        << bytes.size() << " bytes loaded";
+        ASSERT_FALSE(r.error.empty());
+    }
+    // ... and the full file loads.
+    std::stringstream whole(bytes);
+    const StoreLoadResult full = loadStore(whole);
+    ASSERT_TRUE(full) << full.error;
+    EXPECT_EQ(full->size(), 2u);
 }
 
 TEST(Serialize, RecordCountOverflowIsRecoverable)

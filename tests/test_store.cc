@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "core/minhash.hh"
@@ -321,6 +322,167 @@ TEST(FingerprintStore, StatsCountersAccount)
         pop.store.query(pop.queries.back(), {}, &miss_stats);
     ASSERT_FALSE(miss.match.has_value());
     EXPECT_EQ(miss_stats.indexFallbacks, 1u);
+}
+
+TEST(FingerprintStore, StatsCountEachQueryExactlyOnce)
+{
+    // Regression: the pool-sharded fallback used to stamp its own
+    // wall time inside queryImpl, so a single query's time was
+    // counted twice (inner scan + outer query). Each query's work
+    // must appear in the counters exactly once, and identifySeconds
+    // must not exceed the wall time of the call that produced it.
+    TestPopulation pop = makePopulation(32, 67);
+    ThreadPool pool(4);
+    pop.store.setThreadPool(&pool);
+
+    // A miss query evaluates every shortlist candidate plus (via the
+    // sharded fallback) every record exactly once.
+    AttackStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const IdentifyResult miss =
+        pop.store.query(pop.queries.back(), {}, &stats);
+    const double outer = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    ASSERT_FALSE(miss.match.has_value());
+    EXPECT_EQ(stats.indexFallbacks, 1u);
+    EXPECT_EQ(stats.distancesComputed + stats.distancesPruned,
+              stats.candidatesScanned + pop.store.size());
+    EXPECT_GT(stats.identifySeconds, 0.0);
+    EXPECT_LE(stats.identifySeconds, outer);
+}
+
+TEST(FingerprintStore, BatchStatsCountEachQueryExactlyOnce)
+{
+    // Same regression at the batch level: miss queries below the
+    // pool size take the per-query sharded-fallback path, whose
+    // inner scan must contribute counters but no extra time stamp.
+    TestPopulation pop = makePopulation(32, 71);
+    ThreadPool pool(4);
+    pop.store.setThreadPool(&pool);
+
+    const std::vector<BitVec> misses(pop.queries.end() - 3,
+                                     pop.queries.end());
+    ASSERT_LT(misses.size(), pool.size());
+
+    AttackStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<IdentifyResult> res =
+        pop.store.queryBatch(misses, {}, &stats);
+    const double outer = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    for (const IdentifyResult &r : res)
+        EXPECT_FALSE(r.match.has_value());
+    EXPECT_EQ(stats.indexQueries, misses.size());
+    EXPECT_EQ(stats.indexFallbacks, misses.size());
+    EXPECT_EQ(stats.distancesComputed + stats.distancesPruned,
+              stats.candidatesScanned +
+                  misses.size() * pop.store.size());
+    EXPECT_GT(stats.identifySeconds, 0.0);
+    EXPECT_LE(stats.identifySeconds, outer);
+}
+
+TEST(FingerprintStore, AddBatchEqualsSerialAdds)
+{
+    Rng rng(73);
+    std::vector<ChipLabel> labels;
+    std::vector<Fingerprint> fps;
+    for (int i = 0; i < 40; ++i) {
+        labels.push_back("c" + std::to_string(i));
+        fps.emplace_back(randomPattern(rng, 64), 3u);
+    }
+
+    FingerprintStore serial;
+    for (std::size_t i = 0; i < fps.size(); ++i)
+        serial.add(labels[i], fps[i]);
+
+    ThreadPool pool(4);
+    FingerprintStore batch;
+    batch.setThreadPool(&pool);
+    batch.addBatch(labels, fps);
+
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(batch.record(i).label, serial.record(i).label);
+        EXPECT_EQ(batch.signature(i), serial.signature(i));
+        const SparseView bv = batch.sparseFingerprints().view(i);
+        const SparseView sv = serial.sparseFingerprints().view(i);
+        ASSERT_EQ(bv.count, sv.count);
+        for (std::size_t p = 0; p < bv.count; ++p)
+            EXPECT_EQ(bv.positions[p], sv.positions[p]);
+    }
+    // The banded index is bit-identical too.
+    for (std::uint32_t b = 0; b < serial.indexParams().bands; ++b)
+        EXPECT_EQ(batch.index().bandEntries(b),
+                  serial.index().bandEntries(b));
+}
+
+TEST(FingerprintStore, ForeignSignatureSpaceIsRecomputed)
+{
+    // Adding a record whose signature was computed under different
+    // hash-count/seed parameters must not silently mix signature
+    // spaces (the record would never collide with honest queries):
+    // the store recomputes under its own parameters.
+    MinHashParams mine;
+    mine.numHashes = 32;
+    mine.bands = 8;
+    mine.seed = 0x1234;
+
+    MinHashParams foreign; // defaults: different seed
+    Rng rng(79);
+    Fingerprint fp(randomPattern(rng, 64), 3u);
+    const MinHashSignature foreign_sig =
+        minhashSignature(fp.bits(), foreign);
+
+    FingerprintStore store(mine);
+    store.addWithSignature("chip", fp, foreign_sig, foreign);
+    EXPECT_EQ(store.signature(0),
+              minhashSignature(fp.bits(), mine));
+
+    // Same signature space (hash count + seed; banding differs):
+    // adopted verbatim, no rehash needed.
+    MinHashParams rebanded = mine;
+    rebanded.bands = 4;
+    const MinHashSignature same_space_sig =
+        minhashSignature(fp.bits(), rebanded);
+    store.addWithSignature("chip2", fp, same_space_sig, rebanded);
+    EXPECT_EQ(store.signature(1), same_space_sig);
+
+    // Either way the record is findable through the index.
+    BitVec es = fp.bits();
+    for (int i = 0; i < 8; ++i)
+        es.set(rng.nextBelow(universe));
+    AttackStats stats;
+    const IdentifyResult r = store.query(es, {}, &stats);
+    ASSERT_TRUE(r.match.has_value());
+    EXPECT_EQ(stats.indexFallbacks, 0u);
+}
+
+TEST(LshIndex, MultiProbeExtendsPrimaryCandidates)
+{
+    // Multi-probe candidates are a superset of the primary-bucket
+    // candidates, and probes == 1 reduces to them exactly.
+    MinHashParams prm;
+    TestPopulation pop = makePopulation(64, 83, prm);
+    Rng rng(89);
+    for (int trial = 0; trial < 8; ++trial) {
+        const BitVec es = pop.queries[rng.nextBelow(64)];
+        const MinHashSketch sketch = minhashSketch(es, prm);
+        EXPECT_EQ(sketch.primary, minhashSignature(es, prm));
+
+        const auto primary =
+            pop.store.index().candidates(sketch.primary);
+        const auto probed = pop.store.index().candidates(sketch);
+        EXPECT_TRUE(std::includes(probed.begin(), probed.end(),
+                                  primary.begin(), primary.end()));
+    }
+
+    MinHashParams single = prm;
+    single.probes = 1;
+    TestPopulation pop1 = makePopulation(64, 83, single);
+    const MinHashSketch sketch =
+        minhashSketch(pop1.queries[5], single);
+    EXPECT_EQ(pop1.store.index().candidates(sketch),
+              pop1.store.index().candidates(sketch.primary));
 }
 
 } // anonymous namespace

@@ -27,6 +27,7 @@
 #include "core/cluster.hh"
 #include "core/error_string.hh"
 #include "core/identify.hh"
+#include "core/mapped_store.hh"
 #include "core/serialize.hh"
 #include "core/store.hh"
 #include "math/fingerprint_space.hh"
@@ -99,9 +100,10 @@ usage()
         "               fingerprint a chip from its outputs and\n"
         "               append to the database (Algorithm 1)\n"
         "  identify     --db FILE --exact FILE [--threshold T]\n"
-        "               [--linear yes] OUT\n"
+        "               [--linear yes] [--mmap yes] OUT\n"
         "               attribute an output (Algorithm 2, via the\n"
-        "               MinHash/LSH candidate index by default)\n"
+        "               MinHash/LSH candidate index by default;\n"
+        "               --mmap queries a v3 file in place)\n"
         "  cluster      --exact FILE [--threshold T] OUT...\n"
         "               group outputs by source chip (Algorithm 4)\n"
         "  model        [--memory-bits M] [--accuracy A]\n"
@@ -172,22 +174,26 @@ cmdCharacterize(const Args &args)
     for (const auto &path : args.positional)
         outputs.push_back(loadBitVec(path));
 
-    FingerprintDb db;
+    // Load through the store so a database reindexed under custom
+    // MinHash parameters keeps them across characterize runs — the
+    // store recomputes the new record's signature under the loaded
+    // parameters instead of the defaults.
+    FingerprintStore store;
     if (std::FILE *f = std::fopen(db_path.c_str(), "rb")) {
         std::fclose(f);
-        DbLoadResult loaded = loadDatabase(db_path);
+        StoreLoadResult loaded = loadStore(db_path);
         if (!loaded)
             fatal("characterize: %s", loaded.error.c_str());
-        db = std::move(*loaded);
+        store = std::move(*loaded);
     }
     const Fingerprint fp = characterize(outputs, exact);
-    db.add(label, fp);
-    if (!saveDatabase(db, db_path))
+    store.add(label, fp);
+    if (!saveStore(store, db_path))
         fatal("characterize: cannot write %s", db_path.c_str());
     std::printf("added '%s' (%zu volatile cells from %zu outputs); "
                 "database now holds %zu records\n",
                 label.c_str(), fp.weight(), outputs.size(),
-                db.size());
+                store.size());
     return 0;
 }
 
@@ -202,10 +208,6 @@ cmdIdentify(const Args &args)
               "output file");
     }
 
-    StoreLoadResult loaded = loadStore(db_path);
-    if (!loaded)
-        fatal("identify: %s", loaded.error.c_str());
-    const FingerprintStore &store = *loaded;
     const BitVec exact = loadBitVec(exact_path);
     const BitVec output = loadBitVec(args.positional[0]);
 
@@ -213,28 +215,52 @@ cmdIdentify(const Args &args)
     params.threshold = args.getDouble("threshold", 0.1);
     AttackStats stats;
     const bool linear = args.get("linear", "no") == "yes";
-    const IdentifyResult r =
-        linear ? store.queryLinear(errorString(output, exact), params,
+    const bool mmap = args.get("mmap", "no") == "yes";
+
+    IdentifyResult r;
+    // label(i) must outlive whichever backend served the query.
+    auto report = [&](auto label) {
+        if (!linear) {
+            std::printf("index: %llu of %llu records shortlisted%s\n",
+                        (unsigned long long)stats.candidatesScanned,
+                        (unsigned long long)stats.recordsAvailable,
+                        stats.indexFallbacks
+                            ? " (full-scan fallback)" : "");
+        }
+        if (r.match) {
+            std::printf("match: %s (distance %.6f)\n",
+                        label(*r.match).c_str(), r.bestDistance);
+            return 0;
+        }
+        std::printf("no match (nearest: %s at distance %.6f)\n",
+                    r.nearest ? label(*r.nearest).c_str() : "none",
+                    r.bestDistance);
+        return 1;
+    };
+
+    if (mmap) {
+        // Query the v3 file in place — no deserialization; only
+        // pages the shortlisted candidates touch are ever read.
+        LoadResult<MappedStore> mapped = MappedStore::open(db_path);
+        if (!mapped)
+            fatal("identify: %s", mapped.error.c_str());
+        const BitVec es = errorString(output, exact);
+        r = linear ? mapped->queryLinear(es, params, &stats)
+                   : mapped->query(es, params, &stats);
+        return report([&](std::size_t i) {
+            return std::string(mapped->label(i));
+        });
+    }
+
+    StoreLoadResult loaded = loadStore(db_path);
+    if (!loaded)
+        fatal("identify: %s", loaded.error.c_str());
+    const FingerprintStore &store = *loaded;
+    r = linear ? store.queryLinear(errorString(output, exact), params,
                                    &stats)
                : store.query(output, exact, params, &stats);
-    if (!linear) {
-        std::printf("index: %llu of %llu records shortlisted%s\n",
-                    (unsigned long long)stats.candidatesScanned,
-                    (unsigned long long)stats.recordsAvailable,
-                    stats.indexFallbacks ? " (full-scan fallback)"
-                                         : "");
-    }
-    if (r.match) {
-        std::printf("match: %s (distance %.6f)\n",
-                    store.record(*r.match).label.c_str(),
-                    r.bestDistance);
-        return 0;
-    }
-    std::printf("no match (nearest: %s at distance %.6f)\n",
-                r.nearest ? store.record(*r.nearest).label.c_str()
-                          : "none",
-                r.bestDistance);
-    return 1;
+    return report(
+        [&](std::size_t i) { return store.record(i).label; });
 }
 
 int
