@@ -24,6 +24,7 @@
 #include "dram/dram_chip.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace
@@ -92,6 +93,10 @@ struct Check
 int
 main()
 {
+    std::printf("simd dispatch: %s (best available %s)\n",
+                simd::levelName(simd::activeLevel()),
+                simd::levelName(simd::bestAvailableLevel()));
+
     const DramConfig cfg = DramConfig::km41464a(); // 32 KB geometry
     DramChip chip(cfg, 42);
     const BitVec pattern = chip.worstCasePattern();

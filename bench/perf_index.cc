@@ -41,6 +41,7 @@
 #include "core/store.hh"
 #include "util/bitvec.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace
@@ -280,6 +281,10 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--full") == 0)
             full = true;
     }
+
+    std::printf("simd dispatch: %s (best available %s)\n",
+                simd::levelName(simd::activeLevel()),
+                simd::levelName(simd::bestAvailableLevel()));
 
     std::vector<std::pair<std::size_t, std::size_t>> plans = {
         {1000, 256}, {10000, 128}, {100000, 32}};

@@ -1,6 +1,7 @@
 #include "core/distance.hh"
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace pcause
 {
@@ -70,12 +71,23 @@ modifiedJaccardBounded(const BitVec &error_string,
                        const BitVec &fingerprint, double bound,
                        bool *pruned)
 {
+    return modifiedJaccardBounded(error_string,
+                                  error_string.popcount(),
+                                  fingerprint, bound, pruned);
+}
+
+double
+modifiedJaccardBounded(const BitVec &error_string,
+                       std::size_t es_weight,
+                       const BitVec &fingerprint, double bound,
+                       bool *pruned)
+{
     PC_ASSERT(error_string.size() == fingerprint.size(),
               "distance: size mismatch");
     if (pruned)
         *pruned = false;
 
-    const std::size_t we = error_string.popcount();
+    const std::size_t we = es_weight;
     const std::size_t wf = fingerprint.popcount();
     if (we == 0 && wf == 0)
         return 0.0;
@@ -112,19 +124,17 @@ modifiedJaccardSparseBounded(const BitVec &error_string,
         return 1.0;
 
     const std::uint32_t *pos = fingerprint.positions;
+    const std::uint64_t *words = error_string.words().data();
 
     if (wf <= we) {
         // Footnote-2 roles unchanged: the sparse operand is the
-        // fingerprint, d = |fp \ es| counted position by position
-        // with the same early-exit limit as the dense kernel.
+        // fingerprint, d = |fp \ es| counted over the position list
+        // with the same early-exit limit as the dense kernel (and
+        // the same simd::boundedBlock check granularity on every
+        // dispatch level).
         const std::size_t limit = boundedCountLimit(bound, wf);
-        std::size_t d = 0;
-        for (std::size_t i = 0; i < wf; ++i) {
-            if (!error_string.get(pos[i])) {
-                if (++d > limit)
-                    break;
-            }
-        }
+        const std::size_t d =
+            simd::sparseMissCountBounded(words, pos, wf, limit);
         if (d > limit && pruned)
             *pruned = true;
         return static_cast<double>(d) / wf;
@@ -133,22 +143,23 @@ modifiedJaccardSparseBounded(const BitVec &error_string,
     // Swapped roles: the error string plays the fingerprint,
     // d = |es \ fp| = we - |es ∩ fp|. The intersection only ever
     // grows, so we - seen_intersection - remaining_positions is a
-    // monotone lower bound on d; exit as soon as it clears the
-    // limit.
+    // monotone lower bound on d; the kernel exits at the first
+    // block boundary where it clears the limit.
     const std::size_t limit = boundedCountLimit(bound, we);
-    std::size_t inter = 0;
-    for (std::size_t i = 0; i < wf; ++i) {
-        inter += error_string.get(pos[i]);
-        const std::size_t remaining = wf - 1 - i;
-        // Compare d >= (we - inter) - remaining against the limit
-        // without risking size_t underflow in the subtraction.
-        if (we - inter > limit + remaining) {
-            if (pruned)
-                *pruned = true;
-            return static_cast<double>(we - inter - remaining) / we;
-        }
+    const simd::SparseInterScan scan =
+        simd::sparseInterCountBounded(words, pos, wf, we, limit);
+    if (scan.scanned < wf) {
+        if (pruned)
+            *pruned = true;
+        return static_cast<double>(we - scan.inter -
+                                   (wf - scan.scanned)) /
+               we;
     }
-    return static_cast<double>(we - inter) / we;
+    // Full scan: the value is exact; it still certifies > bound
+    // exactly when the final miss count clears the limit.
+    if (we - scan.inter > limit && pruned)
+        *pruned = true;
+    return static_cast<double>(we - scan.inter) / we;
 }
 
 double

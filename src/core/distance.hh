@@ -56,6 +56,18 @@ double modifiedJaccardBounded(const BitVec &error_string,
                               double bound,
                               bool *pruned = nullptr);
 
+/**
+ * modifiedJaccardBounded() with the error string's popcount
+ * precomputed: batch scans hash the query operand once instead of
+ * once per candidate (the sparse path has always worked this way).
+ * @p es_weight must equal error_string.popcount().
+ */
+double modifiedJaccardBounded(const BitVec &error_string,
+                              std::size_t es_weight,
+                              const BitVec &fingerprint,
+                              double bound,
+                              bool *pruned = nullptr);
+
 /** Algorithm 3 on sparse page-level patterns. */
 double modifiedJaccard(const SparseBitset &error_string,
                        const SparseBitset &fingerprint);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/aligned.hh"
 #include "util/bitvec.hh"
 #include "util/sparse_bitset.hh"
 
@@ -112,14 +113,16 @@ class SparseFingerprintArena : public SparseFingerprintSource
     std::size_t totalPositions() const { return arena.size(); }
 
     /** Flat position arena (record @p i occupies
-     *  [offsets[i], offsets[i+1])) — written verbatim to v3 files. */
-    const std::vector<std::uint32_t> &positions() const { return arena; }
+     *  [offsets[i], offsets[i+1])) — written verbatim to v3 files.
+     *  32-byte aligned for the SIMD scan kernels; element layout is
+     *  the v3 on-disk layout. */
+    const PosVec &positions() const { return arena; }
 
     /** Drop all records. */
     void clear();
 
   private:
-    std::vector<std::uint32_t> arena;
+    PosVec arena;
     std::vector<std::uint64_t> offsets{0};
     std::vector<std::uint64_t> universes;
 };

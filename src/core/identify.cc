@@ -86,10 +86,12 @@ struct ScanOutcome
  */
 double
 boundedDistance(const IdentifyParams &params, const BitVec &es,
-                const BitVec &fp, double bound, bool *pruned)
+                std::size_t es_weight, const BitVec &fp, double bound,
+                bool *pruned)
 {
     if (params.metric == DistanceMetric::ModifiedJaccard)
-        return modifiedJaccardBounded(es, fp, bound, pruned);
+        return modifiedJaccardBounded(es, es_weight, fp, bound,
+                                      pruned);
     *pruned = false;
     return distance(params.metric, es, fp);
 }
@@ -189,17 +191,35 @@ scanIndicesT(const std::vector<std::size_t> &candidates,
     return out;
 }
 
-/** Dense bounded kernel bound to a FingerprintDb record. */
+/**
+ * Dense bounded kernel bound to a FingerprintDb record. The query
+ * operand's popcount is hashed once at construction, not once per
+ * candidate (mirroring SparseDistAt).
+ */
 struct DenseDistAt
 {
     const BitVec &es;
+    std::size_t esWeight;
     const FingerprintDb &db;
     const IdentifyParams &params;
+
+    DenseDistAt(const BitVec &es_, const FingerprintDb &db_,
+                const IdentifyParams &params_)
+        : DenseDistAt(es_, es_.popcount(), db_, params_)
+    {
+    }
+
+    DenseDistAt(const BitVec &es_, std::size_t es_weight,
+                const FingerprintDb &db_,
+                const IdentifyParams &params_)
+        : es(es_), esWeight(es_weight), db(db_), params(params_)
+    {
+    }
 
     double operator()(std::size_t i, double bound,
                       bool *pruned) const
     {
-        return boundedDistance(params, es,
+        return boundedDistance(params, es, esWeight,
                                db.record(i).fingerprint.bits(),
                                bound, pruned);
     }
@@ -405,8 +425,19 @@ identifyAmong(const BitVec &error_string, const FingerprintDb &db,
               const std::vector<std::size_t> &candidates,
               const IdentifyParams &params, AttackStats *stats)
 {
+    return identifyAmong(error_string, error_string.popcount(), db,
+                         candidates, params, stats);
+}
+
+IdentifyResult
+identifyAmong(const BitVec &error_string, std::size_t es_weight,
+              const FingerprintDb &db,
+              const std::vector<std::size_t> &candidates,
+              const IdentifyParams &params, AttackStats *stats)
+{
     const ScanOutcome out = scanIndicesT(
-        candidates, params, DenseDistAt{error_string, db, params});
+        candidates, params,
+        DenseDistAt{error_string, es_weight, db, params});
     mergeScanCounters(stats, out);
     return outcomeToResult(out, params);
 }

@@ -164,6 +164,20 @@ IdentifyResult identifyAmong(const BitVec &error_string,
                              AttackStats *stats = nullptr);
 
 /**
+ * identifyAmong() with the error string's popcount precomputed, the
+ * way identifySparseAmong() takes it: batch callers (the store's
+ * dense query path) hash the query operand once per query instead
+ * of once per shortlisted candidate. @p es_weight must equal
+ * error_string.popcount().
+ */
+IdentifyResult identifyAmong(const BitVec &error_string,
+                             std::size_t es_weight,
+                             const FingerprintDb &db,
+                             const std::vector<std::size_t> &candidates,
+                             const IdentifyParams &params = {},
+                             AttackStats *stats = nullptr);
+
+/**
  * Serial full scan through the bounded Algorithm 3 kernel:
  * bit-identical verdicts and distances to identifyErrorString(),
  * with the early-exit pruning (and counter reporting) of the

@@ -1,10 +1,10 @@
 #include "core/minhash.hh"
 
 #include <algorithm>
-#include <bit>
 
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace pcause
@@ -13,13 +13,20 @@ namespace pcause
 namespace
 {
 
-/** Per-permutation hash keys, derived once per call. */
+/**
+ * Per-permutation hash keys, derived once per call and handed to
+ * the SIMD kernels in prepared (half-evaluated mix64) form — an
+ * algebraic refactoring, so signatures are unchanged (they persist
+ * in PCDB files).
+ */
 std::vector<std::uint64_t>
-permutationKeys(const MinHashParams &params)
+preparedKeys(const MinHashParams &params)
 {
     std::vector<std::uint64_t> keys(params.numHashes);
     for (std::uint32_t j = 0; j < params.numHashes; ++j)
         keys[j] = mix64(params.seed, j + 1);
+    simd::prepareMinhashKeys(keys.data(), params.numHashes,
+                             keys.data());
     return keys;
 }
 
@@ -42,24 +49,13 @@ minhashSignature(const BitVec &bits, const MinHashParams &params)
     MinHashSignature sig(k, ~std::uint32_t{0});
 
     // Permutation j is pos -> mix64(key_j, pos), a counter-based
-    // hash evaluated only at the set positions.
-    const std::vector<std::uint64_t> keys = permutationKeys(params);
+    // hash evaluated only at the set positions; the min-reduction
+    // over permutation lanes runs in the dispatched SIMD kernel.
+    const std::vector<std::uint64_t> ha = preparedKeys(params);
 
     const auto &words = bits.words();
-    for (std::size_t wi = 0; wi < words.size(); ++wi) {
-        std::uint64_t w = words[wi];
-        while (w) {
-            const auto bit =
-                static_cast<std::uint64_t>(std::countr_zero(w));
-            const std::uint64_t pos = wi * BitVec::wordBits + bit;
-            for (std::uint32_t j = 0; j < k; ++j) {
-                const auto h =
-                    static_cast<std::uint32_t>(mix64(keys[j], pos));
-                sig[j] = std::min(sig[j], h);
-            }
-            w &= w - 1;
-        }
-    }
+    simd::minhashSignatureWords(words.data(), words.size(), ha.data(),
+                                k, sig.data());
     return sig;
 }
 
@@ -73,28 +69,11 @@ minhashSketch(const BitVec &bits, const MinHashParams &params)
     sk.primary.assign(k, ~std::uint32_t{0});
     sk.second.assign(k, ~std::uint32_t{0});
 
-    const std::vector<std::uint64_t> keys = permutationKeys(params);
+    const std::vector<std::uint64_t> ha = preparedKeys(params);
 
     const auto &words = bits.words();
-    for (std::size_t wi = 0; wi < words.size(); ++wi) {
-        std::uint64_t w = words[wi];
-        while (w) {
-            const auto bit =
-                static_cast<std::uint64_t>(std::countr_zero(w));
-            const std::uint64_t pos = wi * BitVec::wordBits + bit;
-            for (std::uint32_t j = 0; j < k; ++j) {
-                const auto h =
-                    static_cast<std::uint32_t>(mix64(keys[j], pos));
-                if (h < sk.primary[j]) {
-                    sk.second[j] = sk.primary[j];
-                    sk.primary[j] = h;
-                } else if (h < sk.second[j] && h != sk.primary[j]) {
-                    sk.second[j] = h;
-                }
-            }
-            w &= w - 1;
-        }
-    }
+    simd::minhashSketchWords(words.data(), words.size(), ha.data(), k,
+                             sk.primary.data(), sk.second.data());
     // Permutations that saw < 2 distinct values keep the sentinel
     // in `second`; collapse it onto the minimum so substitution
     // reproduces the primary key (which the probe loop then skips).

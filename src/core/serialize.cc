@@ -490,7 +490,7 @@ saveStore(const FingerprintStore &store, std::ostream &out)
                                         sizeof(std::uint32_t)));
 
     // --- position arena (the sparse arena, verbatim) --------------
-    const std::vector<std::uint32_t> &arena = sparse.positions();
+    const auto &arena = sparse.positions();
     out.write(reinterpret_cast<const char *>(arena.data()),
               static_cast<std::streamsize>(arena.size() *
                                            sizeof(std::uint32_t)));

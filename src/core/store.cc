@@ -136,19 +136,19 @@ FingerprintStore::queryImpl(const BitVec &error_string,
 
     // The ModifiedJaccard scans run on the sparse position arena
     // (bit-identical kernel, ~30x less memory traffic); other
-    // metrics keep the dense records.
+    // metrics keep the dense records. Either way the query operand
+    // is hashed once here, never per candidate.
     const bool use_sparse =
         params.metric == DistanceMetric::ModifiedJaccard;
-    const std::size_t es_weight =
-        use_sparse ? error_string.popcount() : 0;
+    const std::size_t es_weight = error_string.popcount();
 
     if (!cand.empty()) {
         const IdentifyResult res =
             use_sparse
                 ? identifySparseAmong(error_string, es_weight, sparse,
                                       cand, params, stats)
-                : identifyAmong(error_string, records, cand, params,
-                                stats);
+                : identifyAmong(error_string, es_weight, records,
+                                cand, params, stats);
         if (res.match)
             return res;
     }

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace pcause
@@ -45,11 +46,21 @@ decayWord(const RetentionModel &model, std::uint64_t trial_stream,
 
 /**
  * Walk the words overlapping cell span [begin, end) of a single row
- * and hand every non-empty decay mask to @p f(word_index, mask).
- * @p content supplies the stored bits, @p defw the row's default
- * value replicated across a word, @p s the row's stress, and @p ep
- * its charge epoch. Words whose minimum possible retention exceeds
- * the stress are skipped without touching per-cell state.
+ * and hand every non-empty decay mask to @p f(word_index, mask),
+ * ascending by word index. @p content supplies the stored bits,
+ * @p defw the row's default value replicated across a word, @p s the
+ * row's stress, and @p ep its charge epoch. Words whose minimum
+ * possible retention exceeds the stress are skipped without touching
+ * per-cell state.
+ *
+ * The interior full words — everything but a possible partial word
+ * at each edge of the span — run through the dispatched
+ * simd::buildChargedWords kernel, which fuses the charged-bit XOR
+ * with the word-min-retention screen and reports whether any word
+ * survived; only survivors pay for per-cell decayWord sampling. The
+ * kernel's screen is exactly the scalar condition
+ * (!charged || s < wordMinEffective), so which cells get sampled —
+ * and therefore every decay decision — is unchanged.
  */
 template <typename F>
 void
@@ -58,8 +69,8 @@ decaySpanWords(const RetentionModel &model, const BitVec &content,
                std::size_t end, std::uint64_t defw, double s,
                std::uint64_t ep, F &&f)
 {
-    const std::size_t wlast = (end - 1) / 64;
-    for (std::size_t wi = begin / 64; wi <= wlast; ++wi) {
+    // One word of the span, any alignment: mask selects [lo, hi).
+    const auto scalarWord = [&](std::size_t wi) {
         const std::size_t lo = std::max(begin, wi * 64);
         const std::size_t hi = std::min(end, wi * 64 + 64);
         const std::uint64_t mask = (hi - lo == 64)
@@ -68,12 +79,51 @@ decaySpanWords(const RetentionModel &model, const BitVec &content,
         const std::uint64_t charged =
             (content.wordAt(wi) ^ defw) & mask;
         if (!charged || s < model.wordMinEffective(wi))
-            continue;
+            return;
         const std::uint64_t dead =
             decayWord(model, trial_stream, charged, wi, s, ep);
         if (dead)
             f(wi, dead);
+    };
+
+    const std::size_t wfirst = begin / 64;
+    const std::size_t wlast = (end - 1) / 64;
+    const std::size_t full_lo = (begin + 63) / 64; // first full word
+    const std::size_t full_hi = end / 64;          // one past last full
+
+    if (full_lo >= full_hi) {
+        // Span covers no full word (short or straddling): all scalar.
+        for (std::size_t wi = wfirst; wi <= wlast; ++wi)
+            scalarWord(wi);
+        return;
     }
+
+    if (wfirst < full_lo)
+        scalarWord(wfirst); // leading partial word
+
+    // Interior full words in fixed chunks through the SIMD kernel.
+    constexpr std::size_t chunkWords = 256;
+    std::uint64_t charged[chunkWords];
+    const std::uint64_t *words = content.words().data();
+    const float *word_min = model.wordMinEffectiveData();
+    for (std::size_t w0 = full_lo; w0 < full_hi; w0 += chunkWords) {
+        const std::size_t nw = std::min(chunkWords, full_hi - w0);
+        if (!simd::buildChargedWords(words + w0, nw, defw,
+                                     word_min + w0, s, charged))
+            continue;
+        for (std::size_t i = 0; i < nw; ++i) {
+            if (!charged[i])
+                continue;
+            const std::size_t wi = w0 + i;
+            const std::uint64_t dead = decayWord(
+                model, trial_stream, charged[i], wi, s, ep);
+            if (dead)
+                f(wi, dead);
+        }
+    }
+
+    if (full_hi <= wlast)
+        scalarWord(wlast); // trailing partial word
 }
 
 } // anonymous namespace

@@ -124,6 +124,13 @@ class RetentionModel
         return wordMinEff[wi];
     }
 
+    /**
+     * Raw per-word lower-bound array (float, one entry per 64-cell
+     * word) for the SIMD charged-word kernel; entry @p wi is the
+     * value wordMinEffective(@p wi) returns.
+     */
+    const float *wordMinEffectiveData() const { return wordMinEff.data(); }
+
     /** Minimum of minEffective() over @p row's cells. */
     Seconds rowMinEffective(std::size_t row) const
     {

@@ -5,6 +5,7 @@
 
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace pcause
 {
@@ -91,10 +92,7 @@ BitVec::applyMasked(std::size_t wi, std::uint64_t mask, bool value)
 std::size_t
 BitVec::popcount() const
 {
-    std::size_t total = 0;
-    for (auto w : wordStore)
-        total += std::popcount(w);
-    return total;
+    return simd::popcountWords(wordStore.data(), wordStore.size());
 }
 
 std::vector<std::size_t>
@@ -116,20 +114,18 @@ std::size_t
 BitVec::overlapCount(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        total += std::popcount(wordStore[i] & other.wordStore[i]);
-    return total;
+    return simd::andCountWords(wordStore.data(),
+                               other.wordStore.data(),
+                               wordStore.size());
 }
 
 std::size_t
 BitVec::andNotCount(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        total += std::popcount(wordStore[i] & ~other.wordStore[i]);
-    return total;
+    return simd::andNotCountWords(wordStore.data(),
+                                  other.wordStore.data(),
+                                  wordStore.size());
 }
 
 std::size_t
@@ -137,20 +133,14 @@ BitVec::andNotCountBounded(const BitVec &other,
                            std::size_t limit) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    std::size_t total = 0;
-    // Check the bound every block of words: often enough to bail
-    // early, rarely enough that the branch stays out of the inner
-    // loop's way.
-    constexpr std::size_t block = 16;
-    for (std::size_t i = 0; i < wordStore.size(); i += block) {
-        const std::size_t stop =
-            std::min(wordStore.size(), i + block);
-        for (std::size_t j = i; j < stop; ++j)
-            total += std::popcount(wordStore[j] & ~other.wordStore[j]);
-        if (total > limit)
-            return total;
-    }
-    return total;
+    // The bound is checked every simd::boundedBlock words on every
+    // dispatch level: often enough to bail early, rarely enough
+    // that the branch stays out of the inner loop's way — and part
+    // of the kernel contract, so vector and scalar paths return
+    // identical partial counts.
+    return simd::andNotCountBoundedWords(wordStore.data(),
+                                         other.wordStore.data(),
+                                         wordStore.size(), limit);
 }
 
 BitVec &
@@ -255,10 +245,9 @@ std::size_t
 BitVec::hammingDistance(const BitVec &other) const
 {
     PC_ASSERT(nbits == other.nbits, "BitVec size mismatch");
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        total += std::popcount(wordStore[i] ^ other.wordStore[i]);
-    return total;
+    return simd::xorCountWords(wordStore.data(),
+                               other.wordStore.data(),
+                               wordStore.size());
 }
 
 std::string

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.hh"
+
 namespace pcause
 {
 
@@ -58,9 +60,11 @@ class BitVec
 
     /**
      * Backing words: bit i lives at word i/64, bit i%64. Bits of the
-     * final word beyond size() are always zero.
+     * final word beyond size() are always zero. The store is
+     * 32-byte aligned (see util/aligned.hh) for the SIMD kernels;
+     * element layout is unchanged.
      */
-    const std::vector<std::uint64_t> &words() const { return wordStore; }
+    const WordVec &words() const { return wordStore; }
 
     /** Word @p wi of the backing store. */
     std::uint64_t wordAt(std::size_t wi) const
@@ -154,7 +158,7 @@ class BitVec
     void trimTail();
 
     std::size_t nbits = 0;
-    std::vector<std::uint64_t> wordStore;
+    WordVec wordStore;
 };
 
 } // namespace pcause

@@ -34,6 +34,7 @@
 #include "platform/platform.hh"
 #include "util/ascii_chart.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace
 {
@@ -339,6 +340,9 @@ cmdDbStats(const FingerprintStore &store)
                 "records)\n",
                 occ.buckets, occ.largestBucket);
     std::printf("record disk size  : %zu bytes estimated\n", disk);
+    std::printf("simd dispatch     : %s (best available %s)\n",
+                simd::levelName(simd::activeLevel()),
+                simd::levelName(simd::bestAvailableLevel()));
     return 0;
 }
 
