@@ -10,6 +10,8 @@
  * times parallel characterization and batched stitching ingest.
  */
 
+// Times the raw serial/parallel kernels against each other.
+#define PCAUSE_ALLOW_DEPRECATED_IDENTIFY
 #include <chrono>
 #include <cstdio>
 #include <vector>

@@ -23,8 +23,35 @@ secondsSince(std::chrono::steady_clock::time_point start)
 
 } // anonymous namespace
 
+namespace
+{
+
+/** The QueryOptions an attacker's IdentifyParams denote. */
+QueryOptions
+optionsFor(const IdentifyParams &prm)
+{
+    QueryOptions o;
+    o.threshold = prm.threshold;
+    o.metric = prm.metric;
+    o.firstMatch = prm.firstMatch;
+    return o;
+}
+
+/** Strip a facade verdict back to the raw result shape. */
+IdentifyResult
+resultOf(const IdentifyVerdict &v)
+{
+    IdentifyResult r;
+    r.match = v.record;
+    r.bestDistance = v.distance;
+    r.nearest = v.nearest;
+    return r;
+}
+
+} // anonymous namespace
+
 SupplyChainAttacker::SupplyChainAttacker(const IdentifyParams &params)
-    : prm(params)
+    : prm(params), svc(FingerprintStore{})
 {
 }
 
@@ -51,14 +78,17 @@ SupplyChainAttacker::interceptChip(TestHarness &harness,
     Fingerprint fp = workers ? characterize(outputs, exact, *workers)
                              : characterize(outputs, exact);
     counters.characterizeSeconds += secondsSince(start);
-    return fps.add(label, std::move(fp));
+    return svc.addRecord(label, std::move(fp)).record;
 }
 
 IdentifyResult
 SupplyChainAttacker::attribute(const BitVec &approx,
                                const BitVec &exact) const
 {
-    return fps.query(approx, exact, prm, &counters);
+    IdentifyRequest req;
+    req.errorString = errorString(approx, exact);
+    req.options = optionsFor(prm);
+    return resultOf(svc.identify(req));
 }
 
 std::vector<IdentifyResult>
@@ -71,7 +101,12 @@ SupplyChainAttacker::attributeBatch(
     pool.parallelFor(0, approx_outputs.size(), [&](std::size_t i) {
         error_strings[i] = errorString(approx_outputs[i], exact);
     });
-    return fps.queryBatch(error_strings, prm, &counters);
+    std::vector<IdentifyResult> results;
+    results.reserve(error_strings.size());
+    for (const IdentifyVerdict &v :
+         svc.identifyBatch(error_strings, optionsFor(prm)))
+        results.push_back(resultOf(v));
+    return results;
 }
 
 std::vector<IdentifyResult>
@@ -87,7 +122,12 @@ SupplyChainAttacker::attributeBatch(
         error_strings[i] =
             errorString(approx_outputs[i], exact_values[i]);
     });
-    return fps.queryBatch(error_strings, prm, &counters);
+    std::vector<IdentifyResult> results;
+    results.reserve(error_strings.size());
+    for (const IdentifyVerdict &v :
+         svc.identifyBatch(error_strings, optionsFor(prm)))
+        results.push_back(resultOf(v));
+    return results;
 }
 
 IdentifyResult
@@ -95,13 +135,23 @@ SupplyChainAttacker::attributeWithData(const BitVec &approx,
                                        const BitVec &exact,
                                        const DramConfig &config) const
 {
-    return identifyWithData(approx, exact, config, fps.db(), prm);
+    return identifyWithData(approx, exact, config, *svc.db(), prm);
 }
 
 const std::string &
 SupplyChainAttacker::label(std::size_t index) const
 {
-    return fps.record(index).label;
+    return svc.store()->record(index).label;
+}
+
+const AttackStats &
+SupplyChainAttacker::stats() const
+{
+    // Characterization time lives in this object's counters; query
+    // counters accumulate inside the facade. Merge on read.
+    merged = counters;
+    merged += svc.snapshot();
+    return merged;
 }
 
 EavesdropperAttacker::EavesdropperAttacker(const StitchParams &params)

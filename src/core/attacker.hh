@@ -20,6 +20,7 @@
 
 #include "core/attack_stats.hh"
 #include "core/identify.hh"
+#include "core/service.hh"
 #include "core/stitcher.hh"
 #include "core/store.hh"
 #include "os/commodity_system.hh"
@@ -59,7 +60,7 @@ class SupplyChainAttacker
     void setThreadPool(ThreadPool *pool)
     {
         workers = pool;
-        fps.setThreadPool(pool);
+        svc.setThreadPool(pool);
     }
 
     /**
@@ -101,23 +102,35 @@ class SupplyChainAttacker
     /** Label of database record @p index. */
     const std::string &label(std::size_t index) const;
 
+    /** The identification facade every attribution flows through. */
+    const AttackService &service() const { return svc; }
+
     /** The indexed fingerprint store backing this attacker. */
-    const FingerprintStore &store() const { return fps; }
+    const FingerprintStore &store() const { return *svc.store(); }
 
     /** The accumulated fingerprint database (view into store()). */
-    const FingerprintDb &database() const { return fps.db(); }
+    const FingerprintDb &database() const { return *svc.db(); }
 
-    /** Session counters and per-phase wall time. */
-    const AttackStats &stats() const { return counters; }
+    /** Session counters and per-phase wall time (characterization
+     *  time plus the facade's query counters, merged). */
+    const AttackStats &stats() const;
 
   private:
     IdentifyParams prm;
-    FingerprintStore fps;
+
+    /** The AttackService facade over an in-memory store: every
+     *  attribute* call is a facade query, so attacker verdicts are
+     *  the served ones by construction. */
+    AttackService svc;
+
     std::uint64_t trialCounter = 0;
     ThreadPool *workers = nullptr;
 
     /** Measurements, not attack state: const paths update them. */
     mutable AttackStats counters;
+
+    /** stats() return slot: counters + svc.snapshot() merged. */
+    mutable AttackStats merged;
 };
 
 /** Threat model (b): post-deployment eavesdropping. */

@@ -1,3 +1,5 @@
+// This TU *is* the deprecated surface.
+#define PCAUSE_ALLOW_DEPRECATED_IDENTIFY
 #include "core/identify.hh"
 
 #include <algorithm>

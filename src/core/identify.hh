@@ -24,6 +24,23 @@
 #include "dram/dram_config.hh"
 #include "util/bitvec.hh"
 
+/**
+ * The raw scan entry points below are superseded by the
+ * AttackService facade (core/service.hh): one QueryOptions-driven
+ * identify() covers the indexed, linear, sparse, and batch paths.
+ * They stay available — the store's query kernels and the
+ * differential-test oracles are built on them — but new callers
+ * outside src/core should go through AttackService. TUs that *are*
+ * the implementation (or deliberately diff against the raw kernels)
+ * define PCAUSE_ALLOW_DEPRECATED_IDENTIFY before their first
+ * include to opt out of the warning.
+ */
+#if defined(PCAUSE_ALLOW_DEPRECATED_IDENTIFY)
+#define PCAUSE_DEPRECATED_IDENTIFY(msg)
+#else
+#define PCAUSE_DEPRECATED_IDENTIFY(msg) [[deprecated(msg)]]
+#endif
+
 namespace pcause
 {
 
@@ -142,6 +159,8 @@ IdentifyResult identifyWithData(const BitVec &approx,
  * is bit-identical to serial identify() for both firstMatch
  * settings. @p stats, when non-null, accumulates kernel counters.
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult
 identifyErrorStringParallel(const BitVec &error_string,
                             const FingerprintDb &db,
@@ -157,6 +176,8 @@ identifyErrorStringParallel(const BitVec &error_string,
  * built on this. @p stats, when non-null, accumulates kernel
  * counters.
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult identifyAmong(const BitVec &error_string,
                              const FingerprintDb &db,
                              const std::vector<std::size_t> &candidates,
@@ -170,6 +191,8 @@ IdentifyResult identifyAmong(const BitVec &error_string,
  * of once per shortlisted candidate. @p es_weight must equal
  * error_string.popcount().
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult identifyAmong(const BitVec &error_string,
                              std::size_t es_weight,
                              const FingerprintDb &db,
@@ -183,6 +206,8 @@ IdentifyResult identifyAmong(const BitVec &error_string,
  * with the early-exit pruning (and counter reporting) of the
  * parallel scan but no thread pool.
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult
 identifyErrorStringBounded(const BitVec &error_string,
                            const FingerprintDb &db,
@@ -198,6 +223,8 @@ identifyErrorStringBounded(const BitVec &error_string,
  * callers hash it once per query. Performs no timing of its own;
  * callers stamp wall time.
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult
 identifySparseAmong(const BitVec &error_string, std::size_t es_weight,
                     const SparseFingerprintSource &fps,
@@ -209,6 +236,8 @@ identifySparseAmong(const BitVec &error_string, std::size_t es_weight,
  * identifyErrorStringBounded() against sparse fingerprints
  * (ModifiedJaccard only, untimed — see identifySparseAmong()).
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult
 identifySparseBounded(const BitVec &error_string,
                       std::size_t es_weight,
@@ -222,6 +251,8 @@ identifySparseBounded(const BitVec &error_string,
  * the database sharded across @p pool with the same
  * earliest-match protocol, bit-identical to the serial sparse scan.
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 IdentifyResult
 identifySparseParallel(const BitVec &error_string,
                        std::size_t es_weight,
@@ -237,6 +268,8 @@ identifySparseParallel(const BitVec &error_string,
  * bit-identical to a serial identifyErrorString() call. Passing a
  * null @p pool uses ThreadPool::global().
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 std::vector<IdentifyResult>
 identifyErrorStringBatch(const std::vector<BitVec> &error_strings,
                          const FingerprintDb &db,
@@ -249,6 +282,8 @@ identifyErrorStringBatch(const std::vector<BitVec> &error_strings,
  * (in parallel), then runs identifyErrorStringBatch().
  * @p approx_outputs and @p exact_values pair up elementwise.
  */
+PCAUSE_DEPRECATED_IDENTIFY(
+    "superseded by AttackService (core/service.hh)")
 std::vector<IdentifyResult>
 identifyBatch(const std::vector<BitVec> &approx_outputs,
               const std::vector<BitVec> &exact_values,

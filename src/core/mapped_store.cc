@@ -1,3 +1,5 @@
+// The mapped query path is built on the raw sparse kernels.
+#define PCAUSE_ALLOW_DEPRECATED_IDENTIFY
 #include "core/mapped_store.hh"
 
 #include <algorithm>

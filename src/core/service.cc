@@ -1,0 +1,301 @@
+#include "core/service.hh"
+
+#include <atomic>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+/**
+ * Stable small ordinal per thread, assigned on first use: the
+ * ServiceStats slot picker. Global across instances — two services
+ * sharing a worker thread simply use the same ordinal.
+ */
+std::size_t
+threadOrdinal()
+{
+    static std::atomic<std::size_t> next{0};
+    static thread_local std::size_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // anonymous namespace
+
+ServiceStats::ServiceStats(std::size_t num_slots)
+    : slotCount(num_slots == 0 ? 1 : num_slots),
+      slots(std::make_unique<Slot[]>(slotCount))
+{
+}
+
+void
+ServiceStats::accumulate(const AttackStats &delta) const
+{
+    const Slot &slot = slots[threadOrdinal() % slotCount];
+    std::lock_guard<std::mutex> lock(slot.m);
+    slot.s += delta;
+}
+
+AttackStats
+ServiceStats::snapshot() const
+{
+    AttackStats total;
+    for (std::size_t i = 0; i < slotCount; ++i) {
+        std::lock_guard<std::mutex> lock(slots[i].m);
+        total += slots[i].s;
+    }
+    return total;
+}
+
+AttackService::AttackService(FingerprintStore store)
+    : owned(std::move(store)),
+      gate(std::make_unique<std::shared_mutex>()),
+      counters(std::make_unique<ServiceStats>())
+{
+}
+
+AttackService::AttackService(MappedStore store)
+    : mapped(std::move(store)),
+      gate(std::make_unique<std::shared_mutex>()),
+      counters(std::make_unique<ServiceStats>())
+{
+}
+
+LoadResult<AttackService>
+AttackService::open(const std::string &path, bool mmap)
+{
+    LoadResult<AttackService> res;
+    if (mmap) {
+        LoadResult<MappedStore> m = MappedStore::open(path);
+        if (!m) {
+            res.error = m.error;
+            return res;
+        }
+        res.value.emplace(std::move(*m));
+        return res;
+    }
+    StoreLoadResult s = loadStore(path);
+    if (!s) {
+        res.error = s.error;
+        return res;
+    }
+    res.value.emplace(std::move(*s));
+    return res;
+}
+
+std::size_t
+AttackService::size() const
+{
+    return owned ? owned->size() : mapped->size();
+}
+
+void
+AttackService::setThreadPool(ThreadPool *pool)
+{
+    if (owned)
+        owned->setThreadPool(pool);
+    else
+        mapped->setThreadPool(pool);
+}
+
+IdentifyResult
+AttackService::dispatch(const BitVec &error_string,
+                        const QueryOptions &options,
+                        AttackStats *delta) const
+{
+    const IdentifyParams p = options.identifyParams();
+    if (mapped) {
+        PC_ASSERT(options.metric == DistanceMetric::ModifiedJaccard,
+                  "AttackService: the mmap backend serves the "
+                  "ModifiedJaccard metric only");
+        return options.linear
+                   ? mapped->queryLinear(error_string, p, delta)
+                   : mapped->query(error_string, p, delta);
+    }
+    return options.linear ? owned->queryLinear(error_string, p, delta)
+                          : owned->query(error_string, p, delta);
+}
+
+IdentifyVerdict
+AttackService::resolve(const IdentifyResult &r, AttackStats delta) const
+{
+    IdentifyVerdict v;
+    v.matched = r.match.has_value();
+    v.distance = r.bestDistance;
+    v.record = r.match;
+    v.nearest = r.nearest;
+    if (r.match)
+        v.label = label(*r.match);
+    if (r.nearest)
+        v.nearestLabel = label(*r.nearest);
+    v.delta = std::move(delta);
+    return v;
+}
+
+IdentifyVerdict
+AttackService::identify(const IdentifyRequest &req) const
+{
+    AttackStats delta;
+    IdentifyVerdict v;
+    {
+        std::shared_lock<std::shared_mutex> lock(*gate);
+        const IdentifyResult r =
+            dispatch(req.errorString, req.options, &delta);
+        v = resolve(r, delta);
+    }
+    counters->accumulate(delta);
+    return v;
+}
+
+std::vector<IdentifyVerdict>
+AttackService::identifyBatch(const std::vector<BitVec> &error_strings,
+                             const QueryOptions &options) const
+{
+    std::vector<IdentifyVerdict> verdicts;
+    verdicts.reserve(error_strings.size());
+    AttackStats delta;
+    {
+        std::shared_lock<std::shared_mutex> lock(*gate);
+        if (owned && !options.linear) {
+            // The batched path: queryBatch spreads queries across
+            // the pool, elementwise bit-identical to query().
+            const std::vector<IdentifyResult> results =
+                owned->queryBatch(error_strings,
+                                  options.identifyParams(), &delta);
+            for (const IdentifyResult &r : results)
+                verdicts.push_back(resolve(r, AttackStats{}));
+        } else {
+            // Mapped or linear backends have no batch entry; the
+            // per-query dispatch is already the exact path.
+            for (const BitVec &es : error_strings) {
+                const IdentifyResult r =
+                    dispatch(es, options, &delta);
+                verdicts.push_back(resolve(r, AttackStats{}));
+            }
+        }
+    }
+    // Per-element deltas are not separable inside a shared batch
+    // scan; the batch total reports through snapshot() instead.
+    counters->accumulate(delta);
+    return verdicts;
+}
+
+AttackService::AddOutcome
+AttackService::addFingerprint(const ChipLabel &label,
+                              const std::vector<BitVec> &error_strings)
+{
+    AddOutcome out;
+    if (error_strings.empty()) {
+        out.error = "characterize needs at least one error string";
+        return out;
+    }
+    // Algorithm 1: intersect the error strings.
+    Fingerprint fp(error_strings.front());
+    for (std::size_t i = 1; i < error_strings.size(); ++i)
+        fp.augment(error_strings[i]);
+    return addRecord(label, std::move(fp));
+}
+
+AttackService::AddOutcome
+AttackService::addRecord(ChipLabel label, Fingerprint fp)
+{
+    AddOutcome out;
+    if (readOnly()) {
+        out.error = "database is served read-only (mmap backend)";
+        return out;
+    }
+    out.weight = fp.weight();
+    {
+        std::unique_lock<std::shared_mutex> lock(*gate);
+        out.record = owned->add(std::move(label), std::move(fp));
+    }
+    out.added = true;
+    return out;
+}
+
+ServiceDbStats
+AttackService::dbStats() const
+{
+    ServiceDbStats s;
+    std::shared_lock<std::shared_mutex> lock(*gate);
+    s.records = size();
+    if (owned) {
+        s.backend = "store";
+        s.indexParams = owned->indexParams();
+        const LshIndex::Occupancy occ = owned->index().occupancy();
+        s.hasOccupancy = true;
+        s.lshBuckets = occ.buckets;
+        s.largestBucket = occ.largestBucket;
+        for (std::size_t i = 0; i < owned->size(); ++i) {
+            const FingerprintRecord &rec = owned->record(i);
+            const std::size_t weight = rec.fingerprint.weight();
+            s.volatileCells += weight;
+            if (rec.fingerprint.bits().size() > s.universeBits)
+                s.universeBits = rec.fingerprint.bits().size();
+            s.diskBytesEstimate += recordDiskSize(
+                weight, rec.label.size(), s.indexParams.numHashes);
+        }
+        return s;
+    }
+    s.backend = "mmap";
+    s.indexParams = mapped->indexParams();
+    for (std::size_t i = 0; i < mapped->size(); ++i) {
+        const SparseView v = mapped->view(i);
+        s.volatileCells += v.count;
+        if (v.universe > s.universeBits)
+            s.universeBits = static_cast<std::size_t>(v.universe);
+        s.diskBytesEstimate += recordDiskSize(
+            v.count, mapped->label(i).size(),
+            s.indexParams.numHashes);
+    }
+    return s;
+}
+
+AttackStats
+AttackService::snapshot() const
+{
+    return counters->snapshot();
+}
+
+std::string
+AttackService::statsJson() const
+{
+    const AttackStats s = snapshot();
+    std::size_t records;
+    {
+        std::shared_lock<std::shared_mutex> lock(*gate);
+        records = size();
+    }
+    std::ostringstream json;
+    json << "{"
+         << "\"backend\": \"" << (readOnly() ? "mmap" : "store")
+         << "\", "
+         << "\"records\": " << records << ", "
+         << "\"index_queries\": " << s.indexQueries << ", "
+         << "\"index_fallbacks\": " << s.indexFallbacks << ", "
+         << "\"candidates_scanned\": " << s.candidatesScanned << ", "
+         << "\"records_available\": " << s.recordsAvailable << ", "
+         << "\"distances_computed\": " << s.distancesComputed << ", "
+         << "\"distances_pruned\": " << s.distancesPruned << ", "
+         << "\"pages_probed\": " << s.pagesProbed << ", "
+         << "\"characterize_seconds\": " << s.characterizeSeconds
+         << ", "
+         << "\"identify_seconds\": " << s.identifySeconds << ", "
+         << "\"ingest_seconds\": " << s.ingestSeconds << "}";
+    return json.str();
+}
+
+std::string
+AttackService::label(std::size_t i) const
+{
+    if (owned)
+        return owned->record(i).label;
+    return std::string(mapped->label(i));
+}
+
+} // namespace pcause

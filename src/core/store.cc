@@ -1,3 +1,5 @@
+// The store query path is built on the raw scan kernels.
+#define PCAUSE_ALLOW_DEPRECATED_IDENTIFY
 #include "core/store.hh"
 
 #include <chrono>

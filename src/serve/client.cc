@@ -1,0 +1,109 @@
+#include "serve/client.hh"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pcause::serve
+{
+
+std::string
+Client::connect(std::uint16_t port)
+{
+    close();
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return std::string("socket: ") + std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const std::string err =
+            std::string("connect: ") + std::strerror(errno);
+        close();
+        return err;
+    }
+    // Request-response framing: never wait for Nagle.
+    const int nd = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nd, sizeof(nd));
+    return {};
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+Reply
+Client::exchange(const Payload &request)
+{
+    if (!writeFrame(fd, request)) {
+        Reply r;
+        r.transportError = "send failed";
+        return r;
+    }
+    return receive();
+}
+
+bool
+Client::sendRaw(const void *bytes, std::size_t len)
+{
+    std::size_t sent = 0;
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    while (sent < len) {
+        const ssize_t r =
+            ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+Reply
+Client::receive()
+{
+    Reply r;
+    const ReadStatus st = readFrame(fd, r.payload, maxFramePayload);
+    if (st != ReadStatus::Ok) {
+        r.transportError = readStatusName(st);
+        return r;
+    }
+    r.opcode = static_cast<Opcode>(payloadOpcode(r.payload));
+    return r;
+}
+
+std::optional<IdentifyVerdict>
+Client::identify(const IdentifyRequest &req, int busy_retries)
+{
+    const Payload frame = encodeIdentify(req);
+    for (int attempt = 0; attempt <= busy_retries; ++attempt) {
+        const Reply r = exchange(frame);
+        if (!r.ok())
+            return std::nullopt;
+        if (*r.opcode == Opcode::Busy)
+            continue;
+        if (*r.opcode != Opcode::Verdict)
+            return std::nullopt;
+        LoadResult<IdentifyVerdict> v = decodeVerdict(r.payload);
+        if (!v)
+            return std::nullopt;
+        return std::move(*v);
+    }
+    return std::nullopt;
+}
+
+} // namespace pcause::serve

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Blocking pcaused client: one connection, request-reply framing.
+ * Shared by the loadgen tool, the serve tests, and the pcheck
+ * differential property (served verdict ≡ direct store query).
+ */
+
+#ifndef PCAUSE_SERVE_CLIENT_HH
+#define PCAUSE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace pcause::serve
+{
+
+/** One reply, classified. */
+struct Reply
+{
+    /** Reply opcode (Verdict / Added / Json / Ok / Busy / Error),
+     *  or nullopt when the connection failed mid-exchange. */
+    std::optional<Opcode> opcode;
+
+    /** The raw payload (decode with the matching decode*). */
+    Payload payload;
+
+    /** Transport-level failure description when opcode is empty. */
+    std::string transportError;
+
+    bool ok() const { return opcode.has_value(); }
+};
+
+/** Blocking client over one connection (not thread-safe). */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(Client &&other) noexcept : fd(other.fd)
+    {
+        other.fd = -1;
+    }
+    Client &operator=(Client &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd = other.fd;
+            other.fd = -1;
+        }
+        return *this;
+    }
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to 127.0.0.1:@p port; error string on failure. */
+    std::string connect(std::uint16_t port);
+
+    bool connected() const { return fd >= 0; }
+
+    void close();
+
+    /** Send one frame and read one reply. */
+    Reply exchange(const Payload &request);
+
+    /** Send raw bytes with no framing — the hostile-input hook
+     *  (truncated frames, forged length prefixes). */
+    bool sendRaw(const void *bytes, std::size_t len);
+
+    /** Read one reply frame after sendRaw. */
+    Reply receive();
+
+    /** Identify convenience: BUSY retries up to @p busy_retries
+     *  times, then gives up. Returns nullopt on transport error,
+     *  Error reply, or persistent BUSY. */
+    std::optional<IdentifyVerdict>
+    identify(const IdentifyRequest &req, int busy_retries = 0);
+
+  private:
+    int fd = -1;
+};
+
+} // namespace pcause::serve
+
+#endif // PCAUSE_SERVE_CLIENT_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Load generation against a running pcaused: synthetic populations
+ * (the perf_index recipe), closed- and open-loop traffic tiers over
+ * loopback, latency percentiles, and per-verdict divergence checks
+ * against direct FingerprintStore queries. Shared by tools/loadgen
+ * (external process driver, the CI serve-smoke job) and
+ * bench/perf_serve (in-process scoreboard).
+ */
+
+#ifndef PCAUSE_SERVE_LOADGEN_HH
+#define PCAUSE_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/service.hh"
+#include "core/store.hh"
+
+namespace pcause::serve
+{
+
+/** Synthetic population recipe (the perf_index constants: 8192-bit
+ *  universe, weight-256 fingerprints, 64 noise bits, 15:1
+ *  known:unknown query mix). */
+struct PopulationParams
+{
+    std::size_t records = 10000;
+    std::uint64_t seed = 0x7063617573656472ull; //!< "pcausedr"
+};
+
+/** Deterministic population: records labeled chip-<i>. */
+FingerprintStore buildPopulation(const PopulationParams &params);
+
+/** Deterministic query mix over @p store: mostly noisy supersets of
+ *  database fingerprints, a 1-in-16 fraction of unknown chips. */
+std::vector<BitVec> buildQueries(const FingerprintStore &store,
+                                 std::size_t count,
+                                 std::uint64_t seed);
+
+/**
+ * Direct (unserved) verdicts for @p queries — the reference the
+ * served responses are diffed against. Uses the same
+ * FingerprintStore::query path the service dispatches to, so
+ * distances compare bit-for-bit.
+ */
+std::vector<IdentifyVerdict>
+directVerdicts(const FingerprintStore &store,
+               const std::vector<BitVec> &queries,
+               const QueryOptions &options);
+
+/** True when @p served and @p direct disagree on accept/reject,
+ *  label, or the exact f64 distance bits. */
+bool verdictsDiverge(const IdentifyVerdict &served,
+                     const IdentifyVerdict &direct);
+
+/** One traffic tier. */
+struct TierSpec
+{
+    std::string name;
+
+    /** Open loop paces requests at targetRps with latency measured
+     *  from the scheduled send time (queue delay counts); closed
+     *  loop sends back-to-back per connection. */
+    bool openLoop = false;
+
+    std::size_t connections = 4;
+
+    /** Total requests across all connections. */
+    std::size_t requests = 256;
+
+    /** Offered load (open loop only). */
+    double targetRps = 500.0;
+
+    /** BUSY replies retried this many times before counting the
+     *  request as shed. */
+    int busyRetries = 64;
+};
+
+/** Measured outcome of one tier. */
+struct TierResult
+{
+    std::string name;
+    bool openLoop = false;
+    std::size_t connections = 0;
+    std::size_t requestsSent = 0;
+    std::size_t completed = 0;
+    std::size_t busyReplies = 0;  //!< total BUSY frames seen
+    std::size_t shed = 0;         //!< gave up after busyRetries
+    std::size_t transportErrors = 0;
+    std::size_t divergences = 0;
+    double durationSeconds = 0.0;
+    double offeredRps = 0.0; //!< open loop target (0 for closed)
+    double achievedRps = 0.0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/**
+ * Run one tier against 127.0.0.1:@p port. Queries are dealt to
+ * connections round-robin; when @p expected is non-null, every
+ * verdict is diffed against it (same indexing as @p queries).
+ */
+TierResult runTier(std::uint16_t port,
+                   const std::vector<BitVec> &queries,
+                   const std::vector<IdentifyVerdict> *expected,
+                   const QueryOptions &options,
+                   const TierSpec &spec);
+
+/** Write BENCH_serve.json (see docs/TESTING.md for fields). */
+void writeBenchJson(const std::string &path,
+                    const std::vector<TierResult> &tiers,
+                    std::size_t records, std::size_t threads,
+                    bool pass);
+
+/** Print the standard one-line tier report. */
+void printTier(const TierResult &r);
+
+} // namespace pcause::serve
+
+#endif // PCAUSE_SERVE_LOADGEN_HH

@@ -1,0 +1,248 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace pcause::serve
+{
+
+Server::Server(AttackService &service, ServerConfig config)
+    : svc(service), cfg(config), coalescer(service, config.batcher)
+{
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("pcaused: socket: %s", std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg.port);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("pcaused: bind 127.0.0.1:%u: %s", unsigned(cfg.port),
+              std::strerror(errno));
+    if (::listen(listenFd, 128) < 0)
+        fatal("pcaused: listen: %s", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    boundPort = ntohs(addr.sin_port);
+
+    int pipefd[2];
+    if (::pipe(pipefd) < 0)
+        fatal("pcaused: pipe: %s", std::strerror(errno));
+    wakeRead = pipefd[0];
+    wakeWrite = pipefd[1];
+
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+Server::~Server()
+{
+    requestStop();
+    wait();
+    ::close(wakeRead);
+    ::close(wakeWrite);
+}
+
+void
+Server::requestStop()
+{
+    if (stopping.exchange(true))
+        return;
+    // Wake the poll() and unblock every connection reader.
+    const char byte = 1;
+    (void)!::write(wakeWrite, &byte, 1);
+    std::lock_guard<std::mutex> lock(connMutex);
+    for (int fd : openFds)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+Server::wait()
+{
+    if (acceptor.joinable())
+        acceptor.join();
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(connMutex);
+        workers.swap(connections);
+    }
+    for (std::thread &t : workers)
+        if (t.joinable())
+            t.join();
+}
+
+std::size_t
+Server::connectionsServed() const
+{
+    return served.load();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping.load()) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0},
+                         {wakeRead, POLLIN, 0}};
+        const int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (stopping.load() || (fds[1].revents & POLLIN))
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // Request-response framing: never wait for Nagle.
+        const int nd = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nd, sizeof(nd));
+
+        std::lock_guard<std::mutex> lock(connMutex);
+        if (active.load() >= cfg.maxConnections) {
+            // Explicit refusal, not a silent drop.
+            writeFrame(fd, encodeError("too many connections"));
+            ::close(fd);
+            continue;
+        }
+        active.fetch_add(1);
+        openFds.push_back(fd);
+        // Reap finished workers so long-lived servers don't grow an
+        // unbounded thread vector.
+        connections.erase(
+            std::remove_if(connections.begin(), connections.end(),
+                           [](std::thread &t) {
+                               return !t.joinable();
+                           }),
+            connections.end());
+        connections.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+    ::close(listenFd);
+    listenFd = -1;
+}
+
+void
+Server::serveConnection(int fd)
+{
+    Payload request;
+    for (;;) {
+        const ReadStatus st =
+            readFrame(fd, request, maxFramePayload);
+        if (st == ReadStatus::Eof)
+            break;
+        if (st != ReadStatus::Ok) {
+            // Oversized/empty/truncated frames get a clean Error
+            // reply (best effort — the peer may be gone) and a
+            // close; the server itself keeps running.
+            writeFrame(fd, encodeError(readStatusName(st)));
+            break;
+        }
+        if (!handleFrame(fd, request))
+            break;
+    }
+    ::close(fd);
+    {
+        std::lock_guard<std::mutex> lock(connMutex);
+        openFds.erase(
+            std::remove(openFds.begin(), openFds.end(), fd),
+            openFds.end());
+    }
+    active.fetch_sub(1);
+    served.fetch_add(1);
+}
+
+bool
+Server::handleFrame(int fd, const Payload &request)
+{
+    switch (static_cast<Opcode>(payloadOpcode(request))) {
+      case Opcode::Identify: {
+        LoadResult<IdentifyRequest> req = decodeIdentify(request);
+        if (!req) {
+            writeFrame(fd, encodeError(req.error));
+            return false;
+        }
+        if (svc.readOnly() &&
+            req->options.metric != DistanceMetric::ModifiedJaccard) {
+            writeFrame(fd, encodeError("mmap backend serves the "
+                                       "ModifiedJaccard metric only"));
+            return false;
+        }
+        std::optional<IdentifyVerdict> verdict =
+            coalescer.submit(std::move(*req));
+        if (!verdict)
+            return writeFrame(fd, encodeEmpty(Opcode::Busy));
+        return writeFrame(fd, encodeVerdict(*verdict));
+      }
+      case Opcode::Characterize: {
+        LoadResult<CharacterizeRequest> req =
+            decodeCharacterize(request);
+        if (!req) {
+            writeFrame(fd, encodeError(req.error));
+            return false;
+        }
+        const AttackService::AddOutcome out =
+            svc.addFingerprint(req->label, req->errorStrings);
+        AddReply reply;
+        reply.added = out.added;
+        reply.record = out.record;
+        reply.weight = out.weight;
+        reply.error = out.error;
+        return writeFrame(fd, encodeAdded(reply));
+      }
+      case Opcode::DbStats: {
+        const ServiceDbStats s = svc.dbStats();
+        std::string json = "{\"backend\": \"";
+        json += s.backend;
+        json += "\", \"records\": " + std::to_string(s.records);
+        json += ", \"universe_bits\": " +
+                std::to_string(s.universeBits);
+        json += ", \"volatile_cells\": " +
+                std::to_string(s.volatileCells);
+        json += ", \"disk_bytes_estimate\": " +
+                std::to_string(s.diskBytesEstimate);
+        json += ", \"minhash_hashes\": " +
+                std::to_string(s.indexParams.numHashes);
+        json += ", \"minhash_bands\": " +
+                std::to_string(s.indexParams.bands);
+        if (s.hasOccupancy) {
+            json += ", \"lsh_buckets\": " +
+                    std::to_string(s.lshBuckets);
+            json += ", \"lsh_largest_bucket\": " +
+                    std::to_string(s.largestBucket);
+        }
+        json += "}";
+        return writeFrame(fd, encodeJson(json));
+      }
+      case Opcode::Stats:
+        return writeFrame(fd, encodeJson(svc.statsJson()));
+      case Opcode::Shutdown:
+        writeFrame(fd, encodeEmpty(Opcode::Ok));
+        requestStop();
+        return false;
+      default:
+        writeFrame(fd, encodeError("garbage opcode"));
+        return false;
+    }
+}
+
+} // namespace pcause::serve

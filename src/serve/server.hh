@@ -1,0 +1,106 @@
+/**
+ * @file
+ * pcaused server core: accept loop + thread-per-connection workers
+ * over the wire protocol, all queries flowing through one shared
+ * AttackService.
+ *
+ * The accept loop polls the listening socket alongside a wakeup
+ * pipe so stop() interrupts it promptly; each accepted connection
+ * gets a worker thread that reads frames, dispatches, and writes
+ * replies until the peer closes or sends something malformed
+ * (answered with Error, then the connection is closed — hostile
+ * bytes never take the server down). Identify requests go through
+ * the shared Batcher so concurrent clients coalesce into
+ * queryBatch calls; a full queue answers BUSY.
+ */
+
+#ifndef PCAUSE_SERVE_SERVER_HH
+#define PCAUSE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service.hh"
+#include "serve/batcher.hh"
+#include "serve/protocol.hh"
+
+namespace pcause::serve
+{
+
+/** Server tuning. */
+struct ServerConfig
+{
+    /** Port to bind on 127.0.0.1; 0 picks an ephemeral port
+     *  (read it back from port()). */
+    std::uint16_t port = 0;
+
+    /** Accepted connections beyond this are closed immediately
+     *  after an Error reply. */
+    std::size_t maxConnections = 256;
+
+    /** Micro-batcher tuning (queue bound = backpressure point). */
+    BatcherConfig batcher;
+};
+
+/** A running pcaused instance (see file comment). */
+class Server
+{
+  public:
+    /** Binds and starts the accept loop; fatal() on bind failure. */
+    Server(AttackService &service, ServerConfig config);
+
+    /** Stops and joins everything. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bound port (the ephemeral one when config.port was 0). */
+    std::uint16_t port() const { return boundPort; }
+
+    /** Request shutdown: stops accepting, unblocks workers. */
+    void requestStop();
+
+    /** Block until the server has stopped (a Shutdown frame or
+     *  requestStop()). */
+    void wait();
+
+    /** Connections served to completion. */
+    std::size_t connectionsServed() const;
+
+    /** The shared batcher (batch-size observables for benches). */
+    const Batcher &batcher() const { return coalescer; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    bool handleFrame(int fd, const Payload &request);
+
+    AttackService &svc;
+    const ServerConfig cfg;
+    Batcher coalescer;
+
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::uint16_t boundPort = 0;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<std::size_t> served{0};
+    std::atomic<std::size_t> active{0};
+
+    std::mutex connMutex;
+    std::vector<std::thread> connections;
+    std::vector<int> openFds;
+
+    std::thread acceptor;
+};
+
+} // namespace pcause::serve
+
+#endif // PCAUSE_SERVE_SERVER_HH

@@ -8,6 +8,8 @@
  * reference.
  */
 
+// Differential oracle: properties over the raw kernels.
+#define PCAUSE_ALLOW_DEPRECATED_IDENTIFY
 #include "prop_common.hh"
 
 #include <algorithm>

@@ -4,6 +4,8 @@
  * calibration.
  */
 
+// Differential oracle: tests the raw kernels on purpose.
+#define PCAUSE_ALLOW_DEPRECATED_IDENTIFY
 #include <gtest/gtest.h>
 
 #include <cmath>

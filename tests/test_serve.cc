@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Tests for the pcaused serve layer: wire-protocol round trips,
+ * hostile-input handling (truncated frames, oversized length
+ * prefixes, garbage opcodes — every one must produce a clean Error
+ * close with the server surviving), the micro-batcher's
+ * backpressure path, and end-to-end served-verdict equivalence
+ * against direct store queries over a real loopback socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/service.hh"
+#include "serve/batcher.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace pcause
+{
+namespace
+{
+
+using namespace pcause::serve;
+
+constexpr std::size_t universe = 4096;
+
+BitVec
+randomPattern(Rng &rng, std::size_t weight)
+{
+    BitVec bits(universe);
+    for (std::size_t i = 0; i < weight; ++i)
+        bits.set(rng.nextBelow(universe));
+    return bits;
+}
+
+FingerprintStore
+makeStore(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    FingerprintStore store;
+    for (std::size_t i = 0; i < n; ++i)
+        store.add("chip-" + std::to_string(i),
+                  Fingerprint(randomPattern(rng, 64), 3));
+    return store;
+}
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+// --- Protocol round trips ----------------------------------------
+
+TEST(Protocol, IdentifyRoundTrip)
+{
+    Rng rng(0x1);
+    IdentifyRequest req;
+    req.errorString = randomPattern(rng, 100);
+    req.options.threshold = 0.07;
+    req.options.linear = true;
+    req.options.firstMatch = false;
+
+    const Payload p = encodeIdentify(req);
+    LoadResult<IdentifyRequest> back = decodeIdentify(p);
+    ASSERT_TRUE(back) << back.error;
+    EXPECT_TRUE(back->options == req.options);
+    ASSERT_EQ(back->errorString.size(), req.errorString.size());
+    for (std::size_t w = 0; w < req.errorString.wordCount(); ++w)
+        ASSERT_EQ(back->errorString.wordAt(w),
+                  req.errorString.wordAt(w));
+}
+
+TEST(Protocol, VerdictRoundTripIsBitExact)
+{
+    IdentifyVerdict v;
+    v.matched = true;
+    v.label = "chip-9";
+    v.nearestLabel = "chip-9";
+    v.distance = 0.1 + 0.2; // a value with ugly low bits
+    v.delta.candidatesScanned = 17;
+    v.delta.recordsAvailable = 1000;
+    v.delta.indexFallbacks = 1;
+
+    LoadResult<IdentifyVerdict> back = decodeVerdict(encodeVerdict(v));
+    ASSERT_TRUE(back) << back.error;
+    EXPECT_EQ(back->matched, v.matched);
+    EXPECT_EQ(back->label, v.label);
+    EXPECT_TRUE(sameBits(back->distance, v.distance));
+    EXPECT_EQ(back->delta.candidatesScanned, 17u);
+    EXPECT_EQ(back->delta.recordsAvailable, 1000u);
+    EXPECT_EQ(back->delta.indexFallbacks, 1u);
+}
+
+TEST(Protocol, CharacterizeRoundTrip)
+{
+    Rng rng(0x2);
+    CharacterizeRequest req;
+    req.label = "fresh-chip";
+    req.errorStrings = {randomPattern(rng, 32),
+                        randomPattern(rng, 32)};
+    LoadResult<CharacterizeRequest> back =
+        decodeCharacterize(encodeCharacterize(req));
+    ASSERT_TRUE(back) << back.error;
+    EXPECT_EQ(back->label, req.label);
+    ASSERT_EQ(back->errorStrings.size(), 2u);
+    EXPECT_EQ(back->errorStrings[0].popcount(),
+              req.errorStrings[0].popcount());
+}
+
+/** The serializer's every-prefix discipline, applied to the wire:
+ *  every strict prefix of a valid payload must decode to a clean
+ *  error, never crash or succeed. */
+TEST(Protocol, EveryPrefixOfIdentifyFailsCleanly)
+{
+    Rng rng(0x3);
+    IdentifyRequest req;
+    req.errorString = randomPattern(rng, 64);
+    const Payload full = encodeIdentify(req);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        const Payload prefix(full.begin(), full.begin() + len);
+        LoadResult<IdentifyRequest> r = decodeIdentify(prefix);
+        EXPECT_FALSE(r) << "prefix of length " << len << " decoded";
+    }
+    // And trailing garbage is rejected too.
+    Payload extended = full;
+    extended.push_back(0);
+    EXPECT_FALSE(decodeIdentify(extended));
+}
+
+TEST(Protocol, EveryPrefixOfVerdictFailsCleanly)
+{
+    IdentifyVerdict v;
+    v.matched = true;
+    v.label = "chip-1";
+    v.nearestLabel = "chip-1";
+    const Payload full = encodeVerdict(v);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        const Payload prefix(full.begin(), full.begin() + len);
+        EXPECT_FALSE(decodeVerdict(prefix));
+    }
+}
+
+TEST(Protocol, RejectsMalformedFields)
+{
+    Rng rng(0x4);
+    IdentifyRequest req;
+    req.errorString = randomPattern(rng, 16);
+
+    // Unknown flag bits.
+    Payload p = encodeIdentify(req);
+    p[1] |= 0x80;
+    EXPECT_FALSE(decodeIdentify(p));
+
+    // Metric byte out of range.
+    p = encodeIdentify(req);
+    p[2] = 9;
+    EXPECT_FALSE(decodeIdentify(p));
+
+    // Non-finite threshold.
+    p = encodeIdentify(req);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(p.data() + 3, &nan, sizeof(nan));
+    EXPECT_FALSE(decodeIdentify(p));
+
+    // Oversized label length in characterize.
+    CharacterizeRequest c;
+    c.label = "x";
+    c.errorStrings = {randomPattern(rng, 8)};
+    Payload cp = encodeCharacterize(c);
+    const std::uint32_t huge = maxLabelBytes + 1;
+    std::memcpy(cp.data() + 1, &huge, sizeof(huge));
+    EXPECT_FALSE(decodeCharacterize(cp));
+
+    // Wrong opcode entirely.
+    EXPECT_FALSE(decodeIdentify(encodeEmpty(Opcode::DbStats)));
+}
+
+// --- Batcher ------------------------------------------------------
+
+TEST(Batcher, ServesAndCoalesces)
+{
+    AttackService svc(makeStore(30, 0x30));
+    svc.setThreadPool(&ThreadPool::global());
+    BatcherConfig cfg;
+    Batcher batcher(svc, cfg);
+
+    Rng rng(0x31);
+    std::vector<BitVec> queries;
+    for (int i = 0; i < 24; ++i) {
+        BitVec es = svc.store()->record(i % 30).fingerprint.bits();
+        for (int b = 0; b < 8; ++b)
+            es.set(rng.nextBelow(universe));
+        queries.push_back(std::move(es));
+    }
+
+    std::vector<std::thread> clients;
+    std::vector<std::optional<IdentifyVerdict>> verdicts(
+        queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        clients.emplace_back([&, i] {
+            IdentifyRequest req;
+            req.errorString = queries[i];
+            verdicts[i] = batcher.submit(std::move(req));
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_TRUE(verdicts[i].has_value());
+        IdentifyRequest req;
+        req.errorString = queries[i];
+        const IdentifyVerdict direct = svc.identify(req);
+        EXPECT_EQ(verdicts[i]->matched, direct.matched);
+        EXPECT_EQ(verdicts[i]->label, direct.label);
+        EXPECT_TRUE(
+            sameBits(verdicts[i]->distance, direct.distance));
+    }
+    EXPECT_EQ(batcher.served(), queries.size());
+    EXPECT_GE(batcher.batches(), 1u);
+}
+
+TEST(Batcher, FullQueueRejectsInsteadOfDropping)
+{
+    AttackService svc(makeStore(5, 0x32));
+    BatcherConfig cfg;
+    cfg.queueCap = 0; // reject everything: the backpressure hook
+    Batcher batcher(svc, cfg);
+
+    IdentifyRequest req;
+    req.errorString = BitVec(universe);
+    EXPECT_FALSE(batcher.submit(std::move(req)).has_value());
+}
+
+// --- Server over a real socket -----------------------------------
+
+struct ServerFixture
+{
+    AttackService svc;
+    Server server;
+
+    explicit ServerFixture(std::size_t records,
+                           ServerConfig cfg = {})
+        : svc(makeStore(records, 0xF00)), server(svc, cfg)
+    {
+        svc.setThreadPool(&ThreadPool::global());
+    }
+};
+
+TEST(Server, ServedVerdictsEqualDirectQueries)
+{
+    ServerFixture fx(40);
+    Client client;
+    ASSERT_EQ(client.connect(fx.server.port()), "");
+
+    Rng rng(0x41);
+    for (int i = 0; i < 30; ++i) {
+        BitVec es =
+            fx.svc.store()->record(i % 40).fingerprint.bits();
+        for (int b = 0; b < 8; ++b)
+            es.set(rng.nextBelow(universe));
+
+        IdentifyRequest req;
+        req.errorString = es;
+        const std::optional<IdentifyVerdict> served =
+            client.identify(req, 4);
+        ASSERT_TRUE(served.has_value());
+        const IdentifyVerdict direct = fx.svc.identify(req);
+        EXPECT_EQ(served->matched, direct.matched);
+        EXPECT_EQ(served->label, direct.label);
+        EXPECT_TRUE(sameBits(served->distance, direct.distance));
+    }
+}
+
+TEST(Server, CharacterizeOverWireAddsARecord)
+{
+    ServerFixture fx(3);
+    Client client;
+    ASSERT_EQ(client.connect(fx.server.port()), "");
+
+    Rng rng(0x42);
+    const BitVec pattern = randomPattern(rng, 64);
+    CharacterizeRequest req;
+    req.label = "wire-chip";
+    req.errorStrings = {pattern, pattern};
+
+    const Reply r = client.exchange(encodeCharacterize(req));
+    ASSERT_TRUE(r.ok()) << r.transportError;
+    ASSERT_EQ(*r.opcode, Opcode::Added);
+    LoadResult<AddReply> added = decodeAdded(r.payload);
+    ASSERT_TRUE(added) << added.error;
+    EXPECT_TRUE(added->added);
+    EXPECT_EQ(added->record, 3u);
+    EXPECT_EQ(fx.svc.size(), 4u);
+
+    // The new record is immediately identifiable over the wire.
+    IdentifyRequest idreq;
+    idreq.errorString = pattern;
+    const std::optional<IdentifyVerdict> v =
+        client.identify(idreq, 4);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->matched);
+    EXPECT_EQ(v->label, "wire-chip");
+}
+
+TEST(Server, DbStatsAndLiveStatsAnswerJson)
+{
+    ServerFixture fx(7);
+    Client client;
+    ASSERT_EQ(client.connect(fx.server.port()), "");
+
+    Reply r = client.exchange(encodeEmpty(Opcode::DbStats));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r.opcode, Opcode::Json);
+    LoadResult<std::string> db = decodeJson(r.payload);
+    ASSERT_TRUE(db);
+    EXPECT_NE(db->find("\"records\": 7"), std::string::npos);
+
+    r = client.exchange(encodeEmpty(Opcode::Stats));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r.opcode, Opcode::Json);
+    LoadResult<std::string> stats = decodeJson(r.payload);
+    ASSERT_TRUE(stats);
+    EXPECT_NE(stats->find("\"index_queries\""), std::string::npos);
+}
+
+/** Hostile inputs must never take the server down: each one gets a
+ *  clean Error reply (best effort) and a connection close, and the
+ *  server keeps answering on fresh connections. */
+TEST(Server, HostileInputsGetCleanErrorClose)
+{
+    ServerFixture fx(5);
+
+    const auto expectServerAlive = [&] {
+        Client probe;
+        ASSERT_EQ(probe.connect(fx.server.port()), "");
+        const Reply r = probe.exchange(encodeEmpty(Opcode::DbStats));
+        ASSERT_TRUE(r.ok()) << r.transportError;
+        EXPECT_EQ(*r.opcode, Opcode::Json);
+    };
+
+    {
+        // Garbage opcode.
+        Client c;
+        ASSERT_EQ(c.connect(fx.server.port()), "");
+        Payload garbage{0x66, 1, 2, 3};
+        const Reply r = c.exchange(garbage);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(*r.opcode, Opcode::Error);
+        // Connection is closed afterwards.
+        const Reply next = c.exchange(encodeEmpty(Opcode::DbStats));
+        EXPECT_FALSE(next.ok());
+    }
+    expectServerAlive();
+
+    {
+        // Oversized length prefix (body never sent).
+        Client c;
+        ASSERT_EQ(c.connect(fx.server.port()), "");
+        const std::uint32_t huge = maxFramePayload + 1;
+        std::uint8_t head[4];
+        std::memcpy(head, &huge, 4);
+        ASSERT_TRUE(c.sendRaw(head, 4));
+        const Reply r = c.receive();
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(*r.opcode, Opcode::Error);
+        LoadResult<std::string> msg = decodeError(r.payload);
+        ASSERT_TRUE(msg);
+        EXPECT_NE(msg->find("oversized"), std::string::npos);
+    }
+    expectServerAlive();
+
+    {
+        // Zero-length frame (no opcode byte).
+        Client c;
+        ASSERT_EQ(c.connect(fx.server.port()), "");
+        const std::uint8_t head[4] = {0, 0, 0, 0};
+        ASSERT_TRUE(c.sendRaw(head, 4));
+        const Reply r = c.receive();
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(*r.opcode, Opcode::Error);
+    }
+    expectServerAlive();
+
+    {
+        // Truncated frame: length prefix promises more than is
+        // sent, then the peer hangs up mid-body.
+        Client c;
+        ASSERT_EQ(c.connect(fx.server.port()), "");
+        const std::uint8_t partial[7] = {32, 0, 0, 0, 0x01, 0xAA,
+                                         0xBB};
+        ASSERT_TRUE(c.sendRaw(partial, sizeof(partial)));
+        c.close();
+    }
+    expectServerAlive();
+
+    {
+        // Structurally valid frame, malformed identify body.
+        Client c;
+        ASSERT_EQ(c.connect(fx.server.port()), "");
+        Rng rng(0x51);
+        IdentifyRequest req;
+        req.errorString = randomPattern(rng, 16);
+        Payload p = encodeIdentify(req);
+        p.resize(p.size() / 2); // strict prefix
+        const Reply r = c.exchange(p);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(*r.opcode, Opcode::Error);
+    }
+    expectServerAlive();
+}
+
+TEST(Server, BusyBackpressureIsExplicit)
+{
+    ServerConfig cfg;
+    cfg.batcher.queueCap = 0; // shed everything
+    ServerFixture fx(5, cfg);
+
+    Client c;
+    ASSERT_EQ(c.connect(fx.server.port()), "");
+    IdentifyRequest req;
+    req.errorString = BitVec(universe);
+    const Reply r = c.exchange(encodeIdentify(req));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.opcode, Opcode::Busy);
+
+    // BUSY leaves the connection usable.
+    const Reply again = c.exchange(encodeEmpty(Opcode::DbStats));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again.opcode, Opcode::Json);
+}
+
+TEST(Server, ConnectionCapRefusesExplicitly)
+{
+    ServerConfig cfg;
+    cfg.maxConnections = 1;
+    ServerFixture fx(5, cfg);
+
+    Client first;
+    ASSERT_EQ(first.connect(fx.server.port()), "");
+    // Prove the first connection is established server-side.
+    const Reply ok = first.exchange(encodeEmpty(Opcode::DbStats));
+    ASSERT_TRUE(ok.ok());
+
+    Client second;
+    ASSERT_EQ(second.connect(fx.server.port()), "");
+    const Reply r = second.receive();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.opcode, Opcode::Error);
+}
+
+TEST(Server, ShutdownFrameStopsTheServer)
+{
+    ServerFixture fx(5);
+    Client c;
+    ASSERT_EQ(c.connect(fx.server.port()), "");
+    const Reply r = c.exchange(encodeEmpty(Opcode::Shutdown));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.opcode, Opcode::Ok);
+    fx.server.wait(); // must return: the server stopped itself
+}
+
+TEST(Server, ReadOnlyBackendRefusesCharacterize)
+{
+    const std::string path = "serve_mapped_test.pcdb";
+    ASSERT_TRUE(saveStore(makeStore(6, 0x61), path));
+    LoadResult<AttackService> svc = AttackService::open(path, true);
+    ASSERT_TRUE(svc) << svc.error;
+    Server server(*svc, {});
+
+    Client c;
+    ASSERT_EQ(c.connect(server.port()), "");
+    Rng rng(0x62);
+    CharacterizeRequest req;
+    req.label = "nope";
+    req.errorStrings = {randomPattern(rng, 8)};
+    const Reply r = c.exchange(encodeCharacterize(req));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r.opcode, Opcode::Added);
+    LoadResult<AddReply> added = decodeAdded(r.payload);
+    ASSERT_TRUE(added);
+    EXPECT_FALSE(added->added);
+    EXPECT_NE(added->error.find("read-only"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace pcause

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * loadgen — pcaused traffic driver (the CI serve-smoke harness).
+ *
+ * Subcommands:
+ *   mkdb  --out FILE [--records N]
+ *         write a synthetic population database (the perf_index
+ *         recipe: 8192-bit universe, weight-256 fingerprints) for a
+ *         pcaused instance to serve
+ *   run   --db FILE --port P [--requests N] [--connections C]
+ *         [--open-rps R] [--verify yes] [--min-rps R] [--json PATH]
+ *         drive closed- and open-loop identify traffic against
+ *         127.0.0.1:P, print per-tier latency percentiles, write
+ *         BENCH_serve.json, and exit nonzero on any served-verdict
+ *         divergence from direct store queries (--verify) or a
+ *         missed throughput floor (--min-rps)
+ *
+ * The run command regenerates the query mix deterministically from
+ * the database, so a separate pcaused process serving the same file
+ * is diffed verdict-for-verdict without any side channel.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hh"
+#include "serve/loadgen.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace pcause;
+
+/** Minimal --flag value parser (the pcause CLI's). */
+struct Args
+{
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> positional;
+
+    static Args parse(int argc, char **argv, int first)
+    {
+        Args args;
+        for (int i = first; i < argc; ++i) {
+            std::string tok = argv[i];
+            if (tok.rfind("--", 0) == 0) {
+                const std::string key = tok.substr(2);
+                if (i + 1 >= argc)
+                    fatal("missing value for --%s", key.c_str());
+                args.flags[key] = argv[++i];
+            } else {
+                args.positional.push_back(std::move(tok));
+            }
+        }
+        return args;
+    }
+
+    std::string get(const std::string &key,
+                    const std::string &fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    double getDouble(const std::string &key, double fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stod(it->second);
+    }
+
+    long getLong(const std::string &key, long fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stol(it->second);
+    }
+};
+
+int
+usage()
+{
+    std::puts(
+        "loadgen — pcaused traffic driver\n"
+        "\n"
+        "usage: loadgen mkdb --out FILE [--records N]\n"
+        "       loadgen run  --db FILE --port P [--requests N]\n"
+        "                    [--connections C] [--open-rps R]\n"
+        "                    [--verify yes] [--min-rps R]\n"
+        "                    [--json PATH]\n");
+    return 2;
+}
+
+constexpr std::uint64_t querySeed = 0x6c6f616467656e31ull;
+
+int
+cmdMkdb(const Args &args)
+{
+    const std::string out = args.get("out", "");
+    if (out.empty())
+        fatal("mkdb: need --out");
+    serve::PopulationParams prm;
+    prm.records =
+        static_cast<std::size_t>(args.getLong("records", 10000));
+    const FingerprintStore store = serve::buildPopulation(prm);
+    if (!saveStore(store, out))
+        fatal("mkdb: cannot write %s", out.c_str());
+    std::printf("wrote %zu records to %s\n", store.size(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const std::string db_path = args.get("db", "");
+    const long port = args.getLong("port", 0);
+    if (db_path.empty() || port <= 0 || port > 65535)
+        fatal("run: need --db and --port");
+    const auto requests =
+        static_cast<std::size_t>(args.getLong("requests", 512));
+    const auto connections =
+        static_cast<std::size_t>(args.getLong("connections", 4));
+    const double open_rps = args.getDouble("open-rps", 200.0);
+    const bool verify = args.get("verify", "no") == "yes";
+    const double min_rps = args.getDouble("min-rps", 0.0);
+    const std::string json_path =
+        args.get("json", "BENCH_serve.json");
+
+    StoreLoadResult loaded = loadStore(db_path);
+    if (!loaded)
+        fatal("run: %s", loaded.error.c_str());
+    FingerprintStore &store = *loaded;
+
+    const std::vector<BitVec> queries =
+        serve::buildQueries(store, requests, querySeed);
+    const QueryOptions options;
+    std::vector<IdentifyVerdict> expected;
+    if (verify)
+        expected = serve::directVerdicts(store, queries, options);
+
+    std::vector<serve::TierResult> tiers;
+    serve::TierSpec closed;
+    closed.name = "closed-loop";
+    closed.connections = connections;
+    closed.requests = requests;
+    tiers.push_back(serve::runTier(
+        static_cast<std::uint16_t>(port), queries,
+        verify ? &expected : nullptr, options, closed));
+    serve::printTier(tiers.back());
+
+    serve::TierSpec open;
+    open.name = "open-loop";
+    open.openLoop = true;
+    open.connections = connections;
+    open.requests = requests;
+    open.targetRps = open_rps;
+    tiers.push_back(serve::runTier(
+        static_cast<std::uint16_t>(port), queries,
+        verify ? &expected : nullptr, options, open));
+    serve::printTier(tiers.back());
+
+    bool ok = true;
+    for (const serve::TierResult &r : tiers) {
+        if (r.divergences > 0) {
+            std::printf("FAIL: %zu served-verdict divergences in "
+                        "tier %s\n", r.divergences, r.name.c_str());
+            ok = false;
+        }
+        if (r.transportErrors > 0) {
+            std::printf("FAIL: %zu transport errors in tier %s\n",
+                        r.transportErrors, r.name.c_str());
+            ok = false;
+        }
+        if (r.completed != r.requestsSent) {
+            std::printf("FAIL: tier %s completed %zu of %zu\n",
+                        r.name.c_str(), r.completed,
+                        r.requestsSent);
+            ok = false;
+        }
+    }
+    if (min_rps > 0 && tiers[0].achievedRps < min_rps) {
+        std::printf("FAIL: closed-loop %.1f rps below the %.1f "
+                    "floor\n", tiers[0].achievedRps, min_rps);
+        ok = false;
+    }
+
+    serve::writeBenchJson(json_path, tiers, store.size(),
+                          ThreadPool::global().size(), ok);
+    std::printf("%s (%s written)\n", ok ? "PASS" : "FAIL",
+                json_path.c_str());
+    return ok ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const Args args = Args::parse(argc, argv, 2);
+    if (cmd == "mkdb")
+        return cmdMkdb(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    return usage();
+}

@@ -27,8 +27,8 @@
 #include "core/cluster.hh"
 #include "core/error_string.hh"
 #include "core/identify.hh"
-#include "core/mapped_store.hh"
 #include "core/serialize.hh"
+#include "core/service.hh"
 #include "core/store.hh"
 #include "math/fingerprint_space.hh"
 #include "platform/platform.hh"
@@ -212,56 +212,35 @@ cmdIdentify(const Args &args)
     const BitVec exact = loadBitVec(exact_path);
     const BitVec output = loadBitVec(args.positional[0]);
 
-    IdentifyParams params;
-    params.threshold = args.getDouble("threshold", 0.1);
-    AttackStats stats;
-    const bool linear = args.get("linear", "no") == "yes";
+    // One facade call covers every backend combination: --mmap
+    // queries the v3 file in place, --linear bypasses the index.
+    IdentifyRequest req;
+    req.errorString = errorString(output, exact);
+    req.options.threshold = args.getDouble("threshold", 0.1);
+    req.options.linear = args.get("linear", "no") == "yes";
     const bool mmap = args.get("mmap", "no") == "yes";
 
-    IdentifyResult r;
-    // label(i) must outlive whichever backend served the query.
-    auto report = [&](auto label) {
-        if (!linear) {
-            std::printf("index: %llu of %llu records shortlisted%s\n",
-                        (unsigned long long)stats.candidatesScanned,
-                        (unsigned long long)stats.recordsAvailable,
-                        stats.indexFallbacks
-                            ? " (full-scan fallback)" : "");
-        }
-        if (r.match) {
-            std::printf("match: %s (distance %.6f)\n",
-                        label(*r.match).c_str(), r.bestDistance);
-            return 0;
-        }
-        std::printf("no match (nearest: %s at distance %.6f)\n",
-                    r.nearest ? label(*r.nearest).c_str() : "none",
-                    r.bestDistance);
-        return 1;
-    };
+    LoadResult<AttackService> svc = AttackService::open(db_path, mmap);
+    if (!svc)
+        fatal("identify: %s", svc.error.c_str());
+    const IdentifyVerdict v = svc->identify(req);
 
-    if (mmap) {
-        // Query the v3 file in place — no deserialization; only
-        // pages the shortlisted candidates touch are ever read.
-        LoadResult<MappedStore> mapped = MappedStore::open(db_path);
-        if (!mapped)
-            fatal("identify: %s", mapped.error.c_str());
-        const BitVec es = errorString(output, exact);
-        r = linear ? mapped->queryLinear(es, params, &stats)
-                   : mapped->query(es, params, &stats);
-        return report([&](std::size_t i) {
-            return std::string(mapped->label(i));
-        });
+    if (!req.options.linear) {
+        std::printf("index: %llu of %llu records shortlisted%s\n",
+                    (unsigned long long)v.delta.candidatesScanned,
+                    (unsigned long long)v.delta.recordsAvailable,
+                    v.delta.indexFallbacks
+                        ? " (full-scan fallback)" : "");
     }
-
-    StoreLoadResult loaded = loadStore(db_path);
-    if (!loaded)
-        fatal("identify: %s", loaded.error.c_str());
-    const FingerprintStore &store = *loaded;
-    r = linear ? store.queryLinear(errorString(output, exact), params,
-                                   &stats)
-               : store.query(output, exact, params, &stats);
-    return report(
-        [&](std::size_t i) { return store.record(i).label; });
+    if (v.matched) {
+        std::printf("match: %s (distance %.6f)\n", v.label.c_str(),
+                    v.distance);
+        return 0;
+    }
+    std::printf("no match (nearest: %s at distance %.6f)\n",
+                v.nearest ? v.nearestLabel.c_str() : "none",
+                v.distance);
+    return 1;
 }
 
 int
@@ -316,30 +295,25 @@ cmdModel(const Args &args)
 }
 
 int
-cmdDbStats(const FingerprintStore &store)
+cmdDbStats(FingerprintStore store)
 {
-    const MinHashParams &prm = store.indexParams();
-    const LshIndex::Occupancy occ = store.index().occupancy();
-    std::size_t cells = 0, disk = 0, universe = 0;
-    for (std::size_t i = 0; i < store.size(); ++i) {
-        const auto &rec = store.record(i);
-        cells += rec.fingerprint.weight();
-        universe =
-            std::max(universe, rec.fingerprint.bits().size());
-        disk += recordDiskSize(rec.fingerprint.weight(),
-                               rec.label.size(), prm.numHashes);
-    }
-    std::printf("records           : %zu\n", store.size());
-    std::printf("universe          : %zu bits\n", universe);
-    std::printf("volatile cells    : %zu total\n", cells);
+    // The facade owns the backend-independent aggregation; the CLI
+    // only renders it.
+    const AttackService svc(std::move(store));
+    const ServiceDbStats s = svc.dbStats();
+    const MinHashParams &prm = s.indexParams;
+    std::printf("records           : %zu\n", s.records);
+    std::printf("universe          : %zu bits\n", s.universeBits);
+    std::printf("volatile cells    : %zu total\n", s.volatileCells);
     std::printf("minhash           : %u hashes, %u bands x %u rows "
                 "(seed %llx)\n",
                 prm.numHashes, prm.bands, prm.rows(),
                 (unsigned long long)prm.seed);
     std::printf("lsh buckets       : %zu (largest holds %zu "
                 "records)\n",
-                occ.buckets, occ.largestBucket);
-    std::printf("record disk size  : %zu bytes estimated\n", disk);
+                s.lshBuckets, s.largestBucket);
+    std::printf("record disk size  : %zu bytes estimated\n",
+                s.diskBytesEstimate);
     std::printf("simd dispatch     : %s (best available %s)\n",
                 simd::levelName(simd::activeLevel()),
                 simd::levelName(simd::bestAvailableLevel()));
@@ -382,7 +356,7 @@ cmdDb(const Args &args)
     const std::string action =
         args.positional.empty() ? "list" : args.positional[0];
     if (action == "stats")
-        return cmdDbStats(store);
+        return cmdDbStats(std::move(store));
     if (action == "reindex")
         return cmdDbReindex(args, store, db_path);
     if (action != "list")

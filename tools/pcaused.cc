@@ -1,0 +1,147 @@
+/**
+ * @file
+ * pcaused — the identification service.
+ *
+ * Serves identify / characterize / db-stats / live-stats over the
+ * length-prefixed binary protocol in src/serve/protocol.hh, on a
+ * loopback TCP port, with every query flowing through the shared
+ * AttackService facade (verdicts bit-identical to direct store
+ * queries by construction). Concurrent identify requests coalesce
+ * through the adaptive micro-batcher into queryBatch calls across
+ * the thread pool; a full request queue answers BUSY instead of
+ * silently dropping.
+ *
+ *   pcaused --db FILE [--mmap yes] [--port P] [--port-file PATH]
+ *           [--queue-cap N] [--batch-max N] [--max-connections N]
+ *
+ * --port 0 (the default) binds an ephemeral port; --port-file
+ * writes the bound port for scripts to discover (the CI serve-smoke
+ * job's handshake). The process runs until a Shutdown frame or
+ * SIGINT/SIGTERM.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/service.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace pcause;
+
+serve::Server *activeServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (activeServer)
+        activeServer->requestStop();
+}
+
+/** Minimal --flag value parser (the pcause CLI's). */
+struct Args
+{
+    std::map<std::string, std::string> flags;
+
+    static Args parse(int argc, char **argv)
+    {
+        Args args;
+        for (int i = 1; i < argc; ++i) {
+            std::string tok = argv[i];
+            if (tok.rfind("--", 0) != 0)
+                fatal("pcaused: unexpected argument '%s'",
+                      tok.c_str());
+            const std::string key = tok.substr(2);
+            if (i + 1 >= argc)
+                fatal("missing value for --%s", key.c_str());
+            args.flags[key] = argv[++i];
+        }
+        return args;
+    }
+
+    std::string get(const std::string &key,
+                    const std::string &fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    long getLong(const std::string &key, long fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stol(it->second);
+    }
+};
+
+int
+usage()
+{
+    std::puts(
+        "pcaused — long-running identification service\n"
+        "\n"
+        "usage: pcaused --db FILE [--mmap yes] [--port P]\n"
+        "               [--port-file PATH] [--queue-cap N]\n"
+        "               [--batch-max N] [--max-connections N]\n");
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = Args::parse(argc, argv);
+    const std::string db_path = args.get("db", "");
+    if (db_path.empty())
+        return usage();
+    const bool mmap = args.get("mmap", "no") == "yes";
+
+    LoadResult<AttackService> svc =
+        AttackService::open(db_path, mmap);
+    if (!svc)
+        fatal("pcaused: %s", svc.error.c_str());
+    svc->setThreadPool(&ThreadPool::global());
+
+    serve::ServerConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(args.getLong("port", 0));
+    cfg.maxConnections = static_cast<std::size_t>(
+        args.getLong("max-connections", 256));
+    cfg.batcher.queueCap =
+        static_cast<std::size_t>(args.getLong("queue-cap", 1024));
+    cfg.batcher.batchMax =
+        static_cast<std::size_t>(args.getLong("batch-max", 256));
+
+    serve::Server server(*svc, cfg);
+    activeServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    const std::string port_file = args.get("port-file", "");
+    if (!port_file.empty()) {
+        std::ofstream f(port_file);
+        f << server.port() << "\n";
+        if (!f)
+            fatal("pcaused: cannot write %s", port_file.c_str());
+    }
+    std::printf("pcaused: serving %zu records (%s backend) on "
+                "127.0.0.1:%u\n",
+                svc->size(), svc->readOnly() ? "mmap" : "store",
+                unsigned(server.port()));
+    std::fflush(stdout);
+
+    server.wait();
+    activeServer = nullptr;
+    std::printf("pcaused: stopped after %zu connections\n",
+                server.connectionsServed());
+    return 0;
+}
