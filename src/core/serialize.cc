@@ -9,7 +9,12 @@
 #include <ostream>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "core/pcdb_format.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace pcause
@@ -530,6 +535,67 @@ saveStore(const FingerprintStore &store, const std::string &path)
     return saveStore(store, out);
 }
 
+bool
+saveStoreDurable(const FingerprintStore &store,
+                 const std::string &path, std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "saveStoreDurable: " + why;
+        return false;
+    };
+
+    // Same directory as the target so the rename is a same-fs
+    // atomic replace; pid-suffixed so two writers never collide.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return fail("cannot open " + tmp);
+        const bool wrote =
+            saveStore(store, out) && !failpoint::hit("store.save.write");
+        out.flush();
+        if (!wrote || !out.good()) {
+            out.close();
+            ::unlink(tmp.c_str());
+            return fail("write to " + tmp + " failed");
+        }
+    }
+
+    // fsync the temp image before the rename: rename-then-sync can
+    // surface a zero-length file after a power cut.
+    const int tfd = ::open(tmp.c_str(), O_RDONLY);
+    if (tfd < 0) {
+        ::unlink(tmp.c_str());
+        return fail("reopen " + tmp + ": " + std::strerror(errno));
+    }
+    if (failpoint::hit("store.save.fsync") || ::fsync(tfd) != 0) {
+        ::close(tfd);
+        ::unlink(tmp.c_str());
+        return fail("fsync " + tmp + " failed");
+    }
+    ::close(tfd);
+
+    if (failpoint::hit("store.save.rename") ||
+        ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return fail("rename to " + path + " failed");
+    }
+
+    // Make the rename itself durable (best effort: some
+    // filesystems refuse directory fsync).
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
 DbLoadResult
 loadDatabase(std::istream &in)
 {
@@ -582,6 +648,9 @@ loadStore(std::istream &in)
 StoreLoadResult
 loadStore(const std::string &path)
 {
+    if (failpoint::hit("store.load"))
+        return {std::nullopt,
+                "loadStore: injected load failure for " + path};
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return {std::nullopt, "loadStore: cannot open " + path};

@@ -95,6 +95,19 @@ bool saveStore(const FingerprintStore &store, std::ostream &out);
 bool saveStore(const FingerprintStore &store, const std::string &path);
 
 /**
+ * Crash-safe saveStore: the v3 image is written to a temp file in
+ * the same directory, fsynced, atomically renamed over @p path, and
+ * the parent directory fsynced — a reader (or a recovery after
+ * kill -9 at any instruction) sees either the complete old file or
+ * the complete new one, never a torn in-place truncation. False on
+ * failure with a reason in @p error (when non-null); the target is
+ * left untouched on every failure path.
+ */
+bool saveStoreDurable(const FingerprintStore &store,
+                      const std::string &path,
+                      std::string *error = nullptr);
+
+/**
  * Load a database from a stream. Malformed, truncated, or
  * version-incompatible input yields a failed result with an error
  * string — never a process exit. Signatures in v2 files are

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <sstream>
 
+#include <unistd.h>
+
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace pcause
@@ -88,6 +91,92 @@ AttackService::open(const std::string &path, bool mmap)
     return res;
 }
 
+LoadResult<AttackService>
+AttackService::openDurable(const DurabilityConfig &config)
+{
+    LoadResult<AttackService> res;
+    if (config.dbPath.empty() || config.walPath.empty()) {
+        res.error = "openDurable: need both a snapshot path and a "
+                    "journal path";
+        return res;
+    }
+
+    FingerprintStore store;
+    const bool have_snapshot =
+        ::access(config.dbPath.c_str(), F_OK) == 0;
+    if (have_snapshot) {
+        StoreLoadResult s = loadStore(config.dbPath);
+        if (!s) {
+            res.error = s.error;
+            return res;
+        }
+        store = std::move(*s);
+    } else if (!config.createIfMissing) {
+        res.error = "openDurable: no database at " + config.dbPath;
+        return res;
+    }
+
+    if (::access(config.walPath.c_str(), F_OK) == 0) {
+        LoadResult<WalReplayStats> replayed =
+            Wal::replay(config.walPath, store);
+        if (!replayed) {
+            res.error = replayed.error;
+            return res;
+        }
+        if (replayed->applied > 0 || replayed->tornTail)
+            inform("recovery: replayed %zu journaled adds%s",
+                   replayed->applied,
+                   replayed->tornTail
+                       ? " (discarded a torn, unacked tail)"
+                       : "");
+    }
+
+    AttackService svc(std::move(store));
+    svc.dur = config;
+    // Compact on open: replayed adds land in the snapshot and the
+    // journal restarts empty, so recovery cost stays bounded by one
+    // checkpoint interval and the snapshot alone is always a
+    // complete acked state once open returns.
+    const std::string err = svc.checkpointLocked();
+    if (!err.empty()) {
+        res.error = err;
+        return res;
+    }
+    res.value.emplace(std::move(svc));
+    return res;
+}
+
+std::size_t
+AttackService::walEntries() const
+{
+    if (!wal)
+        return 0;
+    std::shared_lock<std::shared_mutex> lock(*gate);
+    return wal->entries();
+}
+
+std::string
+AttackService::checkpointLocked()
+{
+    std::string err;
+    if (!saveStoreDurable(*owned, dur.dbPath, &err))
+        return err;
+    LoadResult<Wal> fresh = Wal::create(dur.walPath, owned->size());
+    if (!fresh)
+        return fresh.error;
+    wal = std::make_unique<Wal>(std::move(*fresh));
+    return {};
+}
+
+std::string
+AttackService::checkpoint()
+{
+    if (!wal)
+        return "checkpoint: service is not durable";
+    std::unique_lock<std::shared_mutex> lock(*gate);
+    return checkpointLocked();
+}
+
 std::size_t
 AttackService::size() const
 {
@@ -140,6 +229,10 @@ AttackService::resolve(const IdentifyResult &r, AttackStats delta) const
 IdentifyVerdict
 AttackService::identify(const IdentifyRequest &req) const
 {
+    // Queries have no refusal channel, so this hook serves the
+    // delay and crash actions (slow-query and kill-mid-query
+    // injection); an error arm is a no-op here.
+    (void)failpoint::hit("service.query");
     AttackStats delta;
     IdentifyVerdict v;
     {
@@ -156,6 +249,7 @@ std::vector<IdentifyVerdict>
 AttackService::identifyBatch(const std::vector<BitVec> &error_strings,
                              const QueryOptions &options) const
 {
+    (void)failpoint::hit("service.query");
     std::vector<IdentifyVerdict> verdicts;
     verdicts.reserve(error_strings.size());
     AttackStats delta;
@@ -209,12 +303,39 @@ AttackService::addRecord(ChipLabel label, Fingerprint fp)
         out.error = "database is served read-only (mmap backend)";
         return out;
     }
+    if (failpoint::hit("service.add")) {
+        out.error = "injected add failure";
+        return out;
+    }
     out.weight = fp.weight();
+    bool want_checkpoint = false;
     {
         std::unique_lock<std::shared_mutex> lock(*gate);
+        // Journal + fsync *before* the in-memory add: once the
+        // caller sees added == true the record is on disk, so an
+        // acked add survives kill -9 at any instruction. A failed
+        // append refuses the add — never an acked-but-volatile
+        // record.
+        if (wal != nullptr) {
+            std::string err;
+            if (!wal->append(label, fp, &err)) {
+                out.error = "durability: " + err;
+                return out;
+            }
+            want_checkpoint = dur.checkpointEvery > 0 &&
+                              wal->entries() >= dur.checkpointEvery;
+        }
         out.record = owned->add(std::move(label), std::move(fp));
     }
     out.added = true;
+    if (want_checkpoint) {
+        const std::string err = checkpoint();
+        // Compaction failure is not data loss — the journal keeps
+        // accumulating acked adds — so warn and serve on.
+        if (!err.empty())
+            warn("checkpoint failed (journal keeps growing): %s",
+                 err.c_str());
+    }
     return out;
 }
 
@@ -267,14 +388,19 @@ AttackService::statsJson() const
 {
     const AttackStats s = snapshot();
     std::size_t records;
+    std::size_t wal_entries = 0;
     {
         std::shared_lock<std::shared_mutex> lock(*gate);
         records = size();
+        if (wal)
+            wal_entries = wal->entries();
     }
     std::ostringstream json;
     json << "{"
          << "\"backend\": \"" << (readOnly() ? "mmap" : "store")
          << "\", "
+         << "\"durable\": " << (durable() ? "true" : "false") << ", "
+         << "\"wal_entries\": " << wal_entries << ", "
          << "\"records\": " << records << ", "
          << "\"index_queries\": " << s.indexQueries << ", "
          << "\"index_fallbacks\": " << s.indexFallbacks << ", "

@@ -43,6 +43,7 @@
 #include "core/mapped_store.hh"
 #include "core/serialize.hh"
 #include "core/store.hh"
+#include "core/wal.hh"
 
 namespace pcause
 {
@@ -203,6 +204,52 @@ class AttackService
     static LoadResult<AttackService> open(const std::string &path,
                                           bool mmap = false);
 
+    /** How a durable service persists (openDurable). */
+    struct DurabilityConfig
+    {
+        /** v3 snapshot path (loaded on open, rewritten by
+         *  checkpoints via saveStoreDurable). */
+        std::string dbPath;
+
+        /** Write-ahead journal path (core/wal). */
+        std::string walPath;
+
+        /** Start with an empty store when @p dbPath does not exist
+         *  yet; false turns a missing snapshot into an error. */
+        bool createIfMissing = true;
+
+        /** Compact the journal into a fresh snapshot once it holds
+         *  this many entries (0 = only on demand / shutdown). */
+        std::size_t checkpointEvery = 1024;
+    };
+
+    /**
+     * Open a crash-safe, mutable service: load the snapshot (or
+     * start empty), replay the journal tail (discarding a torn
+     * tail; refusing corruption), then compact — the service
+     * starts from snapshot ≡ store and an empty journal, and every
+     * subsequent addRecord/addFingerprint is journaled + fsynced
+     * *before* it is acknowledged. An acked add therefore survives
+     * kill -9 at any instruction.
+     */
+    static LoadResult<AttackService>
+    openDurable(const DurabilityConfig &config);
+
+    /** True when adds are journaled (openDurable). */
+    bool durable() const { return wal != nullptr; }
+
+    /** Journal entries since the last checkpoint (0 when not
+     *  durable). */
+    std::size_t walEntries() const;
+
+    /**
+     * Compact now: durable snapshot rewrite + fresh empty journal,
+     * under the exclusive lock. Empty string on success, reason on
+     * failure (the journal keeps accumulating; durability is not
+     * lost, only compaction).
+     */
+    std::string checkpoint();
+
     /** True when the backend cannot accept new records. */
     bool readOnly() const { return mapped.has_value(); }
 
@@ -303,8 +350,16 @@ class AttackService
     IdentifyVerdict resolve(const IdentifyResult &r,
                             AttackStats delta) const;
 
+    /** checkpoint() body; the caller holds the exclusive lock (or
+     *  sole ownership during openDurable). */
+    std::string checkpointLocked();
+
     std::optional<FingerprintStore> owned;
     std::optional<MappedStore> mapped;
+
+    /** Journal + paths when durable; null otherwise. */
+    std::unique_ptr<Wal> wal;
+    DurabilityConfig dur;
 
     /** Shared for queries, exclusive for adds. In a unique_ptr so
      *  the service stays movable (LoadResult requires it). */

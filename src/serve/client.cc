@@ -1,20 +1,64 @@
 #include "serve/client.hh"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace pcause::serve
 {
 
+namespace
+{
+
+std::uint64_t
+xorshift64(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+} // anonymous namespace
+
+unsigned
+backoffDelayMs(const RetryPolicy &policy, int attempt,
+               std::uint64_t &jitter_state)
+{
+    if (attempt < 0)
+        attempt = 0;
+    // min(max, base << attempt), shift-safe for large attempts.
+    std::uint64_t delay = policy.baseBackoffMs;
+    for (int i = 0; i < attempt && delay < policy.maxBackoffMs; ++i)
+        delay <<= 1;
+    if (delay > policy.maxBackoffMs)
+        delay = policy.maxBackoffMs;
+    if (policy.jitter > 0.0 && delay > 0) {
+        if (jitter_state == 0)
+            jitter_state = policy.seed ? policy.seed
+                                       : 0x70636175736a6974ull;
+        const double frac =
+            double(xorshift64(jitter_state) >> 11) /
+            double(1ull << 53);
+        const double keep =
+            1.0 - policy.jitter + policy.jitter * frac;
+        delay = static_cast<std::uint64_t>(double(delay) * keep);
+    }
+    return static_cast<unsigned>(delay);
+}
+
 std::string
 Client::connect(std::uint16_t port)
 {
     close();
+    lastPort = port;
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         return std::string("socket: ") + std::strerror(errno);
@@ -32,7 +76,30 @@ Client::connect(std::uint16_t port)
     // Request-response framing: never wait for Nagle.
     const int nd = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nd, sizeof(nd));
+    if (deadlineMs)
+        setDeadline(deadlineMs);
     return {};
+}
+
+std::string
+Client::reconnect()
+{
+    if (lastPort == 0)
+        return "reconnect: never connected";
+    return connect(lastPort);
+}
+
+void
+Client::setDeadline(unsigned ms)
+{
+    deadlineMs = ms;
+    if (fd < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void
@@ -86,6 +153,37 @@ Client::receive()
     return r;
 }
 
+Reply
+Client::exchangeIdempotent(const Payload &request,
+                           const RetryPolicy &policy)
+{
+    Reply last;
+    last.transportError = "no attempts";
+    const int attempts = policy.attempts > 0 ? policy.attempts : 1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            const unsigned delay =
+                backoffDelayMs(policy, attempt - 1, jitterState);
+            if (delay)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        }
+        if (!connected() && !reconnect().empty())
+            continue; // backoff, then try connecting again
+        last = exchange(request);
+        if (last.ok()) {
+            if (*last.opcode == Opcode::Busy)
+                continue; // explicit backpressure: same connection
+            return last;
+        }
+        // Transport failure: the connection is dead or
+        // desynchronized (timeout mid-frame). Reconnect next
+        // attempt — safe because the request is idempotent.
+        close();
+    }
+    return last;
+}
+
 std::optional<IdentifyVerdict>
 Client::identify(const IdentifyRequest &req, int busy_retries)
 {
@@ -104,6 +202,32 @@ Client::identify(const IdentifyRequest &req, int busy_retries)
         return std::move(*v);
     }
     return std::nullopt;
+}
+
+std::optional<IdentifyVerdict>
+Client::identifyWithRetry(const IdentifyRequest &req,
+                          const RetryPolicy &policy)
+{
+    const Reply r = exchangeIdempotent(encodeIdentify(req), policy);
+    if (!r.ok() || *r.opcode != Opcode::Verdict)
+        return std::nullopt;
+    LoadResult<IdentifyVerdict> v = decodeVerdict(r.payload);
+    if (!v)
+        return std::nullopt;
+    return std::move(*v);
+}
+
+std::optional<std::string>
+Client::health(const RetryPolicy &policy)
+{
+    const Reply r = exchangeIdempotent(
+        encodeEmpty(Opcode::Health), policy);
+    if (!r.ok() || *r.opcode != Opcode::Json)
+        return std::nullopt;
+    LoadResult<std::string> json = decodeJson(r.payload);
+    if (!json)
+        return std::nullopt;
+    return std::move(*json);
 }
 
 } // namespace pcause::serve

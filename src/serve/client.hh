@@ -33,6 +33,41 @@ struct Reply
     bool ok() const { return opcode.has_value(); }
 };
 
+/**
+ * Retry policy for idempotent requests (identify, health): capped
+ * exponential backoff with deterministic jitter. Only ever applied
+ * to requests that are safe to repeat — Characterize (a mutation)
+ * is never auto-retried, because "send failed" does not tell the
+ * client whether the add landed.
+ */
+struct RetryPolicy
+{
+    /** Total attempts including the first (so 4 = 1 + 3 retries). */
+    int attempts = 4;
+
+    /** Delay before retry #1; doubles each retry up to maxBackoff. */
+    unsigned baseBackoffMs = 5;
+
+    /** Backoff ceiling. */
+    unsigned maxBackoffMs = 200;
+
+    /** Fraction of the delay randomized away (0..1); 0.5 means the
+     *  actual sleep is uniform in [delay/2, delay]. Deterministic
+     *  per-client (seeded xorshift), so tests can pin it. */
+    double jitter = 0.5;
+
+    /** Jitter PRNG seed; 0 derives one from the policy address. */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Backoff delay (ms) before retry @p attempt (0-based), with
+ * @p jitter_state advanced as the PRNG. Exposed so tests can verify
+ * the cap and jitter bounds without sleeping.
+ */
+unsigned backoffDelayMs(const RetryPolicy &policy, int attempt,
+                        std::uint64_t &jitter_state);
+
 /** Blocking client over one connection (not thread-safe). */
 class Client
 {
@@ -40,7 +75,9 @@ class Client
     Client() = default;
     ~Client() { close(); }
 
-    Client(Client &&other) noexcept : fd(other.fd)
+    Client(Client &&other) noexcept
+        : fd(other.fd), lastPort(other.lastPort),
+          deadlineMs(other.deadlineMs)
     {
         other.fd = -1;
     }
@@ -49,6 +86,8 @@ class Client
         if (this != &other) {
             close();
             fd = other.fd;
+            lastPort = other.lastPort;
+            deadlineMs = other.deadlineMs;
             other.fd = -1;
         }
         return *this;
@@ -59,12 +98,35 @@ class Client
     /** Connect to 127.0.0.1:@p port; error string on failure. */
     std::string connect(std::uint16_t port);
 
+    /** Reconnect to the last port connect() was given. */
+    std::string reconnect();
+
     bool connected() const { return fd >= 0; }
 
     void close();
 
+    /**
+     * Per-request deadline, milliseconds (0 = block forever).
+     * Applied as SO_RCVTIMEO/SO_SNDTIMEO on the live connection and
+     * re-applied on every (re)connect. An expired deadline surfaces
+     * as a transport error ("read timeout"), after which the
+     * connection is desynchronized and must be reconnected — which
+     * is exactly what exchangeIdempotent does.
+     */
+    void setDeadline(unsigned ms);
+
     /** Send one frame and read one reply. */
     Reply exchange(const Payload &request);
+
+    /**
+     * exchange() with reconnect + capped-backoff retries. ONLY for
+     * idempotent requests. Transport failures reconnect and retry;
+     * BUSY replies back off and retry on the same connection (the
+     * server kept it open). Returns the last reply when attempts
+     * run out.
+     */
+    Reply exchangeIdempotent(const Payload &request,
+                             const RetryPolicy &policy = {});
 
     /** Send raw bytes with no framing — the hostile-input hook
      *  (truncated frames, forged length prefixes). */
@@ -79,8 +141,21 @@ class Client
     std::optional<IdentifyVerdict>
     identify(const IdentifyRequest &req, int busy_retries = 0);
 
+    /** Identify through exchangeIdempotent (reconnect + backoff). */
+    std::optional<IdentifyVerdict>
+    identifyWithRetry(const IdentifyRequest &req,
+                      const RetryPolicy &policy = {});
+
+    /** Health probe: the server's status JSON, or nullopt when it
+     *  is unreachable within @p policy's attempts. */
+    std::optional<std::string>
+    health(const RetryPolicy &policy = {});
+
   private:
     int fd = -1;
+    std::uint16_t lastPort = 0;
+    unsigned deadlineMs = 0;
+    std::uint64_t jitterState = 0;
 };
 
 } // namespace pcause::serve

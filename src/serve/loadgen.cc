@@ -281,6 +281,64 @@ runTier(std::uint16_t port, const std::vector<BitVec> &queries,
     return res;
 }
 
+BitVec
+ingestPattern(std::uint64_t seed, std::size_t index)
+{
+    Rng rng(mix64(seed, index));
+    return randomPattern(rng, fingerprintWeight);
+}
+
+IngestResult
+runIngest(std::uint16_t port, const IngestSpec &spec)
+{
+    IngestResult res;
+    Client client;
+    client.setDeadline(spec.deadlineMs);
+    if (!client.connect(port).empty()) {
+        res.serverDied = true;
+        res.lastError = "connect failed";
+        return res;
+    }
+    for (std::size_t i = 0; i < spec.records; ++i) {
+        CharacterizeRequest req;
+        req.label =
+            spec.labelPrefix + std::to_string(spec.startIndex + i);
+        // Two identical error strings: the characterized
+        // fingerprint is exactly the pattern, reproducible later
+        // from (seed, index) alone.
+        BitVec pattern =
+            ingestPattern(spec.seed, spec.startIndex + i);
+        req.errorStrings.push_back(pattern);
+        req.errorStrings.push_back(std::move(pattern));
+
+        ++res.attempted;
+        const Reply reply =
+            client.exchange(encodeCharacterize(req));
+        if (!reply.ok()) {
+            // A Characterize is a mutation: never auto-retried, so
+            // a transport failure ends the run (the caller audits
+            // acked adds against the restarted server).
+            res.serverDied = true;
+            res.lastError = reply.transportError;
+            return res;
+        }
+        if (*reply.opcode != Opcode::Added) {
+            res.lastError = "unexpected reply opcode";
+            return res;
+        }
+        LoadResult<AddReply> added = decodeAdded(reply.payload);
+        if (!added) {
+            res.lastError = added.error;
+            return res;
+        }
+        if (added->added)
+            ++res.acked;
+        else
+            res.lastError = added->error;
+    }
+    return res;
+}
+
 void
 writeBenchJson(const std::string &path,
                const std::vector<TierResult> &tiers,

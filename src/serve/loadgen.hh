@@ -110,6 +110,53 @@ TierResult runTier(std::uint16_t port,
                    const QueryOptions &options,
                    const TierSpec &spec);
 
+/**
+ * Online-ingest workload (the chaos-harness load): Characterize
+ * frames with deterministic fingerprints, so a restarted server can
+ * be audited for lost acknowledged adds without any client-side
+ * state surviving the crash.
+ */
+struct IngestSpec
+{
+    /** Adds to attempt. */
+    std::size_t records = 256;
+
+    /** Pattern seed (with the index, fully determines each
+     *  fingerprint — see ingestPattern). */
+    std::uint64_t seed = 0x70636861 /* "pcha" */;
+
+    /** Labels are <labelPrefix><startIndex + i>. */
+    std::string labelPrefix = "chaos-";
+    std::size_t startIndex = 0;
+
+    /** Per-request socket deadline, ms (0 = block forever). */
+    unsigned deadlineMs = 2000;
+};
+
+/** Outcome of one ingest run. */
+struct IngestResult
+{
+    std::size_t attempted = 0;
+
+    /** Adds the server acknowledged (Added reply, added == 1).
+     *  These are the durability contract: every one must survive a
+     *  crash + restart. */
+    std::size_t acked = 0;
+
+    /** True when the run ended on a transport failure (the server
+     *  died mid-load — expected under crash failpoints). */
+    bool serverDied = false;
+
+    std::string lastError;
+};
+
+/** The deterministic fingerprint ingest run @p index gets under
+ *  @p seed (what verify-ingest recomputes after a restart). */
+BitVec ingestPattern(std::uint64_t seed, std::size_t index);
+
+/** Run an online-ingest workload against 127.0.0.1:@p port. */
+IngestResult runIngest(std::uint16_t port, const IngestSpec &spec);
+
 /** Write BENCH_serve.json (see docs/TESTING.md for fields). */
 void writeBenchJson(const std::string &path,
                     const std::vector<TierResult> &tiers,

@@ -373,6 +373,7 @@ readStatusName(ReadStatus status)
       case ReadStatus::TooLarge: return "oversized length prefix";
       case ReadStatus::Empty: return "empty frame";
       case ReadStatus::IoError: return "io error";
+      case ReadStatus::TimedOut: return "read timeout";
     }
     return "unknown";
 }
@@ -381,7 +382,9 @@ namespace
 {
 
 /** recv exactly @p len bytes. 1 = ok, 0 = clean close before any
- *  byte, -1 = close/error mid-read. */
+ *  byte, -1 = close/error mid-read, -2 = SO_RCVTIMEO expired (the
+ *  slowloris eviction signal — stalling mid-frame times out the
+ *  same as idling before one). */
 int
 recvAll(int fd, void *buf, std::size_t len)
 {
@@ -394,6 +397,8 @@ recvAll(int fd, void *buf, std::size_t len)
         if (r < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return -2;
             return -1;
         }
         got += static_cast<std::size_t>(r);
@@ -410,6 +415,8 @@ readFrame(int fd, Payload &out, std::uint32_t max_payload)
     const int h = recvAll(fd, head, sizeof(head));
     if (h == 0)
         return ReadStatus::Eof;
+    if (h == -2)
+        return ReadStatus::TimedOut;
     if (h < 0)
         return ReadStatus::Truncated;
     std::uint32_t len = 0;
@@ -421,6 +428,8 @@ readFrame(int fd, Payload &out, std::uint32_t max_payload)
         return ReadStatus::TooLarge;
     out.resize(len);
     const int b = recvAll(fd, out.data(), len);
+    if (b == -2)
+        return ReadStatus::TimedOut;
     if (b <= 0)
         return ReadStatus::Truncated;
     return ReadStatus::Ok;

@@ -25,7 +25,11 @@
  *     u32 error-string count K (1 <= K <= maxCharacterizeStrings)
  *     K * { u64 bit count B, u8 bits[(B+7)/8] }
  *
- *   DbStats (0x03), Stats (0x04), Shutdown (0x7F): empty body.
+ *   DbStats (0x03), Stats (0x04), Health (0x05), Shutdown (0x7F):
+ *   empty body. Health is answered with a Json frame
+ *   ({"status": "serving"|"draining", ...}) and is safe to poll
+ *   from orchestration (idempotent, no store access beyond a size
+ *   read).
  *
  * Response bodies:
  *
@@ -82,6 +86,7 @@ enum class Opcode : std::uint8_t
     Characterize = 0x02,
     DbStats = 0x03,
     Stats = 0x04,
+    Health = 0x05,
     Shutdown = 0x7F,
 
     Ok = 0x80,
@@ -151,6 +156,7 @@ enum class ReadStatus
     TooLarge,  //!< length prefix exceeds @p max_payload
     Empty,     //!< length prefix of zero (no opcode byte)
     IoError,   //!< recv failed
+    TimedOut,  //!< SO_RCVTIMEO expired (idle or stalled peer)
 };
 
 /** Human-readable name of @p status. */

@@ -1,6 +1,7 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -8,12 +9,32 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace pcause::serve
 {
+
+namespace
+{
+
+/** Apply an SO_RCVTIMEO/SO_SNDTIMEO of @p ms to @p fd (0 = leave
+ *  blocking forever). */
+void
+setSocketTimeout(int fd, int option, unsigned ms)
+{
+    if (ms == 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+} // anonymous namespace
 
 Server::Server(AttackService &service, ServerConfig config)
     : svc(service), cfg(config), coalescer(service, config.batcher)
@@ -73,6 +94,40 @@ Server::requestStop()
 }
 
 void
+Server::drain()
+{
+    if (draining.exchange(true))
+        return;
+    // Stop accepting (the acceptor checks draining after every
+    // wake) but keep the write sides of live connections open:
+    // SHUT_RD makes each peer's next request read as EOF while
+    // replies to requests already in flight — including ones parked
+    // in the batcher queue — still go out. This is the ordering fix
+    // for the old stop path, whose SHUT_RDWR cut the reply path and
+    // silently dropped answers the batcher was still computing.
+    const char byte = 1;
+    (void)!::write(wakeWrite, &byte, 1);
+    {
+        std::lock_guard<std::mutex> lock(connMutex);
+        for (int fd : openFds)
+            ::shutdown(fd, SHUT_RD);
+    }
+    {
+        std::unique_lock<std::mutex> lock(activeMutex);
+        activeCv.wait_for(
+            lock, std::chrono::milliseconds(cfg.drainTimeoutMs),
+            [this] { return active.load() == 0; });
+    }
+    if (active.load() > 0)
+        warn("drain: %zu connections still busy after %u ms, "
+             "forcing close",
+             active.load(), cfg.drainTimeoutMs);
+    // Whether everyone answered or the deadline hit: finish the
+    // shutdown (idempotent; also cuts any remaining write sides).
+    requestStop();
+}
+
+void
 Server::wait()
 {
     if (acceptor.joinable())
@@ -96,7 +151,7 @@ Server::connectionsServed() const
 void
 Server::acceptLoop()
 {
-    while (!stopping.load()) {
+    while (!stopping.load() && !draining.load()) {
         pollfd fds[2] = {{listenFd, POLLIN, 0},
                          {wakeRead, POLLIN, 0}};
         const int n = ::poll(fds, 2, -1);
@@ -105,7 +160,8 @@ Server::acceptLoop()
                 continue;
             break;
         }
-        if (stopping.load() || (fds[1].revents & POLLIN))
+        if (stopping.load() || draining.load() ||
+            (fds[1].revents & POLLIN))
             break;
         if (!(fds[0].revents & POLLIN))
             continue;
@@ -113,9 +169,15 @@ Server::acceptLoop()
         const int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0)
             continue;
+        if (failpoint::hit("serve.accept")) {
+            ::close(fd);
+            continue;
+        }
         // Request-response framing: never wait for Nagle.
         const int nd = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nd, sizeof(nd));
+        setSocketTimeout(fd, SO_RCVTIMEO, cfg.readTimeoutMs);
+        setSocketTimeout(fd, SO_SNDTIMEO, cfg.writeTimeoutMs);
 
         std::lock_guard<std::mutex> lock(connMutex);
         if (active.load() >= cfg.maxConnections) {
@@ -146,15 +208,19 @@ Server::serveConnection(int fd)
 {
     Payload request;
     for (;;) {
+        if (failpoint::hit("serve.read"))
+            break;
         const ReadStatus st =
             readFrame(fd, request, maxFramePayload);
         if (st == ReadStatus::Eof)
             break;
         if (st != ReadStatus::Ok) {
-            // Oversized/empty/truncated frames get a clean Error
-            // reply (best effort — the peer may be gone) and a
-            // close; the server itself keeps running.
-            writeFrame(fd, encodeError(readStatusName(st)));
+            // Oversized/empty/truncated/timed-out frames get a
+            // clean Error reply (best effort — the peer may be
+            // gone) and a close; the server itself keeps running.
+            // TimedOut here is the slowloris eviction: a stalled
+            // peer loses its connection, not the server a thread.
+            sendReply(fd, encodeError(readStatusName(st)));
             break;
         }
         if (!handleFrame(fd, request))
@@ -167,8 +233,20 @@ Server::serveConnection(int fd)
             std::remove(openFds.begin(), openFds.end(), fd),
             openFds.end());
     }
-    active.fetch_sub(1);
+    {
+        std::lock_guard<std::mutex> lock(activeMutex);
+        active.fetch_sub(1);
+    }
+    activeCv.notify_all();
     served.fetch_add(1);
+}
+
+bool
+Server::sendReply(int fd, const Payload &payload)
+{
+    if (failpoint::hit("serve.write"))
+        return false;
+    return writeFrame(fd, payload);
 }
 
 bool
@@ -178,26 +256,26 @@ Server::handleFrame(int fd, const Payload &request)
       case Opcode::Identify: {
         LoadResult<IdentifyRequest> req = decodeIdentify(request);
         if (!req) {
-            writeFrame(fd, encodeError(req.error));
+            sendReply(fd, encodeError(req.error));
             return false;
         }
         if (svc.readOnly() &&
             req->options.metric != DistanceMetric::ModifiedJaccard) {
-            writeFrame(fd, encodeError("mmap backend serves the "
-                                       "ModifiedJaccard metric only"));
+            sendReply(fd, encodeError("mmap backend serves the "
+                                      "ModifiedJaccard metric only"));
             return false;
         }
         std::optional<IdentifyVerdict> verdict =
             coalescer.submit(std::move(*req));
         if (!verdict)
-            return writeFrame(fd, encodeEmpty(Opcode::Busy));
-        return writeFrame(fd, encodeVerdict(*verdict));
+            return sendReply(fd, encodeEmpty(Opcode::Busy));
+        return sendReply(fd, encodeVerdict(*verdict));
       }
       case Opcode::Characterize: {
         LoadResult<CharacterizeRequest> req =
             decodeCharacterize(request);
         if (!req) {
-            writeFrame(fd, encodeError(req.error));
+            sendReply(fd, encodeError(req.error));
             return false;
         }
         const AttackService::AddOutcome out =
@@ -207,7 +285,7 @@ Server::handleFrame(int fd, const Payload &request)
         reply.record = out.record;
         reply.weight = out.weight;
         reply.error = out.error;
-        return writeFrame(fd, encodeAdded(reply));
+        return sendReply(fd, encodeAdded(reply));
       }
       case Opcode::DbStats: {
         const ServiceDbStats s = svc.dbStats();
@@ -231,16 +309,33 @@ Server::handleFrame(int fd, const Payload &request)
                     std::to_string(s.largestBucket);
         }
         json += "}";
-        return writeFrame(fd, encodeJson(json));
+        return sendReply(fd, encodeJson(json));
       }
       case Opcode::Stats:
-        return writeFrame(fd, encodeJson(svc.statsJson()));
+        return sendReply(fd, encodeJson(svc.statsJson()));
+      case Opcode::Health: {
+        // Cheap liveness/readiness probe: no store scan, just
+        // counters. "draining" tells orchestration to stop routing
+        // new work here while in-flight replies finish.
+        std::string json = "{\"status\": \"";
+        json += (draining.load() || stopping.load()) ? "draining"
+                                                     : "serving";
+        json += "\", \"records\": " + std::to_string(svc.size());
+        json += ", \"durable\": ";
+        json += svc.durable() ? "true" : "false";
+        json += ", \"wal_entries\": " +
+                std::to_string(svc.walEntries());
+        json += ", \"active_connections\": " +
+                std::to_string(active.load());
+        json += "}";
+        return sendReply(fd, encodeJson(json));
+      }
       case Opcode::Shutdown:
-        writeFrame(fd, encodeEmpty(Opcode::Ok));
+        sendReply(fd, encodeEmpty(Opcode::Ok));
         requestStop();
         return false;
       default:
-        writeFrame(fd, encodeError("garbage opcode"));
+        sendReply(fd, encodeError("garbage opcode"));
         return false;
     }
 }

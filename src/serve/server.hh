@@ -18,6 +18,7 @@
 #define PCAUSE_SERVE_SERVER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,24 @@ struct ServerConfig
      *  after an Error reply. */
     std::size_t maxConnections = 256;
 
+    /**
+     * SO_RCVTIMEO per connection, milliseconds; 0 disables. A peer
+     * that idles — or stalls mid-frame (slowloris) — past this is
+     * answered with Error("read timeout") best-effort and evicted,
+     * so stalled connections can never pin worker threads or hold
+     * maxConnections slots forever.
+     */
+    unsigned readTimeoutMs = 30000;
+
+    /** SO_SNDTIMEO per connection, milliseconds; 0 disables. A
+     *  peer that stops reading its replies is evicted once the
+     *  socket buffer stays full this long. */
+    unsigned writeTimeoutMs = 5000;
+
+    /** How long drain() waits for in-flight requests to answer
+     *  before forcing the remaining connections closed. */
+    unsigned drainTimeoutMs = 5000;
+
     /** Micro-batcher tuning (queue bound = backpressure point). */
     BatcherConfig batcher;
 };
@@ -66,6 +85,20 @@ class Server
     /** Request shutdown: stops accepting, unblocks workers. */
     void requestStop();
 
+    /**
+     * Graceful drain (the SIGTERM path): stop accepting, half-close
+     * every connection's read side so no *new* requests arrive,
+     * then wait up to drainTimeoutMs for in-flight requests —
+     * including ones queued in the batcher — to be answered before
+     * forcing the rest closed. An accepted request is either
+     * answered or explicitly BUSY'd, never silently dropped.
+     */
+    void drain();
+
+    /** True once a stop or drain has been requested (a Shutdown
+     *  frame, requestStop(), or drain()). */
+    bool stopRequested() const { return stopping.load(); }
+
     /** Block until the server has stopped (a Shutdown frame or
      *  requestStop()). */
     void wait();
@@ -81,6 +114,9 @@ class Server
     void serveConnection(int fd);
     bool handleFrame(int fd, const Payload &request);
 
+    /** writeFrame with the serve.write failpoint in front. */
+    bool sendReply(int fd, const Payload &payload);
+
     AttackService &svc;
     const ServerConfig cfg;
     Batcher coalescer;
@@ -91,8 +127,13 @@ class Server
     std::uint16_t boundPort = 0;
 
     std::atomic<bool> stopping{false};
+    std::atomic<bool> draining{false};
     std::atomic<std::size_t> served{0};
     std::atomic<std::size_t> active{0};
+
+    /** Signaled whenever a worker finishes; drain() waits on it. */
+    std::mutex activeMutex;
+    std::condition_variable activeCv;
 
     std::mutex connMutex;
     std::vector<std::thread> connections;

@@ -1,0 +1,289 @@
+#include "util/failpoint.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace pcause::failpoint
+{
+
+namespace detail
+{
+std::atomic<int> armedCount{0};
+} // namespace detail
+
+namespace
+{
+
+struct State
+{
+    Action action = Action::Off;
+    unsigned delayMs = 0;
+    std::size_t skip = 0;  //!< hits left to absorb before firing
+    std::size_t fired = 0; //!< times the action ran
+};
+
+struct Registry
+{
+    std::mutex m;
+    std::map<std::string, State> points;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Recount armed entries under the registry lock. */
+void
+refreshArmedCount(const std::map<std::string, State> &points)
+{
+    int armed = 0;
+    for (const auto &kv : points)
+        if (kv.second.action != Action::Off)
+            ++armed;
+    detail::armedCount.store(armed, std::memory_order_relaxed);
+}
+
+/**
+ * One-time PCAUSE_FAILPOINTS import, triggered by the first hit or
+ * the first programmatic arm. The loaded flag is set *before*
+ * parsing so the nested arm() calls the parse makes do not recurse
+ * back in here.
+ */
+void
+ensureEnvLoaded()
+{
+    static std::atomic<bool> loaded{false};
+    if (loaded.load(std::memory_order_acquire))
+        return;
+    static std::mutex envMutex;
+    std::lock_guard<std::mutex> lock(envMutex);
+    if (loaded.load(std::memory_order_relaxed))
+        return;
+    loaded.store(true, std::memory_order_release);
+    const char *spec = std::getenv("PCAUSE_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0')
+        return;
+    std::string err;
+    if (!armFromSpec(spec, &err))
+        fatal("PCAUSE_FAILPOINTS: %s", err.c_str());
+}
+
+/**
+ * Import the env spec at program start: hit()'s fast path is a bare
+ * armedCount load, so an env-armed process must raise the count
+ * before the first hook runs, not lazily at the first hit.
+ */
+[[maybe_unused]] const bool envImportedAtStartup =
+    (ensureEnvLoaded(), true);
+
+bool
+parseAction(const std::string &word, Action &action, unsigned &delay_ms,
+            std::string *error)
+{
+    delay_ms = 0;
+    if (word == "off") {
+        action = Action::Off;
+        return true;
+    }
+    if (word == "error") {
+        action = Action::Error;
+        return true;
+    }
+    if (word == "crash") {
+        action = Action::Crash;
+        return true;
+    }
+    if (word == "oneshot") {
+        action = Action::Oneshot;
+        return true;
+    }
+    if (word.rfind("delay:", 0) == 0) {
+        const std::string ms = word.substr(6);
+        if (ms.empty() ||
+            ms.find_first_not_of("0123456789") != std::string::npos) {
+            if (error)
+                *error = "bad delay milliseconds '" + ms + "'";
+            return false;
+        }
+        action = Action::Delay;
+        delay_ms = static_cast<unsigned>(std::stoul(ms));
+        return true;
+    }
+    if (error)
+        *error = "unknown action '" + word +
+                 "' (want off|error|crash|delay:ms|oneshot)";
+    return false;
+}
+
+} // anonymous namespace
+
+namespace detail
+{
+
+Action
+consume(const char *name)
+{
+    ensureEnvLoaded();
+    unsigned delay_ms = 0;
+    Action fired = Action::Off;
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.m);
+        auto it = reg.points.find(name);
+        if (it == reg.points.end() ||
+            it->second.action == Action::Off)
+            return Action::Off;
+        State &st = it->second;
+        if (st.skip > 0) {
+            --st.skip;
+            return Action::Off;
+        }
+        fired = st.action;
+        delay_ms = st.delayMs;
+        ++st.fired;
+        if (st.action == Action::Oneshot) {
+            st.action = Action::Off;
+            refreshArmedCount(reg.points);
+        }
+    }
+    if (fired == Action::Delay && delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+    return fired;
+}
+
+} // namespace detail
+
+void
+crashNow()
+{
+    // The kill -9 simulation: no destructors, no atexit, no stream
+    // flush. 137 = 128 + SIGKILL, what a shell reports for the real
+    // thing.
+    std::_Exit(137);
+}
+
+void
+arm(const std::string &name, Action action, unsigned delay_ms,
+    std::size_t skip)
+{
+    ensureEnvLoaded();
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    State &st = reg.points[name];
+    st.action = action;
+    st.delayMs = delay_ms;
+    st.skip = skip;
+    refreshArmedCount(reg.points);
+}
+
+void
+disarm(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    auto it = reg.points.find(name);
+    if (it == reg.points.end())
+        return;
+    it->second.action = Action::Off;
+    refreshArmedCount(reg.points);
+}
+
+void
+disarmAll()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    for (auto &kv : reg.points)
+        kv.second.action = Action::Off;
+    detail::armedCount.store(0, std::memory_order_relaxed);
+}
+
+bool
+armFromSpec(const std::string &spec, std::string *error)
+{
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string clause = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (clause.empty())
+            continue;
+        const std::size_t eq = clause.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            if (error)
+                *error = "clause '" + clause +
+                         "' is not name=action";
+            return false;
+        }
+        // Optional "@skip" suffix: let that many hits pass before
+        // the action fires (crash at the K-th add, not the first).
+        std::string word = clause.substr(eq + 1);
+        std::size_t skip = 0;
+        const std::size_t at = word.find('@');
+        if (at != std::string::npos) {
+            const std::string count = word.substr(at + 1);
+            if (count.empty() ||
+                count.find_first_not_of("0123456789") !=
+                    std::string::npos) {
+                if (error)
+                    *error = "bad skip count '" + count + "'";
+                return false;
+            }
+            skip = static_cast<std::size_t>(std::stoul(count));
+            word.resize(at);
+        }
+        Action action;
+        unsigned delay_ms;
+        if (!parseAction(word, action, delay_ms, error))
+            return false;
+        arm(clause.substr(0, eq), action, delay_ms, skip);
+    }
+    return true;
+}
+
+std::size_t
+hitCount(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    auto it = reg.points.find(name);
+    return it == reg.points.end() ? 0 : it->second.fired;
+}
+
+const std::vector<const char *> &
+wiredNames()
+{
+    // Every PC-failpoint hook compiled into the tree. Kept in one
+    // place so the chaos harness can iterate the crash surface;
+    // adding a hook without listing it here fails
+    // test_failpoint.WiredNamesAreArmable.
+    static const std::vector<const char *> names = {
+        "store.save.write",  // snapshot temp-file write
+        "store.save.fsync",  // snapshot fsync before rename
+        "store.save.rename", // atomic rename into place
+        "store.load",        // snapshot open/parse
+        "wal.append",        // journal entry write
+        "wal.append.torn",   // torn write: half an entry, then die
+        "wal.fsync",         // journal fsync before ack
+        "wal.replay",        // recovery replay
+        "service.add",       // AttackService mutation path
+        "service.query",     // AttackService identify path
+        "serve.accept",      // server accept loop
+        "serve.read",        // server frame read
+        "serve.write",       // server frame write
+    };
+    return names;
+}
+
+} // namespace pcause::failpoint

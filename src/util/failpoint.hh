@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Failpoint registry: deterministic fault injection for crash-safety
+ * and robustness tests.
+ *
+ * A failpoint is a named hook compiled into a production code path
+ * (WAL append, snapshot rename, socket accept, ...). Disarmed — the
+ * only state production ever runs in — a hit is one relaxed atomic
+ * load of a global counter and a predicted-not-taken branch; no
+ * lock, no map lookup, no string hashing. Armed, a hit consults the
+ * registry and performs the configured action:
+ *
+ *   off        nothing (explicitly disarmed)
+ *   error      the hook reports failure; the caller takes its error
+ *              path (a failed write, a refused request)
+ *   crash      std::_Exit(137) — the kill -9 simulation: no
+ *              destructors, no atexit, no flush; whatever bytes the
+ *              kernel already has are whatever survives
+ *   delay:ms   sleep ms milliseconds, then continue normally (the
+ *              slow-disk / slow-peer simulation)
+ *   oneshot    error exactly once, then disarm
+ *
+ * Arming happens two ways:
+ *
+ *   - Environment: PCAUSE_FAILPOINTS="wal.append=error,serve.read=delay:5"
+ *     parsed once at first use — the chaos harness arms a child
+ *     process without any code path of its own. An "@skip" suffix
+ *     ("wal.fsync=crash@7") lets that many hits pass first.
+ *   - Programmatic: arm(name, action, delay_ms, skip) from tests;
+ *     skip > 0 lets the first @p skip hits pass before the action
+ *     fires (crash at the K-th add, not the first).
+ *
+ * Names are free-form, but every failpoint compiled into the tree is
+ * listed in wiredNames() so harnesses can enumerate the crash
+ * surface without grepping the source.
+ */
+
+#ifndef PCAUSE_UTIL_FAILPOINT_HH
+#define PCAUSE_UTIL_FAILPOINT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pcause::failpoint
+{
+
+/** What an armed failpoint does when hit. */
+enum class Action
+{
+    Off,     //!< disarmed
+    Error,   //!< report failure to the caller
+    Crash,   //!< std::_Exit(137), the kill -9 simulation
+    Delay,   //!< sleep, then continue normally
+    Oneshot, //!< Error once, then disarm
+};
+
+namespace detail
+{
+/** Number of currently armed failpoints; the fast-path gate. */
+extern std::atomic<int> armedCount;
+
+/** Registry lookup + action dispatch for @p name. Returns the
+ *  action that fired (Off when @p name is not armed or its skip
+ *  count absorbed the hit). Crash is *returned*, not executed —
+ *  hit() executes it, tests can observe it. */
+Action consume(const char *name);
+} // namespace detail
+
+/** True when any failpoint is armed (one relaxed load). */
+inline bool
+anyArmed()
+{
+    return detail::armedCount.load(std::memory_order_relaxed) > 0;
+}
+
+/** Execute the crash action (std::_Exit(137)); never returns. */
+[[noreturn]] void crashNow();
+
+/**
+ * Evaluate the failpoint @p name at a production hook. Returns true
+ * when the caller must take its error path (Error / Oneshot fired);
+ * Crash exits the process; Delay sleeps and returns false; disarmed
+ * returns false at fast-path cost.
+ */
+inline bool
+hit(const char *name)
+{
+    if (!anyArmed())
+        return false;
+    const Action a = detail::consume(name);
+    if (a == Action::Crash)
+        crashNow();
+    return a == Action::Error || a == Action::Oneshot;
+}
+
+/**
+ * Like hit(), but hands the triggered action back to the caller
+ * instead of executing Crash — for hooks that must do work *between*
+ * the trigger and the exit (write a torn prefix, then die). Returns
+ * Action::Off when nothing fired.
+ */
+inline Action
+consume(const char *name)
+{
+    if (!anyArmed())
+        return Action::Off;
+    return detail::consume(name);
+}
+
+/**
+ * Arm @p name: the first @p skip hits pass, then @p action fires on
+ * every subsequent hit (Oneshot: once). @p delay_ms applies to
+ * Action::Delay only.
+ */
+void arm(const std::string &name, Action action,
+         unsigned delay_ms = 0, std::size_t skip = 0);
+
+/** Disarm @p name (idempotent). */
+void disarm(const std::string &name);
+
+/** Disarm everything (test teardown). */
+void disarmAll();
+
+/**
+ * Parse and arm a PCAUSE_FAILPOINTS-style spec:
+ * "name=off|error|crash|delay:ms|oneshot[@skip][,name=...]" —
+ * "wal.append=crash@7" lets seven appends pass, then crashes on the
+ * eighth. Returns true
+ * on success; on a malformed spec returns false with a reason in
+ * @p error (when non-null) and arms nothing from the bad clause on.
+ */
+bool armFromSpec(const std::string &spec, std::string *error = nullptr);
+
+/** Times @p name fired its action (diagnostics; 0 when never
+ *  armed). */
+std::size_t hitCount(const std::string &name);
+
+/** Every failpoint name compiled into the tree — the chaos
+ *  harness's crash surface. */
+const std::vector<const char *> &wiredNames();
+
+} // namespace pcause::failpoint
+
+#endif // PCAUSE_UTIL_FAILPOINT_HH

@@ -72,6 +72,47 @@ if "$PCAUSE" db --db broken.pcdb > /dev/null 2>&1; then
     exit 1
 fi
 
+# Crash-recovery triage: `db verify` exits 0 healthy, 1 recoverable,
+# 2 corrupt. No journal at all is a healthy cold database.
+"$PCAUSE" db --db db.pcdb verify | grep -q "absent"
+
+# An empty journal (header only: "PCWL", version 1, base 0) is
+# healthy.
+printf 'PCWL\001\000\000\000\000\000\000\000\000\000\000\000' \
+    > db.pcdb.wal
+"$PCAUSE" db --db db.pcdb verify | grep -q "0 entries"
+
+# A torn tail — an entry header claiming 100 payload bytes with only
+# 3 present, the shape a crash mid-append leaves — is recoverable.
+printf 'PCWL\001\000\000\000\000\000\000\000\000\000\000\000' \
+    > db.pcdb.wal
+printf '\144\000\000\000\252\252\252\252abc' >> db.pcdb.wal
+rc=0
+"$PCAUSE" db --db db.pcdb verify > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: torn journal tail triaged as $rc, want 1" >&2
+    exit 1
+fi
+
+# A journal with a damaged magic is corruption, not a torn tail.
+printf 'XWAL\001\000\000\000\000\000\000\000\000\000\000\000' \
+    > db.pcdb.wal
+rc=0
+"$PCAUSE" db --db db.pcdb verify > /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "FAIL: bad journal magic triaged as $rc, want 2" >&2
+    exit 1
+fi
+rm db.pcdb.wal
+
+# A corrupt snapshot is triaged (exit 2), not a crash.
+rc=0
+"$PCAUSE" db --db broken.pcdb verify > /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "FAIL: corrupt snapshot triaged as $rc, want 2" >&2
+    exit 1
+fi
+
 # Clustering four outputs of three chips must find three clusters.
 "$PCAUSE" cluster --exact exact.pcbv chip0_trial0.pcbv \
     chip1_trial0.pcbv chip0_trial1.pcbv chip2_trial0.pcbv \

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for util/failpoint — the fault-injection registry:
+ * action semantics (error / delay / oneshot / skip counts), the
+ * PCAUSE_FAILPOINTS spec parser, hit accounting, and the
+ * disarmed-is-free fast path. The crash action is only observed
+ * through consume() (which hands it back instead of exiting);
+ * actually dying at a failpoint is the chaos harness's job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/failpoint.hh"
+
+namespace pcause::failpoint
+{
+namespace
+{
+
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarmAll(); }
+    void TearDown() override { disarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedHitIsFalseAndFree)
+{
+    EXPECT_FALSE(anyArmed());
+    EXPECT_FALSE(hit("test.nothing"));
+    EXPECT_EQ(consume("test.nothing"), Action::Off);
+    EXPECT_EQ(hitCount("test.nothing"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorFiresEveryHit)
+{
+    arm("test.err", Action::Error);
+    EXPECT_TRUE(anyArmed());
+    EXPECT_TRUE(hit("test.err"));
+    EXPECT_TRUE(hit("test.err"));
+    EXPECT_EQ(hitCount("test.err"), 2u);
+    // Other names stay untouched.
+    EXPECT_FALSE(hit("test.other"));
+}
+
+TEST_F(FailpointTest, OneshotFiresExactlyOnce)
+{
+    arm("test.once", Action::Oneshot);
+    EXPECT_TRUE(hit("test.once"));
+    EXPECT_FALSE(hit("test.once"));
+    EXPECT_FALSE(hit("test.once"));
+    EXPECT_EQ(hitCount("test.once"), 1u);
+}
+
+TEST_F(FailpointTest, SkipCountAbsorbsEarlyHits)
+{
+    arm("test.skip", Action::Error, 0, 2);
+    EXPECT_FALSE(hit("test.skip"));
+    EXPECT_FALSE(hit("test.skip"));
+    EXPECT_TRUE(hit("test.skip"));
+    EXPECT_TRUE(hit("test.skip"));
+    EXPECT_EQ(hitCount("test.skip"), 2u);
+}
+
+TEST_F(FailpointTest, ConsumeHandsCrashBackWithoutDying)
+{
+    arm("test.crash", Action::Crash);
+    // consume() must NOT execute the crash — hooks that write a
+    // torn prefix first depend on that.
+    EXPECT_EQ(consume("test.crash"), Action::Crash);
+    EXPECT_EQ(hitCount("test.crash"), 1u);
+}
+
+TEST_F(FailpointTest, DelaySleepsThenContinues)
+{
+    arm("test.delay", Action::Delay, 30);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(hit("test.delay"));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FailpointTest, DisarmAndDisarmAll)
+{
+    arm("test.a", Action::Error);
+    arm("test.b", Action::Error);
+    disarm("test.a");
+    EXPECT_FALSE(hit("test.a"));
+    EXPECT_TRUE(hit("test.b"));
+    disarmAll();
+    EXPECT_FALSE(anyArmed());
+    EXPECT_FALSE(hit("test.b"));
+    // Idempotent on unknown names.
+    disarm("test.never-armed");
+}
+
+TEST_F(FailpointTest, SpecParsesEveryActionForm)
+{
+    std::string err;
+    ASSERT_TRUE(armFromSpec("test.s1=error,test.s2=delay:1,"
+                            "test.s3=oneshot,test.s4=off",
+                            &err))
+        << err;
+    EXPECT_TRUE(hit("test.s1"));
+    EXPECT_FALSE(hit("test.s2")); // delay continues normally
+    EXPECT_TRUE(hit("test.s3"));
+    EXPECT_FALSE(hit("test.s3")); // oneshot spent
+    EXPECT_FALSE(hit("test.s4")); // off = disarmed
+}
+
+TEST_F(FailpointTest, SpecSkipSuffixAbsorbsEarlyHits)
+{
+    std::string err;
+    ASSERT_TRUE(armFromSpec("test.skip=error@2", &err)) << err;
+    EXPECT_FALSE(hit("test.skip"));
+    EXPECT_FALSE(hit("test.skip"));
+    EXPECT_TRUE(hit("test.skip")); // third hit fires
+    ASSERT_TRUE(armFromSpec("test.skip2=oneshot@1", &err)) << err;
+    EXPECT_FALSE(hit("test.skip2"));
+    EXPECT_TRUE(hit("test.skip2"));
+    EXPECT_FALSE(hit("test.skip2")); // oneshot spent after skip
+}
+
+TEST_F(FailpointTest, SpecRejectsMalformedClauses)
+{
+    std::string err;
+    EXPECT_FALSE(armFromSpec("test.bad", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(armFromSpec("test.bad=explode", &err));
+    EXPECT_FALSE(armFromSpec("test.bad=delay:", &err));
+    EXPECT_FALSE(armFromSpec("test.bad=delay:xyz", &err));
+    EXPECT_FALSE(armFromSpec("=error", &err));
+    EXPECT_FALSE(armFromSpec("test.bad=error@", &err));
+    EXPECT_FALSE(armFromSpec("test.bad=error@x", &err));
+}
+
+TEST_F(FailpointTest, WiredNamesCoverTheCrashSurface)
+{
+    // The chaos harness enumerates this list; every durability-
+    // critical hook must stay on it.
+    const std::vector<const char *> &names = wiredNames();
+    auto has = [&](const char *want) {
+        for (const char *n : names)
+            if (std::string(n) == want)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("store.save.write"));
+    EXPECT_TRUE(has("store.save.fsync"));
+    EXPECT_TRUE(has("store.save.rename"));
+    EXPECT_TRUE(has("wal.append"));
+    EXPECT_TRUE(has("wal.append.torn"));
+    EXPECT_TRUE(has("wal.fsync"));
+    EXPECT_TRUE(has("service.add"));
+    EXPECT_TRUE(has("serve.accept"));
+    EXPECT_TRUE(has("serve.read"));
+    EXPECT_TRUE(has("serve.write"));
+}
+
+} // namespace
+} // namespace pcause::failpoint

@@ -13,6 +13,7 @@
 
 #include "core/serialize.hh"
 #include "core/store.hh"
+#include "util/failpoint.hh"
 
 namespace pcause
 {
@@ -466,6 +467,68 @@ TEST(Serialize, BitVecTruncationIsFatal)
               static_cast<std::streamsize>(data.size() - 4));
     out.close();
     EXPECT_EXIT(loadBitVec(path), ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, DurableSaveRoundTrips)
+{
+    const std::string path = "serialize_durable_test.pcdb";
+    std::remove(path.c_str());
+    FingerprintStore store;
+    store.add("only", makeFingerprint({1, 5, 9}, 2));
+    std::string err;
+    ASSERT_TRUE(saveStoreDurable(store, path, &err)) << err;
+    StoreLoadResult back = loadStore(path);
+    ASSERT_TRUE(back) << back.error;
+    EXPECT_EQ(back->size(), 1u);
+    EXPECT_EQ(back->record(0).label, "only");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, FailedDurableSaveLeavesTheOldSnapshotIntact)
+{
+    // The crash-safety contract of temp + rename: a save that dies
+    // before the rename never damages the file being replaced.
+    const std::string path = "serialize_durable_keep_test.pcdb";
+    std::remove(path.c_str());
+    FingerprintStore v1;
+    v1.add("original", makeFingerprint({2, 4}, 1));
+    ASSERT_TRUE(saveStoreDurable(v1, path));
+
+    FingerprintStore v2;
+    v2.add("replacement", makeFingerprint({8, 16}, 1));
+    for (const char *point :
+         {"store.save.write", "store.save.fsync",
+          "store.save.rename"}) {
+        pcause::failpoint::arm(point,
+                               pcause::failpoint::Action::Oneshot);
+        std::string err;
+        EXPECT_FALSE(saveStoreDurable(v2, path, &err)) << point;
+        EXPECT_FALSE(err.empty()) << point;
+        pcause::failpoint::disarmAll();
+
+        StoreLoadResult kept = loadStore(path);
+        ASSERT_TRUE(kept) << point << ": " << kept.error;
+        EXPECT_EQ(kept->record(0).label, "original") << point;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, InjectedLoadFailureIsACleanError)
+{
+    const std::string path = "serialize_loadfp_test.pcdb";
+    FingerprintStore store;
+    store.add("x", makeFingerprint({3}, 1));
+    ASSERT_TRUE(saveStore(store, path));
+    pcause::failpoint::arm("store.load",
+                           pcause::failpoint::Action::Oneshot);
+    StoreLoadResult r = loadStore(path);
+    pcause::failpoint::disarmAll();
+    EXPECT_FALSE(static_cast<bool>(r));
+    EXPECT_NE(r.error.find("injected"), std::string::npos);
+    // Next load (failpoint spent) succeeds.
+    StoreLoadResult ok = loadStore(path);
+    EXPECT_TRUE(static_cast<bool>(ok)) << ok.error;
     std::remove(path.c_str());
 }
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "util/failpoint.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
@@ -490,6 +492,153 @@ TEST(Server, ReadOnlyBackendRefusesCharacterize)
     EXPECT_FALSE(added->added);
     EXPECT_NE(added->error.find("read-only"), std::string::npos);
     std::remove(path.c_str());
+}
+
+// --- Robustness: health, timeouts, drain, retry ------------------
+
+TEST(Server, HealthOpcodeAnswersStatusJson)
+{
+    ServerFixture fx(9);
+    Client c;
+    ASSERT_EQ(c.connect(fx.server.port()), "");
+    const Reply r = c.exchange(encodeEmpty(Opcode::Health));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r.opcode, Opcode::Json);
+    LoadResult<std::string> json = decodeJson(r.payload);
+    ASSERT_TRUE(json) << json.error;
+    EXPECT_NE(json->find("\"status\": \"serving\""),
+              std::string::npos);
+    EXPECT_NE(json->find("\"records\": 9"), std::string::npos);
+    EXPECT_NE(json->find("\"durable\": false"), std::string::npos);
+
+    // The Client convenience wrapper sees the same thing.
+    const std::optional<std::string> h = c.health();
+    ASSERT_TRUE(h.has_value());
+    EXPECT_NE(h->find("serving"), std::string::npos);
+}
+
+TEST(Server, ReadTimeoutEvictsStalledConnection)
+{
+    ServerConfig cfg;
+    cfg.readTimeoutMs = 100; // an aggressive slowloris deadline
+    ServerFixture fx(5, cfg);
+    Client c;
+    ASSERT_EQ(c.connect(fx.server.port()), "");
+    // Stall mid-frame: a length prefix promising bytes that never
+    // come — the classic slowloris posture.
+    const std::uint8_t head[4] = {40, 0, 0, 0};
+    ASSERT_TRUE(c.sendRaw(head, sizeof(head)));
+    const Reply r = c.receive();
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r.opcode, Opcode::Error);
+    LoadResult<std::string> msg = decodeError(r.payload);
+    ASSERT_TRUE(msg);
+    EXPECT_NE(msg->find("timeout"), std::string::npos);
+    // Eviction closes the connection...
+    const Reply after = c.receive();
+    EXPECT_FALSE(after.ok());
+    // ...but the server keeps serving everyone else.
+    Client c2;
+    ASSERT_EQ(c2.connect(fx.server.port()), "");
+    const Reply alive = c2.exchange(encodeEmpty(Opcode::Health));
+    ASSERT_TRUE(alive.ok());
+    EXPECT_EQ(*alive.opcode, Opcode::Json);
+}
+
+TEST(Server, DrainAnswersInFlightRequestsBeforeStopping)
+{
+    // Pin for the shutdown-ordering race: a request being computed
+    // while shutdown starts must still get its reply — the old
+    // SHUT_RDWR stop path cut the reply's write side and silently
+    // dropped it.
+    ServerFixture fx(20);
+    failpoint::arm("service.query", failpoint::Action::Delay, 200);
+
+    Rng rng(0x77);
+    IdentifyRequest req;
+    req.errorString = randomPattern(rng, 64);
+    std::optional<IdentifyVerdict> verdict;
+    Client c;
+    ASSERT_EQ(c.connect(fx.server.port()), "");
+    std::thread requester(
+        [&] { verdict = c.identify(req); });
+
+    // Let the request reach the batcher, then drain mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fx.server.drain();
+    requester.join();
+    failpoint::disarmAll();
+
+    ASSERT_TRUE(verdict.has_value())
+        << "drain dropped an in-flight request's reply";
+
+    // Post-drain the server accepts nothing new.
+    fx.server.wait();
+    Client late;
+    EXPECT_NE(late.connect(fx.server.port()), "");
+}
+
+TEST(Server, DrainWithNoTrafficStopsPromptly)
+{
+    ServerFixture fx(3);
+    const auto t0 = std::chrono::steady_clock::now();
+    fx.server.drain();
+    fx.server.wait();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    // Nothing in flight: no reason to sit out the drain timeout.
+    EXPECT_LT(elapsed.count(), 1000);
+}
+
+TEST(Client, BackoffDelayIsCappedAndJittered)
+{
+    RetryPolicy p;
+    p.baseBackoffMs = 5;
+    p.maxBackoffMs = 200;
+    p.jitter = 0.0;
+    std::uint64_t state = 0;
+    EXPECT_EQ(backoffDelayMs(p, 0, state), 5u);
+    EXPECT_EQ(backoffDelayMs(p, 1, state), 10u);
+    EXPECT_EQ(backoffDelayMs(p, 2, state), 20u);
+    EXPECT_EQ(backoffDelayMs(p, 10, state), 200u); // capped
+    EXPECT_EQ(backoffDelayMs(p, 1000, state), 200u);
+
+    p.jitter = 0.5;
+    p.seed = 0x1234;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        const unsigned d = backoffDelayMs(p, attempt, state);
+        std::uint64_t full = p.baseBackoffMs;
+        for (int i = 0; i < attempt && full < p.maxBackoffMs; ++i)
+            full <<= 1;
+        if (full > p.maxBackoffMs)
+            full = p.maxBackoffMs;
+        EXPECT_LE(d, full);
+        EXPECT_GE(d, full / 2);
+    }
+}
+
+TEST(Client, IdempotentRetrySurvivesAnInjectedDroppedReply)
+{
+    ServerFixture fx(20);
+    // The server fails to write exactly one reply and closes the
+    // connection — the client must reconnect and retry because
+    // identify is idempotent.
+    failpoint::arm("serve.write", failpoint::Action::Oneshot);
+
+    Rng rng(0x99);
+    IdentifyRequest req;
+    req.errorString = randomPattern(rng, 64);
+    Client c;
+    ASSERT_EQ(c.connect(fx.server.port()), "");
+    RetryPolicy policy;
+    policy.baseBackoffMs = 1;
+    policy.maxBackoffMs = 5;
+    const std::optional<IdentifyVerdict> v =
+        c.identifyWithRetry(req, policy);
+    failpoint::disarmAll();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_GE(failpoint::hitCount("serve.write"), 1u);
 }
 
 } // anonymous namespace

@@ -18,6 +18,8 @@
 #include "core/serialize.hh"
 #include "core/service.hh"
 #include "core/store.hh"
+#include "core/wal.hh"
+#include "util/failpoint.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
@@ -294,6 +296,152 @@ TEST(ServiceStats, ConcurrentAccumulateNeverTearsOrDoubleCounts)
     EXPECT_EQ(total.candidatesScanned, 2 * threads * perThread);
     EXPECT_NEAR(total.identifySeconds, 0.001 * threads * perThread,
                 1e-6);
+}
+
+// --- Durability ---------------------------------------------------
+
+struct DurableFixture
+{
+    std::string dbPath = "service_durable_test.pcdb";
+    std::string walPath = "service_durable_test.pcdb.wal";
+
+    DurableFixture() { cleanup(); }
+    ~DurableFixture()
+    {
+        failpoint::disarmAll();
+        cleanup();
+    }
+
+    void cleanup()
+    {
+        std::remove(dbPath.c_str());
+        std::remove(walPath.c_str());
+    }
+
+    AttackService::DurabilityConfig config(
+        std::size_t checkpoint_every = 1u << 20) const
+    {
+        AttackService::DurabilityConfig dur;
+        dur.dbPath = dbPath;
+        dur.walPath = walPath;
+        dur.checkpointEvery = checkpoint_every;
+        return dur;
+    }
+};
+
+TEST(AttackService, DurableAddsSurviveReopenWithoutCheckpoint)
+{
+    DurableFixture fx;
+    Rng rng(0xD0);
+    const BitVec fp0 = randomPattern(rng, 32);
+    const BitVec fp1 = randomPattern(rng, 32);
+    {
+        LoadResult<AttackService> svc =
+            AttackService::openDurable(fx.config());
+        ASSERT_TRUE(svc) << svc.error;
+        EXPECT_TRUE(svc->durable());
+        ASSERT_TRUE(svc->addRecord("a", Fingerprint(fp0, 2)).added);
+        ASSERT_TRUE(svc->addRecord("b", Fingerprint(fp1, 5)).added);
+        EXPECT_EQ(svc->walEntries(), 2u);
+        // No checkpoint, no graceful shutdown: the journal alone
+        // must carry both acked adds across the "crash".
+    }
+    LoadResult<AttackService> back =
+        AttackService::openDurable(fx.config());
+    ASSERT_TRUE(back) << back.error;
+    ASSERT_EQ(back->size(), 2u);
+    ASSERT_NE(back->store(), nullptr);
+    EXPECT_EQ(back->store()->record(0).label, "a");
+    EXPECT_EQ(back->store()->record(1).label, "b");
+    EXPECT_TRUE(back->store()->record(1).fingerprint.bits() == fp1);
+    EXPECT_EQ(back->store()->record(1).fingerprint.sources(), 5u);
+    // Reopen compacted: snapshot holds everything, journal empty.
+    EXPECT_EQ(back->walEntries(), 0u);
+    EXPECT_EQ(Wal::verify(fx.walPath).baseRecords, 2u);
+}
+
+TEST(AttackService, RefusedJournalAppendRefusesTheAck)
+{
+    DurableFixture fx;
+    LoadResult<AttackService> svc =
+        AttackService::openDurable(fx.config());
+    ASSERT_TRUE(svc) << svc.error;
+    Rng rng(0xD1);
+
+    failpoint::arm("wal.fsync", failpoint::Action::Oneshot);
+    const AttackService::AddOutcome out =
+        svc->addRecord("lost", Fingerprint(randomPattern(rng, 16)));
+    failpoint::disarmAll();
+
+    // No ack, and — the invariant — no volatile record either: the
+    // store and the journal never disagree about what was acked.
+    EXPECT_FALSE(out.added);
+    EXPECT_NE(out.error.find("durability"), std::string::npos);
+    EXPECT_EQ(svc->size(), 0u);
+    const AttackService::AddOutcome retry =
+        svc->addRecord("kept", Fingerprint(randomPattern(rng, 16)));
+    EXPECT_TRUE(retry.added);
+    EXPECT_EQ(svc->size(), 1u);
+}
+
+TEST(AttackService, CheckpointCompactsTheJournal)
+{
+    DurableFixture fx;
+    LoadResult<AttackService> svc =
+        AttackService::openDurable(fx.config(2));
+    ASSERT_TRUE(svc) << svc.error;
+    Rng rng(0xD2);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(svc->addRecord("c" + std::to_string(i),
+                                   Fingerprint(randomPattern(rng, 16)))
+                        .added);
+    // checkpointEvery = 2: the journal never accumulates past the
+    // threshold for long (exactly 1 entry after the 5th add).
+    EXPECT_LT(svc->walEntries(), 2u);
+    const std::string err = svc->checkpoint();
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(svc->walEntries(), 0u);
+
+    StoreLoadResult snap = loadStore(fx.dbPath);
+    ASSERT_TRUE(snap) << snap.error;
+    EXPECT_EQ(snap->size(), 5u);
+}
+
+TEST(AttackService, StatsJsonReportsDurability)
+{
+    DurableFixture fx;
+    LoadResult<AttackService> svc =
+        AttackService::openDurable(fx.config());
+    ASSERT_TRUE(svc) << svc.error;
+    Rng rng(0xD3);
+    ASSERT_TRUE(
+        svc->addRecord("x", Fingerprint(randomPattern(rng, 16)))
+            .added);
+    const std::string json = svc->statsJson();
+    EXPECT_NE(json.find("\"durable\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"wal_entries\": 1"), std::string::npos);
+
+    const AttackService plain(makeStore(1, 0xD4));
+    EXPECT_NE(plain.statsJson().find("\"durable\": false"),
+              std::string::npos);
+}
+
+TEST(AttackService, InjectedAddFailureLeavesServiceServing)
+{
+    DurableFixture fx;
+    LoadResult<AttackService> svc =
+        AttackService::openDurable(fx.config());
+    ASSERT_TRUE(svc) << svc.error;
+    Rng rng(0xD5);
+    failpoint::arm("service.add", failpoint::Action::Oneshot);
+    EXPECT_FALSE(
+        svc->addRecord("nope", Fingerprint(randomPattern(rng, 16)))
+            .added);
+    failpoint::disarmAll();
+    EXPECT_TRUE(
+        svc->addRecord("yes", Fingerprint(randomPattern(rng, 16)))
+            .added);
+    EXPECT_EQ(svc->size(), 1u);
 }
 
 } // anonymous namespace

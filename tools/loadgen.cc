@@ -15,18 +15,37 @@
  *         divergence from direct store queries (--verify) or a
  *         missed throughput floor (--min-rps)
  *
+ *   ingest --port P [--records N] [--seed S] [--prefix STR]
+ *          [--start I] [--deadline-ms N] [--acked-file PATH]
+ *          stream Characterize adds with deterministic
+ *          fingerprints; print (and optionally file) the number the
+ *          server ACKED. Exits 3 when the server dies mid-load —
+ *          the expected outcome under crash failpoints; every acked
+ *          add is then owed back after restart.
+ *   verify-ingest --port P --acked N [--seed S] [--prefix STR]
+ *          [--start I]
+ *          regenerate the first N ingest fingerprints and identify
+ *          each against the (restarted) server; exit 1 on any acked
+ *          add that no longer answers with its own label — a lost
+ *          acknowledged write.
+ *
  * The run command regenerates the query mix deterministically from
  * the database, so a separate pcaused process serving the same file
- * is diffed verdict-for-verdict without any side channel.
+ * is diffed verdict-for-verdict without any side channel. ingest /
+ * verify-ingest carry the same property across a process crash: the
+ * fingerprints are a pure function of (seed, index), so the auditor
+ * needs no state that could die with the client.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/serialize.hh"
+#include "serve/client.hh"
 #include "serve/loadgen.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -89,7 +108,12 @@ usage()
         "       loadgen run  --db FILE --port P [--requests N]\n"
         "                    [--connections C] [--open-rps R]\n"
         "                    [--verify yes] [--min-rps R]\n"
-        "                    [--json PATH]\n");
+        "                    [--json PATH]\n"
+        "       loadgen ingest --port P [--records N] [--seed S]\n"
+        "                    [--prefix STR] [--start I]\n"
+        "                    [--deadline-ms N] [--acked-file PATH]\n"
+        "       loadgen verify-ingest --port P --acked N [--seed S]\n"
+        "                    [--prefix STR] [--start I]\n");
     return 2;
 }
 
@@ -194,6 +218,86 @@ cmdRun(const Args &args)
     return ok ? 0 : 1;
 }
 
+int
+cmdIngest(const Args &args)
+{
+    const long port = args.getLong("port", 0);
+    if (port <= 0 || port > 65535)
+        fatal("ingest: need --port");
+
+    serve::IngestSpec spec;
+    spec.records =
+        static_cast<std::size_t>(args.getLong("records", 256));
+    spec.seed = static_cast<std::uint64_t>(
+        args.getLong("seed", 0x70636861));
+    spec.labelPrefix = args.get("prefix", "chaos-");
+    spec.startIndex =
+        static_cast<std::size_t>(args.getLong("start", 0));
+    spec.deadlineMs = static_cast<unsigned>(
+        args.getLong("deadline-ms", 2000));
+
+    const serve::IngestResult res =
+        serve::runIngest(static_cast<std::uint16_t>(port), spec);
+    std::printf("ingest: acked %zu of %zu attempted%s%s%s\n",
+                res.acked, res.attempted,
+                res.serverDied ? " (server died)" : "",
+                res.lastError.empty() ? "" : ": ",
+                res.lastError.c_str());
+
+    const std::string acked_file = args.get("acked-file", "");
+    if (!acked_file.empty()) {
+        std::ofstream f(acked_file);
+        f << res.acked << "\n";
+        if (!f)
+            fatal("ingest: cannot write %s", acked_file.c_str());
+    }
+    return res.serverDied ? 3 : 0;
+}
+
+int
+cmdVerifyIngest(const Args &args)
+{
+    const long port = args.getLong("port", 0);
+    const long acked = args.getLong("acked", -1);
+    if (port <= 0 || port > 65535 || acked < 0)
+        fatal("verify-ingest: need --port and --acked");
+
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        args.getLong("seed", 0x70636861));
+    const std::string prefix = args.get("prefix", "chaos-");
+    const std::size_t start =
+        static_cast<std::size_t>(args.getLong("start", 0));
+
+    serve::Client client;
+    client.setDeadline(5000);
+    serve::RetryPolicy policy;
+    const std::string err =
+        client.connect(static_cast<std::uint16_t>(port));
+    if (!err.empty())
+        fatal("verify-ingest: %s", err.c_str());
+
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(acked);
+         ++i) {
+        const std::string label =
+            prefix + std::to_string(start + i);
+        IdentifyRequest req;
+        req.errorString = serve::ingestPattern(seed, start + i);
+        const std::optional<IdentifyVerdict> v =
+            client.identifyWithRetry(req, policy);
+        if (!v || !v->matched || v->label != label) {
+            std::printf("LOST acked add %s (%s)\n", label.c_str(),
+                        !v ? "no verdict"
+                           : v->matched ? v->label.c_str()
+                                        : "no match");
+            ++lost;
+        }
+    }
+    std::printf("verify-ingest: %zu of %ld acked adds present\n",
+                static_cast<std::size_t>(acked) - lost, acked);
+    return lost == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -207,6 +311,10 @@ main(int argc, char **argv)
         return cmdMkdb(args);
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "ingest")
+        return cmdIngest(args);
+    if (cmd == "verify-ingest")
+        return cmdVerifyIngest(args);
     std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
     return usage();
 }

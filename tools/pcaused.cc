@@ -2,22 +2,35 @@
  * @file
  * pcaused — the identification service.
  *
- * Serves identify / characterize / db-stats / live-stats over the
- * length-prefixed binary protocol in src/serve/protocol.hh, on a
- * loopback TCP port, with every query flowing through the shared
- * AttackService facade (verdicts bit-identical to direct store
- * queries by construction). Concurrent identify requests coalesce
- * through the adaptive micro-batcher into queryBatch calls across
- * the thread pool; a full request queue answers BUSY instead of
- * silently dropping.
+ * Serves identify / characterize / db-stats / live-stats / health
+ * over the length-prefixed binary protocol in src/serve/protocol.hh,
+ * on a loopback TCP port, with every query flowing through the
+ * shared AttackService facade (verdicts bit-identical to direct
+ * store queries by construction). Concurrent identify requests
+ * coalesce through the adaptive micro-batcher into queryBatch calls
+ * across the thread pool; a full request queue answers BUSY instead
+ * of silently dropping.
  *
- *   pcaused --db FILE [--mmap yes] [--port P] [--port-file PATH]
+ *   pcaused --db FILE [--mmap yes] [--wal FILE]
+ *           [--checkpoint-every N] [--port P] [--port-file PATH]
  *           [--queue-cap N] [--batch-max N] [--max-connections N]
+ *           [--read-timeout-ms N] [--write-timeout-ms N]
+ *           [--drain-timeout-ms N]
  *
  * --port 0 (the default) binds an ephemeral port; --port-file
  * writes the bound port for scripts to discover (the CI serve-smoke
- * job's handshake). The process runs until a Shutdown frame or
- * SIGINT/SIGTERM.
+ * job's handshake).
+ *
+ * --wal opens the database durably: every acked Characterize is
+ * journaled + fsynced before the reply, so kill -9 at any moment
+ * loses nothing acknowledged; the journal compacts into the
+ * snapshot on open, every --checkpoint-every adds, and at exit.
+ *
+ * Shutdown: SIGTERM drains gracefully — stop accepting, let
+ * in-flight requests (including batcher-queued ones) answer, then
+ * checkpoint and exit. SIGINT and the Shutdown frame stop hard
+ * (still followed by a best-effort checkpoint; the WAL already
+ * holds every acked add either way).
  */
 
 #include <csignal>
@@ -29,6 +42,9 @@
 #include <string>
 #include <vector>
 
+#include <poll.h>
+#include <unistd.h>
+
 #include "core/service.hh"
 #include "serve/server.hh"
 #include "util/logging.hh"
@@ -39,13 +55,15 @@ namespace
 
 using namespace pcause;
 
-serve::Server *activeServer = nullptr;
+/** Self-pipe: the handler only writes one byte; all real shutdown
+ *  work happens on the main thread (async-signal-safe). */
+int sigPipe[2] = {-1, -1};
 
 void
-onSignal(int)
+onSignal(int sig)
 {
-    if (activeServer)
-        activeServer->requestStop();
+    const char c = sig == SIGTERM ? 'T' : 'I';
+    (void)!::write(sigPipe[1], &c, 1);
 }
 
 /** Minimal --flag value parser (the pcause CLI's). */
@@ -89,9 +107,12 @@ usage()
     std::puts(
         "pcaused — long-running identification service\n"
         "\n"
-        "usage: pcaused --db FILE [--mmap yes] [--port P]\n"
+        "usage: pcaused --db FILE [--mmap yes] [--wal FILE]\n"
+        "               [--checkpoint-every N] [--port P]\n"
         "               [--port-file PATH] [--queue-cap N]\n"
-        "               [--batch-max N] [--max-connections N]\n");
+        "               [--batch-max N] [--max-connections N]\n"
+        "               [--read-timeout-ms N] [--write-timeout-ms N]\n"
+        "               [--drain-timeout-ms N]\n");
     return 2;
 }
 
@@ -105,9 +126,21 @@ main(int argc, char **argv)
     if (db_path.empty())
         return usage();
     const bool mmap = args.get("mmap", "no") == "yes";
+    const std::string wal_path = args.get("wal", "");
 
-    LoadResult<AttackService> svc =
-        AttackService::open(db_path, mmap);
+    LoadResult<AttackService> svc = [&] {
+        if (wal_path.empty())
+            return AttackService::open(db_path, mmap);
+        if (mmap)
+            fatal("pcaused: --wal needs the writable store backend "
+                  "(drop --mmap)");
+        AttackService::DurabilityConfig dur;
+        dur.dbPath = db_path;
+        dur.walPath = wal_path;
+        dur.checkpointEvery = static_cast<std::size_t>(
+            args.getLong("checkpoint-every", 1024));
+        return AttackService::openDurable(dur);
+    }();
     if (!svc)
         fatal("pcaused: %s", svc.error.c_str());
     svc->setThreadPool(&ThreadPool::global());
@@ -120,9 +153,21 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("queue-cap", 1024));
     cfg.batcher.batchMax =
         static_cast<std::size_t>(args.getLong("batch-max", 256));
+    cfg.readTimeoutMs = static_cast<unsigned>(
+        args.getLong("read-timeout-ms", 30000));
+    cfg.writeTimeoutMs = static_cast<unsigned>(
+        args.getLong("write-timeout-ms", 5000));
+    cfg.drainTimeoutMs = static_cast<unsigned>(
+        args.getLong("drain-timeout-ms", 5000));
+
+    if (::pipe(sigPipe) < 0)
+        fatal("pcaused: pipe: %s", std::strerror(errno));
 
     serve::Server server(*svc, cfg);
-    activeServer = &server;
+    // Peers vanishing mid-write must surface as EPIPE, not kill the
+    // process (socket sends already use MSG_NOSIGNAL; this covers
+    // any other fd that turns into a pipe).
+    std::signal(SIGPIPE, SIG_IGN);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
@@ -133,14 +178,45 @@ main(int argc, char **argv)
         if (!f)
             fatal("pcaused: cannot write %s", port_file.c_str());
     }
-    std::printf("pcaused: serving %zu records (%s backend) on "
+    std::printf("pcaused: serving %zu records (%s backend%s) on "
                 "127.0.0.1:%u\n",
                 svc->size(), svc->readOnly() ? "mmap" : "store",
+                svc->durable() ? ", durable" : "",
                 unsigned(server.port()));
     std::fflush(stdout);
 
+    // Wait for a signal byte or a protocol-initiated stop (Shutdown
+    // frame). The 200 ms poll bound only affects how fast we notice
+    // the latter.
+    for (;;) {
+        if (server.stopRequested())
+            break;
+        pollfd pfd{sigPipe[0], POLLIN, 0};
+        const int n = ::poll(&pfd, 1, 200);
+        if (n <= 0)
+            continue;
+        char c = 0;
+        if (::read(sigPipe[0], &c, 1) != 1)
+            continue;
+        if (c == 'T') {
+            std::printf("pcaused: SIGTERM — draining\n");
+            std::fflush(stdout);
+            server.drain();
+        } else {
+            server.requestStop();
+        }
+        break;
+    }
     server.wait();
-    activeServer = nullptr;
+
+    if (svc->durable()) {
+        const std::string err = svc->checkpoint();
+        if (!err.empty())
+            warn("pcaused: final checkpoint failed (journal still "
+                 "holds every acked add): %s",
+                 err.c_str());
+    }
+
     std::printf("pcaused: stopped after %zu connections\n",
                 server.connectionsServed());
     return 0;
