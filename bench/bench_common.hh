@@ -13,10 +13,100 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace pcause::bench
 {
+
+/**
+ * Clustering quality of an assignment vector against ground truth —
+ * the oracle the cluster bench gates on and the property/unit tests
+ * share (tests include this header via the project root).
+ */
+struct PartitionScore
+{
+    std::size_t items = 0;
+    std::size_t clusters = 0;          //!< distinct assigned labels
+    std::size_t classes = 0;           //!< distinct truth labels
+    std::size_t fragmentedClasses = 0; //!< truth classes split across
+                                       //!< >1 cluster
+    double purity = 1.0;               //!< majority-class mass
+    double ari = 1.0;                  //!< adjusted Rand index
+};
+
+/**
+ * Score @p assignments against @p truth (same length; arbitrary
+ * label values on both sides). Purity is the fraction of items in
+ * their cluster's majority truth class; ARI is the chance-corrected
+ * pair-counting agreement (1 = identical partitions, ~0 = random).
+ * Both are label-permutation invariant. Empty input scores 1/1.
+ */
+inline PartitionScore
+scorePartition(const std::vector<std::size_t> &assignments,
+               const std::vector<std::size_t> &truth)
+{
+    PartitionScore s;
+    s.items = assignments.size();
+    if (assignments.size() != truth.size()) {
+        s.purity = 0.0;
+        s.ari = -1.0;
+        return s;
+    }
+    if (assignments.empty())
+        return s;
+
+    // Contingency table: cluster -> class -> count.
+    std::map<std::size_t, std::map<std::size_t, std::size_t>> table;
+    std::map<std::size_t, std::size_t> clusterSize, classSize;
+    std::map<std::size_t, std::set<std::size_t>> clustersOfClass;
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        ++table[assignments[i]][truth[i]];
+        ++clusterSize[assignments[i]];
+        ++classSize[truth[i]];
+        clustersOfClass[truth[i]].insert(assignments[i]);
+    }
+    s.clusters = clusterSize.size();
+    s.classes = classSize.size();
+    for (const auto &[cls, cs] : clustersOfClass)
+        s.fragmentedClasses += cs.size() > 1;
+
+    const auto pairs = [](std::size_t n) {
+        return static_cast<double>(n) *
+               static_cast<double>(n - 1) / 2.0;
+    };
+    std::size_t majority = 0;
+    double sumCells = 0.0;
+    for (const auto &[cluster, row] : table) {
+        std::size_t best = 0;
+        for (const auto &[cls, n] : row) {
+            best = n > best ? n : best;
+            sumCells += pairs(n);
+        }
+        majority += best;
+    }
+    s.purity = static_cast<double>(majority) /
+               static_cast<double>(s.items);
+
+    double sumA = 0.0, sumB = 0.0;
+    for (const auto &[cluster, n] : clusterSize)
+        sumA += pairs(n);
+    for (const auto &[cls, n] : classSize)
+        sumB += pairs(n);
+    const double total = pairs(s.items);
+    const double expected =
+        total > 0.0 ? sumA * sumB / total : 0.0;
+    const double maxIndex = 0.5 * (sumA + sumB);
+    // Degenerate denominators (single cluster AND single class, or
+    // all-singleton partitions on both sides) mean the partitions
+    // are identical: define ARI = 1 there.
+    s.ari = maxIndex - expected == 0.0
+        ? 1.0
+        : (sumCells - expected) / (maxIndex - expected);
+    return s;
+}
 
 /** Ensure and return the artifact output directory. */
 inline std::string

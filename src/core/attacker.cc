@@ -154,8 +154,9 @@ SupplyChainAttacker::stats() const
     return merged;
 }
 
-EavesdropperAttacker::EavesdropperAttacker(const StitchParams &params)
-    : stitch(params)
+EavesdropperAttacker::EavesdropperAttacker(
+    const StitchParams &params, const ClusterParams &cluster_params)
+    : stitch(params), whole(cluster_params)
 {
 }
 
@@ -163,6 +164,7 @@ void
 EavesdropperAttacker::setThreadPool(ThreadPool *pool)
 {
     stitch.setThreadPool(pool);
+    whole.setThreadPool(pool);
 }
 
 std::size_t
@@ -180,12 +182,35 @@ EavesdropperAttacker::observeBatch(
     const std::vector<ApproximateSample> &samples)
 {
     const auto start = std::chrono::steady_clock::now();
-    std::vector<std::size_t> ids;
-    ids.reserve(samples.size());
+    // Borrow the page vectors rather than copying samples into the
+    // vector-of-vectors shape: the stitcher's batch path truncates
+    // into its own storage anyway.
+    std::vector<const std::vector<SparseBitset> *> borrowed;
+    borrowed.reserve(samples.size());
     for (const auto &s : samples)
-        ids.push_back(stitch.addSample(s.pageErrors));
+        borrowed.push_back(&s.pageErrors);
+    std::vector<std::size_t> ids = stitch.addSamples(borrowed);
     counters.ingestSeconds += secondsSince(start);
     counters.pagesProbed = stitch.stats().pagesProbed;
+    return ids;
+}
+
+std::size_t
+EavesdropperAttacker::observeErrorString(const BitVec &error_string)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t id = whole.addErrorString(error_string);
+    counters.ingestSeconds += secondsSince(start);
+    return id;
+}
+
+std::vector<std::size_t>
+EavesdropperAttacker::observeErrorStrings(
+    const std::vector<BitVec> &error_strings)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::size_t> ids = whole.addBatch(error_strings);
+    counters.ingestSeconds += secondsSince(start);
     return ids;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/attack_stats.hh"
+#include "core/cluster.hh"
 #include "core/identify.hh"
 #include "core/service.hh"
 #include "core/stitcher.hh"
@@ -137,11 +138,14 @@ class SupplyChainAttacker
 class EavesdropperAttacker
 {
   public:
-    explicit EavesdropperAttacker(const StitchParams &params = {});
+    explicit EavesdropperAttacker(const StitchParams &params = {},
+                                  const ClusterParams &cluster_params =
+                                  {});
 
     /**
      * Use @p pool (not owned; null reverts to serial) to
-     * parallelize the page-probing phase of ingest and matching.
+     * parallelize the page-probing phase of ingest and matching,
+     * batch truncation, and error-string sketching.
      */
     void setThreadPool(ThreadPool *pool);
 
@@ -153,11 +157,27 @@ class EavesdropperAttacker
 
     /**
      * Ingest a batch of captured outputs, equivalent to observing
-     * each in order but with page probing parallelized. Returns the
-     * cluster id per sample.
+     * each in order but with per-page truncation and page probing
+     * parallelized (Stitcher::addSamples). Returns the cluster id
+     * per sample.
      */
     std::vector<std::size_t>
     observeBatch(const std::vector<ApproximateSample> &samples);
+
+    /**
+     * Ingest one whole-output error string into the Algorithm 4
+     * campaign clusterer (the indexed path — sublinear in the
+     * number of suspected chips). Returns its cluster index.
+     */
+    std::size_t observeErrorString(const BitVec &error_string);
+
+    /**
+     * Streaming batch of observeErrorString(), with sketches
+     * precomputed across the thread pool; assignments equal serial
+     * ingestion in order.
+     */
+    std::vector<std::size_t>
+    observeErrorStrings(const std::vector<BitVec> &error_strings);
 
     /**
      * Attribute a fresh output to an already-stitched system
@@ -180,11 +200,21 @@ class EavesdropperAttacker
     /** Underlying stitcher (for statistics and inspection). */
     const Stitcher &stitcher() const { return stitch; }
 
+    /** The campaign clusterer behind observeErrorString*(). */
+    const IndexedClusterer &clusterer() const { return whole; }
+
+    /** Discovered per-chip fingerprints of the error-string
+     *  campaign, as an identification database. */
+    FingerprintDb clusterDatabase() const { return whole.toDatabase(); }
+
     /** Session counters and per-phase wall time. */
     const AttackStats &stats() const { return counters; }
 
   private:
     Stitcher stitch;
+
+    /** Whole-output campaign clustering (paper Algorithm 4). */
+    IndexedClusterer whole;
 
     /** Measurements, not attack state: const paths update them. */
     mutable AttackStats counters;

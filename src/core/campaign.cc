@@ -1,0 +1,81 @@
+#include "core/campaign.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pcause
+{
+
+namespace
+{
+
+// Substream tags keeping the chip-assignment, base, and observation
+// draws statistically independent of each other.
+constexpr std::uint64_t tagChipOf = 0x63686970ull; // "chip"
+constexpr std::uint64_t tagBase = 0x62617365ull;   // "base"
+constexpr std::uint64_t tagObs = 0x6f627365ull;    // "obse"
+
+void
+checkSpec(const CampaignSpec &spec)
+{
+    PC_ASSERT(spec.chips > 0 && spec.universeBits > 0 &&
+                  spec.fingerprintWeight > 0 &&
+                  spec.fingerprintWeight <= spec.universeBits &&
+                  spec.keep > 0.0 && spec.keep <= 1.0,
+              "CampaignSpec: invalid fleet shape");
+}
+
+} // anonymous namespace
+
+std::size_t
+campaignChipOf(const CampaignSpec &spec, std::uint64_t index)
+{
+    checkSpec(spec);
+    return static_cast<std::size_t>(
+        mix64(mix64(spec.seed, tagChipOf), index) % spec.chips);
+}
+
+BitVec
+campaignChipBase(const CampaignSpec &spec, std::size_t chip)
+{
+    checkSpec(spec);
+    PC_ASSERT(chip < spec.chips, "campaignChipBase: chip out of range");
+    Rng rng(mix64(mix64(spec.seed, tagBase), chip));
+    BitVec base(spec.universeBits);
+    // Anchor bit: even a pathological draw leaves the base non-empty
+    // and chip-specific.
+    base.set(chip % spec.universeBits);
+    for (std::size_t k = 1; k < spec.fingerprintWeight; ++k)
+        base.set(rng.nextBelow(spec.universeBits));
+    return base;
+}
+
+BitVec
+campaignObservation(const CampaignSpec &spec, const BitVec &base,
+                    std::uint64_t index)
+{
+    checkSpec(spec);
+    PC_ASSERT(base.size() == spec.universeBits,
+              "campaignObservation: base/universe mismatch");
+    Rng rng(mix64(mix64(spec.seed, tagObs), index));
+    BitVec out = base;
+    for (const std::size_t pos : base.setBits()) {
+        if (!rng.chance(spec.keep))
+            out.clear(pos);
+    }
+    const std::uint64_t extras =
+        spec.extraMax ? rng.nextBelow(spec.extraMax + 1) : 0;
+    for (std::uint64_t k = 0; k < extras; ++k)
+        out.set(rng.nextBelow(spec.universeBits));
+    return out;
+}
+
+BitVec
+campaignOutput(const CampaignSpec &spec, std::uint64_t index)
+{
+    return campaignObservation(
+        spec, campaignChipBase(spec, campaignChipOf(spec, index)),
+        index);
+}
+
+} // namespace pcause

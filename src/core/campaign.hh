@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic fleet-campaign synthesis for eavesdropper-scale
+ * clustering runs.
+ *
+ * A campaign is a stream of approximate-output error strings from a
+ * fleet of simulated chips: every chip has a stable volatile-cell
+ * set (its fingerprint-to-be) and each output keeps most of that set
+ * plus a few spurious decayed cells — the Section 3 eavesdropper's
+ * view. Everything is a pure counter-based function of
+ * (CampaignSpec, index), in the style of the decay engine's per-cell
+ * RNG: output i can be synthesized in any order, in parallel, and
+ * without materializing the rest of the stream, which is what lets
+ * the bench driver and `pcause cluster` stream millions of outputs
+ * through the clusterer in fixed memory.
+ *
+ * This lives in core (not the test-only pc_testing library) because
+ * production binaries — the CLI's campaign mode, the bench drivers —
+ * stream from it; the pcheck generators wrap it for the property
+ * suites.
+ */
+
+#ifndef PCAUSE_CORE_CAMPAIGN_HH
+#define PCAUSE_CORE_CAMPAIGN_HH
+
+#include <cstdint>
+
+#include "util/bitvec.hh"
+
+namespace pcause
+{
+
+/** Shape of a synthetic eavesdropper campaign. */
+struct CampaignSpec
+{
+    /** Fleet size (distinct chips behind the stream). */
+    std::size_t chips = 1000;
+
+    /** Stream length (total observed outputs). */
+    std::uint64_t outputs = 100000;
+
+    /** Error-string universe (bits per output). */
+    std::size_t universeBits = 8192;
+
+    /** Volatile cells per chip (approximate; drawn with
+     *  replacement, like the perf_index populations). */
+    std::size_t fingerprintWeight = 256;
+
+    /**
+     * Per-output survival probability of each volatile cell. High
+     * retention keeps a cluster's intersected fingerprint large even
+     * after ~100 observations (0.997^100 ~ 0.74), which is the
+     * regime where within-chip distances stay two decades under the
+     * 0.1 threshold and cross-chip distances near 1.
+     */
+    double keep = 0.997;
+
+    /** Max spurious decayed cells added per output. */
+    std::size_t extraMax = 8;
+
+    /** Campaign seed; all synthesis derives from it. */
+    std::uint64_t seed = 0x666c656574ull; // "fleet"
+};
+
+/** Chip behind output @p index — a uniform counter-based draw. */
+std::size_t campaignChipOf(const CampaignSpec &spec,
+                           std::uint64_t index);
+
+/** Chip @p chip's volatile-cell set (pure in (spec, chip)). */
+BitVec campaignChipBase(const CampaignSpec &spec, std::size_t chip);
+
+/**
+ * Output @p index's error string given its chip's precomputed
+ * @p base (callers streaming many outputs cache the bases): each
+ * base bit survives with probability spec.keep and up to
+ * spec.extraMax spurious bits are added, all keyed by @p index.
+ */
+BitVec campaignObservation(const CampaignSpec &spec, const BitVec &base,
+                           std::uint64_t index);
+
+/** Output @p index's error string, synthesizing the chip base on
+ *  the fly — campaignObservation(spec, campaignChipBase(...), i). */
+BitVec campaignOutput(const CampaignSpec &spec, std::uint64_t index);
+
+} // namespace pcause
+
+#endif // PCAUSE_CORE_CAMPAIGN_HH

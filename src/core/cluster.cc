@@ -2,6 +2,7 @@
 
 #include "core/error_string.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pcause
 {
@@ -60,6 +61,174 @@ cluster(const std::vector<BitVec> &approx_results, const BitVec &exact,
     OnlineClusterer clusterer(params);
     for (const auto &approx : approx_results)
         clusterer.add(approx, exact);
+    if (assignments_out)
+        *assignments_out = clusterer.assignments();
+    return clusterer.toDatabase();
+}
+
+IndexedClusterer::IndexedClusterer(const ClusterParams &params,
+                                   const MinHashParams &index_params)
+    : prm(params), lsh(index_params)
+{
+}
+
+double
+IndexedClusterer::confirm(const BitVec &error_string,
+                          std::size_t es_weight, std::size_t c) const
+{
+    // The bounded kernel returns the exact distance whenever it is
+    // <= threshold and a pruned value provably > threshold
+    // otherwise, so comparing its result against the threshold gives
+    // the same accept/reject decision the unbounded metric (and
+    // therefore OnlineClusterer) would make.
+    if (prm.metric == DistanceMetric::ModifiedJaccard) {
+        return modifiedJaccardBounded(error_string, es_weight,
+                                      clusters[c].bits(),
+                                      prm.threshold);
+    }
+    return distance(prm.metric, error_string, clusters[c].bits());
+}
+
+std::size_t
+IndexedClusterer::augmentInto(std::size_t c, const BitVec &error_string)
+{
+    const std::size_t weight_before = clusters[c].weight();
+    clusters[c].augment(error_string);
+    ++counters.augments;
+    // augment() intersects: bits only ever clear, so an unchanged
+    // popcount means an unchanged fingerprint — re-sign exactly when
+    // the fingerprint actually shrank. The re-sign is incremental:
+    // only permutations whose witness position was cleared get
+    // re-hashed, and the index entry moves only when a signature
+    // value (hence some band key) actually changed.
+    if (clusters[c].weight() != weight_before) {
+        const MinHashSignature old = sigs[c];
+        if (minhashReSign(clusters[c].bits(), lsh.params(), sigs[c],
+                          wits[c])) {
+            lsh.update(c, old, sigs[c]);
+            ++counters.resigns;
+        }
+    }
+    history.push_back(c);
+    return c;
+}
+
+std::size_t
+IndexedClusterer::ingest(const BitVec &error_string,
+                         const MinHashSignature &sig)
+{
+    ++counters.outputs;
+    const std::size_t es_weight = error_string.popcount();
+
+    // Shortlist clusters sharing a primary band bucket, confirmed
+    // exactly in ascending id order — creation order, which is the
+    // order the pairwise scan visits, so a shortlist accept lands in
+    // the same cluster the pairwise scan's first sub-threshold hit
+    // would in the separated regime.
+    const std::vector<std::size_t> shortlist = lsh.candidates(sig);
+    counters.candidatesScanned += shortlist.size();
+    for (const std::size_t c : shortlist) {
+        if (confirm(error_string, es_weight, c) < prm.threshold)
+            return augmentInto(c, error_string);
+    }
+
+    // No shortlisted cluster accepted: fall back to the bounded full
+    // scan and return its verdict verbatim. Accept/reject is now
+    // identical to the pairwise scan unconditionally — the index can
+    // only have *missed* a matching cluster, never invented one.
+    ++counters.fallbackScans;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (confirm(error_string, es_weight, c) < prm.threshold)
+            return augmentInto(c, error_string);
+    }
+
+    // Algorithm 4 miss: the error string opens a new cluster, whose
+    // fingerprint *is* the error string. The signature is recomputed
+    // with witness positions retained (identical values to the query
+    // signature) so later shrinks can re-sign incrementally; this
+    // runs at cluster-creation rate, not per output.
+    clusters.emplace_back(error_string);
+    MinHashWitness witness;
+    sigs.push_back(minhashSignatureWitness(error_string, lsh.params(),
+                                           witness));
+    wits.push_back(std::move(witness));
+    const std::size_t id = clusters.size() - 1;
+    lsh.add(id, sigs.back());
+    ++counters.clustersOpened;
+    history.push_back(id);
+    return id;
+}
+
+std::size_t
+IndexedClusterer::addErrorString(const BitVec &error_string)
+{
+    return ingest(error_string,
+                  minhashSignature(error_string, lsh.params()));
+}
+
+std::size_t
+IndexedClusterer::add(const BitVec &approx, const BitVec &exact)
+{
+    return addErrorString(errorString(approx, exact));
+}
+
+std::vector<std::size_t>
+IndexedClusterer::addBatch(const std::vector<BitVec> &error_strings)
+{
+    // Signing is a pure function of (bits, params), so it fans out
+    // across the pool; the ingest fold mutates cluster state and
+    // stays strictly sequential, making the assignments identical to
+    // serial addErrorString() calls in order.
+    std::vector<MinHashSignature> sigs_in(error_strings.size());
+    ThreadPool &pool = workers ? *workers : ThreadPool::global();
+    pool.parallelFor(0, error_strings.size(), [&](std::size_t i) {
+        sigs_in[i] = minhashSignature(error_strings[i], lsh.params());
+    });
+    std::vector<std::size_t> ids;
+    ids.reserve(error_strings.size());
+    for (std::size_t i = 0; i < error_strings.size(); ++i)
+        ids.push_back(ingest(error_strings[i], sigs_in[i]));
+    return ids;
+}
+
+const Fingerprint &
+IndexedClusterer::fingerprint(std::size_t i) const
+{
+    PC_ASSERT(i < clusters.size(), "cluster index out of range");
+    return clusters[i];
+}
+
+const MinHashSignature &
+IndexedClusterer::signature(std::size_t i) const
+{
+    PC_ASSERT(i < sigs.size(), "cluster index out of range");
+    return sigs[i];
+}
+
+FingerprintDb
+IndexedClusterer::toDatabase(const std::string &label_prefix) const
+{
+    FingerprintDb db;
+    for (std::size_t i = 0; i < clusters.size(); ++i)
+        db.add(label_prefix + std::to_string(i), clusters[i]);
+    return db;
+}
+
+FingerprintDb
+clusterIndexed(const std::vector<BitVec> &approx_results,
+               const BitVec &exact, const ClusterParams &params,
+               const MinHashParams &index_params,
+               std::vector<std::size_t> *assignments_out,
+               ThreadPool *pool)
+{
+    IndexedClusterer clusterer(params, index_params);
+    clusterer.setThreadPool(pool);
+    std::vector<BitVec> error_strings(approx_results.size());
+    ThreadPool &workers = pool ? *pool : ThreadPool::global();
+    workers.parallelFor(0, approx_results.size(), [&](std::size_t i) {
+        error_strings[i] = errorString(approx_results[i], exact);
+    });
+    clusterer.addBatch(error_strings);
     if (assignments_out)
         *assignments_out = clusterer.assignments();
     return clusterer.toDatabase();

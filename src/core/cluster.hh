@@ -7,20 +7,32 @@
  * of existing clusters; a hit augments that cluster's fingerprint
  * by intersection, a miss opens a new cluster. The cluster set *is*
  * the discovered fingerprint database.
+ *
+ * Two implementations share the algorithm: OnlineClusterer is the
+ * literal pairwise scan (the reference), and IndexedClusterer keeps
+ * cluster fingerprints in the same MinHash/LSH banded bucket index
+ * FingerprintStore uses for Algorithm 2 — bucket shortlist, exact
+ * bounded-kernel confirm, full-scan fallback — so ingest stays
+ * sublinear at fleet scale while accept/reject verdicts are
+ * identical to the pairwise scan by construction.
  */
 
 #ifndef PCAUSE_CORE_CLUSTER_HH
 #define PCAUSE_CORE_CLUSTER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/distance.hh"
 #include "core/fingerprint.hh"
 #include "core/identify.hh"
+#include "core/minhash.hh"
 #include "util/bitvec.hh"
 
 namespace pcause
 {
+
+class ThreadPool;
 
 /** Tunables for clustering. */
 struct ClusterParams
@@ -66,6 +78,133 @@ class OnlineClusterer
     std::vector<std::size_t> history;
 };
 
+/** Ingest counters of an IndexedClusterer session. */
+struct ClusterStats
+{
+    std::uint64_t outputs = 0;          //!< error strings ingested
+    std::uint64_t clustersOpened = 0;   //!< misses that opened clusters
+    std::uint64_t augments = 0;         //!< hits folded by intersection
+    std::uint64_t resigns = 0;          //!< augments that moved buckets
+    std::uint64_t candidatesScanned = 0; //!< shortlist confirms run
+    std::uint64_t fallbackScans = 0;    //!< full-scan fallbacks taken
+};
+
+/**
+ * Algorithm 4 on the MinHash/LSH candidate index.
+ *
+ * Each incoming error string is signed once; the banded bucket
+ * index shortlists clusters sharing a primary band bucket with it,
+ * and the exact bounded Algorithm 3 kernel confirms the shortlist in
+ * ascending cluster-id order (creation order — the order the
+ * pairwise scan visits). Unlike FingerprintStore's query side, the
+ * clusterer probes primary buckets only (no multi-probe): in the
+ * clustering regime an output and its cluster's fingerprint are
+ * near-duplicates, so a primary all-band miss is already rare, the
+ * bounded fallback makes any miss harmless to the verdict, and
+ * skipping the second-minima sketch roughly halves the per-output
+ * signing + probing cost. When no shortlisted cluster accepts, a bounded full scan
+ * over all clusters decides, and its verdict is returned verbatim —
+ * so whether an output joins an existing cluster or opens a new one
+ * is always identical to OnlineClusterer, and *which* cluster it
+ * joins is identical whenever at most one cluster sits under the
+ * threshold (the regime the paper's separated fleets are in; see
+ * docs/ALGORITHMS.md).
+ *
+ * Re-signing rule: augment() intersects, so a cluster's fingerprint
+ * bits only ever shrink; its weight is unchanged iff its bits are
+ * unchanged. On every augment that changed the weight the cluster's
+ * signature is brought up to date incrementally (minhashReSign via
+ * the stored witness positions — only permutations whose witness bit
+ * was removed are re-hashed) and the index entry moved
+ * (LshIndex::update) when any signature value actually changed, so
+ * the index always reflects the current fingerprints at O(removed
+ * bits) amortized cost instead of a full re-hash per shrink.
+ *
+ * Externally synchronized, like FingerprintStore: concurrent calls
+ * on one instance are not supported. addBatch() parallelizes only
+ * the pure per-output sketching across the attached pool; ingest
+ * stays strictly sequential, so assignments equal serial
+ * addErrorString() calls in order.
+ */
+class IndexedClusterer
+{
+  public:
+    explicit IndexedClusterer(const ClusterParams &params = {},
+                              const MinHashParams &index_params = {});
+
+    /**
+     * Use @p pool (not owned, may be null to go serial) for
+     * addBatch()'s sketching phase.
+     */
+    void setThreadPool(ThreadPool *pool) { workers = pool; }
+
+    /**
+     * Assign one error string to a cluster, creating a new cluster
+     * when nothing matches. Returns the cluster index.
+     */
+    std::size_t addErrorString(const BitVec &error_string);
+
+    /** Convenience: derive the error string, then add it. */
+    std::size_t add(const BitVec &approx, const BitVec &exact);
+
+    /**
+     * Streaming batch ingest: equivalent to addErrorString() on each
+     * element in order (sketches precompute in parallel; the
+     * index/fingerprint fold is sequential). Returns the cluster
+     * index per error string. Sketching here means signing only —
+     * see the class comment on primary-bucket probing.
+     */
+    std::vector<std::size_t>
+    addBatch(const std::vector<BitVec> &error_strings);
+
+    /** Number of clusters discovered so far. */
+    std::size_t numClusters() const { return clusters.size(); }
+
+    /** Fingerprint of cluster @p i. */
+    const Fingerprint &fingerprint(std::size_t i) const;
+
+    /** Current signature of cluster @p i (re-signed on shrink). */
+    const MinHashSignature &signature(std::size_t i) const;
+
+    /** Cluster index assigned to each added error string, in order. */
+    const std::vector<std::size_t> &assignments() const
+    {
+        return history;
+    }
+
+    /** Export the clusters as an identification database. */
+    FingerprintDb toDatabase(const std::string &label_prefix =
+                             "cluster-") const;
+
+    /** Index parameters the cluster signatures are banded under. */
+    const MinHashParams &indexParams() const { return lsh.params(); }
+
+    /** Session counters. */
+    const ClusterStats &stats() const { return counters; }
+
+  private:
+    /** Ingest one error string whose signature is already computed. */
+    std::size_t ingest(const BitVec &error_string,
+                       const MinHashSignature &sig);
+
+    /** Bounded confirm of @p error_string against cluster @p c. */
+    double confirm(const BitVec &error_string, std::size_t es_weight,
+                   std::size_t c) const;
+
+    /** Fold an accepted error string into cluster @p c, re-signing
+     *  when the intersection shrank the fingerprint. */
+    std::size_t augmentInto(std::size_t c, const BitVec &error_string);
+
+    ClusterParams prm;
+    std::vector<Fingerprint> clusters;
+    std::vector<MinHashSignature> sigs; //!< current, per cluster
+    std::vector<MinHashWitness> wits;   //!< witness positions of sigs
+    LshIndex lsh;
+    std::vector<std::size_t> history;
+    ThreadPool *workers = nullptr;
+    ClusterStats counters;
+};
+
 /**
  * Batch Algorithm 4 (CLUSTER): cluster @p approx_results sharing
  * one exact value and return the discovered fingerprint database.
@@ -77,6 +216,20 @@ FingerprintDb cluster(const std::vector<BitVec> &approx_results,
                       const ClusterParams &params = {},
                       std::vector<std::size_t> *assignments_out =
                       nullptr);
+
+/**
+ * cluster() through an IndexedClusterer: same contract and (in the
+ * separated-fleet regime) same assignments, sublinear in the number
+ * of clusters. @p pool, when non-null, parallelizes the error-string
+ * and sketch precomputation.
+ */
+FingerprintDb clusterIndexed(const std::vector<BitVec> &approx_results,
+                             const BitVec &exact,
+                             const ClusterParams &params = {},
+                             const MinHashParams &index_params = {},
+                             std::vector<std::size_t> *assignments_out =
+                             nullptr,
+                             ThreadPool *pool = nullptr);
 
 } // namespace pcause
 

@@ -84,6 +84,84 @@ minhashSketch(const BitVec &bits, const MinHashParams &params)
     return sk;
 }
 
+MinHashSignature
+minhashSignatureWitness(const BitVec &bits,
+                        const MinHashParams &params,
+                        MinHashWitness &witness_out)
+{
+    checkParams(params,
+                "minhashSignatureWitness: bands must divide numHashes");
+    const std::uint32_t k = params.numHashes;
+    MinHashSignature sig(k, ~std::uint32_t{0});
+    witness_out.assign(k, ~std::uint32_t{0});
+
+    // Scalar mix64 walk: identical values to the SIMD kernels (the
+    // prepared-key form is algebraically mix64; prop_simd pins it),
+    // with the first position attaining each minimum retained.
+    std::vector<std::uint64_t> keys(k);
+    for (std::uint32_t j = 0; j < k; ++j)
+        keys[j] = mix64(params.seed, j + 1);
+    for (const std::size_t p : bits.setBits()) {
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const auto h =
+                static_cast<std::uint32_t>(mix64(keys[j], p));
+            if (h < sig[j]) {
+                sig[j] = h;
+                witness_out[j] = static_cast<std::uint32_t>(p);
+            }
+        }
+    }
+    return sig;
+}
+
+bool
+minhashReSign(const BitVec &bits, const MinHashParams &params,
+              MinHashSignature &sig, MinHashWitness &witness)
+{
+    checkParams(params, "minhashReSign: bands must divide numHashes");
+    const std::uint32_t k = params.numHashes;
+    PC_ASSERT(sig.size() == k && witness.size() == k,
+              "minhashReSign: signature/witness length mismatch");
+
+    // Pass 1: which permutations lost their witness? A sentinel
+    // witness means every position hashed to the sentinel value,
+    // which stays the minimum of any subset — skip those too.
+    std::vector<std::uint32_t> lost;
+    for (std::uint32_t j = 0; j < k; ++j) {
+        const std::uint32_t w = witness[j];
+        if (w != ~std::uint32_t{0} && !bits.get(w))
+            lost.push_back(j);
+    }
+    if (lost.empty())
+        return false;
+
+    // Pass 2: recompute only the lost permutations over the shrunk
+    // set (one position walk for all of them together).
+    bool changed = false;
+    std::vector<std::uint64_t> keys(lost.size());
+    std::vector<std::uint32_t> best(lost.size(), ~std::uint32_t{0});
+    std::vector<std::uint32_t> at(lost.size(), ~std::uint32_t{0});
+    for (std::size_t i = 0; i < lost.size(); ++i)
+        keys[i] = mix64(params.seed, lost[i] + 1);
+    for (const std::size_t p : bits.setBits()) {
+        for (std::size_t i = 0; i < lost.size(); ++i) {
+            const auto h =
+                static_cast<std::uint32_t>(mix64(keys[i], p));
+            if (h < best[i]) {
+                best[i] = h;
+                at[i] = static_cast<std::uint32_t>(p);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < lost.size(); ++i) {
+        const std::uint32_t j = lost[i];
+        changed |= sig[j] != best[i];
+        sig[j] = best[i];
+        witness[j] = at[i];
+    }
+    return changed;
+}
+
 double
 signatureSimilarity(const MinHashSignature &a, const MinHashSignature &b)
 {
@@ -191,6 +269,37 @@ LshIndex::addAll(std::size_t first_record,
             insertBand(band);
     }
     numRecords += sigs.size();
+}
+
+void
+LshIndex::update(std::size_t record, const MinHashSignature &old_sig,
+                 const MinHashSignature &new_sig)
+{
+    PC_ASSERT(old_sig.size() == prm.numHashes &&
+                  new_sig.size() == prm.numHashes,
+              "LshIndex::update: signature length mismatch");
+    const auto id = static_cast<std::uint32_t>(record);
+    for (std::uint32_t band = 0; band < prm.bands; ++band) {
+        const std::uint64_t old_key = lshBandKey(prm, old_sig, band);
+        const std::uint64_t new_key = lshBandKey(prm, new_sig, band);
+        if (old_key == new_key)
+            continue;
+        auto &buckets = bandBuckets[band];
+        const auto bucket_it = buckets.find(old_key);
+        PC_ASSERT(bucket_it != buckets.end(),
+                  "LshIndex::update: record not under old signature");
+        auto &old_ids = bucket_it->second;
+        const auto pos =
+            std::lower_bound(old_ids.begin(), old_ids.end(), id);
+        PC_ASSERT(pos != old_ids.end() && *pos == id,
+                  "LshIndex::update: record not under old signature");
+        old_ids.erase(pos);
+        if (old_ids.empty())
+            buckets.erase(bucket_it); // keep occupancy() honest
+        auto &new_ids = buckets[new_key];
+        new_ids.insert(
+            std::lower_bound(new_ids.begin(), new_ids.end(), id), id);
+    }
 }
 
 std::vector<std::size_t>

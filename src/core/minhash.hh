@@ -132,6 +132,43 @@ MinHashSketch minhashSketch(const BitVec &bits,
                             const MinHashParams &params);
 
 /**
+ * Witness positions of a signature: element j is a set-bit position
+ * achieving sig[j] (ties broken towards the lowest position), or the
+ * all-ones sentinel when permutation j never beat the empty-set
+ * sentinel. Witnesses are what make re-signing after a fingerprint
+ * *shrink* cheap: a permutation's minimum can only change if its
+ * witness position was removed.
+ */
+using MinHashWitness = std::vector<std::uint32_t>;
+
+/**
+ * minhashSignature() that also reports each permutation's witness
+ * position. Signature values are identical to minhashSignature()
+ * (same counter-based hash; prop_simd pins the kernels against
+ * mix64). Intended for index-side records that will be re-signed
+ * incrementally — it runs at cluster-creation rate, not per query.
+ */
+MinHashSignature minhashSignatureWitness(const BitVec &bits,
+                                         const MinHashParams &params,
+                                         MinHashWitness &witness_out);
+
+/**
+ * Incrementally re-sign @p sig after its underlying set shrank to
+ * @p bits (every set bit of @p bits was set when @p sig/@p witness
+ * were computed). Permutations whose witness position is still set
+ * are untouched — removing other positions cannot lower a minimum,
+ * and the witness still attains it — so only permutations that lost
+ * their witness are recomputed (expected O(removed / weight) of the
+ * k permutations, against k for a full re-hash). @p sig and
+ * @p witness are updated in place to exactly
+ * minhashSignatureWitness(bits); returns true iff any signature
+ * *value* changed (band keys, and hence LSH buckets, depend only on
+ * values).
+ */
+bool minhashReSign(const BitVec &bits, const MinHashParams &params,
+                   MinHashSignature &sig, MinHashWitness &witness);
+
+/**
  * Fraction of signature positions on which @p a and @p b agree —
  * an unbiased estimate of the Jaccard similarity of the underlying
  * sets. Signature lengths must match.
@@ -203,6 +240,20 @@ class LshIndex
     void addAll(std::size_t first_record,
                 const std::vector<MinHashSignature> &sigs,
                 ThreadPool *pool = nullptr);
+
+    /**
+     * Move @p record from the buckets of @p old_sig to those of
+     * @p new_sig, leaving bands whose bucket key is unchanged
+     * untouched. @p old_sig must be the signature the record is
+     * currently indexed under (as passed to add()); the record keeps
+     * its id, and bucket id-ordering is preserved, so a subsequent
+     * candidates() behaves exactly as if the record had originally
+     * been added under @p new_sig. This is the re-signing hook the
+     * indexed clusterer uses when intersection shrinks a cluster's
+     * fingerprint.
+     */
+    void update(std::size_t record, const MinHashSignature &old_sig,
+                const MinHashSignature &new_sig);
 
     /**
      * Record ids sharing at least one band bucket with @p sig,

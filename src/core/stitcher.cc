@@ -55,6 +55,16 @@ Stitcher::truncate(const SparseBitset &obs) const
     return SparseBitset(obs.universe(), std::move(kept));
 }
 
+std::vector<SparseBitset>
+Stitcher::truncateAll(const std::vector<SparseBitset> &pages) const
+{
+    std::vector<SparseBitset> out;
+    out.reserve(pages.size());
+    for (const SparseBitset &obs : pages)
+        out.push_back(truncate(obs));
+    return out;
+}
+
 std::size_t
 Stitcher::resolve(std::size_t id) const
 {
@@ -71,7 +81,7 @@ Stitcher::probePages(const std::vector<SparseBitset> &pages,
 {
     for (std::size_t i = begin; i < end; ++i) {
         ++local.pagesProbed;
-        const SparseBitset obs = truncate(pages[i]);
+        const SparseBitset &obs = pages[i]; // pre-truncated
         const auto keys = PageFingerprint::matchKeys(obs);
         std::set<std::pair<std::size_t, std::int64_t>> seen;
         for (auto key : keys) {
@@ -164,7 +174,7 @@ Stitcher::verifyAlignment(const std::vector<SparseBitset> &pages,
             sample_origin + static_cast<std::int64_t>(i));
         if (it == cluster.pages.end())
             continue;
-        const SparseBitset obs = truncate(pages[i]);
+        const SparseBitset &obs = pages[i]; // pre-truncated
         if (obs.count() < 3)
             continue;
         ++checked;
@@ -198,7 +208,7 @@ Stitcher::foldSample(std::size_t cluster_id,
     for (std::size_t i = 0; i < pages.size(); ++i) {
         const std::int64_t pos =
             sample_origin + static_cast<std::int64_t>(i);
-        const SparseBitset obs = truncate(pages[i]);
+        const SparseBitset &obs = pages[i]; // pre-truncated
         auto it = c.pages.find(pos);
         if (it != c.pages.end()) {
             it->second.augment(obs);
@@ -237,6 +247,12 @@ Stitcher::mergeClusters(std::size_t dst, std::size_t src,
 
 std::size_t
 Stitcher::addSample(const std::vector<SparseBitset> &pages)
+{
+    return addSampleTruncated(truncateAll(pages));
+}
+
+std::size_t
+Stitcher::addSampleTruncated(const std::vector<SparseBitset> &pages)
 {
     ++counters.samplesAdded;
 
@@ -300,14 +316,40 @@ std::vector<std::size_t>
 Stitcher::addSamples(
     const std::vector<std::vector<SparseBitset>> &samples)
 {
-    // Folding mutates the cluster state each sample's probing
-    // reads, so samples stay strictly sequential — the parallelism
-    // is inside each addSample's collectVotes. Cluster evolution is
-    // therefore identical to serial one-by-one ingest.
+    std::vector<const std::vector<SparseBitset> *> borrowed;
+    borrowed.reserve(samples.size());
+    for (const auto &pages : samples)
+        borrowed.push_back(&pages);
+    return addSamples(borrowed);
+}
+
+std::vector<std::size_t>
+Stitcher::addSamples(
+    const std::vector<const std::vector<SparseBitset> *> &samples)
+{
+    // Truncation is a pure, idempotent per-page function, so every
+    // sample is truncated up front — in parallel when a pool is
+    // attached — and the per-sample fold skips the three inline
+    // re-truncations addSample() pays. Folding mutates the cluster
+    // state each sample's probing reads, so samples stay strictly
+    // sequential — the remaining parallelism is inside each
+    // sample's collectVotes. Cluster evolution is therefore
+    // identical to serial one-by-one ingest.
+    std::vector<std::vector<SparseBitset>> truncated(samples.size());
+    const auto truncateSample = [&](std::size_t i) {
+        PC_ASSERT(samples[i], "addSamples: null sample");
+        truncated[i] = truncateAll(*samples[i]);
+    };
+    if (workers && workers->size() > 1 && samples.size() > 1) {
+        workers->parallelFor(0, samples.size(), truncateSample);
+    } else {
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            truncateSample(i);
+    }
     std::vector<std::size_t> ids;
     ids.reserve(samples.size());
-    for (const auto &pages : samples)
-        ids.push_back(addSample(pages));
+    for (const auto &pages : truncated)
+        ids.push_back(addSampleTruncated(pages));
     return ids;
 }
 
@@ -346,8 +388,9 @@ Stitcher::clusterSamples(std::size_t id) const
 }
 
 std::optional<std::size_t>
-Stitcher::matchSample(const std::vector<SparseBitset> &pages) const
+Stitcher::matchSample(const std::vector<SparseBitset> &raw_pages) const
 {
+    const std::vector<SparseBitset> pages = truncateAll(raw_pages);
     auto votes = collectVotes(pages, false);
 
     std::optional<std::size_t> best;

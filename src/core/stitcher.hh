@@ -117,12 +117,24 @@ class Stitcher
     /**
      * Batched ingest: equivalent to calling addSample() on each
      * element in order (samples are folded strictly sequentially,
-     * so the cluster evolution is identical), but each sample's
-     * candidate probing runs across the thread pool. Returns the
-     * cluster id per sample.
+     * so the cluster evolution is identical), but the per-page
+     * truncation of *all* samples runs up front across the thread
+     * pool (truncation is pure and idempotent) and each sample's
+     * candidate probing fans out as well. Returns the cluster id
+     * per sample.
      */
     std::vector<std::size_t>
     addSamples(const std::vector<std::vector<SparseBitset>> &samples);
+
+    /**
+     * addSamples() over borrowed page vectors — the zero-copy shape
+     * batch callers that already own samples in another layout
+     * (EavesdropperAttacker's ApproximateSamples) feed. Null
+     * pointers are not allowed.
+     */
+    std::vector<std::size_t>
+    addSamples(
+        const std::vector<const std::vector<SparseBitset> *> &samples);
 
     /**
      * The paper's Figure 13 metric: number of distinct system-level
@@ -158,15 +170,30 @@ class Stitcher
     struct Cluster;
     struct IndexEntry;
 
-    /** Truncate an observation to the most volatile cells kept. */
+    /** Truncate an observation to the most volatile cells kept.
+     *  Deterministic and idempotent: re-truncating a truncated
+     *  observation returns it unchanged, which is what lets batch
+     *  ingest pre-truncate samples once up front. */
     SparseBitset truncate(const SparseBitset &obs) const;
+
+    /** truncate() applied to every page of a sample. */
+    std::vector<SparseBitset>
+    truncateAll(const std::vector<SparseBitset> &pages) const;
+
+    /**
+     * addSample() past the truncation step: @p pages must already
+     * be truncated (every probe/verify/fold below assumes it).
+     */
+    std::size_t
+    addSampleTruncated(const std::vector<SparseBitset> &pages);
 
     /** Alignment votes one sample produced, keyed by cluster. */
     using VoteMap =
         std::unordered_map<std::size_t,
                            std::map<std::int64_t, std::size_t>>;
 
-    /** Vote for sample alignments against existing clusters. */
+    /** Vote for sample alignments against existing clusters.
+     *  @p pages must be pre-truncated (see truncateAll). */
     VoteMap collectVotes(const std::vector<SparseBitset> &pages,
                          bool count_stats) const;
 

@@ -153,6 +153,76 @@ genPageRun(Ctx &ctx, std::size_t universe, std::size_t total_pages,
     return run;
 }
 
+FleetCampaign
+genFleetCampaign(Ctx &ctx, std::size_t max_chips,
+                 std::size_t max_obs_per_chip, bool shuffle)
+{
+    failUnless(max_chips > 0 && max_obs_per_chip > 0,
+               "genFleetCampaign: empty fleet shape");
+    constexpr std::size_t home = 96;
+    FleetCampaign out;
+    out.chips = ctx.sizeRange(1, max_chips, "chips");
+    out.universeBits = home * out.chips;
+    for (std::size_t c = 0; c < out.chips; ++c) {
+        // 32 anchored bits per chip: drop-noise at keep=0.95 stays
+        // far from the 0.4 threshold regime the properties run in,
+        // and the anchors survive any shrink.
+        BitVec base(out.universeBits);
+        for (std::size_t k = 0; k < 32; ++k)
+            base.set(c * home + 2 * k);
+        const std::size_t observations =
+            ctx.sizeRange(1, max_obs_per_chip, "observations");
+        for (std::size_t o = 0; o < observations; ++o) {
+            out.outputs.push_back(
+                genNoisyObservation(ctx, base, 0.95, 0));
+            out.chipOf.push_back(c);
+        }
+    }
+    if (shuffle) {
+        // Tape-driven Fisher-Yates; a zeroed tape leaves the
+        // chip-major order, the smallest presentation.
+        for (std::size_t i = out.outputs.size(); i > 1; --i) {
+            const std::size_t j = ctx.below(i);
+            std::swap(out.outputs[i - 1], out.outputs[j]);
+            std::swap(out.chipOf[i - 1], out.chipOf[j]);
+        }
+    }
+    return out;
+}
+
+FleetPageCampaign
+genFleetPageCampaign(Ctx &ctx, std::size_t max_machines)
+{
+    failUnless(max_machines > 0, "genFleetPageCampaign: empty fleet");
+    constexpr std::size_t pages_per_machine = 8;
+    FleetPageCampaign out;
+    out.machines = ctx.sizeRange(1, max_machines, "machines");
+    const std::size_t total_pages =
+        pages_per_machine * out.machines;
+    const std::size_t universe = 8 * total_pages + 256;
+    for (std::size_t m = 0; m < out.machines; ++m) {
+        // Machine m's pages live at tag base m * pages_per_machine,
+        // so match keys never collide across machines; a chain of
+        // runs [2i, 2i+4) shares two pages between consecutive runs
+        // — the minimum range Section 7 accepts for a merge.
+        const std::vector<SparseBitset> memory =
+            genPageRun(ctx, universe, total_pages,
+                       m * pages_per_machine, pages_per_machine, 12);
+        for (std::size_t first = 0; first + 4 <= pages_per_machine;
+             first += 2) {
+            out.samples.emplace_back(memory.begin() + first,
+                                     memory.begin() + first + 4);
+            out.machineOf.push_back(m);
+        }
+    }
+    for (std::size_t i = out.samples.size(); i > 1; --i) {
+        const std::size_t j = ctx.below(i);
+        std::swap(out.samples[i - 1], out.samples[j]);
+        std::swap(out.machineOf[i - 1], out.machineOf[j]);
+    }
+    return out;
+}
+
 BitVec
 referenceTrialPeek(const DramChip &chip, const BitVec &pattern,
                    std::uint64_t trial_key, Seconds dt, Celsius temp)

@@ -98,6 +98,53 @@ genPageRun(Ctx &ctx, std::size_t universe, std::size_t total_pages,
            std::size_t cells_per_page);
 
 /**
+ * A synthetic eavesdropper fleet campaign with retained ground
+ * truth: N chips × M whole-output error strings, the randomized
+ * analogue of the core campaign synthesis (core/campaign.hh) the
+ * bench driver streams from. Chips get disjoint 96-bit home ranges
+ * with 32 anchored volatile bits each, so within-chip distances
+ * stay far under the 0.4 property-threshold regime and cross-chip
+ * distances sit near 1 no matter how hard the shrinker squeezes the
+ * tape — a shrunk campaign is still a separated campaign.
+ */
+struct FleetCampaign
+{
+    std::size_t chips = 0;
+    std::size_t universeBits = 0;
+    std::vector<BitVec> outputs;        //!< whole-output error strings
+    std::vector<std::size_t> chipOf;    //!< ground truth per output
+};
+
+/**
+ * Generate a FleetCampaign of 1..@p max_chips chips with
+ * 1..@p max_obs_per_chip observations each. When @p shuffle is true
+ * (the default — the paper's attacker cannot control arrival order)
+ * the outputs are presented in a tape-driven interleaved order;
+ * otherwise chip-major.
+ */
+FleetCampaign genFleetCampaign(Ctx &ctx, std::size_t max_chips,
+                               std::size_t max_obs_per_chip,
+                               bool shuffle = true);
+
+/**
+ * The page-run form of a fleet campaign, for stitcher-level
+ * properties: each machine contributes a chain of overlapping page
+ * runs (consecutive runs share two pages, the minimum Section 7
+ * "range") carved from its own page-tag region, with per-sample
+ * ground-truth machine ids retained. Sample order is tape-shuffled.
+ */
+struct FleetPageCampaign
+{
+    std::size_t machines = 0;
+    std::vector<std::vector<SparseBitset>> samples;
+    std::vector<std::size_t> machineOf; //!< ground truth per sample
+};
+
+/** Generate a FleetPageCampaign of 1..@p max_machines machines. */
+FleetPageCampaign genFleetPageCampaign(Ctx &ctx,
+                                       std::size_t max_machines);
+
+/**
  * Per-cell reference decayer: the contents @p chip would show after
  * reseedTrial(@p trial_key), write(@p pattern), and an unrefreshed
  * hold of @p dt at @p temp — computed cell by cell straight from

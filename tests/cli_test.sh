@@ -118,6 +118,16 @@ fi
     chip1_trial0.pcbv chip0_trial1.pcbv chip2_trial0.pcbv \
     | grep -q "4 outputs -> 3 clusters"
 
+# The streaming campaign mode must recover the fleet exactly (one
+# cluster per chip, pure), agree with the pairwise replay, and export
+# a loadable discovered database.
+"$PCAUSE" cluster --campaign yes --chips 20 --outputs 2000 \
+    --pairwise yes --db discovered.pcdb > campaign.out
+grep -q "2000 outputs -> 20 clusters" campaign.out
+grep -q "purity 1.000000" campaign.out
+grep -q "0 assignment divergences" campaign.out
+"$PCAUSE" db --db discovered.pcdb | grep -q "20 records"
+
 # The model subcommand must report the paper's Table 1 entropy.
 "$PCAUSE" model | grep -q "2423 bits"
 

@@ -1,58 +1,47 @@
 /**
  * @file
  * Algorithm 4 (attack without pre-characterization) properties.
- * Observations are generated from well-separated synthetic chips
- * (disjoint fingerprint ranges, high bit-survival rate), so the
- * correct partition is known; clustering must recover it from any
- * presentation order — the paper's attacker cannot control the
- * order outputs arrive in.
+ *
+ * Fleet campaigns come from the shared generator
+ * (pcheck::genFleetCampaign): observations from well-separated
+ * synthetic chips (disjoint fingerprint ranges, high bit-survival
+ * rate) with retained ground truth, so the correct partition is
+ * known; clustering must recover it from any presentation order —
+ * the paper's attacker cannot control the order outputs arrive in.
+ *
+ * The IndexedClusterer properties pin the tentpole claims: identical
+ * assignments to the pairwise scan, fingerprints that only shrink
+ * under augment-by-intersection with signatures kept exactly current
+ * (the incremental re-sign), one cluster per chip in the separated
+ * regime, partition stability under reordering, and a discovered
+ * database whose FingerprintStore queries attribute every member
+ * output back to its own cluster.
  */
 
 #include "prop_common.hh"
 
 #include <numeric>
 
+#include "bench/bench_common.hh"
 #include "core/cluster.hh"
+#include "core/store.hh"
 
 using namespace pcause;
 using pcheck::Ctx;
+using pcheck::FleetCampaign;
+using pcheck::genFleetCampaign;
 
 namespace
 {
 
-struct Labeled
+/** The properties' threshold regime: within-chip distances at
+ *  keep=0.95 stay far below 0.4, cross-chip distances near 1. */
+ClusterParams
+propParams()
 {
-    std::vector<BitVec> samples;
-    std::vector<std::size_t> chipOf; //!< ground-truth chip index
-};
-
-/**
- * Observations from @p chips synthetic chips over disjoint 96-bit
- * home ranges. Every observation keeps >= ~95% of its chip's
- * volatile set, so within-chip distances stay far under the 0.4
- * threshold while cross-chip distances sit near 1.
- */
-Labeled
-genLabeledSamples(Ctx &ctx, std::size_t chips)
-{
-    const std::size_t home = 96;
-    const std::size_t nbits = home * chips;
-    Labeled out;
-    for (std::size_t c = 0; c < chips; ++c) {
-        BitVec base(nbits);
-        // A dense volatile set anchored in the chip's home range:
-        // 32 guaranteed bits keep drop-noise far from the threshold.
-        for (std::size_t k = 0; k < 32; ++k)
-            base.set(c * home + 2 * k);
-        const std::size_t observations =
-            ctx.sizeRange(1, 4, "observations");
-        for (std::size_t o = 0; o < observations; ++o) {
-            out.samples.push_back(
-                pcheck::genNoisyObservation(ctx, base, 0.95, 0));
-            out.chipOf.push_back(c);
-        }
-    }
-    return out;
+    ClusterParams p;
+    p.threshold = 0.4;
+    return p;
 }
 
 /** True when both labelings induce the same partition. */
@@ -71,60 +60,193 @@ samePartition(const std::vector<std::size_t> &a,
 
 } // namespace
 
+// ------------------------------------------------------------------
+// Reference (pairwise) clusterer properties.
+// ------------------------------------------------------------------
+
 PCHECK_PROPERTY(PropCluster, RecoversGroundTruthPartition,
                 [](Ctx &ctx) {
-    const std::size_t chips = ctx.sizeRange(1, 4, "chips");
-    const Labeled in = genLabeledSamples(ctx, chips);
+    const FleetCampaign in = genFleetCampaign(ctx, 4, 4);
 
-    ClusterParams p;
-    p.threshold = 0.4;
     std::vector<std::size_t> assignments;
     // Zero exact value: the raw outputs ARE the error strings.
-    const BitVec exact(chips * 96);
+    const BitVec exact(in.universeBits);
     const FingerprintDb db =
-        cluster(in.samples, exact, p, &assignments);
-    PCHECK_EQ(assignments.size(), in.samples.size());
+        cluster(in.outputs, exact, propParams(), &assignments);
+    PCHECK_EQ(assignments.size(), in.outputs.size());
     PCHECK_MSG(samePartition(assignments, in.chipOf),
                "clustering split or merged ground-truth chips");
-    PCHECK_EQ(db.size(), chips);
+    PCHECK_EQ(db.size(), in.chips);
 })
 
-PCHECK_PROPERTY(PropCluster, LabelsStableUnderReordering,
-                [](Ctx &ctx) {
-    const std::size_t chips = ctx.sizeRange(1, 4, "chips");
-    const Labeled in = genLabeledSamples(ctx, chips);
+PCHECK_PROPERTY(PropCluster, OnlineMatchesBatch, [](Ctx &ctx) {
+    const FleetCampaign in = genFleetCampaign(ctx, 3, 4);
 
-    // A tape-driven shuffle of the presentation order.
-    std::vector<std::size_t> order(in.samples.size());
+    OnlineClusterer online(propParams());
+    for (const BitVec &es : in.outputs)
+        online.addErrorString(es);
+    std::vector<std::size_t> batchAssign;
+    cluster(in.outputs, BitVec(in.universeBits), propParams(),
+            &batchAssign);
+    PCHECK_MSG(samePartition(online.assignments(), batchAssign),
+               "incremental and batch clustering disagree");
+})
+
+// ------------------------------------------------------------------
+// IndexedClusterer properties.
+// ------------------------------------------------------------------
+
+/**
+ * The tentpole equivalence: on randomized fleets the indexed path
+ * assigns every output to exactly the cluster the pairwise scan
+ * does — not just the same partition, the same cluster ids, because
+ * both visit clusters in creation order and the index's fallback
+ * scan returns the pairwise verdict verbatim.
+ */
+PCHECK_PROPERTY(PropCluster, IndexedMatchesPairwise, [](Ctx &ctx) {
+    const FleetCampaign in = genFleetCampaign(ctx, 5, 5);
+
+    OnlineClusterer pairwise(propParams());
+    IndexedClusterer indexed(propParams());
+    for (const BitVec &es : in.outputs) {
+        const std::size_t a = pairwise.addErrorString(es);
+        const std::size_t b = indexed.addErrorString(es);
+        PCHECK_EQ(a, b);
+    }
+    PCHECK_MSG(indexed.assignments() == pairwise.assignments(),
+               "indexed and pairwise assignment histories differ");
+    PCHECK_EQ(indexed.numClusters(), pairwise.numClusters());
+
+    // The batch entry points agree with each other too.
+    std::vector<std::size_t> viaBatch;
+    std::vector<std::size_t> viaScan;
+    const BitVec exact(in.universeBits);
+    clusterIndexed(in.outputs, exact, propParams(), MinHashParams{},
+                   &viaBatch);
+    cluster(in.outputs, exact, propParams(), &viaScan);
+    PCHECK_MSG(viaBatch == viaScan,
+               "clusterIndexed() and cluster() assignments differ");
+})
+
+/**
+ * Augment-by-intersection monotonicity: a cluster's fingerprint bits
+ * only ever shrink, and after every ingest the stored signature is
+ * exactly the signature of the current fingerprint — the incremental
+ * re-sign (witness positions) must be indistinguishable from a full
+ * re-hash.
+ */
+PCHECK_PROPERTY(PropCluster, AugmentOnlyShrinksAndResigns,
+                [](Ctx &ctx) {
+    const FleetCampaign in = genFleetCampaign(ctx, 3, 5);
+
+    IndexedClusterer indexed(propParams());
+    std::vector<BitVec> before; // fingerprint snapshot per cluster
+    for (const BitVec &es : in.outputs) {
+        const std::size_t c = indexed.addErrorString(es);
+        const BitVec &now = indexed.fingerprint(c).bits();
+        if (c < before.size()) {
+            for (const std::size_t p : now.setBits())
+                PCHECK_MSG(before[c].get(p),
+                           "augment set a bit that was not already "
+                           "in the cluster fingerprint");
+            PCHECK_MSG(now.popcount() <= before[c].popcount(),
+                       "augment grew the fingerprint weight");
+            before[c] = now;
+        } else {
+            before.push_back(now);
+        }
+        PCHECK_MSG(indexed.signature(c) ==
+                       minhashSignature(now, indexed.indexParams()),
+                   "stored signature diverged from the current "
+                   "fingerprint's signature");
+    }
+})
+
+/**
+ * One chip, one cluster: in the separated threshold regime the
+ * discovered clusters are the fleet, exactly — purity 1, no chip
+ * fragmented across clusters, cluster count equal to the fleet size.
+ * Scored with the same purity/ARI oracle the campaign bench gates
+ * on.
+ */
+PCHECK_PROPERTY(PropCluster, OneChipOneCluster, [](Ctx &ctx) {
+    const FleetCampaign in = genFleetCampaign(ctx, 5, 5);
+
+    IndexedClusterer indexed(propParams());
+    indexed.addBatch(in.outputs);
+    PCHECK_EQ(indexed.numClusters(), in.chips);
+    const bench::PartitionScore score =
+        bench::scorePartition(indexed.assignments(), in.chipOf);
+    PCHECK_EQ(score.fragmentedClasses, std::size_t{0});
+    PCHECK_MSG(score.purity == 1.0, "impure cluster in the "
+                                    "separated regime");
+    PCHECK_MSG(score.ari == 1.0, "partition differs from ground "
+                                 "truth");
+})
+
+/**
+ * Reordering the stream permutes cluster labels but cannot change
+ * which outputs end up together: the partition is presentation-order
+ * invariant in the separated regime.
+ */
+PCHECK_PROPERTY(PropCluster, ReorderingPermutesLabelsOnly,
+                [](Ctx &ctx) {
+    const FleetCampaign in = genFleetCampaign(ctx, 4, 4);
+
+    // A second, tape-driven presentation order.
+    std::vector<std::size_t> order(in.outputs.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     for (std::size_t i = order.size(); i > 1; --i)
         std::swap(order[i - 1], order[ctx.below(i)]);
     std::vector<BitVec> shuffled;
-    std::vector<std::size_t> truthShuffled;
-    for (std::size_t i : order) {
-        shuffled.push_back(in.samples[i]);
-        truthShuffled.push_back(in.chipOf[i]);
-    }
+    shuffled.reserve(order.size());
+    for (const std::size_t i : order)
+        shuffled.push_back(in.outputs[i]);
 
-    ClusterParams p;
-    p.threshold = 0.4;
-    std::vector<std::size_t> assignments;
-    cluster(shuffled, BitVec(chips * 96), p, &assignments);
-    PCHECK_MSG(samePartition(assignments, truthShuffled),
-               "reordering the samples changed the partition");
+    IndexedClusterer first(propParams());
+    first.addBatch(in.outputs);
+    IndexedClusterer second(propParams());
+    second.addBatch(shuffled);
+
+    // Align the original assignments to the shuffled order and
+    // compare as partitions (ids may differ, grouping may not).
+    std::vector<std::size_t> aligned;
+    aligned.reserve(order.size());
+    for (const std::size_t i : order)
+        aligned.push_back(first.assignments()[i]);
+    PCHECK_MSG(samePartition(aligned, second.assignments()),
+               "reordering the stream changed the partition");
 })
 
-PCHECK_PROPERTY(PropCluster, OnlineMatchesBatch, [](Ctx &ctx) {
-    const std::size_t chips = ctx.sizeRange(1, 3, "chips");
-    const Labeled in = genLabeledSamples(ctx, chips);
+/**
+ * Round trip into identification: exporting the discovered clusters
+ * as a database and querying every member output through the
+ * FingerprintStore (the Algorithm 2 index) attributes each output to
+ * its own cluster — the eavesdropper's database is immediately
+ * usable for identification.
+ */
+PCHECK_PROPERTY(PropCluster, DatabaseRoundTripAttributesMembers,
+                [](Ctx &ctx) {
+    const FleetCampaign in = genFleetCampaign(ctx, 4, 4);
 
-    ClusterParams p;
-    p.threshold = 0.4;
-    OnlineClusterer online(p);
-    for (const BitVec &es : in.samples)
-        online.addErrorString(es);
-    std::vector<std::size_t> batchAssign;
-    cluster(in.samples, BitVec(chips * 96), p, &batchAssign);
-    PCHECK_MSG(samePartition(online.assignments(), batchAssign),
-               "incremental and batch clustering disagree");
+    IndexedClusterer indexed(propParams());
+    const std::vector<std::size_t> assigned =
+        indexed.addBatch(in.outputs);
+    const FingerprintDb db = indexed.toDatabase();
+
+    FingerprintStore store;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        const auto &rec = db.record(i);
+        store.add(rec.label, rec.fingerprint);
+    }
+
+    IdentifyParams params;
+    params.threshold = propParams().threshold;
+    for (std::size_t i = 0; i < in.outputs.size(); ++i) {
+        const IdentifyResult r = store.query(in.outputs[i], params);
+        PCHECK_MSG(r.match.has_value(),
+                   "a member output failed to identify against the "
+                   "discovered database");
+        PCHECK_EQ(*r.match, assigned[i]);
+    }
 })

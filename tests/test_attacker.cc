@@ -263,6 +263,64 @@ TEST_F(EavesdropperTest, BatchAttributionMatchesSerial)
     EXPECT_GT(attacker.stats().identifySeconds, 0.0);
 }
 
+TEST_F(EavesdropperTest, WholeOutputBatchMatchesSerial)
+{
+    // The whole-output clustering path (Algorithm 4 over the indexed
+    // clusterer): batch ingest must assign exactly like one-by-one
+    // ingest, and both like the literal pairwise scan.
+    auto es = [](std::initializer_list<std::size_t> bits) {
+        BitVec v(2048);
+        for (auto b : bits)
+            v.set(b);
+        return v;
+    };
+    const std::vector<BitVec> stream{
+        es({1, 2, 3, 4}),        es({700, 800, 900}),
+        es({1, 2, 3, 4, 1500}),  es({100, 101, 102, 103}),
+        es({700, 800, 900, 44}),
+    };
+
+    ThreadPool pool(4);
+    EavesdropperAttacker serial;
+    EavesdropperAttacker batched;
+    batched.setThreadPool(&pool);
+    OnlineClusterer pairwise;
+
+    std::vector<std::size_t> serial_ids;
+    std::vector<std::size_t> pairwise_ids;
+    for (const BitVec &e : stream) {
+        serial_ids.push_back(serial.observeErrorString(e));
+        pairwise_ids.push_back(pairwise.addErrorString(e));
+    }
+    const std::vector<std::size_t> batch_ids =
+        batched.observeErrorStrings(stream);
+
+    EXPECT_EQ(batch_ids, serial_ids);
+    EXPECT_EQ(batch_ids, pairwise_ids);
+    EXPECT_EQ(batched.clusterer().numClusters(),
+              pairwise.numClusters());
+    EXPECT_GT(batched.stats().ingestSeconds, 0.0);
+}
+
+TEST_F(EavesdropperTest, ClusterDatabaseExportsDiscoveredFleet)
+{
+    EavesdropperAttacker attacker;
+    BitVec a(2048), b(2048);
+    for (std::size_t k = 0; k < 16; ++k) {
+        a.set(3 * k);
+        b.set(1024 + 3 * k);
+    }
+    attacker.observeErrorString(a);
+    attacker.observeErrorString(b);
+    attacker.observeErrorString(a);
+    EXPECT_EQ(attacker.clusterer().numClusters(), 2u);
+    const FingerprintDb db = attacker.clusterDatabase();
+    ASSERT_EQ(db.size(), 2u);
+    EXPECT_EQ(db.record(0).label, "cluster-0");
+    EXPECT_EQ(db.record(0).fingerprint.bits(), a);
+    EXPECT_EQ(db.record(1).fingerprint.bits(), b);
+}
+
 TEST_F(EavesdropperTest, AslrDefenseBlocksConvergence)
 {
     // Section 8.2.3: page-level ASLR removes the contiguity the

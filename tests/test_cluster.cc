@@ -115,6 +115,139 @@ TEST(Cluster, BatchMatchesOnline)
     EXPECT_NE(assign[0], assign[1]);
 }
 
+TEST(IndexedClusterer, MirrorsPairwiseOnUnitPatterns)
+{
+    // The exact sequences the OnlineClusterer unit tests pin,
+    // replayed through the index: identical ids, clusters, and
+    // intersected fingerprints.
+    OnlineClusterer ref;
+    IndexedClusterer idx;
+    const std::vector<BitVec> stream{
+        pattern({1, 2, 3, 4}),     pattern({1, 2, 3, 4, 99}),
+        pattern({500, 600, 700}),  pattern({1, 2, 3}),
+        pattern({500, 600, 700, 701}),
+    };
+    for (const BitVec &es : stream)
+        EXPECT_EQ(idx.addErrorString(es), ref.addErrorString(es));
+    ASSERT_EQ(idx.numClusters(), ref.numClusters());
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        EXPECT_EQ(idx.fingerprint(c).bits(),
+                  ref.fingerprint(c).bits());
+    }
+    EXPECT_EQ(idx.assignments(), ref.assignments());
+}
+
+TEST(IndexedClusterer, BatchMatchesSerial)
+{
+    const std::vector<BitVec> stream{
+        pattern({1, 2, 3, 4}), pattern({500, 600, 700}),
+        pattern({1, 2, 3, 4, 99}), pattern({900, 901, 902}),
+        pattern({500, 600, 700, 44}),
+    };
+    IndexedClusterer serial;
+    for (const BitVec &es : stream)
+        serial.addErrorString(es);
+    IndexedClusterer batch;
+    const std::vector<std::size_t> ids = batch.addBatch(stream);
+    EXPECT_EQ(ids, serial.assignments());
+    EXPECT_EQ(batch.assignments(), serial.assignments());
+    EXPECT_EQ(batch.numClusters(), serial.numClusters());
+}
+
+TEST(IndexedClusterer, StatsCountTheSession)
+{
+    IndexedClusterer c;
+    c.addErrorString(pattern({1, 2, 3, 4}));
+    c.addErrorString(pattern({1, 2, 3, 4, 99}));
+    c.addErrorString(pattern({500, 600, 700}));
+    const ClusterStats &s = c.stats();
+    EXPECT_EQ(s.outputs, 3u);
+    EXPECT_EQ(s.clustersOpened, 2u);
+    EXPECT_EQ(s.augments, 1u);
+    // {1,2,3,4,99} ∩ {1,2,3,4} leaves the fingerprint unchanged, so
+    // no bucket move was needed.
+    EXPECT_EQ(s.resigns, 0u);
+    EXPECT_EQ(s.outputs, s.augments + s.clustersOpened);
+}
+
+TEST(IndexedClusterer, SignatureTracksShrunkFingerprint)
+{
+    // Augmenting with a strict subset shrinks the fingerprint; the
+    // stored signature must equal a fresh full re-hash of the
+    // current bits (the incremental re-sign is exact).
+    IndexedClusterer c;
+    BitVec wide(1024), narrow(1024);
+    for (std::size_t b = 0; b < 40; ++b)
+        wide.set(b * 5);
+    narrow = wide;
+    narrow.clear(0);
+    narrow.clear(5);
+    c.addErrorString(wide);
+    EXPECT_EQ(c.addErrorString(narrow), 0u);
+    EXPECT_EQ(c.fingerprint(0).weight(), 38u);
+    EXPECT_EQ(c.signature(0),
+              minhashSignature(c.fingerprint(0).bits(),
+                               c.indexParams()));
+}
+
+TEST(IndexedClusterer, FingerprintIndexOutOfRangeDies)
+{
+    IndexedClusterer c;
+    EXPECT_DEATH(c.fingerprint(0), "");
+    c.addErrorString(pattern({1, 2, 3}));
+    EXPECT_DEATH(c.fingerprint(1), "");
+}
+
+TEST(IndexedClusterer, SignatureIndexOutOfRangeDies)
+{
+    IndexedClusterer c;
+    EXPECT_DEATH(c.signature(0), "");
+}
+
+TEST(Cluster, AssignmentsOutLengthContract)
+{
+    // A pre-filled assignments vector is replaced wholesale: its
+    // length afterwards equals the number of inputs, for both the
+    // pairwise and indexed batch entry points.
+    const BitVec exact(1024);
+    const std::vector<BitVec> results{pattern({1, 2, 3}),
+                                      pattern({500, 600, 700})};
+    std::vector<std::size_t> assign(17, 12345);
+    cluster(results, exact, {}, &assign);
+    EXPECT_EQ(assign.size(), results.size());
+
+    assign.assign(17, 12345);
+    clusterIndexed(results, exact, {}, {}, &assign);
+    EXPECT_EQ(assign.size(), results.size());
+
+    // Empty input: the vector comes back empty, not stale.
+    assign.assign(17, 12345);
+    cluster({}, exact, {}, &assign);
+    EXPECT_EQ(assign.size(), 0u);
+    assign.assign(17, 12345);
+    clusterIndexed({}, exact, {}, {}, &assign);
+    EXPECT_EQ(assign.size(), 0u);
+}
+
+TEST(Cluster, IndexedBatchMatchesPairwiseBatch)
+{
+    const BitVec exact(1024);
+    const std::vector<BitVec> results{
+        pattern({1, 2, 3}), pattern({500, 600, 700}),
+        pattern({1, 2, 3, 50}), pattern({800, 801, 802, 803}),
+    };
+    std::vector<std::size_t> pairwiseAssign, indexedAssign;
+    const FingerprintDb a = cluster(results, exact, {},
+                                    &pairwiseAssign);
+    const FingerprintDb b = clusterIndexed(results, exact, {}, {},
+                                           &indexedAssign);
+    EXPECT_EQ(pairwiseAssign, indexedAssign);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.record(i).fingerprint.bits(),
+                  b.record(i).fingerprint.bits());
+}
+
 TEST(Cluster, SimulatedChipsClusterPerfectly)
 {
     // The paper's clustering claim: outputs of unknown chips group

@@ -217,6 +217,59 @@ TEST_F(StitcherTest, BatchIngestMatchesSequential)
     }
 }
 
+TEST_F(StitcherTest, BatchIngestMatchesSequentialUnderTruncation)
+{
+    // With an aggressive per-page bit cap every observation actually
+    // truncates, so the batch path's up-front truncation (instead of
+    // the three inline re-truncations the serial path used to do) is
+    // exercised for real — verdicts and merges must not move.
+    StitchParams prm;
+    prm.maxBitsPerPage = 16;
+    std::vector<std::vector<SparseBitset>> samples;
+    for (std::uint64_t s = 0; s < 10; ++s)
+        samples.push_back(sample((s * 24) % 120, 16, 500 + s));
+
+    Stitcher serial(prm);
+    std::vector<std::size_t> serial_ids;
+    for (const auto &pages : samples)
+        serial_ids.push_back(serial.addSample(pages));
+
+    Stitcher batch(prm);
+    ThreadPool pool(4);
+    batch.setThreadPool(&pool);
+    const std::vector<std::size_t> ids = batch.addSamples(samples);
+    EXPECT_EQ(ids, serial_ids);
+    EXPECT_EQ(batch.numSuspectedChips(), serial.numSuspectedChips());
+    EXPECT_EQ(batch.stats().merges, serial.stats().merges);
+    EXPECT_EQ(batch.totalFingerprintedPages(),
+              serial.totalFingerprintedPages());
+}
+
+TEST_F(StitcherTest, PointerBatchMatchesOwningBatch)
+{
+    // The zero-copy overload (borrowed sample vectors, the shape the
+    // eavesdropper attacker feeds) is the same ingest as the owning
+    // overload.
+    std::vector<std::vector<SparseBitset>> samples;
+    for (std::uint64_t s = 0; s < 8; ++s)
+        samples.push_back(sample((s * 40) % 160, 16, 900 + s));
+
+    Stitcher owning;
+    const std::vector<std::size_t> owned = owning.addSamples(samples);
+
+    Stitcher borrowing;
+    std::vector<const std::vector<SparseBitset> *> borrowed;
+    for (const auto &pages : samples)
+        borrowed.push_back(&pages);
+    const std::vector<std::size_t> ids =
+        borrowing.addSamples(borrowed);
+    EXPECT_EQ(ids, owned);
+    EXPECT_EQ(borrowing.numSuspectedChips(),
+              owning.numSuspectedChips());
+    EXPECT_EQ(borrowing.stats().pagesProbed,
+              owning.stats().pagesProbed);
+}
+
 TEST(Stitcher, RejectsBadParams)
 {
     StitchParams p;

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hh"
+#include "core/campaign.hh"
 #include "core/characterize.hh"
 #include "core/cluster.hh"
 #include "core/error_string.hh"
@@ -107,7 +109,12 @@ usage()
         "               MinHash/LSH candidate index by default;\n"
         "               --mmap queries a v3 file in place)\n"
         "  cluster      --exact FILE [--threshold T] OUT...\n"
-        "               group outputs by source chip (Algorithm 4)\n"
+        "               group outputs by source chip (Algorithm 4);\n"
+        "               --campaign yes [--chips N] [--outputs M]\n"
+        "               [--seed S] [--pairwise yes] [--db OUT]\n"
+        "               instead streams a synthetic eavesdropper\n"
+        "               campaign through the indexed clusterer and\n"
+        "               reports purity against ground truth\n"
         "  model        [--memory-bits M] [--accuracy A]\n"
         "               fingerprint-space bounds (Equations 1-4)\n"
         "  db           --db FILE [stats|reindex|verify]\n"
@@ -247,9 +254,117 @@ cmdIdentify(const Args &args)
     return 1;
 }
 
+/**
+ * cluster --campaign yes: stream a synthetic fleet campaign
+ * (core/campaign.hh) through the IndexedClusterer in fixed-size
+ * chunks — the eavesdropper-at-scale mode. Ground truth is known by
+ * construction, so the run reports cluster purity directly;
+ * --pairwise yes replays the stream through the literal Algorithm 4
+ * scan and counts assignment divergences (slow beyond ~1e5 outputs).
+ */
+int
+cmdClusterCampaign(const Args &args)
+{
+    CampaignSpec spec;
+    spec.chips = static_cast<std::size_t>(args.getLong("chips", 100));
+    spec.outputs =
+        static_cast<std::uint64_t>(args.getLong("outputs", 10000));
+    spec.seed = static_cast<std::uint64_t>(
+        args.getLong("seed", static_cast<long>(spec.seed)));
+    if (spec.chips < 1 || spec.outputs < 1)
+        fatal("cluster: need at least one chip and one output");
+
+    ClusterParams params;
+    params.threshold = args.getDouble("threshold", 0.1);
+    const bool pairwise = args.get("pairwise", "no") == "yes";
+
+    std::vector<BitVec> bases(spec.chips);
+    for (std::size_t c = 0; c < spec.chips; ++c)
+        bases[c] = campaignChipBase(spec, c);
+
+    IndexedClusterer clusterer(params);
+    OnlineClusterer reference(params);
+    std::vector<std::size_t> truth;
+    truth.reserve(static_cast<std::size_t>(spec.outputs));
+    constexpr std::uint64_t chunk_outputs = 4096;
+    std::vector<BitVec> chunk;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t first = 0; first < spec.outputs;
+         first += chunk_outputs) {
+        const auto count = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk_outputs,
+                                    spec.outputs - first));
+        chunk.assign(count, BitVec());
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint64_t index = first + i;
+            const std::size_t chip = campaignChipOf(spec, index);
+            truth.push_back(chip);
+            chunk[i] =
+                campaignObservation(spec, bases[chip], index);
+        }
+        clusterer.addBatch(chunk);
+        if (pairwise) {
+            for (const BitVec &es : chunk)
+                reference.addErrorString(es);
+        }
+    }
+    const double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    const bench::PartitionScore score =
+        bench::scorePartition(clusterer.assignments(), truth);
+    std::printf("%llu outputs -> %zu clusters\n",
+                (unsigned long long)spec.outputs,
+                clusterer.numClusters());
+    std::printf("  chips %zu, purity %.6f, ari %.6f, fragmented "
+                "%zu\n",
+                spec.chips, score.purity, score.ari,
+                score.fragmentedClasses);
+    std::printf("  %.2f s (%.0f outputs/s), %.2f candidates/output, "
+                "fallback %.4f\n",
+                seconds,
+                static_cast<double>(spec.outputs) / seconds,
+                static_cast<double>(
+                    clusterer.stats().candidatesScanned) /
+                    static_cast<double>(spec.outputs),
+                static_cast<double>(clusterer.stats().fallbackScans) /
+                    static_cast<double>(spec.outputs));
+
+    if (pairwise) {
+        std::size_t divergences = 0;
+        const auto &a = clusterer.assignments();
+        const auto &b = reference.assignments();
+        for (std::size_t i = 0; i < a.size(); ++i)
+            divergences += a[i] != b[i];
+        std::printf("  pairwise replay: %zu clusters, %zu assignment "
+                    "divergences\n",
+                    reference.numClusters(), divergences);
+        if (divergences > 0)
+            return 1;
+    }
+
+    const std::string db_path = args.get("db", "");
+    if (!db_path.empty()) {
+        const FingerprintDb db = clusterer.toDatabase();
+        FingerprintStore store;
+        for (std::size_t i = 0; i < db.size(); ++i) {
+            const auto &rec = db.record(i);
+            store.add(rec.label, rec.fingerprint);
+        }
+        if (!saveStore(store, db_path))
+            fatal("cluster: cannot write %s", db_path.c_str());
+        std::printf("  wrote %zu discovered fingerprints to %s\n",
+                    store.size(), db_path.c_str());
+    }
+    return 0;
+}
+
 int
 cmdCluster(const Args &args)
 {
+    if (args.get("campaign", "no") == "yes")
+        return cmdClusterCampaign(args);
+
     const std::string exact_path = args.get("exact", "");
     if (exact_path.empty() || args.positional.size() < 2)
         fatal("cluster: need --exact and at least two output files");
